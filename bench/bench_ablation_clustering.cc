@@ -1,0 +1,56 @@
+// A2 — ablation of the two clustering levels of Algorithm 1: embedding
+// (first level) and feature blocking (second level) toggled independently.
+// Shows where the search-space reduction comes from and what each level
+// costs.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "company/family.h"
+#include "core/vada_link.h"
+#include "gen/register_simulator.h"
+
+using namespace vadalink;
+
+int main() {
+  bench::Header("Ablation A2: clustering levels on/off (2000 persons)");
+  std::printf("%12s %10s %12s %16s %12s %12s\n", "embedding", "blocking",
+              "elapsed_s", "pairs_compared", "links", "blocks");
+
+  for (bool use_embedding : {false, true}) {
+    for (bool use_blocking : {false, true}) {
+      gen::RegisterConfig reg;
+      reg.persons = 2000;
+      reg.companies = 1500;
+      reg.seed = 33;
+      auto data = gen::GenerateRegister(reg);
+
+      core::AugmentConfig cfg = bench::LightAugmentConfig();
+      cfg.max_rounds = 1;
+      cfg.use_embedding = use_embedding;
+      cfg.use_blocking = use_blocking;
+      cfg.blocking = company::DefaultPersonBlocking();
+      core::VadaLink vl(cfg);
+      vl.AddCandidate(std::make_unique<core::FamilyCandidate>(
+          linkage::BayesLinkClassifier(company::DefaultPersonSchema())));
+
+      WallTimer timer;
+      auto stats = vl.Augment(&data.graph);
+      double s = timer.ElapsedSeconds();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      bench::Row("%12s %10s %12.3f %16zu %12zu %12zu",
+                 use_embedding ? "on" : "off", use_blocking ? "on" : "off",
+                 s, stats->pairs_compared, stats->links_added,
+                 stats->second_level_blocks);
+    }
+  }
+  std::printf("\n(blocking delivers the bulk of the pair reduction on "
+              "feature-rich person data; embedding adds graph-topology "
+              "grouping and pays off in the recursive rounds)\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// A1 — ablation: the declarative (Datalog± engine) execution of the
+// paper's programs against the compiled C++ implementations, on the same
+// inputs. Checks that both paths agree and reports the runtime cost of
+// declarativity ("20-30 lines of Vadalog vs 1k+ lines of code", Section 5 —
+// the trade-off is expressiveness vs raw speed).
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "company/close_link.h"
+#include "company/control.h"
+#include "core/mapping.h"
+#include "core/vadalog_programs.h"
+#include "datalog/engine.h"
+#include "datalog/parser.h"
+#include "gen/barabasi_albert.h"
+
+using namespace vadalink;
+
+int main() {
+  bench::Header("Ablation A1: declarative (Datalog) vs compiled reasoning");
+
+  // ---- company control ------------------------------------------------------
+  std::printf("company control (Definition 2.3):\n");
+  std::printf("%8s %10s %14s %14s %10s %8s\n", "nodes", "edges",
+              "datalog_s", "compiled_s", "edges_out", "agree");
+  for (size_t n : {100, 300, 1000, 3000}) {
+    gen::BarabasiAlbertConfig ba;
+    ba.nodes = n;
+    ba.edges_per_node = 2;
+    ba.seed = 3;
+    auto g = gen::GenerateBarabasiAlbert(ba);
+
+    datalog::Catalog catalog;
+    datalog::Database db(&catalog);
+    if (auto st = core::LoadGraphFacts(g, &db); !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto program = datalog::ParseProgram(core::ControlProgram(), &catalog);
+    datalog::Engine engine(&db);
+    WallTimer timer;
+    if (auto st = engine.Run(*program); !st.ok()) {
+      std::fprintf(stderr, "engine: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    double datalog_s = timer.ElapsedSeconds();
+    std::set<std::pair<int64_t, int64_t>> declarative;
+    for (const auto& t : db.TuplesOf("control")) {
+      declarative.insert({t[0].AsInt(), t[1].AsInt()});
+    }
+
+    timer.Restart();
+    auto cg = company::CompanyGraph::FromPropertyGraph(g).value();
+    auto edges = company::AllControlEdges(cg);
+    double compiled_s = timer.ElapsedSeconds();
+    std::set<std::pair<int64_t, int64_t>> compiled;
+    for (const auto& e : edges) compiled.insert({e.controller, e.controlled});
+
+    bench::Row("%8zu %10zu %14.4f %14.4f %10zu %8s", n, g.edge_count(),
+               datalog_s, compiled_s, compiled.size(),
+               declarative == compiled ? "yes" : "NO!");
+  }
+
+  // ---- close links ------------------------------------------------------------
+  std::printf("\nclose links (Definition 2.6, walk-sum semantics, depth 8):\n");
+  std::printf("%8s %10s %14s %14s %10s %8s\n", "nodes", "edges",
+              "datalog_s", "compiled_s", "pairs_out", "agree");
+  for (size_t n : {50, 100, 200, 400}) {
+    gen::BarabasiAlbertConfig ba;
+    ba.nodes = n;
+    ba.edges_per_node = 1;  // sparse: walk enumeration is exponential-ish
+    ba.seed = 17;
+    auto g = gen::GenerateBarabasiAlbert(ba);
+
+    datalog::Catalog catalog;
+    datalog::Database db(&catalog);
+    if (auto st = core::LoadGraphFacts(g, &db); !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto program =
+        datalog::ParseProgram(core::CloseLinkProgram(0.2, 8), &catalog);
+    datalog::Engine engine(&db);
+    WallTimer timer;
+    if (auto st = engine.Run(*program); !st.ok()) {
+      std::fprintf(stderr, "engine: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    double datalog_s = timer.ElapsedSeconds();
+    std::set<std::pair<int64_t, int64_t>> declarative;
+    for (const auto& t : db.TuplesOf("closelink")) {
+      int64_t a = t[0].AsInt(), b = t[1].AsInt();
+      declarative.insert({std::min(a, b), std::max(a, b)});
+    }
+
+    timer.Restart();
+    auto cg = company::CompanyGraph::FromPropertyGraph(g).value();
+    company::CloseLinkConfig cl;
+    cl.exact_paths = false;
+    cl.ownership.max_depth = 8;
+    auto links = company::AllCloseLinks(cg, cl);
+    double compiled_s = timer.ElapsedSeconds();
+    std::set<std::pair<int64_t, int64_t>> compiled;
+    for (const auto& e : links) {
+      compiled.insert({std::min(e.x, e.y), std::max(e.x, e.y)});
+    }
+
+    bench::Row("%8zu %10zu %14.4f %14.4f %10zu %8s", n, g.edge_count(),
+               datalog_s, compiled_s, compiled.size(),
+               declarative == compiled ? "yes" : "NO!");
+  }
+  std::printf("\n(the compiled path is 1-3 orders of magnitude faster; the "
+              "declarative path buys 20-30 line programs, schema "
+              "independence and provenance)\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// A3 — microbenchmarks of the Datalog± engine: chase throughput on
+// classic recursive workloads, monotonic aggregation, parser speed.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "datalog/engine.h"
+#include "datalog/parser.h"
+
+using namespace vadalink;
+using namespace vadalink::datalog;
+
+namespace {
+
+// Transitive closure over a chain of n edges: n*(n+1)/2 derived facts.
+void BM_TransitiveClosureChain(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::string src;
+  for (int64_t i = 0; i < n; ++i) {
+    src += "e(" + std::to_string(i) + "," + std::to_string(i + 1) + ").\n";
+  }
+  src += "e(X,Y) -> tc(X,Y).\ntc(X,Y), e(Y,Z) -> tc(X,Z).\n";
+  for (auto _ : state) {
+    Catalog catalog;
+    Database db(&catalog);
+    auto program = ParseProgram(src, &catalog);
+    Engine engine(&db);
+    Status st = engine.Run(*program);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(db.TotalFacts());
+  }
+  state.counters["facts"] = static_cast<double>(n) * (n + 1) / 2;
+}
+BENCHMARK(BM_TransitiveClosureChain)->Arg(50)->Arg(100)->Arg(200);
+
+// Binary-tree same-generation: quadratic-ish non-linear recursion.
+void BM_SameGeneration(benchmark::State& state) {
+  const int64_t levels = state.range(0);
+  std::string src;
+  int64_t next = 1;
+  std::vector<int64_t> frontier{0};
+  for (int64_t l = 0; l < levels; ++l) {
+    std::vector<int64_t> children;
+    for (int64_t p : frontier) {
+      for (int c = 0; c < 2; ++c) {
+        src += "up(" + std::to_string(next) + "," + std::to_string(p) +
+               ").\n";
+        children.push_back(next++);
+      }
+    }
+    frontier = std::move(children);
+  }
+  src += "up(X,P), up(Y,P), X != Y -> sg(X,Y).\n";
+  src += "up(X,P), sg(P,Q), up(Y,Q), X != Y -> sg(X,Y).\n";
+  for (auto _ : state) {
+    Catalog catalog;
+    Database db(&catalog);
+    auto program = ParseProgram(src, &catalog);
+    Engine engine(&db);
+    Status st = engine.Run(*program);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(db.TotalFacts());
+  }
+}
+BENCHMARK(BM_SameGeneration)->Arg(4)->Arg(6)->Arg(8);
+
+// Monotonic aggregation: grouped msum with threshold firing.
+void BM_MonotonicSum(benchmark::State& state) {
+  const int64_t groups = state.range(0);
+  std::string src;
+  for (int64_t g = 0; g < groups; ++g) {
+    for (int64_t c = 0; c < 20; ++c) {
+      src += "contrib(" + std::to_string(g) + "," + std::to_string(c) +
+             ",0.04).\n";
+    }
+  }
+  src += "contrib(G,C,W), S = msum(W, <C>), S > 0.5 -> hot(G).\n";
+  for (auto _ : state) {
+    Catalog catalog;
+    Database db(&catalog);
+    auto program = ParseProgram(src, &catalog);
+    Engine engine(&db);
+    Status st = engine.Run(*program);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(db.TuplesOf("hot").size());
+  }
+  state.counters["contribs"] = static_cast<double>(groups * 20);
+}
+BENCHMARK(BM_MonotonicSum)->Arg(10)->Arg(100)->Arg(1000);
+
+// Existential heads: null invention + Skolem-chase memoisation.
+void BM_ExistentialChase(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::string src;
+  for (int64_t i = 0; i < n; ++i) {
+    src += "p(" + std::to_string(i) + ").\n";
+  }
+  src += "p(X) -> q(X, N).\nq(X, N) -> r(N).\n";
+  for (auto _ : state) {
+    Catalog catalog;
+    Database db(&catalog);
+    auto program = ParseProgram(src, &catalog);
+    Engine engine(&db);
+    Status st = engine.Run(*program);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(db.TotalFacts());
+  }
+}
+BENCHMARK(BM_ExistentialChase)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Parser throughput on a generated program.
+void BM_Parse(benchmark::State& state) {
+  std::string src;
+  for (int i = 0; i < 200; ++i) {
+    src += "own(\"a" + std::to_string(i) + "\", \"b\", 0." +
+           std::to_string(10 + i % 80) + ").\n";
+  }
+  src += "own(X,Y,W), W >= 0.5, S = msum(W, <X>) -> big(Y, S).\n";
+  for (auto _ : state) {
+    Catalog catalog;
+    auto program = ParseProgram(src, &catalog);
+    if (!program.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(program->facts.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(src.size()));
+}
+BENCHMARK(BM_Parse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Shared helpers for the experiment harnesses: aligned table printing and
+// the light embedding configuration used by the figure benches (single-core
+// container; the paper ran a 2-core laptop JVM — shapes, not absolute times,
+// are the reproduction target).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/vada_link.h"
+
+namespace vadalink::bench {
+
+/// printf-style row into a fixed-width table.
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+inline void Header(const std::string& title) {
+  std::printf("\n===== %s =====\n", title.c_str());
+}
+
+/// Embedding configuration scaled for the figure sweeps.
+inline core::AugmentConfig LightAugmentConfig() {
+  core::AugmentConfig cfg;
+  cfg.embedding.walk.walk_length = 10;
+  cfg.embedding.walk.walks_per_node = 4;
+  cfg.embedding.skipgram.dimensions = 32;
+  cfg.embedding.skipgram.epochs = 1;
+  cfg.embedding.skipgram.window = 3;
+  cfg.embedding.skipgram.negatives = 4;
+  cfg.embedding.kmeans.k = 8;
+  cfg.max_rounds = 2;
+  return cfg;
+}
+
+}  // namespace vadalink::bench

@@ -1,0 +1,99 @@
+// Collateral eligibility screening over a synthetic company register: the
+// regulatory workflow that motivates close links in the paper. Generates a
+// register, detects families, and screens a batch of (borrower, guarantor)
+// pairs, reporting the verdict and the reason for each rejection.
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "company/company_graph.h"
+#include "company/eligibility.h"
+#include "company/family.h"
+#include "gen/register_simulator.h"
+
+using namespace vadalink;
+
+int main(int argc, char** argv) {
+  gen::RegisterConfig cfg;
+  cfg.persons = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 600;
+  cfg.companies = cfg.persons * 3 / 4;
+  cfg.seed = 99;
+  auto data = gen::GenerateRegister(cfg);
+  std::printf("register: %zu persons, %zu companies, %zu shareholdings\n",
+              data.persons.size(), data.companies.size(),
+              data.graph.edge_count());
+
+  auto cg_result = company::CompanyGraph::FromPropertyGraph(data.graph);
+  if (!cg_result.ok()) {
+    std::fprintf(stderr, "error: %s\n", cg_result.status().ToString().c_str());
+    return 1;
+  }
+  const company::CompanyGraph& cg = *cg_result;
+
+  // Detect families first: the screening uses them for the "low risk
+  // differentiation" flag of the paper's introduction.
+  linkage::BayesLinkClassifier classifier(company::DefaultPersonSchema());
+  linkage::Blocker blocker(company::DefaultPersonBlocking());
+  auto person_links = company::DetectPersonLinks(
+      data.graph, data.persons, classifier, &blocker);
+  auto families =
+      company::FamilyGroups(person_links, data.graph.node_count());
+  std::printf("detected %zu person links forming %zu families\n\n",
+              person_links.size(), families.size());
+
+  company::EligibilityConfig screen_cfg;
+  screen_cfg.families = families;
+
+  // Screen a random batch of borrower/guarantor pairs plus every pair that
+  // shares an owner (where rejections concentrate).
+  Rng rng(7);
+  size_t screened = 0, eligible = 0, close_link = 0, family_flag = 0;
+  auto screen = [&](graph::NodeId x, graph::NodeId y) {
+    if (x == y) return;
+    auto decision = company::ScreenGuarantor(cg, x, y, screen_cfg);
+    ++screened;
+    switch (decision.verdict) {
+      case company::EligibilityVerdict::kEligible:
+        ++eligible;
+        break;
+      case company::EligibilityVerdict::kIneligibleCloseLink:
+        ++close_link;
+        if (close_link <= 5) {
+          std::printf("REJECT  borrower=%u guarantor=%u: %s\n", x, y,
+                      decision.explanation.c_str());
+        }
+        break;
+      case company::EligibilityVerdict::kFlaggedFamilyCloseLink:
+        ++family_flag;
+        if (family_flag <= 5) {
+          std::printf("FLAG    borrower=%u guarantor=%u: %s\n", x, y,
+                      decision.explanation.c_str());
+        }
+        break;
+    }
+  };
+
+  // Pairs sharing a common owner.
+  for (graph::NodeId z = 0; z < cg.node_count() && screened < 400; ++z) {
+    const auto& holdings = cg.holdings(z);
+    for (size_t i = 0; i < holdings.size(); ++i) {
+      for (size_t j = i + 1; j < holdings.size(); ++j) {
+        screen(holdings[i].dst, holdings[j].dst);
+      }
+    }
+  }
+  // Random pairs.
+  while (screened < 800) {
+    graph::NodeId x =
+        data.companies[rng.UniformU64(data.companies.size())];
+    graph::NodeId y =
+        data.companies[rng.UniformU64(data.companies.size())];
+    screen(x, y);
+  }
+
+  std::printf(
+      "\nscreened %zu pairs: %zu eligible, %zu rejected (close link), "
+      "%zu flagged (family tie)\n",
+      screened, eligible, close_link, family_flag);
+  return 0;
+}

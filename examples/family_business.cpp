@@ -1,0 +1,99 @@
+// Family-business discovery: the full VADA-LINK augmentation loop
+// (Algorithm 1) on a synthetic register — embedding clustering, feature
+// blocking, family detection, control and close links — followed by a
+// report of the family businesses found (companies controlled by a family
+// but by no single member alone, like company L of Figure 1).
+#include <cstdio>
+#include <set>
+
+#include "company/company_graph.h"
+#include "company/control.h"
+#include "company/family.h"
+#include "core/candidates.h"
+#include "core/vada_link.h"
+#include "gen/register_simulator.h"
+
+using namespace vadalink;
+
+int main(int argc, char** argv) {
+  gen::RegisterConfig reg_cfg;
+  reg_cfg.persons = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 800;
+  reg_cfg.companies = reg_cfg.persons * 2 / 3;
+  reg_cfg.family_business_rate = 0.4;
+  reg_cfg.seed = 4242;
+  auto data = gen::GenerateRegister(reg_cfg);
+  std::printf("register: %zu persons, %zu companies, %zu edges, "
+              "%zu planted family links\n",
+              data.persons.size(), data.companies.size(),
+              data.graph.edge_count(), data.true_family_links.size());
+
+  core::AugmentConfig cfg;
+  cfg.embedding.skipgram.dimensions = 32;
+  cfg.embedding.skipgram.epochs = 1;
+  cfg.embedding.walk.walks_per_node = 4;
+  cfg.embedding.walk.walk_length = 10;
+  cfg.embedding.kmeans.k = 8;
+  cfg.max_rounds = 2;
+  auto vl = core::MakeDefaultVadaLink(cfg);
+
+  auto stats = vl.Augment(&data.graph);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\naugmentation: %zu rounds, %zu links added, %zu pairs compared\n"
+      "  first-level clusters: %zu, second-level blocks: %zu\n"
+      "  time: embed %.2fs  block %.2fs  candidates %.2fs\n",
+      stats->rounds, stats->links_added, stats->pairs_compared,
+      stats->first_level_clusters, stats->second_level_blocks,
+      stats->embed_seconds, stats->block_seconds,
+      stats->candidate_seconds);
+
+  // Recall against the planted ground truth.
+  size_t recovered = 0;
+  for (const auto& truth : data.true_family_links) {
+    for (const char* label : {"PartnerOf", "ParentOf", "SiblingOf"}) {
+      if (data.graph.FindEdge(truth.x, truth.y, label) !=
+              graph::kInvalidEdge ||
+          data.graph.FindEdge(truth.y, truth.x, label) !=
+              graph::kInvalidEdge) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  std::printf("family-link recall vs ground truth: %.1f%% (%zu/%zu)\n",
+              100.0 * recovered / data.true_family_links.size(), recovered,
+              data.true_family_links.size());
+
+  // Family businesses: controlled by the family, by no member alone.
+  auto families = core::FamiliesFromGraph(data.graph);
+  auto cg = company::CompanyGraph::FromPropertyGraph(data.graph).value();
+  size_t family_businesses = 0;
+  for (const auto& family : families) {
+    std::set<graph::NodeId> individually;
+    for (graph::NodeId member : family) {
+      for (graph::NodeId c : company::ControlledBy(cg, member)) {
+        individually.insert(c);
+      }
+    }
+    for (graph::NodeId c :
+         company::FamilyControlledCompanies(cg, family)) {
+      if (!individually.count(c)) {
+        ++family_businesses;
+        if (family_businesses <= 8) {
+          std::printf(
+              "  family business: company '%s' controlled by a %zu-member "
+              "family, by no member alone\n",
+              data.graph.GetNodeProperty(c, "name").ToString().c_str(),
+              family.size());
+        }
+      }
+    }
+  }
+  std::printf("\n%zu families detected; %zu family businesses "
+              "(family-controlled, no single controller)\n",
+              families.size(), family_businesses);
+  return 0;
+}

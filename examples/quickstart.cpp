@@ -1,0 +1,142 @@
+// Quickstart: builds the paper's Figure 1 ownership graph, then answers the
+// three questions of the introduction with both execution paths:
+//   1. who controls whom (Definition 2.3),
+//   2. which companies are closely linked (Definition 2.6),
+//   3. what the family {P1, P2} controls once the personal link is known
+//      (Definition 2.8),
+// and shows the same control reasoning running declaratively on the
+// Datalog± engine, with a provenance explanation.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "company/close_link.h"
+#include "company/company_graph.h"
+#include "company/control.h"
+#include "core/mapping.h"
+#include "core/vadalog_programs.h"
+#include "datalog/engine.h"
+#include "datalog/parser.h"
+#include "graph/property_graph.h"
+
+using namespace vadalink;
+
+namespace {
+
+graph::PropertyGraph BuildFigure1(std::map<std::string, graph::NodeId>* ids,
+                                  std::map<graph::NodeId, std::string>* names) {
+  graph::PropertyGraph g;
+  auto node = [&](const std::string& name, const char* label) {
+    graph::NodeId n = g.AddNode(label);
+    g.SetNodeProperty(n, "name", name);
+    (*ids)[name] = n;
+    (*names)[n] = name;
+  };
+  node("P1", "Person");
+  node("P2", "Person");
+  for (const char* c : {"C", "D", "E", "F", "G", "H", "I", "L"}) {
+    node(c, "Company");
+  }
+  auto own = [&](const char* src, const char* dst, double w) {
+    auto e = g.AddEdge(ids->at(src), ids->at(dst), "Shareholding");
+    g.SetEdgeProperty(e.value(), "w", w);
+  };
+  own("P1", "C", 0.8);
+  own("P1", "D", 0.75);
+  own("D", "E", 0.4);
+  own("P1", "E", 0.2);
+  own("D", "F", 0.25);
+  own("E", "F", 0.3);
+  own("F", "L", 0.2);
+  own("P2", "G", 0.6);
+  own("G", "H", 0.6);
+  own("H", "I", 0.4);
+  own("P2", "I", 0.5);
+  own("I", "L", 0.4);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  std::map<std::string, graph::NodeId> ids;
+  std::map<graph::NodeId, std::string> names;
+  graph::PropertyGraph g = BuildFigure1(&ids, &names);
+  std::printf("Figure 1 company graph: %zu nodes, %zu shareholding edges\n\n",
+              g.node_count(), g.edge_count());
+
+  auto cg_result = company::CompanyGraph::FromPropertyGraph(g);
+  if (!cg_result.ok()) {
+    std::fprintf(stderr, "error: %s\n", cg_result.status().ToString().c_str());
+    return 1;
+  }
+  const company::CompanyGraph& cg = *cg_result;
+
+  // ---- 1. company control -------------------------------------------------
+  std::printf("== Company control (Definition 2.3) ==\n");
+  for (const char* person : {"P1", "P2"}) {
+    std::printf("  %s controls:", person);
+    for (graph::NodeId c : company::ControlledBy(cg, ids[person])) {
+      std::printf(" %s", names[c].c_str());
+    }
+    std::printf("\n");
+  }
+
+  // ---- 2. close links -------------------------------------------------------
+  std::printf("\n== Close links (Definition 2.6, t = 0.2) ==\n");
+  for (const auto& link : company::AllCloseLinks(cg)) {
+    if (link.reason == company::CloseLinkReason::kCommonThirdParty) {
+      std::printf("  %s -- %s   (common third party: %s)\n",
+                  names[link.x].c_str(), names[link.y].c_str(),
+                  names[link.via].c_str());
+    } else {
+      std::printf("  %s -- %s   (accumulated ownership)\n",
+                  names[link.x].c_str(), names[link.y].c_str());
+    }
+  }
+
+  // ---- 3. family control ------------------------------------------------------
+  std::printf("\n== Family control (Definition 2.8) ==\n");
+  std::printf("  knowing P1 and P2 are partners, the family controls:");
+  for (graph::NodeId c :
+       company::ControlledByGroup(cg, {ids["P1"], ids["P2"]})) {
+    std::printf(" %s", names[c].c_str());
+  }
+  std::printf("\n  (note L: 20%% via F plus 40%% via I = 60%%)\n");
+
+  // ---- 4. the same control task, declaratively ---------------------------------
+  std::printf("\n== Declarative path: Algorithm 5 on the Datalog engine ==\n");
+  datalog::Catalog catalog;
+  datalog::Database db(&catalog);
+  if (auto st = core::LoadGraphFacts(g, &db); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto program = datalog::ParseProgram(core::ControlProgram(), &catalog);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  datalog::EngineOptions opts;
+  opts.trace_provenance = true;
+  datalog::Engine engine(&db, opts);
+  if (auto st = engine.Run(*program); !st.ok()) {
+    std::fprintf(stderr, "engine error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("  derived %zu facts in %zu semi-naive iterations\n",
+              engine.stats().facts_derived, engine.stats().iterations);
+  for (const auto& t : db.TuplesOf("control")) {
+    std::printf("  control(%s, %s)\n",
+                names[static_cast<graph::NodeId>(t[0].AsInt())].c_str(),
+                names[static_cast<graph::NodeId>(t[1].AsInt())].c_str());
+  }
+
+  std::printf("\n  why does P2 control I?\n");
+  uint32_t ctrl = catalog.predicates.Lookup("ctrl");
+  std::string why = engine.Explain(
+      ctrl, {datalog::Value::Int(ids["P2"]), datalog::Value::Int(ids["I"])});
+  std::printf("%s", why.c_str());
+  return 0;
+}

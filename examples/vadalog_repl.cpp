@@ -1,0 +1,150 @@
+// A tiny interactive shell for the Datalog± engine: type rules and facts,
+// end with a blank line to evaluate, then query predicates. Demonstrates
+// the reasoning substrate in isolation.
+//
+// Usage:
+//   vadalog_repl [program.vada]     # optionally preload a program file
+//
+// Commands at the prompt:
+//   <rule or fact>        add to the pending program (multi-line OK)
+//   (empty line)          run the pending program
+//   ?pred                 print all tuples of a predicate
+//   :stats                engine statistics of the last run
+//   :load pred file.csv   import facts from CSV
+//   :save pred file.csv   export a predicate to CSV
+//   :warded               wardedness report of all rules entered so far
+//   :quit                 exit
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "datalog/engine.h"
+#include "datalog/parser.h"
+#include "datalog/relation_io.h"
+#include "datalog/warded.h"
+
+using namespace vadalink;
+using namespace vadalink::datalog;
+
+namespace {
+
+void PrintTuples(const Database& db, const std::string& pred) {
+  auto tuples = db.TuplesOf(pred);
+  if (tuples.empty()) {
+    std::printf("  (no tuples)\n");
+    return;
+  }
+  for (const auto& t : tuples) {
+    std::string line = "  " + pred + "(";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) line += ", ";
+      line += t[i].ToString(db.catalog()->symbols);
+    }
+    std::printf("%s)\n", line.c_str());
+  }
+  std::printf("  %zu tuple(s)\n", tuples.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Catalog catalog;
+  Database db(&catalog);
+  EngineOptions opts;
+  opts.trace_provenance = true;
+  Engine engine(&db, opts);
+
+  std::string pending;
+  Program all_rules;  // accumulated for :warded
+  auto run_pending = [&]() {
+    if (pending.empty()) return;
+    auto program = ParseProgram(pending, &catalog);
+    if (!program.ok()) {
+      std::printf("parse error: %s\n", program.status().ToString().c_str());
+      pending.clear();
+      return;
+    }
+    for (const auto& r : program->rules) all_rules.rules.push_back(r);
+    Status st = engine.Run(*program);
+    if (!st.ok()) {
+      std::printf("engine error: %s\n", st.ToString().c_str());
+    } else {
+      std::printf("ok: %zu facts derived (db now holds %zu facts)\n",
+                  engine.stats().facts_derived, db.TotalFacts());
+    }
+    pending.clear();
+  };
+
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    pending = ss.str();
+    std::printf("loaded %s\n", argv[1]);
+    run_pending();
+  }
+
+  std::printf("vadalog> enter rules/facts; blank line runs; ?pred queries; "
+              ":quit exits\n");
+  std::string line;
+  while (true) {
+    std::printf(pending.empty() ? "vadalog> " : "     ... ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line == ":quit" || line == ":q") break;
+    if (line == ":stats") {
+      const auto& s = engine.stats();
+      std::printf("  strata=%zu iterations=%zu matches=%zu derived=%zu "
+                  "nulls=%zu\n",
+                  s.strata, s.iterations, s.body_matches, s.facts_derived,
+                  s.nulls_invented);
+      continue;
+    }
+    if (line.rfind(":load ", 0) == 0 || line.rfind(":save ", 0) == 0) {
+      run_pending();
+      std::istringstream ss(line.substr(6));
+      std::string pred, file;
+      ss >> pred >> file;
+      if (pred.empty() || file.empty()) {
+        std::printf("usage: %s pred file.csv\n", line.substr(0, 5).c_str());
+        continue;
+      }
+      if (line[1] == 'l') {
+        auto n = LoadRelationCsv(&db, pred, file);
+        if (n.ok()) {
+          std::printf("  loaded %zu new fact(s) into %s\n", *n,
+                      pred.c_str());
+        } else {
+          std::printf("  %s\n", n.status().ToString().c_str());
+        }
+      } else {
+        Status st = SaveRelationCsv(db, pred, file);
+        std::printf("  %s\n", st.ToString().c_str());
+      }
+      continue;
+    }
+    if (line == ":warded") {
+      run_pending();
+      auto report = AnalyzeWardedness(all_rules, catalog);
+      std::printf("%s", report.ToString(catalog, all_rules).c_str());
+      continue;
+    }
+    if (!line.empty() && line[0] == '?') {
+      run_pending();
+      PrintTuples(db, line.substr(1));
+      continue;
+    }
+    if (line.empty()) {
+      run_pending();
+      continue;
+    }
+    pending += line + "\n";
+  }
+  return 0;
+}

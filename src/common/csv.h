@@ -1,0 +1,31 @@
+// Minimal RFC-4180-ish CSV codec used for property-graph import/export and
+// experiment result dumps. Handles quoting, embedded commas/newlines and
+// escaped quotes; does not attempt charset detection.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vadalink {
+
+/// Parses a full CSV document into rows of fields.
+///
+/// Quoted fields may contain commas, doubled quotes and newlines. A trailing
+/// newline does not produce an empty final row.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+/// Encodes one row, quoting fields that require it.
+std::string EncodeCsvRow(const std::vector<std::string>& fields);
+
+/// Reads and parses a CSV file from disk.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Writes rows to a CSV file, overwriting it.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace vadalink

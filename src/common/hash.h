@@ -1,0 +1,37 @@
+// Hashing helpers shared across the fact store, blocking functions and the
+// Skolem registry.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace vadalink {
+
+/// FNV-1a 64-bit hash of a byte string.
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Mixes a new 64-bit value into an accumulated hash (boost::hash_combine
+/// style with a 64-bit constant).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+/// Final avalanche (MurmurHash3 fmix64): spreads low-entropy inputs.
+inline uint64_t HashFinalize(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace vadalink

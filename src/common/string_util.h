@@ -1,0 +1,35 @@
+// Small string helpers used by the Datalog lexer, CSV codec and linkage
+// feature normalisation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vadalink {
+
+/// Splits `s` on `delim`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-case copy.
+std::string ToUpper(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a double without trailing zeros ("0.25", "3", "0.125").
+std::string FormatDouble(double v);
+
+}  // namespace vadalink

@@ -1,0 +1,94 @@
+#include "company/close_link.h"
+
+#include <algorithm>
+#include <map>
+
+namespace vadalink::company {
+
+namespace {
+
+std::unordered_map<graph::NodeId, double> Phi(const CompanyGraph& cg,
+                                              graph::NodeId x,
+                                              const CloseLinkConfig& cfg) {
+  return cfg.exact_paths
+             ? AccumulatedOwnershipSimplePaths(cg, x, cfg.ownership)
+             : AccumulatedOwnershipWalkSum(cg, x, cfg.ownership);
+}
+
+}  // namespace
+
+std::vector<CloseLinkEdge> AllCloseLinks(const CompanyGraph& cg,
+                                         CloseLinkConfig config) {
+  // pair (x < y) -> edge; direct-ownership reasons take precedence.
+  std::map<std::pair<graph::NodeId, graph::NodeId>, CloseLinkEdge> found;
+
+  auto record = [&](graph::NodeId a, graph::NodeId b, CloseLinkReason reason,
+                    graph::NodeId via) {
+    if (a == b) return;
+    auto key = std::minmax(a, b);
+    CloseLinkEdge edge{key.first, key.second, reason, via};
+    auto it = found.find(key);
+    if (it == found.end()) {
+      found.emplace(key, edge);
+    } else if (reason == CloseLinkReason::kDirectOwnership &&
+               it->second.reason == CloseLinkReason::kCommonThirdParty) {
+      it->second = edge;
+    }
+  };
+
+  // One Phi computation per node that owns anything. Sources that are
+  // companies yield case (i)/(ii) links to their significant targets;
+  // every source yields case (iii) links among its significant targets.
+  for (graph::NodeId z = 0; z < cg.node_count(); ++z) {
+    if (cg.holdings(z).empty()) continue;
+    auto phi = Phi(cg, z, config);
+    std::vector<graph::NodeId> significant;
+    for (const auto& [target, value] : phi) {
+      if (value >= config.threshold && cg.is_company(target)) {
+        significant.push_back(target);
+      }
+    }
+    std::sort(significant.begin(), significant.end());
+    if (cg.is_company(z)) {
+      for (graph::NodeId target : significant) {
+        record(z, target, CloseLinkReason::kDirectOwnership,
+               graph::kInvalidNode);
+      }
+    }
+    for (size_t i = 0; i < significant.size(); ++i) {
+      for (size_t j = i + 1; j < significant.size(); ++j) {
+        record(significant[i], significant[j],
+               CloseLinkReason::kCommonThirdParty, z);
+      }
+    }
+  }
+
+  std::vector<CloseLinkEdge> out;
+  out.reserve(found.size());
+  for (auto& [key, edge] : found) out.push_back(edge);
+  return out;
+}
+
+bool AreCloselyLinked(const CompanyGraph& cg, graph::NodeId x,
+                      graph::NodeId y, CloseLinkConfig config) {
+  if (x == y) return false;
+  auto phi_x = Phi(cg, x, config);
+  auto it = phi_x.find(y);
+  if (it != phi_x.end() && it->second >= config.threshold) return true;
+  auto phi_y = Phi(cg, y, config);
+  it = phi_y.find(x);
+  if (it != phi_y.end() && it->second >= config.threshold) return true;
+  for (graph::NodeId z = 0; z < cg.node_count(); ++z) {
+    if (z == x || z == y || cg.holdings(z).empty()) continue;
+    auto phi_z = Phi(cg, z, config);
+    auto ix = phi_z.find(x);
+    auto iy = phi_z.find(y);
+    if (ix != phi_z.end() && iy != phi_z.end() &&
+        ix->second >= config.threshold && iy->second >= config.threshold) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vadalink::company

@@ -1,0 +1,49 @@
+// Close links (Definition 2.6, after the ECB collateral-eligibility
+// regulation): companies x and y are closely linked for threshold t iff
+//   (i)  Phi(x, y) >= t, or
+//   (ii) Phi(y, x) >= t, or
+//   (iii) some third party z (person or company) has Phi(z, x) >= t and
+//         Phi(z, y) >= t.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "company/company_graph.h"
+#include "company/ownership.h"
+
+namespace vadalink::company {
+
+enum class CloseLinkReason : uint8_t {
+  kDirectOwnership,   // (i) or (ii)
+  kCommonThirdParty,  // (iii)
+};
+
+struct CloseLinkEdge {
+  graph::NodeId x;
+  graph::NodeId y;
+  CloseLinkReason reason;
+  /// The common owner for kCommonThirdParty; kInvalidNode otherwise.
+  graph::NodeId via = graph::kInvalidNode;
+};
+
+struct CloseLinkConfig {
+  /// Regulatory threshold t (ECB: 20%).
+  double threshold = 0.2;
+  /// Use the exact simple-path Phi (true) or the walk-sum fixpoint (false).
+  bool exact_paths = true;
+  OwnershipConfig ownership;
+};
+
+/// All close links between company pairs. Pairs are reported once with
+/// x < y (the relation is symmetric, Rule (4) of Algorithm 6); a pair
+/// closely linked for several reasons is reported with the first one found
+/// (direct ownership wins over common third party).
+std::vector<CloseLinkEdge> AllCloseLinks(const CompanyGraph& cg,
+                                         CloseLinkConfig config = {});
+
+/// True iff companies x and y are closely linked.
+bool AreCloselyLinked(const CompanyGraph& cg, graph::NodeId x,
+                      graph::NodeId y, CloseLinkConfig config = {});
+
+}  // namespace vadalink::company

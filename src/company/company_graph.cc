@@ -1,0 +1,103 @@
+#include "company/company_graph.h"
+
+namespace vadalink::company {
+
+Result<std::pair<double, double>> SplitShareRights(
+    const graph::PropertyGraph& g, graph::EdgeId e, double w) {
+  double cash = w, voting = w;
+  const graph::PropertyValue& right = g.GetEdgeProperty(e, "right");
+  if (right.is_string()) {
+    const std::string& r = right.AsString();
+    if (r == "bare_ownership") {
+      voting = 0.0;
+    } else if (r == "usufruct") {
+      cash = 0.0;
+    } else if (r != "ownership") {
+      return Status::InvalidArgument("shareholding edge " +
+                                     std::to_string(e) +
+                                     " has unknown right '" + r + "'");
+    }
+  }
+  return std::make_pair(cash, voting);
+}
+
+Result<CompanyGraph> CompanyGraph::FromPropertyGraph(
+    const graph::PropertyGraph& g, const std::string& person_label,
+    const std::string& company_label, const std::string& share_label,
+    const std::string& weight_key) {
+  CompanyGraph cg;
+  const size_t n = g.node_count();
+  cg.is_person_.assign(n, false);
+  cg.is_company_.assign(n, false);
+  cg.out_.resize(n);
+  cg.in_.resize(n);
+
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const std::string& label = g.node_label(v);
+    if (label == person_label) {
+      cg.is_person_[v] = true;
+      cg.persons_.push_back(v);
+    } else if (label == company_label) {
+      cg.is_company_[v] = true;
+      cg.companies_.push_back(v);
+    }
+    // Other labels are tolerated and ignored by the ownership algorithms.
+  }
+
+  Status bad = Status::OK();
+  g.ForEachEdge([&](graph::EdgeId e) {
+    if (!bad.ok() || g.edge_label(e) != share_label) return;
+    const graph::PropertyValue& wp = g.GetEdgeProperty(e, weight_key);
+    if (!wp.is_numeric()) {
+      bad = Status::InvalidArgument(
+          "shareholding edge " + std::to_string(e) +
+          " lacks a numeric weight property '" + weight_key + "'");
+      return;
+    }
+    double w = wp.AsNumber();
+    if (w <= 0.0 || w > 1.0) {
+      bad = Status::InvalidArgument(
+          "shareholding edge " + std::to_string(e) + " weight " +
+          std::to_string(w) + " outside (0, 1]");
+      return;
+    }
+    graph::NodeId dst = g.edge_dst(e);
+    if (!cg.is_company_[dst]) {
+      bad = Status::InvalidArgument(
+          "shareholding edge " + std::to_string(e) +
+          " targets a non-company node");
+      return;
+    }
+    auto rights = SplitShareRights(g, e, w);
+    if (!rights.ok()) {
+      bad = rights.status();
+      return;
+    }
+    auto [cash, voting] = *rights;
+    Shareholding s{g.edge_src(e), dst, cash, voting};
+    cg.edges_.push_back(s);
+    cg.out_[s.src].push_back(s);
+    cg.in_[s.dst].push_back(s);
+  });
+  if (!bad.ok()) return bad;
+  return cg;
+}
+
+double CompanyGraph::DirectShare(graph::NodeId src, graph::NodeId dst) const {
+  double total = 0.0;
+  for (const Shareholding& s : out_[src]) {
+    if (s.dst == dst) total += s.w;
+  }
+  return total;
+}
+
+double CompanyGraph::DirectVotingShare(graph::NodeId src,
+                                       graph::NodeId dst) const {
+  double total = 0.0;
+  for (const Shareholding& s : out_[src]) {
+    if (s.dst == dst) total += s.voting;
+  }
+  return total;
+}
+
+}  // namespace vadalink::company

@@ -1,0 +1,89 @@
+// Typed, compact view over a property graph following the Company Graph
+// schema (Definition 2.2): Person/Company nodes, Shareholding edges with a
+// share weight in (0,1]. The reasoning algorithms in this module operate on
+// this snapshot rather than the mutable property graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace vadalink::company {
+
+/// One shareholding: owner `src` holds a fraction of company `dst`.
+///
+/// The register distinguishes the type of legal right attached to a share
+/// (Section 2 of the paper: "the type of legal right associated to each
+/// share — ownership, bare ownership and so on"). Full ownership carries
+/// both cash-flow and voting rights; bare ownership (nuda proprietà)
+/// carries cash-flow but no voting rights; usufruct carries voting but no
+/// cash-flow rights.
+struct Shareholding {
+  graph::NodeId src;
+  graph::NodeId dst;
+  /// Cash-flow fraction (drives accumulated ownership / close links).
+  double w;
+  /// Voting fraction (drives company control).
+  double voting;
+};
+
+/// Splits an edge's weight into (cash, voting) fractions according to its
+/// optional "right" property (see FromPropertyGraph). Returns
+/// InvalidArgument for an unknown right string.
+Result<std::pair<double, double>> SplitShareRights(
+    const graph::PropertyGraph& g, graph::EdgeId e, double w);
+
+/// Immutable snapshot of the ownership structure.
+class CompanyGraph {
+ public:
+  /// Builds a snapshot from `g`, reading nodes labelled `person_label` /
+  /// `company_label` and edges labelled `share_label` with numeric weight
+  /// property `weight_key`. Edges with non-positive or missing weights are
+  /// rejected. An optional string property "right" per edge refines the
+  /// legal right: "ownership" (default; cash + voting), "bare_ownership"
+  /// (cash only), "usufruct" (voting only).
+  static Result<CompanyGraph> FromPropertyGraph(
+      const graph::PropertyGraph& g, const std::string& person_label = "Person",
+      const std::string& company_label = "Company",
+      const std::string& share_label = "Shareholding",
+      const std::string& weight_key = "w");
+
+  size_t node_count() const { return is_person_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+
+  bool is_person(graph::NodeId n) const { return is_person_[n]; }
+  bool is_company(graph::NodeId n) const { return is_company_[n]; }
+
+  const std::vector<graph::NodeId>& persons() const { return persons_; }
+  const std::vector<graph::NodeId>& companies() const { return companies_; }
+
+  /// Outgoing holdings of n (what n owns).
+  const std::vector<Shareholding>& holdings(graph::NodeId n) const {
+    return out_[n];
+  }
+  /// Incoming holdings of n (who owns n).
+  const std::vector<Shareholding>& owners(graph::NodeId n) const {
+    return in_[n];
+  }
+
+  const std::vector<Shareholding>& edges() const { return edges_; }
+
+  /// Direct cash-flow fraction src -> dst (sum of parallel edges).
+  double DirectShare(graph::NodeId src, graph::NodeId dst) const;
+
+  /// Direct voting fraction src -> dst (sum of parallel edges).
+  double DirectVotingShare(graph::NodeId src, graph::NodeId dst) const;
+
+ private:
+  std::vector<bool> is_person_;
+  std::vector<bool> is_company_;
+  std::vector<graph::NodeId> persons_;
+  std::vector<graph::NodeId> companies_;
+  std::vector<Shareholding> edges_;
+  std::vector<std::vector<Shareholding>> out_;
+  std::vector<std::vector<Shareholding>> in_;
+};
+
+}  // namespace vadalink::company

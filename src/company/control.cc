@@ -1,0 +1,63 @@
+#include "company/control.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vadalink::company {
+
+namespace {
+
+/// Shared worklist fixpoint: `seeds` act as one centre of interest.
+std::vector<graph::NodeId> ControlClosure(
+    const CompanyGraph& cg, const std::vector<graph::NodeId>& seeds,
+    double threshold) {
+  // Accumulated share of each company jointly held by the controlled set.
+  std::unordered_map<graph::NodeId, double> acc;
+  std::unordered_set<graph::NodeId> in_set(seeds.begin(), seeds.end());
+  std::vector<graph::NodeId> result;
+  std::vector<graph::NodeId> worklist(seeds.begin(), seeds.end());
+
+  while (!worklist.empty()) {
+    graph::NodeId z = worklist.back();
+    worklist.pop_back();
+    for (const Shareholding& s : cg.holdings(z)) {
+      if (in_set.count(s.dst)) continue;  // already controlled (or a seed)
+      if (s.voting <= 0.0) continue;      // bare ownership: no vote
+      double total = (acc[s.dst] += s.voting);
+      if (total > threshold) {
+        in_set.insert(s.dst);
+        result.push_back(s.dst);
+        worklist.push_back(s.dst);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<graph::NodeId> ControlledBy(const CompanyGraph& cg,
+                                        graph::NodeId x, double threshold) {
+  return ControlClosure(cg, {x}, threshold);
+}
+
+std::vector<graph::NodeId> ControlledByGroup(
+    const CompanyGraph& cg, const std::vector<graph::NodeId>& group,
+    double threshold) {
+  return ControlClosure(cg, group, threshold);
+}
+
+std::vector<ControlEdge> AllControlEdges(const CompanyGraph& cg,
+                                         double threshold) {
+  std::vector<ControlEdge> out;
+  for (graph::NodeId x = 0; x < cg.node_count(); ++x) {
+    if (cg.holdings(x).empty()) continue;
+    if (!cg.is_person(x) && !cg.is_company(x)) continue;
+    for (graph::NodeId y : ControlledBy(cg, x, threshold)) {
+      out.push_back({x, y});
+    }
+  }
+  return out;
+}
+
+}  // namespace vadalink::company

@@ -1,0 +1,42 @@
+// Company control (Definition 2.3 of the paper, after Ceri et al.'s classic
+// logic-programming formulation): x controls y iff x directly owns > 50% of
+// y, or the companies x controls — possibly together with x itself — jointly
+// own > 50% of y.
+//
+// The compiled implementation mirrors Algorithm 5's Vadalog encoding: a
+// per-source worklist fixpoint over jointly-held shares (the msum).
+// Control counts VOTING rights: bare-ownership shares carry no vote,
+// usufruct shares do (see company_graph.h).
+#pragma once
+
+#include <vector>
+
+#include "company/company_graph.h"
+
+namespace vadalink::company {
+
+struct ControlEdge {
+  graph::NodeId controller;
+  graph::NodeId controlled;
+};
+
+/// All companies controlled by `x` (excluding x itself), in discovery
+/// order. The `threshold` is the voting majority (paper: 0.5, strict >).
+std::vector<graph::NodeId> ControlledBy(const CompanyGraph& cg,
+                                        graph::NodeId x,
+                                        double threshold = 0.5);
+
+/// Control closure seeded by a *group* acting as a single centre of
+/// interest (used for family control, Definition 2.8): the group's direct
+/// holdings and the holdings of companies it controls accumulate jointly.
+std::vector<graph::NodeId> ControlledByGroup(
+    const CompanyGraph& cg, const std::vector<graph::NodeId>& group,
+    double threshold = 0.5);
+
+/// All control edges of the graph: one ControlledBy() run per node that
+/// owns at least one share. Persons and companies both qualify as
+/// controllers (the paper's P1/P2 examples).
+std::vector<ControlEdge> AllControlEdges(const CompanyGraph& cg,
+                                         double threshold = 0.5);
+
+}  // namespace vadalink::company

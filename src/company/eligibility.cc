@@ -1,0 +1,36 @@
+#include "company/eligibility.h"
+
+#include <algorithm>
+
+namespace vadalink::company {
+
+EligibilityDecision ScreenGuarantor(const CompanyGraph& cg, graph::NodeId x,
+                                    graph::NodeId y,
+                                    const EligibilityConfig& config) {
+  EligibilityDecision decision;
+  if (AreCloselyLinked(cg, x, y, config.close_link)) {
+    decision.verdict = EligibilityVerdict::kIneligibleCloseLink;
+    decision.explanation =
+        "companies " + std::to_string(x) + " and " + std::to_string(y) +
+        " are closely linked (accumulated ownership over threshold " +
+        std::to_string(config.close_link.threshold) + ")";
+    return decision;
+  }
+  for (const auto& family : config.families) {
+    auto pairs = FamilyCloseLinks(cg, family, config.close_link);
+    auto key = std::minmax(x, y);
+    if (std::find(pairs.begin(), pairs.end(),
+                  std::make_pair(key.first, key.second)) != pairs.end()) {
+      decision.verdict = EligibilityVerdict::kFlaggedFamilyCloseLink;
+      decision.explanation =
+          "a detected family holds significant shares of both " +
+          std::to_string(x) + " and " + std::to_string(y) +
+          "; low risk differentiation";
+      return decision;
+    }
+  }
+  decision.explanation = "no close link found";
+  return decision;
+}
+
+}  // namespace vadalink::company

@@ -1,0 +1,38 @@
+// Collateral (asset) eligibility screening — the regulatory use case that
+// motivates close links in the paper: a company y must not guarantee a loan
+// to x when the two are closely linked, and (the paper's family extension)
+// should be flagged when a detected family ties their shareholders together.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "company/close_link.h"
+#include "company/company_graph.h"
+#include "company/family.h"
+
+namespace vadalink::company {
+
+enum class EligibilityVerdict : uint8_t {
+  kEligible,
+  kIneligibleCloseLink,          // Definition 2.6 violated
+  kFlaggedFamilyCloseLink,       // Definition 2.9 family extension
+};
+
+struct EligibilityDecision {
+  EligibilityVerdict verdict = EligibilityVerdict::kEligible;
+  std::string explanation;
+};
+
+struct EligibilityConfig {
+  CloseLinkConfig close_link;
+  /// Detected family groups (may be empty: no family screening).
+  std::vector<std::vector<graph::NodeId>> families;
+};
+
+/// Screens guarantor y for borrower x.
+EligibilityDecision ScreenGuarantor(const CompanyGraph& cg, graph::NodeId x,
+                                    graph::NodeId y,
+                                    const EligibilityConfig& config);
+
+}  // namespace vadalink::company

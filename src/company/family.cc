@@ -1,0 +1,163 @@
+#include "company/family.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+namespace vadalink::company {
+
+linkage::FeatureSchema DefaultPersonSchema() {
+  linkage::FeatureSchema schema;
+  schema.Add({.property = "last_name",
+              .metric = linkage::FeatureMetric::kNormalizedLevenshtein,
+              .threshold = 0.34,
+              .prob_if_close = 0.85,
+              .prob_if_far = 0.05});
+  schema.Add({.property = "city",
+              .metric = linkage::FeatureMetric::kExact,
+              .threshold = 0.5,
+              .prob_if_close = 0.70,
+              .prob_if_far = 0.20});
+  schema.Add({.property = "birth_city",
+              .metric = linkage::FeatureMetric::kExact,
+              .threshold = 0.5,
+              .prob_if_close = 0.55,
+              .prob_if_far = 0.45});
+  schema.Add({.property = "birth_year",
+              .metric = linkage::FeatureMetric::kAbsoluteDifference,
+              .threshold = 45.0,
+              .prob_if_close = 0.55,
+              .prob_if_far = 0.10});
+  return schema;
+}
+
+linkage::BlockingConfig DefaultPersonBlocking() {
+  linkage::BlockingConfig cfg;
+  cfg.keys = {"city", "last_name"};
+  cfg.case_insensitive = true;
+  cfg.prefix_length = 3;  // surname prefix absorbs most typos
+  return cfg;
+}
+
+std::string ClassifyLinkKind(const graph::PropertyGraph& g, graph::NodeId x,
+                             graph::NodeId y,
+                             const FamilyDetectorConfig& config) {
+  const graph::PropertyValue& bx = g.GetNodeProperty(x, "birth_year");
+  const graph::PropertyValue& by = g.GetNodeProperty(y, "birth_year");
+  int64_t gap = 0;
+  if (bx.is_numeric() && by.is_numeric()) {
+    gap = static_cast<int64_t>(
+        std::llabs(static_cast<long long>(bx.AsNumber() - by.AsNumber())));
+  }
+  if (gap >= config.generation_gap) return "ParentOf";
+  const graph::PropertyValue& sx = g.GetNodeProperty(x, "sex");
+  const graph::PropertyValue& sy = g.GetNodeProperty(y, "sex");
+  bool same_sex = !sx.is_null() && !sy.is_null() && sx == sy;
+  return same_sex ? "SiblingOf" : "PartnerOf";
+}
+
+std::vector<PersonLink> DetectPersonLinks(
+    const graph::PropertyGraph& g,
+    const std::vector<graph::NodeId>& persons,
+    const linkage::BayesLinkClassifier& classifier,
+    const linkage::Blocker* blocker, FamilyDetectorConfig config) {
+  std::vector<std::vector<graph::NodeId>> blocks;
+  if (blocker != nullptr) {
+    blocks = blocker->GroupByBlock(g, persons);
+  } else {
+    blocks.push_back(persons);
+  }
+
+  std::vector<PersonLink> links;
+  for (const auto& block : blocks) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      for (size_t j = i + 1; j < block.size(); ++j) {
+        double p = classifier.LinkProbability(g, block[i], block[j]);
+        if (p > config.probability_threshold) {
+          links.push_back({block[i], block[j],
+                           ClassifyLinkKind(g, block[i], block[j], config),
+                           p});
+        }
+      }
+    }
+  }
+  return links;
+}
+
+std::vector<std::vector<graph::NodeId>> FamilyGroups(
+    const std::vector<PersonLink>& links, size_t node_count) {
+  std::vector<uint32_t> parent(node_count);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const PersonLink& link : links) {
+    uint32_t a = find(link.x), b = find(link.y);
+    if (a != b) parent[b] = a;
+  }
+  std::unordered_map<uint32_t, std::vector<graph::NodeId>> groups;
+  for (const PersonLink& link : links) {
+    for (graph::NodeId v : {link.x, link.y}) {
+      auto& members = groups[find(v)];
+      if (std::find(members.begin(), members.end(), v) == members.end()) {
+        members.push_back(v);
+      }
+    }
+  }
+  std::vector<std::vector<graph::NodeId>> out;
+  for (auto& [root, members] : groups) {
+    if (members.size() >= 2) {
+      std::sort(members.begin(), members.end());
+      out.push_back(std::move(members));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<graph::NodeId> FamilyControlledCompanies(
+    const CompanyGraph& cg, const std::vector<graph::NodeId>& members,
+    double threshold) {
+  return ControlledByGroup(cg, members, threshold);
+}
+
+std::vector<std::pair<graph::NodeId, graph::NodeId>> FamilyCloseLinks(
+    const CompanyGraph& cg, const std::vector<graph::NodeId>& members,
+    CloseLinkConfig config) {
+  // Significant holdings per member.
+  std::vector<std::vector<graph::NodeId>> significant(members.size());
+  for (size_t m = 0; m < members.size(); ++m) {
+    auto phi = config.exact_paths
+                   ? AccumulatedOwnershipSimplePaths(cg, members[m],
+                                                     config.ownership)
+                   : AccumulatedOwnershipWalkSum(cg, members[m],
+                                                 config.ownership);
+    for (const auto& [target, value] : phi) {
+      if (value >= config.threshold && cg.is_company(target)) {
+        significant[m].push_back(target);
+      }
+    }
+  }
+  std::set<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = 0; j < members.size(); ++j) {
+      if (i == j) continue;
+      for (graph::NodeId x : significant[i]) {
+        for (graph::NodeId y : significant[j]) {
+          if (x == y) continue;
+          pairs.insert(std::minmax(x, y));
+        }
+      }
+    }
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+}  // namespace vadalink::company

@@ -1,0 +1,79 @@
+// Personal-connection detection and the family-integrated notions of
+// control and close link (Definitions 2.8 / 2.9 and Algorithms 7-9).
+//
+// Person pairs surviving the blocking stage are scored by the Bayesian
+// classifier; pairs above threshold become typed family links. Link type
+// is assigned by a birth-distance/sex heuristic, and linked persons are
+// merged into family groups that act as single centres of interest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "company/close_link.h"
+#include "company/company_graph.h"
+#include "company/control.h"
+#include "graph/property_graph.h"
+#include "linkage/bayes.h"
+#include "linkage/blocking.h"
+
+namespace vadalink::company {
+
+/// A detected personal connection.
+struct PersonLink {
+  graph::NodeId x;
+  graph::NodeId y;
+  std::string kind;    // "PartnerOf", "SiblingOf", "ParentOf"
+  double probability;  // classifier output
+};
+
+struct FamilyDetectorConfig {
+  /// Classifier decision threshold (paper: #LinkProbability(...) > 0.5).
+  double probability_threshold = 0.5;
+  /// Max |birth_year difference| for a same-generation link.
+  int64_t same_generation_span = 15;
+  /// Min |birth_year difference| for a parent/child link.
+  int64_t generation_gap = 16;
+};
+
+/// The default six-feature schema for person nodes produced by
+/// gen::GenerateRegister (last name via normalised Levenshtein, residence
+/// and birth city exact, birth year distance).
+linkage::FeatureSchema DefaultPersonSchema();
+
+/// The default blocking configuration for persons: residence city plus a
+/// Soundex-insensitive surname prefix.
+linkage::BlockingConfig DefaultPersonBlocking();
+
+/// Detects personal links among `persons`, comparing only pairs that share
+/// a block of `blocker` (all-pairs if blocker is nullptr).
+std::vector<PersonLink> DetectPersonLinks(
+    const graph::PropertyGraph& g,
+    const std::vector<graph::NodeId>& persons,
+    const linkage::BayesLinkClassifier& classifier,
+    const linkage::Blocker* blocker, FamilyDetectorConfig config = {});
+
+/// Assigns a link kind from node features (exposed for tests).
+std::string ClassifyLinkKind(const graph::PropertyGraph& g, graph::NodeId x,
+                             graph::NodeId y,
+                             const FamilyDetectorConfig& config);
+
+/// Connected components of the person-link graph with >= 2 members: the
+/// families F of Definition 2.8.
+std::vector<std::vector<graph::NodeId>> FamilyGroups(
+    const std::vector<PersonLink>& links, size_t node_count);
+
+/// Family control (Definition 2.8): companies controlled by family
+/// `members` acting as a single centre of interest.
+std::vector<graph::NodeId> FamilyControlledCompanies(
+    const CompanyGraph& cg, const std::vector<graph::NodeId>& members,
+    double threshold = 0.5);
+
+/// Family close links (Definition 2.9 part ii): company pairs (x, y) such
+/// that two distinct members i, j of the family have Phi(i,x) >= t and
+/// Phi(j,y) >= t. Pairs reported once with x < y.
+std::vector<std::pair<graph::NodeId, graph::NodeId>> FamilyCloseLinks(
+    const CompanyGraph& cg, const std::vector<graph::NodeId>& members,
+    CloseLinkConfig config = {});
+
+}  // namespace vadalink::company

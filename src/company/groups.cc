@@ -1,0 +1,143 @@
+#include "company/groups.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace vadalink::company {
+
+std::vector<UltimateOwner> UltimateOwnersOf(const CompanyGraph& cg,
+                                            graph::NodeId target,
+                                            double threshold,
+                                            OwnershipConfig config) {
+  std::vector<UltimateOwner> out;
+  for (graph::NodeId person : cg.persons()) {
+    if (cg.holdings(person).empty()) continue;
+    auto phi = AccumulatedOwnershipWalkSum(cg, person, config);
+    auto it = phi.find(target);
+    if (it != phi.end() && it->second >= threshold) {
+      out.push_back({person, it->second});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const UltimateOwner& a, const UltimateOwner& b) {
+              return a.integrated_ownership > b.integrated_ownership;
+            });
+  return out;
+}
+
+size_t ControlPyramidDepth(const CompanyGraph& cg, graph::NodeId x) {
+  // DFS over direct-majority edges with an on-path marker (each majority
+  // cycle is traversed at most once per path).
+  std::vector<bool> on_path(cg.node_count(), false);
+  on_path[x] = true;
+
+  struct Dfs {
+    const CompanyGraph& cg;
+    std::vector<bool>& on_path;
+    size_t Run(graph::NodeId v) {  // NOLINT(misc-no-recursion)
+      size_t best = 0;
+      // Sum parallel edges per target before testing majority.
+      std::vector<std::pair<graph::NodeId, double>> totals;
+      for (const Shareholding& s : cg.holdings(v)) {
+        bool merged = false;
+        for (auto& [dst, w] : totals) {
+          if (dst == s.dst) {
+            w += s.voting;  // pyramids are chains of voting majorities
+            merged = true;
+          }
+        }
+        if (!merged) totals.push_back({s.dst, s.voting});
+      }
+      for (const auto& [dst, w] : totals) {
+        if (w <= 0.5 || on_path[dst]) continue;
+        on_path[dst] = true;
+        best = std::max(best, 1 + Run(dst));
+        on_path[dst] = false;
+      }
+      return best;
+    }
+  };
+  Dfs dfs{cg, on_path};
+  return dfs.Run(x);
+}
+
+std::vector<CrossShareholdingGroup> CircularOwnershipGroups(
+    const CompanyGraph& cg) {
+  // Iterative Tarjan over the shareholding edges restricted to companies.
+  const size_t n = cg.node_count();
+  constexpr uint32_t kUnvisited = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> index(n, kUnvisited), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<graph::NodeId> stack;
+  uint32_t next_index = 0;
+
+  std::vector<CrossShareholdingGroup> out;
+  struct Frame {
+    graph::NodeId node;
+    size_t pos;
+  };
+  std::vector<Frame> dfs;
+
+  auto has_self_loop = [&](graph::NodeId v) {
+    for (const Shareholding& s : cg.holdings(v)) {
+      if (s.dst == v) return true;
+    }
+    return false;
+  };
+
+  for (graph::NodeId start = 0; start < n; ++start) {
+    if (!cg.is_company(start) || index[start] != kUnvisited) continue;
+    dfs.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto& holdings = cg.holdings(f.node);
+      if (f.pos < holdings.size()) {
+        graph::NodeId w = holdings[f.pos].dst;
+        ++f.pos;
+        if (!cg.is_company(w)) continue;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+        }
+      } else {
+        graph::NodeId v = f.node;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().node] =
+              std::min(lowlink[dfs.back().node], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<graph::NodeId> members;
+          for (;;) {
+            graph::NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            members.push_back(w);
+            if (w == v) break;
+          }
+          if (members.size() >= 2) {
+            std::sort(members.begin(), members.end());
+            out.push_back({std::move(members), false});
+          } else if (has_self_loop(members[0])) {
+            out.push_back({std::move(members), true});
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CrossShareholdingGroup& a,
+               const CrossShareholdingGroup& b) {
+              return a.members < b.members;
+            });
+  return out;
+}
+
+}  // namespace vadalink::company

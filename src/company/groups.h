@@ -1,0 +1,46 @@
+// Corporate group structure analytics — the corporate-economics analyses
+// the paper's introduction motivates (ownership concentration, dispersion
+// of control, buy-backs): ultimate beneficial owners via integrated
+// ownership, control pyramids, and circular cross-shareholding groups.
+#pragma once
+
+#include <vector>
+
+#include "company/company_graph.h"
+#include "company/ownership.h"
+
+namespace vadalink::company {
+
+/// An ultimate owner of a company: a person whose integrated (walk-sum)
+/// ownership of the company meets the threshold.
+struct UltimateOwner {
+  graph::NodeId person;
+  double integrated_ownership;
+};
+
+/// Ultimate beneficial owners of `target` at `threshold` (default: the 25%
+/// of AML regulations), sorted by decreasing stake. Integrated ownership is
+/// the all-walks fixpoint (cross-holdings accounted geometrically).
+std::vector<UltimateOwner> UltimateOwnersOf(const CompanyGraph& cg,
+                                            graph::NodeId target,
+                                            double threshold = 0.25,
+                                            OwnershipConfig config = {});
+
+/// Length of the longest chain of direct majority stakes starting at x:
+/// x -> c1 -> c2 -> ... with DirectShare > 0.5 at every hop. Depth 0 means
+/// x holds no direct majority stake. Cycles of majority stakes are
+/// traversed at most once.
+size_t ControlPyramidDepth(const CompanyGraph& cg, graph::NodeId x);
+
+/// A circular cross-shareholding group: a strongly connected set of
+/// companies (size >= 2) in the shareholding graph, or a single company
+/// owning its own shares (buy-back).
+struct CrossShareholdingGroup {
+  std::vector<graph::NodeId> members;
+  bool is_buy_back = false;  // single self-owning company
+};
+
+std::vector<CrossShareholdingGroup> CircularOwnershipGroups(
+    const CompanyGraph& cg);
+
+}  // namespace vadalink::company

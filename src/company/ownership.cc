@@ -1,0 +1,71 @@
+#include "company/ownership.h"
+
+#include <vector>
+
+namespace vadalink::company {
+
+namespace {
+
+struct DfsState {
+  const CompanyGraph* cg;
+  const OwnershipConfig* config;
+  std::vector<bool> on_path;
+  std::unordered_map<graph::NodeId, double>* acc;
+  size_t paths_expanded = 0;
+};
+
+void Dfs(DfsState* st, graph::NodeId v, double product) {
+  if (st->paths_expanded >= st->config->max_paths) return;
+  for (const Shareholding& s : st->cg->holdings(v)) {
+    double p = product * s.w;  // cash-flow rights drive ownership
+    if (p < st->config->epsilon) continue;
+    if (st->on_path[s.dst]) continue;  // simple paths only
+    ++st->paths_expanded;
+    (*st->acc)[s.dst] += p;
+    st->on_path[s.dst] = true;
+    Dfs(st, s.dst, p);
+    st->on_path[s.dst] = false;
+  }
+}
+
+}  // namespace
+
+std::unordered_map<graph::NodeId, double> AccumulatedOwnershipSimplePaths(
+    const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config) {
+  std::unordered_map<graph::NodeId, double> acc;
+  DfsState st{&cg, &config, std::vector<bool>(cg.node_count(), false), &acc};
+  st.on_path[x] = true;
+  Dfs(&st, x, 1.0);
+  return acc;
+}
+
+std::unordered_map<graph::NodeId, double> AccumulatedOwnershipWalkSum(
+    const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config) {
+  // Level-wise propagation: frontier holds the mass of walks of the
+  // current length; acc accumulates across lengths.
+  std::unordered_map<graph::NodeId, double> acc;
+  std::unordered_map<graph::NodeId, double> frontier{{x, 1.0}};
+  for (size_t depth = 0; depth < config.max_depth && !frontier.empty();
+       ++depth) {
+    std::unordered_map<graph::NodeId, double> next;
+    for (const auto& [v, mass] : frontier) {
+      for (const Shareholding& s : cg.holdings(v)) {
+        double p = mass * s.w;
+        if (p < config.epsilon) continue;
+        next[s.dst] += p;
+      }
+    }
+    for (const auto& [v, mass] : next) acc[v] += mass;
+    frontier = std::move(next);
+  }
+  return acc;
+}
+
+double AccumulatedOwnership(const CompanyGraph& cg, graph::NodeId x,
+                            graph::NodeId y, OwnershipConfig config) {
+  auto acc = AccumulatedOwnershipSimplePaths(cg, x, config);
+  auto it = acc.find(y);
+  return it == acc.end() ? 0.0 : it->second;
+}
+
+}  // namespace vadalink::company

@@ -1,0 +1,48 @@
+// Accumulated ownership (Definition 2.5): the share of y that x holds
+// directly or indirectly,
+//
+//     Phi(x, y) = sum over simple paths x ~> y of prod(edge weights).
+//
+// Two implementations are provided, deliberately:
+//  * SimplePaths — the literal Definition 2.5: exact enumeration of simple
+//    paths with product pruning. Exponential in the worst case; used as
+//    ground truth in tests and on small graphs.
+//  * WalkSum — the fixpoint the paper's declarative encoding (Algorithm 6)
+//    actually computes: Acc(x,y) = W(x,y) + sum_z W(x,z) * Acc(z,y), i.e. a
+//    geometric sum over *all* walks. On DAGs both coincide; with cycles the
+//    walk sum converges (share columns sum to <= 1) and upper-bounds the
+//    simple-path sum. The discrepancy is an ablation (see DESIGN.md #1).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "company/company_graph.h"
+
+namespace vadalink::company {
+
+struct OwnershipConfig {
+  /// Paths/walk contributions with product below this are pruned.
+  double epsilon = 1e-9;
+  /// WalkSum: maximum propagation depth (walk length).
+  size_t max_depth = 64;
+  /// SimplePaths: abort if more than this many paths are expanded.
+  size_t max_paths = 10000000;
+};
+
+/// Exact Phi(x, ·) by simple-path enumeration from x.
+/// Returns accumulated ownership per reachable node (companies only —
+/// ownership edges always target companies).
+std::unordered_map<graph::NodeId, double> AccumulatedOwnershipSimplePaths(
+    const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config = {});
+
+/// Phi(x, ·) approximated by the all-walks geometric sum (the fixpoint
+/// semantics of the paper's Algorithm 6).
+std::unordered_map<graph::NodeId, double> AccumulatedOwnershipWalkSum(
+    const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config = {});
+
+/// Convenience: Phi(x, y) by simple paths.
+double AccumulatedOwnership(const CompanyGraph& cg, graph::NodeId x,
+                            graph::NodeId y, OwnershipConfig config = {});
+
+}  // namespace vadalink::company

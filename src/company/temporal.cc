@@ -1,0 +1,53 @@
+#include "company/temporal.h"
+
+#include <algorithm>
+
+#include "company/company_graph.h"
+#include "company/control.h"
+
+namespace vadalink::company {
+
+namespace {
+
+int64_t EntityOf(const graph::PropertyGraph& g, graph::NodeId n) {
+  const graph::PropertyValue& eid = g.GetNodeProperty(n, "eid");
+  return eid.is_int() ? eid.AsInt() : static_cast<int64_t>(n);
+}
+
+}  // namespace
+
+Result<std::set<EntityPair>> ControlEdgesByEntity(
+    const graph::PropertyGraph& g, double threshold) {
+  VL_ASSIGN_OR_RETURN(CompanyGraph cg, CompanyGraph::FromPropertyGraph(g));
+  std::set<EntityPair> out;
+  for (const ControlEdge& e : AllControlEdges(cg, threshold)) {
+    out.insert({EntityOf(g, e.controller), EntityOf(g, e.controlled)});
+  }
+  return out;
+}
+
+ControlDiff DiffControl(const std::set<EntityPair>& before,
+                        const std::set<EntityPair>& after) {
+  ControlDiff diff;
+  std::set_difference(after.begin(), after.end(), before.begin(),
+                      before.end(), std::back_inserter(diff.gained));
+  std::set_difference(before.begin(), before.end(), after.begin(),
+                      after.end(), std::back_inserter(diff.lost));
+  return diff;
+}
+
+std::set<EntityPair> StableControlEdges(
+    const std::vector<std::set<EntityPair>>& per_year) {
+  if (per_year.empty()) return {};
+  std::set<EntityPair> stable = per_year.front();
+  for (size_t i = 1; i < per_year.size(); ++i) {
+    std::set<EntityPair> next;
+    std::set_intersection(stable.begin(), stable.end(),
+                          per_year[i].begin(), per_year[i].end(),
+                          std::inserter(next, next.begin()));
+    stable = std::move(next);
+  }
+  return stable;
+}
+
+}  // namespace vadalink::company

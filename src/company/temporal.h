@@ -1,0 +1,40 @@
+// Temporal analytics over a panel of yearly register snapshots: control
+// relationships keyed by stable entity ids, year-over-year change
+// detection, and persistence. The paper's dataset is a 2005-2018 panel;
+// supervisors track exactly these deltas (who gained control of what).
+//
+// Snapshots must carry the "eid" integer node property (stable entity id,
+// as produced by gen::SimulateEvolution); nodes without it fall back to
+// their node id.
+#pragma once
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace vadalink::company {
+
+/// (controller entity id, controlled entity id).
+using EntityPair = std::pair<int64_t, int64_t>;
+
+/// Control edges of one snapshot, keyed by entity ids.
+Result<std::set<EntityPair>> ControlEdgesByEntity(
+    const graph::PropertyGraph& g, double threshold = 0.5);
+
+struct ControlDiff {
+  std::vector<EntityPair> gained;
+  std::vector<EntityPair> lost;
+};
+
+/// Year-over-year difference between two control-edge sets.
+ControlDiff DiffControl(const std::set<EntityPair>& before,
+                        const std::set<EntityPair>& after);
+
+/// Control edges present in every year of the panel.
+std::set<EntityPair> StableControlEdges(
+    const std::vector<std::set<EntityPair>>& per_year);
+
+}  // namespace vadalink::company

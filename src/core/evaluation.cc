@@ -1,0 +1,60 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vadalink::core {
+
+LinkPair MakeLinkPair(graph::NodeId a, graph::NodeId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+EvaluationResult EvaluateLinks(const std::set<LinkPair>& predicted,
+                               const std::set<LinkPair>& truth) {
+  EvaluationResult res;
+  for (const LinkPair& p : predicted) {
+    if (truth.count(p)) {
+      ++res.true_positives;
+    } else {
+      ++res.false_positives;
+    }
+  }
+  res.false_negatives = truth.size() - res.true_positives;
+  res.precision = predicted.empty()
+                      ? 1.0
+                      : static_cast<double>(res.true_positives) /
+                            static_cast<double>(predicted.size());
+  res.recall = truth.empty() ? 1.0
+                             : static_cast<double>(res.true_positives) /
+                                   static_cast<double>(truth.size());
+  res.f1 = (res.precision + res.recall) > 0.0
+               ? 2.0 * res.precision * res.recall /
+                     (res.precision + res.recall)
+               : 0.0;
+  return res;
+}
+
+std::set<LinkPair> CollectEdges(const graph::PropertyGraph& g,
+                                const std::vector<std::string>& labels) {
+  std::set<LinkPair> out;
+  g.ForEachEdge([&](graph::EdgeId e) {
+    for (const std::string& label : labels) {
+      if (g.edge_label(e) == label) {
+        out.insert(MakeLinkPair(g.edge_src(e), g.edge_dst(e)));
+        return;
+      }
+    }
+  });
+  return out;
+}
+
+std::string EvaluationResult::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "tp=%zu fp=%zu fn=%zu precision=%.4f recall=%.4f f1=%.4f",
+                true_positives, false_positives, false_negatives, precision,
+                recall, f1);
+  return buf;
+}
+
+}  // namespace vadalink::core

@@ -1,0 +1,42 @@
+// Evaluation harness for link prediction: precision / recall / F1 of
+// predicted edges against a ground-truth link set — the validation
+// methodology of Section 6.2 ("we consider a graph with some edges
+// removed ... we are interested in recall").
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace vadalink::core {
+
+/// An undirected ground-truth or predicted link (normalised x < y).
+using LinkPair = std::pair<graph::NodeId, graph::NodeId>;
+
+struct EvaluationResult {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  double precision = 0.0;  // tp / (tp + fp); 1.0 when nothing predicted
+  double recall = 0.0;     // tp / (tp + fn); 1.0 when nothing to find
+  double f1 = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Normalises a pair to x < y.
+LinkPair MakeLinkPair(graph::NodeId a, graph::NodeId b);
+
+/// Compares predicted vs truth sets.
+EvaluationResult EvaluateLinks(const std::set<LinkPair>& predicted,
+                               const std::set<LinkPair>& truth);
+
+/// Collects the edges of `g` whose label is in `labels` as normalised
+/// pairs (e.g. {"PartnerOf", "ParentOf", "SiblingOf"} for family links).
+std::set<LinkPair> CollectEdges(const graph::PropertyGraph& g,
+                                const std::vector<std::string>& labels);
+
+}  // namespace vadalink::core

@@ -1,0 +1,73 @@
+#include "core/knowledge_graph.h"
+
+#include "core/mapping.h"
+#include "datalog/parser.h"
+
+namespace vadalink::core {
+
+KnowledgeGraph::KnowledgeGraph() = default;
+
+Status KnowledgeGraph::AddRules(std::string_view vadalog_source) {
+  VL_ASSIGN_OR_RETURN(datalog::Program program,
+                      datalog::ParseProgram(vadalog_source, &catalog_));
+  for (auto& rule : program.rules) {
+    combined_.rules.push_back(std::move(rule));
+  }
+  for (auto& fact : program.facts) {
+    combined_.facts.push_back(std::move(fact));
+  }
+  for (uint32_t out : program.outputs) {
+    combined_.outputs.push_back(out);
+  }
+  return Status::OK();
+}
+
+size_t KnowledgeGraph::rule_count() const { return combined_.rules.size(); }
+
+datalog::WardednessReport KnowledgeGraph::CheckWardedness() const {
+  return datalog::AnalyzeWardedness(combined_, catalog_);
+}
+
+void KnowledgeGraph::RegisterFunction(std::string name,
+                                      datalog::ExternalFn fn) {
+  extra_fns_.emplace_back(std::move(name), std::move(fn));
+}
+
+Result<ReasonStats> KnowledgeGraph::Reason() {
+  ReasonStats stats;
+
+  db_ = std::make_unique<datalog::Database>(&catalog_);
+  VL_RETURN_NOT_OK(LoadGraphFacts(graph_, db_.get()));
+  stats.facts_before = db_->TotalFacts();
+
+  datalog::EngineOptions options;
+  options.trace_provenance = true;
+  engine_ = std::make_unique<datalog::Engine>(db_.get(), options);
+  for (const auto& [name, fn] : extra_fns_) {
+    engine_->functions()->Register(name, fn);
+  }
+  VL_RETURN_NOT_OK(engine_->Run(combined_));
+  stats.engine = engine_->stats();
+  stats.facts_after = db_->TotalFacts();
+
+  VL_ASSIGN_OR_RETURN(stats.links_materialised,
+                      StorePredictedLinks(*db_, &graph_));
+  return stats;
+}
+
+std::vector<std::vector<datalog::Value>> KnowledgeGraph::Query(
+    std::string_view predicate) const {
+  if (!db_) return {};
+  return db_->TuplesOf(predicate);
+}
+
+std::string KnowledgeGraph::Explain(
+    std::string_view predicate,
+    const std::vector<datalog::Value>& tuple) const {
+  if (!engine_) return "(call Reason() first)\n";
+  uint32_t pred = catalog_.predicates.Lookup(predicate);
+  if (pred == UINT32_MAX) return "(unknown predicate)\n";
+  return engine_->Explain(pred, tuple);
+}
+
+}  // namespace vadalink::core

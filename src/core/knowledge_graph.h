@@ -1,0 +1,87 @@
+// The enterprise-facing facade of Figure 3 in the paper: a Knowledge Graph
+// = extensional component (the property graph) + intensional component
+// (a repository of Vadalog rule programs), with a reasoning API that runs
+// the rules, materialises predicted links back into the graph, and
+// explains derived facts.
+//
+//   KnowledgeGraph kg;
+//   BuildCompanyGraph(kg.mutable_graph());
+//   kg.AddRules(ControlProgram());           // intensional component
+//   kg.Reason();                             // chase to fixpoint
+//   kg.Query("control");                     // reasoning API
+//   kg.Explain("control", {x, y});           // provenance
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/engine.h"
+#include "datalog/warded.h"
+#include "graph/property_graph.h"
+
+namespace vadalink::core {
+
+struct ReasonStats {
+  size_t facts_before = 0;
+  size_t facts_after = 0;
+  size_t links_materialised = 0;
+  datalog::EngineStats engine;
+};
+
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph();
+
+  /// The extensional component. Mutations are picked up by the next
+  /// Reason() call (facts are re-extracted from the graph each run).
+  graph::PropertyGraph* mutable_graph() { return &graph_; }
+  const graph::PropertyGraph& graph() const { return graph_; }
+
+  /// Appends a rule program to the intensional component. Parsed eagerly;
+  /// returns ParseError (with line info) on bad syntax.
+  Status AddRules(std::string_view vadalog_source);
+
+  /// Number of rules across all added programs.
+  size_t rule_count() const;
+
+  /// Wardedness report over the combined intensional component (the
+  /// PTIME-tractability check of the paper).
+  datalog::WardednessReport CheckWardedness() const;
+
+  /// Registers an external '#function' available to the rules.
+  void RegisterFunction(std::string name, datalog::ExternalFn fn);
+
+  /// Runs all programs to fixpoint against the current graph and
+  /// materialises derived control/closelink/partnerof/parentof/siblingof
+  /// facts as typed edges. Each call starts from a fresh fact base.
+  Result<ReasonStats> Reason();
+
+  /// Tuples of a predicate after the last Reason() (empty before).
+  std::vector<std::vector<datalog::Value>> Query(
+      std::string_view predicate) const;
+
+  /// Provenance tree for a fact derived by the last Reason().
+  std::string Explain(std::string_view predicate,
+                      const std::vector<datalog::Value>& tuple) const;
+
+  /// Value helpers bound to this KG's catalog.
+  datalog::Value Str(std::string_view s) {
+    return datalog::Value::Symbol(catalog_.symbols.Intern(s));
+  }
+  static datalog::Value Int(int64_t v) { return datalog::Value::Int(v); }
+
+  const datalog::Catalog& catalog() const { return catalog_; }
+
+ private:
+  graph::PropertyGraph graph_;
+  datalog::Catalog catalog_;
+  datalog::Program combined_;  // all programs merged
+  std::vector<std::pair<std::string, datalog::ExternalFn>> extra_fns_;
+  std::unique_ptr<datalog::Database> db_;      // last run's fact base
+  std::unique_ptr<datalog::Engine> engine_;    // last run's engine
+};
+
+}  // namespace vadalink::core

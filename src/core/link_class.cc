@@ -1,0 +1,30 @@
+#include "core/link_class.h"
+
+namespace vadalink::core {
+
+const char* LinkClassName(LinkClass c) {
+  switch (c) {
+    case LinkClass::kControl: return "Control";
+    case LinkClass::kCloseLink: return "CloseLink";
+    case LinkClass::kPartnerOf: return "PartnerOf";
+    case LinkClass::kParentOf: return "ParentOf";
+    case LinkClass::kSiblingOf: return "SiblingOf";
+  }
+  return "?";
+}
+
+Result<LinkClass> LinkClassFromName(const std::string& name) {
+  if (name == "Control") return LinkClass::kControl;
+  if (name == "CloseLink") return LinkClass::kCloseLink;
+  if (name == "PartnerOf") return LinkClass::kPartnerOf;
+  if (name == "ParentOf") return LinkClass::kParentOf;
+  if (name == "SiblingOf") return LinkClass::kSiblingOf;
+  return Status::InvalidArgument("unknown link class: " + name);
+}
+
+bool IsFamilyClass(LinkClass c) {
+  return c == LinkClass::kPartnerOf || c == LinkClass::kParentOf ||
+         c == LinkClass::kSiblingOf;
+}
+
+}  // namespace vadalink::core

@@ -1,0 +1,28 @@
+// Link classes predicted by VADA-LINK (the set C of Algorithm 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace vadalink::core {
+
+enum class LinkClass : uint8_t {
+  kControl,
+  kCloseLink,
+  kPartnerOf,
+  kParentOf,
+  kSiblingOf,
+};
+
+/// Edge label used in the property graph for a link class ("Control", ...).
+const char* LinkClassName(LinkClass c);
+
+/// Inverse of LinkClassName.
+Result<LinkClass> LinkClassFromName(const std::string& name);
+
+/// True for the person-to-person (family) classes.
+bool IsFamilyClass(LinkClass c);
+
+}  // namespace vadalink::core

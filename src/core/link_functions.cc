@@ -1,0 +1,142 @@
+#include "core/link_functions.h"
+
+#include "common/string_util.h"
+#include "linkage/string_metrics.h"
+
+namespace vadalink::core {
+
+using datalog::FunctionContext;
+using datalog::Value;
+
+namespace {
+
+graph::PropertyValue ToPropertyValue(const Value& v,
+                                     const datalog::SymbolTable& symbols) {
+  switch (v.kind()) {
+    case Value::Kind::kBool:
+      return graph::PropertyValue(v.AsBool());
+    case Value::Kind::kInt:
+      return graph::PropertyValue(v.AsInt());
+    case Value::Kind::kDouble:
+      return graph::PropertyValue(v.AsDouble());
+    case Value::Kind::kSymbol:
+      return graph::PropertyValue(symbols.Name(v.symbol_id()));
+    default:
+      return graph::PropertyValue();  // null
+  }
+}
+
+Result<std::string> StrArg(const char* fn, FunctionContext& ctx,
+                           const Value& v) {
+  if (!v.is_symbol()) {
+    return Status::InvalidArgument(std::string("#") + fn +
+                                   ": expected string argument");
+  }
+  return ctx.symbols->Name(v.symbol_id());
+}
+
+}  // namespace
+
+datalog::ExternalFn MakeLinkProbabilityFn(
+    linkage::BayesLinkClassifier classifier) {
+  return [classifier = std::move(classifier)](
+             FunctionContext& ctx,
+             const std::vector<Value>& args) -> Result<Value> {
+    const auto& features = classifier.schema().features();
+    if (args.size() != 2 * features.size()) {
+      return Status::InvalidArgument(
+          "#linkprobability: expected " +
+          std::to_string(2 * features.size()) + " arguments (schema has " +
+          std::to_string(features.size()) + " features), got " +
+          std::to_string(args.size()));
+    }
+    std::vector<bool> close;
+    close.reserve(features.size());
+    for (size_t i = 0; i < features.size(); ++i) {
+      graph::PropertyValue a = ToPropertyValue(args[i], *ctx.symbols);
+      graph::PropertyValue b =
+          ToPropertyValue(args[features.size() + i], *ctx.symbols);
+      double d = linkage::FeatureDistance(a, b, features[i].metric);
+      close.push_back(d < features[i].threshold);
+    }
+    return Value::Double(classifier.CombineEvidence(close));
+  };
+}
+
+void RegisterLinkageFunctions(datalog::FunctionRegistry* registry,
+                              linkage::BayesLinkClassifier classifier) {
+  registry->Register("linkprobability",
+                     MakeLinkProbabilityFn(std::move(classifier)));
+
+  registry->Register(
+      "levenshtein",
+      [](FunctionContext& ctx,
+         const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 2) {
+          return Status::InvalidArgument("#levenshtein: expected 2 args");
+        }
+        VL_ASSIGN_OR_RETURN(std::string a,
+                            StrArg("levenshtein", ctx, args[0]));
+        VL_ASSIGN_OR_RETURN(std::string b,
+                            StrArg("levenshtein", ctx, args[1]));
+        return Value::Int(
+            static_cast<int64_t>(linkage::Levenshtein(a, b)));
+      });
+
+  registry->Register(
+      "levratio",
+      [](FunctionContext& ctx,
+         const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 2) {
+          return Status::InvalidArgument("#levratio: expected 2 args");
+        }
+        VL_ASSIGN_OR_RETURN(std::string a, StrArg("levratio", ctx, args[0]));
+        VL_ASSIGN_OR_RETURN(std::string b, StrArg("levratio", ctx, args[1]));
+        return Value::Double(linkage::NormalizedLevenshtein(a, b));
+      });
+
+  registry->Register(
+      "jarowinkler",
+      [](FunctionContext& ctx,
+         const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 2) {
+          return Status::InvalidArgument("#jarowinkler: expected 2 args");
+        }
+        VL_ASSIGN_OR_RETURN(std::string a,
+                            StrArg("jarowinkler", ctx, args[0]));
+        VL_ASSIGN_OR_RETURN(std::string b,
+                            StrArg("jarowinkler", ctx, args[1]));
+        return Value::Double(linkage::JaroWinkler(a, b));
+      });
+
+  registry->Register(
+      "soundex",
+      [](FunctionContext& ctx,
+         const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument("#soundex: expected 1 arg");
+        }
+        VL_ASSIGN_OR_RETURN(std::string s, StrArg("soundex", ctx, args[0]));
+        return Value::Symbol(ctx.symbols->Intern(linkage::Soundex(s)));
+      });
+}
+
+std::string FamilyLinkProgram(double threshold) {
+  // Algorithm 7 over the generic encoding: all person pairs (X < Y keeps
+  // the comparison one-sided), scored by #linkprobability on the four
+  // default-person-schema features.
+  std::string t = FormatDouble(threshold);
+  return std::string(R"(
+% ---- personal links (Algorithm 7 / Section 2 Bayesian model) ----
+nodetype(X, "Person"), nodetype(Y, "Person"), X < Y,
+  nodefeature(X, "last_name", LX), nodefeature(Y, "last_name", LY),
+  nodefeature(X, "city", CX), nodefeature(Y, "city", CY),
+  nodefeature(X, "birth_city", BX), nodefeature(Y, "birth_city", BY),
+  nodefeature(X, "birth_year", YX), nodefeature(Y, "birth_year", YY),
+  P = #linkprobability(LX, CX, BX, YX, LY, CY, BY, YY), P > )") + t +
+         R"( -> partnerof(X, Y).
+@output("partnerof").
+)";
+}
+
+}  // namespace vadalink::core

@@ -1,0 +1,36 @@
+// Domain functions plugged into the reasoning engine — the paper's pattern
+// of exposing #LinkProbability (Algorithm 7) and string similarity to
+// Vadalog rules. Registered on a per-engine basis (see KnowledgeGraph /
+// Engine::functions()).
+#pragma once
+
+#include "datalog/builtins.h"
+#include "linkage/bayes.h"
+
+namespace vadalink::core {
+
+/// Builds the #linkprobability function for `classifier`'s schema: takes
+/// 2*N arguments (the N feature values of node x followed by the N feature
+/// values of node y, in schema order) and returns the Graham-combined link
+/// probability as a double — Algorithm 7's
+///   #LinkProbability(f1_x..fm_x, f1_y..fm_y) > 0.5 -> Candidate(...).
+datalog::ExternalFn MakeLinkProbabilityFn(
+    linkage::BayesLinkClassifier classifier);
+
+/// Registers the linkage function suite on `registry`:
+///   #linkprobability(fx..., fy...)   (for `classifier`)
+///   #levenshtein(a, b)               edit distance as int
+///   #levratio(a, b)                  normalised edit distance as double
+///   #jarowinkler(a, b)               similarity as double
+///   #soundex(s)                      phonetic code as string
+void RegisterLinkageFunctions(datalog::FunctionRegistry* registry,
+                              linkage::BayesLinkClassifier classifier);
+
+/// The declarative Algorithm 7: detects partnerof(X, Y) links between
+/// persons from the generic nodefeature encoding, using #linkprobability
+/// over the default person schema (last_name, city, birth_city,
+/// birth_year). Quadratic (no blocking) — the engine-side counterpart the
+/// clustered pipeline is benchmarked against.
+std::string FamilyLinkProgram(double threshold = 0.5);
+
+}  // namespace vadalink::core

@@ -1,0 +1,159 @@
+#include "core/mapping.h"
+
+#include "company/company_graph.h"
+
+namespace vadalink::core {
+
+using datalog::Value;
+
+Value ToEngineValue(const graph::PropertyValue& v,
+                    datalog::Catalog* catalog) {
+  switch (v.type()) {
+    case graph::PropertyValue::Type::kNull:
+      return Value::Symbol(catalog->symbols.Intern("null"));
+    case graph::PropertyValue::Type::kBool:
+      return Value::Bool(v.AsBool());
+    case graph::PropertyValue::Type::kInt:
+      return Value::Int(v.AsInt());
+    case graph::PropertyValue::Type::kDouble:
+      return Value::Double(v.AsDouble());
+    case graph::PropertyValue::Type::kString:
+      return Value::Symbol(catalog->symbols.Intern(v.AsString()));
+  }
+  return Value();
+}
+
+Status LoadGraphFacts(const graph::PropertyGraph& g, datalog::Database* db,
+                      MappingOptions options) {
+  datalog::Catalog* cat = db->catalog();
+  const uint32_t company_p = cat->predicates.Intern("company");
+  const uint32_t person_p = cat->predicates.Intern("person");
+  const uint32_t own_p = cat->predicates.Intern("own");
+  const uint32_t voting_p = cat->predicates.Intern("voting");
+  const uint32_t node_p = cat->predicates.Intern("node");
+  const uint32_t nodetype_p = cat->predicates.Intern("nodetype");
+  const uint32_t nodefeature_p = cat->predicates.Intern("nodefeature");
+  const uint32_t link_p = cat->predicates.Intern("link");
+  const uint32_t edgetype_p = cat->predicates.Intern("edgetype");
+  const uint32_t edgefeature_p = cat->predicates.Intern("edgefeature");
+
+  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
+    Value id = Value::Int(static_cast<int64_t>(n));
+    const std::string& label = g.node_label(n);
+    if (label == "Company") {
+      VL_RETURN_NOT_OK(db->Insert(company_p, {id}).status());
+    } else if (label == "Person") {
+      VL_RETURN_NOT_OK(db->Insert(person_p, {id}).status());
+    }
+    if (options.generic_encoding) {
+      VL_RETURN_NOT_OK(db->Insert(node_p, {id}).status());
+      VL_RETURN_NOT_OK(
+          db->Insert(nodetype_p,
+                     {id, Value::Symbol(cat->symbols.Intern(label))})
+              .status());
+      for (const auto& [key, value] : g.node_properties(n)) {
+        VL_RETURN_NOT_OK(
+            db->Insert(nodefeature_p,
+                       {id, Value::Symbol(cat->symbols.Intern(key)),
+                        ToEngineValue(value, cat)})
+                .status());
+      }
+    }
+  }
+
+  Status st = Status::OK();
+  g.ForEachEdge([&](graph::EdgeId e) {
+    if (!st.ok()) return;
+    Value eid = Value::Int(static_cast<int64_t>(e));
+    Value src = Value::Int(static_cast<int64_t>(g.edge_src(e)));
+    Value dst = Value::Int(static_cast<int64_t>(g.edge_dst(e)));
+    const std::string& label = g.edge_label(e);
+    if (label == "Shareholding") {
+      const graph::PropertyValue& w =
+          g.GetEdgeProperty(e, options.weight_key);
+      double weight = w.is_numeric() ? w.AsNumber() : 0.0;
+      auto rights = company::SplitShareRights(g, e, weight);
+      if (!rights.ok()) {
+        st = rights.status();
+        return;
+      }
+      auto [cash, voting_w] = *rights;
+      auto r = db->Insert(own_p, {src, dst, Value::Double(cash)});
+      if (!r.ok()) {
+        st = r.status();
+        return;
+      }
+      if (voting_w > 0.0) {
+        r = db->Insert(voting_p, {src, dst, Value::Double(voting_w)});
+        if (!r.ok()) {
+          st = r.status();
+          return;
+        }
+      }
+    }
+    if (options.generic_encoding) {
+      const graph::PropertyValue& w =
+          g.GetEdgeProperty(e, options.weight_key);
+      double weight = w.is_numeric() ? w.AsNumber() : 1.0;
+      auto r = db->Insert(link_p, {eid, src, dst, Value::Double(weight)});
+      if (!r.ok()) {
+        st = r.status();
+        return;
+      }
+      r = db->Insert(edgetype_p,
+                     {eid, Value::Symbol(cat->symbols.Intern(label))});
+      if (!r.ok()) {
+        st = r.status();
+        return;
+      }
+      for (const auto& [key, value] : g.edge_properties(e)) {
+        r = db->Insert(edgefeature_p,
+                       {eid, Value::Symbol(cat->symbols.Intern(key)),
+                        ToEngineValue(value, cat)});
+        if (!r.ok()) {
+          st = r.status();
+          return;
+        }
+      }
+    }
+  });
+  return st;
+}
+
+Result<size_t> StorePredictedLinks(datalog::Database& db,
+                                   graph::PropertyGraph* g) {
+  struct PredMap {
+    const char* predicate;
+    const char* edge_label;
+  };
+  static constexpr PredMap kMaps[] = {
+      {"control", "Control"},
+      {"closelink", "CloseLink"},
+      {"partnerof", "PartnerOf"},
+      {"parentof", "ParentOf"},
+      {"siblingof", "SiblingOf"},
+  };
+  size_t added = 0;
+  for (const PredMap& m : kMaps) {
+    for (const auto& tuple : db.TuplesOf(m.predicate)) {
+      if (tuple.size() < 2 || !tuple[0].is_int() || !tuple[1].is_int()) {
+        // Tuples over non-node-id constants (e.g. from a program carrying
+        // its own symbolic facts) have no graph counterpart: skip them.
+        continue;
+      }
+      auto x = static_cast<graph::NodeId>(tuple[0].AsInt());
+      auto y = static_cast<graph::NodeId>(tuple[1].AsInt());
+      if (!g->IsValidNode(x) || !g->IsValidNode(y)) {
+        return Status::OutOfRange(std::string("predicate ") + m.predicate +
+                                  " references unknown node id");
+      }
+      if (g->FindEdge(x, y, m.edge_label) != graph::kInvalidEdge) continue;
+      VL_ASSIGN_OR_RETURN(graph::EdgeId e, g->AddEdge(x, y, m.edge_label));
+      g->SetEdgeProperty(e, "predicted", true);
+      ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace vadalink::core

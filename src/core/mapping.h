@@ -1,0 +1,52 @@
+// Input/output mapping between the property graph and the relational
+// representation used by the reasoning engine (Section 3 and Algorithms
+// 2 / 4 of the paper).
+//
+// Two encodings are produced on load:
+//  * the domain encoding — company(Id), person(Id), own(Src, Dst, W) with
+//    the cash-flow fraction, and voting(Src, Dst, V) with the voting
+//    fraction (emitted when positive; equal to W for plain full-ownership
+//    shares) — the "ground extensional component" of Algorithm 2;
+//  * the generic encoding — node(Id), nodetype(Id, Label),
+//    nodefeature(Id, Key, Value), link(EdgeId, Src, Dst, W),
+//    edgetype(EdgeId, Label), edgefeature(EdgeId, Key, Value) — the
+//    schema-independent "promotion" the framework reasons over.
+//
+// The output mapping reads predicted link predicates (control/2,
+// closelink/2, partnerof/2, parentof/2, siblingof/2) back into property-
+// graph edges.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "datalog/database.h"
+#include "graph/property_graph.h"
+
+namespace vadalink::core {
+
+struct MappingOptions {
+  /// Emit the generic node/link/feature encoding as well.
+  bool generic_encoding = true;
+  /// Edge property carrying the share weight.
+  std::string weight_key = "w";
+};
+
+/// Input mapping: loads `g` into `db`. Node ids become integer constants
+/// (the property-graph NodeId), so the round trip is lossless.
+Status LoadGraphFacts(const graph::PropertyGraph& g,
+                      datalog::Database* db, MappingOptions options = {});
+
+/// Output mapping: for each supported link predicate present in `db`, adds
+/// the corresponding labelled edges to `g` (skipping duplicates, and
+/// skipping tuples whose arguments are not integer node ids). Returns the
+/// number of edges added.
+Result<size_t> StorePredictedLinks(datalog::Database& db,
+                                   graph::PropertyGraph* g);
+
+/// Converts a property value to an engine value (strings intern into the
+/// catalog; null maps to the "null" symbol).
+datalog::Value ToEngineValue(const graph::PropertyValue& v,
+                             datalog::Catalog* catalog);
+
+}  // namespace vadalink::core

@@ -1,0 +1,37 @@
+#include "core/naive_baseline.h"
+
+#include "core/link_class.h"
+
+namespace vadalink::core {
+
+Result<NaiveStats> NaiveAugment(graph::PropertyGraph* g,
+                                Candidate* candidate, bool persons_only) {
+  if (!candidate->is_pairwise()) {
+    return Status::InvalidArgument(
+        "NaiveAugment requires a pairwise candidate");
+  }
+  NaiveStats stats;
+  std::vector<graph::NodeId> nodes;
+  for (graph::NodeId n = 0; n < g->node_count(); ++n) {
+    if (!persons_only || g->node_label(n) == "Person") nodes.push_back(n);
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      ++stats.pairs_compared;
+      auto link = candidate->TestPair(*g, nodes[i], nodes[j]);
+      if (!link.has_value()) continue;
+      const char* label = LinkClassName(link->cls);
+      if (g->FindEdge(link->x, link->y, label) != graph::kInvalidEdge) {
+        continue;
+      }
+      VL_ASSIGN_OR_RETURN(graph::EdgeId e,
+                          g->AddEdge(link->x, link->y, label));
+      g->SetEdgeProperty(e, "predicted", true);
+      g->SetEdgeProperty(e, "score", link->score);
+      ++stats.links_added;
+    }
+  }
+  return stats;
+}
+
+}  // namespace vadalink::core

@@ -1,0 +1,26 @@
+// The exhaustive all-pairs baseline (the red "naive" line of Figure 4a):
+// every pair of person nodes is fed to the pairwise candidates with no
+// clustering and no blocking. Quadratic by construction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/candidates.h"
+#include "graph/property_graph.h"
+
+namespace vadalink::core {
+
+struct NaiveStats {
+  size_t pairs_compared = 0;
+  size_t links_added = 0;
+};
+
+/// Runs `candidate` over all pairs of nodes (restricted to Person nodes
+/// when `persons_only`), adding predicted edges to g.
+Result<NaiveStats> NaiveAugment(graph::PropertyGraph* g,
+                                Candidate* candidate,
+                                bool persons_only = true);
+
+}  // namespace vadalink::core

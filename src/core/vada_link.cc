@@ -1,0 +1,100 @@
+#include "core/vada_link.h"
+
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "company/family.h"
+
+namespace vadalink::core {
+
+bool VadaLink::AddLink(graph::PropertyGraph* g, const PredictedLink& link) {
+  const char* label = LinkClassName(link.cls);
+  if (g->FindEdge(link.x, link.y, label) != graph::kInvalidEdge) {
+    return false;
+  }
+  auto e = g->AddEdge(link.x, link.y, label);
+  if (!e.ok()) return false;
+  g->SetEdgeProperty(e.value(), "predicted", true);
+  g->SetEdgeProperty(e.value(), "score", link.score);
+  return true;
+}
+
+Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g) {
+  AugmentStats stats;
+  embed::EmbedClusterer clusterer(config_.embedding);
+  linkage::Blocker blocker(config_.blocking);
+  WallTimer timer;
+
+  bool changed = true;
+  while (changed && stats.rounds < config_.max_rounds) {
+    changed = false;
+    ++stats.rounds;
+
+    // ---- first-level clustering (#GraphEmbedClust) ----------------------
+    timer.Restart();
+    std::vector<uint32_t> cluster_of(g->node_count(), 0);
+    size_t cluster_count = 1;
+    if (config_.use_embedding && g->node_count() > 1) {
+      cluster_of = clusterer.Cluster(*g);
+      cluster_count = clusterer.last_kmeans().k_effective;
+    }
+    stats.embed_seconds += timer.ElapsedSeconds();
+    stats.first_level_clusters = cluster_count;
+
+    // ---- second-level blocking (#GenerateBlocks) -------------------------
+    timer.Restart();
+    // (cluster, block) -> node list
+    std::unordered_map<uint64_t, std::vector<graph::NodeId>> blocks;
+    for (graph::NodeId n = 0; n < g->node_count(); ++n) {
+      uint64_t block = config_.use_blocking ? blocker.BlockOf(*g, n) : 0;
+      uint64_t key = (static_cast<uint64_t>(cluster_of[n]) << 40) ^ block;
+      blocks[key].push_back(n);
+    }
+    stats.block_seconds += timer.ElapsedSeconds();
+    stats.second_level_blocks = blocks.size();
+
+    // ---- candidate evaluation --------------------------------------------
+    timer.Restart();
+    for (const auto& candidate : candidates_) {
+      if (candidate->is_pairwise()) {
+        for (const auto& [key, members] : blocks) {
+          for (size_t i = 0; i < members.size(); ++i) {
+            for (size_t j = i + 1; j < members.size(); ++j) {
+              ++stats.pairs_compared;
+              auto link = candidate->TestPair(*g, members[i], members[j]);
+              if (link.has_value() && AddLink(g, *link)) {
+                ++stats.links_added;
+                changed = true;
+              }
+            }
+          }
+        }
+      } else {
+        VL_ASSIGN_OR_RETURN(std::vector<PredictedLink> links,
+                            candidate->RunGlobal(*g));
+        for (const PredictedLink& link : links) {
+          if (AddLink(g, link)) {
+            ++stats.links_added;
+            changed = true;
+          }
+        }
+      }
+    }
+    stats.candidate_seconds += timer.ElapsedSeconds();
+  }
+  return stats;
+}
+
+VadaLink MakeDefaultVadaLink(AugmentConfig config) {
+  if (config.blocking.keys.empty()) {
+    config.blocking = company::DefaultPersonBlocking();
+  }
+  VadaLink vl(std::move(config));
+  vl.AddCandidate(std::make_unique<FamilyCandidate>(
+      linkage::BayesLinkClassifier(company::DefaultPersonSchema())));
+  vl.AddCandidate(std::make_unique<ControlCandidate>());
+  vl.AddCandidate(std::make_unique<CloseLinkCandidate>());
+  return vl;
+}
+
+}  // namespace vadalink::core

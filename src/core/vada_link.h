@@ -1,0 +1,80 @@
+// VadaLink — the KG augmentation framework (Algorithm 1 of the paper).
+//
+// Each round:
+//   1. first-level clustering: node2vec embedding + k-means
+//      (#GraphEmbedClust), recomputed on the current graph so edges
+//      predicted in earlier rounds improve the embedding (the paper's
+//      reinforcement principle);
+//   2. second-level blocking: feature hashing (#GenerateBlocks) within
+//      each embedding cluster;
+//   3. pairwise Candidate evaluation inside every block, and global
+//      Candidate evaluation (control / close links) once per round;
+//   4. predicted links are added as typed edges; the loop repeats until a
+//      round adds nothing or max_rounds is reached.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/candidates.h"
+#include "core/link_class.h"
+#include "embed/embed_clusterer.h"
+#include "graph/property_graph.h"
+#include "linkage/blocking.h"
+
+namespace vadalink::core {
+
+struct AugmentConfig {
+  embed::EmbedClusterConfig embedding;
+  linkage::BlockingConfig blocking;
+  /// Upper bound on augmentation rounds (the fixpoint usually closes in
+  /// 2-3 rounds on register-like data).
+  size_t max_rounds = 3;
+  /// Ablation knobs: disable the first-level embedding clustering and/or
+  /// the second-level feature blocking. With both off, every pair of nodes
+  /// is compared ("no cluster mode" of Section 6.2).
+  bool use_embedding = true;
+  bool use_blocking = true;
+};
+
+struct AugmentStats {
+  size_t rounds = 0;
+  size_t links_added = 0;
+  size_t pairs_compared = 0;
+  size_t first_level_clusters = 0;
+  size_t second_level_blocks = 0;
+  double embed_seconds = 0.0;
+  double block_seconds = 0.0;
+  double candidate_seconds = 0.0;
+};
+
+class VadaLink {
+ public:
+  explicit VadaLink(AugmentConfig config) : config_(std::move(config)) {}
+
+  /// Registers a candidate implementation (order preserved).
+  void AddCandidate(std::unique_ptr<Candidate> candidate) {
+    candidates_.push_back(std::move(candidate));
+  }
+
+  const AugmentConfig& config() const { return config_; }
+  AugmentConfig* mutable_config() { return &config_; }
+
+  /// Runs Algorithm 1 on `g`, adding predicted edges in place.
+  Result<AugmentStats> Augment(graph::PropertyGraph* g);
+
+ private:
+  /// Adds a predicted link if absent; returns true if added.
+  static bool AddLink(graph::PropertyGraph* g, const PredictedLink& link);
+
+  AugmentConfig config_;
+  std::vector<std::unique_ptr<Candidate>> candidates_;
+};
+
+/// Convenience: a VadaLink instance wired with the default candidates for
+/// the three problems of the paper (family detection via the default
+/// person schema, company control, close links).
+VadaLink MakeDefaultVadaLink(AugmentConfig config = {});
+
+}  // namespace vadalink::core

@@ -1,0 +1,78 @@
+#include "core/vadalog_programs.h"
+
+#include "common/string_util.h"
+
+namespace vadalink::core {
+
+std::string ControlProgram(double threshold) {
+  // Algorithm 5. ctrl(X, X) seeds every shareholder (the paper's Rule (1)
+  // restricted to companies; the seed for persons is what makes P1/P2
+  // control their subsidiaries in Figures 1/2). The msum accumulates the
+  // jointly-held VOTING share per (X, Y) group over distinct holders Z
+  // (bare-ownership shares carry no vote and are absent from voting/3).
+  std::string t = FormatDouble(threshold);
+  return std::string(R"(
+% ---- company control (Definition 2.3 / Algorithm 5) ----
+company(X) -> ctrl(X, X).
+person(X) -> ctrl(X, X).
+ctrl(X, Z), voting(Z, Y, W), S = msum(W, <Z>), S > )") + t + R"( -> ctrl(X, Y).
+ctrl(X, Y), X != Y -> control(X, Y).
+@output("control").
+)";
+}
+
+std::string CloseLinkProgram(double threshold, size_t max_depth) {
+  // Algorithm 6 under the depth-bounded walk-sum semantics: walk(X,Y,P,D)
+  // carries the product P of one ownership walk of length D; msum folds
+  // the walk products into accumulated ownership. Distinct walks with an
+  // identical (product, depth) signature for the same pair collapse under
+  // set semantics — exact for generic (non-degenerate) weights, see
+  // DESIGN.md open choice #1.
+  std::string t = FormatDouble(threshold);
+  std::string d = std::to_string(max_depth);
+  return std::string(R"(
+% ---- close links (Definitions 2.5/2.6 / Algorithm 6) ----
+own(X, Y, W) -> walk(X, Y, W, 1).
+walk(X, Z, P, D), own(Z, Y, W), D < )") + d + R"(, P2 = P * W, D2 = D + 1
+  -> walk(X, Y, P2, D2).
+walk(X, Y, P, D), S = msum(P, <P, D>) -> accown(X, Y, S).
+accown(X, Y, S), S >= )" + t + R"(, company(X), company(Y), X != Y
+  -> closelink(X, Y).
+closelink(X, Y) -> closelink(Y, X).
+accown(Z, X, S1), S1 >= )" + t + R"(, accown(Z, Y, S2), S2 >= )" + t + R"(,
+  X != Y, company(X), company(Y) -> closelink(X, Y).
+@output("closelink").
+)";
+}
+
+std::string FamilyControlProgram(double threshold) {
+  // Algorithm 8: the family F acts as a single centre of interest; its
+  // members and the companies it controls contribute to one msum per
+  // (F, Y) group.
+  std::string t = FormatDouble(threshold);
+  return std::string(R"(
+% ---- family control (Definition 2.8 / Algorithm 8) ----
+familymember(F, P) -> fctrl(F, P).
+fctrl(F, Z), voting(Z, Y, W), S = msum(W, <Z>), S > )") + t + R"( -> fctrl(F, Y).
+fctrl(F, Y), company(Y) -> familycontrol(F, Y).
+@output("familycontrol").
+)";
+}
+
+std::string InputPromotionProgram() {
+  // Algorithm 2: promotion of the domain encoding into generic graph
+  // constructs, with Skolem OIDs (deterministic, injective, tag-disjoint)
+  // and existential link ids.
+  return R"(
+% ---- input mapping (Algorithm 2) ----
+company(X), Z = #sk("c", X) -> gnode(Z), gnodetype(Z, "Company").
+person(X),  Z = #sk("p", X) -> gnode(Z), gnodetype(Z, "Person").
+own(X, Y, W), person(X), S = #sk("p", X), T = #sk("c", Y)
+  -> glink(L, S, T, W), gedgetype(L, "pers_share").
+own(X, Y, W), company(X), S = #sk("c", X), T = #sk("c", Y)
+  -> glink(L, S, T, W), gedgetype(L, "comp_share").
+@output("glink").
+)";
+}
+
+}  // namespace vadalink::core

@@ -1,0 +1,31 @@
+// The paper's Vadalog programs (Algorithms 5, 6, 8) in the concrete syntax
+// of this library's engine, operating on the relational encoding produced
+// by core::LoadGraphFacts. Used by the declarative execution path, the
+// differential tests (engine vs compiled implementations) and the ablation
+// benchmarks.
+#pragma once
+
+#include <string>
+
+namespace vadalink::core {
+
+/// Algorithm 5 — company control (Definition 2.3). Derives control(X, Y).
+/// Inputs: company(X), person(X), voting(X, Y, V) (the voting-rights
+/// fraction; equals the plain share weight for full-ownership edges).
+std::string ControlProgram(double threshold = 0.5);
+
+/// Algorithm 6 — close links (Definition 2.6) under the walk-sum fixpoint
+/// semantics of accumulated ownership. Derives closelink(X, Y) between
+/// companies. `max_depth` bounds the recursive accumulation.
+std::string CloseLinkProgram(double threshold = 0.2, size_t max_depth = 16);
+
+/// Algorithm 8 — family control (Definition 2.8). Derives
+/// familycontrol(F, Y) where F is a family id. Additional input:
+/// familymember(F, P).
+std::string FamilyControlProgram(double threshold = 0.5);
+
+/// Algorithm 2-style input promotion from the domain encoding to the
+/// generic one (for demonstrations; LoadGraphFacts already emits both).
+std::string InputPromotionProgram();
+
+}  // namespace vadalink::core

@@ -1,0 +1,162 @@
+#include "datalog/ast.h"
+
+namespace vadalink::datalog {
+
+const char* AggKindName(AggKind k) {
+  switch (k) {
+    case AggKind::kMSum: return "msum";
+    case AggKind::kMProd: return "mprod";
+    case AggKind::kMMin: return "mmin";
+    case AggKind::kMMax: return "mmax";
+    case AggKind::kMCount: return "mcount";
+  }
+  return "?";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string TermToString(const Term& t, const Rule& rule, const Catalog& cat) {
+  if (t.is_var()) return rule.var_names[t.var];
+  return t.constant.ToString(cat.symbols);
+}
+
+std::string ExprToString(const Expr& e, const Rule& rule, const Catalog& cat) {
+  switch (e.op) {
+    case Expr::Op::kConst:
+      return e.constant.ToString(cat.symbols);
+    case Expr::Op::kVar:
+      return rule.var_names[e.var];
+    case Expr::Op::kNeg:
+      return "-(" + ExprToString(e.children[0], rule, cat) + ")";
+    case Expr::Op::kAdd:
+    case Expr::Op::kSub:
+    case Expr::Op::kMul:
+    case Expr::Op::kDiv:
+    case Expr::Op::kMod: {
+      const char* op = e.op == Expr::Op::kAdd   ? "+"
+                       : e.op == Expr::Op::kSub ? "-"
+                       : e.op == Expr::Op::kMul ? "*"
+                       : e.op == Expr::Op::kDiv ? "/"
+                                                : "%";
+      return "(" + ExprToString(e.children[0], rule, cat) + " " + op + " " +
+             ExprToString(e.children[1], rule, cat) + ")";
+    }
+    case Expr::Op::kCall: {
+      std::string out = "#" + cat.functions.Name(e.function) + "(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExprToString(e.children[i], rule, cat);
+      }
+      return out + ")";
+    }
+    case Expr::Op::kAggregate: {
+      std::string out = AggKindName(e.agg);
+      out += "(";
+      if (!e.children.empty()) out += ExprToString(e.children[0], rule, cat);
+      if (!e.contributors.empty()) {
+        out += ", <";
+        for (size_t i = 0; i < e.contributors.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += rule.var_names[e.contributors[i]];
+        }
+        out += ">";
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string AtomToString(const Atom& a, const Rule& rule, const Catalog& cat) {
+  std::string out = cat.predicates.Name(a.predicate) + "(";
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += TermToString(a.args[i], rule, cat);
+  }
+  return out + ")";
+}
+
+std::string LiteralToString(const Literal& l, const Rule& rule,
+                            const Catalog& cat) {
+  switch (l.kind) {
+    case Literal::Kind::kAtom:
+      return AtomToString(l.atom, rule, cat);
+    case Literal::Kind::kNegatedAtom:
+      return "not " + AtomToString(l.atom, rule, cat);
+    case Literal::Kind::kComparison:
+      return ExprToString(l.lhs, rule, cat) + " " + CmpOpName(l.cmp) + " " +
+             ExprToString(l.rhs, rule, cat);
+    case Literal::Kind::kAssignment:
+      return rule.var_names[l.target_var] + " = " +
+             ExprToString(l.rhs, rule, cat);
+  }
+  return "?";
+}
+
+std::string RuleToString(const Rule& r, const Catalog& cat) {
+  std::string out;
+  for (size_t i = 0; i < r.body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += LiteralToString(r.body[i], r, cat);
+  }
+  out += " -> ";
+  for (size_t i = 0; i < r.head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AtomToString(r.head[i], r, cat);
+  }
+  out += ".";
+  return out;
+}
+
+void CollectExprVars(const Expr& e, std::vector<bool>* out) {
+  if (e.op == Expr::Op::kVar) {
+    if (e.var < out->size()) (*out)[e.var] = true;
+  }
+  if (e.op == Expr::Op::kAggregate) {
+    for (uint32_t v : e.contributors) {
+      if (v < out->size()) (*out)[v] = true;
+    }
+  }
+  for (const Expr& c : e.children) CollectExprVars(c, out);
+}
+
+std::vector<bool> BodyBoundVars(const Rule& rule) {
+  std::vector<bool> bound(rule.var_names.size(), false);
+  for (const Literal& l : rule.body) {
+    if (l.kind == Literal::Kind::kAtom) {
+      for (const Term& t : l.atom.args) {
+        if (t.is_var()) bound[t.var] = true;
+      }
+    } else if (l.kind == Literal::Kind::kAssignment) {
+      bound[l.target_var] = true;
+    }
+  }
+  return bound;
+}
+
+std::vector<uint32_t> ExistentialVars(const Rule& rule) {
+  std::vector<bool> bound = BodyBoundVars(rule);
+  std::vector<bool> in_head(rule.var_names.size(), false);
+  for (const Atom& a : rule.head) {
+    for (const Term& t : a.args) {
+      if (t.is_var()) in_head[t.var] = true;
+    }
+  }
+  std::vector<uint32_t> out;
+  for (uint32_t v = 0; v < rule.var_names.size(); ++v) {
+    if (in_head[v] && !bound[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace vadalink::datalog

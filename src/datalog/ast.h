@@ -1,0 +1,158 @@
+// Abstract syntax of the Vadalog-like rule language.
+//
+// A program is a set of existential rules  body -> head  plus ground facts
+// and @output annotations. Rule bodies contain positive/negated atoms,
+// comparisons, assignments (which may call registered functions, e.g. the
+// paper's #sk / #GenerateBlocks / #LinkProbability) and monotonic
+// aggregations (msum et al., Section 4 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datalog/value.h"
+
+namespace vadalink::datalog {
+
+/// Shared interning catalog for a program + database pair: string constants,
+/// predicate names and function names.
+struct Catalog {
+  SymbolTable symbols;
+  SymbolTable predicates;
+  SymbolTable functions;
+};
+
+/// An atom argument: a rule variable or a ground constant.
+struct Term {
+  enum class Kind : uint8_t { kVar, kConst };
+  Kind kind = Kind::kConst;
+  uint32_t var = 0;  // index into Rule::var_names
+  Value constant;
+
+  static Term Var(uint32_t v) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.var = v;
+    return t;
+  }
+  static Term Const(Value c) {
+    Term t;
+    t.kind = Kind::kConst;
+    t.constant = c;
+    return t;
+  }
+  bool is_var() const { return kind == Kind::kVar; }
+};
+
+/// predicate(arg1, ..., argN)
+struct Atom {
+  uint32_t predicate = 0;  // id in Catalog::predicates
+  std::vector<Term> args;
+};
+
+/// Kinds of monotonic aggregates (Vadalog-style; see Shkapsky et al. and
+/// Section 4 "monotonic aggregation" in the paper).
+enum class AggKind : uint8_t { kMSum, kMProd, kMMin, kMMax, kMCount };
+
+const char* AggKindName(AggKind k);
+
+/// An expression appearing on the right-hand side of an assignment or in a
+/// comparison. Aggregate expressions may appear only at the top level of an
+/// assignment.
+struct Expr {
+  enum class Op : uint8_t {
+    kConst,
+    kVar,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kMod,
+    kNeg,
+    kCall,       // registered function: functions id + children
+    kAggregate,  // monotonic aggregate
+  };
+
+  Op op = Op::kConst;
+  Value constant;                 // kConst
+  uint32_t var = 0;               // kVar
+  uint32_t function = 0;          // kCall: id in Catalog::functions
+  AggKind agg = AggKind::kMSum;   // kAggregate
+  std::vector<uint32_t> contributors;  // kAggregate: contributor variables
+  std::vector<Expr> children;     // operands / call args / aggregate value
+
+  static Expr Const(Value v) {
+    Expr e;
+    e.op = Op::kConst;
+    e.constant = v;
+    return e;
+  }
+  static Expr Var(uint32_t v) {
+    Expr e;
+    e.op = Op::kVar;
+    e.var = v;
+    return e;
+  }
+
+  bool is_aggregate() const { return op == Op::kAggregate; }
+};
+
+/// Comparison operators for condition literals.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// One conjunct of a rule body.
+struct Literal {
+  enum class Kind : uint8_t {
+    kAtom,        // p(...)
+    kNegatedAtom, // not p(...)  (stratified)
+    kComparison,  // lhs OP rhs
+    kAssignment,  // Var = expr
+  };
+
+  Kind kind = Kind::kAtom;
+  Atom atom;              // kAtom / kNegatedAtom
+  CmpOp cmp = CmpOp::kEq; // kComparison
+  Expr lhs, rhs;          // kComparison (both) / kAssignment (rhs)
+  uint32_t target_var = 0;  // kAssignment
+};
+
+/// body -> head1, ..., headK.
+struct Rule {
+  std::vector<Literal> body;
+  std::vector<Atom> head;
+  /// Variable names, indexed by the var ids used in terms/exprs.
+  std::vector<std::string> var_names;
+  /// Source line for diagnostics (0 if synthesised).
+  uint32_t line = 0;
+};
+
+/// A parsed program.
+struct Program {
+  std::vector<Rule> rules;
+  /// Ground facts given in the source ("p(1,2)." with empty body).
+  std::vector<Atom> facts;
+  /// Predicates marked @output.
+  std::vector<uint32_t> outputs;
+};
+
+/// Pretty-printers (require the catalog used at parse time).
+std::string TermToString(const Term& t, const Rule& rule, const Catalog& cat);
+std::string ExprToString(const Expr& e, const Rule& rule, const Catalog& cat);
+std::string AtomToString(const Atom& a, const Rule& rule, const Catalog& cat);
+std::string LiteralToString(const Literal& l, const Rule& rule,
+                            const Catalog& cat);
+std::string RuleToString(const Rule& r, const Catalog& cat);
+
+/// Variables of `rule` bound by its positive body atoms or assignments.
+std::vector<bool> BodyBoundVars(const Rule& rule);
+
+/// Head variables not bound in the body — the existential variables.
+std::vector<uint32_t> ExistentialVars(const Rule& rule);
+
+/// Collects variables appearing in an expression into `out` flags.
+void CollectExprVars(const Expr& e, std::vector<bool>* out);
+
+}  // namespace vadalink::datalog

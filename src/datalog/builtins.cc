@@ -1,0 +1,214 @@
+#include "datalog/builtins.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace vadalink::datalog {
+
+namespace {
+
+Status WrongArgs(const std::string& fn, const std::string& why) {
+  return Status::InvalidArgument("#" + fn + ": " + why);
+}
+
+Result<double> NumArg(const std::string& fn, const Value& v) {
+  if (!v.is_numeric()) return WrongArgs(fn, "expected numeric argument");
+  return v.AsNumber();
+}
+
+Result<std::string> StrArg(const std::string& fn, FunctionContext& ctx,
+                           const Value& v) {
+  if (!v.is_symbol()) return WrongArgs(fn, "expected string argument");
+  return ctx.symbols->Name(v.symbol_id());
+}
+
+}  // namespace
+
+void FunctionRegistry::Register(std::string name, ExternalFn fn) {
+  fns_[std::move(name)] = std::move(fn);
+}
+
+const ExternalFn* FunctionRegistry::Find(std::string_view name) const {
+  auto it = fns_.find(std::string(name));
+  return it == fns_.end() ? nullptr : &it->second;
+}
+
+void FunctionRegistry::RegisterStandardLibrary() {
+  Register("sk", [](FunctionContext& ctx,
+                    const std::vector<Value>& args) -> Result<Value> {
+    if (args.empty() || !args[0].is_symbol()) {
+      return WrongArgs("sk", "first argument must be the functor tag string");
+    }
+    std::vector<Value> rest(args.begin() + 1, args.end());
+    return Value::Skolem(ctx.skolems->Get(args[0].symbol_id(), rest));
+  });
+
+  Register("hash", [](FunctionContext&,
+                      const std::vector<Value>& args) -> Result<Value> {
+    return Value::Int(static_cast<int64_t>(HashValues(args) >> 1));
+  });
+
+  Register("mod", [](FunctionContext&,
+                     const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 2 || !args[0].is_int() || !args[1].is_int()) {
+      return WrongArgs("mod", "expected two integers");
+    }
+    int64_t b = args[1].AsInt();
+    if (b == 0) return WrongArgs("mod", "modulo by zero");
+    int64_t r = args[0].AsInt() % b;
+    if (r < 0) r += (b > 0 ? b : -b);
+    return Value::Int(r);
+  });
+
+  Register("concat", [](FunctionContext& ctx,
+                        const std::vector<Value>& args) -> Result<Value> {
+    std::string out;
+    for (const Value& v : args) {
+      if (v.is_symbol()) {
+        out += ctx.symbols->Name(v.symbol_id());
+      } else {
+        out += v.ToString(*ctx.symbols);
+      }
+    }
+    return Value::Symbol(ctx.symbols->Intern(out));
+  });
+
+  Register("lower", [](FunctionContext& ctx,
+                       const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return WrongArgs("lower", "expected one argument");
+    VL_ASSIGN_OR_RETURN(std::string s, StrArg("lower", ctx, args[0]));
+    return Value::Symbol(ctx.symbols->Intern(ToLower(s)));
+  });
+
+  Register("upper", [](FunctionContext& ctx,
+                       const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return WrongArgs("upper", "expected one argument");
+    VL_ASSIGN_OR_RETURN(std::string s, StrArg("upper", ctx, args[0]));
+    return Value::Symbol(ctx.symbols->Intern(ToUpper(s)));
+  });
+
+  Register("strlen", [](FunctionContext& ctx,
+                        const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return WrongArgs("strlen", "expected one argument");
+    VL_ASSIGN_OR_RETURN(std::string s, StrArg("strlen", ctx, args[0]));
+    return Value::Int(static_cast<int64_t>(s.size()));
+  });
+
+  Register("substr", [](FunctionContext& ctx,
+                        const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 3 || !args[1].is_int() || !args[2].is_int()) {
+      return WrongArgs("substr", "expected (string, pos, len)");
+    }
+    VL_ASSIGN_OR_RETURN(std::string s, StrArg("substr", ctx, args[0]));
+    int64_t pos = args[1].AsInt();
+    int64_t len = args[2].AsInt();
+    if (pos < 0 || len < 0) return WrongArgs("substr", "negative pos/len");
+    std::string sub = pos >= static_cast<int64_t>(s.size())
+                          ? ""
+                          : s.substr(static_cast<size_t>(pos),
+                                     static_cast<size_t>(len));
+    return Value::Symbol(ctx.symbols->Intern(sub));
+  });
+
+  Register("abs", [](FunctionContext&,
+                     const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return WrongArgs("abs", "expected one argument");
+    if (args[0].is_int()) return Value::Int(std::llabs(args[0].AsInt()));
+    VL_ASSIGN_OR_RETURN(double d, NumArg("abs", args[0]));
+    return Value::Double(std::fabs(d));
+  });
+
+  Register("min", [](FunctionContext&,
+                     const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 2) return WrongArgs("min", "expected two arguments");
+    VL_ASSIGN_OR_RETURN(double a, NumArg("min", args[0]));
+    VL_ASSIGN_OR_RETURN(double b, NumArg("min", args[1]));
+    return a <= b ? args[0] : args[1];
+  });
+
+  Register("max", [](FunctionContext&,
+                     const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 2) return WrongArgs("max", "expected two arguments");
+    VL_ASSIGN_OR_RETURN(double a, NumArg("max", args[0]));
+    VL_ASSIGN_OR_RETURN(double b, NumArg("max", args[1]));
+    return a >= b ? args[0] : args[1];
+  });
+
+  Register("pow", [](FunctionContext&,
+                     const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 2) return WrongArgs("pow", "expected two arguments");
+    VL_ASSIGN_OR_RETURN(double a, NumArg("pow", args[0]));
+    VL_ASSIGN_OR_RETURN(double b, NumArg("pow", args[1]));
+    return Value::Double(std::pow(a, b));
+  });
+
+  Register("sqrt", [](FunctionContext&,
+                      const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return WrongArgs("sqrt", "expected one argument");
+    VL_ASSIGN_OR_RETURN(double a, NumArg("sqrt", args[0]));
+    if (a < 0) return WrongArgs("sqrt", "negative argument");
+    return Value::Double(std::sqrt(a));
+  });
+
+  Register("floor", [](FunctionContext&,
+                       const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return WrongArgs("floor", "expected one argument");
+    VL_ASSIGN_OR_RETURN(double a, NumArg("floor", args[0]));
+    return Value::Int(static_cast<int64_t>(std::floor(a)));
+  });
+
+  Register("ceil", [](FunctionContext&,
+                      const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return WrongArgs("ceil", "expected one argument");
+    VL_ASSIGN_OR_RETURN(double a, NumArg("ceil", args[0]));
+    return Value::Int(static_cast<int64_t>(std::ceil(a)));
+  });
+
+  Register("toint", [](FunctionContext& ctx,
+                       const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return WrongArgs("toint", "expected one argument");
+    const Value& v = args[0];
+    if (v.is_int()) return v;
+    if (v.is_double()) return Value::Int(static_cast<int64_t>(v.AsDouble()));
+    if (v.is_bool()) return Value::Int(v.AsBool() ? 1 : 0);
+    if (v.is_symbol()) {
+      const std::string& s = ctx.symbols->Name(v.symbol_id());
+      char* end = nullptr;
+      long long parsed = std::strtoll(s.c_str(), &end, 10);
+      if (end == s.c_str() || *end != '\0') {
+        return WrongArgs("toint", "unparsable string '" + s + "'");
+      }
+      return Value::Int(parsed);
+    }
+    return WrongArgs("toint", "unsupported value kind");
+  });
+
+  Register("todouble", [](FunctionContext& ctx,
+                          const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return WrongArgs("todouble", "expected one argument");
+    const Value& v = args[0];
+    if (v.is_double()) return v;
+    if (v.is_int()) return Value::Double(static_cast<double>(v.AsInt()));
+    if (v.is_symbol()) {
+      const std::string& s = ctx.symbols->Name(v.symbol_id());
+      char* end = nullptr;
+      double parsed = std::strtod(s.c_str(), &end);
+      if (end == s.c_str() || *end != '\0') {
+        return WrongArgs("todouble", "unparsable string '" + s + "'");
+      }
+      return Value::Double(parsed);
+    }
+    return WrongArgs("todouble", "unsupported value kind");
+  });
+
+  Register("tostring", [](FunctionContext& ctx,
+                          const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return WrongArgs("tostring", "expected one argument");
+    const Value& v = args[0];
+    if (v.is_symbol()) return v;
+    return Value::Symbol(ctx.symbols->Intern(v.ToString(*ctx.symbols)));
+  });
+}
+
+}  // namespace vadalink::datalog

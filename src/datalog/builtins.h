@@ -1,0 +1,60 @@
+// External-function registry for the engine.
+//
+// Functions are invoked from rule bodies with the '#name(args)' syntax, the
+// mechanism the paper uses to plug #sk, #GenerateBlocks, #GraphEmbedClust
+// and #LinkProbability into Vadalog rules. The engine ships a standard
+// library (Skolems, arithmetic, string ops, hashing); domain modules
+// register their own functions on top.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/value.h"
+
+namespace vadalink::datalog {
+
+struct Catalog;
+
+/// State handed to external functions at call time.
+struct FunctionContext {
+  SymbolTable* symbols = nullptr;
+  SkolemRegistry* skolems = nullptr;
+};
+
+/// An external function: pure mapping from ground argument values to one
+/// ground value. Must be deterministic — the chase may re-invoke it.
+using ExternalFn =
+    std::function<Result<Value>(FunctionContext&, const std::vector<Value>&)>;
+
+/// Name -> function table.
+class FunctionRegistry {
+ public:
+  /// Registers (or replaces) a function under `name` (no leading '#').
+  void Register(std::string name, ExternalFn fn);
+
+  /// Looks up a function; nullptr if unknown.
+  const ExternalFn* Find(std::string_view name) const;
+
+  /// Registers the standard library:
+  ///   sk(tag, ...)          deterministic Skolem OID (injective per tag,
+  ///                         ranges disjoint across tags)
+  ///   hash(...)             64-bit value hash as int
+  ///   mod(a, b)             integer modulo
+  ///   concat(a, b, ...)     string concatenation -> symbol
+  ///   lower(s) / upper(s)   ASCII case mapping
+  ///   strlen(s)             length of a symbol
+  ///   substr(s, pos, len)   substring
+  ///   abs(x) min(a,b) max(a,b) pow(a,b) sqrt(x) floor(x) ceil(x)
+  ///   toint(x) todouble(x) tostring(x)
+  void RegisterStandardLibrary();
+
+ private:
+  std::unordered_map<std::string, ExternalFn> fns_;
+};
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,102 @@
+#include "datalog/database.h"
+
+namespace vadalink::datalog {
+
+bool Relation::Insert(std::vector<Value> tuple) {
+  if (arity_ == SIZE_MAX) {
+    arity_ = tuple.size();
+    pos_indexes_.resize(arity_);
+  }
+  uint64_t h = HashValues(tuple);
+  auto& bucket = dedup_[h];
+  for (uint32_t idx : bucket) {
+    if (tuples_[idx] == tuple) return false;
+  }
+  uint32_t idx = static_cast<uint32_t>(tuples_.size());
+  bucket.push_back(idx);
+  tuples_.push_back(std::move(tuple));
+  return true;
+}
+
+bool Relation::Contains(const std::vector<Value>& tuple) const {
+  return Find(tuple) >= 0;
+}
+
+int64_t Relation::Find(const std::vector<Value>& tuple) const {
+  auto it = dedup_.find(HashValues(tuple));
+  if (it == dedup_.end()) return -1;
+  for (uint32_t idx : it->second) {
+    if (tuples_[idx] == tuple) return idx;
+  }
+  return -1;
+}
+
+void Relation::ExtendIndex(size_t pos) const {
+  if (!pos_indexes_[pos]) pos_indexes_[pos] = std::make_unique<PosIndex>();
+  PosIndex& index = *pos_indexes_[pos];
+  for (size_t i = index.indexed_upto; i < tuples_.size(); ++i) {
+    index.map[tuples_[i][pos]].push_back(static_cast<uint32_t>(i));
+  }
+  index.indexed_upto = tuples_.size();
+}
+
+const std::vector<uint32_t>* Relation::Probe(size_t pos,
+                                             const Value& v) const {
+  if (pos >= pos_indexes_.size()) return nullptr;
+  ExtendIndex(pos);
+  const auto& map = pos_indexes_[pos]->map;
+  auto it = map.find(v);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+Relation* Database::relation(uint32_t predicate) {
+  if (predicate >= relations_.size()) relations_.resize(predicate + 1);
+  if (!relations_[predicate]) {
+    relations_[predicate] = std::make_unique<Relation>();
+  }
+  return relations_[predicate].get();
+}
+
+const Relation* Database::relation(uint32_t predicate) const {
+  if (predicate >= relations_.size()) return nullptr;
+  return relations_[predicate].get();
+}
+
+Result<bool> Database::Insert(uint32_t predicate, std::vector<Value> tuple) {
+  Relation* rel = relation(predicate);
+  if (rel->arity() != SIZE_MAX && rel->arity() != tuple.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch for predicate '" +
+        catalog_->predicates.Name(predicate) + "': have " +
+        std::to_string(rel->arity()) + ", got " +
+        std::to_string(tuple.size()));
+  }
+  return rel->Insert(std::move(tuple));
+}
+
+Result<bool> Database::InsertByName(std::string_view predicate,
+                                    std::vector<Value> tuple) {
+  return Insert(catalog_->predicates.Intern(predicate), std::move(tuple));
+}
+
+size_t Database::TotalFacts() const {
+  size_t total = 0;
+  for (const auto& rel : relations_) {
+    if (rel) total += rel->size();
+  }
+  return total;
+}
+
+std::vector<std::vector<Value>> Database::TuplesOf(
+    std::string_view predicate) const {
+  std::vector<std::vector<Value>> out;
+  uint32_t id = catalog_->predicates.Lookup(predicate);
+  if (id == UINT32_MAX) return out;
+  const Relation* rel = relation(id);
+  if (!rel) return out;
+  out.reserve(rel->size());
+  for (size_t i = 0; i < rel->size(); ++i) out.push_back(rel->tuple(i));
+  return out;
+}
+
+}  // namespace vadalink::datalog

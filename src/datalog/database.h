@@ -1,0 +1,99 @@
+// Fact storage for the Datalog± engine.
+//
+// Tuples are append-only with stable dense indices, which lets the engine
+// express semi-naive deltas as index ranges instead of separate delta
+// relations. Per-argument hash indexes are built lazily and maintained
+// incrementally as tuples are appended.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/value.h"
+
+namespace vadalink::datalog {
+
+/// All facts of one predicate.
+class Relation {
+ public:
+  /// Appends a tuple if not already present; returns true if it was new.
+  bool Insert(std::vector<Value> tuple);
+
+  size_t size() const { return tuples_.size(); }
+  const std::vector<Value>& tuple(size_t i) const { return tuples_[i]; }
+
+  /// Arity fixed by the first inserted tuple; SIZE_MAX while empty.
+  size_t arity() const { return arity_; }
+
+  /// True if the exact tuple is present.
+  bool Contains(const std::vector<Value>& tuple) const;
+
+  /// Index of the exact tuple, or -1 if absent.
+  int64_t Find(const std::vector<Value>& tuple) const;
+
+  /// Indices of tuples whose argument `pos` equals `v` (lazily indexed).
+  /// The returned pointer is invalidated by the next Insert. May be null
+  /// (no matches).
+  const std::vector<uint32_t>* Probe(size_t pos, const Value& v) const;
+
+ private:
+  void ExtendIndex(size_t pos) const;
+
+  std::vector<std::vector<Value>> tuples_;
+  // full-tuple hash -> candidate indices (collision chain)
+  std::unordered_map<uint64_t, std::vector<uint32_t>> dedup_;
+  size_t arity_ = SIZE_MAX;
+
+  struct PosIndex {
+    std::unordered_map<Value, std::vector<uint32_t>, ValueHash> map;
+    size_t indexed_upto = 0;
+  };
+  mutable std::vector<std::unique_ptr<PosIndex>> pos_indexes_;
+};
+
+/// A database instance: one Relation per predicate id of the catalog, plus
+/// the OID registries shared by the chase (labeled nulls) and Skolem
+/// functions.
+class Database {
+ public:
+  explicit Database(Catalog* catalog) : catalog_(catalog) {}
+
+  Catalog* catalog() const { return catalog_; }
+  SkolemRegistry* skolems() { return &skolems_; }
+  NullRegistry* nulls() { return &nulls_; }
+
+  /// Relation for predicate id (created on demand).
+  Relation* relation(uint32_t predicate);
+  const Relation* relation(uint32_t predicate) const;
+
+  /// Inserts a fact; returns true if new. Checks arity consistency.
+  Result<bool> Insert(uint32_t predicate, std::vector<Value> tuple);
+
+  /// Convenience: inserts by predicate name, interning it.
+  Result<bool> InsertByName(std::string_view predicate,
+                            std::vector<Value> tuple);
+
+  /// Total number of stored facts.
+  size_t TotalFacts() const;
+
+  /// All tuples of a predicate by name (empty if unknown predicate).
+  std::vector<std::vector<Value>> TuplesOf(std::string_view predicate) const;
+
+  /// Value helpers bound to this database's catalog.
+  Value Sym(std::string_view s) { return Value::Symbol(catalog_->symbols.Intern(s)); }
+  std::string NameOf(const Value& v) const {
+    return v.ToString(catalog_->symbols);
+  }
+
+ private:
+  Catalog* catalog_;
+  mutable std::vector<std::unique_ptr<Relation>> relations_;
+  SkolemRegistry skolems_;
+  NullRegistry nulls_;
+};
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,763 @@
+#include "datalog/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace vadalink::datalog {
+
+namespace {
+
+/// Equality with int/double numeric coercion (1 == 1.0).
+bool ValuesEqualCoerced(const Value& a, const Value& b) {
+  if (a == b) return true;
+  if (a.is_numeric() && b.is_numeric()) return a.AsNumber() == b.AsNumber();
+  return false;
+}
+
+}  // namespace
+
+Value Engine::AggState::Current(AggKind kind) const {
+  switch (kind) {
+    case AggKind::kMSum:
+    case AggKind::kMProd:
+      return all_int ? Value::Int(ival) : Value::Double(dval);
+    case AggKind::kMMin:
+    case AggKind::kMMax:
+      return best;
+    case AggKind::kMCount:
+      return Value::Int(count);
+  }
+  return Value();
+}
+
+// ---------------------------------------------------------------------------
+// Construction / preparation
+// ---------------------------------------------------------------------------
+
+Engine::Engine(Database* db, EngineOptions options)
+    : db_(db), options_(options) {
+  functions_.RegisterStandardLibrary();
+}
+
+Status Engine::Prepare(const Program& program) {
+  compiled_.clear();
+  compiled_.reserve(program.rules.size());
+
+  Catalog* cat = db_->catalog();
+  resolved_fns_.assign(cat->functions.size(), nullptr);
+  for (uint32_t f = 0; f < cat->functions.size(); ++f) {
+    resolved_fns_[f] = functions_.Find(cat->functions.Name(f));
+  }
+
+  for (uint32_t r = 0; r < program.rules.size(); ++r) {
+    const Rule& src = program.rules[r];
+    CompiledRule cr;
+    cr.id = r;
+    cr.rule = src;
+    cr.rule.body.clear();
+
+    // Greedy reorder: pull ready filters/assignments forward, keep positive
+    // atoms in source order, hold the aggregate back until every atom and
+    // negation is placed (a contribution must correspond to a full match of
+    // the relational part of the body).
+    const size_t nvars = src.var_names.size();
+    std::vector<bool> placed(src.body.size(), false);
+    std::vector<bool> bound(nvars, false);
+    size_t relational_remaining = 0;
+    for (const Literal& l : src.body) {
+      if (l.kind == Literal::Kind::kAtom ||
+          l.kind == Literal::Kind::kNegatedAtom) {
+        ++relational_remaining;
+      }
+    }
+
+    auto expr_ready = [&](const Expr& e) {
+      std::vector<bool> used(nvars, false);
+      CollectExprVars(e, &used);
+      for (size_t v = 0; v < nvars; ++v) {
+        if (used[v] && !bound[v]) return false;
+      }
+      return true;
+    };
+
+    size_t placed_count = 0;
+    while (placed_count < src.body.size()) {
+      int take = -1;
+      // 1. any ready non-atom, non-aggregate literal
+      for (size_t i = 0; i < src.body.size() && take < 0; ++i) {
+        if (placed[i]) continue;
+        const Literal& l = src.body[i];
+        switch (l.kind) {
+          case Literal::Kind::kComparison:
+            if (expr_ready(l.lhs) && expr_ready(l.rhs)) take = (int)i;
+            break;
+          case Literal::Kind::kAssignment:
+            if (l.rhs.is_aggregate()) {
+              if (relational_remaining == 0 && expr_ready(l.rhs)) {
+                take = (int)i;
+              }
+            } else if (expr_ready(l.rhs)) {
+              take = (int)i;
+            }
+            break;
+          case Literal::Kind::kNegatedAtom: {
+            bool ok = true;
+            for (const Term& t : l.atom.args) {
+              if (t.is_var() && !bound[t.var]) ok = false;
+            }
+            if (ok) take = (int)i;
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      // 2. next positive atom in source order
+      if (take < 0) {
+        for (size_t i = 0; i < src.body.size(); ++i) {
+          if (!placed[i] && src.body[i].kind == Literal::Kind::kAtom) {
+            take = (int)i;
+            break;
+          }
+        }
+      }
+      if (take < 0) {
+        return Status::InvalidArgument(
+            "rule at line " + std::to_string(src.line) +
+            " cannot be ordered for evaluation (unbound variables): " +
+            RuleToString(src, *cat));
+      }
+      const Literal& l = src.body[take];
+      placed[take] = true;
+      ++placed_count;
+      if (l.kind == Literal::Kind::kAtom) {
+        --relational_remaining;
+        for (const Term& t : l.atom.args) {
+          if (t.is_var()) bound[t.var] = true;
+        }
+      } else if (l.kind == Literal::Kind::kNegatedAtom) {
+        --relational_remaining;
+      } else if (l.kind == Literal::Kind::kAssignment) {
+        bound[l.target_var] = true;
+      }
+      cr.rule.body.push_back(l);
+    }
+
+    // Positive atom positions within the reordered body.
+    for (size_t i = 0; i < cr.rule.body.size(); ++i) {
+      if (cr.rule.body[i].kind == Literal::Kind::kAtom) {
+        cr.positive_atoms.push_back(i);
+      }
+      if (cr.rule.body[i].kind == Literal::Kind::kAssignment &&
+          cr.rule.body[i].rhs.is_aggregate()) {
+        cr.has_agg = true;
+        cr.agg_pos = i;
+      }
+    }
+
+    // Frontier (body-bound head vars) and existential vars.
+    std::vector<bool> body_bound = BodyBoundVars(cr.rule);
+    std::vector<bool> in_head(nvars, false);
+    for (const Atom& h : cr.rule.head) {
+      for (const Term& t : h.args) {
+        if (t.is_var()) in_head[t.var] = true;
+      }
+    }
+    for (uint32_t v = 0; v < nvars; ++v) {
+      if (in_head[v] && body_bound[v]) cr.frontier_vars.push_back(v);
+      if (in_head[v] && !body_bound[v]) cr.existential_vars.push_back(v);
+    }
+
+    // Aggregate group key: head vars bound by the body, minus the target.
+    if (cr.has_agg) {
+      uint32_t target = cr.rule.body[cr.agg_pos].target_var;
+      for (uint32_t v : cr.frontier_vars) {
+        if (v != target) cr.agg_group_vars.push_back(v);
+      }
+    }
+
+    // Validate function references are resolvable.
+    for (const Literal& l : cr.rule.body) {
+      Status st = Status::OK();
+      auto check = [&](const Expr& e, auto&& self) -> void {
+        if (!st.ok()) return;
+        if (e.op == Expr::Op::kCall && resolved_fns_[e.function] == nullptr) {
+          st = Status::InvalidArgument(
+              "unknown function #" + cat->functions.Name(e.function) +
+              " in rule at line " + std::to_string(src.line));
+        }
+        for (const Expr& c : e.children) self(c, self);
+      };
+      if (l.kind == Literal::Kind::kComparison) {
+        check(l.lhs, check);
+        check(l.rhs, check);
+      } else if (l.kind == Literal::Kind::kAssignment) {
+        check(l.rhs, check);
+      }
+      VL_RETURN_NOT_OK(st);
+    }
+
+    compiled_.push_back(std::move(cr));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+Result<Value> Engine::Eval(const Expr& e, const CompiledRule& rule,
+                           const std::vector<Value>& subst) {
+  switch (e.op) {
+    case Expr::Op::kConst:
+      return e.constant;
+    case Expr::Op::kVar:
+      return subst[e.var];
+    case Expr::Op::kNeg: {
+      VL_ASSIGN_OR_RETURN(Value v, Eval(e.children[0], rule, subst));
+      if (v.is_int()) return Value::Int(-v.AsInt());
+      if (v.is_double()) return Value::Double(-v.AsDouble());
+      return Status::InvalidArgument("unary minus on non-numeric value");
+    }
+    case Expr::Op::kAdd:
+    case Expr::Op::kSub:
+    case Expr::Op::kMul:
+    case Expr::Op::kDiv:
+    case Expr::Op::kMod: {
+      VL_ASSIGN_OR_RETURN(Value a, Eval(e.children[0], rule, subst));
+      VL_ASSIGN_OR_RETURN(Value b, Eval(e.children[1], rule, subst));
+      if (!a.is_numeric() || !b.is_numeric()) {
+        return Status::InvalidArgument("arithmetic on non-numeric values");
+      }
+      if (e.op == Expr::Op::kDiv) {
+        double denom = b.AsNumber();
+        if (denom == 0.0) return Status::InvalidArgument("division by zero");
+        return Value::Double(a.AsNumber() / denom);
+      }
+      if (a.is_int() && b.is_int()) {
+        int64_t x = a.AsInt(), y = b.AsInt();
+        switch (e.op) {
+          case Expr::Op::kAdd: return Value::Int(x + y);
+          case Expr::Op::kSub: return Value::Int(x - y);
+          case Expr::Op::kMul: return Value::Int(x * y);
+          case Expr::Op::kMod:
+            if (y == 0) return Status::InvalidArgument("modulo by zero");
+            return Value::Int(x % y);
+          default: break;
+        }
+      }
+      double x = a.AsNumber(), y = b.AsNumber();
+      switch (e.op) {
+        case Expr::Op::kAdd: return Value::Double(x + y);
+        case Expr::Op::kSub: return Value::Double(x - y);
+        case Expr::Op::kMul: return Value::Double(x * y);
+        default:
+          return Status::InvalidArgument("mod on non-integer values");
+      }
+    }
+    case Expr::Op::kCall: {
+      const ExternalFn* fn = resolved_fns_[e.function];
+      if (fn == nullptr) {
+        return Status::InvalidArgument(
+            "unknown function #" +
+            db_->catalog()->functions.Name(e.function));
+      }
+      std::vector<Value> args;
+      args.reserve(e.children.size());
+      for (const Expr& c : e.children) {
+        VL_ASSIGN_OR_RETURN(Value v, Eval(c, rule, subst));
+        args.push_back(v);
+      }
+      FunctionContext ctx{&db_->catalog()->symbols, db_->skolems()};
+      return (*fn)(ctx, args);
+    }
+    case Expr::Op::kAggregate:
+      return Status::Internal("aggregate evaluated outside assignment");
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<bool> Engine::EvalComparison(const Literal& lit,
+                                    const CompiledRule& rule,
+                                    const std::vector<Value>& subst) {
+  VL_ASSIGN_OR_RETURN(Value a, Eval(lit.lhs, rule, subst));
+  VL_ASSIGN_OR_RETURN(Value b, Eval(lit.rhs, rule, subst));
+  switch (lit.cmp) {
+    case CmpOp::kEq: return ValuesEqualCoerced(a, b);
+    case CmpOp::kNe: return !ValuesEqualCoerced(a, b);
+    default: break;
+  }
+  // Ordered comparisons: numerics numerically, symbols lexicographically.
+  int c;
+  if (a.is_numeric() && b.is_numeric()) {
+    double x = a.AsNumber(), y = b.AsNumber();
+    c = x < y ? -1 : (x > y ? 1 : 0);
+  } else if (a.is_symbol() && b.is_symbol()) {
+    const auto& sa = db_->catalog()->symbols.Name(a.symbol_id());
+    const auto& sb = db_->catalog()->symbols.Name(b.symbol_id());
+    c = sa.compare(sb);
+    c = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  } else {
+    return Status::InvalidArgument(
+        "ordered comparison between incompatible values");
+  }
+  switch (lit.cmp) {
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+    default: return Status::Internal("unreachable comparison");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule evaluation
+// ---------------------------------------------------------------------------
+
+Status Engine::EmitHead(
+    CompiledRule& cr, std::vector<Value>* subst,
+    const std::vector<std::pair<uint32_t, uint32_t>>& premises,
+    bool* inserted_any) {
+  ++stats_.body_matches;
+
+  // Invent nulls for existential vars, memoised on the frontier.
+  if (!cr.existential_vars.empty()) {
+    std::vector<Value> frontier;
+    frontier.reserve(cr.frontier_vars.size());
+    for (uint32_t v : cr.frontier_vars) frontier.push_back((*subst)[v]);
+    for (uint32_t v : cr.existential_vars) {
+      size_t before = db_->nulls()->size();
+      uint64_t id = db_->nulls()->Get(cr.id, v, frontier);
+      if (db_->nulls()->size() > before) ++stats_.nulls_invented;
+      (*subst)[v] = Value::Null(id);
+    }
+  }
+
+  for (const Atom& head : cr.rule.head) {
+    std::vector<Value> tuple;
+    tuple.reserve(head.args.size());
+    for (const Term& t : head.args) {
+      tuple.push_back(t.is_var() ? (*subst)[t.var] : t.constant);
+    }
+    VL_ASSIGN_OR_RETURN(bool inserted, db_->Insert(head.predicate, tuple));
+    if (inserted) {
+      ++stats_.facts_derived;
+      *inserted_any = true;
+      if (options_.trace_provenance) {
+        const Relation* rel = db_->relation(head.predicate);
+        uint64_t key = (static_cast<uint64_t>(head.predicate) << 32) |
+                       static_cast<uint64_t>(rel->size() - 1);
+        provenance_.emplace(key, Derivation{cr.id, premises});
+      }
+    }
+  }
+  if (db_->TotalFacts() > options_.max_facts) {
+    return Status::Internal("fact limit exceeded (" +
+                            std::to_string(options_.max_facts) +
+                            "); chase aborted");
+  }
+  return Status::OK();
+}
+
+Status Engine::MatchFrom(
+    CompiledRule& cr, size_t pos, int delta_occurrence,
+    const std::vector<std::pair<size_t, size_t>>& deltas,
+    std::vector<Value>* subst, std::vector<bool>* bound,
+    std::vector<std::pair<uint32_t, uint32_t>>* premises,
+    bool* inserted_any) {
+  if (pos == cr.rule.body.size()) {
+    return EmitHead(cr, subst, *premises, inserted_any);
+  }
+  const Literal& lit = cr.rule.body[pos];
+  switch (lit.kind) {
+    case Literal::Kind::kAtom: {
+      const Relation* rel = db_->relation(lit.atom.predicate);
+      if (rel == nullptr || rel->size() == 0) return Status::OK();
+      if (rel->arity() != lit.atom.args.size()) {
+        return Status::InvalidArgument(
+            "arity mismatch for predicate '" +
+            db_->catalog()->predicates.Name(lit.atom.predicate) +
+            "' in rule at line " + std::to_string(cr.rule.line));
+      }
+
+      // Which positive-atom occurrence is this?
+      int occurrence = -1;
+      for (size_t i = 0; i < cr.positive_atoms.size(); ++i) {
+        if (cr.positive_atoms[i] == pos) {
+          occurrence = static_cast<int>(i);
+          break;
+        }
+      }
+      size_t lo = 0, hi = rel->size();
+      if (occurrence == delta_occurrence) {
+        lo = deltas[lit.atom.predicate].first;
+        hi = std::min(hi, deltas[lit.atom.predicate].second);
+        if (lo >= hi) return Status::OK();
+      }
+
+      // Choose a probe position: first argument that is already bound.
+      int probe_pos = -1;
+      Value probe_val;
+      for (size_t a = 0; a < lit.atom.args.size(); ++a) {
+        const Term& t = lit.atom.args[a];
+        if (!t.is_var()) {
+          probe_pos = static_cast<int>(a);
+          probe_val = t.constant;
+          break;
+        }
+        if ((*bound)[t.var]) {
+          probe_pos = static_cast<int>(a);
+          probe_val = (*subst)[t.var];
+          break;
+        }
+      }
+
+      // Candidate tuple indices (copied: the underlying index vectors can
+      // be invalidated by inserts/probes deeper in the recursion).
+      std::vector<uint32_t> candidates;
+      if (probe_pos >= 0) {
+        const std::vector<uint32_t>* hits = rel->Probe(probe_pos, probe_val);
+        if (hits == nullptr) return Status::OK();
+        candidates.reserve(hits->size());
+        for (uint32_t idx : *hits) {
+          if (idx >= lo && idx < hi) candidates.push_back(idx);
+        }
+      } else {
+        candidates.reserve(hi - lo);
+        for (size_t idx = lo; idx < hi; ++idx) {
+          candidates.push_back(static_cast<uint32_t>(idx));
+        }
+      }
+
+      for (uint32_t idx : candidates) {
+        // Copy the tuple: relation storage may move during recursion.
+        std::vector<Value> tuple = db_->relation(lit.atom.predicate)->tuple(idx);
+        std::vector<uint32_t> newly_bound;
+        bool match = true;
+        for (size_t a = 0; a < lit.atom.args.size() && match; ++a) {
+          const Term& t = lit.atom.args[a];
+          if (!t.is_var()) {
+            match = tuple[a] == t.constant;
+          } else if ((*bound)[t.var]) {
+            match = tuple[a] == (*subst)[t.var];
+          } else {
+            (*subst)[t.var] = tuple[a];
+            (*bound)[t.var] = true;
+            newly_bound.push_back(t.var);
+          }
+        }
+        if (match) {
+          premises->push_back({lit.atom.predicate, idx});
+          Status st = MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst,
+                                bound, premises, inserted_any);
+          premises->pop_back();
+          if (!st.ok()) return st;
+        }
+        for (uint32_t v : newly_bound) (*bound)[v] = false;
+      }
+      return Status::OK();
+    }
+
+    case Literal::Kind::kNegatedAtom: {
+      std::vector<Value> tuple;
+      tuple.reserve(lit.atom.args.size());
+      for (const Term& t : lit.atom.args) {
+        tuple.push_back(t.is_var() ? (*subst)[t.var] : t.constant);
+      }
+      const Relation* rel = db_->relation(lit.atom.predicate);
+      if (rel != nullptr && rel->arity() != SIZE_MAX &&
+          rel->arity() != tuple.size()) {
+        return Status::InvalidArgument(
+            "arity mismatch under negation for predicate '" +
+            db_->catalog()->predicates.Name(lit.atom.predicate) + "'");
+      }
+      if (rel != nullptr && rel->Contains(tuple)) return Status::OK();
+      return MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst, bound,
+                       premises, inserted_any);
+    }
+
+    case Literal::Kind::kComparison: {
+      VL_ASSIGN_OR_RETURN(bool pass, EvalComparison(lit, cr, *subst));
+      if (!pass) return Status::OK();
+      return MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst, bound,
+                       premises, inserted_any);
+    }
+
+    case Literal::Kind::kAssignment: {
+      if (!lit.rhs.is_aggregate()) {
+        VL_ASSIGN_OR_RETURN(Value v, Eval(lit.rhs, cr, *subst));
+        if ((*bound)[lit.target_var]) {
+          if (!ValuesEqualCoerced((*subst)[lit.target_var], v)) {
+            return Status::OK();
+          }
+          return MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst,
+                           bound, premises, inserted_any);
+        }
+        (*subst)[lit.target_var] = v;
+        (*bound)[lit.target_var] = true;
+        Status st = MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst,
+                              bound, premises, inserted_any);
+        (*bound)[lit.target_var] = false;
+        return st;
+      }
+
+      // Monotonic aggregate: consume the contribution (at most once per
+      // distinct contributor binding) and continue with the running value.
+      const Expr& agg = lit.rhs;
+      AggKey key;
+      key.rule = cr.id;
+      key.group.reserve(cr.agg_group_vars.size());
+      for (uint32_t v : cr.agg_group_vars) key.group.push_back((*subst)[v]);
+
+      std::vector<Value> contrib;
+      contrib.reserve(agg.contributors.size());
+      for (uint32_t v : agg.contributors) contrib.push_back((*subst)[v]);
+
+      AggState& state = agg_states_[key];
+      if (!state.contributors.insert(contrib).second) {
+        // Already contributed: the running value is unchanged, and any head
+        // facts it could produce were already produced. Prune.
+        return Status::OK();
+      }
+
+      if (agg.agg == AggKind::kMCount) {
+        ++state.count;
+      } else {
+        VL_ASSIGN_OR_RETURN(Value v, Eval(agg.children[0], cr, *subst));
+        if (agg.agg == AggKind::kMMin || agg.agg == AggKind::kMMax) {
+          if (!v.is_numeric()) {
+            return Status::InvalidArgument("mmin/mmax on non-numeric value");
+          }
+          if (!state.initialized) {
+            state.best = v;
+          } else {
+            bool better = agg.agg == AggKind::kMMin
+                              ? v.AsNumber() < state.best.AsNumber()
+                              : v.AsNumber() > state.best.AsNumber();
+            if (better) state.best = v;
+          }
+        } else {
+          if (!v.is_numeric()) {
+            return Status::InvalidArgument("msum/mprod on non-numeric value");
+          }
+          if (v.is_double()) state.all_int = false;
+          if (!state.initialized) {
+            state.dval = v.AsNumber();
+            state.ival = v.is_int() ? v.AsInt() : 0;
+          } else if (agg.agg == AggKind::kMSum) {
+            state.dval += v.AsNumber();
+            state.ival += v.is_int() ? v.AsInt() : 0;
+          } else {  // kMProd
+            state.dval *= v.AsNumber();
+            state.ival *= v.is_int() ? v.AsInt() : 1;
+          }
+        }
+        state.initialized = true;
+      }
+
+      (*subst)[lit.target_var] = state.Current(agg.agg);
+      (*bound)[lit.target_var] = true;
+      Status st = MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst,
+                            bound, premises, inserted_any);
+      (*bound)[lit.target_var] = false;
+      // Note: the contribution is intentionally NOT rolled back — it was a
+      // genuine match of the relational body; only post-aggregate filters
+      // (e.g. thresholds) may have rejected emission this time.
+      return st;
+    }
+  }
+  return Status::Internal("unreachable literal kind");
+}
+
+Status Engine::EvalRule(CompiledRule& cr, int delta_occurrence,
+                        const std::vector<std::pair<size_t, size_t>>& deltas) {
+  std::vector<Value> subst(cr.rule.var_names.size());
+  std::vector<bool> bound(cr.rule.var_names.size(), false);
+  std::vector<std::pair<uint32_t, uint32_t>> premises;
+  bool inserted_any = false;
+  return MatchFrom(cr, 0, delta_occurrence, deltas, &subst, &bound, &premises,
+                   &inserted_any);
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint driver
+// ---------------------------------------------------------------------------
+
+std::vector<size_t> Engine::RelationSizes() const {
+  const size_t num_preds = db_->catalog()->predicates.size();
+  std::vector<size_t> out(num_preds, 0);
+  for (uint32_t p = 0; p < num_preds; ++p) {
+    const Relation* rel = static_cast<const Database*>(db_)->relation(p);
+    out[p] = rel ? rel->size() : 0;
+  }
+  return out;
+}
+
+Status Engine::EvalStratum(const std::vector<uint32_t>& rule_ids,
+                           const std::vector<size_t>* initial_before) {
+  const size_t num_preds = db_->catalog()->predicates.size();
+  auto sizes = [&]() { return RelationSizes(); };
+
+  std::vector<size_t> before;
+  if (initial_before == nullptr) {
+    // Naive first pass.
+    before = sizes();
+    for (uint32_t r : rule_ids) {
+      VL_RETURN_NOT_OK(EvalRule(compiled_[r], -1, {}));
+    }
+  } else {
+    // Incremental: the delta window opens at the previous run's sizes.
+    before = *initial_before;
+    before.resize(num_preds, 0);
+  }
+  std::vector<size_t> after = sizes();
+
+  // Semi-naive iterations.
+  size_t iteration = 0;
+  while (after != before) {
+    if (++iteration > options_.max_iterations) {
+      return Status::Internal("iteration limit exceeded; chase aborted");
+    }
+    ++stats_.iterations;
+    std::vector<std::pair<size_t, size_t>> deltas(num_preds);
+    for (uint32_t p = 0; p < num_preds; ++p) {
+      deltas[p] = {before[p], after[p]};
+    }
+    before = after;
+    for (uint32_t r : rule_ids) {
+      CompiledRule& cr = compiled_[r];
+      for (size_t k = 0; k < cr.positive_atoms.size(); ++k) {
+        uint32_t pred =
+            cr.rule.body[cr.positive_atoms[k]].atom.predicate;
+        if (deltas[pred].first >= deltas[pred].second) continue;
+        VL_RETURN_NOT_OK(EvalRule(cr, static_cast<int>(k), deltas));
+      }
+    }
+    after = sizes();
+  }
+  return Status::OK();
+}
+
+Status Engine::Run(const Program& program) {
+  program_ = &program;
+  stats_ = EngineStats{};
+  agg_states_.clear();
+
+  for (const Atom& fact : program.facts) {
+    std::vector<Value> tuple;
+    tuple.reserve(fact.args.size());
+    for (const Term& t : fact.args) tuple.push_back(t.constant);
+    VL_ASSIGN_OR_RETURN(bool inserted,
+                        db_->Insert(fact.predicate, std::move(tuple)));
+    (void)inserted;
+  }
+
+  VL_RETURN_NOT_OK(Prepare(program));
+  VL_ASSIGN_OR_RETURN(Stratification strat,
+                      Stratify(program, *db_->catalog()));
+  stats_.strata = strat.strata.size();
+  for (const auto& stratum_rules : strat.strata) {
+    if (!stratum_rules.empty()) {
+      VL_RETURN_NOT_OK(EvalStratum(stratum_rules, nullptr));
+    }
+  }
+  last_run_sizes_ = RelationSizes();
+  return Status::OK();
+}
+
+Status Engine::RunIncremental(const Program& program) {
+  program_ = &program;
+  for (const Rule& rule : program.rules) {
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kNegatedAtom) {
+        return Status::Unsupported(
+            "RunIncremental does not support negation (new facts could "
+            "invalidate earlier conclusions); use Run()");
+      }
+    }
+  }
+
+  for (const Atom& fact : program.facts) {
+    std::vector<Value> tuple;
+    tuple.reserve(fact.args.size());
+    for (const Term& t : fact.args) tuple.push_back(t.constant);
+    VL_ASSIGN_OR_RETURN(bool inserted,
+                        db_->Insert(fact.predicate, std::move(tuple)));
+    (void)inserted;
+  }
+
+  VL_RETURN_NOT_OK(Prepare(program));
+  VL_ASSIGN_OR_RETURN(Stratification strat,
+                      Stratify(program, *db_->catalog()));
+  stats_.strata = strat.strata.size();
+  std::vector<size_t> window_start = last_run_sizes_;
+  for (const auto& stratum_rules : strat.strata) {
+    if (!stratum_rules.empty()) {
+      VL_RETURN_NOT_OK(EvalStratum(stratum_rules, &window_start));
+    }
+  }
+  last_run_sizes_ = RelationSizes();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Provenance
+// ---------------------------------------------------------------------------
+
+std::string Engine::Explain(uint32_t predicate,
+                            const std::vector<Value>& tuple,
+                            size_t max_depth) const {
+  std::string out;
+  const Catalog* cat = db_->catalog();
+
+  auto render = [&](uint32_t pred, const std::vector<Value>& t) {
+    std::string s = cat->predicates.Name(pred) + "(";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += t[i].ToString(cat->symbols);
+    }
+    return s + ")";
+  };
+
+  struct Item {
+    uint32_t pred;
+    uint32_t idx;
+    size_t depth;
+  };
+  const Relation* rel = static_cast<const Database*>(db_)->relation(predicate);
+  if (rel == nullptr) return "(unknown predicate)\n";
+  int64_t idx = rel->Find(tuple);
+  if (idx < 0) return "(fact not present)\n";
+
+  std::vector<Item> stack{{predicate, static_cast<uint32_t>(idx), 0}};
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    const Relation* r =
+        static_cast<const Database*>(db_)->relation(item.pred);
+    out += std::string(item.depth * 2, ' ') +
+           render(item.pred, r->tuple(item.idx));
+    uint64_t key =
+        (static_cast<uint64_t>(item.pred) << 32) | item.idx;
+    auto it = provenance_.find(key);
+    if (it == provenance_.end()) {
+      out += "  (asserted)\n";
+      continue;
+    }
+    out += "  <- rule " + std::to_string(it->second.rule);
+    if (program_ != nullptr && it->second.rule < program_->rules.size()) {
+      out += " [line " +
+             std::to_string(program_->rules[it->second.rule].line) + "]";
+    }
+    out += "\n";
+    if (item.depth + 1 <= max_depth) {
+      for (auto rit = it->second.premises.rbegin();
+           rit != it->second.premises.rend(); ++rit) {
+        stack.push_back({rit->first, rit->second, item.depth + 1});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,170 @@
+// The reasoning engine: a semi-naive, stratified chase for existential
+// rules with Skolem functions and monotonic aggregation — the fragment of
+// Vadalog the paper's Algorithms 2-9 are written in.
+//
+// Design notes:
+//  * Existential head variables are satisfied with labeled nulls memoised
+//    on (rule, variable, frontier) — i.e. the Skolem chase — so re-firing a
+//    rule on the same frontier reuses its nulls and recursion terminates
+//    whenever the Skolem chase does (all warded programs in this codebase).
+//  * Monotonic aggregates keep per-(rule, group) running state; a body
+//    match contributes at most once per distinct contributor-variable
+//    binding, and each contribution emits the updated running value
+//    (Section 4 of the paper: "subsequent invocations yield updated values
+//    ... the final value is the minimum/maximum value").
+//  * Semi-naive deltas are index ranges over the append-only relations.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/builtins.h"
+#include "datalog/database.h"
+#include "datalog/stratify.h"
+
+namespace vadalink::datalog {
+
+struct EngineOptions {
+  /// Abort if one stratum runs more than this many fixpoint iterations.
+  size_t max_iterations = 1000000;
+  /// Abort once the database holds more than this many facts.
+  size_t max_facts = 50000000;
+  /// Record one derivation per fact for Explain().
+  bool trace_provenance = false;
+};
+
+struct EngineStats {
+  size_t strata = 0;
+  size_t iterations = 0;
+  size_t body_matches = 0;
+  size_t facts_derived = 0;
+  size_t nulls_invented = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(Database* db, EngineOptions options = {});
+
+  /// Function table used for '#name(...)' calls. The standard library is
+  /// pre-registered; domain modules may add more before Run().
+  FunctionRegistry* functions() { return &functions_; }
+
+  /// Evaluates `program` to fixpoint over the engine's database. Facts in
+  /// the program are asserted first. Idempotent w.r.t. already present
+  /// facts. Aggregate state is reset at the start of each call.
+  Status Run(const Program& program);
+
+  /// Incremental continuation after a completed Run() of the same program:
+  /// only facts inserted into the database since that run are treated as
+  /// deltas (the initial naive pass is skipped), and aggregate state, null
+  /// memoisation and provenance carry over. Sound because the engine's
+  /// fragment without negation is monotonic; programs using negation are
+  /// rejected (a new fact could invalidate earlier conclusions).
+  Status RunIncremental(const Program& program);
+
+  const EngineStats& stats() const { return stats_; }
+
+  /// Provenance: a one-derivation explanation tree for a fact (requires
+  /// options.trace_provenance). Facts without a recorded derivation print
+  /// as "(asserted)".
+  std::string Explain(uint32_t predicate, const std::vector<Value>& tuple,
+                      size_t max_depth = 6) const;
+
+ private:
+  /// A rule with its body reordered for evaluability plus the metadata the
+  /// evaluator needs (positive atom positions, frontier, aggregate info).
+  struct CompiledRule {
+    Rule rule;
+    uint32_t id = 0;
+    std::vector<size_t> positive_atoms;
+    std::vector<uint32_t> frontier_vars;
+    std::vector<uint32_t> existential_vars;
+    bool has_agg = false;
+    size_t agg_pos = 0;
+    std::vector<uint32_t> agg_group_vars;
+  };
+
+  struct VecValueHash {
+    size_t operator()(const std::vector<Value>& v) const {
+      return HashValues(v);
+    }
+  };
+
+  /// Running state of one monotonic aggregate group.
+  struct AggState {
+    std::unordered_set<std::vector<Value>, VecValueHash> contributors;
+    bool initialized = false;
+    bool all_int = true;
+    double dval = 0.0;
+    int64_t ival = 0;
+    Value best;
+    int64_t count = 0;
+
+    Value Current(AggKind kind) const;
+  };
+
+  Status Prepare(const Program& program);
+  /// initial_before: per-predicate fact counts marking the start of the
+  /// delta window; nullptr = full naive pass first.
+  Status EvalStratum(const std::vector<uint32_t>& rule_ids,
+                     const std::vector<size_t>* initial_before);
+  std::vector<size_t> RelationSizes() const;
+  Status EvalRule(CompiledRule& rule, int delta_occurrence,
+                  const std::vector<std::pair<size_t, size_t>>& deltas);
+  Status MatchFrom(CompiledRule& rule, size_t literal_pos,
+                   int delta_occurrence,
+                   const std::vector<std::pair<size_t, size_t>>& deltas,
+                   std::vector<Value>* subst, std::vector<bool>* bound,
+                   std::vector<std::pair<uint32_t, uint32_t>>* premises,
+                   bool* inserted_any);
+  Status EmitHead(CompiledRule& rule, std::vector<Value>* subst,
+                  const std::vector<std::pair<uint32_t, uint32_t>>& premises,
+                  bool* inserted_any);
+  Result<Value> Eval(const Expr& e, const CompiledRule& rule,
+                     const std::vector<Value>& subst);
+  Result<bool> EvalComparison(const Literal& lit, const CompiledRule& rule,
+                              const std::vector<Value>& subst);
+
+  Database* db_;
+  EngineOptions options_;
+  FunctionRegistry functions_;
+  EngineStats stats_;
+
+  std::vector<CompiledRule> compiled_;
+  // function id (catalog) -> resolved callable
+  std::vector<const ExternalFn*> resolved_fns_;
+
+  // Aggregate state, reset per Run(): (rule, group key) -> running state.
+  struct AggKey {
+    uint32_t rule;
+    std::vector<Value> group;
+    bool operator==(const AggKey& o) const {
+      return rule == o.rule && group == o.group;
+    }
+  };
+  struct AggKeyHash {
+    size_t operator()(const AggKey& k) const {
+      return HashCombine(k.rule, HashValues(k.group));
+    }
+  };
+  std::unordered_map<AggKey, AggState, AggKeyHash> agg_states_;
+
+  // Provenance: (pred, tuple idx) -> derivation.
+  struct Derivation {
+    uint32_t rule;
+    std::vector<std::pair<uint32_t, uint32_t>> premises;
+  };
+  std::unordered_map<uint64_t, Derivation> provenance_;
+
+  // Per-predicate fact counts at the end of the last (incremental) run,
+  // marking the delta window start for RunIncremental.
+  std::vector<size_t> last_run_sizes_;
+
+  const Program* program_ = nullptr;
+};
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,225 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace vadalink::datalog {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kIdent: return "identifier";
+    case TokenType::kVariable: return "variable";
+    case TokenType::kInt: return "integer";
+    case TokenType::kDouble: return "double";
+    case TokenType::kString: return "string";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kComma: return "','";
+    case TokenType::kDot: return "'.'";
+    case TokenType::kArrow: return "'->'";
+    case TokenType::kEq: return "'='";
+    case TokenType::kEqEq: return "'=='";
+    case TokenType::kNe: return "'!='";
+    case TokenType::kLt: return "'<'";
+    case TokenType::kLe: return "'<='";
+    case TokenType::kGt: return "'>'";
+    case TokenType::kGe: return "'>='";
+    case TokenType::kPlus: return "'+'";
+    case TokenType::kMinus: return "'-'";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kSlash: return "'/'";
+    case TokenType::kHash: return "'#'";
+    case TokenType::kAt: return "'@'";
+    case TokenType::kEof: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  uint32_t line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto push = [&](TokenType t) {
+    Token tok;
+    tok.type = t;
+    tok.line = line;
+    tokens.push_back(std::move(tok));
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '%') {  // comment to end of line
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      Token tok;
+      tok.line = line;
+      tok.text = std::string(source.substr(start, i - start));
+      tok.type = (std::isupper(static_cast<unsigned char>(c)) || c == '_')
+                     ? TokenType::kVariable
+                     : TokenType::kIdent;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      if (i + 1 < n && source[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (source[j] == '+' || source[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) {
+          is_double = true;
+          i = j;
+          while (i < n &&
+                 std::isdigit(static_cast<unsigned char>(source[i]))) {
+            ++i;
+          }
+        }
+      }
+      std::string text(source.substr(start, i - start));
+      Token tok;
+      tok.line = line;
+      if (is_double) {
+        tok.type = TokenType::kDouble;
+        tok.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInt;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (source[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (source[i] == '\\' && i + 1 < n) {
+          char esc = source[i + 1];
+          switch (esc) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '\\': text += '\\'; break;
+            case '"': text += '"'; break;
+            default: text += esc; break;
+          }
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') ++line;
+        text += source[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("line " + std::to_string(line) +
+                                  ": unterminated string literal");
+      }
+      Token tok;
+      tok.type = TokenType::kString;
+      tok.line = line;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Operators and punctuation.
+    auto two = [&](char c2) { return i + 1 < n && source[i + 1] == c2; };
+    switch (c) {
+      case '(': push(TokenType::kLParen); ++i; break;
+      case ')': push(TokenType::kRParen); ++i; break;
+      case ',': push(TokenType::kComma); ++i; break;
+      case '.': push(TokenType::kDot); ++i; break;
+      case '+': push(TokenType::kPlus); ++i; break;
+      case '*': push(TokenType::kStar); ++i; break;
+      case '/': push(TokenType::kSlash); ++i; break;
+      case '#': push(TokenType::kHash); ++i; break;
+      case '@': push(TokenType::kAt); ++i; break;
+      case '-':
+        if (two('>')) {
+          push(TokenType::kArrow);
+          i += 2;
+        } else {
+          push(TokenType::kMinus);
+          ++i;
+        }
+        break;
+      case '=':
+        if (two('=')) {
+          push(TokenType::kEqEq);
+          i += 2;
+        } else {
+          push(TokenType::kEq);
+          ++i;
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenType::kNe);
+          i += 2;
+        } else {
+          return Status::ParseError("line " + std::to_string(line) +
+                                    ": stray '!'");
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenType::kLe);
+          i += 2;
+        } else {
+          push(TokenType::kLt);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenType::kGe);
+          i += 2;
+        } else {
+          push(TokenType::kGt);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError("line " + std::to_string(line) +
+                                  ": unexpected character '" +
+                                  std::string(1, c) + "'");
+    }
+  }
+  push(TokenType::kEof);
+  return tokens;
+}
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,59 @@
+// Tokenizer for the Vadalog-like concrete syntax.
+//
+// Conventions (Prolog-style): identifiers starting with an upper-case letter
+// or '_' are variables; lower-case identifiers are symbol constants or
+// predicate names; '#name(...)' invokes a registered function; '%' and '//'
+// start line comments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vadalink::datalog {
+
+enum class TokenType : uint8_t {
+  kIdent,      // lower-case identifier
+  kVariable,   // upper-case / underscore identifier
+  kInt,
+  kDouble,
+  kString,     // double-quoted
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kArrow,      // ->
+  kEq,         // =
+  kEqEq,       // ==
+  kNe,         // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kHash,       // #
+  kAt,         // @
+  kEof,
+};
+
+const char* TokenTypeName(TokenType t);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;     // identifier / string payload
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  uint32_t line = 0;
+};
+
+/// Tokenizes a full program source. Returns ParseError with line info on
+/// malformed input (unterminated string, stray character).
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,483 @@
+#include "datalog/parser.h"
+
+#include <unordered_map>
+
+#include "datalog/lexer.h"
+
+namespace vadalink::datalog {
+
+namespace {
+
+bool IsAggName(const std::string& s, AggKind* kind) {
+  if (s == "msum") *kind = AggKind::kMSum;
+  else if (s == "mprod") *kind = AggKind::kMProd;
+  else if (s == "mmin") *kind = AggKind::kMMin;
+  else if (s == "mmax") *kind = AggKind::kMMax;
+  else if (s == "mcount") *kind = AggKind::kMCount;
+  else return false;
+  return true;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Catalog* catalog)
+      : tokens_(std::move(tokens)), catalog_(catalog) {}
+
+  Result<Program> Parse() {
+    Program program;
+    while (!Check(TokenType::kEof)) {
+      VL_RETURN_NOT_OK(ParseStatement(&program));
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Peek2() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : pos_];
+  }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  Token Advance() { return tokens_[pos_++]; }
+  bool Match(TokenType t) {
+    if (Check(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& msg) {
+    return Status::ParseError("line " + std::to_string(Peek().line) + ": " +
+                              msg + " (found " + TokenTypeName(Peek().type) +
+                              (Peek().text.empty() ? "" : " '" + Peek().text + "'") +
+                              ")");
+  }
+
+  Status Expect(TokenType t, const char* what) {
+    if (!Match(t)) return Error(std::string("expected ") + what);
+    return Status::OK();
+  }
+
+  Status ParseStatement(Program* program) {
+    if (Match(TokenType::kAt)) return ParseDirective(program);
+
+    // Parse one rule or fact. We parse the body literals first; when a '.'
+    // follows immediately after a single ground atom, it is a fact.
+    Rule rule;
+    rule.line = Peek().line;
+    var_index_.clear();
+    VL_RETURN_NOT_OK(ParseLiteral(&rule));
+    while (Match(TokenType::kComma)) {
+      VL_RETURN_NOT_OK(ParseLiteral(&rule));
+    }
+    if (Match(TokenType::kDot)) {
+      // Fact(s): every literal must be a ground positive atom.
+      for (const Literal& l : rule.body) {
+        if (l.kind != Literal::Kind::kAtom) {
+          return Status::ParseError(
+              "line " + std::to_string(rule.line) +
+              ": only plain atoms may be asserted as facts");
+        }
+        for (const Term& t : l.atom.args) {
+          if (t.is_var()) {
+            return Status::ParseError("line " + std::to_string(rule.line) +
+                                      ": fact arguments must be ground");
+          }
+        }
+        program->facts.push_back(l.atom);
+      }
+      return Status::OK();
+    }
+    VL_RETURN_NOT_OK(Expect(TokenType::kArrow, "'->' or '.'"));
+    VL_RETURN_NOT_OK(ParseAtom(&rule, &rule.head.emplace_back()));
+    while (Match(TokenType::kComma)) {
+      VL_RETURN_NOT_OK(ParseAtom(&rule, &rule.head.emplace_back()));
+    }
+    VL_RETURN_NOT_OK(Expect(TokenType::kDot, "'.' after rule head"));
+    VL_RETURN_NOT_OK(ValidateRule(rule));
+    program->rules.push_back(std::move(rule));
+    return Status::OK();
+  }
+
+  Status ParseDirective(Program* program) {
+    if (!Check(TokenType::kIdent)) return Error("expected directive name");
+    std::string name = Advance().text;
+    VL_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    if (!Check(TokenType::kIdent) && !Check(TokenType::kString)) {
+      return Error("expected predicate name");
+    }
+    std::string arg = Advance().text;
+    VL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    VL_RETURN_NOT_OK(Expect(TokenType::kDot, "'.'"));
+    if (name == "output") {
+      program->outputs.push_back(catalog_->predicates.Intern(arg));
+    } else if (name == "input") {
+      // Input declarations are accepted for documentation purposes.
+    } else {
+      return Status::ParseError("unknown directive @" + name);
+    }
+    return Status::OK();
+  }
+
+  uint32_t VarId(Rule* rule, const std::string& name) {
+    auto it = var_index_.find(name);
+    if (it != var_index_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(rule->var_names.size());
+    rule->var_names.push_back(name);
+    var_index_.emplace(name, id);
+    return id;
+  }
+
+  // literal := 'not' atom | VARIABLE '=' expr | atom | expr CMP expr
+  Status ParseLiteral(Rule* rule) {
+    Literal lit;
+    if (Check(TokenType::kIdent) && Peek().text == "not") {
+      Advance();
+      lit.kind = Literal::Kind::kNegatedAtom;
+      VL_RETURN_NOT_OK(ParseAtom(rule, &lit.atom));
+      rule->body.push_back(std::move(lit));
+      return Status::OK();
+    }
+    // Assignment: VARIABLE '=' ...
+    if (Check(TokenType::kVariable) && Peek2().type == TokenType::kEq) {
+      lit.kind = Literal::Kind::kAssignment;
+      lit.target_var = VarId(rule, Advance().text);
+      Advance();  // '='
+      VL_ASSIGN_OR_RETURN(lit.rhs, ParseExpr(rule));
+      rule->body.push_back(std::move(lit));
+      return Status::OK();
+    }
+    // Plain atom: IDENT '(' — but an IDENT could also start a comparison
+    // expression (symbol constant); disambiguate by the following token.
+    if (Check(TokenType::kIdent) && Peek2().type == TokenType::kLParen) {
+      AggKind dummy;
+      if (!IsAggName(Peek().text, &dummy)) {
+        lit.kind = Literal::Kind::kAtom;
+        VL_RETURN_NOT_OK(ParseAtom(rule, &lit.atom));
+        rule->body.push_back(std::move(lit));
+        return Status::OK();
+      }
+    }
+    if (Check(TokenType::kIdent) && Peek2().type != TokenType::kLParen &&
+        !IsComparisonNext()) {
+      // 0-ary atom, e.g. "flag".
+      lit.kind = Literal::Kind::kAtom;
+      lit.atom.predicate = catalog_->predicates.Intern(Advance().text);
+      rule->body.push_back(std::move(lit));
+      return Status::OK();
+    }
+    // Comparison.
+    lit.kind = Literal::Kind::kComparison;
+    VL_ASSIGN_OR_RETURN(lit.lhs, ParseExpr(rule));
+    switch (Peek().type) {
+      case TokenType::kEqEq: lit.cmp = CmpOp::kEq; break;
+      case TokenType::kNe: lit.cmp = CmpOp::kNe; break;
+      case TokenType::kLt: lit.cmp = CmpOp::kLt; break;
+      case TokenType::kLe: lit.cmp = CmpOp::kLe; break;
+      case TokenType::kGt: lit.cmp = CmpOp::kGt; break;
+      case TokenType::kGe: lit.cmp = CmpOp::kGe; break;
+      default:
+        return Error("expected comparison operator");
+    }
+    Advance();
+    VL_ASSIGN_OR_RETURN(lit.rhs, ParseExpr(rule));
+    rule->body.push_back(std::move(lit));
+    return Status::OK();
+  }
+
+  // Heuristic: does a comparison operator follow the next token? Used to
+  // let bare identifiers act as 0-ary atoms vs symbol constants in
+  // comparisons like  x == abc.
+  bool IsComparisonNext() const {
+    TokenType t = Peek2().type;
+    return t == TokenType::kEqEq || t == TokenType::kNe ||
+           t == TokenType::kLt || t == TokenType::kLe ||
+           t == TokenType::kGt || t == TokenType::kGe;
+  }
+
+  Status ParseAtom(Rule* rule, Atom* atom) {
+    if (!Check(TokenType::kIdent)) return Error("expected predicate name");
+    atom->predicate = catalog_->predicates.Intern(Advance().text);
+    if (!Match(TokenType::kLParen)) return Status::OK();  // 0-ary
+    if (Match(TokenType::kRParen)) return Status::OK();
+    for (;;) {
+      VL_ASSIGN_OR_RETURN(Term t, ParseTerm(rule));
+      atom->args.push_back(std::move(t));
+      if (Match(TokenType::kRParen)) break;
+      VL_RETURN_NOT_OK(Expect(TokenType::kComma, "',' or ')'"));
+    }
+    return Status::OK();
+  }
+
+  Result<Term> ParseTerm(Rule* rule) {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kVariable:
+        return Term::Var(VarId(rule, Advance().text));
+      case TokenType::kString:
+        return Term::Const(Value::Symbol(catalog_->symbols.Intern(Advance().text)));
+      case TokenType::kInt:
+        return Term::Const(Value::Int(Advance().int_value));
+      case TokenType::kDouble:
+        return Term::Const(Value::Double(Advance().double_value));
+      case TokenType::kMinus: {
+        Advance();
+        if (Check(TokenType::kInt)) {
+          return Term::Const(Value::Int(-Advance().int_value));
+        }
+        if (Check(TokenType::kDouble)) {
+          return Term::Const(Value::Double(-Advance().double_value));
+        }
+        return Error("expected number after '-'");
+      }
+      case TokenType::kIdent: {
+        std::string name = Advance().text;
+        if (name == "true") return Term::Const(Value::Bool(true));
+        if (name == "false") return Term::Const(Value::Bool(false));
+        // Bare lower-case identifier: symbol constant.
+        return Term::Const(Value::Symbol(catalog_->symbols.Intern(name)));
+      }
+      default:
+        return Error("expected term");
+    }
+  }
+
+  // expr := mul (('+'|'-') mul)*
+  Result<Expr> ParseExpr(Rule* rule) {
+    VL_ASSIGN_OR_RETURN(Expr lhs, ParseMul(rule));
+    while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+      Expr::Op op = Advance().type == TokenType::kPlus ? Expr::Op::kAdd
+                                                       : Expr::Op::kSub;
+      VL_ASSIGN_OR_RETURN(Expr rhs, ParseMul(rule));
+      Expr combined;
+      combined.op = op;
+      combined.children.push_back(std::move(lhs));
+      combined.children.push_back(std::move(rhs));
+      lhs = std::move(combined);
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseMul(Rule* rule) {
+    VL_ASSIGN_OR_RETURN(Expr lhs, ParseUnary(rule));
+    while (Check(TokenType::kStar) || Check(TokenType::kSlash)) {
+      Expr::Op op = Advance().type == TokenType::kStar ? Expr::Op::kMul
+                                                       : Expr::Op::kDiv;
+      VL_ASSIGN_OR_RETURN(Expr rhs, ParseUnary(rule));
+      Expr combined;
+      combined.op = op;
+      combined.children.push_back(std::move(lhs));
+      combined.children.push_back(std::move(rhs));
+      lhs = std::move(combined);
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseUnary(Rule* rule) {
+    if (Match(TokenType::kMinus)) {
+      VL_ASSIGN_OR_RETURN(Expr inner, ParseUnary(rule));
+      if (inner.op == Expr::Op::kConst && inner.constant.is_int()) {
+        return Expr::Const(Value::Int(-inner.constant.AsInt()));
+      }
+      if (inner.op == Expr::Op::kConst && inner.constant.is_double()) {
+        return Expr::Const(Value::Double(-inner.constant.AsDouble()));
+      }
+      Expr e;
+      e.op = Expr::Op::kNeg;
+      e.children.push_back(std::move(inner));
+      return e;
+    }
+    return ParsePrimary(rule);
+  }
+
+  Result<Expr> ParsePrimary(Rule* rule) {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kInt:
+        return Expr::Const(Value::Int(Advance().int_value));
+      case TokenType::kDouble:
+        return Expr::Const(Value::Double(Advance().double_value));
+      case TokenType::kString:
+        return Expr::Const(
+            Value::Symbol(catalog_->symbols.Intern(Advance().text)));
+      case TokenType::kVariable:
+        return Expr::Var(VarId(rule, Advance().text));
+      case TokenType::kLParen: {
+        Advance();
+        VL_ASSIGN_OR_RETURN(Expr inner, ParseExpr(rule));
+        VL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+        return inner;
+      }
+      case TokenType::kHash: {
+        Advance();
+        if (!Check(TokenType::kIdent)) return Error("expected function name");
+        std::string fname = Advance().text;
+        Expr e;
+        e.op = Expr::Op::kCall;
+        e.function = catalog_->functions.Intern(fname);
+        VL_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+        if (!Match(TokenType::kRParen)) {
+          for (;;) {
+            VL_ASSIGN_OR_RETURN(Expr arg, ParseExpr(rule));
+            e.children.push_back(std::move(arg));
+            if (Match(TokenType::kRParen)) break;
+            VL_RETURN_NOT_OK(Expect(TokenType::kComma, "',' or ')'"));
+          }
+        }
+        return e;
+      }
+      case TokenType::kIdent: {
+        std::string name = Peek().text;
+        AggKind agg;
+        if (IsAggName(name, &agg) && Peek2().type == TokenType::kLParen) {
+          Advance();  // name
+          Advance();  // '('
+          return ParseAggregate(rule, agg);
+        }
+        Advance();
+        if (name == "true") return Expr::Const(Value::Bool(true));
+        if (name == "false") return Expr::Const(Value::Bool(false));
+        return Expr::Const(
+            Value::Symbol(catalog_->symbols.Intern(name)));
+      }
+      default:
+        return Error("expected expression");
+    }
+  }
+
+  // After 'msum(' : expr [',' '<' vars '>'] ')'
+  // After 'mcount(' : '<' vars '>' ')'
+  Result<Expr> ParseAggregate(Rule* rule, AggKind agg) {
+    Expr e;
+    e.op = Expr::Op::kAggregate;
+    e.agg = agg;
+    if (agg != AggKind::kMCount) {
+      VL_ASSIGN_OR_RETURN(Expr value, ParseExpr(rule));
+      e.children.push_back(std::move(value));
+      if (Match(TokenType::kRParen)) return e;  // no contributor list
+      VL_RETURN_NOT_OK(Expect(TokenType::kComma, "',' or ')'"));
+    }
+    VL_RETURN_NOT_OK(Expect(TokenType::kLt, "'<' starting contributor list"));
+    for (;;) {
+      if (!Check(TokenType::kVariable)) {
+        return Error("expected contributor variable");
+      }
+      e.contributors.push_back(VarId(rule, Advance().text));
+      if (Match(TokenType::kGt)) break;
+      VL_RETURN_NOT_OK(Expect(TokenType::kComma, "',' or '>'"));
+    }
+    VL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return e;
+  }
+
+  // Static safety checks.
+  Status ValidateRule(const Rule& rule) {
+    std::vector<bool> positive_bound(rule.var_names.size(), false);
+    for (const Literal& l : rule.body) {
+      if (l.kind == Literal::Kind::kAtom) {
+        for (const Term& t : l.atom.args) {
+          if (t.is_var()) positive_bound[t.var] = true;
+        }
+      }
+    }
+    // Literals are evaluated left to right; assignments bind their target.
+    std::vector<bool> bound = positive_bound;
+    for (const Literal& l : rule.body) {
+      if (l.kind == Literal::Kind::kAssignment) bound[l.target_var] = true;
+    }
+    auto check_vars_bound = [&](const Expr& e, const char* what) -> Status {
+      std::vector<bool> used(rule.var_names.size(), false);
+      CollectExprVars(e, &used);
+      for (uint32_t v = 0; v < used.size(); ++v) {
+        if (used[v] && !bound[v]) {
+          return Status::ParseError(
+              "line " + std::to_string(rule.line) + ": variable " +
+              rule.var_names[v] + " in " + what +
+              " is not bound by any positive body atom or assignment");
+        }
+      }
+      return Status::OK();
+    };
+    size_t agg_count = 0;
+    for (const Literal& l : rule.body) {
+      switch (l.kind) {
+        case Literal::Kind::kAtom:
+          break;
+        case Literal::Kind::kNegatedAtom:
+          for (const Term& t : l.atom.args) {
+            if (t.is_var() && !bound[t.var]) {
+              return Status::ParseError(
+                  "line " + std::to_string(rule.line) + ": variable " +
+                  rule.var_names[t.var] + " appears only under negation");
+            }
+          }
+          break;
+        case Literal::Kind::kComparison:
+          VL_RETURN_NOT_OK(check_vars_bound(l.lhs, "comparison"));
+          VL_RETURN_NOT_OK(check_vars_bound(l.rhs, "comparison"));
+          if (l.lhs.is_aggregate() || l.rhs.is_aggregate()) {
+            return Status::ParseError(
+                "line " + std::to_string(rule.line) +
+                ": aggregates may only appear in assignments");
+          }
+          break;
+        case Literal::Kind::kAssignment:
+          if (l.rhs.is_aggregate()) {
+            ++agg_count;
+            if (l.rhs.agg != AggKind::kMCount && l.rhs.children.empty()) {
+              return Status::ParseError("line " + std::to_string(rule.line) +
+                                        ": aggregate needs a value argument");
+            }
+          } else {
+            // Nested aggregates inside other expressions are not allowed.
+            std::vector<bool> dummy(rule.var_names.size(), false);
+            if (HasNestedAggregate(l.rhs)) {
+              return Status::ParseError(
+                  "line " + std::to_string(rule.line) +
+                  ": aggregates may only appear at assignment top level");
+            }
+          }
+          VL_RETURN_NOT_OK(check_vars_bound(l.rhs, "assignment"));
+          if (positive_bound[l.target_var]) {
+            return Status::ParseError(
+                "line " + std::to_string(rule.line) + ": variable " +
+                rule.var_names[l.target_var] +
+                " is both atom-bound and assigned");
+          }
+          break;
+      }
+    }
+    if (agg_count > 1) {
+      return Status::ParseError("line " + std::to_string(rule.line) +
+                                ": at most one aggregate per rule");
+    }
+    if (rule.head.empty()) {
+      return Status::ParseError("line " + std::to_string(rule.line) +
+                                ": rule has no head");
+    }
+    return Status::OK();
+  }
+
+  static bool HasNestedAggregate(const Expr& e) {
+    if (e.op == Expr::Op::kAggregate) return true;
+    for (const Expr& c : e.children) {
+      if (HasNestedAggregate(c)) return true;
+    }
+    return false;
+  }
+
+  std::vector<Token> tokens_;
+  Catalog* catalog_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, uint32_t> var_index_;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source, Catalog* catalog) {
+  VL_ASSIGN_OR_RETURN(auto tokens, Tokenize(source));
+  Parser parser(std::move(tokens), catalog);
+  return parser.Parse();
+}
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,30 @@
+// Recursive-descent parser: token stream -> Program.
+//
+// Grammar sketch:
+//   program    := (statement)*
+//   statement  := directive | fact | rule
+//   directive  := '@' IDENT '(' (STRING | IDENT) ')' '.'
+//   fact       := atom '.'                       (must be ground)
+//   rule       := body '->' head '.'
+//   body       := literal (',' literal)*
+//   head       := atom (',' atom)*
+//   literal    := 'not' atom | atom | VARIABLE '=' expr | expr CMP expr
+//   atom       := IDENT '(' term (',' term)* ')' | IDENT
+//   term       := VARIABLE | constant
+//   expr       := additive with unary minus, '#'-function calls, aggregates
+//   aggregate  := ('msum'|'mprod'|'mmin'|'mmax') '(' expr ',' '<' vars '>' ')'
+//                | 'mcount' '(' '<' vars '>' ')'
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace vadalink::datalog {
+
+/// Parses `source`, interning names into `catalog`. On success the returned
+/// Program references catalog ids; on failure a ParseError with line number.
+Result<Program> ParseProgram(std::string_view source, Catalog* catalog);
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,68 @@
+#include "datalog/relation_io.h"
+
+#include <cstdlib>
+
+#include "common/csv.h"
+
+namespace vadalink::datalog {
+
+Value ParseCsvValue(const std::string& cell, SymbolTable* symbols) {
+  if (cell == "true") return Value::Bool(true);
+  if (cell == "false") return Value::Bool(false);
+  if (!cell.empty()) {
+    char* end = nullptr;
+    long long i = std::strtoll(cell.c_str(), &end, 10);
+    if (end != cell.c_str() && *end == '\0') {
+      return Value::Int(i);
+    }
+    double d = std::strtod(cell.c_str(), &end);
+    if (end != cell.c_str() && *end == '\0') {
+      return Value::Double(d);
+    }
+  }
+  return Value::Symbol(symbols->Intern(cell));
+}
+
+Result<size_t> LoadRelationCsv(Database* db, std::string_view predicate,
+                               const std::string& path) {
+  VL_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  uint32_t pred = db->catalog()->predicates.Intern(predicate);
+  size_t inserted = 0;
+  size_t arity = SIZE_MAX;
+  for (const auto& row : rows) {
+    if (arity == SIZE_MAX) arity = row.size();
+    if (row.size() != arity) {
+      return Status::ParseError(path + ": inconsistent arity (" +
+                                std::to_string(row.size()) + " vs " +
+                                std::to_string(arity) + ")");
+    }
+    std::vector<Value> tuple;
+    tuple.reserve(row.size());
+    for (const std::string& cell : row) {
+      tuple.push_back(ParseCsvValue(cell, &db->catalog()->symbols));
+    }
+    VL_ASSIGN_OR_RETURN(bool fresh, db->Insert(pred, std::move(tuple)));
+    if (fresh) ++inserted;
+  }
+  return inserted;
+}
+
+Status SaveRelationCsv(const Database& db, std::string_view predicate,
+                       const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& tuple : db.TuplesOf(predicate)) {
+    std::vector<std::string> row;
+    row.reserve(tuple.size());
+    for (const Value& v : tuple) {
+      if (v.is_symbol()) {
+        row.push_back(db.catalog()->symbols.Name(v.symbol_id()));
+      } else {
+        row.push_back(v.ToString(db.catalog()->symbols));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, rows);
+}
+
+}  // namespace vadalink::datalog

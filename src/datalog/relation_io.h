@@ -1,0 +1,31 @@
+// CSV import/export of relations, so fact bases can be exchanged with the
+// surrounding data platform (the ETL boundary in the paper's Figure 3
+// architecture). One file per predicate; cells are typed with the same
+// conventions as the rule language: bare/quoted text is a string symbol,
+// integers and decimals are numeric, "true"/"false" are booleans.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "datalog/database.h"
+
+namespace vadalink::datalog {
+
+/// Loads rows of `path` as facts of `predicate` (interned on demand).
+/// All rows must have the same arity (the relation's, if it exists).
+/// Returns the number of newly inserted facts.
+Result<size_t> LoadRelationCsv(Database* db, std::string_view predicate,
+                               const std::string& path);
+
+/// Writes all tuples of `predicate` to `path`. Strings are written
+/// unquoted (CSV quoting applies when needed); nulls as "_:nK", Skolem
+/// OIDs as "#K" (both re-read as strings — OIDs do not round-trip by
+/// design, they are internal).
+Status SaveRelationCsv(const Database& db, std::string_view predicate,
+                       const std::string& path);
+
+/// Parses one CSV cell into a Value using the typing conventions above.
+Value ParseCsvValue(const std::string& cell, SymbolTable* symbols);
+
+}  // namespace vadalink::datalog

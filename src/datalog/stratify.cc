@@ -1,0 +1,76 @@
+#include "datalog/stratify.h"
+
+#include <algorithm>
+
+namespace vadalink::datalog {
+
+namespace {
+
+struct DepEdge {
+  uint32_t from;  // body predicate
+  uint32_t to;    // head predicate
+  bool negative;
+};
+
+}  // namespace
+
+Result<Stratification> Stratify(const Program& program, const Catalog& cat) {
+  const size_t num_preds = cat.predicates.size();
+  std::vector<DepEdge> edges;
+  for (const Rule& rule : program.rules) {
+    for (const Atom& head : rule.head) {
+      for (const Literal& lit : rule.body) {
+        if (lit.kind == Literal::Kind::kAtom) {
+          edges.push_back({lit.atom.predicate, head.predicate, false});
+        } else if (lit.kind == Literal::Kind::kNegatedAtom) {
+          edges.push_back({lit.atom.predicate, head.predicate, true});
+        }
+      }
+      // Tie multi-head predicates together (mutual positive edges) so the
+      // whole rule lands in a single stratum.
+      for (const Atom& other : rule.head) {
+        if (other.predicate != head.predicate) {
+          edges.push_back({other.predicate, head.predicate, false});
+          edges.push_back({head.predicate, other.predicate, false});
+        }
+      }
+    }
+  }
+
+  // Longest-path stratum assignment via Bellman-Ford-style relaxation:
+  // stratum(to) >= stratum(from) (+1 if negative edge).
+  std::vector<uint32_t> stratum(num_preds, 0);
+  const size_t max_rounds = num_preds + 1;
+  bool changed = true;
+  size_t round = 0;
+  while (changed) {
+    if (++round > max_rounds) {
+      return Status::InvalidArgument(
+          "program is not stratifiable: negation through recursion");
+    }
+    changed = false;
+    for (const DepEdge& e : edges) {
+      uint32_t required = stratum[e.from] + (e.negative ? 1 : 0);
+      if (stratum[e.to] < required) {
+        stratum[e.to] = required;
+        changed = true;
+      }
+    }
+  }
+
+  Stratification out;
+  out.predicate_stratum = stratum;
+  uint32_t max_stratum = 0;
+  for (uint32_t s : stratum) max_stratum = std::max(max_stratum, s);
+  out.strata.resize(max_stratum + 1);
+  for (uint32_t r = 0; r < program.rules.size(); ++r) {
+    uint32_t rule_stratum = 0;
+    for (const Atom& head : program.rules[r].head) {
+      rule_stratum = std::max(rule_stratum, stratum[head.predicate]);
+    }
+    out.strata[rule_stratum].push_back(r);
+  }
+  return out;
+}
+
+}  // namespace vadalink::datalog

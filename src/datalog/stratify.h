@@ -1,0 +1,28 @@
+// Stratification of programs with negation.
+//
+// Builds the predicate dependency graph (positive edges from body atoms to
+// head predicates, negative edges from negated body atoms), rejects
+// programs with negation inside a recursive component, and assigns every
+// rule to a stratum. Head predicates of the same rule are forced into the
+// same stratum so multi-head rules stay sound.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace vadalink::datalog {
+
+struct Stratification {
+  /// stratum index -> rule indices (into Program::rules), evaluation order.
+  std::vector<std::vector<uint32_t>> strata;
+  /// predicate id -> stratum (UINT32_MAX for predicates not mentioned).
+  std::vector<uint32_t> predicate_stratum;
+};
+
+/// Computes a stratification, or InvalidArgument if the program uses
+/// negation through recursion.
+Result<Stratification> Stratify(const Program& program, const Catalog& cat);
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,85 @@
+#include "datalog/value.h"
+
+#include "common/string_util.h"
+
+namespace vadalink::datalog {
+
+uint32_t SymbolTable::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(s);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t SymbolTable::Lookup(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? UINT32_MAX : it->second;
+}
+
+bool Value::operator<(const Value& o) const {
+  if (kind_ != o.kind_) return kind_ < o.kind_;
+  switch (kind_) {
+    case Kind::kInt:
+      return AsInt() < o.AsInt();
+    case Kind::kDouble:
+      return AsDouble() < o.AsDouble();
+    default:
+      return bits_ < o.bits_;
+  }
+}
+
+std::string Value::ToString(const SymbolTable& symbols) const {
+  switch (kind_) {
+    case Kind::kNone:
+      return "<none>";
+    case Kind::kBool:
+      return AsBool() ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(AsInt());
+    case Kind::kDouble:
+      return FormatDouble(AsDouble());
+    case Kind::kSymbol:
+      return "\"" + symbols.Name(symbol_id()) + "\"";
+    case Kind::kNull:
+      return "_:n" + std::to_string(null_id());
+    case Kind::kSkolem:
+      return "#" + std::to_string(skolem_id());
+  }
+  return "?";
+}
+
+uint64_t HashValues(const std::vector<Value>& vals) {
+  uint64_t h = 0x51ab1efc35ULL;
+  for (const Value& v : vals) h = HashCombine(h, v.Hash());
+  return HashFinalize(h);
+}
+
+uint64_t SkolemRegistry::Get(uint32_t tag_symbol,
+                             const std::vector<Value>& args) {
+  auto key = std::make_pair(tag_symbol, args);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  uint64_t id = entries_.size();
+  entries_.push_back(Entry{tag_symbol, args});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+const SkolemRegistry::Entry* SkolemRegistry::Find(uint64_t id) const {
+  if (id >= entries_.size()) return nullptr;
+  return &entries_[id];
+}
+
+uint64_t NullRegistry::Get(uint32_t rule_id, uint32_t var_index,
+                           const std::vector<Value>& frontier) {
+  Key key{rule_id, var_index, frontier};
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  uint64_t id = count_++;
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+}  // namespace vadalink::datalog

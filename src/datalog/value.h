@@ -1,0 +1,185 @@
+// Ground values of the Datalog± engine: booleans, integers, doubles,
+// interned string symbols, labeled nulls (invented by existential rule
+// heads) and Skolem identifiers (OID invention, Section 4 of the paper:
+// deterministic, injective, with pairwise-disjoint ranges per functor tag).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace vadalink::datalog {
+
+/// Interning table for string constants. Symbol ids are dense and stable
+/// for the lifetime of the table.
+class SymbolTable {
+ public:
+  /// Returns the id of `s`, interning it on first sight.
+  uint32_t Intern(std::string_view s);
+
+  /// Returns the id of `s` if already interned, or UINT32_MAX.
+  uint32_t Lookup(std::string_view s) const;
+
+  const std::string& Name(uint32_t id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> names_;
+};
+
+/// A ground term.
+///
+/// Values of different kinds are never equal (the integer 1 and the double
+/// 1.0 are distinct values, though comparison builtins coerce numerically).
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kNone = 0,   // absence / uninitialised
+    kBool,
+    kInt,
+    kDouble,
+    kSymbol,     // interned string constant
+    kNull,       // labeled null invented by the chase
+    kSkolem,     // Skolem-functor-generated OID
+  };
+
+  Value() : kind_(Kind::kNone), bits_(0) {}
+
+  static Value Bool(bool b) { return Value(Kind::kBool, b ? 1 : 0); }
+  static Value Int(int64_t i) {
+    return Value(Kind::kInt, static_cast<uint64_t>(i));
+  }
+  static Value Double(double d) {
+    uint64_t bits;
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    return Value(Kind::kDouble, bits);
+  }
+  static Value Symbol(uint32_t id) { return Value(Kind::kSymbol, id); }
+  static Value Null(uint64_t id) { return Value(Kind::kNull, id); }
+  static Value Skolem(uint64_t id) { return Value(Kind::kSkolem, id); }
+
+  Kind kind() const { return kind_; }
+  bool is_none() const { return kind_ == Kind::kNone; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_symbol() const { return kind_ == Kind::kSymbol; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_skolem() const { return kind_ == Kind::kSkolem; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool AsBool() const { return bits_ != 0; }
+  int64_t AsInt() const { return static_cast<int64_t>(bits_); }
+  double AsDouble() const {
+    double d;
+    __builtin_memcpy(&d, &bits_, sizeof(d));
+    return d;
+  }
+  uint32_t symbol_id() const { return static_cast<uint32_t>(bits_); }
+  uint64_t null_id() const { return bits_; }
+  uint64_t skolem_id() const { return bits_; }
+
+  /// Numeric widening. Precondition: is_numeric().
+  double AsNumber() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  bool operator==(const Value& o) const {
+    return kind_ == o.kind_ && bits_ == o.bits_;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Total order used by indexes and deterministic output: by kind, then
+  /// payload (numeric kinds by numeric value).
+  bool operator<(const Value& o) const;
+
+  uint64_t Hash() const {
+    return HashFinalize(HashCombine(static_cast<uint64_t>(kind_), bits_));
+  }
+
+  /// Rendering; symbols need the table, nulls render as _:nK, skolems #K.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  Value(Kind k, uint64_t bits) : kind_(k), bits_(bits) {}
+
+  Kind kind_;
+  uint64_t bits_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Hash of a tuple of values (order-sensitive).
+uint64_t HashValues(const std::vector<Value>& vals);
+
+/// Registry generating deterministic Skolem OIDs.
+///
+/// An OID is identified by (functor tag, argument tuple). Determinism and
+/// injectivity per tag hold by construction; disjointness across tags holds
+/// because the tag participates in the key.
+class SkolemRegistry {
+ public:
+  /// Returns the OID for tag(args...), creating it on first use.
+  uint64_t Get(uint32_t tag_symbol, const std::vector<Value>& args);
+
+  /// Inverse lookup for explanation / printing; nullptr if unknown id.
+  struct Entry {
+    uint32_t tag_symbol;
+    std::vector<Value> args;
+  };
+  const Entry* Find(uint64_t id) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::pair<uint32_t, std::vector<Value>>& k) const {
+      return HashCombine(k.first, HashValues(k.second));
+    }
+  };
+  std::unordered_map<std::pair<uint32_t, std::vector<Value>>, uint64_t,
+                     KeyHash>
+      index_;
+  std::vector<Entry> entries_;
+};
+
+/// Registry generating labeled nulls for existential heads. A null is
+/// memoised on (rule id, existential variable index, frontier values), i.e.
+/// the engine runs the Skolem chase: re-firing a rule on the same frontier
+/// reuses the same nulls, guaranteeing termination on warded programs.
+class NullRegistry {
+ public:
+  uint64_t Get(uint32_t rule_id, uint32_t var_index,
+               const std::vector<Value>& frontier);
+
+  size_t size() const { return count_; }
+
+ private:
+  struct Key {
+    uint32_t rule_id;
+    uint32_t var_index;
+    std::vector<Value> frontier;
+    bool operator==(const Key& o) const {
+      return rule_id == o.rule_id && var_index == o.var_index &&
+             frontier == o.frontier;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return HashCombine(HashCombine(k.rule_id, k.var_index),
+                         HashValues(k.frontier));
+    }
+  };
+  std::unordered_map<Key, uint64_t, KeyHash> index_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,198 @@
+#include "datalog/warded.h"
+
+#include <set>
+
+namespace vadalink::datalog {
+
+namespace {
+
+using PosKey = std::pair<uint32_t, size_t>;  // (predicate, argument index)
+
+/// Occurrences of each rule variable in positive body atoms.
+struct VarOccurrences {
+  std::vector<std::vector<PosKey>> positions;  // var -> body positions
+  std::vector<std::vector<size_t>> atoms;      // var -> body literal index
+};
+
+VarOccurrences CollectBodyOccurrences(const Rule& rule) {
+  VarOccurrences occ;
+  occ.positions.resize(rule.var_names.size());
+  occ.atoms.resize(rule.var_names.size());
+  for (size_t li = 0; li < rule.body.size(); ++li) {
+    const Literal& lit = rule.body[li];
+    if (lit.kind != Literal::Kind::kAtom) continue;
+    for (size_t a = 0; a < lit.atom.args.size(); ++a) {
+      const Term& t = lit.atom.args[a];
+      if (!t.is_var()) continue;
+      occ.positions[t.var].push_back({lit.atom.predicate, a});
+      occ.atoms[t.var].push_back(li);
+    }
+  }
+  return occ;
+}
+
+}  // namespace
+
+WardednessReport AnalyzeWardedness(const Program& program,
+                                   const Catalog& cat) {
+  WardednessReport report;
+
+  // ---- fixpoint of affected positions -----------------------------------
+  std::set<PosKey> affected;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules) {
+      VarOccurrences occ = CollectBodyOccurrences(rule);
+      std::vector<bool> body_bound = BodyBoundVars(rule);
+      // A body variable is "nullable" if it occurs in body atoms and all
+      // those occurrences are at affected positions.
+      auto nullable = [&](uint32_t v) {
+        if (occ.positions[v].empty()) return false;
+        for (const PosKey& p : occ.positions[v]) {
+          if (!affected.count(p)) return false;
+        }
+        return true;
+      };
+      for (const Atom& head : rule.head) {
+        for (size_t a = 0; a < head.args.size(); ++a) {
+          const Term& t = head.args[a];
+          if (!t.is_var()) continue;
+          bool makes_affected =
+              !body_bound[t.var] /* existential */ || nullable(t.var);
+          if (makes_affected &&
+              affected.insert({head.predicate, a}).second) {
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  report.affected_positions.assign(affected.begin(), affected.end());
+
+  // ---- per-rule classification --------------------------------------------
+  for (uint32_t r = 0; r < program.rules.size(); ++r) {
+    const Rule& rule = program.rules[r];
+    RuleReport rr;
+    rr.rule_index = r;
+
+    VarOccurrences occ = CollectBodyOccurrences(rule);
+    std::vector<bool> in_head(rule.var_names.size(), false);
+    for (const Atom& head : rule.head) {
+      for (const Term& t : head.args) {
+        if (t.is_var()) in_head[t.var] = true;
+      }
+    }
+
+    // Harmful = occurs in body atoms only at affected positions.
+    // Dangerous = harmful and propagated to the head.
+    std::vector<uint32_t> dangerous;
+    std::vector<bool> harmless(rule.var_names.size(), false);
+    for (uint32_t v = 0; v < rule.var_names.size(); ++v) {
+      if (occ.positions[v].empty()) continue;
+      bool all_affected = true;
+      for (const PosKey& p : occ.positions[v]) {
+        if (!affected.count(p)) all_affected = false;
+      }
+      if (!all_affected) {
+        harmless[v] = true;
+      } else if (in_head[v]) {
+        dangerous.push_back(v);
+      }
+    }
+
+    if (dangerous.empty()) {
+      rr.safety = RuleSafety::kDatalog;
+      report.rules.push_back(std::move(rr));
+      continue;
+    }
+    for (uint32_t v : dangerous) {
+      rr.dangerous_vars.push_back(rule.var_names[v]);
+    }
+
+    // All dangerous variables must share one body atom (the ward).
+    std::set<size_t> candidate_wards(occ.atoms[dangerous[0]].begin(),
+                                     occ.atoms[dangerous[0]].end());
+    for (size_t i = 1; i < dangerous.size(); ++i) {
+      std::set<size_t> next;
+      for (size_t li : occ.atoms[dangerous[i]]) {
+        if (candidate_wards.count(li)) next.insert(li);
+      }
+      candidate_wards = std::move(next);
+    }
+    if (candidate_wards.empty()) {
+      rr.safety = RuleSafety::kNotWarded;
+      rr.violation = "dangerous variables do not share a body atom";
+      report.warded = false;
+      report.rules.push_back(std::move(rr));
+      continue;
+    }
+
+    // The ward may share only harmless variables with the rest of the body.
+    bool some_ward_ok = false;
+    std::string last_violation;
+    for (size_t ward : candidate_wards) {
+      bool ok = true;
+      const Atom& ward_atom = rule.body[ward].atom;
+      for (const Term& t : ward_atom.args) {
+        if (!t.is_var() || harmless[t.var]) continue;
+        // Shared with another body atom?
+        for (size_t li : occ.atoms[t.var]) {
+          if (li != ward) {
+            ok = false;
+            last_violation = "ward shares harmful variable " +
+                             rule.var_names[t.var] +
+                             " with another body atom";
+          }
+        }
+      }
+      if (ok) {
+        some_ward_ok = true;
+        break;
+      }
+    }
+    if (some_ward_ok) {
+      rr.safety = RuleSafety::kWarded;
+    } else {
+      rr.safety = RuleSafety::kNotWarded;
+      rr.violation = last_violation;
+      report.warded = false;
+    }
+    report.rules.push_back(std::move(rr));
+  }
+  return report;
+}
+
+std::string WardednessReport::ToString(const Catalog& cat,
+                                       const Program& program) const {
+  std::string out = warded ? "program is WARDED\n" : "program is NOT warded\n";
+  out += "affected positions:";
+  if (affected_positions.empty()) out += " (none)";
+  for (const auto& [pred, pos] : affected_positions) {
+    out += " " + cat.predicates.Name(pred) + "[" + std::to_string(pos) + "]";
+  }
+  out += "\n";
+  for (const RuleReport& rr : rules) {
+    out += "  rule " + std::to_string(rr.rule_index) + ": ";
+    switch (rr.safety) {
+      case RuleSafety::kDatalog:
+        out += "datalog";
+        break;
+      case RuleSafety::kWarded:
+        out += "warded (dangerous:";
+        for (const auto& v : rr.dangerous_vars) out += " " + v;
+        out += ")";
+        break;
+      case RuleSafety::kNotWarded:
+        out += "NOT WARDED — " + rr.violation;
+        break;
+    }
+    if (rr.rule_index < program.rules.size()) {
+      out += "   [" + RuleToString(program.rules[rr.rule_index], cat) + "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,56 @@
+// Wardedness analysis (Gottlob & Pieris; Bellomarini et al., the fragment
+// at the core of Vadalog). The paper's tractability claim — "if the task
+// is described in Warded Datalog, there is the formal guarantee of
+// polynomial complexity [12]" — rests on this syntactic property:
+//
+//  * A position p[i] is AFFECTED if some rule head can place a labeled
+//    null there: base case, positions holding existential variables;
+//    inductive case, positions receiving a body variable that occurs only
+//    in affected positions.
+//  * A body variable is DANGEROUS in a rule if it occurs ONLY in affected
+//    body positions and also occurs in the head (it can propagate nulls).
+//  * A rule is WARDED if all its dangerous variables occur together in a
+//    single body atom (the WARD), and the ward shares only harmless
+//    variables (occurring in at least one non-affected position) with the
+//    other body atoms.
+//
+// A program is warded iff every rule is. Plain Datalog rules (no
+// existentials anywhere) are trivially warded.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace vadalink::datalog {
+
+enum class RuleSafety {
+  kDatalog,    // no nulls can reach this rule's variables
+  kWarded,     // dangerous variables exist but are warded
+  kNotWarded,  // wardedness violated
+};
+
+struct RuleReport {
+  uint32_t rule_index = 0;
+  RuleSafety safety = RuleSafety::kDatalog;
+  /// Names of the dangerous variables (empty for kDatalog).
+  std::vector<std::string> dangerous_vars;
+  /// Human-readable reason for kNotWarded.
+  std::string violation;
+};
+
+struct WardednessReport {
+  bool warded = true;
+  std::vector<RuleReport> rules;
+  /// (predicate id, position) pairs that are affected.
+  std::vector<std::pair<uint32_t, size_t>> affected_positions;
+
+  std::string ToString(const Catalog& cat, const Program& program) const;
+};
+
+/// Analyses `program`; never fails (reports are informational).
+WardednessReport AnalyzeWardedness(const Program& program,
+                                   const Catalog& cat);
+
+}  // namespace vadalink::datalog

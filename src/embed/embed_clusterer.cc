@@ -1,0 +1,13 @@
+#include "embed/embed_clusterer.h"
+
+namespace vadalink::embed {
+
+std::vector<uint32_t> EmbedClusterer::Cluster(const graph::PropertyGraph& g) {
+  WalkGraph wg(g, config_.walk.weight_property);
+  auto walks = GenerateWalks(wg, config_.walk);
+  embedding_ = TrainSkipGram(walks, g.node_count(), config_.skipgram);
+  kmeans_ = KMeans(embedding_, config_.kmeans);
+  return kmeans_.assignment;
+}
+
+}  // namespace vadalink::embed

@@ -1,0 +1,46 @@
+// #GraphEmbedClust — the paper's first-level clustering (Section 4.1):
+// node2vec walks -> skip-gram embeddings -> k-means assignments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/kmeans.h"
+#include "embed/node2vec.h"
+#include "embed/skipgram.h"
+#include "graph/property_graph.h"
+
+namespace vadalink::embed {
+
+struct EmbedClusterConfig {
+  WalkConfig walk;
+  SkipGramConfig skipgram;
+  KMeansConfig kmeans;
+};
+
+/// End-to-end embedding-based clusterer.
+class EmbedClusterer {
+ public:
+  explicit EmbedClusterer(EmbedClusterConfig config = {})
+      : config_(std::move(config)) {}
+
+  const EmbedClusterConfig& config() const { return config_; }
+  EmbedClusterConfig* mutable_config() { return &config_; }
+
+  /// Embeds the graph and clusters the nodes. Returns one cluster id per
+  /// node. Recomputed from scratch at each call (the recursive self-
+  /// improving loop of Algorithm 1 calls this once per round, with the
+  /// newly predicted edges present in `g`).
+  std::vector<uint32_t> Cluster(const graph::PropertyGraph& g);
+
+  /// Embeddings of the last Cluster() call (empty before any call).
+  const EmbeddingMatrix& last_embedding() const { return embedding_; }
+  const KMeansResult& last_kmeans() const { return kmeans_; }
+
+ private:
+  EmbedClusterConfig config_;
+  EmbeddingMatrix embedding_;
+  KMeansResult kmeans_;
+};
+
+}  // namespace vadalink::embed

@@ -1,0 +1,121 @@
+#include "embed/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace vadalink::embed {
+
+namespace {
+
+double SqDist(const float* x, const double* c, size_t dims) {
+  double s = 0.0;
+  for (size_t d = 0; d < dims; ++d) {
+    double diff = static_cast<double>(x[d]) - c[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const EmbeddingMatrix& matrix,
+                    const KMeansConfig& config) {
+  KMeansResult res;
+  const size_t n = matrix.node_count();
+  const size_t dims = matrix.dimensions();
+  res.assignment.assign(n, 0);
+  if (n == 0) return res;
+
+  const size_t k = std::min(config.k == 0 ? 1 : config.k, n);
+  res.k_effective = k;
+  Rng rng(config.seed);
+
+  // k-means++ seeding.
+  std::vector<double> centroids(k * dims, 0.0);
+  std::vector<double> min_sq(n, std::numeric_limits<double>::max());
+  size_t first = rng.UniformU64(n);
+  for (size_t d = 0; d < dims; ++d) {
+    centroids[d] = matrix.row(first)[d];
+  }
+  for (size_t c = 1; c < k; ++c) {
+    // Update distances to the nearest chosen centroid.
+    const double* last = centroids.data() + (c - 1) * dims;
+    double total = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      double d2 = SqDist(matrix.row(v), last, dims);
+      if (d2 < min_sq[v]) min_sq[v] = d2;
+      total += min_sq[v];
+    }
+    size_t chosen;
+    if (total <= 0.0) {
+      chosen = rng.UniformU64(n);  // all points coincide
+    } else {
+      double target = rng.UniformDouble() * total;
+      double acc = 0.0;
+      chosen = n - 1;
+      for (size_t v = 0; v < n; ++v) {
+        acc += min_sq[v];
+        if (target < acc) {
+          chosen = v;
+          break;
+        }
+      }
+    }
+    double* dst = centroids.data() + c * dims;
+    for (size_t d = 0; d < dims; ++d) dst[d] = matrix.row(chosen)[d];
+  }
+
+  // Lloyd iterations.
+  std::vector<size_t> counts(k);
+  std::vector<double> sums(k * dims);
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    res.iterations = iter + 1;
+    double inertia = 0.0;
+    std::fill(counts.begin(), counts.end(), 0);
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (size_t v = 0; v < n; ++v) {
+      double best = std::numeric_limits<double>::max();
+      uint32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d2 = SqDist(matrix.row(v), centroids.data() + c * dims, dims);
+        if (d2 < best) {
+          best = d2;
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      res.assignment[v] = best_c;
+      inertia += best;
+      ++counts[best_c];
+      double* sum = sums.data() + best_c * dims;
+      const float* row = matrix.row(v);
+      for (size_t d = 0; d < dims; ++d) sum[d] += row[d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        size_t v = rng.UniformU64(n);
+        double* dst = centroids.data() + c * dims;
+        for (size_t d = 0; d < dims; ++d) dst[d] = matrix.row(v)[d];
+        continue;
+      }
+      double* dst = centroids.data() + c * dims;
+      const double* sum = sums.data() + c * dims;
+      for (size_t d = 0; d < dims; ++d) {
+        dst[d] = sum[d] / static_cast<double>(counts[c]);
+      }
+    }
+    res.inertia = inertia;
+    if (prev_inertia < std::numeric_limits<double>::max()) {
+      double rel = prev_inertia > 0.0
+                       ? (prev_inertia - inertia) / prev_inertia
+                       : 0.0;
+      if (rel >= 0.0 && rel < config.tolerance) break;
+    }
+    prev_inertia = inertia;
+  }
+  res.centroids = std::move(centroids);
+  return res;
+}
+
+}  // namespace vadalink::embed

@@ -1,0 +1,34 @@
+// Lloyd's k-means with k-means++ seeding over embedding rows. Assigns the
+// first-level cluster ids (b1) of the paper's two-level blocking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "embed/skipgram.h"
+
+namespace vadalink::embed {
+
+struct KMeansConfig {
+  size_t k = 8;
+  size_t max_iterations = 50;
+  /// Relative decrease of total inertia below which iteration stops.
+  double tolerance = 1e-4;
+  uint64_t seed = 99;
+};
+
+struct KMeansResult {
+  /// node -> cluster id in [0, k_effective)
+  std::vector<uint32_t> assignment;
+  /// centroids, row-major k x dims
+  std::vector<double> centroids;
+  size_t k_effective = 0;  // min(k, #points)
+  double inertia = 0.0;    // sum of squared distances to centroids
+  size_t iterations = 0;
+};
+
+/// Clusters the rows of `matrix`. k is capped at the number of points.
+KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config);
+
+}  // namespace vadalink::embed

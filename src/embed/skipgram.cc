@@ -1,0 +1,124 @@
+#include "embed/skipgram.h"
+
+#include <cmath>
+
+#include "embed/alias_sampler.h"
+
+namespace vadalink::embed {
+
+double EmbeddingMatrix::Cosine(size_t a, size_t b) const {
+  const float* x = row(a);
+  const float* y = row(b);
+  double dot = 0.0, nx = 0.0, ny = 0.0;
+  for (size_t i = 0; i < dims_; ++i) {
+    dot += static_cast<double>(x[i]) * y[i];
+    nx += static_cast<double>(x[i]) * x[i];
+    ny += static_cast<double>(y[i]) * y[i];
+  }
+  if (nx <= 0.0 || ny <= 0.0) return 0.0;
+  return dot / (std::sqrt(nx) * std::sqrt(ny));
+}
+
+double EmbeddingMatrix::Distance(size_t a, size_t b) const {
+  const float* x = row(a);
+  const float* y = row(b);
+  double s = 0.0;
+  for (size_t i = 0; i < dims_; ++i) {
+    double d = static_cast<double>(x[i]) - y[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+namespace {
+
+/// Fast logistic via clamping; training is tolerant to the approximation.
+inline double Sigmoid(double x) {
+  if (x > 8.0) return 1.0;
+  if (x < -8.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
+                              size_t node_count,
+                              const SkipGramConfig& config) {
+  const size_t dims = config.dimensions;
+  EmbeddingMatrix in(node_count, dims);  // input ("center") vectors
+  std::vector<float> out(node_count * dims, 0.0f);  // context vectors
+
+  Rng rng(config.seed);
+  for (size_t v = 0; v < node_count; ++v) {
+    float* r = in.row(v);
+    for (size_t d = 0; d < dims; ++d) {
+      r[d] = static_cast<float>((rng.UniformDouble() - 0.5) / dims);
+    }
+  }
+
+  // Unigram^power negative-sampling table.
+  std::vector<double> freq(node_count, 0.0);
+  size_t total_positions = 0;
+  for (const auto& walk : walks) {
+    for (uint32_t v : walk) {
+      freq[v] += 1.0;
+      ++total_positions;
+    }
+  }
+  for (double& f : freq) f = std::pow(f, config.unigram_power);
+  AliasSampler negative_table(freq);
+  if (negative_table.empty() || total_positions == 0) return in;
+
+  const size_t total_steps = config.epochs * total_positions;
+  size_t step = 0;
+  std::vector<float> grad(dims);
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const auto& walk : walks) {
+      for (size_t i = 0; i < walk.size(); ++i) {
+        double progress = static_cast<double>(step++) / total_steps;
+        double lr = config.initial_lr * (1.0 - progress);
+        if (lr < config.min_lr) lr = config.min_lr;
+
+        // Dynamic window, as in word2vec.
+        size_t reduced = 1 + rng.UniformU64(config.window);
+        size_t lo = i >= reduced ? i - reduced : 0;
+        size_t hi = std::min(walk.size(), i + reduced + 1);
+        uint32_t center = walk[i];
+        float* v_in = in.row(center);
+
+        for (size_t j = lo; j < hi; ++j) {
+          if (j == i) continue;
+          uint32_t context = walk[j];
+          std::fill(grad.begin(), grad.end(), 0.0f);
+
+          // One positive + k negative updates on the context matrix.
+          for (size_t s = 0; s <= config.negatives; ++s) {
+            uint32_t target;
+            double label;
+            if (s == 0) {
+              target = context;
+              label = 1.0;
+            } else {
+              target = static_cast<uint32_t>(negative_table.Sample(&rng));
+              if (target == context) continue;
+              label = 0.0;
+            }
+            float* v_out = out.data() + static_cast<size_t>(target) * dims;
+            double dot = 0.0;
+            for (size_t d = 0; d < dims; ++d) dot += v_in[d] * v_out[d];
+            double g = (label - Sigmoid(dot)) * lr;
+            for (size_t d = 0; d < dims; ++d) {
+              grad[d] += static_cast<float>(g) * v_out[d];
+              v_out[d] += static_cast<float>(g) * v_in[d];
+            }
+          }
+          for (size_t d = 0; d < dims; ++d) v_in[d] += grad[d];
+        }
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace vadalink::embed

@@ -1,0 +1,55 @@
+// Skip-gram with negative sampling (word2vec SGNS, Mikolov et al. 2013)
+// trained over node2vec walks: nodes play the role of words, walks the role
+// of sentences. Produces the neighbourhood-preserving node embeddings the
+// paper's first-level clustering operates on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vadalink::embed {
+
+struct SkipGramConfig {
+  size_t dimensions = 64;
+  size_t window = 5;
+  size_t negatives = 5;       // negative samples per positive pair
+  size_t epochs = 2;
+  double initial_lr = 0.025;
+  double min_lr = 0.0001;
+  /// Exponent of the unigram distribution for negative sampling.
+  double unigram_power = 0.75;
+  uint64_t seed = 7;
+};
+
+/// Dense row-major embedding matrix: row v = vector of node v.
+class EmbeddingMatrix {
+ public:
+  EmbeddingMatrix() = default;
+  EmbeddingMatrix(size_t nodes, size_t dims)
+      : nodes_(nodes), dims_(dims), data_(nodes * dims, 0.0f) {}
+
+  size_t node_count() const { return nodes_; }
+  size_t dimensions() const { return dims_; }
+  float* row(size_t v) { return data_.data() + v * dims_; }
+  const float* row(size_t v) const { return data_.data() + v * dims_; }
+
+  /// Cosine similarity between two rows (0 if either is a zero vector).
+  double Cosine(size_t a, size_t b) const;
+
+  /// Euclidean distance between two rows.
+  double Distance(size_t a, size_t b) const;
+
+ private:
+  size_t nodes_ = 0;
+  size_t dims_ = 0;
+  std::vector<float> data_;
+};
+
+/// Trains SGNS embeddings over walks covering node ids [0, node_count).
+EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
+                              size_t node_count,
+                              const SkipGramConfig& config);
+
+}  // namespace vadalink::embed

@@ -1,0 +1,37 @@
+// Barabási-Albert scale-free graph generation [Barabási & Albert 1999],
+// reference [8] of the paper — used for the synthetic scenarios of
+// Section 6 (Figures 4b and 4d), where graphs of the same topology as the
+// company register but much higher density are needed.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "graph/property_graph.h"
+
+namespace vadalink::gen {
+
+struct BarabasiAlbertConfig {
+  size_t nodes = 1000;
+  /// Edges attached per incoming node (the density knob): 1 = sparse,
+  /// 2 = normal, 8 = dense, 32 = superdense in the Figure 4d scenarios.
+  size_t edges_per_node = 2;
+  /// true: nodes "Company", edges "Shareholding" (ownership semantics);
+  /// false: nodes "Person", edges "Link" (generic similarity workloads).
+  bool as_company_graph = true;
+  /// Random node features f1..f6 (paper: "6 features out of distributions
+  /// respecting their statistical properties").
+  size_t feature_count = 6;
+  /// Cardinality of each feature's value domain.
+  size_t feature_domain = 50;
+  uint64_t seed = 1234;
+};
+
+/// Generates a BA preferential-attachment graph. Each new node v attaches
+/// `edges_per_node` distinct out-edges to existing nodes chosen with
+/// probability proportional to their current degree; edges carry a "w"
+/// share weight uniform in (0, 1). Degree distribution follows a power law
+/// with exponent ~3.
+graph::PropertyGraph GenerateBarabasiAlbert(const BarabasiAlbertConfig& cfg);
+
+}  // namespace vadalink::gen

@@ -1,0 +1,242 @@
+#include "gen/evolution.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "gen/name_pools.h"
+
+namespace vadalink::gen {
+
+namespace {
+
+struct PersonEntity {
+  std::string first_name, last_name, birth_city, sex, city;
+  int64_t birth_year = 0;
+};
+
+struct CompanyEntity {
+  std::string name, city, legal_form, sector;
+  int64_t inc_year = 0;
+  bool alive = true;
+};
+
+struct ShareEntity {
+  bool src_is_person = false;
+  size_t src = 0;  // entity index in persons / companies
+  size_t dst = 0;  // company entity index
+  double w = 0.0;
+  bool alive = true;
+};
+
+struct State {
+  std::vector<PersonEntity> persons;
+  std::vector<CompanyEntity> companies;
+  std::vector<ShareEntity> shares;
+};
+
+PersonEntity RandomPerson(Rng* rng, int64_t year_hint) {
+  PersonEntity p;
+  bool male = rng->Bernoulli(0.5);
+  p.first_name = male ? NamePools::SampleMaleFirstName(rng)
+                      : NamePools::SampleFemaleFirstName(rng);
+  p.last_name = NamePools::SampleSurname(rng);
+  p.birth_city = NamePools::SampleCity(rng);
+  p.sex = male ? "M" : "F";
+  p.city = NamePools::SampleCity(rng);
+  p.birth_year = year_hint - rng->UniformInt(25, 70);
+  return p;
+}
+
+CompanyEntity RandomCompany(Rng* rng, int64_t year) {
+  CompanyEntity c;
+  c.name = NamePools::SampleCompanyName(rng);
+  c.city = NamePools::SampleCity(rng);
+  c.legal_form = NamePools::SampleLegalForm(rng);
+  c.sector = NamePools::SampleSector(rng);
+  c.inc_year = year;
+  return c;
+}
+
+/// Seeds the state from the one-shot register simulator so year one matches
+/// its topology and features.
+State SeedState(const EvolutionConfig& config) {
+  State state;
+  RegisterConfig initial = config.initial;
+  initial.seed = config.seed;
+  RegisterData data = GenerateRegister(initial);
+
+  // Reverse-map node ids to entity indexes.
+  std::unordered_map<graph::NodeId, size_t> person_of, company_of;
+  for (graph::NodeId p : data.persons) {
+    PersonEntity e;
+    e.first_name = data.graph.GetNodeProperty(p, "first_name").AsString();
+    e.last_name = data.graph.GetNodeProperty(p, "last_name").AsString();
+    e.birth_city = data.graph.GetNodeProperty(p, "birth_city").AsString();
+    e.sex = data.graph.GetNodeProperty(p, "sex").AsString();
+    e.city = data.graph.GetNodeProperty(p, "city").AsString();
+    e.birth_year = data.graph.GetNodeProperty(p, "birth_year").AsInt();
+    person_of[p] = state.persons.size();
+    state.persons.push_back(std::move(e));
+  }
+  for (graph::NodeId c : data.companies) {
+    CompanyEntity e;
+    e.name = data.graph.GetNodeProperty(c, "name").AsString();
+    e.city = data.graph.GetNodeProperty(c, "city").AsString();
+    e.legal_form = data.graph.GetNodeProperty(c, "legal_form").AsString();
+    e.sector = data.graph.GetNodeProperty(c, "sector").AsString();
+    e.inc_year = data.graph.GetNodeProperty(c, "inc_year").AsInt();
+    company_of[c] = state.companies.size();
+    state.companies.push_back(std::move(e));
+  }
+  data.graph.ForEachEdge([&](graph::EdgeId e) {
+    ShareEntity s;
+    graph::NodeId src = data.graph.edge_src(e);
+    s.src_is_person = person_of.count(src) > 0;
+    s.src = s.src_is_person ? person_of[src] : company_of[src];
+    s.dst = company_of[data.graph.edge_dst(e)];
+    s.w = data.graph.GetEdgeProperty(e, "w").AsDouble();
+    state.shares.push_back(s);
+  });
+  return state;
+}
+
+YearlySnapshot Materialize(const State& state, int year) {
+  YearlySnapshot snap;
+  snap.year = year;
+  graph::PropertyGraph& g = snap.graph;
+
+  std::vector<graph::NodeId> person_node(state.persons.size());
+  for (size_t i = 0; i < state.persons.size(); ++i) {
+    const PersonEntity& e = state.persons[i];
+    graph::NodeId n = g.AddNode(RegisterSchema::kPersonLabel);
+    g.SetNodeProperty(n, "eid", static_cast<int64_t>(i));
+    g.SetNodeProperty(n, "first_name", e.first_name);
+    g.SetNodeProperty(n, "last_name", e.last_name);
+    g.SetNodeProperty(n, "birth_city", e.birth_city);
+    g.SetNodeProperty(n, "sex", e.sex);
+    g.SetNodeProperty(n, "city", e.city);
+    g.SetNodeProperty(n, "birth_year", e.birth_year);
+    person_node[i] = n;
+    snap.persons.push_back(n);
+  }
+  std::vector<graph::NodeId> company_node(state.companies.size(),
+                                          graph::kInvalidNode);
+  for (size_t i = 0; i < state.companies.size(); ++i) {
+    const CompanyEntity& e = state.companies[i];
+    if (!e.alive) continue;
+    graph::NodeId n = g.AddNode(RegisterSchema::kCompanyLabel);
+    g.SetNodeProperty(n, "eid", static_cast<int64_t>(i));
+    g.SetNodeProperty(n, "name", e.name);
+    g.SetNodeProperty(n, "city", e.city);
+    g.SetNodeProperty(n, "legal_form", e.legal_form);
+    g.SetNodeProperty(n, "sector", e.sector);
+    g.SetNodeProperty(n, "inc_year", e.inc_year);
+    company_node[i] = n;
+    snap.companies.push_back(n);
+  }
+  for (const ShareEntity& s : state.shares) {
+    if (!s.alive) continue;
+    if (company_node[s.dst] == graph::kInvalidNode) continue;
+    graph::NodeId src = s.src_is_person ? person_node[s.src]
+                                        : company_node[s.src];
+    if (src == graph::kInvalidNode) continue;
+    auto e = g.AddEdge(src, company_node[s.dst],
+                       RegisterSchema::kShareholdingLabel);
+    g.SetEdgeProperty(e.value(), RegisterSchema::kWeightKey, s.w);
+  }
+  return snap;
+}
+
+void EvolveOneYear(State* state, const EvolutionConfig& config, Rng* rng,
+                   int year) {
+  // Dissolutions: dead companies take their in/out shares with them.
+  std::vector<size_t> alive_idx;
+  for (size_t i = 0; i < state->companies.size(); ++i) {
+    if (state->companies[i].alive) alive_idx.push_back(i);
+  }
+  std::vector<bool> dissolved(state->companies.size(), false);
+  for (size_t i : alive_idx) {
+    if (rng->Bernoulli(config.company_death_rate)) {
+      state->companies[i].alive = false;
+      dissolved[i] = true;
+    }
+  }
+  for (ShareEntity& s : state->shares) {
+    if (!s.alive) continue;
+    if (dissolved[s.dst] || (!s.src_is_person && dissolved[s.src])) {
+      s.alive = false;
+    }
+  }
+
+  // New persons.
+  size_t new_persons = static_cast<size_t>(
+      config.person_entry_rate * static_cast<double>(state->persons.size()));
+  for (size_t i = 0; i < new_persons; ++i) {
+    state->persons.push_back(RandomPerson(rng, year));
+  }
+
+  // Incorporations: each new company gets 1-3 shareholders.
+  size_t births = static_cast<size_t>(
+      config.company_birth_rate * static_cast<double>(alive_idx.size()));
+  for (size_t b = 0; b < births; ++b) {
+    size_t idx = state->companies.size();
+    state->companies.push_back(RandomCompany(rng, year));
+    size_t holders = 1 + rng->UniformU64(3);
+    double remaining = rng->UniformDouble(0.6, 1.0);
+    for (size_t h = 0; h < holders; ++h) {
+      ShareEntity s;
+      s.dst = idx;
+      s.w = h + 1 == holders ? remaining
+                             : remaining * rng->UniformDouble(0.3, 0.7);
+      remaining -= s.w;
+      if (s.w <= 0.0) break;
+      if (rng->Bernoulli(0.6)) {
+        s.src_is_person = true;
+        s.src = rng->UniformU64(state->persons.size());
+      } else {
+        s.src_is_person = false;
+        s.src = alive_idx.empty() ? idx
+                                  : alive_idx[rng->UniformU64(alive_idx.size())];
+        if (s.src == idx) s.src_is_person = true, s.src = rng->UniformU64(state->persons.size());
+      }
+      state->shares.push_back(s);
+    }
+  }
+
+  // Share turnover: ownership changes hands, weight preserved.
+  for (ShareEntity& s : state->shares) {
+    if (!s.alive || !rng->Bernoulli(config.share_turnover)) continue;
+    if (rng->Bernoulli(0.6)) {
+      s.src_is_person = true;
+      s.src = rng->UniformU64(state->persons.size());
+    } else {
+      // New corporate owner (must be alive and not the target).
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        size_t candidate = rng->UniformU64(state->companies.size());
+        if (state->companies[candidate].alive && candidate != s.dst) {
+          s.src_is_person = false;
+          s.src = candidate;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<YearlySnapshot> SimulateEvolution(const EvolutionConfig& config) {
+  std::vector<YearlySnapshot> out;
+  if (config.last_year < config.first_year) return out;
+  Rng rng(config.seed ^ 0xe701u);
+  State state = SeedState(config);
+  out.push_back(Materialize(state, config.first_year));
+  for (int year = config.first_year + 1; year <= config.last_year; ++year) {
+    EvolveOneYear(&state, config, &rng, year);
+    out.push_back(Materialize(state, year));
+  }
+  return out;
+}
+
+}  // namespace vadalink::gen

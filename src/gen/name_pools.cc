@@ -1,0 +1,151 @@
+#include "gen/name_pools.h"
+
+namespace vadalink::gen {
+
+const std::vector<std::string>& NamePools::MaleFirstNames() {
+  static const std::vector<std::string> kNames = {
+      "Alessandro", "Andrea",   "Antonio",  "Carlo",    "Claudio",
+      "Daniele",    "Dario",    "Davide",   "Emanuele", "Enrico",
+      "Fabio",      "Federico", "Filippo",  "Francesco", "Gabriele",
+      "Giacomo",    "Gianluca", "Giorgio",  "Giovanni", "Giulio",
+      "Giuseppe",   "Leonardo", "Lorenzo",  "Luca",     "Luigi",
+      "Marco",      "Massimo",  "Matteo",   "Maurizio", "Michele",
+      "Nicola",     "Paolo",    "Pietro",   "Riccardo", "Roberto",
+      "Salvatore",  "Simone",   "Stefano",  "Tommaso",  "Vincenzo"};
+  return kNames;
+}
+
+const std::vector<std::string>& NamePools::FemaleFirstNames() {
+  static const std::vector<std::string> kNames = {
+      "Alessandra", "Alice",     "Anna",      "Beatrice", "Bianca",
+      "Camilla",    "Carla",     "Caterina",  "Chiara",   "Claudia",
+      "Cristina",   "Elena",     "Eleonora",  "Elisa",    "Emma",
+      "Federica",   "Francesca", "Gaia",      "Giada",    "Giorgia",
+      "Giulia",     "Ilaria",    "Laura",     "Lucia",    "Maria",
+      "Marta",      "Martina",   "Michela",   "Monica",   "Paola",
+      "Roberta",    "Sara",      "Serena",    "Silvia",   "Simona",
+      "Sofia",      "Stefania",  "Valentina", "Valeria",  "Vittoria"};
+  return kNames;
+}
+
+const std::vector<std::string>& NamePools::Surnames() {
+  static const std::vector<std::string> kNames = {
+      "Rossi",     "Russo",     "Ferrari",   "Esposito",  "Bianchi",
+      "Romano",    "Colombo",   "Ricci",     "Marino",    "Greco",
+      "Bruno",     "Gallo",     "Conti",     "DeLuca",    "Mancini",
+      "Costa",     "Giordano",  "Rizzo",     "Lombardi",  "Moretti",
+      "Barbieri",  "Fontana",   "Santoro",   "Mariani",   "Rinaldi",
+      "Caruso",    "Ferrara",   "Galli",     "Martini",   "Leone",
+      "Longo",     "Gentile",   "Martinelli", "Vitale",   "Lombardo",
+      "Serra",     "Coppola",   "DeSantis",  "DAngelo",   "Marchetti",
+      "Parisi",    "Villa",     "Conte",     "Ferraro",   "Ferri",
+      "Fabbri",    "Bianco",    "Marini",    "Grasso",    "Valentini",
+      "Messina",   "Sala",      "DeAngelis", "Gatti",     "Pellegrini",
+      "Palumbo",   "Sanna",     "Farina",    "Rizzi",     "Monti",
+      "Cattaneo",  "Morelli",   "Amato",     "Silvestri", "Mazza",
+      "Testa",     "Grassi",    "Pellegrino", "Carbone",  "Giuliani",
+      "Benedetti", "Barone",    "Rossetti",  "Caputo",    "Montanari",
+      "Guerra",    "Palmieri",  "Bernardi",  "Martino",   "Fiore"};
+  return kNames;
+}
+
+const std::vector<std::string>& NamePools::Cities() {
+  static const std::vector<std::string> kCities = {
+      "Roma",     "Milano",  "Napoli",   "Torino",  "Palermo",
+      "Genova",   "Bologna", "Firenze",  "Bari",    "Catania",
+      "Venezia",  "Verona",  "Messina",  "Padova",  "Trieste",
+      "Brescia",  "Parma",   "Taranto",  "Prato",   "Modena",
+      "Reggio",   "Perugia", "Ravenna",  "Livorno", "Cagliari",
+      "Foggia",   "Rimini",  "Salerno",  "Ferrara", "Sassari",
+      "Siracusa", "Pescara", "Bergamo",  "Vicenza", "Trento",
+      "Forli",    "Novara",  "Piacenza", "Ancona",  "Udine"};
+  return kCities;
+}
+
+const std::vector<std::string>& NamePools::LegalForms() {
+  static const std::vector<std::string> kForms = {
+      "SRL", "SPA", "SAS", "SNC", "SRLS", "SAPA", "COOP", "DITTA"};
+  return kForms;
+}
+
+const std::vector<std::string>& NamePools::Sectors() {
+  static const std::vector<std::string> kSectors = {
+      "manufacturing", "construction", "retail",     "wholesale",
+      "transport",     "hospitality",  "ICT",        "finance",
+      "real_estate",   "professional", "agriculture", "energy",
+      "health",        "education",    "arts",       "mining"};
+  return kSectors;
+}
+
+const std::vector<std::string>& NamePools::CompanyNameStems() {
+  static const std::vector<std::string> kStems = {
+      "Tecno",  "Itala",  "Euro",   "Meta",  "Medi",   "Inter",
+      "Gamma",  "Delta",  "Omega",  "Alfa",  "Nova",   "Prima",
+      "Centro", "Global", "Mondo",  "Lux",   "Vega",   "Sole",
+      "Monte",  "Valle",  "Ponte",  "Porto", "Stella", "Terra"};
+  return kStems;
+}
+
+namespace {
+std::string Pick(const std::vector<std::string>& pool, Rng* rng) {
+  return pool[rng->UniformU64(pool.size())];
+}
+}  // namespace
+
+std::string NamePools::SampleMaleFirstName(Rng* rng) {
+  return Pick(MaleFirstNames(), rng);
+}
+std::string NamePools::SampleFemaleFirstName(Rng* rng) {
+  return Pick(FemaleFirstNames(), rng);
+}
+std::string NamePools::SampleSurname(Rng* rng) {
+  return Pick(Surnames(), rng);
+}
+
+std::string NamePools::SampleCity(Rng* rng) {
+  const auto& cities = Cities();
+  // Zipf-like skew: rank r sampled with P(r) ~ 1/r.
+  size_t r = static_cast<size_t>(
+      rng->PowerLaw(2.0, cities.size()));
+  return cities[r - 1];
+}
+
+std::string NamePools::SampleLegalForm(Rng* rng) {
+  return Pick(LegalForms(), rng);
+}
+std::string NamePools::SampleSector(Rng* rng) {
+  return Pick(Sectors(), rng);
+}
+
+std::string NamePools::SampleCompanyName(Rng* rng) {
+  std::string name = Pick(CompanyNameStems(), rng);
+  switch (rng->UniformU64(3)) {
+    case 0: name += Pick(CompanyNameStems(), rng); break;
+    case 1: name += Pick(Sectors(), rng); break;
+    default: name += std::to_string(rng->UniformU64(100)); break;
+  }
+  name += " " + Pick(LegalForms(), rng);
+  return name;
+}
+
+std::string NamePools::Corrupt(std::string s, Rng* rng) {
+  if (s.empty()) return s;
+  size_t edits = 1 + rng->UniformU64(2);
+  for (size_t e = 0; e < edits && !s.empty(); ++e) {
+    size_t pos = rng->UniformU64(s.size());
+    switch (rng->UniformU64(3)) {
+      case 0:  // substitute
+        s[pos] = static_cast<char>('a' + rng->UniformU64(26));
+        break;
+      case 1:  // delete
+        s.erase(pos, 1);
+        break;
+      default:  // insert
+        s.insert(pos, 1, static_cast<char>('a' + rng->UniformU64(26)));
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace vadalink::gen

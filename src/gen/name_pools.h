@@ -1,0 +1,40 @@
+// Static pools of Italian-flavoured names, places and company attributes
+// used by the register simulator to synthesise realistic node features.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vadalink::gen {
+
+/// Name pools (sizes are fixed at compile time; accessors sample them).
+class NamePools {
+ public:
+  static const std::vector<std::string>& MaleFirstNames();
+  static const std::vector<std::string>& FemaleFirstNames();
+  static const std::vector<std::string>& Surnames();
+  static const std::vector<std::string>& Cities();
+  static const std::vector<std::string>& LegalForms();
+  static const std::vector<std::string>& Sectors();
+  static const std::vector<std::string>& CompanyNameStems();
+
+  static std::string SampleMaleFirstName(Rng* rng);
+  static std::string SampleFemaleFirstName(Rng* rng);
+  static std::string SampleSurname(Rng* rng);
+  /// Cities are sampled with a skewed (Zipf-like) distribution so a few
+  /// large cities dominate, as in the real register.
+  static std::string SampleCity(Rng* rng);
+  static std::string SampleLegalForm(Rng* rng);
+  static std::string SampleSector(Rng* rng);
+  static std::string SampleCompanyName(Rng* rng);
+
+  /// Introduces 1-2 random character-level edits ("typos") into s, used to
+  /// exercise approximate string matching in the family classifier.
+  static std::string Corrupt(std::string s, Rng* rng);
+};
+
+}  // namespace vadalink::gen

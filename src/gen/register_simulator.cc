@@ -1,0 +1,185 @@
+#include "gen/register_simulator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "gen/name_pools.h"
+
+namespace vadalink::gen {
+
+namespace {
+
+struct Household {
+  std::vector<graph::NodeId> adults;    // 1-2 partners
+  std::vector<graph::NodeId> children;
+  std::string surname;
+  std::string city;
+};
+
+graph::NodeId AddPerson(graph::PropertyGraph* g, Rng* rng,
+                        const std::string& surname, const std::string& city,
+                        int64_t birth_year, double typo_rate) {
+  graph::NodeId id = g->AddNode(RegisterSchema::kPersonLabel);
+  bool male = rng->Bernoulli(0.5);
+  std::string first = male ? NamePools::SampleMaleFirstName(rng)
+                           : NamePools::SampleFemaleFirstName(rng);
+  std::string recorded_surname =
+      rng->Bernoulli(typo_rate) ? NamePools::Corrupt(surname, rng) : surname;
+  g->SetNodeProperty(id, "first_name", first);
+  g->SetNodeProperty(id, "last_name", recorded_surname);
+  g->SetNodeProperty(id, "birth_year", birth_year);
+  g->SetNodeProperty(id, "birth_city", NamePools::SampleCity(rng));
+  g->SetNodeProperty(id, "sex", male ? "M" : "F");
+  g->SetNodeProperty(id, "city", city);
+  return id;
+}
+
+}  // namespace
+
+RegisterData GenerateRegister(const RegisterConfig& config) {
+  RegisterData data;
+  graph::PropertyGraph& g = data.graph;
+  Rng rng(config.seed);
+
+  // ---- persons, grouped into households -------------------------------
+  std::vector<Household> households;
+  size_t made = 0;
+  while (made < config.persons) {
+    Household hh;
+    hh.surname = NamePools::SampleSurname(&rng);
+    hh.city = NamePools::SampleCity(&rng);
+
+    // Household size: geometric-ish around avg_family_size, >= 1.
+    size_t size = 1;
+    double expected = std::max(1.0, config.avg_family_size);
+    while (size < 7 && rng.Bernoulli(1.0 - 1.0 / expected)) ++size;
+    size = std::min(size, config.persons - made);
+
+    size_t adults = std::min<size_t>(size >= 2 ? 2 : 1, size);
+    int64_t adult_birth = rng.UniformInt(1945, 1985);
+    for (size_t a = 0; a < adults; ++a) {
+      graph::NodeId p =
+          AddPerson(&g, &rng, hh.surname, hh.city,
+                    adult_birth + rng.UniformInt(-4, 4), config.typo_rate);
+      hh.adults.push_back(p);
+      data.persons.push_back(p);
+    }
+    for (size_t c = adults; c < size; ++c) {
+      graph::NodeId p =
+          AddPerson(&g, &rng, hh.surname, hh.city,
+                    adult_birth + rng.UniformInt(22, 40), config.typo_rate);
+      hh.children.push_back(p);
+      data.persons.push_back(p);
+    }
+    made += size;
+
+    // Ground-truth links.
+    if (hh.adults.size() == 2) {
+      data.true_family_links.push_back(
+          {hh.adults[0], hh.adults[1], "PartnerOf"});
+    }
+    for (graph::NodeId parent : hh.adults) {
+      for (graph::NodeId child : hh.children) {
+        data.true_family_links.push_back({parent, child, "ParentOf"});
+      }
+    }
+    for (size_t i = 0; i < hh.children.size(); ++i) {
+      for (size_t j = i + 1; j < hh.children.size(); ++j) {
+        data.true_family_links.push_back(
+            {hh.children[i], hh.children[j], "SiblingOf"});
+      }
+    }
+    households.push_back(std::move(hh));
+  }
+
+  // ---- companies -------------------------------------------------------
+  for (size_t c = 0; c < config.companies; ++c) {
+    graph::NodeId id = g.AddNode(RegisterSchema::kCompanyLabel);
+    g.SetNodeProperty(id, "name", NamePools::SampleCompanyName(&rng));
+    g.SetNodeProperty(id, "city", NamePools::SampleCity(&rng));
+    g.SetNodeProperty(id, "legal_form", NamePools::SampleLegalForm(&rng));
+    g.SetNodeProperty(id, "sector", NamePools::SampleSector(&rng));
+    g.SetNodeProperty(id, "inc_year", rng.UniformInt(1970, 2018));
+    data.companies.push_back(id);
+  }
+  if (data.companies.empty()) return data;
+
+  // ---- shareholding edges ----------------------------------------------
+  // Raw (src, dst, raw weight) picks; weights normalised per company later.
+  struct RawShare {
+    graph::NodeId src, dst;
+    double raw;
+  };
+  std::vector<RawShare> shares;
+
+  // Preferential attachment over companies: repeated-endpoint list.
+  std::vector<graph::NodeId> company_endpoints = data.companies;
+
+  size_t total_edges = static_cast<size_t>(
+      config.share_density * static_cast<double>(config.companies));
+  for (size_t e = 0; e < total_edges; ++e) {
+    graph::NodeId dst =
+        company_endpoints[rng.UniformU64(company_endpoints.size())];
+    graph::NodeId src;
+    if (!data.persons.empty() &&
+        rng.Bernoulli(config.person_shareholder_fraction)) {
+      src = data.persons[rng.UniformU64(data.persons.size())];
+    } else {
+      src = company_endpoints[rng.UniformU64(company_endpoints.size())];
+      if (src == dst && !rng.Bernoulli(config.self_loop_rate * 100.0)) {
+        // Avoid incidental self-loops; intentional ones are added below.
+        src = data.companies[rng.UniformU64(data.companies.size())];
+        if (src == dst) continue;
+      }
+    }
+    shares.push_back({src, dst, rng.UniformDouble(0.2, 1.0)});
+    company_endpoints.push_back(dst);
+  }
+
+  // Family businesses: every adult of a household invests in one company.
+  for (const Household& hh : households) {
+    if (hh.adults.size() < 2 || !rng.Bernoulli(config.family_business_rate)) {
+      continue;
+    }
+    graph::NodeId venture =
+        data.companies[rng.UniformU64(data.companies.size())];
+    for (graph::NodeId adult : hh.adults) {
+      shares.push_back({adult, venture, rng.UniformDouble(0.8, 1.2)});
+    }
+  }
+
+  // Buy-backs: rare self-loops.
+  size_t loops = static_cast<size_t>(
+      config.self_loop_rate * static_cast<double>(config.companies));
+  for (size_t i = 0; i < loops; ++i) {
+    graph::NodeId c = data.companies[rng.UniformU64(data.companies.size())];
+    shares.push_back({c, c, rng.UniformDouble(0.01, 0.1)});
+  }
+
+  // Normalise weights per target company so incoming shares sum to a
+  // plausible total (60%-100% of capital covered by the register).
+  std::unordered_map<graph::NodeId, double> totals;
+  for (const RawShare& s : shares) totals[s.dst] += s.raw;
+  std::unordered_map<graph::NodeId, double> coverage;
+  for (const RawShare& s : shares) {
+    auto it = coverage.find(s.dst);
+    if (it == coverage.end()) {
+      coverage[s.dst] = rng.UniformDouble(0.6, 1.0);
+    }
+  }
+  for (const RawShare& s : shares) {
+    double w = s.raw / totals[s.dst] * coverage[s.dst];
+    auto e = g.AddEdge(s.src, s.dst, RegisterSchema::kShareholdingLabel);
+    g.SetEdgeProperty(e.value(), RegisterSchema::kWeightKey, w);
+    // Type of legal right (Section 2): mostly full ownership, with a tail
+    // of bare-ownership / usufruct splits.
+    double roll = rng.UniformDouble();
+    const char* right = roll < 0.92 ? "ownership"
+                        : roll < 0.96 ? "bare_ownership"
+                                      : "usufruct";
+    g.SetEdgeProperty(e.value(), "right", right);
+  }
+  return data;
+}
+
+}  // namespace vadalink::gen

@@ -1,0 +1,65 @@
+// Synthetic stand-in for the (confidential) Italian company register of
+// Section 2 of the paper. Produces a Company Graph (Definition 2.2) with:
+//   * person nodes carrying the six features used by the family classifier
+//     (first name, surname, birth year, birth city, sex, residence city);
+//   * company nodes (name, city, legal form, sector, incorporation year);
+//   * scale-free Shareholding edges with share weights normalised per
+//     company, plus rare self-loops (the "buy-back" phenomenon);
+//   * planted family structure (partners, parents, siblings) returned as
+//     ground truth for the recall experiments (Figure 4e).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/property_graph.h"
+
+namespace vadalink::gen {
+
+/// A ground-truth personal connection planted by the simulator.
+struct FamilyLink {
+  graph::NodeId x;
+  graph::NodeId y;
+  std::string kind;  // "PartnerOf", "ParentOf", "SiblingOf"
+};
+
+struct RegisterConfig {
+  size_t persons = 1000;
+  size_t companies = 800;
+  /// Average household size; families share surname and residence city.
+  double avg_family_size = 3.0;
+  /// Average incoming shareholding edges per company.
+  double share_density = 1.3;
+  /// Fraction of shareholding edges whose source is a person.
+  double person_shareholder_fraction = 0.55;
+  /// Probability a family jointly invests in one company (each adult gets
+  /// a share of it) — makes family control/close-link non-trivial.
+  double family_business_rate = 0.25;
+  /// Probability that a person's recorded surname carries a typo.
+  double typo_rate = 0.08;
+  /// Probability of a self-loop (company owning its own shares).
+  double self_loop_rate = 0.001;
+  uint64_t seed = 2020;
+};
+
+struct RegisterData {
+  graph::PropertyGraph graph;
+  std::vector<graph::NodeId> persons;
+  std::vector<graph::NodeId> companies;
+  std::vector<FamilyLink> true_family_links;
+};
+
+/// Node/edge labels and property keys used by the simulator (shared with
+/// src/company/ and the input mapping).
+struct RegisterSchema {
+  static constexpr const char* kPersonLabel = "Person";
+  static constexpr const char* kCompanyLabel = "Company";
+  static constexpr const char* kShareholdingLabel = "Shareholding";
+  static constexpr const char* kWeightKey = "w";
+};
+
+/// Generates a register-like dataset.
+RegisterData GenerateRegister(const RegisterConfig& config);
+
+}  // namespace vadalink::gen

@@ -1,0 +1,63 @@
+#include "graph/dot_export.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace vadalink::graph {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToDot(const PropertyGraph& g, DotOptions options) {
+  std::string out = "digraph vadalink {\n  rankdir=LR;\n";
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    const PropertyValue& label = g.GetNodeProperty(n, options.label_property);
+    std::string text =
+        label.is_null() ? "#" + std::to_string(n) : label.ToString();
+    const char* shape = g.node_label(n) == "Person" ? "box" : "ellipse";
+    out += "  n" + std::to_string(n) + " [label=\"" + Escape(text) +
+           "\", shape=" + shape + "];\n";
+  }
+  g.ForEachEdge([&](EdgeId e) {
+    out += "  n" + std::to_string(g.edge_src(e)) + " -> n" +
+           std::to_string(g.edge_dst(e));
+    std::string attrs;
+    std::string label = g.edge_label(e);
+    if (!options.weight_property.empty()) {
+      const PropertyValue& w = g.GetEdgeProperty(e, options.weight_property);
+      if (w.is_numeric()) {
+        label += " " + FormatDouble(w.AsNumber());
+      }
+    }
+    attrs += "label=\"" + Escape(label) + "\"";
+    if (!options.dashed_property.empty() &&
+        g.HasEdgeProperty(e, options.dashed_property)) {
+      attrs += ", style=dashed";
+    }
+    out += " [" + attrs + "];\n";
+  });
+  out += "}\n";
+  return out;
+}
+
+Status WriteDotFile(const PropertyGraph& g, const std::string& path,
+                    DotOptions options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << ToDot(g, std::move(options));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace vadalink::graph

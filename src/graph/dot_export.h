@@ -1,0 +1,30 @@
+// Graphviz DOT export of property graphs for visual inspection of small
+// company graphs and their predicted links.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace vadalink::graph {
+
+struct DotOptions {
+  /// Node property used as the display label ("name" by default; falls
+  /// back to the node id).
+  std::string label_property = "name";
+  /// Render edges with this property set (e.g. "predicted") dashed.
+  std::string dashed_property = "predicted";
+  /// Show edge weights from this property (empty = none).
+  std::string weight_property = "w";
+};
+
+/// Renders g as a DOT digraph. Person nodes are boxes, companies ellipses;
+/// edge labels/styles follow the options.
+std::string ToDot(const PropertyGraph& g, DotOptions options = {});
+
+/// Writes ToDot(g) to a file.
+Status WriteDotFile(const PropertyGraph& g, const std::string& path,
+                    DotOptions options = {});
+
+}  // namespace vadalink::graph

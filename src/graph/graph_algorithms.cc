@@ -1,0 +1,265 @@
+#include "graph/graph_algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace vadalink::graph {
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+  size_t SizeOf(uint32_t x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<size_t> size_;
+};
+
+}  // namespace
+
+SccResult StronglyConnectedComponents(const PropertyGraph& g) {
+  const size_t n = g.node_count();
+  SccResult res;
+  res.component.assign(n, 0);
+  if (n == 0) return res;
+
+  constexpr uint32_t kUnvisited = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  uint32_t next_index = 0;
+
+  // Iterative Tarjan: explicit DFS frames (node, position in out-edge list).
+  struct Frame {
+    NodeId node;
+    size_t edge_pos;
+  };
+  std::vector<Frame> dfs;
+  std::vector<size_t> comp_sizes;
+
+  for (NodeId start = 0; start < n; ++start) {
+    if (index[start] != kUnvisited) continue;
+    dfs.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto& outs = g.out_edges(f.node);
+      if (f.edge_pos < outs.size()) {
+        NodeId w = g.edge_dst(outs[f.edge_pos]);
+        ++f.edge_pos;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+        }
+      } else {
+        NodeId v = f.node;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().node] =
+              std::min(lowlink[dfs.back().node], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          size_t size = 0;
+          uint32_t comp_id = static_cast<uint32_t>(comp_sizes.size());
+          for (;;) {
+            NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            res.component[w] = comp_id;
+            ++size;
+            if (w == v) break;
+          }
+          comp_sizes.push_back(size);
+        }
+      }
+    }
+  }
+  res.count = comp_sizes.size();
+  res.largest_size =
+      comp_sizes.empty() ? 0 : *std::max_element(comp_sizes.begin(),
+                                                 comp_sizes.end());
+  return res;
+}
+
+WccResult WeaklyConnectedComponents(const PropertyGraph& g) {
+  const size_t n = g.node_count();
+  WccResult res;
+  res.component.assign(n, 0);
+  if (n == 0) return res;
+
+  UnionFind uf(n);
+  g.ForEachEdge([&](EdgeId e) { uf.Union(g.edge_src(e), g.edge_dst(e)); });
+
+  // Re-number roots densely.
+  std::vector<uint32_t> root_to_id(n, std::numeric_limits<uint32_t>::max());
+  std::vector<size_t> sizes;
+  for (NodeId v = 0; v < n; ++v) {
+    uint32_t r = uf.Find(v);
+    if (root_to_id[r] == std::numeric_limits<uint32_t>::max()) {
+      root_to_id[r] = static_cast<uint32_t>(sizes.size());
+      sizes.push_back(0);
+    }
+    res.component[v] = root_to_id[r];
+    ++sizes[root_to_id[r]];
+  }
+  res.count = sizes.size();
+  res.largest_size =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  return res;
+}
+
+double GlobalClusteringCoefficient(const PropertyGraph& g) {
+  const size_t n = g.node_count();
+  if (n == 0) return 0.0;
+
+  // Build undirected simple adjacency (dedup, drop self-loops).
+  std::vector<std::vector<NodeId>> adj(n);
+  g.ForEachEdge([&](EdgeId e) {
+    NodeId a = g.edge_src(e), b = g.edge_dst(e);
+    if (a == b) return;
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  });
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+
+  // Count triangles via forward (degree-ordered) neighbour intersection.
+  auto rank_less = [&](NodeId a, NodeId b) {
+    return adj[a].size() != adj[b].size() ? adj[a].size() < adj[b].size()
+                                          : a < b;
+  };
+  uint64_t triangles = 0;
+  uint64_t triples = 0;
+  std::vector<std::vector<NodeId>> fwd(n);
+  for (NodeId v = 0; v < n; ++v) {
+    size_t d = adj[v].size();
+    triples += d >= 2 ? d * (d - 1) / 2 : 0;
+    for (NodeId w : adj[v]) {
+      if (rank_less(v, w)) fwd[v].push_back(w);
+    }
+    std::sort(fwd[v].begin(), fwd[v].end());
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : fwd[v]) {
+      // |fwd[v] ∩ fwd[w]|
+      const auto& a = fwd[v];
+      const auto& b = fwd[w];
+      size_t i = 0, j = 0;
+      while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+          ++i;
+        } else if (a[i] > b[j]) {
+          ++j;
+        } else {
+          ++triangles;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  if (triples == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangles) / static_cast<double>(triples);
+}
+
+double PowerLawAlpha(const PropertyGraph& g, size_t min_degree) {
+  if (min_degree < 1) min_degree = 1;
+  double sum_log = 0.0;
+  size_t count = 0;
+  const double xmin = static_cast<double>(min_degree);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    size_t d = g.in_degree(v) + g.out_degree(v);
+    if (d >= min_degree) {
+      sum_log += std::log(static_cast<double>(d) / (xmin - 0.5));
+      ++count;
+    }
+  }
+  if (count < 2 || sum_log <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(count) / sum_log;
+}
+
+GraphStats ComputeGraphStats(const PropertyGraph& g) {
+  GraphStats s;
+  s.nodes = g.node_count();
+  s.edges = g.edge_count();
+
+  SccResult scc = StronglyConnectedComponents(g);
+  s.scc_count = scc.count;
+  s.largest_scc = scc.largest_size;
+  s.avg_scc_size =
+      scc.count == 0 ? 0.0
+                     : static_cast<double>(s.nodes) /
+                           static_cast<double>(scc.count);
+
+  WccResult wcc = WeaklyConnectedComponents(g);
+  s.wcc_count = wcc.count;
+  s.largest_wcc = wcc.largest_size;
+  s.avg_wcc_size =
+      wcc.count == 0 ? 0.0
+                     : static_cast<double>(s.nodes) /
+                           static_cast<double>(wcc.count);
+
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    s.max_in_degree = std::max(s.max_in_degree, g.in_degree(v));
+    s.max_out_degree = std::max(s.max_out_degree, g.out_degree(v));
+  }
+  if (s.nodes > 0) {
+    s.avg_in_degree = static_cast<double>(s.edges) / s.nodes;
+    s.avg_out_degree = s.avg_in_degree;
+  }
+  s.clustering_coefficient = GlobalClusteringCoefficient(g);
+  size_t loops = 0;
+  g.ForEachEdge([&](EdgeId e) {
+    if (g.edge_src(e) == g.edge_dst(e)) ++loops;
+  });
+  s.self_loops = loops;
+  s.power_law_alpha = PowerLawAlpha(g, 2);
+  return s;
+}
+
+std::vector<size_t> DegreeHistogram(const PropertyGraph& g) {
+  std::vector<size_t> hist;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    size_t d = g.in_degree(v) + g.out_degree(v);
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+}  // namespace vadalink::graph

@@ -1,0 +1,67 @@
+// Structural graph analytics used to characterise datasets: the statistics
+// reported for the Italian company register in Section 2 of the paper
+// (SCC/WCC structure, degree extremes, clustering coefficient, self-loops,
+// power-law exponent).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace vadalink::graph {
+
+/// Strongly connected components (iterative Tarjan).
+///
+/// Returns a component id in [0, count) per node; ids are assigned in
+/// reverse topological order of the condensation.
+struct SccResult {
+  std::vector<uint32_t> component;  // node -> scc id
+  size_t count = 0;
+  /// Number of nodes in the largest component.
+  size_t largest_size = 0;
+};
+SccResult StronglyConnectedComponents(const PropertyGraph& g);
+
+/// Weakly connected components via union-find.
+struct WccResult {
+  std::vector<uint32_t> component;  // node -> wcc id
+  size_t count = 0;
+  size_t largest_size = 0;
+};
+WccResult WeaklyConnectedComponents(const PropertyGraph& g);
+
+/// Global (transitivity) clustering coefficient of the underlying
+/// undirected simple graph: 3 * #triangles / #connected-triples.
+double GlobalClusteringCoefficient(const PropertyGraph& g);
+
+/// Maximum-likelihood estimate of the power-law exponent alpha for the
+/// (total-)degree distribution, alpha = 1 + n / sum ln(d_i / (dmin - 0.5))
+/// over degrees >= dmin (Clauset, Shalizi & Newman 2009, Eq. 3.7).
+/// Returns 0 if fewer than 2 nodes qualify.
+double PowerLawAlpha(const PropertyGraph& g, size_t min_degree = 1);
+
+/// The dataset statistics reported in Section 2 of the paper.
+struct GraphStats {
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t scc_count = 0;
+  size_t largest_scc = 0;
+  double avg_scc_size = 0.0;
+  size_t wcc_count = 0;
+  size_t largest_wcc = 0;
+  double avg_wcc_size = 0.0;
+  double avg_in_degree = 0.0;
+  double avg_out_degree = 0.0;
+  size_t max_in_degree = 0;
+  size_t max_out_degree = 0;
+  double clustering_coefficient = 0.0;
+  size_t self_loops = 0;
+  double power_law_alpha = 0.0;
+};
+GraphStats ComputeGraphStats(const PropertyGraph& g);
+
+/// Degree histogram: index d -> number of nodes with total degree d.
+std::vector<size_t> DegreeHistogram(const PropertyGraph& g);
+
+}  // namespace vadalink::graph

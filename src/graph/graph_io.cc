@@ -1,0 +1,103 @@
+#include "graph/graph_io.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/csv.h"
+
+namespace vadalink::graph {
+
+namespace {
+
+// Properties are emitted in sorted key order so output is deterministic.
+void AppendProperties(const PropertyMap& props,
+                      std::vector<std::string>* row) {
+  std::map<std::string, const PropertyValue*> sorted;
+  for (const auto& [k, v] : props) sorted[k] = &v;
+  for (const auto& [k, v] : sorted) {
+    row->push_back(k + "=" + v->Encode());
+  }
+}
+
+Status ParseProperties(const std::vector<std::string>& row, size_t start,
+                       PropertyMap* out) {
+  for (size_t i = start; i < row.size(); ++i) {
+    const std::string& cell = row[i];
+    if (cell.empty()) continue;
+    size_t eq = cell.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("property cell missing '=': " + cell);
+    }
+    auto value = PropertyValue::Decode(cell.substr(eq + 1));
+    if (!value.ok()) return value.status();
+    (*out)[cell.substr(0, eq)] = std::move(value).value();
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> ParseU32(const std::string& s) {
+  char* end = nullptr;
+  unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v > 0xffffffffUL) {
+    return Status::ParseError("bad integer: " + s);
+  }
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Status SaveGraphCsv(const PropertyGraph& g, const std::string& nodes_path,
+                    const std::string& edges_path) {
+  std::vector<std::vector<std::string>> node_rows;
+  node_rows.reserve(g.node_count());
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    std::vector<std::string> row{std::to_string(n), g.node_label(n)};
+    AppendProperties(g.node_properties(n), &row);
+    node_rows.push_back(std::move(row));
+  }
+  VL_RETURN_NOT_OK(WriteCsvFile(nodes_path, node_rows));
+
+  std::vector<std::vector<std::string>> edge_rows;
+  edge_rows.reserve(g.edge_count());
+  g.ForEachEdge([&](EdgeId e) {
+    std::vector<std::string> row{
+        std::to_string(e), std::to_string(g.edge_src(e)),
+        std::to_string(g.edge_dst(e)), g.edge_label(e)};
+    AppendProperties(g.edge_properties(e), &row);
+    edge_rows.push_back(std::move(row));
+  });
+  return WriteCsvFile(edges_path, edge_rows);
+}
+
+Result<PropertyGraph> LoadGraphCsv(const std::string& nodes_path,
+                                   const std::string& edges_path) {
+  VL_ASSIGN_OR_RETURN(auto node_rows, ReadCsvFile(nodes_path));
+  VL_ASSIGN_OR_RETURN(auto edge_rows, ReadCsvFile(edges_path));
+
+  PropertyGraph g;
+  g.Reserve(node_rows.size(), edge_rows.size());
+  for (const auto& row : node_rows) {
+    if (row.size() < 2) return Status::ParseError("node row too short");
+    VL_ASSIGN_OR_RETURN(uint32_t id, ParseU32(row[0]));
+    if (id != g.node_count()) {
+      return Status::ParseError("node ids must be dense and ordered, got " +
+                                row[0]);
+    }
+    NodeId n = g.AddNode(row[1]);
+    PropertyMap props;
+    VL_RETURN_NOT_OK(ParseProperties(row, 2, &props));
+    for (auto& [k, v] : props) g.SetNodeProperty(n, k, std::move(v));
+  }
+  for (const auto& row : edge_rows) {
+    if (row.size() < 4) return Status::ParseError("edge row too short");
+    VL_ASSIGN_OR_RETURN(uint32_t src, ParseU32(row[1]));
+    VL_ASSIGN_OR_RETURN(uint32_t dst, ParseU32(row[2]));
+    VL_ASSIGN_OR_RETURN(EdgeId e, g.AddEdge(src, dst, row[3]));
+    PropertyMap props;
+    VL_RETURN_NOT_OK(ParseProperties(row, 4, &props));
+    for (auto& [k, v] : props) g.SetEdgeProperty(e, k, std::move(v));
+  }
+  return g;
+}
+
+}  // namespace vadalink::graph

@@ -1,0 +1,23 @@
+// CSV (de)serialisation of property graphs. Format:
+//   nodes file : id,label[,key=<enc>...]      (enc = PropertyValue::Encode)
+//   edges file : id,src,dst,label[,key=<enc>...]
+// Node ids must be dense 0..n-1 in the nodes file; edge ids are re-assigned
+// on load (removed edges are not persisted).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace vadalink::graph {
+
+/// Serialises g to nodes/edges CSV files.
+Status SaveGraphCsv(const PropertyGraph& g, const std::string& nodes_path,
+                    const std::string& edges_path);
+
+/// Loads a graph previously written by SaveGraphCsv.
+Result<PropertyGraph> LoadGraphCsv(const std::string& nodes_path,
+                                   const std::string& edges_path);
+
+}  // namespace vadalink::graph

@@ -1,0 +1,43 @@
+#include "graph/pagerank.h"
+
+#include <cmath>
+
+namespace vadalink::graph {
+
+PageRankResult PageRank(const PropertyGraph& g, PageRankConfig config) {
+  PageRankResult res;
+  const size_t n = g.node_count();
+  if (n == 0) return res;
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  const double teleport = (1.0 - config.damping) / static_cast<double>(n);
+
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    res.iterations = iter + 1;
+    // Dangling mass: nodes without out-edges spread uniformly.
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (g.out_degree(v) == 0) dangling += rank[v];
+    }
+    double base = teleport + config.damping * dangling / n;
+    std::fill(next.begin(), next.end(), base);
+    for (NodeId v = 0; v < n; ++v) {
+      size_t deg = g.out_degree(v);
+      if (deg == 0) continue;
+      double share = config.damping * rank[v] / static_cast<double>(deg);
+      for (EdgeId e : g.out_edges(v)) {
+        next[g.edge_dst(e)] += share;
+      }
+    }
+    double delta = 0.0;
+    for (size_t v = 0; v < n; ++v) delta += std::fabs(next[v] - rank[v]);
+    rank.swap(next);
+    res.final_delta = delta;
+    if (delta < config.tolerance) break;
+  }
+  res.score = std::move(rank);
+  return res;
+}
+
+}  // namespace vadalink::graph

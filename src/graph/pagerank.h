@@ -1,0 +1,28 @@
+// PageRank over the directed property graph: used to rank hub entities of
+// the register (the scale-free structure of Section 2 implies a few
+// dominant hubs). Power iteration with uniform teleport; dangling-node
+// mass is redistributed uniformly.
+#pragma once
+
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace vadalink::graph {
+
+struct PageRankConfig {
+  double damping = 0.85;
+  size_t max_iterations = 100;
+  /// L1 change below which iteration stops.
+  double tolerance = 1e-10;
+};
+
+struct PageRankResult {
+  std::vector<double> score;  // per node, sums to ~1
+  size_t iterations = 0;
+  double final_delta = 0.0;
+};
+
+PageRankResult PageRank(const PropertyGraph& g, PageRankConfig config = {});
+
+}  // namespace vadalink::graph

@@ -1,0 +1,103 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+
+namespace vadalink::graph {
+
+const PropertyValue PropertyGraph::kNullValue{};
+
+NodeId PropertyGraph::AddNode(std::string label) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(label), {}});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+Result<EdgeId> PropertyGraph::AddEdge(NodeId src, NodeId dst,
+                                      std::string label) {
+  if (!IsValidNode(src) || !IsValidNode(dst)) {
+    return Status::InvalidArgument("AddEdge: endpoint out of range");
+  }
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{src, dst, std::move(label), {}, false});
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  ++live_edge_count_;
+  return id;
+}
+
+Status PropertyGraph::RemoveEdge(EdgeId e) {
+  if (e >= edges_.size()) {
+    return Status::InvalidArgument("RemoveEdge: id out of range");
+  }
+  Edge& edge = edges_[e];
+  if (edge.removed) {
+    return Status::NotFound("RemoveEdge: already removed");
+  }
+  edge.removed = true;
+  auto erase_from = [e](std::vector<EdgeId>& v) {
+    v.erase(std::remove(v.begin(), v.end(), e), v.end());
+  };
+  erase_from(out_[edge.src]);
+  erase_from(in_[edge.dst]);
+  --live_edge_count_;
+  return Status::OK();
+}
+
+void PropertyGraph::Reserve(size_t n, size_t m) {
+  nodes_.reserve(n);
+  out_.reserve(n);
+  in_.reserve(n);
+  edges_.reserve(m);
+}
+
+void PropertyGraph::SetNodeProperty(NodeId n, const std::string& key,
+                                    PropertyValue value) {
+  nodes_[n].properties[key] = std::move(value);
+}
+
+void PropertyGraph::SetEdgeProperty(EdgeId e, const std::string& key,
+                                    PropertyValue value) {
+  edges_[e].properties[key] = std::move(value);
+}
+
+const PropertyValue& PropertyGraph::GetNodeProperty(
+    NodeId n, const std::string& key) const {
+  auto it = nodes_[n].properties.find(key);
+  return it == nodes_[n].properties.end() ? kNullValue : it->second;
+}
+
+const PropertyValue& PropertyGraph::GetEdgeProperty(
+    EdgeId e, const std::string& key) const {
+  auto it = edges_[e].properties.find(key);
+  return it == edges_[e].properties.end() ? kNullValue : it->second;
+}
+
+bool PropertyGraph::HasNodeProperty(NodeId n, const std::string& key) const {
+  return nodes_[n].properties.count(key) > 0;
+}
+
+bool PropertyGraph::HasEdgeProperty(EdgeId e, const std::string& key) const {
+  return edges_[e].properties.count(key) > 0;
+}
+
+std::vector<NodeId> PropertyGraph::NodesWithLabel(
+    const std::string& label) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].label == label) out.push_back(n);
+  }
+  return out;
+}
+
+EdgeId PropertyGraph::FindEdge(NodeId src, NodeId dst,
+                               const std::string& label) const {
+  if (!IsValidNode(src)) return kInvalidEdge;
+  for (EdgeId e : out_[src]) {
+    if (edges_[e].dst == dst && edges_[e].label == label) return e;
+  }
+  return kInvalidEdge;
+}
+
+}  // namespace vadalink::graph

@@ -1,0 +1,130 @@
+// In-memory directed property graph — the extensional component of the
+// knowledge graph (Definition 2.1 of the paper), specialised by the company
+// graph (Definition 2.2) in src/company/.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_value.h"
+
+namespace vadalink::graph {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Property map for a node or edge: small, string-keyed, typed values.
+using PropertyMap = std::unordered_map<std::string, PropertyValue>;
+
+/// A directed property graph with labelled nodes and edges.
+///
+/// Nodes and edges are addressed by dense integer ids assigned at insertion;
+/// edges may be soft-deleted (RemoveEdge) — iteration skips removed edges,
+/// ids of removed edges are never reused.
+class PropertyGraph {
+ public:
+  struct Node {
+    std::string label;
+    PropertyMap properties;
+  };
+
+  struct Edge {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::string label;
+    PropertyMap properties;
+    bool removed = false;
+  };
+
+  PropertyGraph() = default;
+
+  // --- construction -------------------------------------------------------
+
+  /// Adds a node with the given label; returns its id.
+  NodeId AddNode(std::string label);
+
+  /// Adds a directed edge src -> dst; returns its id, or InvalidArgument if
+  /// either endpoint does not exist.
+  Result<EdgeId> AddEdge(NodeId src, NodeId dst, std::string label);
+
+  /// Soft-deletes an edge; its id becomes invalid for lookups.
+  Status RemoveEdge(EdgeId e);
+
+  /// Pre-allocates internal storage for n nodes / m edges.
+  void Reserve(size_t n, size_t m);
+
+  // --- properties ---------------------------------------------------------
+
+  void SetNodeProperty(NodeId n, const std::string& key, PropertyValue value);
+  void SetEdgeProperty(EdgeId e, const std::string& key, PropertyValue value);
+
+  /// Returns the property value, or a null PropertyValue if absent.
+  const PropertyValue& GetNodeProperty(NodeId n, const std::string& key) const;
+  const PropertyValue& GetEdgeProperty(EdgeId e, const std::string& key) const;
+
+  bool HasNodeProperty(NodeId n, const std::string& key) const;
+  bool HasEdgeProperty(EdgeId e, const std::string& key) const;
+
+  const PropertyMap& node_properties(NodeId n) const {
+    return nodes_[n].properties;
+  }
+  const PropertyMap& edge_properties(EdgeId e) const {
+    return edges_[e].properties;
+  }
+
+  // --- topology -----------------------------------------------------------
+
+  size_t node_count() const { return nodes_.size(); }
+  /// Live (non-removed) edges.
+  size_t edge_count() const { return live_edge_count_; }
+  /// Total edge slots ever allocated (upper bound for EdgeId iteration).
+  size_t edge_slots() const { return edges_.size(); }
+
+  bool IsValidNode(NodeId n) const { return n < nodes_.size(); }
+  bool IsValidEdge(EdgeId e) const {
+    return e < edges_.size() && !edges_[e].removed;
+  }
+
+  const std::string& node_label(NodeId n) const { return nodes_[n].label; }
+  const std::string& edge_label(EdgeId e) const { return edges_[e].label; }
+  NodeId edge_src(EdgeId e) const { return edges_[e].src; }
+  NodeId edge_dst(EdgeId e) const { return edges_[e].dst; }
+
+  /// Ids of live outgoing edges of n.
+  const std::vector<EdgeId>& out_edges(NodeId n) const { return out_[n]; }
+  /// Ids of live incoming edges of n.
+  const std::vector<EdgeId>& in_edges(NodeId n) const { return in_[n]; }
+
+  size_t out_degree(NodeId n) const { return out_[n].size(); }
+  size_t in_degree(NodeId n) const { return in_[n].size(); }
+
+  /// Invokes fn(EdgeId) for each live edge.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (EdgeId e = 0; e < edges_.size(); ++e) {
+      if (!edges_[e].removed) fn(e);
+    }
+  }
+
+  /// All node ids with the given label.
+  std::vector<NodeId> NodesWithLabel(const std::string& label) const;
+
+  /// First live edge src -> dst with the given label, or kInvalidEdge.
+  EdgeId FindEdge(NodeId src, NodeId dst, const std::string& label) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  size_t live_edge_count_ = 0;
+  static const PropertyValue kNullValue;
+};
+
+}  // namespace vadalink::graph

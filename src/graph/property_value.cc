@@ -1,0 +1,94 @@
+#include "graph/property_value.h"
+
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace vadalink::graph {
+
+std::string PropertyValue::ToString() const {
+  switch (type()) {
+    case Type::kNull: return "null";
+    case Type::kBool: return AsBool() ? "true" : "false";
+    case Type::kInt: return std::to_string(AsInt());
+    case Type::kDouble: return FormatDouble(AsDouble());
+    case Type::kString: return AsString();
+  }
+  return "?";
+}
+
+std::string PropertyValue::Encode() const {
+  switch (type()) {
+    case Type::kNull: return "n:";
+    case Type::kBool: return AsBool() ? "b:1" : "b:0";
+    case Type::kInt: return "i:" + std::to_string(AsInt());
+    case Type::kDouble: return "d:" + FormatDouble(AsDouble());
+    case Type::kString: return "s:" + AsString();
+  }
+  return "n:";
+}
+
+Result<PropertyValue> PropertyValue::Decode(const std::string& encoded) {
+  if (encoded.size() < 2 || encoded[1] != ':') {
+    return Status::ParseError("bad property encoding: " + encoded);
+  }
+  std::string payload = encoded.substr(2);
+  switch (encoded[0]) {
+    case 'n': return PropertyValue();
+    case 'b': return PropertyValue(payload == "1");
+    case 'i': {
+      char* end = nullptr;
+      long long v = std::strtoll(payload.c_str(), &end, 10);
+      if (end == payload.c_str() || *end != '\0') {
+        return Status::ParseError("bad int property: " + encoded);
+      }
+      return PropertyValue(static_cast<int64_t>(v));
+    }
+    case 'd': {
+      char* end = nullptr;
+      double v = std::strtod(payload.c_str(), &end);
+      if (end == payload.c_str() || *end != '\0') {
+        return Status::ParseError("bad double property: " + encoded);
+      }
+      return PropertyValue(v);
+    }
+    case 's': return PropertyValue(std::move(payload));
+    default:
+      return Status::ParseError("unknown property type prefix: " + encoded);
+  }
+}
+
+uint64_t PropertyValue::Hash() const {
+  uint64_t h = static_cast<uint64_t>(type());
+  switch (type()) {
+    case Type::kNull: break;
+    case Type::kBool: h = HashCombine(h, AsBool() ? 1 : 0); break;
+    case Type::kInt:
+      h = HashCombine(h, static_cast<uint64_t>(AsInt()));
+      break;
+    case Type::kDouble: {
+      double d = AsDouble();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      h = HashCombine(h, bits);
+      break;
+    }
+    case Type::kString: h = HashCombine(h, Fnv1a64(AsString())); break;
+  }
+  return HashFinalize(h);
+}
+
+const char* PropertyTypeName(PropertyValue::Type t) {
+  switch (t) {
+    case PropertyValue::Type::kNull: return "null";
+    case PropertyValue::Type::kBool: return "bool";
+    case PropertyValue::Type::kInt: return "int";
+    case PropertyValue::Type::kDouble: return "double";
+    case PropertyValue::Type::kString: return "string";
+  }
+  return "?";
+}
+
+}  // namespace vadalink::graph

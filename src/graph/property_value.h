@@ -1,0 +1,77 @@
+// Typed property values attached to property-graph nodes and edges
+// (the V set of Definition 2.1 in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace vadalink::graph {
+
+/// A dynamically-typed property value: null, bool, int, double or string.
+class PropertyValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString };
+
+  PropertyValue() : v_(std::monostate{}) {}
+  PropertyValue(bool b) : v_(b) {}                      // NOLINT
+  PropertyValue(int64_t i) : v_(i) {}                   // NOLINT
+  PropertyValue(int i) : v_(static_cast<int64_t>(i)) {} // NOLINT
+  PropertyValue(double d) : v_(d) {}                    // NOLINT
+  PropertyValue(std::string s) : v_(std::move(s)) {}    // NOLINT
+  PropertyValue(const char* s) : v_(std::string(s)) {}  // NOLINT
+
+  Type type() const {
+    switch (v_.index()) {
+      case 0: return Type::kNull;
+      case 1: return Type::kBool;
+      case 2: return Type::kInt;
+      case 3: return Type::kDouble;
+      default: return Type::kString;
+    }
+  }
+
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_string() const { return type() == Type::kString; }
+  /// Int or double.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Precondition: matching type.
+  bool AsBool() const { return std::get<bool>(v_); }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric widening: int or double as double. Precondition: is_numeric().
+  double AsNumber() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  /// Human-readable rendering; strings are unquoted.
+  std::string ToString() const;
+
+  /// Round-trippable encoding with a one-character type prefix
+  /// ("i:42", "d:0.5", "s:acme", "b:1", "n:").
+  std::string Encode() const;
+
+  /// Inverse of Encode().
+  static Result<PropertyValue> Decode(const std::string& encoded);
+
+  bool operator==(const PropertyValue& other) const { return v_ == other.v_; }
+  bool operator!=(const PropertyValue& other) const { return !(*this == other); }
+
+  /// Stable hash consistent with operator==.
+  uint64_t Hash() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> v_;
+};
+
+const char* PropertyTypeName(PropertyValue::Type t);
+
+}  // namespace vadalink::graph

@@ -1,0 +1,57 @@
+#include "graph/subgraph.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace vadalink::graph {
+
+Subgraph InducedSubgraph(const PropertyGraph& g,
+                         const std::vector<NodeId>& nodes) {
+  Subgraph out;
+  out.graph.Reserve(nodes.size(), nodes.size());
+  std::unordered_map<NodeId, NodeId> to_new;
+  to_new.reserve(nodes.size());
+  for (NodeId old_id : nodes) {
+    NodeId new_id = out.graph.AddNode(g.node_label(old_id));
+    for (const auto& [k, v] : g.node_properties(old_id)) {
+      out.graph.SetNodeProperty(new_id, k, v);
+    }
+    to_new[old_id] = new_id;
+    out.original_node.push_back(old_id);
+  }
+  g.ForEachEdge([&](EdgeId e) {
+    auto s = to_new.find(g.edge_src(e));
+    auto d = to_new.find(g.edge_dst(e));
+    if (s == to_new.end() || d == to_new.end()) return;
+    auto new_e = out.graph.AddEdge(s->second, d->second, g.edge_label(e));
+    for (const auto& [k, v] : g.edge_properties(e)) {
+      out.graph.SetEdgeProperty(new_e.value(), k, v);
+    }
+  });
+  return out;
+}
+
+Subgraph BfsSample(const PropertyGraph& g, NodeId seed, size_t target_nodes) {
+  std::vector<NodeId> visited_order;
+  if (g.IsValidNode(seed) && target_nodes > 0) {
+    std::vector<bool> visited(g.node_count(), false);
+    std::deque<NodeId> queue{seed};
+    visited[seed] = true;
+    while (!queue.empty() && visited_order.size() < target_nodes) {
+      NodeId v = queue.front();
+      queue.pop_front();
+      visited_order.push_back(v);
+      auto visit = [&](NodeId w) {
+        if (!visited[w]) {
+          visited[w] = true;
+          queue.push_back(w);
+        }
+      };
+      for (EdgeId e : g.out_edges(v)) visit(g.edge_dst(e));
+      for (EdgeId e : g.in_edges(v)) visit(g.edge_src(e));
+    }
+  }
+  return InducedSubgraph(g, visited_order);
+}
+
+}  // namespace vadalink::graph

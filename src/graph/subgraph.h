@@ -1,0 +1,29 @@
+// Subgraph extraction: induced subgraphs and BFS samples, used to carve
+// experiment scenarios out of a full register graph (Section 6.1: "20
+// scenarios with subsets from the Italian company graph").
+#pragma once
+
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace vadalink::graph {
+
+/// Result of a subgraph extraction, with the node id mapping back to the
+/// original graph.
+struct Subgraph {
+  PropertyGraph graph;
+  /// new node id -> original node id
+  std::vector<NodeId> original_node;
+};
+
+/// Induced subgraph on `nodes` (properties and labels are copied; edges with
+/// both endpoints in the set are kept).
+Subgraph InducedSubgraph(const PropertyGraph& g,
+                         const std::vector<NodeId>& nodes);
+
+/// BFS (undirected traversal) sample of up to `target_nodes` nodes starting
+/// from `seed`; returns the induced subgraph on the visited set.
+Subgraph BfsSample(const PropertyGraph& g, NodeId seed, size_t target_nodes);
+
+}  // namespace vadalink::graph

@@ -1,0 +1,82 @@
+#include "linkage/bayes.h"
+
+#include <algorithm>
+#include <array>
+
+namespace vadalink::linkage {
+
+namespace {
+// Clamp away from {0,1} so one saturated feature cannot dominate the
+// product irrecoverably (standard practice in Graham-style combiners).
+double Clamp01(double p) { return std::clamp(p, 0.01, 0.99); }
+}  // namespace
+
+double BayesLinkClassifier::GrahamCombine(const std::vector<double>& probs) {
+  if (probs.empty()) return 0.5;
+  double prod = 1.0, inv_prod = 1.0;
+  for (double p : probs) {
+    p = Clamp01(p);
+    prod *= p;
+    inv_prod *= 1.0 - p;
+  }
+  return prod / (prod + inv_prod);
+}
+
+double BayesLinkClassifier::CombineEvidence(
+    const std::vector<bool>& close_flags) const {
+  std::vector<double> probs;
+  probs.reserve(schema_.size());
+  const auto& features = schema_.features();
+  for (size_t i = 0; i < features.size() && i < close_flags.size(); ++i) {
+    probs.push_back(close_flags[i] ? features[i].prob_if_close
+                                   : features[i].prob_if_far);
+  }
+  return GrahamCombine(probs);
+}
+
+double BayesLinkClassifier::LinkProbability(const graph::PropertyGraph& g,
+                                            graph::NodeId x,
+                                            graph::NodeId y) const {
+  return CombineEvidence(schema_.CloseFlags(g, x, y));
+}
+
+void BayesLinkClassifier::EstimateFromTraining(
+    const graph::PropertyGraph& g, const std::vector<TrainingPair>& pairs,
+    double prior) {
+  if (pairs.empty()) return;
+  prior = std::clamp(prior, 1e-6, 1.0 - 1e-6);
+  const size_t nf = schema_.size();
+  // counts[i] = {close&linked, close&unlinked, far&linked, far&unlinked}
+  std::vector<std::array<double, 4>> counts(nf, {1.0, 1.0, 1.0, 1.0});
+  size_t linked_total = 0;
+  for (const TrainingPair& pair : pairs) {
+    std::vector<bool> close = schema_.CloseFlags(g, pair.x, pair.y);
+    if (pair.linked) ++linked_total;
+    for (size_t i = 0; i < nf; ++i) {
+      size_t idx = (close[i] ? 0 : 2) + (pair.linked ? 0 : 1);
+      counts[i][idx] += 1.0;
+    }
+  }
+  (void)linked_total;
+
+  auto& defs = *schema_.mutable_features();
+  for (size_t i = 0; i < nf; ++i) {
+    double cl = counts[i][0], cu = counts[i][1];
+    double fl = counts[i][2], fu = counts[i][3];
+    double p_close_given_link = cl / (cl + fl);
+    double p_close_given_nolink = cu / (cu + fu);
+    double p_close = p_close_given_link * prior +
+                     p_close_given_nolink * (1.0 - prior);
+    double p_far = 1.0 - p_close;
+    if (p_close > 0.0) {
+      defs[i].prob_if_close =
+          Clamp01(p_close_given_link * prior / p_close);
+    }
+    if (p_far > 0.0) {
+      defs[i].prob_if_far =
+          Clamp01((1.0 - p_close_given_link) * prior / p_far);
+    }
+  }
+}
+
+}  // namespace vadalink::linkage

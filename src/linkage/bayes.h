@@ -1,0 +1,59 @@
+// Multi-feature Bayesian link classifier with Graham combination — the
+// paper's model for detecting personal/family connections (Section 2):
+//
+//   p_i = P(L_xy | d(f_i^x, f_i^y) < T_i)
+//   p   = (prod p_i) / (prod p_i + prod (1 - p_i))       [Graham]
+//
+// Each feature contributes p_i when the pair is "close" on that feature
+// and P(L | far) otherwise; p_i itself can be estimated from training data
+// via Bayes' rule from P(d < T | L), P(d < T) and the prior P(L).
+#pragma once
+
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "linkage/feature.h"
+
+namespace vadalink::linkage {
+
+/// Labeled training pair for calibration.
+struct TrainingPair {
+  graph::NodeId x;
+  graph::NodeId y;
+  bool linked;
+};
+
+class BayesLinkClassifier {
+ public:
+  explicit BayesLinkClassifier(FeatureSchema schema)
+      : schema_(std::move(schema)) {}
+
+  const FeatureSchema& schema() const { return schema_; }
+
+  /// Combined link probability for a node pair via Graham combination of
+  /// the per-feature evidence probabilities.
+  double LinkProbability(const graph::PropertyGraph& g, graph::NodeId x,
+                         graph::NodeId y) const;
+
+  /// Combined probability from precomputed closeness flags (one per
+  /// feature, schema order).
+  double CombineEvidence(const std::vector<bool>& close_flags) const;
+
+  /// Graham combination of arbitrary probabilities (exposed for tests and
+  /// for the #LinkProbability Vadalog function).
+  static double GrahamCombine(const std::vector<double>& probs);
+
+  /// Calibrates prob_if_close / prob_if_far of every feature from labeled
+  /// pairs using Bayes' rule:
+  ///   P(L | close) = P(close | L) P(L) / P(close)
+  /// with add-one smoothing; `prior` is P(L). Features never observed
+  /// close (or far) keep their current calibration.
+  void EstimateFromTraining(const graph::PropertyGraph& g,
+                            const std::vector<TrainingPair>& pairs,
+                            double prior);
+
+ private:
+  FeatureSchema schema_;
+};
+
+}  // namespace vadalink::linkage

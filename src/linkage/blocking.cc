@@ -1,0 +1,52 @@
+#include "linkage/blocking.h"
+
+#include <map>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace vadalink::linkage {
+
+uint64_t Blocker::BlockOf(const graph::PropertyGraph& g,
+                          graph::NodeId n) const {
+  uint64_t h = 0x6c696e6b61676521ULL;
+  for (const std::string& key : config_.keys) {
+    const graph::PropertyValue& v = g.GetNodeProperty(n, key);
+    if (v.is_string()) {
+      std::string s = config_.case_insensitive ? ToLower(v.AsString())
+                                               : v.AsString();
+      if (config_.prefix_length > 0 && s.size() > config_.prefix_length) {
+        s.resize(config_.prefix_length);
+      }
+      h = HashCombine(h, Fnv1a64(s));
+    } else {
+      h = HashCombine(h, v.Hash());
+    }
+  }
+  h = HashFinalize(h);
+  if (config_.max_blocks > 0) h %= config_.max_blocks;
+  return h;
+}
+
+std::vector<uint64_t> Blocker::BlockAll(const graph::PropertyGraph& g) const {
+  std::vector<uint64_t> out(g.node_count());
+  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
+    out[n] = BlockOf(g, n);
+  }
+  return out;
+}
+
+std::vector<std::vector<graph::NodeId>> Blocker::GroupByBlock(
+    const graph::PropertyGraph& g,
+    const std::vector<graph::NodeId>& nodes) const {
+  std::map<uint64_t, std::vector<graph::NodeId>> groups;
+  for (graph::NodeId n : nodes) {
+    groups[BlockOf(g, n)].push_back(n);
+  }
+  std::vector<std::vector<graph::NodeId>> out;
+  out.reserve(groups.size());
+  for (auto& [id, members] : groups) out.push_back(std::move(members));
+  return out;
+}
+
+}  // namespace vadalink::linkage

@@ -1,0 +1,78 @@
+#include "linkage/feature.h"
+
+#include <cmath>
+
+#include "linkage/string_metrics.h"
+
+namespace vadalink::linkage {
+
+const char* FeatureMetricName(FeatureMetric m) {
+  switch (m) {
+    case FeatureMetric::kExact: return "exact";
+    case FeatureMetric::kNormalizedLevenshtein: return "levenshtein";
+    case FeatureMetric::kJaroWinklerDistance: return "jaro_winkler";
+    case FeatureMetric::kAbsoluteDifference: return "abs_diff";
+    case FeatureMetric::kSoundexExact: return "soundex";
+  }
+  return "?";
+}
+
+double FeatureDistance(const graph::PropertyValue& a,
+                       const graph::PropertyValue& b, FeatureMetric metric) {
+  constexpr double kMissing = 1.0;
+  constexpr double kNumericMissing = 1e18;
+  if (a.is_null() || b.is_null()) {
+    return metric == FeatureMetric::kAbsoluteDifference ? kNumericMissing
+                                                        : kMissing;
+  }
+  switch (metric) {
+    case FeatureMetric::kExact:
+      return a == b ? 0.0 : 1.0;
+    case FeatureMetric::kNormalizedLevenshtein: {
+      if (!a.is_string() || !b.is_string()) return a == b ? 0.0 : 1.0;
+      return NormalizedLevenshtein(a.AsString(), b.AsString());
+    }
+    case FeatureMetric::kJaroWinklerDistance: {
+      if (!a.is_string() || !b.is_string()) return a == b ? 0.0 : 1.0;
+      return 1.0 - JaroWinkler(a.AsString(), b.AsString());
+    }
+    case FeatureMetric::kAbsoluteDifference: {
+      if (!a.is_numeric() || !b.is_numeric()) return kNumericMissing;
+      return std::fabs(a.AsNumber() - b.AsNumber());
+    }
+    case FeatureMetric::kSoundexExact: {
+      if (!a.is_string() || !b.is_string()) return a == b ? 0.0 : 1.0;
+      return Soundex(a.AsString()) == Soundex(b.AsString()) ? 0.0 : 1.0;
+    }
+  }
+  return kMissing;
+}
+
+std::vector<double> FeatureSchema::Distances(const graph::PropertyGraph& g,
+                                             graph::NodeId x,
+                                             graph::NodeId y) const {
+  std::vector<double> out;
+  out.reserve(features_.size());
+  for (const FeatureDef& f : features_) {
+    out.push_back(FeatureDistance(g.GetNodeProperty(x, f.property),
+                                  g.GetNodeProperty(y, f.property),
+                                  f.metric));
+  }
+  return out;
+}
+
+std::vector<bool> FeatureSchema::CloseFlags(const graph::PropertyGraph& g,
+                                            graph::NodeId x,
+                                            graph::NodeId y) const {
+  std::vector<bool> out;
+  out.reserve(features_.size());
+  for (size_t i = 0; i < features_.size(); ++i) {
+    double d = FeatureDistance(g.GetNodeProperty(x, features_[i].property),
+                               g.GetNodeProperty(y, features_[i].property),
+                               features_[i].metric);
+    out.push_back(d < features_[i].threshold);
+  }
+  return out;
+}
+
+}  // namespace vadalink::linkage

@@ -1,0 +1,68 @@
+// Feature schema for node comparison: which properties of a node matter,
+// how to measure the distance between two values, and the per-feature
+// calibration of the Bayesian link classifier (Section 2, formula for
+// p_i = P(L | d(f_i^x, f_i^y) < T_i)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace vadalink::linkage {
+
+/// Distance function applied to a pair of feature values.
+enum class FeatureMetric {
+  kExact,                  // 0 if equal, 1 otherwise
+  kNormalizedLevenshtein,  // [0,1] edit distance on strings
+  kJaroWinklerDistance,    // 1 - JaroWinkler, strings
+  kAbsoluteDifference,     // |a - b| on numerics
+  kSoundexExact,           // 0 if same Soundex code, 1 otherwise
+};
+
+const char* FeatureMetricName(FeatureMetric m);
+
+/// One comparable feature.
+struct FeatureDef {
+  std::string property;    // node property key
+  FeatureMetric metric = FeatureMetric::kExact;
+  /// Distance threshold T_i: evidence is "close" when d < threshold.
+  double threshold = 0.5;
+  /// p_i = P(link | d < T_i) — probability of a link given closeness.
+  double prob_if_close = 0.8;
+  /// P(link | d >= T_i) — probability of a link given the feature differs.
+  double prob_if_far = 0.1;
+};
+
+/// Distance between two property values under a metric. Missing (null)
+/// values yield the maximal distance 1.0 (or +inf for kAbsoluteDifference
+/// semantics, capped to a large constant).
+double FeatureDistance(const graph::PropertyValue& a,
+                       const graph::PropertyValue& b, FeatureMetric metric);
+
+/// A named bundle of feature definitions.
+class FeatureSchema {
+ public:
+  FeatureSchema() = default;
+  explicit FeatureSchema(std::vector<FeatureDef> features)
+      : features_(std::move(features)) {}
+
+  const std::vector<FeatureDef>& features() const { return features_; }
+  std::vector<FeatureDef>* mutable_features() { return &features_; }
+  void Add(FeatureDef def) { features_.push_back(std::move(def)); }
+  size_t size() const { return features_.size(); }
+
+  /// Per-feature distances between two nodes of `g`.
+  std::vector<double> Distances(const graph::PropertyGraph& g,
+                                graph::NodeId x, graph::NodeId y) const;
+
+  /// Per-feature closeness indicators (distance < threshold).
+  std::vector<bool> CloseFlags(const graph::PropertyGraph& g,
+                               graph::NodeId x, graph::NodeId y) const;
+
+ private:
+  std::vector<FeatureDef> features_;
+};
+
+}  // namespace vadalink::linkage

@@ -1,0 +1,44 @@
+#include "linkage/sorted_neighborhood.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace vadalink::linkage {
+
+std::string SortKeyOf(const graph::PropertyGraph& g, graph::NodeId n,
+                      const SortedNeighborhoodConfig& config) {
+  std::string key;
+  for (const std::string& prop : config.keys) {
+    const graph::PropertyValue& v = g.GetNodeProperty(n, prop);
+    std::string part = v.ToString();
+    if (config.case_insensitive) part = ToLower(part);
+    key += part;
+    key += '\x1f';  // unit separator: keeps fields from bleeding together
+  }
+  return key;
+}
+
+std::vector<std::pair<graph::NodeId, graph::NodeId>>
+SortedNeighborhoodPairs(const graph::PropertyGraph& g,
+                        const std::vector<graph::NodeId>& nodes,
+                        const SortedNeighborhoodConfig& config) {
+  std::vector<std::pair<std::string, graph::NodeId>> keyed;
+  keyed.reserve(nodes.size());
+  for (graph::NodeId n : nodes) {
+    keyed.push_back({SortKeyOf(g, n, config), n});
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  if (config.window < 2 || keyed.size() < 2) return pairs;
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    size_t hi = std::min(keyed.size(), i + config.window);
+    for (size_t j = i + 1; j < hi; ++j) {
+      pairs.push_back({keyed[i].second, keyed[j].second});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace vadalink::linkage

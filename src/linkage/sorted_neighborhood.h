@@ -1,0 +1,36 @@
+// Sorted-neighborhood blocking (Hernández & Stolfo), the classic
+// record-linkage alternative to hash blocking: nodes are sorted by a key
+// and candidate pairs come from a sliding window over the sorted order.
+// Unlike hash blocking it tolerates small key differences (typos near the
+// end of the key), at the cost of window-size-bounded recall for larger
+// ones — a pluggable #GenerateBlocks variant in the paper's terms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace vadalink::linkage {
+
+struct SortedNeighborhoodConfig {
+  /// Properties concatenated (in order) into the sort key.
+  std::vector<std::string> keys;
+  /// Sliding window size w: each node pairs with its w-1 successors.
+  size_t window = 5;
+  bool case_insensitive = true;
+};
+
+/// Candidate pairs from one pass of the sliding window over `nodes`
+/// (deterministic; pairs reported once with the lower sort position
+/// first).
+std::vector<std::pair<graph::NodeId, graph::NodeId>>
+SortedNeighborhoodPairs(const graph::PropertyGraph& g,
+                        const std::vector<graph::NodeId>& nodes,
+                        const SortedNeighborhoodConfig& config);
+
+/// The sort key of a node under `config` (exposed for tests).
+std::string SortKeyOf(const graph::PropertyGraph& g, graph::NodeId n,
+                      const SortedNeighborhoodConfig& config);
+
+}  // namespace vadalink::linkage

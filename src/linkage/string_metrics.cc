@@ -1,0 +1,139 @@
+#include "linkage/string_metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace vadalink::linkage {
+
+size_t Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t m = a.size(), n = b.size();
+  if (m == 0) return n;
+  std::vector<size_t> row(m + 1);
+  for (size_t i = 0; i <= m; ++i) row[i] = i;
+  for (size_t j = 1; j <= n; ++j) {
+    size_t diag = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= m; ++i) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      size_t next = std::min({row[i] + 1, row[i - 1] + 1, diag + cost});
+      diag = row[i];
+      row[i] = next;
+    }
+  }
+  return row[m];
+}
+
+double NormalizedLevenshtein(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(Levenshtein(a, b)) /
+         static_cast<double>(longest);
+}
+
+double Jaro(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t window = std::max(a.size(), b.size()) / 2;
+  window = window > 0 ? window - 1 : 0;
+
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / a.size() + m / b.size() +
+          (m - transpositions / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinkler(std::string_view a, std::string_view b) {
+  double jaro = Jaro(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + 0.1 * static_cast<double>(prefix) * (1.0 - jaro);
+}
+
+std::string Soundex(std::string_view s) {
+  auto code_of = [](char c) -> char {
+    switch (std::toupper(static_cast<unsigned char>(c))) {
+      case 'B': case 'F': case 'P': case 'V': return '1';
+      case 'C': case 'G': case 'J': case 'K':
+      case 'Q': case 'S': case 'X': case 'Z': return '2';
+      case 'D': case 'T': return '3';
+      case 'L': return '4';
+      case 'M': case 'N': return '5';
+      case 'R': return '6';
+      default: return '0';  // vowels, H, W, Y, non-letters
+    }
+  };
+  size_t i = 0;
+  while (i < s.size() &&
+         !std::isalpha(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+  if (i == s.size()) return "0000";
+
+  std::string out;
+  out += static_cast<char>(std::toupper(static_cast<unsigned char>(s[i])));
+  char last = code_of(s[i]);
+  for (++i; i < s.size() && out.size() < 4; ++i) {
+    char c = s[i];
+    if (!std::isalpha(static_cast<unsigned char>(c))) continue;
+    char code = code_of(c);
+    char upper = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (upper == 'H' || upper == 'W') continue;  // transparent to adjacency
+    if (code != '0' && code != last) out += code;
+    last = code;
+  }
+  while (out.size() < 4) out += '0';
+  return out;
+}
+
+double NgramJaccard(std::string_view a, std::string_view b, size_t n) {
+  if (n == 0) n = 1;
+  auto grams = [n](std::string_view s) {
+    std::unordered_set<uint64_t> out;
+    if (s.size() >= n) {
+      for (size_t i = 0; i + n <= s.size(); ++i) {
+        out.insert(Fnv1a64(s.substr(i, n)));
+      }
+    } else if (!s.empty()) {
+      out.insert(Fnv1a64(s));
+    }
+    return out;
+  };
+  auto ga = grams(a);
+  auto gb = grams(b);
+  if (ga.empty() && gb.empty()) return 1.0;
+  size_t inter = 0;
+  for (uint64_t g : ga) inter += gb.count(g);
+  size_t uni = ga.size() + gb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+}  // namespace vadalink::linkage

@@ -1,0 +1,32 @@
+// String similarity metrics from the record-linkage literature, used by the
+// family-link Bayesian classifier (Section 2 of the paper uses Levenshtein
+// distance between name features).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace vadalink::linkage {
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+size_t Levenshtein(std::string_view a, std::string_view b);
+
+/// Levenshtein normalised into [0,1]: distance / max(len); 0 for two empty
+/// strings.
+double NormalizedLevenshtein(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0,1].
+double Jaro(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity in [0,1] with standard prefix scaling (0.1, max
+/// prefix 4).
+double JaroWinkler(std::string_view a, std::string_view b);
+
+/// American Soundex code (letter + 3 digits, e.g. "R163"); empty input
+/// yields "0000".
+std::string Soundex(std::string_view s);
+
+/// Jaccard similarity of the character n-gram sets of the two strings.
+double NgramJaccard(std::string_view a, std::string_view b, size_t n = 2);
+
+}  // namespace vadalink::linkage

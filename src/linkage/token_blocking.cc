@@ -1,0 +1,86 @@
+#include "linkage/token_blocking.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace vadalink::linkage {
+
+std::vector<std::string> TokenizeKey(const std::string& s,
+                                     bool case_insensitive) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += case_insensitive
+                     ? static_cast<char>(
+                           std::tolower(static_cast<unsigned char>(c)))
+                     : c;
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::vector<graph::NodeId>> TokenBlocks(
+    const graph::PropertyGraph& g, const std::vector<graph::NodeId>& nodes,
+    const TokenBlockingConfig& config) {
+  // Pass 1: document frequency per token.
+  std::unordered_map<std::string, size_t> df;
+  std::vector<std::vector<std::string>> tokens_of(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const graph::PropertyValue& v =
+        g.GetNodeProperty(nodes[i], config.property);
+    if (!v.is_string()) continue;
+    tokens_of[i] = TokenizeKey(v.AsString(), config.case_insensitive);
+    // Count each token once per node.
+    std::vector<std::string> seen;
+    for (const std::string& t : tokens_of[i]) {
+      bool dup = false;
+      for (const std::string& s : seen) {
+        if (s == t) dup = true;
+      }
+      if (!dup) {
+        ++df[t];
+        seen.push_back(t);
+      }
+    }
+  }
+  const size_t stop_threshold = static_cast<size_t>(
+      config.stopword_fraction * static_cast<double>(nodes.size()));
+
+  // Pass 2: every usable token of a node contributes the node to that
+  // token's block (overlapping blocks, dropped stop words).
+  std::map<std::string, std::vector<graph::NodeId>> blocks;
+  size_t singleton = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    bool placed = false;
+    std::vector<std::string> used;
+    for (const std::string& t : tokens_of[i]) {
+      size_t f = df[t];
+      if (config.stopword_fraction < 1.0 && f > stop_threshold) continue;
+      bool dup = false;
+      for (const std::string& u : used) {
+        if (u == t) dup = true;
+      }
+      if (dup) continue;
+      used.push_back(t);
+      blocks[t].push_back(nodes[i]);
+      placed = true;
+    }
+    if (!placed) {
+      blocks["\x01singleton" + std::to_string(singleton++)].push_back(
+          nodes[i]);
+    }
+  }
+  std::vector<std::vector<graph::NodeId>> out;
+  out.reserve(blocks.size());
+  for (auto& [token, members] : blocks) out.push_back(std::move(members));
+  return out;
+}
+
+}  // namespace vadalink::linkage

@@ -1,0 +1,41 @@
+// Token blocking for multi-token string keys (company names such as
+// "Tecno Gamma SRL"): each node joins one block per distinctive token of
+// its key (overlapping blocks), while ubiquitous tokens (legal-form
+// suffixes, "Italia", ...) are dropped as stop words so they cannot flood
+// blocks — the classic token blocking of the record-linkage literature, as
+// a third #GenerateBlocks variant beside hash and sorted-neighborhood
+// blocking.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace vadalink::linkage {
+
+struct TokenBlockingConfig {
+  /// Node property holding the multi-token string key.
+  std::string property = "name";
+  /// Tokens occurring in more than this fraction of nodes are ignored as
+  /// stop words (legal forms etc.). 1.0 disables the filter.
+  double stopword_fraction = 0.25;
+  bool case_insensitive = true;
+};
+
+/// Builds one (overlapping) block per non-stopword token; a node appears
+/// in the block of every usable token of its key. Nodes whose key has no
+/// usable token each form a singleton block. Blocks are returned in
+/// deterministic (token-lexicographic) order; blocks of size 1 are kept
+/// (they simply generate no candidate pairs).
+std::vector<std::vector<graph::NodeId>> TokenBlocks(
+    const graph::PropertyGraph& g, const std::vector<graph::NodeId>& nodes,
+    const TokenBlockingConfig& config);
+
+/// Tokenizes a key: splits on non-alphanumeric characters, optionally
+/// lower-casing (exposed for tests).
+std::vector<std::string> TokenizeKey(const std::string& s,
+                                     bool case_insensitive);
+
+}  // namespace vadalink::linkage

@@ -1,0 +1,250 @@
+// common/: Status/Result, RNG, string utilities, hashing, CSV codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/csv.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace vadalink {
+namespace {
+
+// ---- Status / Result -------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(41);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 41);
+  EXPECT_EQ(r.value_or(0), 41);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  VL_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+}
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformU64(10);
+    EXPECT_LT(v, 10u);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    int64_t x = rng.UniformInt(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformU64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, PowerLawInRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.PowerLaw(2.5, 100);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(RngTest, PowerLawIsSkewed) {
+  Rng rng(29);
+  size_t ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.PowerLaw(2.5, 100) == 1) ++ones;
+  }
+  // For alpha=2.5, P(1) ~ 0.65 of the mass; uniform would give 1%.
+  EXPECT_GT(ones, n / 3);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(37);
+  auto s = rng.SampleIndices(100, 20);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (size_t i : uniq) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(41);
+  std::vector<double> w{0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.WeightedIndex(w), 1u);
+}
+
+// ---- string_util ------------------------------------------------------------
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, Case) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+}
+
+TEST(StringUtilTest, JoinStartsEnds) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.25), "0.25");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+}
+
+// ---- hash -------------------------------------------------------------------
+
+TEST(HashTest, Fnv1aStable) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+}
+
+TEST(HashTest, CombineOrderSensitive) {
+  uint64_t ab = HashCombine(HashCombine(0, 1), 2);
+  uint64_t ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+// ---- csv --------------------------------------------------------------------
+
+TEST(CsvTest, SimpleRows) {
+  auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto rows = ParseCsv("\"a,b\",\"say \"\"hi\"\"\",\"multi\nline\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "a,b");
+  EXPECT_EQ((*rows)[0][1], "say \"hi\"");
+  EXPECT_EQ((*rows)[0][2], "multi\nline");
+}
+
+TEST(CsvTest, CrLfAndNoTrailingNewline) {
+  auto rows = ParseCsv("a,b\r\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "d");
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("\"abc").ok());
+}
+
+TEST(CsvTest, EncodeRoundTrip) {
+  std::vector<std::string> fields{"plain", "with,comma", "with\"quote",
+                                  "with\nnewline", ""};
+  std::string line = EncodeCsvRow(fields);
+  auto rows = ParseCsv(line + "\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], fields);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/vl_csv_test.csv";
+  std::vector<std::vector<std::string>> rows{{"x", "1"}, {"y", "2,3"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, rows);
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/definitely/not.csv").ok());
+}
+
+}  // namespace
+}  // namespace vadalink

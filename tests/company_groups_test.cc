@@ -1,0 +1,280 @@
+// company/: group-structure analytics (UBO, pyramids, cross-shareholding)
+// and the temporal register evolution.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "company/groups.h"
+#include "gen/evolution.h"
+#include "graph/graph_algorithms.h"
+#include "tests/paper_fixtures.h"
+
+namespace vadalink::company {
+namespace {
+
+using ::vadalink::testing::CompanyGraphBuilder;
+using ::vadalink::testing::Figure1;
+
+CompanyGraph Build(CompanyGraphBuilder& b) {
+  auto cg = CompanyGraph::FromPropertyGraph(b.graph());
+  EXPECT_TRUE(cg.ok()) << cg.status().ToString();
+  return std::move(cg).value();
+}
+
+// ---- ultimate owners ----------------------------------------------------------
+
+TEST(UltimateOwnersTest, DirectAndIndirectStakes) {
+  // P owns 80% of A; A owns 60% of B -> integrated 48% of B.
+  CompanyGraphBuilder b;
+  b.Person("P");
+  b.Company("A");
+  b.Company("B");
+  b.Own("P", "A", 0.8);
+  b.Own("A", "B", 0.6);
+  auto cg = Build(b);
+  auto owners = UltimateOwnersOf(cg, b.id("B"), 0.25);
+  ASSERT_EQ(owners.size(), 1u);
+  EXPECT_EQ(owners[0].person, b.id("P"));
+  EXPECT_NEAR(owners[0].integrated_ownership, 0.48, 1e-9);
+}
+
+TEST(UltimateOwnersTest, ThresholdFilters) {
+  CompanyGraphBuilder b;
+  b.Person("P");
+  b.Company("A");
+  b.Own("P", "A", 0.2);
+  auto cg = Build(b);
+  EXPECT_TRUE(UltimateOwnersOf(cg, b.id("A"), 0.25).empty());
+  EXPECT_EQ(UltimateOwnersOf(cg, b.id("A"), 0.1).size(), 1u);
+}
+
+TEST(UltimateOwnersTest, SortedByStake) {
+  CompanyGraphBuilder b;
+  b.Person("P1");
+  b.Person("P2");
+  b.Company("A");
+  b.Own("P1", "A", 0.3);
+  b.Own("P2", "A", 0.6);
+  auto cg = Build(b);
+  auto owners = UltimateOwnersOf(cg, b.id("A"), 0.25);
+  ASSERT_EQ(owners.size(), 2u);
+  EXPECT_EQ(owners[0].person, b.id("P2"));
+  EXPECT_EQ(owners[1].person, b.id("P1"));
+}
+
+TEST(UltimateOwnersTest, CrossHoldingsGeometricSeries) {
+  // P owns 50% of A; A and B own 50% of each other. Integrated ownership
+  // of A: 0.5 * (1 + 0.25 + 0.25^2 + ...) = 0.5 / 0.75 = 2/3.
+  CompanyGraphBuilder b;
+  b.Person("P");
+  b.Company("A");
+  b.Company("B");
+  b.Own("P", "A", 0.5);
+  b.Own("A", "B", 0.5);
+  b.Own("B", "A", 0.5);
+  auto cg = Build(b);
+  OwnershipConfig cfg;
+  cfg.max_depth = 200;
+  cfg.epsilon = 1e-15;
+  auto owners = UltimateOwnersOf(cg, b.id("A"), 0.25, cfg);
+  ASSERT_EQ(owners.size(), 1u);
+  EXPECT_NEAR(owners[0].integrated_ownership, 0.5 / 0.75, 1e-9);
+}
+
+// ---- pyramids ----------------------------------------------------------------
+
+TEST(PyramidTest, ChainDepth) {
+  CompanyGraphBuilder b;
+  b.Person("P");
+  for (const char* c : {"A", "B", "C"}) b.Company(c);
+  b.Own("P", "A", 0.6);
+  b.Own("A", "B", 0.7);
+  b.Own("B", "C", 0.8);
+  auto cg = Build(b);
+  EXPECT_EQ(ControlPyramidDepth(cg, b.id("P")), 3u);
+  EXPECT_EQ(ControlPyramidDepth(cg, b.id("A")), 2u);
+  EXPECT_EQ(ControlPyramidDepth(cg, b.id("C")), 0u);
+}
+
+TEST(PyramidTest, MinorityStakesDoNotCount) {
+  CompanyGraphBuilder b;
+  b.Person("P");
+  b.Company("A");
+  b.Company("B");
+  b.Own("P", "A", 0.6);
+  b.Own("A", "B", 0.5);  // exactly half: not a majority
+  auto cg = Build(b);
+  EXPECT_EQ(ControlPyramidDepth(cg, b.id("P")), 1u);
+}
+
+TEST(PyramidTest, ParallelEdgesSummed) {
+  CompanyGraphBuilder b;
+  b.Person("P");
+  b.Company("A");
+  b.Own("P", "A", 0.3);
+  b.Own("P", "A", 0.3);
+  auto cg = Build(b);
+  EXPECT_EQ(ControlPyramidDepth(cg, b.id("P")), 1u);
+}
+
+TEST(PyramidTest, MajorityCycleTerminates) {
+  CompanyGraphBuilder b;
+  b.Person("P");
+  b.Company("A");
+  b.Company("B");
+  b.Own("P", "A", 0.9);
+  b.Own("A", "B", 0.9);
+  b.Own("B", "A", 0.9);
+  auto cg = Build(b);
+  EXPECT_EQ(ControlPyramidDepth(cg, b.id("P")), 2u);  // A then B
+}
+
+TEST(PyramidTest, Figure1Depths) {
+  auto b = Figure1();
+  auto cg = Build(b);
+  // P1 -0.8-> C (no further majority from C); P1 -0.75-> D (D's stakes are
+  // minority): depth 1. P2 -0.6-> G -0.6-> H (H->I is 0.4): depth 2.
+  EXPECT_EQ(ControlPyramidDepth(cg, b.id("P1")), 1u);
+  EXPECT_EQ(ControlPyramidDepth(cg, b.id("P2")), 2u);
+}
+
+// ---- cross-shareholding ---------------------------------------------------------
+
+TEST(CrossShareholdingTest, DetectsCycleAndBuyBack) {
+  CompanyGraphBuilder b;
+  for (const char* c : {"A", "B", "C", "D"}) b.Company(c);
+  b.Own("A", "B", 0.3);
+  b.Own("B", "A", 0.2);   // 2-cycle
+  b.Own("C", "C", 0.05);  // buy-back
+  b.Own("C", "D", 0.4);   // acyclic
+  auto cg = Build(b);
+  auto groups = CircularOwnershipGroups(cg);
+  ASSERT_EQ(groups.size(), 2u);
+  bool found_cycle = false, found_buyback = false;
+  for (const auto& g : groups) {
+    if (g.is_buy_back) {
+      found_buyback = true;
+      EXPECT_EQ(g.members, std::vector<graph::NodeId>{b.id("C")});
+    } else {
+      found_cycle = true;
+      std::set<graph::NodeId> s(g.members.begin(), g.members.end());
+      EXPECT_EQ(s, (std::set<graph::NodeId>{b.id("A"), b.id("B")}));
+    }
+  }
+  EXPECT_TRUE(found_cycle);
+  EXPECT_TRUE(found_buyback);
+}
+
+TEST(CrossShareholdingTest, AcyclicGraphHasNoGroups) {
+  auto b = Figure1();
+  auto cg = Build(b);
+  EXPECT_TRUE(CircularOwnershipGroups(cg).empty());
+}
+
+TEST(CrossShareholdingTest, PersonsNeverInGroups) {
+  // Persons cannot be owned, so cycles through persons are impossible; a
+  // person-owned cycle still only lists companies.
+  CompanyGraphBuilder b;
+  b.Person("P");
+  b.Company("A");
+  b.Company("B");
+  b.Own("P", "A", 0.5);
+  b.Own("A", "B", 0.3);
+  b.Own("B", "A", 0.3);
+  auto cg = Build(b);
+  auto groups = CircularOwnershipGroups(cg);
+  ASSERT_EQ(groups.size(), 1u);
+  for (graph::NodeId m : groups[0].members) {
+    EXPECT_TRUE(cg.is_company(m));
+  }
+}
+
+// ---- register evolution ----------------------------------------------------------
+
+TEST(EvolutionTest, OneSnapshotPerYear) {
+  gen::EvolutionConfig cfg;
+  cfg.first_year = 2005;
+  cfg.last_year = 2010;
+  cfg.initial.persons = 120;
+  cfg.initial.companies = 90;
+  auto snapshots = gen::SimulateEvolution(cfg);
+  ASSERT_EQ(snapshots.size(), 6u);
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].year, 2005 + static_cast<int>(i));
+  }
+}
+
+TEST(EvolutionTest, SnapshotsAreValidCompanyGraphs) {
+  gen::EvolutionConfig cfg;
+  cfg.first_year = 2005;
+  cfg.last_year = 2012;
+  cfg.initial.persons = 150;
+  cfg.initial.companies = 100;
+  for (const auto& snap : gen::SimulateEvolution(cfg)) {
+    auto cg = CompanyGraph::FromPropertyGraph(snap.graph);
+    ASSERT_TRUE(cg.ok()) << "year " << snap.year << ": "
+                         << cg.status().ToString();
+  }
+}
+
+TEST(EvolutionTest, PopulationGrowsAndCompaniesTurnOver) {
+  gen::EvolutionConfig cfg;
+  cfg.first_year = 2005;
+  cfg.last_year = 2018;
+  cfg.initial.persons = 200;
+  cfg.initial.companies = 150;
+  auto snapshots = gen::SimulateEvolution(cfg);
+  const auto& first = snapshots.front();
+  const auto& last = snapshots.back();
+  EXPECT_GT(last.persons.size(), first.persons.size());
+  // Some newly incorporated companies carry a recent inc_year.
+  bool recent = false;
+  for (graph::NodeId c : last.companies) {
+    if (last.graph.GetNodeProperty(c, "inc_year").AsInt() >= 2015) {
+      recent = true;
+    }
+  }
+  EXPECT_TRUE(recent);
+}
+
+TEST(EvolutionTest, EntityIdsStableAcrossYears) {
+  gen::EvolutionConfig cfg;
+  cfg.first_year = 2005;
+  cfg.last_year = 2008;
+  cfg.initial.persons = 80;
+  cfg.initial.companies = 60;
+  auto snapshots = gen::SimulateEvolution(cfg);
+  // Person entity 0 keeps its identity (same name) across snapshots.
+  auto name_of_eid0 = [](const gen::YearlySnapshot& snap) {
+    for (graph::NodeId p : snap.persons) {
+      if (snap.graph.GetNodeProperty(p, "eid").AsInt() == 0) {
+        return snap.graph.GetNodeProperty(p, "first_name").AsString() +
+               snap.graph.GetNodeProperty(p, "last_name").AsString();
+      }
+    }
+    return std::string("<missing>");
+  };
+  std::string first = name_of_eid0(snapshots.front());
+  EXPECT_NE(first, "<missing>");
+  for (const auto& snap : snapshots) {
+    EXPECT_EQ(name_of_eid0(snap), first);
+  }
+}
+
+TEST(EvolutionTest, Deterministic) {
+  gen::EvolutionConfig cfg;
+  cfg.first_year = 2005;
+  cfg.last_year = 2009;
+  cfg.initial.persons = 60;
+  cfg.initial.companies = 40;
+  auto a = gen::SimulateEvolution(cfg);
+  auto b = gen::SimulateEvolution(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].graph.node_count(), b[i].graph.node_count());
+    EXPECT_EQ(a[i].graph.edge_count(), b[i].graph.edge_count());
+  }
+}
+
+}  // namespace
+}  // namespace vadalink::company

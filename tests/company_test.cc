@@ -1,0 +1,533 @@
+// company/: control, accumulated ownership, close links, family reasoning,
+// eligibility — validated against the paper's Figure 1 / Figure 2 examples.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "company/close_link.h"
+#include "company/company_graph.h"
+#include "company/control.h"
+#include "company/eligibility.h"
+#include "company/family.h"
+#include "company/ownership.h"
+#include "tests/paper_fixtures.h"
+
+namespace vadalink::company {
+namespace {
+
+using ::vadalink::testing::CompanyGraphBuilder;
+using ::vadalink::testing::Figure1;
+using ::vadalink::testing::Figure2;
+
+CompanyGraph Build(CompanyGraphBuilder& b) {
+  auto cg = CompanyGraph::FromPropertyGraph(b.graph());
+  EXPECT_TRUE(cg.ok()) << cg.status().ToString();
+  return std::move(cg).value();
+}
+
+// ---- CompanyGraph ------------------------------------------------------------
+
+TEST(CompanyGraphTest, BuildsFromPropertyGraph) {
+  auto b = Figure1();
+  auto cg = Build(b);
+  EXPECT_EQ(cg.persons().size(), 2u);
+  EXPECT_EQ(cg.companies().size(), 8u);
+  EXPECT_EQ(cg.edge_count(), 12u);
+  EXPECT_DOUBLE_EQ(cg.DirectShare(b.id("P1"), b.id("C")), 0.8);
+  EXPECT_DOUBLE_EQ(cg.DirectShare(b.id("C"), b.id("P1")), 0.0);
+}
+
+TEST(CompanyGraphTest, RejectsMissingWeight) {
+  graph::PropertyGraph g;
+  auto a = g.AddNode("Company");
+  auto b = g.AddNode("Company");
+  g.AddEdge(a, b, "Shareholding").value();  // no weight property
+  EXPECT_FALSE(CompanyGraph::FromPropertyGraph(g).ok());
+}
+
+TEST(CompanyGraphTest, RejectsOutOfRangeWeight) {
+  graph::PropertyGraph g;
+  auto a = g.AddNode("Company");
+  auto b = g.AddNode("Company");
+  auto e = g.AddEdge(a, b, "Shareholding").value();
+  g.SetEdgeProperty(e, "w", 1.5);
+  EXPECT_FALSE(CompanyGraph::FromPropertyGraph(g).ok());
+}
+
+TEST(CompanyGraphTest, RejectsShareholdingOfPerson) {
+  graph::PropertyGraph g;
+  auto a = g.AddNode("Company");
+  auto p = g.AddNode("Person");
+  auto e = g.AddEdge(a, p, "Shareholding").value();
+  g.SetEdgeProperty(e, "w", 0.5);
+  EXPECT_FALSE(CompanyGraph::FromPropertyGraph(g).ok());
+}
+
+TEST(CompanyGraphTest, IgnoresOtherEdgeLabels) {
+  graph::PropertyGraph g;
+  auto a = g.AddNode("Person");
+  auto b = g.AddNode("Person");
+  g.AddEdge(a, b, "PartnerOf").value();
+  auto cg = CompanyGraph::FromPropertyGraph(g);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_EQ(cg->edge_count(), 0u);
+}
+
+// ---- control (Definition 2.3, Figure 1) ---------------------------------------
+
+TEST(ControlTest, Figure1Paper) {
+  auto b = Figure1();
+  auto cg = Build(b);
+
+  auto p1 = ControlledBy(cg, b.id("P1"));
+  std::set<graph::NodeId> p1set(p1.begin(), p1.end());
+  EXPECT_EQ(p1set, (std::set<graph::NodeId>{b.id("C"), b.id("D"), b.id("E"),
+                                            b.id("F")}));
+
+  auto p2 = ControlledBy(cg, b.id("P2"));
+  std::set<graph::NodeId> p2set(p2.begin(), p2.end());
+  EXPECT_EQ(p2set, (std::set<graph::NodeId>{b.id("G"), b.id("H"), b.id("I")}));
+
+  // Neither person alone controls L...
+  EXPECT_FALSE(p1set.count(b.id("L")));
+  EXPECT_FALSE(p2set.count(b.id("L")));
+  // ...but the family {P1, P2} does (0.2 via F + 0.4 via I).
+  auto family = ControlledByGroup(cg, {b.id("P1"), b.id("P2")});
+  std::set<graph::NodeId> fset(family.begin(), family.end());
+  EXPECT_TRUE(fset.count(b.id("L")));
+}
+
+TEST(ControlTest, Figure2Paper) {
+  auto b = Figure2();
+  auto cg = Build(b);
+  auto p2 = ControlledBy(cg, b.id("P2"));
+  std::set<graph::NodeId> p2set(p2.begin(), p2.end());
+  // P2 controls C5, C6 directly and C7 jointly through them (0.3 + 0.3).
+  EXPECT_EQ(p2set, (std::set<graph::NodeId>{b.id("C5"), b.id("C6"),
+                                            b.id("C7")}));
+}
+
+TEST(ControlTest, ExactlyHalfIsNotControl) {
+  CompanyGraphBuilder b;
+  b.Company("A");
+  b.Company("B");
+  b.Own("A", "B", 0.5);
+  auto cg = Build(b);
+  EXPECT_TRUE(ControlledBy(cg, b.id("A")).empty());
+}
+
+TEST(ControlTest, JointControlNeedsControlledIntermediaries) {
+  // A owns 40% of C directly and 30% via an UNcontrolled company B: B's
+  // share must not count.
+  CompanyGraphBuilder b;
+  b.Company("A");
+  b.Company("B");
+  b.Company("C");
+  b.Own("A", "B", 0.4);  // not a majority: B not controlled
+  b.Own("A", "C", 0.4);
+  b.Own("B", "C", 0.3);
+  auto cg = Build(b);
+  EXPECT_TRUE(ControlledBy(cg, b.id("A")).empty());
+}
+
+TEST(ControlTest, ControlThroughCycle) {
+  // A -0.6-> B -0.6-> C -0.6-> B (cycle between B and C).
+  CompanyGraphBuilder b;
+  b.Company("A");
+  b.Company("B");
+  b.Company("C");
+  b.Own("A", "B", 0.6);
+  b.Own("B", "C", 0.6);
+  b.Own("C", "B", 0.3);
+  auto cg = Build(b);
+  auto controlled = ControlledBy(cg, b.id("A"));
+  std::set<graph::NodeId> s(controlled.begin(), controlled.end());
+  EXPECT_EQ(s, (std::set<graph::NodeId>{b.id("B"), b.id("C")}));
+}
+
+TEST(ControlTest, SelfLoopDoesNotSelfControl) {
+  CompanyGraphBuilder b;
+  b.Company("A");
+  b.Own("A", "A", 0.9);
+  auto cg = Build(b);
+  EXPECT_TRUE(ControlledBy(cg, b.id("A")).empty());
+}
+
+TEST(ControlTest, AllControlEdgesCoversEveryController) {
+  auto b = Figure1();
+  auto cg = Build(b);
+  auto edges = AllControlEdges(cg);
+  // P1: 4, P2: 3, D: none (0.4+0.25 each below threshold)... plus company
+  // controllers: G controls H (0.6), H alone has 0.4 of I; G controls I?
+  // G's closure: H (0.6), then H's 0.4 of I: not majority. So G -> H only.
+  std::set<std::pair<graph::NodeId, graph::NodeId>> s;
+  for (auto& e : edges) s.insert({e.controller, e.controlled});
+  EXPECT_TRUE(s.count({b.id("P1"), b.id("F")}));
+  EXPECT_TRUE(s.count({b.id("G"), b.id("H")}));
+  EXPECT_FALSE(s.count({b.id("G"), b.id("I")}));
+  EXPECT_EQ(edges.size(), 4u + 3u + 1u);
+}
+
+// ---- accumulated ownership (Definition 2.5) ------------------------------------
+
+TEST(OwnershipTest, SinglePath) {
+  CompanyGraphBuilder b;
+  b.Company("A");
+  b.Company("B");
+  b.Company("C");
+  b.Own("A", "B", 0.5);
+  b.Own("B", "C", 0.4);
+  auto cg = Build(b);
+  auto acc = AccumulatedOwnershipSimplePaths(cg, b.id("A"));
+  EXPECT_DOUBLE_EQ(acc[b.id("B")], 0.5);
+  EXPECT_DOUBLE_EQ(acc[b.id("C")], 0.2);
+}
+
+TEST(OwnershipTest, ParallelPathsSum) {
+  // A -> B -> D and A -> C -> D.
+  CompanyGraphBuilder b;
+  for (const char* c : {"A", "B", "C", "D"}) b.Company(c);
+  b.Own("A", "B", 0.5);
+  b.Own("A", "C", 0.5);
+  b.Own("B", "D", 0.4);
+  b.Own("C", "D", 0.2);
+  auto cg = Build(b);
+  auto acc = AccumulatedOwnershipSimplePaths(cg, b.id("A"));
+  EXPECT_NEAR(acc[b.id("D")], 0.5 * 0.4 + 0.5 * 0.2, 1e-12);
+}
+
+TEST(OwnershipTest, Figure2AccumulatedOwnership) {
+  auto b = Figure2();
+  auto cg = Build(b);
+  // The paper: Phi(C4, C7) = 0.2 (direct edge only).
+  EXPECT_NEAR(AccumulatedOwnership(cg, b.id("C4"), b.id("C7")), 0.2, 1e-12);
+  // Phi(P2, C7) = 0.6*0.3 + 0.55*0.3 = 0.345.
+  EXPECT_NEAR(AccumulatedOwnership(cg, b.id("P2"), b.id("C7")), 0.345,
+              1e-12);
+}
+
+TEST(OwnershipTest, SimplePathsExcludeCycles) {
+  // A -> B <-> C: simple paths A->B and A->B->C only.
+  CompanyGraphBuilder b;
+  for (const char* c : {"A", "B", "C"}) b.Company(c);
+  b.Own("A", "B", 0.5);
+  b.Own("B", "C", 0.5);
+  b.Own("C", "B", 0.5);
+  auto cg = Build(b);
+  auto acc = AccumulatedOwnershipSimplePaths(cg, b.id("A"));
+  EXPECT_DOUBLE_EQ(acc[b.id("B")], 0.5);
+  EXPECT_DOUBLE_EQ(acc[b.id("C")], 0.25);
+}
+
+TEST(OwnershipTest, WalkSumIncludesCycles) {
+  // Same cyclic graph: the walk sum counts B->C->B round trips:
+  // Phi(A,B) = 0.5 * (1 + 0.25 + 0.25^2 + ...) = 0.5 / 0.75 = 2/3.
+  CompanyGraphBuilder b;
+  for (const char* c : {"A", "B", "C"}) b.Company(c);
+  b.Own("A", "B", 0.5);
+  b.Own("B", "C", 0.5);
+  b.Own("C", "B", 0.5);
+  auto cg = Build(b);
+  OwnershipConfig cfg;
+  cfg.max_depth = 200;
+  cfg.epsilon = 1e-15;
+  auto acc = AccumulatedOwnershipWalkSum(cg, b.id("A"), cfg);
+  EXPECT_NEAR(acc[b.id("B")], 0.5 / 0.75, 1e-9);
+}
+
+TEST(OwnershipTest, WalkSumEqualsSimplePathsOnDag) {
+  auto b = Figure1();
+  auto cg = Build(b);
+  auto exact = AccumulatedOwnershipSimplePaths(cg, b.id("P1"));
+  OwnershipConfig cfg;
+  cfg.max_depth = 64;
+  auto walks = AccumulatedOwnershipWalkSum(cg, b.id("P1"), cfg);
+  ASSERT_EQ(exact.size(), walks.size());
+  for (const auto& [node, value] : exact) {
+    EXPECT_NEAR(walks[node], value, 1e-12);
+  }
+}
+
+TEST(OwnershipTest, EpsilonPrunesLongTails) {
+  CompanyGraphBuilder b;
+  b.Company("A");
+  b.Company("B");
+  b.Own("A", "B", 0.5);
+  auto cg = Build(b);
+  OwnershipConfig cfg;
+  cfg.epsilon = 0.9;  // prune everything below 0.9
+  auto acc = AccumulatedOwnershipSimplePaths(cg, b.id("A"), cfg);
+  EXPECT_TRUE(acc.empty());
+}
+
+// ---- close links (Definition 2.6, Figure 2) -------------------------------------
+
+TEST(CloseLinkTest, Figure2Paper) {
+  auto b = Figure2();
+  auto cg = Build(b);
+  auto links = AllCloseLinks(cg);
+  std::set<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (auto& e : links) pairs.insert({e.x, e.y});
+  auto key = [&](const char* x, const char* y) {
+    graph::NodeId ix = b.id(x), iy = b.id(y);
+    return std::make_pair(std::min(ix, iy), std::max(ix, iy));
+  };
+  // Example 2.7 analogues: C4/C6 via P3; C4/C7 via direct Phi = 0.2.
+  EXPECT_TRUE(pairs.count(key("C4", "C6")));
+  EXPECT_TRUE(pairs.count(key("C4", "C7")));
+}
+
+TEST(CloseLinkTest, ReasonAttribution) {
+  auto b = Figure2();
+  auto cg = Build(b);
+  auto links = AllCloseLinks(cg);
+  bool c4c7_direct = false, c4c6_third = false;
+  for (auto& e : links) {
+    graph::NodeId c4 = b.id("C4"), c6 = b.id("C6"), c7 = b.id("C7");
+    auto p = std::minmax(c4, c7);
+    if (e.x == p.first && e.y == p.second) {
+      c4c7_direct = e.reason == CloseLinkReason::kDirectOwnership;
+    }
+    auto q = std::minmax(c4, c6);
+    if (e.x == q.first && e.y == q.second) {
+      c4c6_third = e.reason == CloseLinkReason::kCommonThirdParty &&
+                   e.via == b.id("P3");
+    }
+  }
+  EXPECT_TRUE(c4c7_direct);
+  EXPECT_TRUE(c4c6_third);
+}
+
+TEST(CloseLinkTest, BelowThresholdNoLink) {
+  CompanyGraphBuilder b;
+  b.Company("A");
+  b.Company("B");
+  b.Own("A", "B", 0.19);
+  auto cg = Build(b);
+  EXPECT_FALSE(AreCloselyLinked(cg, b.id("A"), b.id("B")));
+  EXPECT_TRUE(AllCloseLinks(cg).empty());
+}
+
+TEST(CloseLinkTest, SymmetricQueries) {
+  auto b = Figure2();
+  auto cg = Build(b);
+  EXPECT_TRUE(AreCloselyLinked(cg, b.id("C4"), b.id("C7")));
+  EXPECT_TRUE(AreCloselyLinked(cg, b.id("C7"), b.id("C4")));
+}
+
+TEST(CloseLinkTest, PersonsAreNotCloseLinkEndpoints) {
+  auto b = Figure2();
+  auto cg = Build(b);
+  for (auto& e : AllCloseLinks(cg)) {
+    EXPECT_TRUE(cg.is_company(e.x));
+    EXPECT_TRUE(cg.is_company(e.y));
+  }
+}
+
+TEST(CloseLinkTest, ThresholdKnob) {
+  auto b = Figure2();
+  auto cg = Build(b);
+  CloseLinkConfig strict;
+  strict.threshold = 0.5;
+  auto links = AllCloseLinks(cg, strict);
+  // At 50%: P1 owns 0.6 of C4, P2 owns 0.6/0.55 of C5/C6 -> C5-C6 via P2.
+  std::set<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (auto& e : links) pairs.insert({e.x, e.y});
+  graph::NodeId c4 = b.id("C4"), c5 = b.id("C5"), c6 = b.id("C6"),
+                c7 = b.id("C7");
+  auto p = std::minmax(c5, c6);
+  EXPECT_TRUE(pairs.count({p.first, p.second}));
+  auto q = std::minmax(c4, c7);
+  EXPECT_FALSE(pairs.count({q.first, q.second}));
+}
+
+// ---- family reasoning (Definitions 2.8 / 2.9) -----------------------------------
+
+graph::PropertyGraph FamilyPersons() {
+  graph::PropertyGraph g;
+  auto mk = [&](const char* first, const char* last, int64_t birth,
+                const char* sex, const char* city) {
+    auto n = g.AddNode("Person");
+    g.SetNodeProperty(n, "first_name", first);
+    g.SetNodeProperty(n, "last_name", last);
+    g.SetNodeProperty(n, "birth_year", birth);
+    g.SetNodeProperty(n, "birth_city", city);
+    g.SetNodeProperty(n, "sex", sex);
+    g.SetNodeProperty(n, "city", city);
+    return n;
+  };
+  mk("Mario", "Rossi", 1960, "M", "Roma");     // 0
+  mk("Anna", "Rossi", 1962, "F", "Roma");      // 1 partner of 0
+  mk("Luca", "Rossi", 1988, "M", "Roma");      // 2 child
+  mk("Paolo", "Bianchi", 1970, "M", "Milano"); // 3 unrelated
+  return g;
+}
+
+TEST(FamilyTest, DetectsPlantedFamily) {
+  auto g = FamilyPersons();
+  linkage::BayesLinkClassifier clf(DefaultPersonSchema());
+  auto links = DetectPersonLinks(g, {0, 1, 2, 3}, clf, nullptr);
+  std::set<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (auto& l : links) pairs.insert(std::minmax(l.x, l.y));
+  EXPECT_TRUE(pairs.count({0, 1}));
+  EXPECT_TRUE(pairs.count({0, 2}));
+  EXPECT_TRUE(pairs.count({1, 2}));
+  EXPECT_FALSE(pairs.count({0, 3}));
+  EXPECT_FALSE(pairs.count({1, 3}));
+  EXPECT_FALSE(pairs.count({2, 3}));
+}
+
+TEST(FamilyTest, KindHeuristics) {
+  auto g = FamilyPersons();
+  FamilyDetectorConfig cfg;
+  EXPECT_EQ(ClassifyLinkKind(g, 0, 1, cfg), "PartnerOf");  // M/F, 2y apart
+  EXPECT_EQ(ClassifyLinkKind(g, 0, 2, cfg), "ParentOf");   // 28y apart
+  // Same sex, close birth -> sibling.
+  auto g2 = FamilyPersons();
+  g2.SetNodeProperty(1, "sex", "M");
+  EXPECT_EQ(ClassifyLinkKind(g2, 0, 1, cfg), "SiblingOf");
+}
+
+TEST(FamilyTest, BlockingPreservesDetection) {
+  auto g = FamilyPersons();
+  linkage::BayesLinkClassifier clf(DefaultPersonSchema());
+  linkage::Blocker blocker(DefaultPersonBlocking());
+  auto blocked = DetectPersonLinks(g, {0, 1, 2, 3}, clf, &blocker);
+  auto full = DetectPersonLinks(g, {0, 1, 2, 3}, clf, nullptr);
+  EXPECT_EQ(blocked.size(), full.size());
+}
+
+TEST(FamilyTest, FamilyGroupsFromLinks) {
+  std::vector<PersonLink> links{{0, 1, "PartnerOf", 0.9},
+                                {1, 2, "ParentOf", 0.8},
+                                {4, 5, "SiblingOf", 0.7}};
+  auto groups = FamilyGroups(links, 6);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<graph::NodeId>{0, 1, 2}));
+  EXPECT_EQ(groups[1], (std::vector<graph::NodeId>{4, 5}));
+}
+
+TEST(FamilyTest, Figure1FamilyControlsL) {
+  auto b = Figure1();
+  auto cg = Build(b);
+  auto controlled =
+      FamilyControlledCompanies(cg, {b.id("P1"), b.id("P2")});
+  std::set<graph::NodeId> s(controlled.begin(), controlled.end());
+  EXPECT_TRUE(s.count(b.id("L")));
+  // Everything individually controlled is also family-controlled.
+  for (const char* c : {"C", "D", "E", "F", "G", "H", "I"}) {
+    EXPECT_TRUE(s.count(b.id(c))) << c;
+  }
+}
+
+TEST(FamilyTest, FamilyCloseLinks) {
+  // Paper's D/G argument: P1 and P2 are personally connected; P1 has
+  // significant accumulated ownership of D, P2 of G, so D and G should be
+  // flagged even though no single third party owns both.
+  auto b = Figure1();
+  auto cg = Build(b);
+  auto pairs = FamilyCloseLinks(cg, {b.id("P1"), b.id("P2")});
+  graph::NodeId d = b.id("D"), gg = b.id("G");
+  auto key = std::minmax(d, gg);
+  EXPECT_TRUE(std::find(pairs.begin(), pairs.end(),
+                        std::make_pair(key.first, key.second)) !=
+              pairs.end());
+}
+
+// ---- eligibility -----------------------------------------------------------------
+
+TEST(EligibilityTest, CloseLinkBlocksGuarantee) {
+  auto b = Figure2();
+  auto cg = Build(b);
+  EligibilityConfig cfg;
+  auto decision = ScreenGuarantor(cg, b.id("C4"), b.id("C7"), cfg);
+  EXPECT_EQ(decision.verdict, EligibilityVerdict::kIneligibleCloseLink);
+}
+
+TEST(EligibilityTest, UnrelatedCompaniesEligible) {
+  CompanyGraphBuilder b;
+  b.Company("A");
+  b.Company("B");
+  b.Company("X");
+  b.Own("X", "A", 0.1);
+  auto cg = Build(b);
+  EligibilityConfig cfg;
+  auto decision = ScreenGuarantor(cg, b.id("A"), b.id("B"), cfg);
+  EXPECT_EQ(decision.verdict, EligibilityVerdict::kEligible);
+}
+
+TEST(EligibilityTest, FamilyTieFlagged) {
+  auto b = Figure1();
+  auto cg = Build(b);
+  EligibilityConfig cfg;
+  cfg.families = {{b.id("P1"), b.id("P2")}};
+  auto decision = ScreenGuarantor(cg, b.id("D"), b.id("G"), cfg);
+  EXPECT_EQ(decision.verdict,
+            EligibilityVerdict::kFlaggedFamilyCloseLink);
+}
+
+
+// ---- legal rights (voting vs cash flow) -----------------------------------------
+
+TEST(RightsTest, BareOwnershipGivesNoControl) {
+  graph::PropertyGraph g;
+  auto p = g.AddNode("Person");
+  auto c = g.AddNode("Company");
+  auto e = g.AddEdge(p, c, "Shareholding").value();
+  g.SetEdgeProperty(e, "w", 0.8);
+  g.SetEdgeProperty(e, "right", "bare_ownership");
+  auto cg = CompanyGraph::FromPropertyGraph(g).value();
+  EXPECT_TRUE(ControlledBy(cg, p).empty());          // no votes
+  EXPECT_DOUBLE_EQ(cg.DirectShare(p, c), 0.8);       // full cash flow
+  EXPECT_DOUBLE_EQ(cg.DirectVotingShare(p, c), 0.0);
+}
+
+TEST(RightsTest, UsufructGivesControlButNoOwnership) {
+  graph::PropertyGraph g;
+  auto p = g.AddNode("Person");
+  auto c = g.AddNode("Company");
+  auto e = g.AddEdge(p, c, "Shareholding").value();
+  g.SetEdgeProperty(e, "w", 0.8);
+  g.SetEdgeProperty(e, "right", "usufruct");
+  auto cg = CompanyGraph::FromPropertyGraph(g).value();
+  auto controlled = ControlledBy(cg, p);
+  ASSERT_EQ(controlled.size(), 1u);
+  EXPECT_EQ(controlled[0], c);
+  // Accumulated (cash-flow) ownership is zero: no close-link exposure.
+  EXPECT_DOUBLE_EQ(AccumulatedOwnership(cg, p, c), 0.0);
+}
+
+TEST(RightsTest, SplitPairRecombines) {
+  // The same 60% share split between a bare owner (cash) and an
+  // usufructuary (votes): the usufructuary controls, the bare owner has
+  // the accumulated ownership.
+  graph::PropertyGraph g;
+  auto bare = g.AddNode("Person");
+  auto usu = g.AddNode("Person");
+  auto c = g.AddNode("Company");
+  auto e1 = g.AddEdge(bare, c, "Shareholding").value();
+  g.SetEdgeProperty(e1, "w", 0.6);
+  g.SetEdgeProperty(e1, "right", "bare_ownership");
+  auto e2 = g.AddEdge(usu, c, "Shareholding").value();
+  g.SetEdgeProperty(e2, "w", 0.6);
+  g.SetEdgeProperty(e2, "right", "usufruct");
+  auto cg = CompanyGraph::FromPropertyGraph(g).value();
+  EXPECT_TRUE(ControlledBy(cg, bare).empty());
+  EXPECT_EQ(ControlledBy(cg, usu).size(), 1u);
+  EXPECT_DOUBLE_EQ(AccumulatedOwnership(cg, bare, c), 0.6);
+  EXPECT_DOUBLE_EQ(AccumulatedOwnership(cg, usu, c), 0.0);
+}
+
+TEST(RightsTest, UnknownRightRejected) {
+  graph::PropertyGraph g;
+  auto a = g.AddNode("Company");
+  auto b = g.AddNode("Company");
+  auto e = g.AddEdge(a, b, "Shareholding").value();
+  g.SetEdgeProperty(e, "w", 0.5);
+  g.SetEdgeProperty(e, "right", "timeshare");
+  EXPECT_FALSE(CompanyGraph::FromPropertyGraph(g).ok());
+}
+
+}  // namespace
+}  // namespace vadalink::company

@@ -1,0 +1,576 @@
+// Engine semantics: fixpoints, recursion, negation, existentials, Skolems,
+// monotonic aggregation, provenance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "datalog/engine.h"
+#include "datalog/parser.h"
+
+namespace vadalink::datalog {
+namespace {
+
+/// Test fixture owning a catalog/database/engine trio.
+class EngineTest : public ::testing::Test {
+ protected:
+  Catalog catalog;
+  Database db{&catalog};
+
+  /// Parses and runs a program; fails the test on error.
+  void Run(const std::string& src, EngineOptions opts = {}) {
+    auto program = ParseProgram(src, &catalog);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    engine_ = std::make_unique<Engine>(&db, opts);
+    Status st = engine_->Run(*program);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  Status RunExpectError(const std::string& src) {
+    auto program = ParseProgram(src, &catalog);
+    if (!program.ok()) return program.status();
+    engine_ = std::make_unique<Engine>(&db, EngineOptions{});
+    return engine_->Run(*program);
+  }
+
+  /// Renders a predicate's tuples as a sorted set of strings.
+  std::set<std::string> Tuples(const std::string& pred) {
+    std::set<std::string> out;
+    for (const auto& t : db.TuplesOf(pred)) {
+      std::string s;
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) s += ",";
+        s += t[i].ToString(catalog.symbols);
+      }
+      out.insert(s);
+    }
+    return out;
+  }
+
+  size_t Count(const std::string& pred) {
+    return db.TuplesOf(pred).size();
+  }
+
+  Engine& engine() { return *engine_; }
+
+ private:
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(EngineTest, FactsOnly) {
+  Run(R"(
+    person("alice").
+    person("bob").
+    age("alice", 30).
+  )");
+  EXPECT_EQ(Count("person"), 2u);
+  EXPECT_EQ(Tuples("age"), std::set<std::string>({"\"alice\",30"}));
+}
+
+TEST_F(EngineTest, DuplicateFactsDeduplicated) {
+  Run(R"(
+    p(1). p(1). p(1).
+  )");
+  EXPECT_EQ(Count("p"), 1u);
+}
+
+TEST_F(EngineTest, SimpleProjection) {
+  Run(R"(
+    own("a", "b", 0.6).
+    own("b", "c", 0.4).
+    own(X, Y, W) -> edge(X, Y).
+  )");
+  EXPECT_EQ(Tuples("edge"),
+            std::set<std::string>({"\"a\",\"b\"", "\"b\",\"c\""}));
+}
+
+TEST_F(EngineTest, JoinTwoAtoms) {
+  Run(R"(
+    parent("a", "b").
+    parent("b", "c").
+    parent("c", "d").
+    parent(X, Y), parent(Y, Z) -> grandparent(X, Z).
+  )");
+  EXPECT_EQ(Tuples("grandparent"),
+            std::set<std::string>({"\"a\",\"c\"", "\"b\",\"d\""}));
+}
+
+TEST_F(EngineTest, TransitiveClosure) {
+  Run(R"(
+    e(1,2). e(2,3). e(3,4). e(4,5).
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+  )");
+  EXPECT_EQ(Count("tc"), 10u);  // 4+3+2+1
+}
+
+TEST_F(EngineTest, TransitiveClosureWithCycle) {
+  Run(R"(
+    e(1,2). e(2,3). e(3,1).
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+  )");
+  EXPECT_EQ(Count("tc"), 9u);  // complete on {1,2,3}
+}
+
+TEST_F(EngineTest, ConstantsInBodyFilter) {
+  Run(R"(
+    p(1, "x"). p(2, "y"). p(1, "z").
+    p(1, V) -> q(V).
+  )");
+  EXPECT_EQ(Tuples("q"), std::set<std::string>({"\"x\"", "\"z\""}));
+}
+
+TEST_F(EngineTest, ComparisonFilters) {
+  Run(R"(
+    own("a","b",0.8). own("a","c",0.3). own("b","c",0.51).
+    own(X,Y,W), W > 0.5 -> majority(X,Y).
+  )");
+  EXPECT_EQ(Tuples("majority"),
+            std::set<std::string>({"\"a\",\"b\"", "\"b\",\"c\""}));
+}
+
+TEST_F(EngineTest, ArithmeticAssignment) {
+  Run(R"(
+    val(3). val(5).
+    val(X), Y = X * X + 1 -> sq(X, Y).
+  )");
+  EXPECT_EQ(Tuples("sq"), std::set<std::string>({"3,10", "5,26"}));
+}
+
+TEST_F(EngineTest, StratifiedNegation) {
+  Run(R"(
+    node(1). node(2). node(3).
+    covered(2).
+    node(X), not covered(X) -> uncovered(X).
+  )");
+  EXPECT_EQ(Tuples("uncovered"), std::set<std::string>({"1", "3"}));
+}
+
+TEST_F(EngineTest, NegationThroughRecursionRejected) {
+  Status st = RunExpectError(R"(
+    p(1).
+    p(X), not q(X) -> q(X).
+  )");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, NegationAfterRecursionStratifies) {
+  Run(R"(
+    e(1,2). e(2,3).
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+    e(X,Y), not tc(Y,X) -> oneway(X,Y).
+  )");
+  EXPECT_EQ(Count("oneway"), 2u);
+}
+
+TEST_F(EngineTest, ExistentialInventsNull) {
+  Run(R"(
+    person("p1").
+    person(X) -> hasid(X, I).
+  )");
+  auto tuples = db.TuplesOf("hasid");
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_TRUE(tuples[0][1].is_null());
+}
+
+TEST_F(EngineTest, ExistentialNullsMemoizedOnFrontier) {
+  // Two rules firing on the same frontier twice must not invent new nulls
+  // forever; recursion through an existential terminates.
+  Run(R"(
+    own("a","b",1.0).
+    own(X,Y,W) -> link(L, X, Y).
+    link(L, X, Y) -> relabeled(L).
+  )");
+  EXPECT_EQ(Count("link"), 1u);
+  EXPECT_EQ(Count("relabeled"), 1u);
+  EXPECT_EQ(engine().stats().nulls_invented, 1u);
+}
+
+TEST_F(EngineTest, DistinctFrontiersDistinctNulls) {
+  Run(R"(
+    p("a"). p("b").
+    p(X) -> q(X, N).
+  )");
+  auto tuples = db.TuplesOf("q");
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_NE(tuples[0][1], tuples[1][1]);
+}
+
+TEST_F(EngineTest, SkolemDeterministic) {
+  Run(R"(
+    company("acme"). company("bigco").
+    company(N), Z = #sk("c", N) -> node(Z, N).
+    company(N), Z = #sk("c", N) -> node2(Z, N).
+  )");
+  auto a = db.TuplesOf("node");
+  auto b = db.TuplesOf("node2");
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  // Same (tag, args) -> same OID across rules.
+  std::set<std::string> sa, sb;
+  for (auto& t : a) sa.insert(t[0].ToString(catalog.symbols) + t[1].ToString(catalog.symbols));
+  for (auto& t : b) sb.insert(t[0].ToString(catalog.symbols) + t[1].ToString(catalog.symbols));
+  EXPECT_EQ(sa, sb);
+}
+
+TEST_F(EngineTest, SkolemDisjointRanges) {
+  // Same argument, different tags -> different OIDs (persons vs companies
+  // with the same name, as in the paper's input mapping).
+  Run(R"(
+    name("x").
+    name(N), P = #sk("person", N), C = #sk("company", N) -> ids(P, C).
+  )");
+  auto tuples = db.TuplesOf("ids");
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_NE(tuples[0][0], tuples[0][1]);
+}
+
+TEST_F(EngineTest, MonotonicSumThreshold) {
+  // Company control, Definition 2.3 / Algorithm 5 of the paper.
+  Run(R"(
+    own("a","b",0.3).
+    own("c","b",0.3).
+    own("a","d",0.6).
+    own("d","b",0.25).
+    company("a"). company("b"). company("c"). company("d").
+    company(X) -> control(X, X).
+    control(X,Z), own(Z,Y,W), S = msum(W, <Z>), S > 0.5 -> control(X,Y).
+  )");
+  auto control = Tuples("control");
+  // a controls d directly (0.6) and then b via a(0.3)+d(0.25)=0.55.
+  EXPECT_TRUE(control.count("\"a\",\"d\""));
+  EXPECT_TRUE(control.count("\"a\",\"b\""));
+  // c owns only 0.3 of b.
+  EXPECT_FALSE(control.count("\"c\",\"b\""));
+}
+
+TEST_F(EngineTest, MonotonicSumDistinctContributorsOnly) {
+  // The same contributor must count once even if matched via different
+  // body derivations.
+  Run(R"(
+    own("a","b",0.30).
+    own2("a","b",0.30).
+    own(X,Y,W) -> stake(X,Y,W).
+    own2(X,Y,W) -> stake(X,Y,W).
+    stake(X,Y,W), S = msum(W, <X>), S > 0.5 -> big(Y).
+  )");
+  // stake("a","b",0.30) exists once (set semantics); contributor "a"
+  // contributes 0.30 once; 0.30 < 0.5.
+  EXPECT_EQ(Count("big"), 0u);
+}
+
+TEST_F(EngineTest, MonotonicSumInHead) {
+  // Accumulated ownership style: running values appear in the head
+  // (Algorithm 6); final value is the maximum.
+  Run(R"(
+    contrib("k1", 1.0). contrib("k2", 2.0). contrib("k3", 4.0).
+    contrib(K, V), S = msum(V, <K>) -> acc(S).
+  )");
+  auto acc = Tuples("acc");
+  // Running sums depend on enumeration order, but the total must appear.
+  bool has_total = acc.count("7") || acc.count("7.0");
+  EXPECT_TRUE(has_total) << "acc misses total 7";
+  EXPECT_LE(acc.size(), 3u);
+}
+
+TEST_F(EngineTest, MonotonicCount) {
+  Run(R"(
+    e("a"). e("b"). e("c").
+    e(X), C = mcount(<X>), C >= 3 -> three().
+  )");
+  EXPECT_EQ(Count("three"), 1u);
+}
+
+TEST_F(EngineTest, MonotonicMax) {
+  Run(R"(
+    v(3.5). v(1.0). v(9.25).
+    v(X), M = mmax(X, <X>) -> best(M).
+  )");
+  EXPECT_TRUE(Tuples("best").count("9.25"));
+}
+
+TEST_F(EngineTest, MonotonicMin) {
+  Run(R"(
+    v(3). v(7). v(2).
+    v(X), M = mmin(X, <X>) -> low(M).
+  )");
+  EXPECT_TRUE(Tuples("low").count("2"));
+}
+
+TEST_F(EngineTest, GroupByHeadVariables) {
+  // Sums are grouped per head binding (per Y), not global.
+  Run(R"(
+    own("a","y1",0.6). own("b","y1",0.2). own("c","y2",0.9).
+    own(X,Y,W), S = msum(W, <X>), S > 0.5 -> controlled(Y).
+  )");
+  EXPECT_EQ(Tuples("controlled"),
+            std::set<std::string>({"\"y1\"", "\"y2\""}));
+}
+
+TEST_F(EngineTest, MultipleHeads) {
+  Run(R"(
+    p(1).
+    p(X) -> q(X), r(X, X).
+  )");
+  EXPECT_EQ(Count("q"), 1u);
+  EXPECT_EQ(Count("r"), 1u);
+}
+
+TEST_F(EngineTest, SharedExistentialAcrossHeads) {
+  Run(R"(
+    p("a").
+    p(X) -> q(X, N), r(N, X).
+  )");
+  auto q = db.TuplesOf("q");
+  auto r = db.TuplesOf("r");
+  ASSERT_EQ(q.size(), 1u);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(q[0][1], r[0][0]) << "same existential var must share the null";
+}
+
+TEST_F(EngineTest, BuiltinConcatAndCase) {
+  Run(R"(
+    name("Anna", "Rossi").
+    name(F, L), X = #concat(#lower(F), "_", #lower(L)) -> key(X).
+  )");
+  EXPECT_EQ(Tuples("key"), std::set<std::string>({"\"anna_rossi\""}));
+}
+
+TEST_F(EngineTest, BuiltinHashMod) {
+  Run(R"(
+    item("a"). item("b"). item("c").
+    item(X), B = #mod(#hash(X), 4) -> bucket(X, B).
+  )");
+  EXPECT_EQ(Count("bucket"), 3u);
+  for (const auto& t : db.TuplesOf("bucket")) {
+    ASSERT_TRUE(t[1].is_int());
+    EXPECT_GE(t[1].AsInt(), 0);
+    EXPECT_LT(t[1].AsInt(), 4);
+  }
+}
+
+TEST_F(EngineTest, UnknownFunctionRejected) {
+  Status st = RunExpectError(R"(
+    p(1).
+    p(X), Y = #nosuchfn(X) -> q(Y).
+  )");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(EngineTest, CustomRegisteredFunction) {
+  auto program = ParseProgram(R"(
+    p(2). p(5).
+    p(X), Y = #triple(X) -> q(Y).
+  )", &catalog);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Engine engine(&db);
+  engine.functions()->Register(
+      "triple",
+      [](FunctionContext&, const std::vector<Value>& args) -> Result<Value> {
+        return Value::Int(args[0].AsInt() * 3);
+      });
+  ASSERT_TRUE(engine.Run(*program).ok());
+  EXPECT_EQ(Tuples("q"), std::set<std::string>({"6", "15"}));
+}
+
+TEST_F(EngineTest, SameGenerationNonLinear) {
+  Run(R"(
+    flat(1,2). flat(3,4).
+    up(2,5). up(4,5).
+    flat(X,Y) -> sg(X,Y).
+    up(X,U), sg(U,V), up(Y,V) -> sg(X,Y).
+  )");
+  // Non-linear recursion sanity: sg must stay within expected bounds.
+  EXPECT_GE(Count("sg"), 2u);
+}
+
+TEST_F(EngineTest, FactLimitAborts) {
+  EngineOptions opts;
+  opts.max_facts = 50;
+  auto program = ParseProgram(R"(
+    n(0).
+    n(X), Y = X + 1, Y < 1000 -> n(Y).
+  )", &catalog);
+  ASSERT_TRUE(program.ok());
+  Engine engine(&db, opts);
+  Status st = engine.Run(*program);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST_F(EngineTest, ArithmeticRecursionBounded) {
+  Run(R"(
+    n(0).
+    n(X), Y = X + 1, Y < 10 -> n(Y).
+  )");
+  EXPECT_EQ(Count("n"), 10u);
+}
+
+TEST_F(EngineTest, ProvenanceExplain) {
+  EngineOptions opts;
+  opts.trace_provenance = true;
+  auto program = ParseProgram(R"(
+    e(1,2). e(2,3).
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+  )", &catalog);
+  ASSERT_TRUE(program.ok());
+  Engine engine(&db, opts);
+  ASSERT_TRUE(engine.Run(*program).ok());
+  uint32_t tc = catalog.predicates.Lookup("tc");
+  ASSERT_NE(tc, UINT32_MAX);
+  std::string why = engine.Explain(tc, {Value::Int(1), Value::Int(3)});
+  EXPECT_NE(why.find("tc(1, 3)"), std::string::npos);
+  EXPECT_NE(why.find("rule"), std::string::npos);
+  EXPECT_NE(why.find("(asserted)"), std::string::npos);
+}
+
+TEST_F(EngineTest, OutputDirectiveParsed) {
+  auto program = ParseProgram(R"(
+    @output("q").
+    p(1).
+    p(X) -> q(X).
+  )", &catalog);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->outputs.size(), 1u);
+}
+
+TEST_F(EngineTest, RunIsIdempotent) {
+  auto program = ParseProgram(R"(
+    e(1,2). e(2,3).
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+  )", &catalog);
+  ASSERT_TRUE(program.ok());
+  Engine engine(&db);
+  ASSERT_TRUE(engine.Run(*program).ok());
+  size_t n1 = Count("tc");
+  ASSERT_TRUE(engine.Run(*program).ok());
+  EXPECT_EQ(Count("tc"), n1);
+}
+
+TEST_F(EngineTest, BodyReorderingHandlesLateBinding) {
+  // The comparison references a variable bound by the *second* atom; the
+  // engine must reorder rather than fail.
+  Run(R"(
+    a(1). b(1, 10). b(1, 2).
+    a(X), Y > 5, b(X, Y) -> big(Y).
+  )");
+  EXPECT_EQ(Tuples("big"), std::set<std::string>({"10"}));
+}
+
+TEST_F(EngineTest, ZeroAryPredicates) {
+  Run(R"(
+    go.
+    go -> done.
+  )");
+  EXPECT_EQ(Count("done"), 1u);
+}
+
+TEST_F(EngineTest, SymbolConstantsEqualQuotedStrings) {
+  Run(R"(
+    t(company). t("company"). t(person).
+  )");
+  EXPECT_EQ(Count("t"), 2u);
+}
+
+TEST_F(EngineTest, RuntimeArityMismatchRejected) {
+  Status st = RunExpectError(R"(
+    p(1, 2).
+    p(X) -> q(X).
+  )");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, DivisionByZeroIsError) {
+  Status st = RunExpectError(R"(
+    p(1).
+    p(X), Y = X / 0 -> q(Y).
+  )");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(EngineTest, MixedOrderedComparisonIsError) {
+  Status st = RunExpectError(R"(
+    p(1, "a").
+    p(X, Y), X < Y -> q(X).
+  )");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(EngineTest, SymbolOrderedComparisonWorks) {
+  Run(R"(
+    w("apple"). w("banana"). w("cherry").
+    w(X), X < "banana" -> early(X).
+  )");
+  EXPECT_EQ(Tuples("early"), std::set<std::string>({"\"apple\""}));
+}
+
+TEST_F(EngineTest, MultiLevelStratification) {
+  Run(R"(
+    e(1,2). e(2,3). e(1,3).
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+    e(X,Y), not tc(Y,X) -> asym(X,Y).
+    asym(X,Y), not special(X) -> plain(X,Y).
+    special(1).
+  )");
+  // asym: all three edges (no cycles). plain: only those with X != 1.
+  EXPECT_EQ(Count("asym"), 3u);
+  EXPECT_EQ(Count("plain"), 1u);  // 2->3
+}
+
+TEST_F(EngineTest, AggregateNonNumericValueIsError) {
+  Status st = RunExpectError(R"(
+    p("a", "b").
+    p(X, Y), S = msum(Y, <X>) -> q(S).
+  )");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(EngineTest, AggregateWithoutContributorsTakesFirstOnly) {
+  // Without a contributor list the (empty) contributor key dedupes after
+  // the first contribution: documented behaviour — always give <...>.
+  Run(R"(
+    v(1.0). v(2.0).
+    v(X), S = msum(X) -> acc(S).
+  )");
+  EXPECT_EQ(Count("acc"), 1u);
+}
+
+TEST_F(EngineTest, NegationOverEmptyRelation) {
+  Run(R"(
+    p(1).
+    p(X), not q(X, X) -> r(X).
+  )");
+  EXPECT_EQ(Count("r"), 1u);
+}
+
+TEST_F(EngineTest, ConstantOnlyHeadFromRule) {
+  Run(R"(
+    p(1).
+    p(X) -> tagged(X, marker).
+  )");
+  EXPECT_EQ(Tuples("tagged"), std::set<std::string>({"1,\"marker\""}));
+}
+
+TEST_F(EngineTest, StatsArePopulated) {
+  Run(R"(
+    e(1,2). e(2,3).
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+  )");
+  const auto& s = engine().stats();
+  EXPECT_GE(s.strata, 1u);
+  EXPECT_GT(s.body_matches, 0u);
+  EXPECT_EQ(s.facts_derived, 3u);
+  EXPECT_EQ(s.nulls_invented, 0u);
+}
+
+}  // namespace
+}  // namespace vadalink::datalog

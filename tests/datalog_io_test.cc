@@ -1,0 +1,113 @@
+// datalog/: relation CSV import/export.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "datalog/relation_io.h"
+
+namespace vadalink::datalog {
+namespace {
+
+class RelationIoTest : public ::testing::Test {
+ protected:
+  Catalog catalog;
+  Database db{&catalog};
+
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  }
+};
+
+TEST_F(RelationIoTest, LoadTypedCells) {
+  std::string path = TempPath("own.csv");
+  WriteFile(path, "acme,bigco,0.5\nacme,smallco,2\nbigco,smallco,true\n");
+  auto n = LoadRelationCsv(&db, "own", path);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 3u);
+  auto tuples = db.TuplesOf("own");
+  ASSERT_EQ(tuples.size(), 3u);
+  EXPECT_TRUE(tuples[0][0].is_symbol());
+  EXPECT_TRUE(tuples[0][2].is_double());
+  EXPECT_DOUBLE_EQ(tuples[0][2].AsDouble(), 0.5);
+  EXPECT_TRUE(tuples[1][2].is_int());
+  EXPECT_EQ(tuples[1][2].AsInt(), 2);
+  EXPECT_TRUE(tuples[2][2].is_bool());
+}
+
+TEST_F(RelationIoTest, LoadDeduplicates) {
+  std::string path = TempPath("dup.csv");
+  WriteFile(path, "a,1\na,1\nb,2\n");
+  auto n = LoadRelationCsv(&db, "p", path);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(db.TuplesOf("p").size(), 2u);
+}
+
+TEST_F(RelationIoTest, InconsistentArityRejected) {
+  std::string path = TempPath("bad.csv");
+  WriteFile(path, "a,1\nb\n");
+  EXPECT_FALSE(LoadRelationCsv(&db, "p", path).ok());
+}
+
+TEST_F(RelationIoTest, ArityMismatchWithExistingRelationRejected) {
+  ASSERT_TRUE(db.InsertByName("p", {Value::Int(1), Value::Int(2)}).ok());
+  std::string path = TempPath("one.csv");
+  WriteFile(path, "justone\n");
+  EXPECT_FALSE(LoadRelationCsv(&db, "p", path).ok());
+}
+
+TEST_F(RelationIoTest, SaveLoadRoundTrip) {
+  ASSERT_TRUE(db.InsertByName("q", {db.Sym("hello, world"), Value::Int(42),
+                                    Value::Double(0.25)})
+                  .ok());
+  ASSERT_TRUE(
+      db.InsertByName("q", {db.Sym("x"), Value::Int(-7), Value::Bool(true)})
+          .ok());
+  std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveRelationCsv(db, "q", path).ok());
+
+  Catalog catalog2;
+  Database db2(&catalog2);
+  auto n = LoadRelationCsv(&db2, "q", path);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+  auto tuples = db2.TuplesOf("q");
+  ASSERT_EQ(tuples.size(), 2u);
+  // Values compare by rendered form (symbol ids differ across catalogs).
+  bool found = false;
+  for (const auto& t : tuples) {
+    if (t[1].is_int() && t[1].AsInt() == 42) {
+      found = true;
+      EXPECT_EQ(catalog2.symbols.Name(t[0].symbol_id()), "hello, world");
+      EXPECT_DOUBLE_EQ(t[2].AsDouble(), 0.25);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RelationIoTest, UnknownPredicateSavesEmptyFile) {
+  std::string path = TempPath("empty.csv");
+  ASSERT_TRUE(SaveRelationCsv(db, "nothing", path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_TRUE(content.empty());
+}
+
+TEST_F(RelationIoTest, ParseCsvValueConventions) {
+  SymbolTable symbols;
+  EXPECT_TRUE(ParseCsvValue("true", &symbols).is_bool());
+  EXPECT_TRUE(ParseCsvValue("123", &symbols).is_int());
+  EXPECT_TRUE(ParseCsvValue("-1.5", &symbols).is_double());
+  EXPECT_TRUE(ParseCsvValue("1e3", &symbols).is_double());
+  EXPECT_TRUE(ParseCsvValue("12abc", &symbols).is_symbol());
+  EXPECT_TRUE(ParseCsvValue("", &symbols).is_symbol());
+}
+
+}  // namespace
+}  // namespace vadalink::datalog

@@ -1,0 +1,209 @@
+// datalog/: lexer and parser details (the engine test covers semantics).
+#include <gtest/gtest.h>
+
+#include "datalog/lexer.h"
+#include "datalog/parser.h"
+
+namespace vadalink::datalog {
+namespace {
+
+// ---- lexer ------------------------------------------------------------------
+
+TEST(LexerTest, TokenKinds) {
+  auto toks = Tokenize(R"(own(X, "acme", 0.5) -> q. % comment)");
+  ASSERT_TRUE(toks.ok());
+  std::vector<TokenType> kinds;
+  for (const auto& t : *toks) kinds.push_back(t.type);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenType>{
+                TokenType::kIdent, TokenType::kLParen, TokenType::kVariable,
+                TokenType::kComma, TokenType::kString, TokenType::kComma,
+                TokenType::kDouble, TokenType::kRParen, TokenType::kArrow,
+                TokenType::kIdent, TokenType::kDot, TokenType::kEof}));
+}
+
+TEST(LexerTest, NumbersIntVsDouble) {
+  auto toks = Tokenize("42 0.5 1e3 7");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kInt);
+  EXPECT_EQ((*toks)[0].int_value, 42);
+  EXPECT_EQ((*toks)[1].type, TokenType::kDouble);
+  EXPECT_DOUBLE_EQ((*toks)[1].double_value, 0.5);
+  EXPECT_EQ((*toks)[2].type, TokenType::kDouble);
+  EXPECT_DOUBLE_EQ((*toks)[2].double_value, 1000.0);
+  EXPECT_EQ((*toks)[3].type, TokenType::kInt);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto toks = Tokenize(R"("a\"b\nc")");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "a\"b\nc");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("\"abc").ok());
+}
+
+TEST(LexerTest, LineNumbersInErrors) {
+  auto r = Tokenize("a.\nb.\n!x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto toks = Tokenize("a. % x\n// y\nb.");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks->size(), 5u);  // a . b . EOF
+}
+
+TEST(LexerTest, OperatorsTwoChar) {
+  auto toks = Tokenize("== != <= >= -> = < >");
+  ASSERT_TRUE(toks.ok());
+  std::vector<TokenType> kinds;
+  for (const auto& t : *toks) kinds.push_back(t.type);
+  EXPECT_EQ(kinds, (std::vector<TokenType>{
+                       TokenType::kEqEq, TokenType::kNe, TokenType::kLe,
+                       TokenType::kGe, TokenType::kArrow, TokenType::kEq,
+                       TokenType::kLt, TokenType::kGt, TokenType::kEof}));
+}
+
+// ---- parser -----------------------------------------------------------------
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Catalog catalog;
+
+  Result<Program> Parse(const std::string& src) {
+    return ParseProgram(src, &catalog);
+  }
+};
+
+TEST_F(ParserTest, FactAndRule) {
+  auto p = Parse(R"(
+    own("a", "b", 0.5).
+    own(X, Y, W) -> edge(X, Y).
+  )");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->facts.size(), 1u);
+  EXPECT_EQ(p->rules.size(), 1u);
+  EXPECT_EQ(p->rules[0].body.size(), 1u);
+  EXPECT_EQ(p->rules[0].head.size(), 1u);
+  EXPECT_EQ(p->rules[0].var_names.size(), 3u);
+}
+
+TEST_F(ParserTest, FactsWithVariablesRejected) {
+  EXPECT_FALSE(Parse("own(X, 1).").ok());
+}
+
+TEST_F(ParserTest, MultipleFactsOneStatement) {
+  auto p = Parse("a(1), b(2).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->facts.size(), 2u);
+}
+
+TEST_F(ParserTest, NegativeNumbers) {
+  auto p = Parse("t(-5, -0.5).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->facts[0].args[0].constant.AsInt(), -5);
+  EXPECT_DOUBLE_EQ(p->facts[0].args[1].constant.AsDouble(), -0.5);
+}
+
+TEST_F(ParserTest, RuleToStringRoundTrips) {
+  auto p = Parse(
+      "own(X, Y, W), W >= 0.5, S = msum(W, <Y>) -> control(X, Y).");
+  ASSERT_TRUE(p.ok());
+  std::string s = RuleToString(p->rules[0], catalog);
+  EXPECT_NE(s.find("own(X, Y, W)"), std::string::npos);
+  EXPECT_NE(s.find("W >= 0.5"), std::string::npos);
+  EXPECT_NE(s.find("msum(W, <Y>)"), std::string::npos);
+  EXPECT_NE(s.find("-> control(X, Y)."), std::string::npos);
+}
+
+TEST_F(ParserTest, AggregateOnlyInAssignment) {
+  EXPECT_FALSE(Parse("p(X), msum(X, <X>) > 1 -> q(X).").ok());
+}
+
+TEST_F(ParserTest, AtMostOneAggregate) {
+  EXPECT_FALSE(
+      Parse("p(X, Y), A = msum(X, <X>), B = msum(Y, <Y>) -> q(A, B).").ok());
+}
+
+TEST_F(ParserTest, NestedAggregateRejected) {
+  EXPECT_FALSE(Parse("p(X), A = msum(X, <X>) + 1 -> q(A).").ok());
+}
+
+TEST_F(ParserTest, UnboundComparisonVarRejected) {
+  EXPECT_FALSE(Parse("p(X), Z > 1 -> q(X).").ok());
+}
+
+TEST_F(ParserTest, NegationOnlyVarsRejected) {
+  EXPECT_FALSE(Parse("p(X), not q(Y) -> r(X).").ok());
+}
+
+TEST_F(ParserTest, ExistentialVariablesAllowed) {
+  auto p = Parse("p(X) -> q(X, Z).");
+  ASSERT_TRUE(p.ok());
+  auto ex = ExistentialVars(p->rules[0]);
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(p->rules[0].var_names[ex[0]], "Z");
+}
+
+TEST_F(ParserTest, FunctionCalls) {
+  auto p = Parse(R"(p(X), Z = #sk("tag", X, 1 + 2) -> q(Z).)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Literal& assign = p->rules[0].body[1];
+  EXPECT_EQ(assign.kind, Literal::Kind::kAssignment);
+  EXPECT_EQ(assign.rhs.op, Expr::Op::kCall);
+  EXPECT_EQ(assign.rhs.children.size(), 3u);
+}
+
+TEST_F(ParserTest, ArithmeticPrecedence) {
+  auto p = Parse("v(X), Y = 1 + X * 2 -> w(Y).");
+  ASSERT_TRUE(p.ok());
+  const Expr& e = p->rules[0].body[1].rhs;
+  ASSERT_EQ(e.op, Expr::Op::kAdd);
+  EXPECT_EQ(e.children[1].op, Expr::Op::kMul);
+}
+
+TEST_F(ParserTest, ParenthesesOverridePrecedence) {
+  auto p = Parse("v(X), Y = (1 + X) * 2 -> w(Y).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->rules[0].body[1].rhs.op, Expr::Op::kMul);
+}
+
+TEST_F(ParserTest, MissingDotFails) {
+  EXPECT_FALSE(Parse("p(X) -> q(X)").ok());
+}
+
+TEST_F(ParserTest, ErrorsCarryLineNumbers) {
+  auto p = Parse("a(1).\nb(2).\np(X) -> .");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("line 3"), std::string::npos);
+}
+
+TEST_F(ParserTest, UnknownDirectiveFails) {
+  EXPECT_FALSE(Parse("@nope(\"x\").").ok());
+}
+
+TEST_F(ParserTest, MCountWithoutValue) {
+  auto p = Parse("p(X), C = mcount(<X>) -> q(C).");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->rules[0].body[1].rhs.agg, AggKind::kMCount);
+  EXPECT_TRUE(p->rules[0].body[1].rhs.children.empty());
+}
+
+TEST_F(ParserTest, MultiHeadRule) {
+  auto p = Parse("p(X) -> q(X), r(X, X).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->rules[0].head.size(), 2u);
+}
+
+TEST_F(ParserTest, ZeroArityAtoms) {
+  auto p = Parse("flag.\nflag -> go.");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->facts.size(), 1u);
+  EXPECT_EQ(p->rules.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vadalink::datalog

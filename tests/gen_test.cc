@@ -1,0 +1,226 @@
+// gen/: Barabási-Albert generator, name pools, register simulator.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "company/company_graph.h"
+#include "gen/barabasi_albert.h"
+#include "gen/name_pools.h"
+#include "gen/register_simulator.h"
+#include "graph/graph_algorithms.h"
+
+namespace vadalink::gen {
+namespace {
+
+// ---- Barabási-Albert -----------------------------------------------------------
+
+TEST(BarabasiAlbertTest, SizeMatchesConfig) {
+  BarabasiAlbertConfig cfg;
+  cfg.nodes = 500;
+  cfg.edges_per_node = 2;
+  auto g = GenerateBarabasiAlbert(cfg);
+  EXPECT_EQ(g.node_count(), 500u);
+  // m edges per node beyond the seed, approximately.
+  EXPECT_GT(g.edge_count(), 900u);
+  EXPECT_LE(g.edge_count(), 1000u);
+}
+
+TEST(BarabasiAlbertTest, Deterministic) {
+  BarabasiAlbertConfig cfg;
+  cfg.nodes = 200;
+  cfg.seed = 42;
+  auto a = GenerateBarabasiAlbert(cfg);
+  auto b = GenerateBarabasiAlbert(cfg);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  bool same = true;
+  a.ForEachEdge([&](graph::EdgeId e) {
+    if (a.edge_src(e) != b.edge_src(e) || a.edge_dst(e) != b.edge_dst(e)) {
+      same = false;
+    }
+  });
+  EXPECT_TRUE(same);
+}
+
+TEST(BarabasiAlbertTest, ScaleFreeHubsEmerge) {
+  BarabasiAlbertConfig cfg;
+  cfg.nodes = 2000;
+  cfg.edges_per_node = 2;
+  auto g = GenerateBarabasiAlbert(cfg);
+  auto stats = graph::ComputeGraphStats(g);
+  // Preferential attachment must produce hubs far above the mean degree.
+  EXPECT_GT(stats.max_in_degree + stats.max_out_degree, 40u);
+  // MLE power-law exponent should be in the BA ballpark (~3, generously).
+  EXPECT_GT(stats.power_law_alpha, 1.8);
+  EXPECT_LT(stats.power_law_alpha, 4.5);
+}
+
+TEST(BarabasiAlbertTest, FeaturesAttached) {
+  BarabasiAlbertConfig cfg;
+  cfg.nodes = 10;
+  cfg.feature_count = 6;
+  cfg.feature_domain = 5;
+  auto g = GenerateBarabasiAlbert(cfg);
+  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
+    for (int f = 1; f <= 6; ++f) {
+      const auto& v = g.GetNodeProperty(n, "f" + std::to_string(f));
+      ASSERT_TRUE(v.is_int());
+      EXPECT_GE(v.AsInt(), 0);
+      EXPECT_LT(v.AsInt(), 5);
+    }
+  }
+}
+
+TEST(BarabasiAlbertTest, WeightsInShareRange) {
+  BarabasiAlbertConfig cfg;
+  cfg.nodes = 100;
+  auto g = GenerateBarabasiAlbert(cfg);
+  g.ForEachEdge([&](graph::EdgeId e) {
+    double w = g.GetEdgeProperty(e, "w").AsDouble();
+    EXPECT_GT(w, 0.0);
+    EXPECT_LT(w, 1.0);
+  });
+}
+
+TEST(BarabasiAlbertTest, DensityKnob) {
+  BarabasiAlbertConfig sparse;
+  sparse.nodes = 300;
+  sparse.edges_per_node = 1;
+  BarabasiAlbertConfig dense;
+  dense.nodes = 300;
+  dense.edges_per_node = 8;
+  EXPECT_GT(GenerateBarabasiAlbert(dense).edge_count(),
+            3 * GenerateBarabasiAlbert(sparse).edge_count());
+}
+
+// ---- name pools -----------------------------------------------------------------
+
+TEST(NamePoolsTest, PoolsNonEmptyAndDistinct) {
+  EXPECT_GE(NamePools::MaleFirstNames().size(), 30u);
+  EXPECT_GE(NamePools::FemaleFirstNames().size(), 30u);
+  EXPECT_GE(NamePools::Surnames().size(), 60u);
+  EXPECT_GE(NamePools::Cities().size(), 30u);
+  std::set<std::string> surnames(NamePools::Surnames().begin(),
+                                 NamePools::Surnames().end());
+  EXPECT_EQ(surnames.size(), NamePools::Surnames().size());
+}
+
+TEST(NamePoolsTest, CityDistributionSkewed) {
+  Rng rng(7);
+  std::unordered_map<std::string, size_t> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[NamePools::SampleCity(&rng)];
+  // The top city should be sampled far more often than the median one.
+  size_t max_count = 0;
+  for (auto& [city, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 5000u / 10);
+}
+
+TEST(NamePoolsTest, CorruptChangesString) {
+  Rng rng(13);
+  size_t changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (NamePools::Corrupt("Martinelli", &rng) != "Martinelli") ++changed;
+  }
+  EXPECT_GT(changed, 40u);
+}
+
+// ---- register simulator ------------------------------------------------------------
+
+TEST(RegisterSimulatorTest, CountsRespectConfig) {
+  RegisterConfig cfg;
+  cfg.persons = 300;
+  cfg.companies = 200;
+  auto data = GenerateRegister(cfg);
+  EXPECT_EQ(data.persons.size(), 300u);
+  EXPECT_EQ(data.companies.size(), 200u);
+  EXPECT_EQ(data.graph.node_count(), 500u);
+  EXPECT_GT(data.graph.edge_count(), 100u);
+}
+
+TEST(RegisterSimulatorTest, IsValidCompanyGraph) {
+  auto data = GenerateRegister(RegisterConfig{});
+  auto cg = company::CompanyGraph::FromPropertyGraph(data.graph);
+  ASSERT_TRUE(cg.ok()) << cg.status().ToString();
+  // Incoming shares per company must sum to <= 1 (plus tiny numeric slack).
+  for (graph::NodeId c : cg->companies()) {
+    double total = 0.0;
+    for (const auto& s : cg->owners(c)) total += s.w;
+    EXPECT_LE(total, 1.0 + 1e-9) << "company " << c;
+  }
+}
+
+TEST(RegisterSimulatorTest, PersonsHaveSixFeatures) {
+  RegisterConfig cfg;
+  cfg.persons = 50;
+  cfg.companies = 30;
+  auto data = GenerateRegister(cfg);
+  for (graph::NodeId p : data.persons) {
+    for (const char* key : {"first_name", "last_name", "birth_city", "sex",
+                            "city"}) {
+      EXPECT_TRUE(data.graph.GetNodeProperty(p, key).is_string()) << key;
+    }
+    EXPECT_TRUE(data.graph.GetNodeProperty(p, "birth_year").is_int());
+  }
+}
+
+TEST(RegisterSimulatorTest, GroundTruthLinksAreConsistent) {
+  RegisterConfig cfg;
+  cfg.persons = 400;
+  cfg.companies = 100;
+  auto data = GenerateRegister(cfg);
+  EXPECT_FALSE(data.true_family_links.empty());
+  for (const FamilyLink& link : data.true_family_links) {
+    EXPECT_LT(link.x, data.graph.node_count());
+    EXPECT_LT(link.y, data.graph.node_count());
+    EXPECT_EQ(data.graph.node_label(link.x), "Person");
+    EXPECT_EQ(data.graph.node_label(link.y), "Person");
+    EXPECT_TRUE(link.kind == "PartnerOf" || link.kind == "ParentOf" ||
+                link.kind == "SiblingOf");
+    // Partners differ by < 10 years; parents by >= 18.
+    int64_t bx = data.graph.GetNodeProperty(link.x, "birth_year").AsInt();
+    int64_t by = data.graph.GetNodeProperty(link.y, "birth_year").AsInt();
+    if (link.kind == "ParentOf") {
+      EXPECT_GE(std::abs(bx - by), 18);
+    }
+  }
+}
+
+TEST(RegisterSimulatorTest, FamiliesShareSurnameMostly) {
+  RegisterConfig cfg;
+  cfg.persons = 400;
+  cfg.companies = 100;
+  cfg.typo_rate = 0.0;
+  auto data = GenerateRegister(cfg);
+  for (const FamilyLink& link : data.true_family_links) {
+    EXPECT_EQ(data.graph.GetNodeProperty(link.x, "last_name").AsString(),
+              data.graph.GetNodeProperty(link.y, "last_name").AsString());
+  }
+}
+
+TEST(RegisterSimulatorTest, Deterministic) {
+  RegisterConfig cfg;
+  cfg.persons = 100;
+  cfg.companies = 80;
+  auto a = GenerateRegister(cfg);
+  auto b = GenerateRegister(cfg);
+  EXPECT_EQ(a.graph.node_count(), b.graph.node_count());
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  EXPECT_EQ(a.true_family_links.size(), b.true_family_links.size());
+}
+
+TEST(RegisterSimulatorTest, RegisterLikeTopology) {
+  // Matches the Section 2 profile qualitatively: low average degree, tiny
+  // SCCs, hubs, near-zero clustering coefficient.
+  RegisterConfig cfg;
+  cfg.persons = 2000;
+  cfg.companies = 1500;
+  auto data = GenerateRegister(cfg);
+  auto stats = graph::ComputeGraphStats(data.graph);
+  EXPECT_LT(stats.avg_out_degree, 3.0);
+  EXPECT_LT(stats.largest_scc, 20u);
+  EXPECT_LT(stats.clustering_coefficient, 0.1);
+  EXPECT_GT(stats.max_in_degree, 10u);  // hub companies
+}
+
+}  // namespace
+}  // namespace vadalink::gen

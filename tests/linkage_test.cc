@@ -1,0 +1,276 @@
+// linkage/: string metrics, feature distances, blocking, Bayes classifier.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/property_graph.h"
+#include "linkage/bayes.h"
+#include "linkage/blocking.h"
+#include "linkage/feature.h"
+#include "linkage/string_metrics.h"
+
+namespace vadalink::linkage {
+namespace {
+
+// ---- string metrics ---------------------------------------------------------
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(Levenshtein("", ""), 0u);
+  EXPECT_EQ(Levenshtein("abc", "abc"), 0u);
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(Levenshtein("abc", ""), 3u);
+  EXPECT_EQ(Levenshtein("flaw", "lawn"), 2u);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_EQ(Levenshtein("rossi", "russo"), Levenshtein("russo", "rossi"));
+}
+
+TEST(LevenshteinTest, Normalized) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abc", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("ab", "ac"), 0.5);
+}
+
+TEST(JaroTest, Extremes) {
+  EXPECT_DOUBLE_EQ(Jaro("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(Jaro("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(Jaro("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(Jaro("a", ""), 0.0);
+}
+
+TEST(JaroTest, ClassicExample) {
+  // MARTHA vs MARHTA: 0.944...
+  EXPECT_NEAR(Jaro("MARTHA", "MARHTA"), 0.944444, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  double j = Jaro("MARTHA", "MARHTA");
+  double jw = JaroWinkler("MARTHA", "MARHTA");
+  EXPECT_GT(jw, j);
+  EXPECT_NEAR(jw, 0.961111, 1e-5);
+}
+
+TEST(SoundexTest, Classics) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+  EXPECT_EQ(Soundex(""), "0000");
+}
+
+TEST(SoundexTest, CaseInsensitive) {
+  EXPECT_EQ(Soundex("rossi"), Soundex("ROSSI"));
+}
+
+TEST(NgramTest, JaccardBounds) {
+  EXPECT_DOUBLE_EQ(NgramJaccard("abcd", "abcd"), 1.0);
+  EXPECT_DOUBLE_EQ(NgramJaccard("abcd", "wxyz"), 0.0);
+  double sim = NgramJaccard("abcd", "abce");
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 1.0);
+}
+
+// ---- features -----------------------------------------------------------------
+
+TEST(FeatureDistanceTest, ExactAndMissing) {
+  using PV = graph::PropertyValue;
+  EXPECT_DOUBLE_EQ(FeatureDistance(PV("a"), PV("a"), FeatureMetric::kExact),
+                   0.0);
+  EXPECT_DOUBLE_EQ(FeatureDistance(PV("a"), PV("b"), FeatureMetric::kExact),
+                   1.0);
+  EXPECT_DOUBLE_EQ(FeatureDistance(PV(), PV("b"), FeatureMetric::kExact),
+                   1.0);
+}
+
+TEST(FeatureDistanceTest, Numeric) {
+  using PV = graph::PropertyValue;
+  EXPECT_DOUBLE_EQ(FeatureDistance(PV(int64_t{1960}), PV(int64_t{1964}),
+                                   FeatureMetric::kAbsoluteDifference),
+                   4.0);
+  EXPECT_GT(FeatureDistance(PV(), PV(int64_t{1}),
+                            FeatureMetric::kAbsoluteDifference),
+            1e6);
+}
+
+TEST(FeatureSchemaTest, DistancesAndFlags) {
+  graph::PropertyGraph g;
+  auto a = g.AddNode("Person");
+  auto b = g.AddNode("Person");
+  g.SetNodeProperty(a, "last_name", "Rossi");
+  g.SetNodeProperty(b, "last_name", "Rosso");
+  g.SetNodeProperty(a, "birth_year", int64_t{1970});
+  g.SetNodeProperty(b, "birth_year", int64_t{1990});
+
+  FeatureSchema schema;
+  schema.Add({.property = "last_name",
+              .metric = FeatureMetric::kNormalizedLevenshtein,
+              .threshold = 0.3});
+  schema.Add({.property = "birth_year",
+              .metric = FeatureMetric::kAbsoluteDifference,
+              .threshold = 10.0});
+  auto d = schema.Distances(g, a, b);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 0.2);  // 1 edit / 5 chars
+  EXPECT_DOUBLE_EQ(d[1], 20.0);
+  auto flags = schema.CloseFlags(g, a, b);
+  EXPECT_TRUE(flags[0]);
+  EXPECT_FALSE(flags[1]);
+}
+
+// ---- blocking -------------------------------------------------------------------
+
+graph::PropertyGraph CityGraph() {
+  graph::PropertyGraph g;
+  auto add = [&](const char* city, const char* name) {
+    auto n = g.AddNode("Person");
+    g.SetNodeProperty(n, "city", city);
+    g.SetNodeProperty(n, "last_name", name);
+    return n;
+  };
+  add("Roma", "Rossi");
+  add("Roma", "Rossi");
+  add("Roma", "Bianchi");
+  add("Milano", "Rossi");
+  return g;
+}
+
+TEST(BlockerTest, GroupsByKeys) {
+  auto g = CityGraph();
+  Blocker blocker(BlockingConfig{.keys = {"city", "last_name"}});
+  auto blocks = blocker.GroupByBlock(g, {0, 1, 2, 3});
+  EXPECT_EQ(blocks.size(), 3u);  // (Roma,Rossi) x2 | (Roma,Bianchi) | (Milano,Rossi)
+  size_t sizes = 0;
+  for (const auto& b : blocks) sizes += b.size();
+  EXPECT_EQ(sizes, 4u);
+}
+
+TEST(BlockerTest, CaseInsensitive) {
+  graph::PropertyGraph g;
+  auto a = g.AddNode("P");
+  auto b = g.AddNode("P");
+  g.SetNodeProperty(a, "k", "ROSSI");
+  g.SetNodeProperty(b, "k", "rossi");
+  Blocker ci(BlockingConfig{.keys = {"k"}, .case_insensitive = true});
+  Blocker cs(BlockingConfig{.keys = {"k"}, .case_insensitive = false});
+  EXPECT_EQ(ci.BlockOf(g, a), ci.BlockOf(g, b));
+  EXPECT_NE(cs.BlockOf(g, a), cs.BlockOf(g, b));
+}
+
+TEST(BlockerTest, PrefixAbsorbsSuffixTypos) {
+  graph::PropertyGraph g;
+  auto a = g.AddNode("P");
+  auto b = g.AddNode("P");
+  g.SetNodeProperty(a, "k", "Martinelli");
+  g.SetNodeProperty(b, "k", "Martinello");
+  Blocker prefix(BlockingConfig{.keys = {"k"}, .prefix_length = 4});
+  EXPECT_EQ(prefix.BlockOf(g, a), prefix.BlockOf(g, b));
+}
+
+TEST(BlockerTest, MaxBlocksFoldsDomain) {
+  auto g = CityGraph();
+  Blocker blocker(BlockingConfig{.keys = {"city", "last_name"},
+                                 .max_blocks = 2});
+  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
+    EXPECT_LT(blocker.BlockOf(g, n), 2u);
+  }
+}
+
+TEST(BlockerTest, MissingKeyStillDeterministic) {
+  graph::PropertyGraph g;
+  auto a = g.AddNode("P");
+  auto b = g.AddNode("P");
+  Blocker blocker(BlockingConfig{.keys = {"nope"}});
+  EXPECT_EQ(blocker.BlockOf(g, a), blocker.BlockOf(g, b));
+}
+
+// ---- Bayes ---------------------------------------------------------------------
+
+TEST(GrahamTest, SingleProbabilityPassesThrough) {
+  EXPECT_NEAR(BayesLinkClassifier::GrahamCombine({0.8}), 0.8, 1e-9);
+  EXPECT_NEAR(BayesLinkClassifier::GrahamCombine({0.2}), 0.2, 1e-9);
+}
+
+TEST(GrahamTest, AgreementAmplifies) {
+  double combined = BayesLinkClassifier::GrahamCombine({0.8, 0.8});
+  EXPECT_GT(combined, 0.9);
+  combined = BayesLinkClassifier::GrahamCombine({0.2, 0.2});
+  EXPECT_LT(combined, 0.1);
+}
+
+TEST(GrahamTest, ConflictNeutralizes) {
+  EXPECT_NEAR(BayesLinkClassifier::GrahamCombine({0.8, 0.2}), 0.5, 1e-9);
+}
+
+TEST(GrahamTest, EmptyIsNeutral) {
+  EXPECT_DOUBLE_EQ(BayesLinkClassifier::GrahamCombine({}), 0.5);
+}
+
+TEST(GrahamTest, ExtremesAreClamped) {
+  double p = BayesLinkClassifier::GrahamCombine({1.0, 0.0});
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+FeatureSchema TwoFeatureSchema() {
+  FeatureSchema schema;
+  schema.Add({.property = "last_name",
+              .metric = FeatureMetric::kNormalizedLevenshtein,
+              .threshold = 0.3,
+              .prob_if_close = 0.9,
+              .prob_if_far = 0.1});
+  schema.Add({.property = "city",
+              .metric = FeatureMetric::kExact,
+              .threshold = 0.5,
+              .prob_if_close = 0.7,
+              .prob_if_far = 0.2});
+  return schema;
+}
+
+TEST(BayesClassifierTest, SeparatesPairs) {
+  graph::PropertyGraph g;
+  auto mk = [&](const char* name, const char* city) {
+    auto n = g.AddNode("Person");
+    g.SetNodeProperty(n, "last_name", name);
+    g.SetNodeProperty(n, "city", city);
+    return n;
+  };
+  auto a = mk("Rossi", "Roma");
+  auto b = mk("Rossi", "Roma");     // family-like
+  auto c = mk("Bianchi", "Milano"); // unrelated
+
+  BayesLinkClassifier clf(TwoFeatureSchema());
+  EXPECT_GT(clf.LinkProbability(g, a, b), 0.9);
+  EXPECT_LT(clf.LinkProbability(g, a, c), 0.1);
+}
+
+TEST(BayesClassifierTest, TrainingImprovesCalibration) {
+  graph::PropertyGraph g;
+  Rng rng(5);
+  std::vector<TrainingPair> pairs;
+  // Construct persons: linked pairs share surname+city, unlinked differ.
+  for (int i = 0; i < 60; ++i) {
+    std::string name = "Fam" + std::to_string(i);
+    auto a = g.AddNode("Person");
+    auto b = g.AddNode("Person");
+    bool linked = i % 2 == 0;
+    g.SetNodeProperty(a, "last_name", name);
+    g.SetNodeProperty(b, "last_name",
+                      linked ? name : "Other" + std::to_string(i));
+    g.SetNodeProperty(a, "city", "Roma");
+    g.SetNodeProperty(b, "city", linked ? "Roma" : "Milano");
+    pairs.push_back({a, b, linked});
+  }
+  // Start from a deliberately wrong calibration.
+  FeatureSchema schema = TwoFeatureSchema();
+  (*schema.mutable_features())[0].prob_if_close = 0.5;
+  (*schema.mutable_features())[0].prob_if_far = 0.5;
+  BayesLinkClassifier clf(std::move(schema));
+  clf.EstimateFromTraining(g, pairs, 0.5);
+  // After training, closeness on last_name should be strong evidence.
+  EXPECT_GT(clf.schema().features()[0].prob_if_close, 0.8);
+  EXPECT_LT(clf.schema().features()[0].prob_if_far, 0.2);
+}
+
+}  // namespace
+}  // namespace vadalink::linkage

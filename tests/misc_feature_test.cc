@@ -1,0 +1,216 @@
+// Sorted-neighborhood blocking, DOT export, and parser robustness on
+// adversarial inputs.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "common/rng.h"
+#include "datalog/parser.h"
+#include "graph/dot_export.h"
+#include "linkage/sorted_neighborhood.h"
+#include "linkage/token_blocking.h"
+
+namespace vadalink {
+namespace {
+
+// ---- sorted neighborhood --------------------------------------------------------
+
+graph::PropertyGraph Persons(const std::vector<const char*>& names) {
+  graph::PropertyGraph g;
+  for (const char* name : names) {
+    auto n = g.AddNode("Person");
+    g.SetNodeProperty(n, "last_name", name);
+  }
+  return g;
+}
+
+TEST(SortedNeighborhoodTest, WindowPairsAdjacentKeys) {
+  auto g = Persons({"rossi", "russo", "bianchi", "rosso"});
+  linkage::SortedNeighborhoodConfig cfg;
+  cfg.keys = {"last_name"};
+  cfg.window = 2;  // only direct neighbours in sort order
+  auto pairs = linkage::SortedNeighborhoodPairs(g, {0, 1, 2, 3}, cfg);
+  // Sorted: bianchi(2), rossi(0), rosso(3), russo(1) -> 3 adjacent pairs.
+  ASSERT_EQ(pairs.size(), 3u);
+  std::set<std::pair<graph::NodeId, graph::NodeId>> set(pairs.begin(),
+                                                        pairs.end());
+  EXPECT_TRUE(set.count({2, 0}));
+  EXPECT_TRUE(set.count({0, 3}));
+  EXPECT_TRUE(set.count({3, 1}));
+}
+
+TEST(SortedNeighborhoodTest, WindowCoversAllPairsWhenLarge) {
+  auto g = Persons({"a", "b", "c", "d", "e"});
+  linkage::SortedNeighborhoodConfig cfg;
+  cfg.keys = {"last_name"};
+  cfg.window = 100;
+  auto pairs = linkage::SortedNeighborhoodPairs(g, {0, 1, 2, 3, 4}, cfg);
+  EXPECT_EQ(pairs.size(), 10u);  // C(5,2)
+}
+
+TEST(SortedNeighborhoodTest, SuffixTypoSurvivesSorting) {
+  // "martinelli" vs "martinellj": adjacent in sort order, so a window of 2
+  // catches them — the advantage over exact hash blocking.
+  auto g = Persons({"martinelli", "zzz", "aaa", "martinellj"});
+  linkage::SortedNeighborhoodConfig cfg;
+  cfg.keys = {"last_name"};
+  cfg.window = 2;
+  auto pairs = linkage::SortedNeighborhoodPairs(g, {0, 1, 2, 3}, cfg);
+  bool found = false;
+  for (auto& [a, b] : pairs) {
+    if ((a == 0 && b == 3) || (a == 3 && b == 0)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SortedNeighborhoodTest, CaseInsensitiveKey) {
+  auto g = Persons({"ROSSI", "rossi"});
+  linkage::SortedNeighborhoodConfig cfg;
+  cfg.keys = {"last_name"};
+  EXPECT_EQ(linkage::SortKeyOf(g, 0, cfg), linkage::SortKeyOf(g, 1, cfg));
+}
+
+TEST(SortedNeighborhoodTest, DegenerateInputs) {
+  auto g = Persons({"x"});
+  linkage::SortedNeighborhoodConfig cfg;
+  cfg.keys = {"last_name"};
+  EXPECT_TRUE(linkage::SortedNeighborhoodPairs(g, {0}, cfg).empty());
+  cfg.window = 0;
+  EXPECT_TRUE(linkage::SortedNeighborhoodPairs(g, {0}, cfg).empty());
+}
+
+// ---- DOT export -------------------------------------------------------------------
+
+TEST(DotExportTest, RendersNodesAndEdges) {
+  graph::PropertyGraph g;
+  auto p = g.AddNode("Person");
+  g.SetNodeProperty(p, "name", "P1");
+  auto c = g.AddNode("Company");
+  g.SetNodeProperty(c, "name", "Acme \"Inc\"");
+  auto e = g.AddEdge(p, c, "Shareholding").value();
+  g.SetEdgeProperty(e, "w", 0.5);
+  auto pred = g.AddEdge(p, c, "Control").value();
+  g.SetEdgeProperty(pred, "predicted", true);
+
+  std::string dot = graph::ToDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // person
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);  // company
+  EXPECT_NE(dot.find("Acme \\\"Inc\\\""), std::string::npos);
+  EXPECT_NE(dot.find("Shareholding 0.5"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);   // predicted
+}
+
+TEST(DotExportTest, WritesFile) {
+  graph::PropertyGraph g;
+  g.AddNode("Company");
+  std::string path = ::testing::TempDir() + "/vl_test.dot";
+  ASSERT_TRUE(graph::WriteDotFile(g, path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("digraph"), std::string::npos);
+}
+
+
+// ---- token blocking -------------------------------------------------------------
+
+TEST(TokenBlockingTest, TokenizeSplitsAndLowercases) {
+  auto t = linkage::TokenizeKey("Tecno-Gamma  SRL 42", true);
+  EXPECT_EQ(t, (std::vector<std::string>{"tecno", "gamma", "srl", "42"}));
+  auto keep = linkage::TokenizeKey("AbC", false);
+  EXPECT_EQ(keep, (std::vector<std::string>{"AbC"}));
+}
+
+graph::PropertyGraph Companies(const std::vector<const char*>& names) {
+  graph::PropertyGraph g;
+  for (const char* name : names) {
+    auto n = g.AddNode("Company");
+    g.SetNodeProperty(n, "name", name);
+  }
+  return g;
+}
+
+TEST(TokenBlockingTest, RarestTokenGroupsVariants) {
+  // "SRL" is a stopword (appears everywhere); the distinctive stems group
+  // the two Tecnofoo records together.
+  auto g = Companies({"Tecnofoo SRL", "Tecnofoo Holding SRL", "Gamma SRL",
+                      "Delta SRL", "Omega SRL"});
+  linkage::TokenBlockingConfig cfg;
+  cfg.stopword_fraction = 0.5;
+  auto blocks = linkage::TokenBlocks(g, {0, 1, 2, 3, 4}, cfg);
+  bool together = false;
+  for (const auto& b : blocks) {
+    std::set<graph::NodeId> s(b.begin(), b.end());
+    if (s.count(0) && s.count(1)) together = true;
+    EXPECT_FALSE(s.count(2) && s.count(3));  // distinct stems stay apart
+  }
+  EXPECT_TRUE(together);
+}
+
+TEST(TokenBlockingTest, AllNodesCovered) {
+  auto g = Companies({"A B", "C D", "", "E"});
+  linkage::TokenBlockingConfig cfg;
+  auto blocks = linkage::TokenBlocks(g, {0, 1, 2, 3}, cfg);
+  std::set<graph::NodeId> covered;
+  for (const auto& b : blocks) covered.insert(b.begin(), b.end());
+  EXPECT_EQ(covered.size(), 4u);  // including the empty-name singleton
+}
+
+TEST(TokenBlockingTest, StopwordFractionDisabled) {
+  auto g = Companies({"X SRL", "Y SRL"});
+  linkage::TokenBlockingConfig cfg;
+  cfg.stopword_fraction = 1.0;  // keep all tokens
+  auto blocks = linkage::TokenBlocks(g, {0, 1}, cfg);
+  // "srl" keeps both nodes together; "x"/"y" give singleton blocks.
+  bool together = false;
+  for (const auto& b : blocks) {
+    if (b.size() == 2u) together = true;
+  }
+  EXPECT_TRUE(together);
+}
+
+// ---- parser robustness ---------------------------------------------------------------
+
+TEST(ParserRobustnessTest, RandomGarbageNeverCrashes) {
+  Rng rng(4242);
+  const char alphabet[] =
+      "abcXYZ01().,->=<>!#\"% \n\tmsum_@";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string src;
+    size_t len = rng.UniformU64(120);
+    for (size_t i = 0; i < len; ++i) {
+      src += alphabet[rng.UniformU64(sizeof(alphabet) - 1)];
+    }
+    datalog::Catalog catalog;
+    auto result = datalog::ParseProgram(src, &catalog);
+    // Either parses or reports a structured error; never crashes.
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedExpressions) {
+  std::string src = "p(1).\np(X), Y = ";
+  for (int i = 0; i < 200; ++i) src += "(";
+  src += "X";
+  for (int i = 0; i < 200; ++i) src += ")";
+  src += " -> q(Y).";
+  datalog::Catalog catalog;
+  auto result = datalog::ParseProgram(src, &catalog);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(ParserRobustnessTest, VeryLongIdentifiers) {
+  std::string name(5000, 'a');
+  std::string src = name + "(1).";
+  datalog::Catalog catalog;
+  auto result = datalog::ParseProgram(src, &catalog);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->facts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vadalink

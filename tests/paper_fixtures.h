@@ -1,0 +1,86 @@
+// Company-graph fixtures reconstructing the paper's running examples
+// (Figure 1 / Example 3.1 and Figure 2), shared by the company, core and
+// datalog differential tests.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "graph/property_graph.h"
+
+namespace vadalink::testing {
+
+/// Named-node company graph builder.
+class CompanyGraphBuilder {
+ public:
+  graph::NodeId Person(const std::string& name) {
+    return Node(name, "Person");
+  }
+  graph::NodeId Company(const std::string& name) {
+    return Node(name, "Company");
+  }
+  void Own(const std::string& src, const std::string& dst, double w) {
+    auto e = g_.AddEdge(ids_.at(src), ids_.at(dst), "Shareholding");
+    g_.SetEdgeProperty(e.value(), "w", w);
+  }
+  graph::NodeId id(const std::string& name) const { return ids_.at(name); }
+  graph::PropertyGraph& graph() { return g_; }
+
+ private:
+  graph::NodeId Node(const std::string& name, const char* label) {
+    auto n = g_.AddNode(label);
+    g_.SetNodeProperty(n, "name", name);
+    ids_[name] = n;
+    return n;
+  }
+  graph::PropertyGraph g_;
+  std::unordered_map<std::string, graph::NodeId> ids_;
+};
+
+/// Figure 1 narrative: P1 controls C, D, E (jointly with D), F (via D+E);
+/// P2 controls G, H, I; L is controlled by neither alone but by {P1, P2}
+/// together (0.2 via F + 0.4 via I = 0.6); G and I are closely linked via
+/// P2.
+inline CompanyGraphBuilder Figure1() {
+  CompanyGraphBuilder b;
+  b.Person("P1");
+  b.Person("P2");
+  for (const char* c : {"C", "D", "E", "F", "G", "H", "I", "L"}) {
+    b.Company(c);
+  }
+  b.Own("P1", "C", 0.8);
+  b.Own("P1", "D", 0.75);
+  b.Own("D", "E", 0.4);
+  b.Own("P1", "E", 0.2);
+  b.Own("D", "F", 0.25);
+  b.Own("E", "F", 0.3);
+  b.Own("F", "L", 0.2);
+  b.Own("P2", "G", 0.6);
+  b.Own("G", "H", 0.6);
+  b.Own("H", "I", 0.4);
+  b.Own("P2", "I", 0.5);
+  b.Own("I", "L", 0.4);
+  return b;
+}
+
+/// Figure 2 narrative: P2 controls C7 via C5 and C6 jointly; P3 owns 40%
+/// of C4 and 45% of C6 (close link by common third party); C4 accumulates
+/// exactly 20% of C7 (close link by threshold).
+inline CompanyGraphBuilder Figure2() {
+  CompanyGraphBuilder b;
+  b.Person("P1");
+  b.Person("P2");
+  b.Person("P3");
+  for (const char* c : {"C4", "C5", "C6", "C7"}) b.Company(c);
+  b.Own("P1", "C4", 0.6);
+  b.Own("P3", "C4", 0.4);
+  b.Own("P2", "C5", 0.6);
+  b.Own("P2", "C6", 0.55);
+  b.Own("P3", "C6", 0.45);
+  b.Own("C5", "C7", 0.3);
+  b.Own("C6", "C7", 0.3);
+  b.Own("C4", "C7", 0.2);
+  return b;
+}
+
+}  // namespace vadalink::testing

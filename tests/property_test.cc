@@ -1,0 +1,428 @@
+// Property-based tests: invariants checked over parameterized sweeps of
+// random inputs (seeds x sizes), via TEST_P / INSTANTIATE_TEST_SUITE_P.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "company/close_link.h"
+#include "company/company_graph.h"
+#include "company/control.h"
+#include "company/ownership.h"
+#include "datalog/engine.h"
+#include "datalog/parser.h"
+#include "embed/embed_clusterer.h"
+#include "gen/barabasi_albert.h"
+#include "gen/register_simulator.h"
+#include "linkage/bayes.h"
+#include "linkage/blocking.h"
+#include "linkage/string_metrics.h"
+
+namespace vadalink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Register / ownership invariants
+// ---------------------------------------------------------------------------
+
+struct RegisterParam {
+  uint64_t seed;
+  size_t persons;
+  size_t companies;
+};
+
+class RegisterPropertyTest
+    : public ::testing::TestWithParam<RegisterParam> {};
+
+TEST_P(RegisterPropertyTest, CompanyGraphInvariants) {
+  const RegisterParam& p = GetParam();
+  gen::RegisterConfig cfg;
+  cfg.seed = p.seed;
+  cfg.persons = p.persons;
+  cfg.companies = p.companies;
+  auto data = gen::GenerateRegister(cfg);
+  auto cg = company::CompanyGraph::FromPropertyGraph(data.graph);
+  ASSERT_TRUE(cg.ok()) << cg.status().ToString();
+
+  // Weights in [0, 1] with at least one right attached; per-company cash
+  // and voting in-shares each sum to <= 1.
+  for (graph::NodeId c : cg->companies()) {
+    double cash_total = 0.0, voting_total = 0.0;
+    for (const auto& s : cg->owners(c)) {
+      EXPECT_GE(s.w, 0.0);
+      EXPECT_LE(s.w, 1.0);
+      EXPECT_GE(s.voting, 0.0);
+      EXPECT_LE(s.voting, 1.0);
+      EXPECT_GT(s.w + s.voting, 0.0);  // bare + usufruct never both zero
+      cash_total += s.w;
+      voting_total += s.voting;
+    }
+    EXPECT_LE(cash_total, 1.0 + 1e-9);
+    EXPECT_LE(voting_total, 1.0 + 1e-9);
+  }
+  // Persons never receive shareholdings.
+  for (graph::NodeId person : cg->persons()) {
+    EXPECT_TRUE(cg->owners(person).empty());
+  }
+}
+
+TEST_P(RegisterPropertyTest, ControlEdgesSatisfyDefinition) {
+  const RegisterParam& p = GetParam();
+  gen::RegisterConfig cfg;
+  cfg.seed = p.seed;
+  cfg.persons = p.persons;
+  cfg.companies = p.companies;
+  auto data = gen::GenerateRegister(cfg);
+  auto cg = company::CompanyGraph::FromPropertyGraph(data.graph).value();
+
+  for (graph::NodeId x = 0; x < cg.node_count(); ++x) {
+    if (cg.holdings(x).empty()) continue;
+    auto controlled = company::ControlledBy(cg, x);
+    std::set<graph::NodeId> group(controlled.begin(), controlled.end());
+    group.insert(x);
+    // Definition 2.3 (over voting rights): each controlled y receives
+    // > 0.5 of the votes jointly from the group; each non-controlled
+    // company receives <= 0.5.
+    for (graph::NodeId y : controlled) {
+      double joint = 0.0;
+      for (const auto& s : cg.owners(y)) {
+        if (group.count(s.src) && s.src != y) joint += s.voting;
+      }
+      EXPECT_GT(joint, 0.5) << "x=" << x << " y=" << y;
+    }
+    for (graph::NodeId y : cg.companies()) {
+      if (group.count(y)) continue;
+      double joint = 0.0;
+      for (const auto& s : cg.owners(y)) {
+        if (group.count(s.src) && s.src != y) joint += s.voting;
+      }
+      EXPECT_LE(joint, 0.5) << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST_P(RegisterPropertyTest, ControlMonotoneUnderAddedShares) {
+  const RegisterParam& p = GetParam();
+  gen::RegisterConfig cfg;
+  cfg.seed = p.seed;
+  cfg.persons = p.persons;
+  cfg.companies = p.companies;
+  auto data = gen::GenerateRegister(cfg);
+  auto cg = company::CompanyGraph::FromPropertyGraph(data.graph).value();
+
+  Rng rng(p.seed ^ 0xabc);
+  graph::NodeId x = data.persons[rng.UniformU64(data.persons.size())];
+  auto before = company::ControlledBy(cg, x);
+
+  // Give x an extra (capacity-respecting) share of a random company.
+  graph::NodeId target =
+      data.companies[rng.UniformU64(data.companies.size())];
+  double headroom = 1.0;
+  for (const auto& s : cg.owners(target)) headroom -= s.w;
+  if (headroom > 0.01) {
+    auto e = data.graph.AddEdge(x, target, "Shareholding");
+    data.graph.SetEdgeProperty(e.value(), "w", headroom);
+    auto cg2 = company::CompanyGraph::FromPropertyGraph(data.graph).value();
+    auto after = company::ControlledBy(cg2, x);
+    std::set<graph::NodeId> after_set(after.begin(), after.end());
+    for (graph::NodeId y : before) {
+      EXPECT_TRUE(after_set.count(y))
+          << "control lost by adding shares: y=" << y;
+    }
+  }
+}
+
+TEST_P(RegisterPropertyTest, AccumulatedOwnershipBounds) {
+  const RegisterParam& p = GetParam();
+  gen::RegisterConfig cfg;
+  cfg.seed = p.seed;
+  cfg.persons = p.persons;
+  cfg.companies = p.companies;
+  auto data = gen::GenerateRegister(cfg);
+  auto cg = company::CompanyGraph::FromPropertyGraph(data.graph).value();
+
+  Rng rng(p.seed ^ 0x123);
+  for (int trial = 0; trial < 10; ++trial) {
+    graph::NodeId x = static_cast<graph::NodeId>(
+        rng.UniformU64(cg.node_count()));
+    auto simple = company::AccumulatedOwnershipSimplePaths(cg, x);
+    company::OwnershipConfig wcfg;
+    wcfg.max_depth = 128;
+    auto walks = company::AccumulatedOwnershipWalkSum(cg, x, wcfg);
+    for (const auto& [y, phi] : simple) {
+      // Phi in (0, 1]: in-shares per company sum to <= 1.
+      EXPECT_GT(phi, 0.0);
+      EXPECT_LE(phi, 1.0 + 1e-6);
+      // The walk sum dominates the simple-path sum (all walks include all
+      // simple paths, with non-negative extra terms).
+      auto it = walks.find(y);
+      ASSERT_NE(it, walks.end());
+      EXPECT_GE(it->second, phi - 1e-6);
+    }
+  }
+}
+
+TEST_P(RegisterPropertyTest, CloseLinksSymmetricAndCompanyOnly) {
+  const RegisterParam& p = GetParam();
+  gen::RegisterConfig cfg;
+  cfg.seed = p.seed;
+  cfg.persons = p.persons;
+  cfg.companies = p.companies;
+  auto data = gen::GenerateRegister(cfg);
+  auto cg = company::CompanyGraph::FromPropertyGraph(data.graph).value();
+  for (const auto& e : company::AllCloseLinks(cg)) {
+    EXPECT_LT(e.x, e.y);  // normalized
+    EXPECT_TRUE(cg.is_company(e.x));
+    EXPECT_TRUE(cg.is_company(e.y));
+    if (e.reason == company::CloseLinkReason::kCommonThirdParty) {
+      EXPECT_NE(e.via, graph::kInvalidNode);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RegisterPropertyTest,
+    ::testing::Values(RegisterParam{1, 60, 40}, RegisterParam{2, 120, 90},
+                      RegisterParam{3, 200, 150},
+                      RegisterParam{4, 300, 100},
+                      RegisterParam{5, 80, 250}),
+    [](const ::testing::TestParamInfo<RegisterParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_p" +
+             std::to_string(info.param.persons) + "_c" +
+             std::to_string(info.param.companies);
+    });
+
+// ---------------------------------------------------------------------------
+// Engine vs reference closure on random digraphs
+// ---------------------------------------------------------------------------
+
+class EngineClosurePropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(EngineClosurePropertyTest, TransitiveClosureMatchesBfs) {
+  Rng rng(GetParam());
+  const size_t n = 20 + rng.UniformU64(20);
+  const size_t m = n + rng.UniformU64(2 * n);
+  std::set<std::pair<int64_t, int64_t>> edges;
+  for (size_t i = 0; i < m; ++i) {
+    edges.insert({static_cast<int64_t>(rng.UniformU64(n)),
+                  static_cast<int64_t>(rng.UniformU64(n))});
+  }
+
+  // Reference closure by BFS from each node.
+  std::vector<std::vector<int64_t>> adj(n);
+  for (const auto& [a, b] : edges) adj[a].push_back(b);
+  std::set<std::pair<int64_t, int64_t>> expected;
+  for (size_t s = 0; s < n; ++s) {
+    std::vector<bool> seen(n, false);
+    std::queue<int64_t> q;
+    for (int64_t b : adj[s]) {
+      if (!seen[b]) {
+        seen[b] = true;
+        q.push(b);
+      }
+    }
+    while (!q.empty()) {
+      int64_t v = q.front();
+      q.pop();
+      expected.insert({static_cast<int64_t>(s), v});
+      for (int64_t b : adj[v]) {
+        if (!seen[b]) {
+          seen[b] = true;
+          q.push(b);
+        }
+      }
+    }
+  }
+
+  // Engine closure.
+  std::string src;
+  for (const auto& [a, b] : edges) {
+    src += "e(" + std::to_string(a) + "," + std::to_string(b) + ").\n";
+  }
+  src += "e(X,Y) -> tc(X,Y).\ntc(X,Y), e(Y,Z) -> tc(X,Z).\n";
+  datalog::Catalog catalog;
+  datalog::Database db(&catalog);
+  auto program = datalog::ParseProgram(src, &catalog);
+  ASSERT_TRUE(program.ok());
+  datalog::Engine engine(&db);
+  ASSERT_TRUE(engine.Run(*program).ok());
+  std::set<std::pair<int64_t, int64_t>> actual;
+  for (const auto& t : db.TuplesOf("tc")) {
+    actual.insert({t[0].AsInt(), t[1].AsInt()});
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineClosurePropertyTest,
+                         ::testing::Range<uint64_t>(100, 110));
+
+// ---------------------------------------------------------------------------
+// String metric properties
+// ---------------------------------------------------------------------------
+
+class MetricPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPropertyTest, LevenshteinMetricAxioms) {
+  Rng rng(GetParam());
+  auto random_string = [&](size_t max_len) {
+    std::string s;
+    size_t len = rng.UniformU64(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.UniformU64(4));  // small alphabet
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string a = random_string(10);
+    std::string b = random_string(10);
+    std::string c = random_string(10);
+    size_t ab = linkage::Levenshtein(a, b);
+    size_t ba = linkage::Levenshtein(b, a);
+    EXPECT_EQ(ab, ba);                      // symmetry
+    EXPECT_EQ(linkage::Levenshtein(a, a), 0u);  // identity
+    // Triangle inequality.
+    EXPECT_LE(linkage::Levenshtein(a, c),
+              ab + linkage::Levenshtein(b, c));
+    // Bounded by length difference below and max length above.
+    size_t diff = a.size() > b.size() ? a.size() - b.size()
+                                      : b.size() - a.size();
+    EXPECT_GE(ab, diff);
+    EXPECT_LE(ab, std::max(a.size(), b.size()));
+  }
+}
+
+TEST_P(MetricPropertyTest, JaroWinklerBoundsAndIdentity) {
+  Rng rng(GetParam());
+  auto random_string = [&](size_t max_len) {
+    std::string s;
+    size_t len = rng.UniformU64(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.UniformU64(6));
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string a = random_string(12);
+    std::string b = random_string(12);
+    double jw = linkage::JaroWinkler(a, b);
+    EXPECT_GE(jw, 0.0);
+    EXPECT_LE(jw, 1.0);
+    EXPECT_NEAR(jw, linkage::JaroWinkler(b, a), 1e-12);
+    if (!a.empty()) {
+      EXPECT_DOUBLE_EQ(linkage::JaroWinkler(a, a), 1.0);
+    }
+  }
+}
+
+TEST_P(MetricPropertyTest, GrahamMonotoneInEvidence) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> probs;
+    size_t n = 1 + rng.UniformU64(5);
+    for (size_t i = 0; i < n; ++i) probs.push_back(rng.UniformDouble());
+    double base = linkage::BayesLinkClassifier::GrahamCombine(probs);
+    // Adding supporting evidence (> 0.5) never decreases the posterior;
+    // adding opposing evidence (< 0.5) never increases it.
+    auto with = probs;
+    with.push_back(0.9);
+    EXPECT_GE(linkage::BayesLinkClassifier::GrahamCombine(with),
+              base - 1e-9);
+    with = probs;
+    with.push_back(0.1);
+    EXPECT_LE(linkage::BayesLinkClassifier::GrahamCombine(with),
+              base + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
+                         ::testing::Range<uint64_t>(500, 508));
+
+// ---------------------------------------------------------------------------
+// Blocking & embedding determinism
+// ---------------------------------------------------------------------------
+
+class DeterminismPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeterminismPropertyTest, BlockingIsAFunctionOfFeatures) {
+  gen::RegisterConfig cfg;
+  cfg.seed = GetParam();
+  cfg.persons = 80;
+  cfg.companies = 40;
+  auto data = gen::GenerateRegister(cfg);
+  linkage::Blocker blocker(linkage::BlockingConfig{
+      .keys = {"city", "last_name"}, .max_blocks = 16});
+  auto blocks1 = blocker.BlockAll(data.graph);
+  auto blocks2 = blocker.BlockAll(data.graph);
+  EXPECT_EQ(blocks1, blocks2);
+  // Equal feature values => equal block.
+  for (graph::NodeId a : data.persons) {
+    for (graph::NodeId b : data.persons) {
+      if (data.graph.GetNodeProperty(a, "city") ==
+              data.graph.GetNodeProperty(b, "city") &&
+          data.graph.GetNodeProperty(a, "last_name") ==
+              data.graph.GetNodeProperty(b, "last_name")) {
+        EXPECT_EQ(blocks1[a], blocks1[b]);
+      }
+    }
+  }
+}
+
+TEST_P(DeterminismPropertyTest, EmbedClustererDeterministic) {
+  gen::BarabasiAlbertConfig ba;
+  ba.nodes = 120;
+  ba.seed = GetParam();
+  auto g = gen::GenerateBarabasiAlbert(ba);
+  embed::EmbedClusterConfig cfg;
+  cfg.skipgram.dimensions = 8;
+  cfg.skipgram.epochs = 1;
+  cfg.walk.walks_per_node = 2;
+  cfg.kmeans.k = 4;
+  embed::EmbedClusterer c1(cfg), c2(cfg);
+  EXPECT_EQ(c1.Cluster(g), c2.Cluster(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismPropertyTest,
+                         ::testing::Values(11, 22, 33));
+
+// ---------------------------------------------------------------------------
+// CSV round-trip on random content
+// ---------------------------------------------------------------------------
+
+class CsvPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvPropertyTest, EncodeParseRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<std::vector<std::string>> rows;
+  size_t nrows = 1 + rng.UniformU64(20);
+  for (size_t r = 0; r < nrows; ++r) {
+    std::vector<std::string> row;
+    size_t ncols = 1 + rng.UniformU64(6);
+    for (size_t c = 0; c < ncols; ++c) {
+      std::string cell;
+      size_t len = rng.UniformU64(12);
+      const char alphabet[] = "ab,\"\n\r x";
+      for (size_t i = 0; i < len; ++i) {
+        cell += alphabet[rng.UniformU64(sizeof(alphabet) - 1)];
+      }
+      row.push_back(std::move(cell));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::string text;
+  for (const auto& row : rows) text += EncodeCsvRow(row) + "\n";
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Note: a trailing "\r" in an unquoted final cell is a CRLF ambiguity;
+  // EncodeCsvRow quotes any cell containing \r, so round-trip is exact.
+  EXPECT_EQ(*parsed, rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvPropertyTest,
+                         ::testing::Range<uint64_t>(900, 910));
+
+}  // namespace
+}  // namespace vadalink

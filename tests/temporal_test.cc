@@ -1,0 +1,125 @@
+// company/temporal + graph/pagerank.
+#include <gtest/gtest.h>
+
+#include "company/temporal.h"
+#include "gen/evolution.h"
+#include "graph/pagerank.h"
+#include "tests/paper_fixtures.h"
+
+namespace vadalink {
+namespace {
+
+using company::ControlEdgesByEntity;
+using company::DiffControl;
+using company::EntityPair;
+using company::StableControlEdges;
+
+// ---- temporal control ---------------------------------------------------------
+
+TEST(TemporalControlTest, EntityKeysFallBackToNodeIds) {
+  auto b = testing::Figure1();
+  auto edges = ControlEdgesByEntity(b.graph());
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->size(), 8u);
+  EXPECT_TRUE(edges->count({b.id("P1"), b.id("C")}));
+}
+
+TEST(TemporalControlTest, DiffGainedAndLost) {
+  std::set<EntityPair> before{{1, 2}, {1, 3}};
+  std::set<EntityPair> after{{1, 3}, {4, 5}};
+  auto diff = DiffControl(before, after);
+  EXPECT_EQ(diff.gained, (std::vector<EntityPair>{{4, 5}}));
+  EXPECT_EQ(diff.lost, (std::vector<EntityPair>{{1, 2}}));
+}
+
+TEST(TemporalControlTest, StableAcrossYears) {
+  std::vector<std::set<EntityPair>> years{
+      {{1, 2}, {3, 4}, {5, 6}},
+      {{1, 2}, {5, 6}},
+      {{1, 2}, {3, 4}},
+  };
+  EXPECT_EQ(StableControlEdges(years), (std::set<EntityPair>{{1, 2}}));
+  EXPECT_TRUE(StableControlEdges({}).empty());
+}
+
+TEST(TemporalControlTest, PanelEndToEnd) {
+  gen::EvolutionConfig cfg;
+  cfg.first_year = 2005;
+  cfg.last_year = 2010;
+  cfg.initial.persons = 200;
+  cfg.initial.companies = 150;
+  auto panel = gen::SimulateEvolution(cfg);
+
+  std::vector<std::set<EntityPair>> per_year;
+  for (const auto& snap : panel) {
+    auto edges = ControlEdgesByEntity(snap.graph);
+    ASSERT_TRUE(edges.ok()) << edges.status().ToString();
+    per_year.push_back(std::move(edges).value());
+  }
+  // Share turnover must cause some changes across the panel...
+  size_t total_changes = 0;
+  for (size_t i = 1; i < per_year.size(); ++i) {
+    auto diff = DiffControl(per_year[i - 1], per_year[i]);
+    total_changes += diff.gained.size() + diff.lost.size();
+  }
+  EXPECT_GT(total_changes, 0u);
+  // ...while the stable core is a subset of every year.
+  auto stable = StableControlEdges(per_year);
+  for (const auto& year : per_year) {
+    for (const EntityPair& p : stable) {
+      EXPECT_TRUE(year.count(p));
+    }
+  }
+}
+
+// ---- PageRank -------------------------------------------------------------------
+
+TEST(PageRankTest, UniformOnSymmetricCycle) {
+  graph::PropertyGraph g;
+  for (int i = 0; i < 4; ++i) g.AddNode("N");
+  for (int i = 0; i < 4; ++i) g.AddEdge(i, (i + 1) % 4, "E").value();
+  auto pr = graph::PageRank(g);
+  for (double s : pr.score) EXPECT_NEAR(s, 0.25, 1e-8);
+}
+
+TEST(PageRankTest, ScoresSumToOne) {
+  graph::PropertyGraph g;
+  for (int i = 0; i < 10; ++i) g.AddNode("N");
+  g.AddEdge(0, 1, "E").value();
+  g.AddEdge(2, 1, "E").value();
+  g.AddEdge(3, 1, "E").value();  // node 1 is a sink (dangling)
+  auto pr = graph::PageRank(g);
+  double total = 0.0;
+  for (double s : pr.score) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, HubOutranksLeaves) {
+  graph::PropertyGraph g;
+  for (int i = 0; i < 6; ++i) g.AddNode("N");
+  for (int leaf = 1; leaf < 6; ++leaf) g.AddEdge(leaf, 0, "E").value();
+  auto pr = graph::PageRank(g);
+  for (int leaf = 1; leaf < 6; ++leaf) {
+    EXPECT_GT(pr.score[0], pr.score[leaf]);
+  }
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  graph::PropertyGraph g;
+  auto pr = graph::PageRank(g);
+  EXPECT_TRUE(pr.score.empty());
+}
+
+TEST(PageRankTest, ConvergesBeforeMaxIterations) {
+  graph::PropertyGraph g;
+  for (int i = 0; i < 20; ++i) g.AddNode("N");
+  for (int i = 0; i < 20; ++i) g.AddEdge(i, (i + 7) % 20, "E").value();
+  graph::PageRankConfig cfg;
+  cfg.max_iterations = 500;
+  auto pr = graph::PageRank(g, cfg);
+  EXPECT_LT(pr.iterations, 500u);
+  EXPECT_LT(pr.final_delta, 1e-10);
+}
+
+}  // namespace
+}  // namespace vadalink

@@ -1,0 +1,388 @@
+// vadalink — command-line driver for the library: generate synthetic
+// registers, compute statistics, run the augmentation loop, query control /
+// close links / UBOs, screen guarantors, and execute Vadalog programs over
+// graphs stored as the CSV pair written by graph::SaveGraphCsv.
+//
+//   vadalink generate --persons 5000 --out reg
+//   vadalink stats --in reg
+//   vadalink augment --in reg --out reg_aug --rounds 2
+//   vadalink control --in reg_aug --source 17
+//   vadalink closelinks --in reg_aug --threshold 0.2
+//   vadalink ubo --in reg_aug --target 42
+//   vadalink screen --in reg_aug --borrower 3 --guarantor 9
+//   vadalink reason --in reg --program rules.vada --query control
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "company/close_link.h"
+#include "company/company_graph.h"
+#include "company/control.h"
+#include "company/eligibility.h"
+#include "company/groups.h"
+#include "core/knowledge_graph.h"
+#include "core/vada_link.h"
+#include "gen/register_simulator.h"
+#include "graph/graph_algorithms.h"
+#include "graph/dot_export.h"
+#include "graph/graph_io.h"
+#include "gen/evolution.h"
+
+using namespace vadalink;
+
+namespace {
+
+/// Minimal --flag value parser: flags may appear in any order.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      values_[key.substr(2)] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      std::fprintf(stderr, "flag '%s' is missing a value\n", argv[argc - 1]);
+      ok_ = false;
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+Result<graph::PropertyGraph> LoadIn(const Flags& flags) {
+  std::string base = flags.Get("in", "");
+  if (base.empty()) {
+    return Status::InvalidArgument("missing --in <basename>");
+  }
+  return graph::LoadGraphCsv(base + "_nodes.csv", base + "_edges.csv");
+}
+
+Status SaveOut(const graph::PropertyGraph& g, const Flags& flags) {
+  std::string base = flags.Get("out", "");
+  if (base.empty()) {
+    return Status::InvalidArgument("missing --out <basename>");
+  }
+  return graph::SaveGraphCsv(g, base + "_nodes.csv", base + "_edges.csv");
+}
+
+std::string NameOf(const graph::PropertyGraph& g, graph::NodeId n) {
+  const auto& name = g.GetNodeProperty(n, "name");
+  if (name.is_string()) return name.AsString();
+  const auto& first = g.GetNodeProperty(n, "first_name");
+  const auto& last = g.GetNodeProperty(n, "last_name");
+  if (first.is_string() && last.is_string()) {
+    return first.AsString() + " " + last.AsString();
+  }
+  return "#" + std::to_string(n);
+}
+
+// ---- subcommands -----------------------------------------------------------
+
+int CmdGenerate(const Flags& flags) {
+  gen::RegisterConfig cfg;
+  cfg.persons = static_cast<size_t>(flags.GetInt("persons", 1000));
+  cfg.companies = static_cast<size_t>(
+      flags.GetInt("companies", static_cast<int64_t>(cfg.persons * 3 / 4)));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 2020));
+  cfg.share_density = flags.GetDouble("density", cfg.share_density);
+  cfg.typo_rate = flags.GetDouble("typo-rate", cfg.typo_rate);
+  auto data = gen::GenerateRegister(cfg);
+  if (Status st = SaveOut(data.graph, flags); !st.ok()) return Fail(st);
+  std::printf("generated %zu persons, %zu companies, %zu shareholdings "
+              "(%zu planted family links) -> %s_{nodes,edges}.csv\n",
+              data.persons.size(), data.companies.size(),
+              data.graph.edge_count(), data.true_family_links.size(),
+              flags.Get("out", "").c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto g = LoadIn(flags);
+  if (!g.ok()) return Fail(g.status());
+  auto s = graph::ComputeGraphStats(*g);
+  std::printf("nodes                  %zu\n", s.nodes);
+  std::printf("edges                  %zu\n", s.edges);
+  std::printf("SCCs                   %zu (largest %zu)\n", s.scc_count,
+              s.largest_scc);
+  std::printf("WCCs                   %zu (largest %zu, avg %.2f)\n",
+              s.wcc_count, s.largest_wcc, s.avg_wcc_size);
+  std::printf("avg degree             %.3f\n", s.avg_out_degree);
+  std::printf("max in/out degree      %zu / %zu\n", s.max_in_degree,
+              s.max_out_degree);
+  std::printf("clustering coefficient %.5f\n", s.clustering_coefficient);
+  std::printf("self-loops             %zu\n", s.self_loops);
+  std::printf("power-law alpha        %.2f\n", s.power_law_alpha);
+  return 0;
+}
+
+int CmdAugment(const Flags& flags) {
+  auto g = LoadIn(flags);
+  if (!g.ok()) return Fail(g.status());
+  core::AugmentConfig cfg;
+  cfg.max_rounds = static_cast<size_t>(flags.GetInt("rounds", 2));
+  cfg.use_embedding = !flags.Has("no-embedding");
+  auto vl = core::MakeDefaultVadaLink(cfg);
+  auto stats = vl.Augment(&g.value());
+  if (!stats.ok()) return Fail(stats.status());
+  if (Status st = SaveOut(*g, flags); !st.ok()) return Fail(st);
+  std::printf("added %zu links in %zu rounds (%zu pairs compared; embed "
+              "%.2fs, candidates %.2fs) -> %s_{nodes,edges}.csv\n",
+              stats->links_added, stats->rounds, stats->pairs_compared,
+              stats->embed_seconds, stats->candidate_seconds,
+              flags.Get("out", "").c_str());
+  return 0;
+}
+
+int CmdControl(const Flags& flags) {
+  auto g = LoadIn(flags);
+  if (!g.ok()) return Fail(g.status());
+  auto cg = company::CompanyGraph::FromPropertyGraph(*g);
+  if (!cg.ok()) return Fail(cg.status());
+  double threshold = flags.GetDouble("threshold", 0.5);
+  if (flags.Has("source")) {
+    auto src = static_cast<graph::NodeId>(flags.GetInt("source", 0));
+    for (graph::NodeId y : company::ControlledBy(*cg, src, threshold)) {
+      std::printf("%u (%s)\n", y, NameOf(*g, y).c_str());
+    }
+    return 0;
+  }
+  auto edges = company::AllControlEdges(*cg, threshold);
+  for (const auto& e : edges) {
+    std::printf("%u -> %u   (%s -> %s)\n", e.controller, e.controlled,
+                NameOf(*g, e.controller).c_str(),
+                NameOf(*g, e.controlled).c_str());
+  }
+  std::printf("%zu control edges\n", edges.size());
+  return 0;
+}
+
+int CmdCloseLinks(const Flags& flags) {
+  auto g = LoadIn(flags);
+  if (!g.ok()) return Fail(g.status());
+  auto cg = company::CompanyGraph::FromPropertyGraph(*g);
+  if (!cg.ok()) return Fail(cg.status());
+  company::CloseLinkConfig cfg;
+  cfg.threshold = flags.GetDouble("threshold", 0.2);
+  auto links = company::AllCloseLinks(*cg, cfg);
+  for (const auto& e : links) {
+    const char* why =
+        e.reason == company::CloseLinkReason::kDirectOwnership
+            ? "ownership"
+            : "common third party";
+    std::printf("%u -- %u   (%s; %s)\n", e.x, e.y,
+                NameOf(*g, e.x).c_str(), why);
+  }
+  std::printf("%zu close links at threshold %.2f\n", links.size(),
+              cfg.threshold);
+  return 0;
+}
+
+int CmdUbo(const Flags& flags) {
+  auto g = LoadIn(flags);
+  if (!g.ok()) return Fail(g.status());
+  auto cg = company::CompanyGraph::FromPropertyGraph(*g);
+  if (!cg.ok()) return Fail(cg.status());
+  if (!flags.Has("target")) {
+    return Fail(Status::InvalidArgument("missing --target <node id>"));
+  }
+  auto target = static_cast<graph::NodeId>(flags.GetInt("target", 0));
+  double threshold = flags.GetDouble("threshold", 0.25);
+  auto owners = company::UltimateOwnersOf(*cg, target, threshold);
+  for (const auto& ubo : owners) {
+    std::printf("%u (%s): %.1f%% integrated\n", ubo.person,
+                NameOf(*g, ubo.person).c_str(),
+                100.0 * ubo.integrated_ownership);
+  }
+  if (owners.empty()) std::printf("(dispersed ownership)\n");
+  return 0;
+}
+
+int CmdScreen(const Flags& flags) {
+  auto g = LoadIn(flags);
+  if (!g.ok()) return Fail(g.status());
+  auto cg = company::CompanyGraph::FromPropertyGraph(*g);
+  if (!cg.ok()) return Fail(cg.status());
+  if (!flags.Has("borrower") || !flags.Has("guarantor")) {
+    return Fail(Status::InvalidArgument(
+        "missing --borrower / --guarantor node ids"));
+  }
+  company::EligibilityConfig cfg;
+  cfg.close_link.threshold = flags.GetDouble("threshold", 0.2);
+  cfg.families = core::FamiliesFromGraph(*g);  // uses detected family edges
+  auto decision = company::ScreenGuarantor(
+      *cg, static_cast<graph::NodeId>(flags.GetInt("borrower", 0)),
+      static_cast<graph::NodeId>(flags.GetInt("guarantor", 0)), cfg);
+  const char* verdict =
+      decision.verdict == company::EligibilityVerdict::kEligible
+          ? "ELIGIBLE"
+          : decision.verdict ==
+                    company::EligibilityVerdict::kIneligibleCloseLink
+                ? "INELIGIBLE"
+                : "FLAGGED";
+  std::printf("%s: %s\n", verdict, decision.explanation.c_str());
+  return decision.verdict == company::EligibilityVerdict::kEligible ? 0 : 2;
+}
+
+int CmdReason(const Flags& flags) {
+  auto g = LoadIn(flags);
+  if (!g.ok()) return Fail(g.status());
+  std::string program_path = flags.Get("program", "");
+  if (program_path.empty()) {
+    return Fail(Status::InvalidArgument("missing --program <file.vada>"));
+  }
+  std::ifstream in(program_path);
+  if (!in) {
+    return Fail(Status::IoError("cannot open " + program_path));
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  core::KnowledgeGraph kg;
+  *kg.mutable_graph() = std::move(g).value();
+  if (Status st = kg.AddRules(ss.str()); !st.ok()) return Fail(st);
+  auto report = kg.CheckWardedness();
+  if (!report.warded) {
+    std::fprintf(stderr, "warning: program is not warded; evaluation is "
+                         "guarded by engine limits\n");
+  }
+  auto stats = kg.Reason();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("derived %zu facts (%zu -> %zu), materialised %zu links\n",
+              stats->engine.facts_derived, stats->facts_before,
+              stats->facts_after, stats->links_materialised);
+  if (flags.Has("query")) {
+    std::string pred = flags.Get("query", "");
+    for (const auto& t : kg.Query(pred)) {
+      std::string line = pred + "(";
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += t[i].ToString(kg.catalog().symbols);
+      }
+      std::printf("%s)\n", line.c_str());
+    }
+  }
+  if (flags.Has("out")) {
+    if (Status st = SaveOut(kg.graph(), flags); !st.ok()) return Fail(st);
+  }
+  return 0;
+}
+
+int CmdDot(const Flags& flags) {
+  auto g = LoadIn(flags);
+  if (!g.ok()) return Fail(g.status());
+  std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::printf("%s", graph::ToDot(*g).c_str());
+    return 0;
+  }
+  if (Status st = graph::WriteDotFile(*g, out); !st.ok()) return Fail(st);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int CmdEvolve(const Flags& flags) {
+  gen::EvolutionConfig cfg;
+  cfg.initial.persons = static_cast<size_t>(flags.GetInt("persons", 1000));
+  cfg.initial.companies = static_cast<size_t>(flags.GetInt(
+      "companies", static_cast<int64_t>(cfg.initial.persons * 3 / 4)));
+  cfg.first_year = static_cast<int>(flags.GetInt("from", 2005));
+  cfg.last_year = static_cast<int>(flags.GetInt("to", 2018));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 2005));
+  std::string base = flags.Get("out", "");
+  if (base.empty()) {
+    return Fail(Status::InvalidArgument("missing --out <basename>"));
+  }
+  auto panel = gen::SimulateEvolution(cfg);
+  for (const auto& snap : panel) {
+    std::string year_base = base + "_" + std::to_string(snap.year);
+    if (Status st = graph::SaveGraphCsv(snap.graph,
+                                        year_base + "_nodes.csv",
+                                        year_base + "_edges.csv");
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
+  std::printf("wrote %zu yearly snapshots (%d-%d) -> %s_YYYY_*.csv\n",
+              panel.size(), cfg.first_year, cfg.last_year, base.c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr, R"(usage: vadalink <command> [--flag value ...]
+
+commands:
+  generate    --out BASE [--persons N] [--companies N] [--seed S]
+              [--density D] [--typo-rate R]
+  stats       --in BASE
+  augment     --in BASE --out BASE2 [--rounds N] [--no-embedding 1]
+  control     --in BASE [--source ID] [--threshold T]
+  closelinks  --in BASE [--threshold T]
+  ubo         --in BASE --target ID [--threshold T]
+  screen      --in BASE --borrower ID --guarantor ID [--threshold T]
+  reason      --in BASE --program FILE.vada [--query PRED] [--out BASE2]
+  dot         --in BASE [--out FILE.dot]
+  evolve      --out BASE [--persons N] [--from Y] [--to Y] [--seed S]
+
+BASE refers to the CSV pair BASE_nodes.csv / BASE_edges.csv.
+)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) {
+    Usage();
+    return 1;
+  }
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "augment") return CmdAugment(flags);
+  if (cmd == "control") return CmdControl(flags);
+  if (cmd == "closelinks") return CmdCloseLinks(flags);
+  if (cmd == "ubo") return CmdUbo(flags);
+  if (cmd == "screen") return CmdScreen(flags);
+  if (cmd == "reason") return CmdReason(flags);
+  if (cmd == "dot") return CmdDot(flags);
+  if (cmd == "evolve") return CmdEvolve(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  Usage();
+  return 1;
+}
