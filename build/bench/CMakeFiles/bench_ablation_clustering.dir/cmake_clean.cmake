@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_clustering.dir/bench_ablation_clustering.cc.o"
+  "CMakeFiles/bench_ablation_clustering.dir/bench_ablation_clustering.cc.o.d"
+  "bench_ablation_clustering"
+  "bench_ablation_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

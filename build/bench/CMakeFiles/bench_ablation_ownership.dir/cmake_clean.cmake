@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ownership.dir/bench_ablation_ownership.cc.o"
+  "CMakeFiles/bench_ablation_ownership.dir/bench_ablation_ownership.cc.o.d"
+  "bench_ablation_ownership"
+  "bench_ablation_ownership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

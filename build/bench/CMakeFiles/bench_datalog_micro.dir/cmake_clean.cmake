@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datalog_micro.dir/bench_datalog_micro.cc.o"
+  "CMakeFiles/bench_datalog_micro.dir/bench_datalog_micro.cc.o.d"
+  "bench_datalog_micro"
+  "bench_datalog_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datalog_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_embed_micro.dir/bench_embed_micro.cc.o"
+  "CMakeFiles/bench_embed_micro.dir/bench_embed_micro.cc.o.d"
+  "bench_embed_micro"
+  "bench_embed_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embed_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

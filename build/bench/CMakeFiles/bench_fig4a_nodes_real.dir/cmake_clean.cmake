@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_nodes_real.dir/bench_fig4a_nodes_real.cc.o"
+  "CMakeFiles/bench_fig4a_nodes_real.dir/bench_fig4a_nodes_real.cc.o.d"
+  "bench_fig4a_nodes_real"
+  "bench_fig4a_nodes_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_nodes_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_nodes_synthetic.dir/bench_fig4b_nodes_synthetic.cc.o"
+  "CMakeFiles/bench_fig4b_nodes_synthetic.dir/bench_fig4b_nodes_synthetic.cc.o.d"
+  "bench_fig4b_nodes_synthetic"
+  "bench_fig4b_nodes_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_nodes_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4b_nodes_synthetic.
+# This may be replaced when dependencies are built.

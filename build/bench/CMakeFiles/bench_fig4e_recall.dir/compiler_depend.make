@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4e_recall.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eligibility_screening.dir/eligibility_screening.cpp.o"
+  "CMakeFiles/eligibility_screening.dir/eligibility_screening.cpp.o.d"
+  "eligibility_screening"
+  "eligibility_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eligibility_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

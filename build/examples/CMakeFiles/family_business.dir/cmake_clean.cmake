@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_business.dir/family_business.cpp.o"
+  "CMakeFiles/family_business.dir/family_business.cpp.o.d"
+  "family_business"
+  "family_business.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_business.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

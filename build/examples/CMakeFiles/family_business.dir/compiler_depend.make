@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for family_business.
+# This may be replaced when dependencies are built.

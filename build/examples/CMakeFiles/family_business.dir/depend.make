@@ -1,0 +1,2 @@
+# Empty dependencies file for family_business.
+# This may be replaced when dependencies are built.

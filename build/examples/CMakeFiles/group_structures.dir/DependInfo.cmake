@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/group_structures.cpp" "examples/CMakeFiles/group_structures.dir/group_structures.cpp.o" "gcc" "examples/CMakeFiles/group_structures.dir/group_structures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/company/CMakeFiles/vl_company.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/vl_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkage/CMakeFiles/vl_linkage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

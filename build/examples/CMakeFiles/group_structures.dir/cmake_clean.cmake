@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_structures.dir/group_structures.cpp.o"
+  "CMakeFiles/group_structures.dir/group_structures.cpp.o.d"
+  "group_structures"
+  "group_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

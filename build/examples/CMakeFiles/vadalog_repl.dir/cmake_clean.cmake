@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadalog_repl.dir/vadalog_repl.cpp.o"
+  "CMakeFiles/vadalog_repl.dir/vadalog_repl.cpp.o.d"
+  "vadalog_repl"
+  "vadalog_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadalog_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_common.dir/csv.cc.o"
+  "CMakeFiles/vl_common.dir/csv.cc.o.d"
+  "CMakeFiles/vl_common.dir/status.cc.o"
+  "CMakeFiles/vl_common.dir/status.cc.o.d"
+  "CMakeFiles/vl_common.dir/string_util.cc.o"
+  "CMakeFiles/vl_common.dir/string_util.cc.o.d"
+  "libvl_common.a"
+  "libvl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvl_common.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/company/close_link.cc" "src/company/CMakeFiles/vl_company.dir/close_link.cc.o" "gcc" "src/company/CMakeFiles/vl_company.dir/close_link.cc.o.d"
+  "/root/repo/src/company/company_graph.cc" "src/company/CMakeFiles/vl_company.dir/company_graph.cc.o" "gcc" "src/company/CMakeFiles/vl_company.dir/company_graph.cc.o.d"
+  "/root/repo/src/company/control.cc" "src/company/CMakeFiles/vl_company.dir/control.cc.o" "gcc" "src/company/CMakeFiles/vl_company.dir/control.cc.o.d"
+  "/root/repo/src/company/eligibility.cc" "src/company/CMakeFiles/vl_company.dir/eligibility.cc.o" "gcc" "src/company/CMakeFiles/vl_company.dir/eligibility.cc.o.d"
+  "/root/repo/src/company/family.cc" "src/company/CMakeFiles/vl_company.dir/family.cc.o" "gcc" "src/company/CMakeFiles/vl_company.dir/family.cc.o.d"
+  "/root/repo/src/company/groups.cc" "src/company/CMakeFiles/vl_company.dir/groups.cc.o" "gcc" "src/company/CMakeFiles/vl_company.dir/groups.cc.o.d"
+  "/root/repo/src/company/ownership.cc" "src/company/CMakeFiles/vl_company.dir/ownership.cc.o" "gcc" "src/company/CMakeFiles/vl_company.dir/ownership.cc.o.d"
+  "/root/repo/src/company/temporal.cc" "src/company/CMakeFiles/vl_company.dir/temporal.cc.o" "gcc" "src/company/CMakeFiles/vl_company.dir/temporal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkage/CMakeFiles/vl_linkage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_company.dir/close_link.cc.o"
+  "CMakeFiles/vl_company.dir/close_link.cc.o.d"
+  "CMakeFiles/vl_company.dir/company_graph.cc.o"
+  "CMakeFiles/vl_company.dir/company_graph.cc.o.d"
+  "CMakeFiles/vl_company.dir/control.cc.o"
+  "CMakeFiles/vl_company.dir/control.cc.o.d"
+  "CMakeFiles/vl_company.dir/eligibility.cc.o"
+  "CMakeFiles/vl_company.dir/eligibility.cc.o.d"
+  "CMakeFiles/vl_company.dir/family.cc.o"
+  "CMakeFiles/vl_company.dir/family.cc.o.d"
+  "CMakeFiles/vl_company.dir/groups.cc.o"
+  "CMakeFiles/vl_company.dir/groups.cc.o.d"
+  "CMakeFiles/vl_company.dir/ownership.cc.o"
+  "CMakeFiles/vl_company.dir/ownership.cc.o.d"
+  "CMakeFiles/vl_company.dir/temporal.cc.o"
+  "CMakeFiles/vl_company.dir/temporal.cc.o.d"
+  "libvl_company.a"
+  "libvl_company.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_company.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

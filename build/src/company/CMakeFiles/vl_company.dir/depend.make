@@ -1,0 +1,2 @@
+# Empty dependencies file for vl_company.
+# This may be replaced when dependencies are built.

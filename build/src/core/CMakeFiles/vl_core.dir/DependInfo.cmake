@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidates.cc" "src/core/CMakeFiles/vl_core.dir/candidates.cc.o" "gcc" "src/core/CMakeFiles/vl_core.dir/candidates.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/vl_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/vl_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/knowledge_graph.cc" "src/core/CMakeFiles/vl_core.dir/knowledge_graph.cc.o" "gcc" "src/core/CMakeFiles/vl_core.dir/knowledge_graph.cc.o.d"
+  "/root/repo/src/core/link_class.cc" "src/core/CMakeFiles/vl_core.dir/link_class.cc.o" "gcc" "src/core/CMakeFiles/vl_core.dir/link_class.cc.o.d"
+  "/root/repo/src/core/link_functions.cc" "src/core/CMakeFiles/vl_core.dir/link_functions.cc.o" "gcc" "src/core/CMakeFiles/vl_core.dir/link_functions.cc.o.d"
+  "/root/repo/src/core/mapping.cc" "src/core/CMakeFiles/vl_core.dir/mapping.cc.o" "gcc" "src/core/CMakeFiles/vl_core.dir/mapping.cc.o.d"
+  "/root/repo/src/core/naive_baseline.cc" "src/core/CMakeFiles/vl_core.dir/naive_baseline.cc.o" "gcc" "src/core/CMakeFiles/vl_core.dir/naive_baseline.cc.o.d"
+  "/root/repo/src/core/vada_link.cc" "src/core/CMakeFiles/vl_core.dir/vada_link.cc.o" "gcc" "src/core/CMakeFiles/vl_core.dir/vada_link.cc.o.d"
+  "/root/repo/src/core/vadalog_programs.cc" "src/core/CMakeFiles/vl_core.dir/vadalog_programs.cc.o" "gcc" "src/core/CMakeFiles/vl_core.dir/vadalog_programs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/vl_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/vl_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkage/CMakeFiles/vl_linkage.dir/DependInfo.cmake"
+  "/root/repo/build/src/company/CMakeFiles/vl_company.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

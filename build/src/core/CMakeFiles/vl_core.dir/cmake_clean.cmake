@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_core.dir/candidates.cc.o"
+  "CMakeFiles/vl_core.dir/candidates.cc.o.d"
+  "CMakeFiles/vl_core.dir/evaluation.cc.o"
+  "CMakeFiles/vl_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/vl_core.dir/knowledge_graph.cc.o"
+  "CMakeFiles/vl_core.dir/knowledge_graph.cc.o.d"
+  "CMakeFiles/vl_core.dir/link_class.cc.o"
+  "CMakeFiles/vl_core.dir/link_class.cc.o.d"
+  "CMakeFiles/vl_core.dir/link_functions.cc.o"
+  "CMakeFiles/vl_core.dir/link_functions.cc.o.d"
+  "CMakeFiles/vl_core.dir/mapping.cc.o"
+  "CMakeFiles/vl_core.dir/mapping.cc.o.d"
+  "CMakeFiles/vl_core.dir/naive_baseline.cc.o"
+  "CMakeFiles/vl_core.dir/naive_baseline.cc.o.d"
+  "CMakeFiles/vl_core.dir/vada_link.cc.o"
+  "CMakeFiles/vl_core.dir/vada_link.cc.o.d"
+  "CMakeFiles/vl_core.dir/vadalog_programs.cc.o"
+  "CMakeFiles/vl_core.dir/vadalog_programs.cc.o.d"
+  "libvl_core.a"
+  "libvl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/ast.cc" "src/datalog/CMakeFiles/vl_datalog.dir/ast.cc.o" "gcc" "src/datalog/CMakeFiles/vl_datalog.dir/ast.cc.o.d"
+  "/root/repo/src/datalog/builtins.cc" "src/datalog/CMakeFiles/vl_datalog.dir/builtins.cc.o" "gcc" "src/datalog/CMakeFiles/vl_datalog.dir/builtins.cc.o.d"
+  "/root/repo/src/datalog/database.cc" "src/datalog/CMakeFiles/vl_datalog.dir/database.cc.o" "gcc" "src/datalog/CMakeFiles/vl_datalog.dir/database.cc.o.d"
+  "/root/repo/src/datalog/engine.cc" "src/datalog/CMakeFiles/vl_datalog.dir/engine.cc.o" "gcc" "src/datalog/CMakeFiles/vl_datalog.dir/engine.cc.o.d"
+  "/root/repo/src/datalog/lexer.cc" "src/datalog/CMakeFiles/vl_datalog.dir/lexer.cc.o" "gcc" "src/datalog/CMakeFiles/vl_datalog.dir/lexer.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/datalog/CMakeFiles/vl_datalog.dir/parser.cc.o" "gcc" "src/datalog/CMakeFiles/vl_datalog.dir/parser.cc.o.d"
+  "/root/repo/src/datalog/relation_io.cc" "src/datalog/CMakeFiles/vl_datalog.dir/relation_io.cc.o" "gcc" "src/datalog/CMakeFiles/vl_datalog.dir/relation_io.cc.o.d"
+  "/root/repo/src/datalog/stratify.cc" "src/datalog/CMakeFiles/vl_datalog.dir/stratify.cc.o" "gcc" "src/datalog/CMakeFiles/vl_datalog.dir/stratify.cc.o.d"
+  "/root/repo/src/datalog/value.cc" "src/datalog/CMakeFiles/vl_datalog.dir/value.cc.o" "gcc" "src/datalog/CMakeFiles/vl_datalog.dir/value.cc.o.d"
+  "/root/repo/src/datalog/warded.cc" "src/datalog/CMakeFiles/vl_datalog.dir/warded.cc.o" "gcc" "src/datalog/CMakeFiles/vl_datalog.dir/warded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_datalog.dir/ast.cc.o"
+  "CMakeFiles/vl_datalog.dir/ast.cc.o.d"
+  "CMakeFiles/vl_datalog.dir/builtins.cc.o"
+  "CMakeFiles/vl_datalog.dir/builtins.cc.o.d"
+  "CMakeFiles/vl_datalog.dir/database.cc.o"
+  "CMakeFiles/vl_datalog.dir/database.cc.o.d"
+  "CMakeFiles/vl_datalog.dir/engine.cc.o"
+  "CMakeFiles/vl_datalog.dir/engine.cc.o.d"
+  "CMakeFiles/vl_datalog.dir/lexer.cc.o"
+  "CMakeFiles/vl_datalog.dir/lexer.cc.o.d"
+  "CMakeFiles/vl_datalog.dir/parser.cc.o"
+  "CMakeFiles/vl_datalog.dir/parser.cc.o.d"
+  "CMakeFiles/vl_datalog.dir/relation_io.cc.o"
+  "CMakeFiles/vl_datalog.dir/relation_io.cc.o.d"
+  "CMakeFiles/vl_datalog.dir/stratify.cc.o"
+  "CMakeFiles/vl_datalog.dir/stratify.cc.o.d"
+  "CMakeFiles/vl_datalog.dir/value.cc.o"
+  "CMakeFiles/vl_datalog.dir/value.cc.o.d"
+  "CMakeFiles/vl_datalog.dir/warded.cc.o"
+  "CMakeFiles/vl_datalog.dir/warded.cc.o.d"
+  "libvl_datalog.a"
+  "libvl_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

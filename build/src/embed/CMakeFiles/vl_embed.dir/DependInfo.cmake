@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/alias_sampler.cc" "src/embed/CMakeFiles/vl_embed.dir/alias_sampler.cc.o" "gcc" "src/embed/CMakeFiles/vl_embed.dir/alias_sampler.cc.o.d"
+  "/root/repo/src/embed/embed_clusterer.cc" "src/embed/CMakeFiles/vl_embed.dir/embed_clusterer.cc.o" "gcc" "src/embed/CMakeFiles/vl_embed.dir/embed_clusterer.cc.o.d"
+  "/root/repo/src/embed/kmeans.cc" "src/embed/CMakeFiles/vl_embed.dir/kmeans.cc.o" "gcc" "src/embed/CMakeFiles/vl_embed.dir/kmeans.cc.o.d"
+  "/root/repo/src/embed/node2vec.cc" "src/embed/CMakeFiles/vl_embed.dir/node2vec.cc.o" "gcc" "src/embed/CMakeFiles/vl_embed.dir/node2vec.cc.o.d"
+  "/root/repo/src/embed/skipgram.cc" "src/embed/CMakeFiles/vl_embed.dir/skipgram.cc.o" "gcc" "src/embed/CMakeFiles/vl_embed.dir/skipgram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vl_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

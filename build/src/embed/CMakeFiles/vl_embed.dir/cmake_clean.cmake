@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_embed.dir/alias_sampler.cc.o"
+  "CMakeFiles/vl_embed.dir/alias_sampler.cc.o.d"
+  "CMakeFiles/vl_embed.dir/embed_clusterer.cc.o"
+  "CMakeFiles/vl_embed.dir/embed_clusterer.cc.o.d"
+  "CMakeFiles/vl_embed.dir/kmeans.cc.o"
+  "CMakeFiles/vl_embed.dir/kmeans.cc.o.d"
+  "CMakeFiles/vl_embed.dir/node2vec.cc.o"
+  "CMakeFiles/vl_embed.dir/node2vec.cc.o.d"
+  "CMakeFiles/vl_embed.dir/skipgram.cc.o"
+  "CMakeFiles/vl_embed.dir/skipgram.cc.o.d"
+  "libvl_embed.a"
+  "libvl_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

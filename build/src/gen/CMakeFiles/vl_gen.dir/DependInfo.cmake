@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/barabasi_albert.cc" "src/gen/CMakeFiles/vl_gen.dir/barabasi_albert.cc.o" "gcc" "src/gen/CMakeFiles/vl_gen.dir/barabasi_albert.cc.o.d"
+  "/root/repo/src/gen/evolution.cc" "src/gen/CMakeFiles/vl_gen.dir/evolution.cc.o" "gcc" "src/gen/CMakeFiles/vl_gen.dir/evolution.cc.o.d"
+  "/root/repo/src/gen/name_pools.cc" "src/gen/CMakeFiles/vl_gen.dir/name_pools.cc.o" "gcc" "src/gen/CMakeFiles/vl_gen.dir/name_pools.cc.o.d"
+  "/root/repo/src/gen/register_simulator.cc" "src/gen/CMakeFiles/vl_gen.dir/register_simulator.cc.o" "gcc" "src/gen/CMakeFiles/vl_gen.dir/register_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vl_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

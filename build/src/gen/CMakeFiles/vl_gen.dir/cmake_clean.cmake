@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_gen.dir/barabasi_albert.cc.o"
+  "CMakeFiles/vl_gen.dir/barabasi_albert.cc.o.d"
+  "CMakeFiles/vl_gen.dir/evolution.cc.o"
+  "CMakeFiles/vl_gen.dir/evolution.cc.o.d"
+  "CMakeFiles/vl_gen.dir/name_pools.cc.o"
+  "CMakeFiles/vl_gen.dir/name_pools.cc.o.d"
+  "CMakeFiles/vl_gen.dir/register_simulator.cc.o"
+  "CMakeFiles/vl_gen.dir/register_simulator.cc.o.d"
+  "libvl_gen.a"
+  "libvl_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dot_export.cc" "src/graph/CMakeFiles/vl_graph.dir/dot_export.cc.o" "gcc" "src/graph/CMakeFiles/vl_graph.dir/dot_export.cc.o.d"
+  "/root/repo/src/graph/graph_algorithms.cc" "src/graph/CMakeFiles/vl_graph.dir/graph_algorithms.cc.o" "gcc" "src/graph/CMakeFiles/vl_graph.dir/graph_algorithms.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/vl_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/vl_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/pagerank.cc" "src/graph/CMakeFiles/vl_graph.dir/pagerank.cc.o" "gcc" "src/graph/CMakeFiles/vl_graph.dir/pagerank.cc.o.d"
+  "/root/repo/src/graph/property_graph.cc" "src/graph/CMakeFiles/vl_graph.dir/property_graph.cc.o" "gcc" "src/graph/CMakeFiles/vl_graph.dir/property_graph.cc.o.d"
+  "/root/repo/src/graph/property_value.cc" "src/graph/CMakeFiles/vl_graph.dir/property_value.cc.o" "gcc" "src/graph/CMakeFiles/vl_graph.dir/property_value.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/graph/CMakeFiles/vl_graph.dir/subgraph.cc.o" "gcc" "src/graph/CMakeFiles/vl_graph.dir/subgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

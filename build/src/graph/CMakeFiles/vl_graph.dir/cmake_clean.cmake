@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_graph.dir/dot_export.cc.o"
+  "CMakeFiles/vl_graph.dir/dot_export.cc.o.d"
+  "CMakeFiles/vl_graph.dir/graph_algorithms.cc.o"
+  "CMakeFiles/vl_graph.dir/graph_algorithms.cc.o.d"
+  "CMakeFiles/vl_graph.dir/graph_io.cc.o"
+  "CMakeFiles/vl_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/vl_graph.dir/pagerank.cc.o"
+  "CMakeFiles/vl_graph.dir/pagerank.cc.o.d"
+  "CMakeFiles/vl_graph.dir/property_graph.cc.o"
+  "CMakeFiles/vl_graph.dir/property_graph.cc.o.d"
+  "CMakeFiles/vl_graph.dir/property_value.cc.o"
+  "CMakeFiles/vl_graph.dir/property_value.cc.o.d"
+  "CMakeFiles/vl_graph.dir/subgraph.cc.o"
+  "CMakeFiles/vl_graph.dir/subgraph.cc.o.d"
+  "libvl_graph.a"
+  "libvl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linkage/bayes.cc" "src/linkage/CMakeFiles/vl_linkage.dir/bayes.cc.o" "gcc" "src/linkage/CMakeFiles/vl_linkage.dir/bayes.cc.o.d"
+  "/root/repo/src/linkage/blocking.cc" "src/linkage/CMakeFiles/vl_linkage.dir/blocking.cc.o" "gcc" "src/linkage/CMakeFiles/vl_linkage.dir/blocking.cc.o.d"
+  "/root/repo/src/linkage/feature.cc" "src/linkage/CMakeFiles/vl_linkage.dir/feature.cc.o" "gcc" "src/linkage/CMakeFiles/vl_linkage.dir/feature.cc.o.d"
+  "/root/repo/src/linkage/sorted_neighborhood.cc" "src/linkage/CMakeFiles/vl_linkage.dir/sorted_neighborhood.cc.o" "gcc" "src/linkage/CMakeFiles/vl_linkage.dir/sorted_neighborhood.cc.o.d"
+  "/root/repo/src/linkage/string_metrics.cc" "src/linkage/CMakeFiles/vl_linkage.dir/string_metrics.cc.o" "gcc" "src/linkage/CMakeFiles/vl_linkage.dir/string_metrics.cc.o.d"
+  "/root/repo/src/linkage/token_blocking.cc" "src/linkage/CMakeFiles/vl_linkage.dir/token_blocking.cc.o" "gcc" "src/linkage/CMakeFiles/vl_linkage.dir/token_blocking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vl_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_linkage.dir/bayes.cc.o"
+  "CMakeFiles/vl_linkage.dir/bayes.cc.o.d"
+  "CMakeFiles/vl_linkage.dir/blocking.cc.o"
+  "CMakeFiles/vl_linkage.dir/blocking.cc.o.d"
+  "CMakeFiles/vl_linkage.dir/feature.cc.o"
+  "CMakeFiles/vl_linkage.dir/feature.cc.o.d"
+  "CMakeFiles/vl_linkage.dir/sorted_neighborhood.cc.o"
+  "CMakeFiles/vl_linkage.dir/sorted_neighborhood.cc.o.d"
+  "CMakeFiles/vl_linkage.dir/string_metrics.cc.o"
+  "CMakeFiles/vl_linkage.dir/string_metrics.cc.o.d"
+  "CMakeFiles/vl_linkage.dir/token_blocking.cc.o"
+  "CMakeFiles/vl_linkage.dir/token_blocking.cc.o.d"
+  "libvl_linkage.a"
+  "libvl_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vl_linkage.
+# This may be replaced when dependencies are built.

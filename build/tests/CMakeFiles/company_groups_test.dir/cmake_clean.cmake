@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_groups_test.dir/company_groups_test.cc.o"
+  "CMakeFiles/company_groups_test.dir/company_groups_test.cc.o.d"
+  "company_groups_test"
+  "company_groups_test.pdb"
+  "company_groups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_incremental_test.dir/datalog_incremental_test.cc.o"
+  "CMakeFiles/datalog_incremental_test.dir/datalog_incremental_test.cc.o.d"
+  "datalog_incremental_test"
+  "datalog_incremental_test.pdb"
+  "datalog_incremental_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_io_test.dir/datalog_io_test.cc.o"
+  "CMakeFiles/datalog_io_test.dir/datalog_io_test.cc.o.d"
+  "datalog_io_test"
+  "datalog_io_test.pdb"
+  "datalog_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

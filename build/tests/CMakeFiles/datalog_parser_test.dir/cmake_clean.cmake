@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_parser_test.dir/datalog_parser_test.cc.o"
+  "CMakeFiles/datalog_parser_test.dir/datalog_parser_test.cc.o.d"
+  "datalog_parser_test"
+  "datalog_parser_test.pdb"
+  "datalog_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_functions_test.dir/link_functions_test.cc.o"
+  "CMakeFiles/link_functions_test.dir/link_functions_test.cc.o.d"
+  "link_functions_test"
+  "link_functions_test.pdb"
+  "link_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/linkage_test[1]_include.cmake")
+include("/root/repo/build/tests/company_test[1]_include.cmake")
+include("/root/repo/build/tests/embed_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_warded_test[1]_include.cmake")
+include("/root/repo/build/tests/company_groups_test[1]_include.cmake")
+include("/root/repo/build/tests/knowledge_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_io_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_incremental_test[1]_include.cmake")
+include("/root/repo/build/tests/temporal_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_feature_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluation_test[1]_include.cmake")
+include("/root/repo/build/tests/link_functions_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadalink_cli.dir/vadalink_cli.cpp.o"
+  "CMakeFiles/vadalink_cli.dir/vadalink_cli.cpp.o.d"
+  "vadalink"
+  "vadalink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadalink_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
