@@ -1,0 +1,121 @@
+#include "common/fault_injection.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace vadalink {
+
+namespace {
+
+/// SplitMix64 — a tiny deterministic stream for probabilistic specs.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct SiteState {
+  bool armed = false;
+  FaultSpec spec;
+  uint64_t hits = 0;   // passes through the site (armed or merely visited)
+  uint64_t fires = 0;  // injections delivered
+  uint64_t rng = 0;    // SplitMix64 state, seeded from spec.seed
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<std::string, SiteState>& Registry() {
+  static auto* r = new std::unordered_map<std::string, SiteState>();
+  return *r;
+}
+
+}  // namespace
+
+std::atomic<int> FaultInjection::armed_count_{0};
+
+void FaultInjection::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  SiteState& st = Registry()[site];
+  if (!st.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  st.armed = true;
+  st.rng = spec.seed;
+  st.spec = std::move(spec);
+  st.hits = 0;
+  st.fires = 0;
+}
+
+void FaultInjection::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(site);
+  if (it != Registry().end() && it->second.armed) {
+    it->second.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjection::Reset() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (auto& [site, st] : Registry()) {
+    if (st.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  Registry().clear();
+}
+
+uint64_t FaultInjection::HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjection::FireCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.fires;
+}
+
+Status FaultInjection::Check(const char* site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  SiteState& st = Registry()[site];
+  uint64_t hit = st.hits++;
+  if (!st.armed) return Status::OK();
+  if (hit < st.spec.skip) return Status::OK();
+  if (st.fires >= st.spec.max_fires) return Status::OK();
+  if (st.spec.probability < 1.0) {
+    double roll = static_cast<double>(SplitMix64(&st.rng) >> 11) *
+                  (1.0 / 9007199254740992.0);  // [0, 1)
+    if (roll >= st.spec.probability) return Status::OK();
+  }
+  ++st.fires;
+  switch (st.spec.code) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(st.spec.message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(st.spec.message);
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(st.spec.message);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(st.spec.message);
+    case StatusCode::kParseError:
+      return Status::ParseError(st.spec.message);
+    case StatusCode::kIoError:
+      return Status::IoError(st.spec.message);
+    case StatusCode::kUnsupported:
+      return Status::Unsupported(st.spec.message);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(st.spec.message);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(st.spec.message);
+    case StatusCode::kCancelled:
+      return Status::Cancelled(st.spec.message);
+    case StatusCode::kOk:
+    case StatusCode::kInternal:
+      return Status::Internal(st.spec.message);
+  }
+  return Status::Internal(st.spec.message);
+}
+
+}  // namespace vadalink

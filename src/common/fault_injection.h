@@ -1,0 +1,89 @@
+// Deterministic fault injection for testing Status propagation.
+//
+// Production code marks named sites on its error paths:
+//
+//     Status LoadGraphCsv(...) {
+//       VL_FAULT_POINT("graph_io.load_csv");
+//       ...
+//     }
+//
+// When nothing is armed (the production state) a site costs one relaxed
+// atomic load. Tests arm a site with a FaultSpec and the site returns the
+// injected Status, proving the error propagates through every caller
+// without crashes or half-mutated state:
+//
+//     FaultInjection::Arm("graph_io.load_csv",
+//                         {StatusCode::kIoError, "disk gone"});
+//     EXPECT_EQ(LoadGraphCsv(...).status().code(), StatusCode::kIoError);
+//     FaultInjection::Reset();
+//
+// Firing is deterministic: a spec fires on every pass after the first
+// `skip` hits, up to `max_fires` times; with probability < 1 the decision
+// comes from a SplitMix64 stream seeded by `seed`, so a given (spec, hit
+// sequence) always fires the same way. While any site is armed, hit counts
+// are recorded for *every* visited site, so tests can assert a site was
+// actually reached.
+//
+// The registry is global and mutex-protected; Reset() between tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+
+namespace vadalink {
+
+struct FaultSpec {
+  StatusCode code = StatusCode::kInternal;
+  std::string message = "injected fault";
+  /// Let the first `skip` passes through the site succeed.
+  uint64_t skip = 0;
+  /// Stop firing after this many injections (the site then succeeds again).
+  uint64_t max_fires = std::numeric_limits<uint64_t>::max();
+  /// Chance of firing on an eligible pass; decided by a deterministic
+  /// per-site SplitMix64 stream seeded by `seed`.
+  double probability = 1.0;
+  uint64_t seed = 1;
+};
+
+class FaultInjection {
+ public:
+  /// Arms (or re-arms, resetting counters) a site.
+  static void Arm(const std::string& site, FaultSpec spec);
+  static void Disarm(const std::string& site);
+  /// Disarms every site and clears all hit counters.
+  static void Reset();
+
+  /// Passes through `site` recorded since the registry was last non-empty.
+  static uint64_t HitCount(const std::string& site);
+  /// Injections fired at `site`.
+  static uint64_t FireCount(const std::string& site);
+
+  /// True iff at least one site is armed — the hot-path fast gate.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Slow path: records the hit and returns the injected Status if the
+  /// site's spec elects to fire. Called only behind AnyArmed().
+  static Status Check(const char* site);
+
+ private:
+  static std::atomic<int> armed_count_;
+};
+
+/// Marks a fault-injection site in a function returning Status or
+/// Result<T>. Near-zero cost unless a test armed the registry.
+#define VL_FAULT_POINT(site)                                              \
+  do {                                                                    \
+    if (::vadalink::FaultInjection::AnyArmed()) {                         \
+      ::vadalink::Status _vl_fault_st =                                   \
+          ::vadalink::FaultInjection::Check(site);                        \
+      if (!_vl_fault_st.ok()) return _vl_fault_st;                        \
+    }                                                                     \
+  } while (0)
+
+}  // namespace vadalink

@@ -1,0 +1,31 @@
+#include "common/run_context.h"
+
+#include <string>
+
+namespace vadalink {
+
+double RunContext::remaining_seconds() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+}
+
+Status RunContext::CheckImpl(bool read_clock) const {
+  Clock::time_point now{};
+  if (read_clock) now = Clock::now();
+  for (const RunContext* c = this; c != nullptr; c = c->parent_) {
+    if (c->cancel_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("run cancelled");
+    }
+    if (c->work_used_.load(std::memory_order_relaxed) > c->work_budget_) {
+      return Status::ResourceExhausted(
+          "work budget exhausted (" + std::to_string(c->work_budget_) +
+          " units)");
+    }
+    if (read_clock && c->has_deadline_ && now > c->deadline_) {
+      return Status::DeadlineExceeded("deadline exceeded");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vadalink

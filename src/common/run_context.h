@@ -1,0 +1,126 @@
+// RunContext — the run-budget governor threaded through every long-running
+// stage of the pipeline (chase fixpoint, node2vec/skip-gram/k-means,
+// blocking, path enumeration, the Augment loop).
+//
+// A context carries three independent limits, all optional:
+//  * a wall-clock deadline (steady_clock),
+//  * a work budget in abstract units (the engine charges one unit per
+//    derived fact, Augment one per compared pair, node2vec one per walk,
+//    k-means one per Lloyd iteration),
+//  * a cooperative cancellation flag, settable from another thread.
+//
+// Stages poll with Check(): cancellation and budget are inspected on every
+// call (two relaxed atomic loads), the clock only every kClockStride calls,
+// so a Check() in a per-tuple loop costs a few nanoseconds amortized.
+// A tripped limit surfaces as kCancelled / kResourceExhausted /
+// kDeadlineExceeded and is sticky: every later Check() keeps failing.
+//
+// Contexts nest: a child constructed with set_parent() enforces its own
+// (tighter) limits *and* the whole ancestor chain, which is how Augment
+// gives the embedding stage a per-round sub-deadline that can expire
+// without sinking the run. Work consumed through a child is also charged
+// to its ancestors.
+//
+// A null `const RunContext*` means "unlimited" everywhere; use the
+// CheckRun()/ConsumeRunWork() helpers to make that case free.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+
+namespace vadalink {
+
+class RunContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// How many Check() calls share one clock read.
+  static constexpr uint32_t kClockStride = 64;
+  static constexpr uint64_t kNoBudget = std::numeric_limits<uint64_t>::max();
+
+  RunContext() = default;
+  // Not copyable/movable: stages hold pointers to a live context and the
+  // counters are shared state.
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  // ---- configuration (set before handing the pointer to a stage) ---------
+
+  void set_deadline(Clock::time_point t) {
+    deadline_ = t;
+    has_deadline_ = true;
+  }
+  void set_deadline_after_ms(int64_t ms) {
+    set_deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+  bool has_deadline() const { return has_deadline_; }
+  /// Seconds until the deadline (negative if past); +inf without one.
+  double remaining_seconds() const;
+
+  /// 0 work units allowed is a valid (immediately exhausted) budget;
+  /// kNoBudget (the default) disables the check.
+  void set_work_budget(uint64_t units) { work_budget_ = units; }
+  uint64_t work_budget() const { return work_budget_; }
+  uint64_t work_used() const {
+    return work_used_.load(std::memory_order_relaxed);
+  }
+
+  /// Chains this context under `parent`: Check() also enforces every
+  /// ancestor, and ConsumeWork() charges them too.
+  void set_parent(const RunContext* parent) { parent_ = parent; }
+
+  // ---- runtime ------------------------------------------------------------
+
+  /// Thread-safe; the running stage notices at its next Check().
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  /// Amortized poll: cancellation + budget every call, clock every
+  /// kClockStride calls (the first call always reads the clock).
+  Status Check() const {
+    uint32_t tick = tick_.fetch_add(1, std::memory_order_relaxed);
+    return CheckImpl(tick % kClockStride == 0);
+  }
+
+  /// Full poll including the clock. Use at coarse boundaries (stratum,
+  /// round, stage) where a stale clock would delay the trip too long.
+  Status CheckNow() const { return CheckImpl(true); }
+
+  /// Charges `units` to this context and every ancestor, then polls.
+  Status ConsumeWork(uint64_t units) const {
+    for (const RunContext* c = this; c != nullptr; c = c->parent_) {
+      c->work_used_.fetch_add(units, std::memory_order_relaxed);
+    }
+    return Check();
+  }
+
+ private:
+  Status CheckImpl(bool read_clock) const;
+
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  uint64_t work_budget_ = kNoBudget;
+  const RunContext* parent_ = nullptr;
+  std::atomic<bool> cancel_{false};
+  mutable std::atomic<uint64_t> work_used_{0};
+  mutable std::atomic<uint32_t> tick_{0};
+};
+
+/// Null-tolerant helpers: a nullptr context is unlimited and costs nothing.
+inline Status CheckRun(const RunContext* ctx) {
+  return ctx == nullptr ? Status::OK() : ctx->Check();
+}
+inline Status CheckRunNow(const RunContext* ctx) {
+  return ctx == nullptr ? Status::OK() : ctx->CheckNow();
+}
+inline Status ConsumeRunWork(const RunContext* ctx, uint64_t units) {
+  return ctx == nullptr ? Status::OK() : ctx->ConsumeWork(units);
+}
+
+}  // namespace vadalink

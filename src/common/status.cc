@@ -22,6 +22,12 @@ const char* StatusCodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -20,6 +20,12 @@ enum class StatusCode {
   kIoError,
   kUnsupported,
   kInternal,
+  /// A RunContext wall-clock deadline expired before the operation finished.
+  kDeadlineExceeded,
+  /// A resource limit (fact/work budget, path cap, iteration cap) was hit.
+  kResourceExhausted,
+  /// Cooperative cancellation was requested via RunContext::RequestCancel().
+  kCancelled,
 };
 
 /// Returns a human-readable name for a StatusCode (e.g. "InvalidArgument").
@@ -57,6 +63,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

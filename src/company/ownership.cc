@@ -9,49 +9,75 @@ namespace {
 struct DfsState {
   const CompanyGraph* cg;
   const OwnershipConfig* config;
+  const RunContext* run_ctx;
   std::vector<bool> on_path;
   std::unordered_map<graph::NodeId, double>* acc;
-  size_t paths_expanded = 0;
+  OwnershipStats* stats;
 };
 
 void Dfs(DfsState* st, graph::NodeId v, double product) {
-  if (st->paths_expanded >= st->config->max_paths) return;
+  if (st->stats->truncated) return;
   for (const Shareholding& s : st->cg->holdings(v)) {
     double p = product * s.w;  // cash-flow rights drive ownership
     if (p < st->config->epsilon) continue;
     if (st->on_path[s.dst]) continue;  // simple paths only
-    ++st->paths_expanded;
+    if (st->stats->paths_expanded >= st->config->max_paths) {
+      st->stats->truncated = true;
+      return;
+    }
+    if (Status ctx = ConsumeRunWork(st->run_ctx, 1); !ctx.ok()) {
+      st->stats->truncated = true;
+      st->stats->interrupt = std::move(ctx);
+      return;
+    }
+    ++st->stats->paths_expanded;
     (*st->acc)[s.dst] += p;
     st->on_path[s.dst] = true;
     Dfs(st, s.dst, p);
     st->on_path[s.dst] = false;
+    if (st->stats->truncated) return;
   }
 }
 
 }  // namespace
 
 std::unordered_map<graph::NodeId, double> AccumulatedOwnershipSimplePaths(
-    const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config) {
+    const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config,
+    OwnershipStats* stats, const RunContext* run_ctx) {
   std::unordered_map<graph::NodeId, double> acc;
-  DfsState st{&cg, &config, std::vector<bool>(cg.node_count(), false), &acc};
+  OwnershipStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = OwnershipStats{};
+  DfsState st{&cg,  &config, run_ctx,
+              std::vector<bool>(cg.node_count(), false), &acc, stats};
   st.on_path[x] = true;
   Dfs(&st, x, 1.0);
   return acc;
 }
 
 std::unordered_map<graph::NodeId, double> AccumulatedOwnershipWalkSum(
-    const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config) {
+    const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config,
+    OwnershipStats* stats, const RunContext* run_ctx) {
   // Level-wise propagation: frontier holds the mass of walks of the
   // current length; acc accumulates across lengths.
+  OwnershipStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = OwnershipStats{};
   std::unordered_map<graph::NodeId, double> acc;
   std::unordered_map<graph::NodeId, double> frontier{{x, 1.0}};
   for (size_t depth = 0; depth < config.max_depth && !frontier.empty();
        ++depth) {
+    if (Status ctx = CheckRunNow(run_ctx); !ctx.ok()) {
+      stats->truncated = true;
+      stats->interrupt = std::move(ctx);
+      break;
+    }
     std::unordered_map<graph::NodeId, double> next;
     for (const auto& [v, mass] : frontier) {
       for (const Shareholding& s : cg.holdings(v)) {
         double p = mass * s.w;
         if (p < config.epsilon) continue;
+        ++stats->paths_expanded;
         next[s.dst] += p;
       }
     }

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/run_context.h"
 #include "company/company_graph.h"
 
 namespace vadalink::company {
@@ -30,16 +31,33 @@ struct OwnershipConfig {
   size_t max_paths = 10000000;
 };
 
+/// Observability of one enumeration: whether the path cap or a RunContext
+/// cut it short (the returned ownership is then a partial lower bound),
+/// and how much work it did.
+struct OwnershipStats {
+  size_t paths_expanded = 0;
+  /// True when enumeration stopped early and the result is partial.
+  bool truncated = false;
+  /// Non-OK when a RunContext stopped the enumeration (kDeadlineExceeded /
+  /// kResourceExhausted / kCancelled); OK for a plain max_paths cap.
+  Status interrupt;
+};
+
 /// Exact Phi(x, ·) by simple-path enumeration from x.
 /// Returns accumulated ownership per reachable node (companies only —
-/// ownership edges always target companies).
+/// ownership edges always target companies). If `stats` is non-null it
+/// receives path counts and the truncation flag; `run_ctx` (polled per
+/// expanded path, one work unit each) bounds the enumeration.
 std::unordered_map<graph::NodeId, double> AccumulatedOwnershipSimplePaths(
-    const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config = {});
+    const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config = {},
+    OwnershipStats* stats = nullptr, const RunContext* run_ctx = nullptr);
 
 /// Phi(x, ·) approximated by the all-walks geometric sum (the fixpoint
-/// semantics of the paper's Algorithm 6).
+/// semantics of the paper's Algorithm 6). `run_ctx` is polled per
+/// propagation level.
 std::unordered_map<graph::NodeId, double> AccumulatedOwnershipWalkSum(
-    const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config = {});
+    const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config = {},
+    OwnershipStats* stats = nullptr, const RunContext* run_ctx = nullptr);
 
 /// Convenience: Phi(x, y) by simple paths.
 double AccumulatedOwnership(const CompanyGraph& cg, graph::NodeId x,

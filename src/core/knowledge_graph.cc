@@ -1,5 +1,6 @@
 #include "core/knowledge_graph.h"
 
+#include "common/fault_injection.h"
 #include "core/mapping.h"
 #include "datalog/parser.h"
 
@@ -33,7 +34,8 @@ void KnowledgeGraph::RegisterFunction(std::string name,
   extra_fns_.emplace_back(std::move(name), std::move(fn));
 }
 
-Result<ReasonStats> KnowledgeGraph::Reason() {
+Result<ReasonStats> KnowledgeGraph::Reason(const RunContext* run_ctx) {
+  VL_FAULT_POINT("kg.reason");
   ReasonStats stats;
 
   db_ = std::make_unique<datalog::Database>(&catalog_);
@@ -42,6 +44,7 @@ Result<ReasonStats> KnowledgeGraph::Reason() {
 
   datalog::EngineOptions options;
   options.trace_provenance = true;
+  options.run_ctx = run_ctx;
   engine_ = std::make_unique<datalog::Engine>(db_.get(), options);
   for (const auto& [name, fn] : extra_fns_) {
     engine_->functions()->Register(name, fn);

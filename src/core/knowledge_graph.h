@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "datalog/engine.h"
 #include "datalog/warded.h"
@@ -57,7 +58,11 @@ class KnowledgeGraph {
   /// Runs all programs to fixpoint against the current graph and
   /// materialises derived control/closelink/partnerof/parentof/siblingof
   /// facts as typed edges. Each call starts from a fresh fact base.
-  Result<ReasonStats> Reason();
+  /// `run_ctx` (nullptr = unlimited) bounds the chase: on a deadline /
+  /// budget / cancellation trip the corresponding non-OK Status is
+  /// returned and the graph is left unmodified (links are materialised
+  /// only after a completed chase).
+  Result<ReasonStats> Reason(const RunContext* run_ctx = nullptr);
 
   /// Tuples of a predicate after the last Reason() (empty before).
   std::vector<std::vector<datalog::Value>> Query(

@@ -1,11 +1,25 @@
 #include "core/vada_link.h"
 
+#include <algorithm>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/timer.h"
 #include "company/family.h"
 
 namespace vadalink::core {
+
+namespace {
+
+/// Records a governor trip on the stats: the run ends gracefully, keeping
+/// everything committed so far.
+void RecordInterrupt(Status st, AugmentStats* stats) {
+  stats->truncated = true;
+  if (st.code() == StatusCode::kDeadlineExceeded) ++stats->deadline_hits;
+  stats->interrupt = std::move(st);
+}
+
+}  // namespace
 
 bool VadaLink::AddLink(graph::PropertyGraph* g, const PredictedLink& link) {
   const char* label = LinkClassName(link.cls);
@@ -19,7 +33,9 @@ bool VadaLink::AddLink(graph::PropertyGraph* g, const PredictedLink& link) {
   return true;
 }
 
-Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g) {
+Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g,
+                                       const RunContext* run_ctx) {
+  VL_FAULT_POINT("core.augment");
   AugmentStats stats;
   embed::EmbedClusterer clusterer(config_.embedding);
   linkage::Blocker blocker(config_.blocking);
@@ -27,6 +43,13 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g) {
 
   bool changed = true;
   while (changed && stats.rounds < config_.max_rounds) {
+    // Round boundary: a tripped governor ends the run here, with every
+    // link committed by earlier rounds preserved.
+    if (Status st = CheckRunNow(run_ctx); !st.ok()) {
+      RecordInterrupt(std::move(st), &stats);
+      break;
+    }
+    VL_FAULT_POINT("core.augment_round");
     changed = false;
     ++stats.rounds;
 
@@ -35,8 +58,45 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g) {
     std::vector<uint32_t> cluster_of(g->node_count(), 0);
     size_t cluster_count = 1;
     if (config_.use_embedding && g->node_count() > 1) {
-      cluster_of = clusterer.Cluster(*g);
-      cluster_count = clusterer.last_kmeans().k_effective;
+      // The embedding stage runs under a sub-context: a slice of the
+      // remaining wall-clock and/or its own work budget. If the slice runs
+      // out, this round degrades to feature-blocking-only — the paper's
+      // `use_embedding = false` ablation — instead of failing the run.
+      RunContext embed_ctx;
+      const RunContext* stage_ctx = run_ctx;
+      bool stage_limited = false;
+      if (run_ctx != nullptr && run_ctx->has_deadline()) {
+        double slice = run_ctx->remaining_seconds() *
+                       std::clamp(config_.embed_deadline_fraction, 0.0, 1.0);
+        embed_ctx.set_deadline_after_ms(
+            std::max<int64_t>(0, static_cast<int64_t>(slice * 1e3)));
+        stage_limited = true;
+      }
+      if (config_.embed_work_budget > 0) {
+        embed_ctx.set_work_budget(config_.embed_work_budget);
+        stage_limited = true;
+      }
+      if (stage_limited) {
+        embed_ctx.set_parent(run_ctx);
+        stage_ctx = &embed_ctx;
+      }
+      cluster_of = clusterer.Cluster(*g, stage_ctx);
+      if (clusterer.last_interrupted()) {
+        if (Status st = CheckRunNow(run_ctx); !st.ok()) {
+          // The *run* governor tripped, not just the stage slice.
+          stats.embed_seconds += timer.ElapsedSeconds();
+          RecordInterrupt(std::move(st), &stats);
+          break;
+        }
+        cluster_of.assign(g->node_count(), 0);
+        ++stats.degraded_rounds;
+        if (stage_ctx != run_ctx &&
+            stage_ctx->CheckNow().code() == StatusCode::kDeadlineExceeded) {
+          ++stats.deadline_hits;
+        }
+      } else {
+        cluster_count = clusterer.last_kmeans().k_effective;
+      }
     }
     stats.embed_seconds += timer.ElapsedSeconds();
     stats.first_level_clusters = cluster_count;
@@ -45,21 +105,32 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g) {
     timer.Restart();
     // (cluster, block) -> node list
     std::unordered_map<uint64_t, std::vector<graph::NodeId>> blocks;
+    Status block_st;
     for (graph::NodeId n = 0; n < g->node_count(); ++n) {
+      if (block_st = CheckRun(run_ctx); !block_st.ok()) break;
       uint64_t block = config_.use_blocking ? blocker.BlockOf(*g, n) : 0;
       uint64_t key = (static_cast<uint64_t>(cluster_of[n]) << 40) ^ block;
       blocks[key].push_back(n);
     }
     stats.block_seconds += timer.ElapsedSeconds();
     stats.second_level_blocks = blocks.size();
+    if (!block_st.ok()) {
+      // Incomplete blocks must not be compared; end the run before the
+      // candidate stage mutates anything this round.
+      RecordInterrupt(std::move(block_st), &stats);
+      break;
+    }
 
     // ---- candidate evaluation --------------------------------------------
     timer.Restart();
+    Status cand_st;
     for (const auto& candidate : candidates_) {
       if (candidate->is_pairwise()) {
         for (const auto& [key, members] : blocks) {
-          for (size_t i = 0; i < members.size(); ++i) {
+          if (!cand_st.ok()) break;
+          for (size_t i = 0; i < members.size() && cand_st.ok(); ++i) {
             for (size_t j = i + 1; j < members.size(); ++j) {
+              if (cand_st = ConsumeRunWork(run_ctx, 1); !cand_st.ok()) break;
               ++stats.pairs_compared;
               auto link = candidate->TestPair(*g, members[i], members[j]);
               if (link.has_value() && AddLink(g, *link)) {
@@ -78,9 +149,17 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g) {
             changed = true;
           }
         }
+        cand_st = CheckRunNow(run_ctx);
       }
+      if (!cand_st.ok()) break;
     }
     stats.candidate_seconds += timer.ElapsedSeconds();
+    if (!cand_st.ok()) {
+      // Mid-round trip: links already added this round stay (each AddLink
+      // is atomic w.r.t. the graph), the rest of the round is abandoned.
+      RecordInterrupt(std::move(cand_st), &stats);
+      break;
+    }
   }
   return stats;
 }

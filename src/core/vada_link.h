@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/candidates.h"
 #include "core/link_class.h"
@@ -36,6 +37,15 @@ struct AugmentConfig {
   /// is compared ("no cluster mode" of Section 6.2).
   bool use_embedding = true;
   bool use_blocking = true;
+  /// Share of the run's remaining wall-clock granted to the embedding
+  /// stage each round (when Augment() runs under a RunContext deadline).
+  /// An embedding stage that exhausts its sub-deadline degrades the round
+  /// to feature-blocking-only instead of sinking the whole run.
+  double embed_deadline_fraction = 0.5;
+  /// Optional per-round work budget for the embedding stage, in stage
+  /// units (node2vec walks + k-means iterations). 0 = unlimited. Exceeding
+  /// it degrades the round exactly like a sub-deadline expiry.
+  size_t embed_work_budget = 0;
 };
 
 struct AugmentStats {
@@ -47,6 +57,16 @@ struct AugmentStats {
   double embed_seconds = 0.0;
   double block_seconds = 0.0;
   double candidate_seconds = 0.0;
+  /// Rounds that fell back to feature-blocking-only after the embedding
+  /// stage hit its sub-deadline or sub-budget.
+  size_t degraded_rounds = 0;
+  /// Deadline trips observed anywhere in the run (stage or whole-run).
+  size_t deadline_hits = 0;
+  /// True when the run stopped before its natural fixpoint (deadline,
+  /// budget or cancellation). Links committed by completed work remain in
+  /// the graph; `interrupt` carries the Status that stopped the run.
+  bool truncated = false;
+  Status interrupt;
 };
 
 class VadaLink {
@@ -62,7 +82,16 @@ class VadaLink {
   AugmentConfig* mutable_config() { return &config_; }
 
   /// Runs Algorithm 1 on `g`, adding predicted edges in place.
-  Result<AugmentStats> Augment(graph::PropertyGraph* g);
+  ///
+  /// `run_ctx` (nullptr = unlimited) governs the run: a deadline, a work
+  /// budget (one unit per compared pair, plus embedding stage units) or a
+  /// cancellation request stops the loop *gracefully* — links committed by
+  /// completed work stay in `g`, the call still returns OK with stats, and
+  /// `truncated` / `deadline_hits` / `degraded_rounds` report what was cut
+  /// short. Only real errors (e.g. a failing candidate or an injected
+  /// fault) surface as a non-OK Result.
+  Result<AugmentStats> Augment(graph::PropertyGraph* g,
+                               const RunContext* run_ctx = nullptr);
 
  private:
   /// Adds a predicted link if absent; returns true if added.

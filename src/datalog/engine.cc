@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
+
 namespace vadalink::datalog {
 
 namespace {
@@ -319,6 +321,7 @@ Status Engine::EmitHead(
     const std::vector<std::pair<uint32_t, uint32_t>>& premises,
     bool* inserted_any) {
   ++stats_.body_matches;
+  VL_RETURN_NOT_OK(CheckRun(options_.run_ctx));
 
   // Invent nulls for existential vars, memoised on the frontier.
   if (!cr.existential_vars.empty()) {
@@ -343,6 +346,7 @@ Status Engine::EmitHead(
     if (inserted) {
       ++stats_.facts_derived;
       *inserted_any = true;
+      VL_RETURN_NOT_OK(ConsumeRunWork(options_.run_ctx, 1));
       if (options_.trace_provenance) {
         const Relation* rel = db_->relation(head.predicate);
         uint64_t key = (static_cast<uint64_t>(head.predicate) << 32) |
@@ -352,9 +356,9 @@ Status Engine::EmitHead(
     }
   }
   if (db_->TotalFacts() > options_.max_facts) {
-    return Status::Internal("fact limit exceeded (" +
-                            std::to_string(options_.max_facts) +
-                            "); chase aborted");
+    return Status::ResourceExhausted("fact limit exceeded (" +
+                                     std::to_string(options_.max_facts) +
+                                     "); chase aborted");
   }
   return Status::OK();
 }
@@ -430,6 +434,7 @@ Status Engine::MatchFrom(
       }
 
       for (uint32_t idx : candidates) {
+        VL_RETURN_NOT_OK(CheckRun(options_.run_ctx));
         // Copy the tuple: relation storage may move during recursion.
         std::vector<Value> tuple = db_->relation(lit.atom.predicate)->tuple(idx);
         std::vector<uint32_t> newly_bound;
@@ -616,8 +621,10 @@ Status Engine::EvalStratum(const std::vector<uint32_t>& rule_ids,
   size_t iteration = 0;
   while (after != before) {
     if (++iteration > options_.max_iterations) {
-      return Status::Internal("iteration limit exceeded; chase aborted");
+      return Status::ResourceExhausted(
+          "iteration limit exceeded; chase aborted");
     }
+    VL_RETURN_NOT_OK(CheckRunNow(options_.run_ctx));
     ++stats_.iterations;
     std::vector<std::pair<size_t, size_t>> deltas(num_preds);
     for (uint32_t p = 0; p < num_preds; ++p) {
@@ -639,9 +646,13 @@ Status Engine::EvalStratum(const std::vector<uint32_t>& rule_ids,
 }
 
 Status Engine::Run(const Program& program) {
+  VL_FAULT_POINT("engine.run");
   program_ = &program;
   stats_ = EngineStats{};
   agg_states_.clear();
+  // Pessimistically aborted until the chase completes, so an early return
+  // on any path below leaves the engine in the "aborted" state.
+  last_run_aborted_ = true;
 
   for (const Atom& fact : program.facts) {
     std::vector<Value> tuple;
@@ -658,14 +669,21 @@ Status Engine::Run(const Program& program) {
   stats_.strata = strat.strata.size();
   for (const auto& stratum_rules : strat.strata) {
     if (!stratum_rules.empty()) {
+      VL_FAULT_POINT("engine.stratum");
       VL_RETURN_NOT_OK(EvalStratum(stratum_rules, nullptr));
     }
   }
   last_run_sizes_ = RelationSizes();
+  last_run_aborted_ = false;
   return Status::OK();
 }
 
 Status Engine::RunIncremental(const Program& program) {
+  if (last_run_aborted_) {
+    return Status::InvalidArgument(
+        "previous run aborted (deadline / budget / cancellation); the delta "
+        "window is unreliable — call Run() to re-establish the fixpoint");
+  }
   program_ = &program;
   for (const Rule& rule : program.rules) {
     for (const Literal& lit : rule.body) {
@@ -691,12 +709,14 @@ Status Engine::RunIncremental(const Program& program) {
                       Stratify(program, *db_->catalog()));
   stats_.strata = strat.strata.size();
   std::vector<size_t> window_start = last_run_sizes_;
+  last_run_aborted_ = true;
   for (const auto& stratum_rules : strat.strata) {
     if (!stratum_rules.empty()) {
       VL_RETURN_NOT_OK(EvalStratum(stratum_rules, &window_start));
     }
   }
   last_run_sizes_ = RelationSizes();
+  last_run_aborted_ = false;
   return Status::OK();
 }
 

@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "datalog/ast.h"
 #include "datalog/builtins.h"
@@ -35,6 +36,10 @@ struct EngineOptions {
   size_t max_facts = 50000000;
   /// Record one derivation per fact for Explain().
   bool trace_provenance = false;
+  /// Optional run governor: deadline / work budget / cancellation, polled
+  /// inside the match loops and charged one work unit per derived fact.
+  /// nullptr = unlimited. Must outlive the engine calls that use it.
+  const RunContext* run_ctx = nullptr;
 };
 
 struct EngineStats {
@@ -63,7 +68,11 @@ class Engine {
   /// deltas (the initial naive pass is skipped), and aggregate state, null
   /// memoisation and provenance carry over. Sound because the engine's
   /// fragment without negation is monotonic; programs using negation are
-  /// rejected (a new fact could invalidate earlier conclusions).
+  /// rejected (a new fact could invalidate earlier conclusions). Also
+  /// rejected after an aborted run (deadline / budget / cancellation): the
+  /// delta window is then unreliable, so callers must re-establish the
+  /// fixpoint with Run() — which is sound, because every fact an aborted
+  /// chase derived is a genuine consequence.
   Status RunIncremental(const Program& program);
 
   const EngineStats& stats() const { return stats_; }
@@ -163,6 +172,9 @@ class Engine {
   // Per-predicate fact counts at the end of the last (incremental) run,
   // marking the delta window start for RunIncremental.
   std::vector<size_t> last_run_sizes_;
+  // True while a run is in flight and after one aborted; RunIncremental
+  // refuses to continue from an aborted run.
+  bool last_run_aborted_ = false;
 
   const Program* program_ = nullptr;
 };

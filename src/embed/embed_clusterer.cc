@@ -2,11 +2,19 @@
 
 namespace vadalink::embed {
 
-std::vector<uint32_t> EmbedClusterer::Cluster(const graph::PropertyGraph& g) {
+std::vector<uint32_t> EmbedClusterer::Cluster(const graph::PropertyGraph& g,
+                                              const RunContext* run_ctx) {
+  interrupted_ = false;
   WalkGraph wg(g, config_.walk.weight_property);
-  auto walks = GenerateWalks(wg, config_.walk);
-  embedding_ = TrainSkipGram(walks, g.node_count(), config_.skipgram);
-  kmeans_ = KMeans(embedding_, config_.kmeans);
+  auto walks = GenerateWalks(wg, config_.walk, run_ctx);
+  // A stage that trips its context leaves the remaining stages no budget;
+  // each stop is cooperative, so the pipeline still hands back a usable
+  // (if degraded) assignment and flags the truncation.
+  if (!CheckRunNow(run_ctx).ok()) interrupted_ = true;
+  embedding_ = TrainSkipGram(walks, g.node_count(), config_.skipgram, run_ctx);
+  if (!CheckRunNow(run_ctx).ok()) interrupted_ = true;
+  kmeans_ = KMeans(embedding_, config_.kmeans, run_ctx);
+  if (kmeans_.interrupted) interrupted_ = true;
   return kmeans_.assignment;
 }
 

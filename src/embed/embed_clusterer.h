@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_context.h"
 #include "embed/kmeans.h"
 #include "embed/node2vec.h"
 #include "embed/skipgram.h"
@@ -30,17 +31,25 @@ class EmbedClusterer {
   /// Embeds the graph and clusters the nodes. Returns one cluster id per
   /// node. Recomputed from scratch at each call (the recursive self-
   /// improving loop of Algorithm 1 calls this once per round, with the
-  /// newly predicted edges present in `g`).
-  std::vector<uint32_t> Cluster(const graph::PropertyGraph& g);
+  /// newly predicted edges present in `g`). An optional RunContext bounds
+  /// the walk / training / clustering stages; when it trips mid-pipeline
+  /// the call still returns a full-length (possibly degenerate) assignment
+  /// and last_interrupted() reports the truncation so callers can fall
+  /// back (VadaLink degrades to feature-blocking-only for the round).
+  std::vector<uint32_t> Cluster(const graph::PropertyGraph& g,
+                                const RunContext* run_ctx = nullptr);
 
   /// Embeddings of the last Cluster() call (empty before any call).
   const EmbeddingMatrix& last_embedding() const { return embedding_; }
   const KMeansResult& last_kmeans() const { return kmeans_; }
+  /// True when the last Cluster() was cut short by its RunContext.
+  bool last_interrupted() const { return interrupted_; }
 
  private:
   EmbedClusterConfig config_;
   EmbeddingMatrix embedding_;
   KMeansResult kmeans_;
+  bool interrupted_ = false;
 };
 
 }  // namespace vadalink::embed

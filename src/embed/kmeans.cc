@@ -18,8 +18,8 @@ double SqDist(const float* x, const double* c, size_t dims) {
 
 }  // namespace
 
-KMeansResult KMeans(const EmbeddingMatrix& matrix,
-                    const KMeansConfig& config) {
+KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
+                    const RunContext* run_ctx) {
   KMeansResult res;
   const size_t n = matrix.node_count();
   const size_t dims = matrix.dimensions();
@@ -70,6 +70,10 @@ KMeansResult KMeans(const EmbeddingMatrix& matrix,
   std::vector<double> sums(k * dims);
   double prev_inertia = std::numeric_limits<double>::max();
   for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    if (!ConsumeRunWork(run_ctx, 1).ok()) {
+      res.interrupted = true;
+      break;
+    }
     res.iterations = iter + 1;
     double inertia = 0.0;
     std::fill(counts.begin(), counts.end(), 0);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "embed/skipgram.h"
 
 namespace vadalink::embed {
@@ -26,9 +27,14 @@ struct KMeansResult {
   size_t k_effective = 0;  // min(k, #points)
   double inertia = 0.0;    // sum of squared distances to centroids
   size_t iterations = 0;
+  /// True when a RunContext stopped Lloyd iteration before convergence;
+  /// the assignment of the last completed iteration is still returned.
+  bool interrupted = false;
 };
 
-/// Clusters the rows of `matrix`. k is capped at the number of points.
-KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config);
+/// Clusters the rows of `matrix`. k is capped at the number of points. An
+/// optional RunContext is polled per Lloyd iteration (one work unit each).
+KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
+                    const RunContext* run_ctx = nullptr);
 
 }  // namespace vadalink::embed

@@ -44,7 +44,8 @@ bool WalkGraph::HasEdge(uint32_t a, uint32_t b) const {
 }
 
 std::vector<std::vector<uint32_t>> GenerateWalks(const WalkGraph& graph,
-                                                 const WalkConfig& config) {
+                                                 const WalkConfig& config,
+                                                 const RunContext* run_ctx) {
   const size_t n = graph.node_count();
   Rng rng(config.seed);
   std::vector<std::vector<uint32_t>> walks;
@@ -59,6 +60,7 @@ std::vector<std::vector<uint32_t>> GenerateWalks(const WalkGraph& graph,
   for (size_t round = 0; round < config.walks_per_node; ++round) {
     rng.Shuffle(&order);
     for (uint32_t start : order) {
+      if (!ConsumeRunWork(run_ctx, 1).ok()) return walks;
       std::vector<uint32_t> walk{start};
       if (!graph.neighbors(start).empty()) {
         walk.reserve(config.walk_length);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "graph/property_graph.h"
 
 namespace vadalink::embed {
@@ -43,8 +44,11 @@ class WalkGraph {
 };
 
 /// Generates node2vec walks; each walk is a sequence of node ids. Isolated
-/// nodes yield length-1 walks (their id alone).
-std::vector<std::vector<uint32_t>> GenerateWalks(const WalkGraph& graph,
-                                                 const WalkConfig& config);
+/// nodes yield length-1 walks (their id alone). An optional RunContext is
+/// polled between walks (one work unit each); when it trips, generation
+/// stops cooperatively and the walks produced so far are returned.
+std::vector<std::vector<uint32_t>> GenerateWalks(
+    const WalkGraph& graph, const WalkConfig& config,
+    const RunContext* run_ctx = nullptr);
 
 }  // namespace vadalink::embed

@@ -42,8 +42,8 @@ inline double Sigmoid(double x) {
 }  // namespace
 
 EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
-                              size_t node_count,
-                              const SkipGramConfig& config) {
+                              size_t node_count, const SkipGramConfig& config,
+                              const RunContext* run_ctx) {
   const size_t dims = config.dimensions;
   EmbeddingMatrix in(node_count, dims);  // input ("center") vectors
   std::vector<float> out(node_count * dims, 0.0f);  // context vectors
@@ -75,6 +75,7 @@ EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
 
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
     for (const auto& walk : walks) {
+      if (!CheckRun(run_ctx).ok()) return in;
       for (size_t i = 0; i < walk.size(); ++i) {
         double progress = static_cast<double>(step++) / total_steps;
         double lr = config.initial_lr * (1.0 - progress);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/run_context.h"
 
 namespace vadalink::embed {
 
@@ -48,8 +49,11 @@ class EmbeddingMatrix {
 };
 
 /// Trains SGNS embeddings over walks covering node ids [0, node_count).
+/// An optional RunContext is polled once per walk per epoch; when it
+/// trips, training stops cooperatively and the partially trained (still
+/// usable) embeddings are returned.
 EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
-                              size_t node_count,
-                              const SkipGramConfig& config);
+                              size_t node_count, const SkipGramConfig& config,
+                              const RunContext* run_ctx = nullptr);
 
 }  // namespace vadalink::embed

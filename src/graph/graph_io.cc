@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/csv.h"
+#include "common/fault_injection.h"
 
 namespace vadalink::graph {
 
@@ -48,6 +49,7 @@ Result<uint32_t> ParseU32(const std::string& s) {
 
 Status SaveGraphCsv(const PropertyGraph& g, const std::string& nodes_path,
                     const std::string& edges_path) {
+  VL_FAULT_POINT("graph_io.save_csv");
   std::vector<std::vector<std::string>> node_rows;
   node_rows.reserve(g.node_count());
   for (NodeId n = 0; n < g.node_count(); ++n) {
@@ -71,6 +73,7 @@ Status SaveGraphCsv(const PropertyGraph& g, const std::string& nodes_path,
 
 Result<PropertyGraph> LoadGraphCsv(const std::string& nodes_path,
                                    const std::string& edges_path) {
+  VL_FAULT_POINT("graph_io.load_csv");
   VL_ASSIGN_OR_RETURN(auto node_rows, ReadCsvFile(nodes_path));
   VL_ASSIGN_OR_RETURN(auto edge_rows, ReadCsvFile(edges_path));
 

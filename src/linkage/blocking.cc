@@ -28,19 +28,23 @@ uint64_t Blocker::BlockOf(const graph::PropertyGraph& g,
   return h;
 }
 
-std::vector<uint64_t> Blocker::BlockAll(const graph::PropertyGraph& g) const {
-  std::vector<uint64_t> out(g.node_count());
+std::vector<uint64_t> Blocker::BlockAll(const graph::PropertyGraph& g,
+                                        const RunContext* run_ctx) const {
+  std::vector<uint64_t> out;
+  out.reserve(g.node_count());
   for (graph::NodeId n = 0; n < g.node_count(); ++n) {
-    out[n] = BlockOf(g, n);
+    if (!CheckRun(run_ctx).ok()) break;
+    out.push_back(BlockOf(g, n));
   }
   return out;
 }
 
 std::vector<std::vector<graph::NodeId>> Blocker::GroupByBlock(
-    const graph::PropertyGraph& g,
-    const std::vector<graph::NodeId>& nodes) const {
+    const graph::PropertyGraph& g, const std::vector<graph::NodeId>& nodes,
+    const RunContext* run_ctx) const {
   std::map<uint64_t, std::vector<graph::NodeId>> groups;
   for (graph::NodeId n : nodes) {
+    if (!CheckRun(run_ctx).ok()) break;
     groups[BlockOf(g, n)].push_back(n);
   }
   std::vector<std::vector<graph::NodeId>> out;

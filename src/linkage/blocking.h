@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "graph/property_graph.h"
 
 namespace vadalink::linkage {
@@ -41,14 +42,19 @@ class Blocker {
   /// Block id of one node.
   uint64_t BlockOf(const graph::PropertyGraph& g, graph::NodeId n) const;
 
-  /// Block ids for all nodes of the graph.
-  std::vector<uint64_t> BlockAll(const graph::PropertyGraph& g) const;
+  /// Block ids for all nodes of the graph. An optional RunContext is
+  /// polled per node; when it trips, the vector is truncated to the nodes
+  /// processed so far.
+  std::vector<uint64_t> BlockAll(const graph::PropertyGraph& g,
+                                 const RunContext* run_ctx = nullptr) const;
 
   /// Groups `nodes` by block id; returns the list of blocks (each a list
-  /// of node ids), ordered deterministically by block id.
+  /// of node ids), ordered deterministically by block id. An optional
+  /// RunContext is polled per node; when it trips, only the nodes grouped
+  /// so far are returned.
   std::vector<std::vector<graph::NodeId>> GroupByBlock(
-      const graph::PropertyGraph& g,
-      const std::vector<graph::NodeId>& nodes) const;
+      const graph::PropertyGraph& g, const std::vector<graph::NodeId>& nodes,
+      const RunContext* run_ctx = nullptr) const;
 
  private:
   BlockingConfig config_;

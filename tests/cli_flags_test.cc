@@ -1,0 +1,105 @@
+// tools/: the strict CLI flag parser — malformed numbers and duplicate
+// flags must be reported, never silently coerced to 0 or shadowed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tools/cli_flags.h"
+
+namespace vadalink::cli {
+namespace {
+
+/// Builds argv-style storage from a list of tokens (argv[0] = program,
+/// argv[1] = command; flags start at index 2, matching the CLI).
+class Args {
+ public:
+  explicit Args(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {
+    for (auto& t : tokens_) argv_.push_back(t.data());
+  }
+  int argc() const { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::vector<char*> argv_;
+};
+
+TEST(CliFlagsTest, ParsesStringsIntsAndDoubles) {
+  Args a({"vadalink", "cmd", "--in", "reg", "--rounds", "3",
+          "--threshold", "0.25"});
+  Flags flags(a.argc(), a.argv(), 2);
+  EXPECT_EQ(flags.Get("in", ""), "reg");
+  EXPECT_EQ(flags.GetInt("rounds", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("threshold", 0.0), 0.25);
+  EXPECT_EQ(flags.GetInt("absent", 7), 7);
+  EXPECT_TRUE(flags.Has("in"));
+  EXPECT_FALSE(flags.Has("out"));
+  EXPECT_TRUE(flags.ok());
+}
+
+TEST(CliFlagsTest, RejectsDuplicateFlag) {
+  Args a({"vadalink", "cmd", "--in", "a", "--in", "b"});
+  Flags flags(a.argc(), a.argv(), 2);
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("duplicate"), std::string::npos);
+}
+
+TEST(CliFlagsTest, RejectsNonNumericInt) {
+  Args a({"vadalink", "cmd", "--rounds", "three"});
+  Flags flags(a.argc(), a.argv(), 2);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.GetInt("rounds", 9), 9);  // fallback, not atoll's 0
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("rounds"), std::string::npos);
+}
+
+TEST(CliFlagsTest, RejectsTrailingGarbageInt) {
+  Args a({"vadalink", "cmd", "--rounds", "3x"});
+  Flags flags(a.argc(), a.argv(), 2);
+  flags.GetInt("rounds", 0);
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(CliFlagsTest, RejectsNonNumericDouble) {
+  Args a({"vadalink", "cmd", "--threshold", "0.2abc"});
+  Flags flags(a.argc(), a.argv(), 2);
+  flags.GetDouble("threshold", 0.0);
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("threshold"), std::string::npos);
+}
+
+TEST(CliFlagsTest, AcceptsNegativeAndScientificNumbers) {
+  Args a({"vadalink", "cmd", "--offset", "-12", "--eps", "1e-4"});
+  Flags flags(a.argc(), a.argv(), 2);
+  EXPECT_EQ(flags.GetInt("offset", 0), -12);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.0), 1e-4);
+  EXPECT_TRUE(flags.ok());
+}
+
+TEST(CliFlagsTest, RejectsMissingValue) {
+  Args a({"vadalink", "cmd", "--in", "reg", "--rounds"});
+  Flags flags(a.argc(), a.argv(), 2);
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("missing a value"), std::string::npos);
+}
+
+TEST(CliFlagsTest, RejectsBareWordWhereFlagExpected) {
+  Args a({"vadalink", "cmd", "reg", "--rounds"});
+  Flags flags(a.argc(), a.argv(), 2);
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("expected --flag"), std::string::npos);
+}
+
+TEST(CliFlagsTest, FirstErrorIsKept) {
+  Args a({"vadalink", "cmd", "--rounds", "x", "--threshold", "y"});
+  Flags flags(a.argc(), a.argv(), 2);
+  flags.GetInt("rounds", 0);
+  flags.GetDouble("threshold", 0.0);
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("rounds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vadalink::cli

@@ -399,7 +399,7 @@ TEST_F(EngineTest, FactLimitAborts) {
   Engine engine(&db, opts);
   Status st = engine.Run(*program);
   EXPECT_FALSE(st.ok());
-  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
 }
 
 TEST_F(EngineTest, ArithmeticRecursionBounded) {

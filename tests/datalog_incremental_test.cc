@@ -130,6 +130,39 @@ TEST_F(IncrementalTest, NegationRejected) {
   EXPECT_EQ(st.code(), StatusCode::kUnsupported);
 }
 
+TEST_F(IncrementalTest, RejectedAfterAbortedRun) {
+  auto program = Parse(R"(
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+  )");
+  ASSERT_TRUE(program.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        db.InsertByName("e", {Value::Int(i), Value::Int(i + 1)}).ok());
+  }
+  RunContext ctx;
+  ctx.set_work_budget(3);  // aborts the chase after a few derived facts
+  EngineOptions options;
+  options.run_ctx = &ctx;
+  Engine engine(&db, options);
+  Status st = engine.Run(*program);
+  ASSERT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+
+  // The delta window is unreliable after an abort: incremental evaluation
+  // must refuse rather than silently miss derivations.
+  Status inc = engine.RunIncremental(*program);
+  EXPECT_EQ(inc.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(inc.message().find("aborted"), std::string::npos);
+
+  // A full Run() re-establishes the fixpoint and re-enables increments.
+  ctx.set_work_budget(RunContext::kNoBudget);
+  ASSERT_TRUE(engine.Run(*program).ok());
+  EXPECT_EQ(db.TuplesOf("tc").size(), 55u);
+  ASSERT_TRUE(db.InsertByName("e", {Value::Int(10), Value::Int(11)}).ok());
+  ASSERT_TRUE(engine.RunIncremental(*program).ok());
+  EXPECT_EQ(db.TuplesOf("tc").size(), 66u);
+}
+
 TEST_F(IncrementalTest, ExistentialNullsNotReinvented) {
   auto program = Parse(R"(
     p(X) -> q(X, N).

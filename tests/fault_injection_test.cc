@@ -1,0 +1,189 @@
+// common/: the deterministic fault-injection harness, plus one test per
+// armed production site proving the injected Status propagates through the
+// public API without crashes or half-mutated state.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/knowledge_graph.h"
+#include "core/vada_link.h"
+#include "datalog/engine.h"
+#include "datalog/parser.h"
+#include "graph/graph_io.h"
+#include "tests/paper_fixtures.h"
+
+namespace vadalink {
+namespace {
+
+using ::vadalink::testing::Figure1;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Reset(); }
+};
+
+// ---- mechanism -------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, UnarmedRegistryIsInert) {
+  EXPECT_FALSE(FaultInjection::AnyArmed());
+  EXPECT_TRUE(FaultInjection::Check("test.site").ok());
+}
+
+TEST_F(FaultInjectionTest, ArmedSiteFiresConfiguredStatus) {
+  FaultInjection::Arm("test.site", {StatusCode::kIoError, "disk gone"});
+  EXPECT_TRUE(FaultInjection::AnyArmed());
+  Status st = FaultInjection::Check("test.site");
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(st.message(), "disk gone");
+  EXPECT_EQ(FaultInjection::HitCount("test.site"), 1u);
+  EXPECT_EQ(FaultInjection::FireCount("test.site"), 1u);
+}
+
+TEST_F(FaultInjectionTest, UnarmedSitesAreStillCounted) {
+  FaultInjection::Arm("test.armed", {StatusCode::kInternal, "boom"});
+  EXPECT_TRUE(FaultInjection::Check("test.other").ok());
+  EXPECT_EQ(FaultInjection::HitCount("test.other"), 1u);
+  EXPECT_EQ(FaultInjection::FireCount("test.other"), 0u);
+}
+
+TEST_F(FaultInjectionTest, SkipDelaysFiring) {
+  FaultSpec spec{StatusCode::kInternal, "boom"};
+  spec.skip = 2;
+  FaultInjection::Arm("test.site", spec);
+  EXPECT_TRUE(FaultInjection::Check("test.site").ok());
+  EXPECT_TRUE(FaultInjection::Check("test.site").ok());
+  EXPECT_FALSE(FaultInjection::Check("test.site").ok());
+  EXPECT_EQ(FaultInjection::HitCount("test.site"), 3u);
+  EXPECT_EQ(FaultInjection::FireCount("test.site"), 1u);
+}
+
+TEST_F(FaultInjectionTest, MaxFiresLimitsInjections) {
+  FaultSpec spec{StatusCode::kInternal, "boom"};
+  spec.max_fires = 1;
+  FaultInjection::Arm("test.site", spec);
+  EXPECT_FALSE(FaultInjection::Check("test.site").ok());
+  EXPECT_TRUE(FaultInjection::Check("test.site").ok());  // spent
+  EXPECT_EQ(FaultInjection::FireCount("test.site"), 1u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticFiringIsDeterministic) {
+  FaultSpec spec{StatusCode::kInternal, "boom"};
+  spec.probability = 0.5;
+  spec.seed = 123;
+  auto run = [&] {
+    FaultInjection::Arm("test.site", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!FaultInjection::Check("test.site").ok());
+    }
+    FaultInjection::Reset();
+    return fired;
+  };
+  std::vector<bool> first = run();
+  size_t fires = 0;
+  for (bool f : first) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 64u);
+  EXPECT_EQ(first, run());  // same seed, same decisions
+}
+
+TEST_F(FaultInjectionTest, DisarmAndResetClear) {
+  FaultInjection::Arm("test.site", {StatusCode::kInternal, "boom"});
+  FaultInjection::Disarm("test.site");
+  EXPECT_FALSE(FaultInjection::AnyArmed());
+  EXPECT_TRUE(FaultInjection::Check("test.site").ok());
+  FaultInjection::Reset();
+  EXPECT_EQ(FaultInjection::HitCount("test.site"), 0u);
+}
+
+// ---- armed production sites ------------------------------------------------
+
+TEST_F(FaultInjectionTest, GraphIoSaveCsvPropagates) {
+  auto b = Figure1();
+  std::string base = ::testing::TempDir() + "/fi_save";
+  FaultInjection::Arm("graph_io.save_csv", {StatusCode::kIoError, "no disk"});
+  Status st = graph::SaveGraphCsv(b.graph(), base + "_nodes.csv",
+                                  base + "_edges.csv");
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  // The site is hit before any file is opened: nothing was written.
+  EXPECT_FALSE(std::ifstream(base + "_nodes.csv").good());
+}
+
+TEST_F(FaultInjectionTest, GraphIoLoadCsvPropagates) {
+  auto b = Figure1();
+  std::string base = ::testing::TempDir() + "/fi_load";
+  ASSERT_TRUE(graph::SaveGraphCsv(b.graph(), base + "_nodes.csv",
+                                  base + "_edges.csv").ok());
+  FaultInjection::Arm("graph_io.load_csv", {StatusCode::kIoError, "no disk"});
+  auto g = graph::LoadGraphCsv(base + "_nodes.csv", base + "_edges.csv");
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+  FaultInjection::Reset();
+  EXPECT_TRUE(graph::LoadGraphCsv(base + "_nodes.csv",
+                                  base + "_edges.csv").ok());
+}
+
+TEST_F(FaultInjectionTest, EngineRunPropagates) {
+  datalog::Catalog catalog;
+  datalog::Database db(&catalog);
+  auto program = datalog::ParseProgram("e(1,2). e(X,Y) -> tc(X,Y).", &catalog);
+  ASSERT_TRUE(program.ok());
+  datalog::Engine engine(&db);
+  FaultInjection::Arm("engine.run", {StatusCode::kInternal, "chase died"});
+  Status st = engine.Run(*program);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(st.message(), "chase died");
+  EXPECT_TRUE(db.TuplesOf("tc").empty());  // nothing derived
+}
+
+TEST_F(FaultInjectionTest, EngineStratumPropagates) {
+  datalog::Catalog catalog;
+  datalog::Database db(&catalog);
+  auto program = datalog::ParseProgram("e(1,2). e(X,Y) -> tc(X,Y).", &catalog);
+  ASSERT_TRUE(program.ok());
+  datalog::Engine engine(&db);
+  FaultInjection::Arm("engine.stratum", {StatusCode::kInternal, "stratum"});
+  EXPECT_EQ(engine.Run(*program).code(), StatusCode::kInternal);
+  EXPECT_GE(FaultInjection::FireCount("engine.stratum"), 1u);
+}
+
+TEST_F(FaultInjectionTest, CoreAugmentPropagates) {
+  auto b = Figure1();
+  auto vl = core::MakeDefaultVadaLink();
+  FaultInjection::Arm("core.augment", {StatusCode::kInternal, "augment"});
+  auto stats = vl.Augment(&b.graph());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FaultInjectionTest, CoreAugmentRoundKeepsEarlierRounds) {
+  auto b = Figure1();
+  core::AugmentConfig cfg;
+  cfg.use_embedding = false;  // deterministic and fast
+  auto vl = core::MakeDefaultVadaLink(cfg);
+  size_t edges_before = b.graph().edge_count();
+  // Let round 1 commit its links, then fail entering round 2.
+  FaultSpec spec{StatusCode::kInternal, "round died"};
+  spec.skip = 1;
+  FaultInjection::Arm("core.augment_round", spec);
+  auto stats = vl.Augment(&b.graph());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInternal);
+  // Round 1 ran to completion and its links survive the injected failure.
+  EXPECT_GT(b.graph().edge_count(), edges_before);
+  EXPECT_EQ(FaultInjection::FireCount("core.augment_round"), 1u);
+}
+
+TEST_F(FaultInjectionTest, KnowledgeGraphReasonPropagates) {
+  auto b = Figure1();
+  core::KnowledgeGraph kg;
+  *kg.mutable_graph() = b.graph();
+  FaultInjection::Arm("kg.reason", {StatusCode::kInternal, "reason"});
+  auto stats = kg.Reason();
+  EXPECT_EQ(stats.status().code(), StatusCode::kInternal);
+  FaultInjection::Reset();
+  EXPECT_TRUE(kg.Reason().ok());  // recovers once disarmed
+}
+
+}  // namespace
+}  // namespace vadalink

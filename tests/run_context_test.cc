@@ -1,0 +1,128 @@
+// common/: the RunContext run-budget governor — deadlines, work budgets,
+// cooperative cancellation, parent chaining and the amortized clock.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/run_context.h"
+
+namespace vadalink {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+TEST(RunContextTest, NullContextIsUnlimited) {
+  EXPECT_TRUE(CheckRun(nullptr).ok());
+  EXPECT_TRUE(CheckRunNow(nullptr).ok());
+  EXPECT_TRUE(ConsumeRunWork(nullptr, 1000000).ok());
+}
+
+TEST(RunContextTest, DefaultContextNeverTrips) {
+  RunContext ctx;
+  for (int i = 0; i < 3 * static_cast<int>(RunContext::kClockStride); ++i) {
+    EXPECT_TRUE(ctx.Check().ok());
+  }
+  EXPECT_TRUE(ctx.CheckNow().ok());
+  EXPECT_TRUE(ctx.ConsumeWork(1u << 20).ok());
+  EXPECT_FALSE(ctx.has_deadline());
+}
+
+TEST(RunContextTest, ExpiredDeadlineTripsOnFirstCheck) {
+  RunContext ctx;
+  ctx.set_deadline(RunContext::Clock::now() - seconds(1));
+  // Tick 0 always reads the clock, so even the amortized poll trips.
+  Status st = ctx.Check();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(ctx.remaining_seconds(), 0.0);
+}
+
+TEST(RunContextTest, FutureDeadlineIsOk) {
+  RunContext ctx;
+  ctx.set_deadline_after_ms(60 * 1000);
+  EXPECT_TRUE(ctx.CheckNow().ok());
+  EXPECT_GT(ctx.remaining_seconds(), 1.0);
+}
+
+TEST(RunContextTest, AmortizedCheckSkipsClockBetweenStrides) {
+  RunContext ctx;
+  EXPECT_TRUE(ctx.Check().ok());  // tick 0 consumed (clock read, no limits)
+  ctx.set_deadline(RunContext::Clock::now() - seconds(1));
+  // Ticks 1..kClockStride-1 do not read the clock — the stale view stays OK.
+  for (uint32_t t = 1; t < RunContext::kClockStride; ++t) {
+    EXPECT_TRUE(ctx.Check().ok()) << "tick " << t;
+  }
+  // The next stride boundary re-reads the clock and trips.
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+  // CheckNow always sees the expired deadline.
+  EXPECT_EQ(ctx.CheckNow().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, WorkBudgetTripsWhenExceeded) {
+  RunContext ctx;
+  ctx.set_work_budget(10);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(ctx.ConsumeWork(1).ok()) << "unit " << i;
+  }
+  Status st = ctx.ConsumeWork(1);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.work_used(), 11u);
+  // Sticky: later polls keep failing.
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RunContextTest, ZeroBudgetTripsOnFirstUnit) {
+  RunContext ctx;
+  ctx.set_work_budget(0);
+  EXPECT_TRUE(ctx.Check().ok());  // no work consumed yet
+  EXPECT_EQ(ctx.ConsumeWork(1).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RunContextTest, CancellationIsImmediateAndSticky) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.cancel_requested());
+  ctx.RequestCancel();
+  EXPECT_TRUE(ctx.cancel_requested());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ctx.CheckNow().code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, ChildEnforcesParentLimits) {
+  RunContext parent;
+  parent.set_work_budget(5);
+  RunContext child;  // itself unlimited
+  child.set_parent(&parent);
+  EXPECT_TRUE(child.ConsumeWork(5).ok());
+  EXPECT_EQ(parent.work_used(), 5u);  // charged through the chain
+  EXPECT_EQ(child.ConsumeWork(1).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RunContextTest, ChildTripDoesNotAffectParent) {
+  RunContext parent;
+  RunContext child;
+  child.set_parent(&parent);
+  child.set_work_budget(0);
+  EXPECT_EQ(child.ConsumeWork(1).code(), StatusCode::kResourceExhausted);
+  // The parent saw the work but has no budget of its own.
+  EXPECT_EQ(parent.work_used(), 1u);
+  EXPECT_TRUE(parent.CheckNow().ok());
+}
+
+TEST(RunContextTest, ParentCancellationReachesChild) {
+  RunContext parent;
+  RunContext child;
+  child.set_parent(&parent);
+  parent.RequestCancel();
+  EXPECT_EQ(child.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, NewStatusCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+}
+
+}  // namespace
+}  // namespace vadalink

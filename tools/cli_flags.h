@@ -1,0 +1,88 @@
+// Strict --flag value parser shared by the CLI (and unit-tested in
+// tests/cli_flags_test.cc). Flags may appear in any order; duplicates and
+// malformed numeric values are hard errors — a typo must never silently
+// become 0 (std::atoll's behaviour) or shadow an earlier flag.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace vadalink::cli {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        Fail("expected --flag, got '" + key + "'");
+        return;
+      }
+      key = key.substr(2);
+      if (values_.count(key) > 0) {
+        Fail("duplicate flag '--" + key + "'");
+        return;
+      }
+      values_[key] = argv[i + 1];
+    }
+    if (ok_ && (argc - first) % 2 != 0) {
+      Fail(std::string("flag '") + argv[argc - 1] + "' is missing a value");
+    }
+  }
+
+  /// False after any parse error — at construction (bad syntax, duplicate)
+  /// or from a typed getter (non-numeric value). Check after reading all
+  /// flags of a command.
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& s = it->second;
+    char* end = nullptr;
+    errno = 0;
+    int64_t v = std::strtoll(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE) {
+      Fail("flag '--" + key + "' expects an integer, got '" + s + "'");
+      return fallback;
+    }
+    return v;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& s = it->second;
+    char* end = nullptr;
+    errno = 0;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE) {
+      Fail("flag '--" + key + "' expects a number, got '" + s + "'");
+      return fallback;
+    }
+    return v;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  // Getters are const (callers read into const configs); errors from them
+  // still need to stick, hence the mutable state.
+  void Fail(std::string msg) const {
+    if (ok_) error_ = std::move(msg);  // keep the first error
+    ok_ = false;
+  }
+
+  std::map<std::string, std::string> values_;
+  mutable bool ok_ = true;
+  mutable std::string error_;
+};
+
+}  // namespace vadalink::cli

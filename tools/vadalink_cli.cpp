@@ -12,9 +12,8 @@
 //   vadalink screen --in reg_aug --borrower 3 --guarantor 9
 //   vadalink reason --in reg --program rules.vada --query control
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,54 +30,38 @@
 #include "graph/dot_export.h"
 #include "graph/graph_io.h"
 #include "gen/evolution.h"
+#include "tools/cli_flags.h"
 
 using namespace vadalink;
 
 namespace {
 
-/// Minimal --flag value parser: flags may appear in any order.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
-        ok_ = false;
-        return;
-      }
-      values_[key.substr(2)] = argv[i + 1];
-    }
-    if ((argc - first) % 2 != 0) {
-      std::fprintf(stderr, "flag '%s' is missing a value\n", argv[argc - 1]);
-      ok_ = false;
-    }
-  }
-
-  bool ok() const { return ok_; }
-
-  std::string Get(const std::string& key, const std::string& fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
-  }
-  double GetDouble(const std::string& key, double fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
-  }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-
- private:
-  std::map<std::string, std::string> values_;
-  bool ok_ = true;
-};
+using cli::Flags;
 
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
+}
+
+/// Returns a non-OK status if any typed getter saw a malformed value.
+Status FlagErrors(const Flags& flags) {
+  if (!flags.ok()) return Status::InvalidArgument(flags.error());
+  return Status::OK();
+}
+
+/// Builds a RunContext from --deadline-ms / --max-facts; nullptr when
+/// neither flag is set (unlimited run).
+std::unique_ptr<RunContext> GovernorFromFlags(const Flags& flags) {
+  if (!flags.Has("deadline-ms") && !flags.Has("max-facts")) return nullptr;
+  auto ctx = std::make_unique<RunContext>();
+  if (flags.Has("deadline-ms")) {
+    ctx->set_deadline_after_ms(flags.GetInt("deadline-ms", 0));
+  }
+  if (flags.Has("max-facts")) {
+    ctx->set_work_budget(
+        static_cast<uint64_t>(flags.GetInt("max-facts", 0)));
+  }
+  return ctx;
 }
 
 Result<graph::PropertyGraph> LoadIn(const Flags& flags) {
@@ -118,6 +101,7 @@ int CmdGenerate(const Flags& flags) {
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 2020));
   cfg.share_density = flags.GetDouble("density", cfg.share_density);
   cfg.typo_rate = flags.GetDouble("typo-rate", cfg.typo_rate);
+  if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
   auto data = gen::GenerateRegister(cfg);
   if (Status st = SaveOut(data.graph, flags); !st.ok()) return Fail(st);
   std::printf("generated %zu persons, %zu companies, %zu shareholdings "
@@ -153,8 +137,10 @@ int CmdAugment(const Flags& flags) {
   core::AugmentConfig cfg;
   cfg.max_rounds = static_cast<size_t>(flags.GetInt("rounds", 2));
   cfg.use_embedding = !flags.Has("no-embedding");
+  auto governor = GovernorFromFlags(flags);
+  if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
   auto vl = core::MakeDefaultVadaLink(cfg);
-  auto stats = vl.Augment(&g.value());
+  auto stats = vl.Augment(&g.value(), governor.get());
   if (!stats.ok()) return Fail(stats.status());
   if (Status st = SaveOut(*g, flags); !st.ok()) return Fail(st);
   std::printf("added %zu links in %zu rounds (%zu pairs compared; embed "
@@ -162,6 +148,15 @@ int CmdAugment(const Flags& flags) {
               stats->links_added, stats->rounds, stats->pairs_compared,
               stats->embed_seconds, stats->candidate_seconds,
               flags.Get("out", "").c_str());
+  if (stats->degraded_rounds > 0) {
+    std::printf("degraded %zu round(s) to blocking-only (embedding stage "
+                "over budget)\n", stats->degraded_rounds);
+  }
+  if (stats->truncated) {
+    std::printf("stopped early: %s (%zu deadline hit(s)); links from "
+                "completed work were kept\n",
+                stats->interrupt.ToString().c_str(), stats->deadline_hits);
+  }
   return 0;
 }
 
@@ -173,11 +168,13 @@ int CmdControl(const Flags& flags) {
   double threshold = flags.GetDouble("threshold", 0.5);
   if (flags.Has("source")) {
     auto src = static_cast<graph::NodeId>(flags.GetInt("source", 0));
+    if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
     for (graph::NodeId y : company::ControlledBy(*cg, src, threshold)) {
       std::printf("%u (%s)\n", y, NameOf(*g, y).c_str());
     }
     return 0;
   }
+  if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
   auto edges = company::AllControlEdges(*cg, threshold);
   for (const auto& e : edges) {
     std::printf("%u -> %u   (%s -> %s)\n", e.controller, e.controlled,
@@ -195,6 +192,7 @@ int CmdCloseLinks(const Flags& flags) {
   if (!cg.ok()) return Fail(cg.status());
   company::CloseLinkConfig cfg;
   cfg.threshold = flags.GetDouble("threshold", 0.2);
+  if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
   auto links = company::AllCloseLinks(*cg, cfg);
   for (const auto& e : links) {
     const char* why =
@@ -219,6 +217,7 @@ int CmdUbo(const Flags& flags) {
   }
   auto target = static_cast<graph::NodeId>(flags.GetInt("target", 0));
   double threshold = flags.GetDouble("threshold", 0.25);
+  if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
   auto owners = company::UltimateOwnersOf(*cg, target, threshold);
   for (const auto& ubo : owners) {
     std::printf("%u (%s): %.1f%% integrated\n", ubo.person,
@@ -241,9 +240,10 @@ int CmdScreen(const Flags& flags) {
   company::EligibilityConfig cfg;
   cfg.close_link.threshold = flags.GetDouble("threshold", 0.2);
   cfg.families = core::FamiliesFromGraph(*g);  // uses detected family edges
-  auto decision = company::ScreenGuarantor(
-      *cg, static_cast<graph::NodeId>(flags.GetInt("borrower", 0)),
-      static_cast<graph::NodeId>(flags.GetInt("guarantor", 0)), cfg);
+  auto borrower = static_cast<graph::NodeId>(flags.GetInt("borrower", 0));
+  auto guarantor = static_cast<graph::NodeId>(flags.GetInt("guarantor", 0));
+  if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
+  auto decision = company::ScreenGuarantor(*cg, borrower, guarantor, cfg);
   const char* verdict =
       decision.verdict == company::EligibilityVerdict::kEligible
           ? "ELIGIBLE"
@@ -269,6 +269,9 @@ int CmdReason(const Flags& flags) {
   std::ostringstream ss;
   ss << in.rdbuf();
 
+  auto governor = GovernorFromFlags(flags);
+  if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
+
   core::KnowledgeGraph kg;
   *kg.mutable_graph() = std::move(g).value();
   if (Status st = kg.AddRules(ss.str()); !st.ok()) return Fail(st);
@@ -277,7 +280,7 @@ int CmdReason(const Flags& flags) {
     std::fprintf(stderr, "warning: program is not warded; evaluation is "
                          "guarded by engine limits\n");
   }
-  auto stats = kg.Reason();
+  auto stats = kg.Reason(governor.get());
   if (!stats.ok()) return Fail(stats.status());
   std::printf("derived %zu facts (%zu -> %zu), materialised %zu links\n",
               stats->engine.facts_derived, stats->facts_before,
@@ -320,6 +323,7 @@ int CmdEvolve(const Flags& flags) {
   cfg.first_year = static_cast<int>(flags.GetInt("from", 2005));
   cfg.last_year = static_cast<int>(flags.GetInt("to", 2018));
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 2005));
+  if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
   std::string base = flags.Get("out", "");
   if (base.empty()) {
     return Fail(Status::InvalidArgument("missing --out <basename>"));
@@ -347,15 +351,22 @@ commands:
               [--density D] [--typo-rate R]
   stats       --in BASE
   augment     --in BASE --out BASE2 [--rounds N] [--no-embedding 1]
+              [--deadline-ms MS] [--max-facts N]
   control     --in BASE [--source ID] [--threshold T]
   closelinks  --in BASE [--threshold T]
   ubo         --in BASE --target ID [--threshold T]
   screen      --in BASE --borrower ID --guarantor ID [--threshold T]
   reason      --in BASE --program FILE.vada [--query PRED] [--out BASE2]
+              [--deadline-ms MS] [--max-facts N]
   dot         --in BASE [--out FILE.dot]
   evolve      --out BASE [--persons N] [--from Y] [--to Y] [--seed S]
 
 BASE refers to the CSV pair BASE_nodes.csv / BASE_edges.csv.
+
+--deadline-ms bounds the wall-clock time of the run; --max-facts bounds
+its work budget (derived facts for 'reason', compared pairs for
+'augment'). 'augment' degrades gracefully (partial results are kept and
+reported); 'reason' fails with DeadlineExceeded / ResourceExhausted.
 )");
 }
 
@@ -369,6 +380,7 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   Flags flags(argc, argv, 2);
   if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.error().c_str());
     Usage();
     return 1;
   }
