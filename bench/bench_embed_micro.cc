@@ -84,7 +84,7 @@ void BM_EndToEndClusterer(benchmark::State& state) {
   EmbedClusterer clusterer(cfg);
   for (auto _ : state) {
     auto assignment = clusterer.Cluster(g);
-    benchmark::DoNotOptimize(assignment.size());
+    benchmark::DoNotOptimize(assignment.ok() ? assignment->size() : 0);
   }
 }
 BENCHMARK(BM_EndToEndClusterer)->Arg(1000)->Arg(3000);

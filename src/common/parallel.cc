@@ -1,0 +1,187 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace vadalink {
+
+namespace {
+
+/// Pool the current thread is executing a chunk for (worker or caller);
+/// used to run nested ParallelFor calls inline instead of deadlocking on
+/// the single job slot.
+thread_local const ThreadPool* g_active_pool = nullptr;
+
+class ActivePoolScope {
+ public:
+  explicit ActivePoolScope(const ThreadPool* pool) : saved_(g_active_pool) {
+    g_active_pool = pool;
+  }
+  ~ActivePoolScope() { g_active_pool = saved_; }
+
+ private:
+  const ThreadPool* saved_;
+};
+
+}  // namespace
+
+size_t ParallelOptions::EffectiveThreads() const {
+  if (threads != 0) return threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+Status ParallelOptions::Validate() const {
+  constexpr size_t kMaxThreads = 4096;
+  if (threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "ParallelOptions.threads = " + std::to_string(threads) +
+        " exceeds the sanity cap of " + std::to_string(kMaxThreads));
+  }
+  if (grain > (size_t{1} << 32)) {
+    return Status::InvalidArgument(
+        "ParallelOptions.grain = " + std::to_string(grain) +
+        " exceeds the sanity cap of 2^32");
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<ThreadPool> MakeThreadPool(const ParallelOptions& options) {
+  size_t threads = options.EffectiveThreads();
+  if (threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads, options.grain);
+}
+
+ThreadPool::ThreadPool(size_t threads, size_t default_grain)
+    : thread_count_(threads < 1 ? 1 : threads),
+      default_grain_(default_grain) {
+  workers_.reserve(thread_count_ - 1);
+  for (size_t i = 0; i + 1 < thread_count_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunks(size_t num_chunks,
+                           const std::function<void(size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (workers_.empty() || num_chunks == 1 || g_active_pool == this) {
+    // Single-threaded pool, trivial job, or a nested call from inside one
+    // of our own chunks: run inline.
+    ActivePoolScope scope(this);
+    for (size_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gen = ++job_gen_;
+    job_fn_ = &fn;
+    job_chunks_ = num_chunks;
+    completed_.store(0, std::memory_order_relaxed);
+    claim_.store(gen << 32, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  {
+    ActivePoolScope scope(this);
+    DrainChunks(gen, num_chunks, fn);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return completed_.load(std::memory_order_acquire) == num_chunks;
+    });
+    // Deregister so a late-waking worker does not pick the finished job
+    // up again; `fn` (caller stack) must not be touched past this point.
+    job_fn_ = nullptr;
+  }
+}
+
+void ThreadPool::DrainChunks(uint64_t gen, size_t num_chunks,
+                             const std::function<void(size_t)>& fn) {
+  for (;;) {
+    uint64_t cur = claim_.load(std::memory_order_acquire);
+    if ((cur >> 32) != gen) return;  // superseded by a newer job
+    size_t chunk = static_cast<size_t>(cur & 0xffffffffULL);
+    if (chunk >= num_chunks) return;  // every chunk already claimed
+    if (!claim_.compare_exchange_weak(cur, cur + 1,
+                                      std::memory_order_acq_rel)) {
+      continue;
+    }
+    fn(chunk);
+    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        num_chunks) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn = nullptr;
+    uint64_t gen = 0;
+    size_t chunks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_fn_ != nullptr && job_gen_ != seen);
+      });
+      if (stop_) return;
+      fn = job_fn_;
+      gen = job_gen_;
+      chunks = job_chunks_;
+      seen = gen;
+    }
+    ActivePoolScope scope(this);
+    DrainChunks(gen, chunks, *fn);
+  }
+}
+
+size_t ResolveGrain(size_t n, size_t grain, const ThreadPool* pool) {
+  if (grain == 0 && pool != nullptr) grain = pool->default_grain();
+  if (grain == 0) grain = n / 64;  // thread-count independent default
+  return grain == 0 ? 1 : grain;
+}
+
+Status ParallelFor(
+    ThreadPool* pool, size_t n, size_t grain, const RunContext* run_ctx,
+    const std::function<Status(size_t, size_t, size_t)>& body) {
+  if (n == 0) return Status::OK();
+  const size_t g = ResolveGrain(n, grain, pool);
+  const size_t num_chunks = (n + g - 1) / g;
+
+  if (pool == nullptr || pool->thread_count() <= 1 || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      VL_RETURN_NOT_OK(CheckRunNow(run_ctx));
+      VL_RETURN_NOT_OK(body(c * g, std::min(n, c * g + g), c));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Status> statuses(num_chunks);
+  std::atomic<bool> failed{false};
+  pool->RunChunks(num_chunks, [&](size_t c) {
+    if (failed.load(std::memory_order_relaxed)) return;  // cancelled
+    Status st = CheckRunNow(run_ctx);
+    if (st.ok()) st = body(c * g, std::min(n, c * g + g), c);
+    if (!st.ok()) {
+      statuses[c] = std::move(st);
+      failed.store(true, std::memory_order_relaxed);
+    }
+  });
+  for (size_t c = 0; c < num_chunks; ++c) {
+    if (!statuses[c].ok()) return statuses[c];
+  }
+  return Status::OK();
+}
+
+}  // namespace vadalink

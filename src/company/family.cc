@@ -66,7 +66,10 @@ std::vector<PersonLink> DetectPersonLinks(
     const linkage::Blocker* blocker, FamilyDetectorConfig config) {
   std::vector<std::vector<graph::NodeId>> blocks;
   if (blocker != nullptr) {
-    blocks = blocker->GroupByBlock(g, persons);
+    // No RunContext or pool here: grouping cannot fail, so the Result is
+    // always a value.
+    auto grouped = blocker->GroupByBlock(g, persons);
+    blocks = std::move(grouped).value();
   } else {
     blocks.push_back(persons);
   }

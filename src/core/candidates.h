@@ -40,6 +40,13 @@ class Candidate {
   virtual bool is_pairwise() const = 0;
 
   /// Pairwise: decide on one pair. Default: no link.
+  ///
+  /// Thread-safety contract: when VadaLink runs with ParallelOptions
+  /// threads > 1, TestPair is called concurrently from multiple worker
+  /// threads against a frozen round graph. Implementations must therefore
+  /// be read-only with respect to both `g` and their own state (the
+  /// built-in FamilyCandidate is: the classifier and the link-kind rules
+  /// are pure).
   virtual std::optional<PredictedLink> TestPair(const graph::PropertyGraph& g,
                                                 graph::NodeId x,
                                                 graph::NodeId y) {

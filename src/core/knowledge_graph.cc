@@ -42,9 +42,14 @@ Result<ReasonStats> KnowledgeGraph::Reason(const RunContext* run_ctx) {
   VL_RETURN_NOT_OK(LoadGraphFacts(graph_, db_.get()));
   stats.facts_before = db_->TotalFacts();
 
+  VL_RETURN_NOT_OK(parallel_.Validate());
+  // The pool is a member so it outlives the engine (which keeps a raw
+  // pointer to it for Explain()-era state).
+  pool_ = MakeThreadPool(parallel_);
   datalog::EngineOptions options;
   options.trace_provenance = true;
   options.run_ctx = run_ctx;
+  options.pool = pool_.get();
   engine_ = std::make_unique<datalog::Engine>(db_.get(), options);
   for (const auto& [name, fn] : extra_fns_) {
     engine_->functions()->Register(name, fn);

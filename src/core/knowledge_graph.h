@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/run_context.h"
 #include "common/status.h"
 #include "datalog/engine.h"
@@ -55,6 +56,15 @@ class KnowledgeGraph {
   /// Registers an external '#function' available to the rules.
   void RegisterFunction(std::string name, datalog::ExternalFn fn);
 
+  /// Concurrency for Reason(): eligible rules evaluate their delta joins
+  /// over a pool of this many threads (see EngineOptions::pool; the final
+  /// fact set is identical at every thread count). threads = 1 (default)
+  /// keeps the sequential engine.
+  void set_parallel(ParallelOptions parallel) {
+    parallel_ = std::move(parallel);
+  }
+  const ParallelOptions& parallel() const { return parallel_; }
+
   /// Runs all programs to fixpoint against the current graph and
   /// materialises derived control/closelink/partnerof/parentof/siblingof
   /// facts as typed edges. Each call starts from a fresh fact base.
@@ -85,6 +95,8 @@ class KnowledgeGraph {
   datalog::Catalog catalog_;
   datalog::Program combined_;  // all programs merged
   std::vector<std::pair<std::string, datalog::ExternalFn>> extra_fns_;
+  ParallelOptions parallel_;
+  std::unique_ptr<ThreadPool> pool_;           // last run's pool (if any)
   std::unique_ptr<datalog::Database> db_;      // last run's fact base
   std::unique_ptr<datalog::Engine> engine_;    // last run's engine
 };

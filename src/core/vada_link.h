@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/run_context.h"
 #include "common/status.h"
 #include "core/candidates.h"
@@ -46,6 +47,12 @@ struct AugmentConfig {
   /// units (node2vec walks + k-means iterations). 0 = unlimited. Exceeding
   /// it degrades the round exactly like a sub-deadline expiry.
   size_t embed_work_budget = 0;
+  /// Concurrency of the embedding, blocking and pairwise-candidate stages.
+  /// threads = 1 (the default) keeps the sequential legacy path and
+  /// reproduces today's byte-identical outputs; with use_embedding = false
+  /// the committed links are identical at *every* thread count (the
+  /// hogwild skip-gram stage is the only nondeterministic parallel stage).
+  ParallelOptions parallel;
 };
 
 struct AugmentStats {

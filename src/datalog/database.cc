@@ -32,12 +32,22 @@ int64_t Relation::Find(const std::vector<Value>& tuple) const {
 }
 
 void Relation::ExtendIndex(size_t pos) const {
+  // Early return keeps Probe a pure read on a warm index (the parallel
+  // match phase relies on this; see WarmIndex).
+  if (pos_indexes_[pos] && pos_indexes_[pos]->indexed_upto == tuples_.size()) {
+    return;
+  }
   if (!pos_indexes_[pos]) pos_indexes_[pos] = std::make_unique<PosIndex>();
   PosIndex& index = *pos_indexes_[pos];
   for (size_t i = index.indexed_upto; i < tuples_.size(); ++i) {
     index.map[tuples_[i][pos]].push_back(static_cast<uint32_t>(i));
   }
   index.indexed_upto = tuples_.size();
+}
+
+void Relation::WarmIndex(size_t pos) const {
+  if (pos >= pos_indexes_.size()) return;
+  ExtendIndex(pos);
 }
 
 const std::vector<uint32_t>* Relation::Probe(size_t pos,

@@ -38,7 +38,17 @@ class Relation {
   /// Indices of tuples whose argument `pos` equals `v` (lazily indexed).
   /// The returned pointer is invalidated by the next Insert. May be null
   /// (no matches).
+  ///
+  /// Probe lazily (re)builds the index, so concurrent Probes race unless
+  /// the index is already current — parallel read-only consumers must call
+  /// WarmIndex(pos) for every position they will probe first.
   const std::vector<uint32_t>* Probe(size_t pos, const Value& v) const;
+
+  /// Brings the lazy index of argument `pos` up to date so that
+  /// subsequent Probe(pos, ...) calls are pure reads (safe from multiple
+  /// threads as long as no Insert happens concurrently). No-op for an
+  /// out-of-range pos.
+  void WarmIndex(size_t pos) const;
 
  private:
   void ExtendIndex(size_t pos) const;

@@ -16,6 +16,17 @@ bool ValuesEqualCoerced(const Value& a, const Value& b) {
   return false;
 }
 
+/// True if the expression tree contains a '#function' call (calls may
+/// intern symbols or invent Skolem terms, so they disqualify a rule from
+/// the parallel match phase).
+bool HasCall(const Expr& e) {
+  if (e.op == Expr::Op::kCall) return true;
+  for (const Expr& c : e.children) {
+    if (HasCall(c)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Value Engine::AggState::Current(AggKind kind) const {
@@ -199,6 +210,49 @@ Status Engine::Prepare(const Program& program) {
       VL_RETURN_NOT_OK(st);
     }
 
+    // Parallel eligibility + static probe positions (see CompiledRule).
+    cr.parallel_ok = !cr.has_agg && cr.existential_vars.empty() &&
+                     !cr.rule.body.empty() &&
+                     cr.rule.body[0].kind == Literal::Kind::kAtom;
+    for (const Literal& l : cr.rule.body) {
+      if (!cr.parallel_ok) break;
+      if (l.kind == Literal::Kind::kComparison &&
+          (HasCall(l.lhs) || HasCall(l.rhs))) {
+        cr.parallel_ok = false;
+      }
+      if (l.kind == Literal::Kind::kAssignment && HasCall(l.rhs)) {
+        cr.parallel_ok = false;
+      }
+    }
+    if (cr.parallel_ok) {
+      // Boundness before literal i is static: the union of variables of
+      // earlier positive atoms and earlier assignment targets — exactly
+      // what MatchFrom's dynamic bound vector holds at that depth. The
+      // probe position of each non-leading atom (first constant or bound
+      // argument) is therefore static too.
+      std::vector<bool> sbound(nvars, false);
+      for (size_t i = 0; i < cr.rule.body.size(); ++i) {
+        const Literal& l = cr.rule.body[i];
+        if (l.kind == Literal::Kind::kAtom) {
+          if (i > 0) {
+            for (size_t a = 0; a < l.atom.args.size(); ++a) {
+              const Term& t = l.atom.args[a];
+              if (!t.is_var() || sbound[t.var]) {
+                cr.warm_probes.push_back(
+                    {l.atom.predicate, static_cast<uint32_t>(a)});
+                break;
+              }
+            }
+          }
+          for (const Term& t : l.atom.args) {
+            if (t.is_var()) sbound[t.var] = true;
+          }
+        } else if (l.kind == Literal::Kind::kAssignment) {
+          sbound[l.target_var] = true;
+        }
+      }
+    }
+
     compiled_.push_back(std::move(cr));
   }
   return Status::OK();
@@ -368,14 +422,35 @@ Status Engine::MatchFrom(
     const std::vector<std::pair<size_t, size_t>>& deltas,
     std::vector<Value>* subst, std::vector<bool>* bound,
     std::vector<std::pair<uint32_t, uint32_t>>* premises,
-    bool* inserted_any) {
+    bool* inserted_any, std::vector<CollectedMatch>* collect) {
   if (pos == cr.rule.body.size()) {
+    if (collect != nullptr) {
+      // Parallel collect phase: capture the match, defer every mutation
+      // (insert, stats, provenance) to the sequential commit.
+      CollectedMatch m;
+      m.premises = *premises;
+      m.head_tuples.reserve(cr.rule.head.size());
+      for (const Atom& head : cr.rule.head) {
+        std::vector<Value> tuple;
+        tuple.reserve(head.args.size());
+        for (const Term& t : head.args) {
+          tuple.push_back(t.is_var() ? (*subst)[t.var] : t.constant);
+        }
+        m.head_tuples.push_back(std::move(tuple));
+      }
+      collect->push_back(std::move(m));
+      return Status::OK();
+    }
     return EmitHead(cr, subst, *premises, inserted_any);
   }
   const Literal& lit = cr.rule.body[pos];
   switch (lit.kind) {
     case Literal::Kind::kAtom: {
-      const Relation* rel = db_->relation(lit.atom.predicate);
+      // Const lookup: the non-const overload may resize the relation
+      // vector, which the parallel collect phase must never do (and the
+      // sequential path does not need).
+      const Relation* rel =
+          static_cast<const Database*>(db_)->relation(lit.atom.predicate);
       if (rel == nullptr || rel->size() == 0) return Status::OK();
       if (rel->arity() != lit.atom.args.size()) {
         return Status::InvalidArgument(
@@ -436,7 +511,7 @@ Status Engine::MatchFrom(
       for (uint32_t idx : candidates) {
         VL_RETURN_NOT_OK(CheckRun(options_.run_ctx));
         // Copy the tuple: relation storage may move during recursion.
-        std::vector<Value> tuple = db_->relation(lit.atom.predicate)->tuple(idx);
+        std::vector<Value> tuple = rel->tuple(idx);
         std::vector<uint32_t> newly_bound;
         bool match = true;
         for (size_t a = 0; a < lit.atom.args.size() && match; ++a) {
@@ -454,7 +529,7 @@ Status Engine::MatchFrom(
         if (match) {
           premises->push_back({lit.atom.predicate, idx});
           Status st = MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst,
-                                bound, premises, inserted_any);
+                                bound, premises, inserted_any, collect);
           premises->pop_back();
           if (!st.ok()) return st;
         }
@@ -469,7 +544,8 @@ Status Engine::MatchFrom(
       for (const Term& t : lit.atom.args) {
         tuple.push_back(t.is_var() ? (*subst)[t.var] : t.constant);
       }
-      const Relation* rel = db_->relation(lit.atom.predicate);
+      const Relation* rel =
+          static_cast<const Database*>(db_)->relation(lit.atom.predicate);
       if (rel != nullptr && rel->arity() != SIZE_MAX &&
           rel->arity() != tuple.size()) {
         return Status::InvalidArgument(
@@ -478,14 +554,14 @@ Status Engine::MatchFrom(
       }
       if (rel != nullptr && rel->Contains(tuple)) return Status::OK();
       return MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst, bound,
-                       premises, inserted_any);
+                       premises, inserted_any, collect);
     }
 
     case Literal::Kind::kComparison: {
       VL_ASSIGN_OR_RETURN(bool pass, EvalComparison(lit, cr, *subst));
       if (!pass) return Status::OK();
       return MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst, bound,
-                       premises, inserted_any);
+                       premises, inserted_any, collect);
     }
 
     case Literal::Kind::kAssignment: {
@@ -496,12 +572,12 @@ Status Engine::MatchFrom(
             return Status::OK();
           }
           return MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst,
-                           bound, premises, inserted_any);
+                           bound, premises, inserted_any, collect);
         }
         (*subst)[lit.target_var] = v;
         (*bound)[lit.target_var] = true;
         Status st = MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst,
-                              bound, premises, inserted_any);
+                              bound, premises, inserted_any, collect);
         (*bound)[lit.target_var] = false;
         return st;
       }
@@ -584,6 +660,140 @@ Status Engine::EvalRule(CompiledRule& cr, int delta_occurrence,
                    &inserted_any);
 }
 
+Status Engine::CommitMatch(CompiledRule& cr, const CollectedMatch& match) {
+  ++stats_.body_matches;
+  VL_RETURN_NOT_OK(CheckRun(options_.run_ctx));
+  for (size_t h = 0; h < cr.rule.head.size(); ++h) {
+    const Atom& head = cr.rule.head[h];
+    VL_ASSIGN_OR_RETURN(bool inserted,
+                        db_->Insert(head.predicate, match.head_tuples[h]));
+    if (inserted) {
+      ++stats_.facts_derived;
+      VL_RETURN_NOT_OK(ConsumeRunWork(options_.run_ctx, 1));
+      if (options_.trace_provenance) {
+        const Relation* rel = db_->relation(head.predicate);
+        uint64_t key = (static_cast<uint64_t>(head.predicate) << 32) |
+                       static_cast<uint64_t>(rel->size() - 1);
+        provenance_.emplace(key, Derivation{cr.id, match.premises});
+      }
+    }
+  }
+  if (db_->TotalFacts() > options_.max_facts) {
+    return Status::ResourceExhausted("fact limit exceeded (" +
+                                     std::to_string(options_.max_facts) +
+                                     "); chase aborted");
+  }
+  return Status::OK();
+}
+
+Status Engine::ParallelEvalRule(
+    CompiledRule& cr, int delta_occurrence,
+    const std::vector<std::pair<size_t, size_t>>& deltas) {
+  const Database* cdb = static_cast<const Database*>(db_);
+  // Warm every index the workers will probe; from here to the commit loop
+  // the database is only read.
+  for (const auto& [pred, arg_pos] : cr.warm_probes) {
+    const Relation* r = cdb->relation(pred);
+    if (r != nullptr) r->WarmIndex(arg_pos);
+  }
+
+  // Leading atom (guaranteed by parallel_ok): enumerate its candidates
+  // exactly like MatchFrom would, then fan the list out in chunks.
+  const Literal& lit = cr.rule.body[0];
+  const Relation* rel = cdb->relation(lit.atom.predicate);
+  if (rel == nullptr || rel->size() == 0) return Status::OK();
+  if (rel->arity() != lit.atom.args.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch for predicate '" +
+        db_->catalog()->predicates.Name(lit.atom.predicate) +
+        "' in rule at line " + std::to_string(cr.rule.line));
+  }
+  size_t lo = 0, hi = rel->size();
+  if (delta_occurrence == 0) {
+    lo = deltas[lit.atom.predicate].first;
+    hi = std::min(hi, deltas[lit.atom.predicate].second);
+    if (lo >= hi) return Status::OK();
+  }
+  int probe_pos = -1;
+  Value probe_val;
+  for (size_t a = 0; a < lit.atom.args.size(); ++a) {
+    const Term& t = lit.atom.args[a];
+    if (!t.is_var()) {  // no variable is bound at depth 0
+      probe_pos = static_cast<int>(a);
+      probe_val = t.constant;
+      break;
+    }
+  }
+  std::vector<uint32_t> candidates;
+  if (probe_pos >= 0) {
+    const std::vector<uint32_t>* hits = rel->Probe(probe_pos, probe_val);
+    if (hits == nullptr) return Status::OK();
+    candidates.reserve(hits->size());
+    for (uint32_t idx : *hits) {
+      if (idx >= lo && idx < hi) candidates.push_back(idx);
+    }
+  } else {
+    candidates.reserve(hi - lo);
+    for (size_t idx = lo; idx < hi; ++idx) {
+      candidates.push_back(static_cast<uint32_t>(idx));
+    }
+  }
+  if (candidates.empty()) return Status::OK();
+
+  const size_t nvars = cr.rule.var_names.size();
+  const size_t g = ResolveGrain(candidates.size(), 0, options_.pool);
+  const size_t num_chunks = (candidates.size() + g - 1) / g;
+  std::vector<std::vector<CollectedMatch>> chunk_matches(num_chunks);
+  Status match_st = ParallelFor(
+      options_.pool, candidates.size(), 0, options_.run_ctx,
+      [&](size_t begin, size_t end, size_t chunk) {
+        std::vector<Value> subst(nvars);
+        std::vector<bool> bound(nvars, false);
+        std::vector<std::pair<uint32_t, uint32_t>> premises;
+        bool inserted_any = false;  // unused in collect mode
+        std::vector<CollectedMatch>* out = &chunk_matches[chunk];
+        for (size_t i = begin; i < end; ++i) {
+          VL_RETURN_NOT_OK(CheckRun(options_.run_ctx));
+          uint32_t idx = candidates[i];
+          const std::vector<Value>& tuple = rel->tuple(idx);
+          std::vector<uint32_t> newly_bound;
+          bool match = true;
+          for (size_t a = 0; a < lit.atom.args.size() && match; ++a) {
+            const Term& t = lit.atom.args[a];
+            if (!t.is_var()) {
+              match = tuple[a] == t.constant;
+            } else if (bound[t.var]) {
+              match = tuple[a] == subst[t.var];
+            } else {
+              subst[t.var] = tuple[a];
+              bound[t.var] = true;
+              newly_bound.push_back(t.var);
+            }
+          }
+          if (match) {
+            premises.push_back({lit.atom.predicate, idx});
+            Status st = MatchFrom(cr, 1, delta_occurrence, deltas, &subst,
+                                  &bound, &premises, &inserted_any, out);
+            premises.pop_back();
+            if (!st.ok()) return st;
+          }
+          for (uint32_t v : newly_bound) bound[v] = false;
+        }
+        return Status::OK();
+      });
+
+  // Single-threaded merge in ascending chunk order keeps insert order —
+  // and thus fact indices, provenance and stats — deterministic. Chunks
+  // that completed before a governor trip still commit, mirroring the
+  // sequential "facts derived before the trip stay" behavior.
+  for (const auto& matches : chunk_matches) {
+    for (const CollectedMatch& m : matches) {
+      VL_RETURN_NOT_OK(CommitMatch(cr, m));
+    }
+  }
+  return match_st;
+}
+
 // ---------------------------------------------------------------------------
 // Fixpoint driver
 // ---------------------------------------------------------------------------
@@ -603,12 +813,25 @@ Status Engine::EvalStratum(const std::vector<uint32_t>& rule_ids,
   const size_t num_preds = db_->catalog()->predicates.size();
   auto sizes = [&]() { return RelationSizes(); };
 
+  // Parallel delta joins need a pool with real workers and an eligible
+  // rule; everything else takes the sequential evaluator. threads = 1
+  // keeps the legacy path bit-identical.
+  const bool pooled =
+      options_.pool != nullptr && options_.pool->thread_count() > 1;
+  auto eval_rule = [&](CompiledRule& cr, int delta_occurrence,
+                       const std::vector<std::pair<size_t, size_t>>& deltas) {
+    if (pooled && cr.parallel_ok) {
+      return ParallelEvalRule(cr, delta_occurrence, deltas);
+    }
+    return EvalRule(cr, delta_occurrence, deltas);
+  };
+
   std::vector<size_t> before;
   if (initial_before == nullptr) {
     // Naive first pass.
     before = sizes();
     for (uint32_t r : rule_ids) {
-      VL_RETURN_NOT_OK(EvalRule(compiled_[r], -1, {}));
+      VL_RETURN_NOT_OK(eval_rule(compiled_[r], -1, {}));
     }
   } else {
     // Incremental: the delta window opens at the previous run's sizes.
@@ -637,7 +860,7 @@ Status Engine::EvalStratum(const std::vector<uint32_t>& rule_ids,
         uint32_t pred =
             cr.rule.body[cr.positive_atoms[k]].atom.predicate;
         if (deltas[pred].first >= deltas[pred].second) continue;
-        VL_RETURN_NOT_OK(EvalRule(cr, static_cast<int>(k), deltas));
+        VL_RETURN_NOT_OK(eval_rule(cr, static_cast<int>(k), deltas));
       }
     }
     after = sizes();

@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/run_context.h"
 #include "common/status.h"
 #include "datalog/ast.h"
@@ -40,6 +41,15 @@ struct EngineOptions {
   /// inside the match loops and charged one work unit per derived fact.
   /// nullptr = unlimited. Must outlive the engine calls that use it.
   const RunContext* run_ctx = nullptr;
+  /// Optional thread pool for per-rule delta-join evaluation (not owned;
+  /// must outlive the engine calls that use it). Eligible rules (no
+  /// aggregates, no existential variables, no function calls, leading
+  /// positive atom) match against a read-only database snapshot in
+  /// parallel and their head facts are merged single-threaded in chunk
+  /// order, preserving deterministic semi-naive semantics: the final fact
+  /// set is identical at every thread count. nullptr or a 1-thread pool
+  /// keeps the fully sequential evaluator.
+  ThreadPool* pool = nullptr;
 };
 
 struct EngineStats {
@@ -61,6 +71,15 @@ class Engine {
   /// Evaluates `program` to fixpoint over the engine's database. Facts in
   /// the program are asserted first. Idempotent w.r.t. already present
   /// facts. Aggregate state is reset at the start of each call.
+  ///
+  /// Error codes:
+  ///  * kInvalidArgument — a rule cannot be ordered for evaluation, an
+  ///    unknown '#function' is referenced, an arity mismatch is detected,
+  ///    or the program cannot be stratified;
+  ///  * kResourceExhausted — max_iterations or max_facts exceeded, or the
+  ///    RunContext work budget ran out;
+  ///  * kDeadlineExceeded — the RunContext wall-clock deadline expired;
+  ///  * kCancelled — RunContext::RequestCancel() was observed.
   Status Run(const Program& program);
 
   /// Incremental continuation after a completed Run() of the same program:
@@ -73,6 +92,12 @@ class Engine {
   /// delta window is then unreliable, so callers must re-establish the
   /// fixpoint with Run() — which is sound, because every fact an aborted
   /// chase derived is a genuine consequence.
+  ///
+  /// Error codes (in addition to everything Run() can return):
+  ///  * kInvalidArgument — the previous run aborted (deadline / budget /
+  ///    cancellation), so the delta window is unreliable;
+  ///  * kUnsupported — the program uses negation, which is not monotonic
+  ///    under fact insertion.
   Status RunIncremental(const Program& program);
 
   const EngineStats& stats() const { return stats_; }
@@ -95,6 +120,17 @@ class Engine {
     bool has_agg = false;
     size_t agg_pos = 0;
     std::vector<uint32_t> agg_group_vars;
+    /// True when the rule's match phase is pure w.r.t. engine and database
+    /// state and may fan out over a thread pool: no aggregate, no
+    /// existential variables (null invention mutates the registry), no
+    /// '#function' calls (they may intern symbols), and a leading positive
+    /// atom to chunk over.
+    bool parallel_ok = false;
+    /// (predicate, argument position) indexes the parallel match phase
+    /// will probe; pre-warmed so Probe is a pure read from the workers.
+    /// Probe positions are static: boundness at each body position is a
+    /// pure function of the compiled literal order.
+    std::vector<std::pair<uint32_t, uint32_t>> warm_probes;
   };
 
   struct VecValueHash {
@@ -122,14 +158,34 @@ class Engine {
   Status EvalStratum(const std::vector<uint32_t>& rule_ids,
                      const std::vector<size_t>* initial_before);
   std::vector<size_t> RelationSizes() const;
+  /// One complete body match captured by the parallel collect phase:
+  /// fully evaluated head tuples (aligned with rule.head) plus premises.
+  struct CollectedMatch {
+    std::vector<std::vector<Value>> head_tuples;
+    std::vector<std::pair<uint32_t, uint32_t>> premises;
+  };
+
   Status EvalRule(CompiledRule& rule, int delta_occurrence,
                   const std::vector<std::pair<size_t, size_t>>& deltas);
+  /// Parallel delta join for a parallel_ok rule: chunks the leading atom's
+  /// candidate tuples over options_.pool, each chunk matching read-only
+  /// into CollectedMatch lists, then commits every match sequentially in
+  /// chunk order (insert, stats, provenance, work charge, fact limit).
+  /// Head facts surface one iteration later than with EvalRule (deferred
+  /// inserts cannot re-feed the same pass), which is sound for the
+  /// semi-naive fixpoint and leaves the final fact set identical.
+  Status ParallelEvalRule(CompiledRule& rule, int delta_occurrence,
+                          const std::vector<std::pair<size_t, size_t>>& deltas);
+  /// Sequential commit of one collected match; mirrors EmitHead sans null
+  /// invention (excluded by parallel_ok).
+  Status CommitMatch(CompiledRule& rule, const CollectedMatch& match);
   Status MatchFrom(CompiledRule& rule, size_t literal_pos,
                    int delta_occurrence,
                    const std::vector<std::pair<size_t, size_t>>& deltas,
                    std::vector<Value>* subst, std::vector<bool>* bound,
                    std::vector<std::pair<uint32_t, uint32_t>>* premises,
-                   bool* inserted_any);
+                   bool* inserted_any,
+                   std::vector<CollectedMatch>* collect = nullptr);
   Status EmitHead(CompiledRule& rule, std::vector<Value>* subst,
                   const std::vector<std::pair<uint32_t, uint32_t>>& premises,
                   bool* inserted_any);

@@ -2,18 +2,28 @@
 
 namespace vadalink::embed {
 
-std::vector<uint32_t> EmbedClusterer::Cluster(const graph::PropertyGraph& g,
-                                              const RunContext* run_ctx) {
+Result<std::vector<uint32_t>> EmbedClusterer::Cluster(
+    const graph::PropertyGraph& g, const RunContext* run_ctx,
+    ThreadPool* pool) {
+  if (config_.skipgram.dimensions == 0) {
+    return Status::InvalidArgument(
+        "EmbedClusterConfig.skipgram.dimensions must be positive");
+  }
+  if (config_.walk.walk_length == 0) {
+    return Status::InvalidArgument(
+        "EmbedClusterConfig.walk.walk_length must be positive");
+  }
   interrupted_ = false;
   WalkGraph wg(g, config_.walk.weight_property);
-  auto walks = GenerateWalks(wg, config_.walk, run_ctx);
+  auto walks = GenerateWalks(wg, config_.walk, run_ctx, pool);
   // A stage that trips its context leaves the remaining stages no budget;
   // each stop is cooperative, so the pipeline still hands back a usable
   // (if degraded) assignment and flags the truncation.
   if (!CheckRunNow(run_ctx).ok()) interrupted_ = true;
-  embedding_ = TrainSkipGram(walks, g.node_count(), config_.skipgram, run_ctx);
+  embedding_ =
+      TrainSkipGram(walks, g.node_count(), config_.skipgram, run_ctx, pool);
   if (!CheckRunNow(run_ctx).ok()) interrupted_ = true;
-  kmeans_ = KMeans(embedding_, config_.kmeans, run_ctx);
+  kmeans_ = KMeans(embedding_, config_.kmeans, run_ctx, pool);
   if (kmeans_.interrupted) interrupted_ = true;
   return kmeans_.assignment;
 }

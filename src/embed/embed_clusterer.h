@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/run_context.h"
+#include "common/status.h"
 #include "embed/kmeans.h"
 #include "embed/node2vec.h"
 #include "embed/skipgram.h"
@@ -29,15 +31,20 @@ class EmbedClusterer {
   EmbedClusterConfig* mutable_config() { return &config_; }
 
   /// Embeds the graph and clusters the nodes. Returns one cluster id per
-  /// node. Recomputed from scratch at each call (the recursive self-
-  /// improving loop of Algorithm 1 calls this once per round, with the
-  /// newly predicted edges present in `g`). An optional RunContext bounds
-  /// the walk / training / clustering stages; when it trips mid-pipeline
-  /// the call still returns a full-length (possibly degenerate) assignment
-  /// and last_interrupted() reports the truncation so callers can fall
-  /// back (VadaLink degrades to feature-blocking-only for the round).
-  std::vector<uint32_t> Cluster(const graph::PropertyGraph& g,
-                                const RunContext* run_ctx = nullptr);
+  /// node, or kInvalidArgument when the configuration is unusable (zero
+  /// embedding dimensions or walk length). Recomputed from scratch at each
+  /// call (the recursive self-improving loop of Algorithm 1 calls this
+  /// once per round, with the newly predicted edges present in `g`). An
+  /// optional RunContext bounds the walk / training / clustering stages;
+  /// when it trips mid-pipeline the call still succeeds with a full-length
+  /// (possibly degenerate) assignment and last_interrupted() reports the
+  /// truncation so callers can fall back (VadaLink degrades to
+  /// feature-blocking-only for the round). An optional multi-thread `pool`
+  /// parallelizes walks, skip-gram training and k-means (see the stage
+  /// headers for each stage's determinism contract).
+  Result<std::vector<uint32_t>> Cluster(const graph::PropertyGraph& g,
+                                        const RunContext* run_ctx = nullptr,
+                                        ThreadPool* pool = nullptr);
 
   /// Embeddings of the last Cluster() call (empty before any call).
   const EmbeddingMatrix& last_embedding() const { return embedding_; }

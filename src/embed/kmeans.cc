@@ -16,10 +16,18 @@ double SqDist(const float* x, const double* c, size_t dims) {
   return s;
 }
 
+/// Per-chunk accumulator of the Lloyd assignment step; merged in ascending
+/// chunk order so the parallel reduction is deterministic.
+struct AssignAcc {
+  std::vector<size_t> counts;
+  std::vector<double> sums;
+  double inertia = 0.0;
+};
+
 }  // namespace
 
 KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
-                    const RunContext* run_ctx) {
+                    const RunContext* run_ctx, ThreadPool* pool) {
   KMeansResult res;
   const size_t n = matrix.node_count();
   const size_t dims = matrix.dimensions();
@@ -29,6 +37,7 @@ KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
   const size_t k = std::min(config.k == 0 ? 1 : config.k, n);
   res.k_effective = k;
   Rng rng(config.seed);
+  const bool parallel = pool != nullptr && pool->thread_count() > 1;
 
   // k-means++ seeding.
   std::vector<double> centroids(k * dims, 0.0);
@@ -41,10 +50,27 @@ KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
     // Update distances to the nearest chosen centroid.
     const double* last = centroids.data() + (c - 1) * dims;
     double total = 0.0;
-    for (size_t v = 0; v < n; ++v) {
-      double d2 = SqDist(matrix.row(v), last, dims);
-      if (d2 < min_sq[v]) min_sq[v] = d2;
-      total += min_sq[v];
+    if (parallel) {
+      // min_sq writes are disjoint per point; the total is reduced in
+      // chunk order. Inner loops never poll the RunContext: governor
+      // trips keep their documented iteration-level granularity.
+      ParallelReduce<double>(
+          pool, n, 0, nullptr, &total,
+          [&](size_t begin, size_t end, size_t, double* acc) {
+            for (size_t v = begin; v < end; ++v) {
+              double d2 = SqDist(matrix.row(v), last, dims);
+              if (d2 < min_sq[v]) min_sq[v] = d2;
+              *acc += min_sq[v];
+            }
+            return Status::OK();
+          },
+          [](double* out, double* acc) { *out += *acc; });
+    } else {
+      for (size_t v = 0; v < n; ++v) {
+        double d2 = SqDist(matrix.row(v), last, dims);
+        if (d2 < min_sq[v]) min_sq[v] = d2;
+        total += min_sq[v];
+      }
     }
     size_t chosen;
     if (total <= 0.0) {
@@ -78,7 +104,8 @@ KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
     double inertia = 0.0;
     std::fill(counts.begin(), counts.end(), 0);
     std::fill(sums.begin(), sums.end(), 0.0);
-    for (size_t v = 0; v < n; ++v) {
+    auto assign_point = [&](size_t v, size_t* cnts, double* sms,
+                            double* inert) {
       double best = std::numeric_limits<double>::max();
       uint32_t best_c = 0;
       for (size_t c = 0; c < k; ++c) {
@@ -89,11 +116,43 @@ KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
         }
       }
       res.assignment[v] = best_c;
-      inertia += best;
-      ++counts[best_c];
-      double* sum = sums.data() + best_c * dims;
+      *inert += best;
+      ++cnts[best_c];
+      double* sum = sms + best_c * dims;
       const float* row = matrix.row(v);
       for (size_t d = 0; d < dims; ++d) sum[d] += row[d];
+    };
+    if (parallel) {
+      AssignAcc total;
+      total.counts.assign(k, 0);
+      total.sums.assign(k * dims, 0.0);
+      ParallelReduce<AssignAcc>(
+          pool, n, 0, nullptr, &total,
+          [&](size_t begin, size_t end, size_t, AssignAcc* acc) {
+            acc->counts.assign(k, 0);
+            acc->sums.assign(k * dims, 0.0);
+            for (size_t v = begin; v < end; ++v) {
+              assign_point(v, acc->counts.data(), acc->sums.data(),
+                           &acc->inertia);
+            }
+            return Status::OK();
+          },
+          [](AssignAcc* out, AssignAcc* acc) {
+            for (size_t i = 0; i < out->counts.size(); ++i) {
+              out->counts[i] += acc->counts[i];
+            }
+            for (size_t i = 0; i < out->sums.size(); ++i) {
+              out->sums[i] += acc->sums[i];
+            }
+            out->inertia += acc->inertia;
+          });
+      counts = std::move(total.counts);
+      sums = std::move(total.sums);
+      inertia = total.inertia;
+    } else {
+      for (size_t v = 0; v < n; ++v) {
+        assign_point(v, counts.data(), sums.data(), &inertia);
+      }
     }
     for (size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {

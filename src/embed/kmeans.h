@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/run_context.h"
 #include "embed/skipgram.h"
@@ -34,7 +35,17 @@ struct KMeansResult {
 
 /// Clusters the rows of `matrix`. k is capped at the number of points. An
 /// optional RunContext is polled per Lloyd iteration (one work unit each).
+///
+/// With a multi-thread `pool`, the seeding distance pass and the Lloyd
+/// assignment step fan out over point chunks with chunk-order reduction of
+/// the partial sums — deterministic for any pool with >= 2 threads (the
+/// chunked floating-point summation order differs from the sequential
+/// path, so results can deviate from pool == nullptr within rounding;
+/// pool == nullptr keeps the legacy path byte-identical). The RunContext
+/// is still polled only between Lloyd iterations, so governor trips keep
+/// iteration granularity.
 KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
-                    const RunContext* run_ctx = nullptr);
+                    const RunContext* run_ctx = nullptr,
+                    ThreadPool* pool = nullptr);
 
 }  // namespace vadalink::embed

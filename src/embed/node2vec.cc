@@ -43,14 +43,89 @@ bool WalkGraph::HasEdge(uint32_t a, uint32_t b) const {
   return std::binary_search(nbrs.begin(), nbrs.end(), b);
 }
 
+namespace {
+
+// One biased walk from `start`, drawing every step from `rng`; `bias` is a
+// caller-owned scratch buffer so hot loops do not reallocate.
+std::vector<uint32_t> WalkFrom(const WalkGraph& graph,
+                               const WalkConfig& config, uint32_t start,
+                               Rng& rng, std::vector<double>& bias) {
+  std::vector<uint32_t> walk{start};
+  if (graph.neighbors(start).empty()) return walk;
+  walk.reserve(config.walk_length);
+  uint32_t prev = start;
+  // First step: plain weighted choice.
+  {
+    const auto& w = graph.weights(start);
+    size_t pick = rng.WeightedIndex(w);
+    walk.push_back(graph.neighbors(start)[pick]);
+  }
+  while (walk.size() < config.walk_length) {
+    uint32_t cur = walk.back();
+    const auto& nbrs = graph.neighbors(cur);
+    if (nbrs.empty()) break;
+    const auto& w = graph.weights(cur);
+    bias.resize(nbrs.size());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      uint32_t x = nbrs[i];
+      double factor;
+      if (x == prev) {
+        factor = 1.0 / config.p;
+      } else if (graph.HasEdge(prev, x)) {
+        factor = 1.0;
+      } else {
+        factor = 1.0 / config.q;
+      }
+      bias[i] = w[i] * factor;
+    }
+    size_t pick = rng.WeightedIndex(bias);
+    prev = cur;
+    walk.push_back(nbrs[pick]);
+  }
+  return walk;
+}
+
+}  // namespace
+
 std::vector<std::vector<uint32_t>> GenerateWalks(const WalkGraph& graph,
                                                  const WalkConfig& config,
-                                                 const RunContext* run_ctx) {
+                                                 const RunContext* run_ctx,
+                                                 ThreadPool* pool) {
   const size_t n = graph.node_count();
-  Rng rng(config.seed);
   std::vector<std::vector<uint32_t>> walks;
   walks.reserve(n * config.walks_per_node);
 
+  if (pool != nullptr && pool->thread_count() > 1) {
+    // Parallel path: nodes in id order, one RNG per chunk derived from
+    // (seed, round, chunk), merged in ascending chunk order — identical
+    // output for every thread count >= 2.
+    for (size_t round = 0; round < config.walks_per_node; ++round) {
+      const size_t g = ResolveGrain(n, 0, pool);
+      const size_t num_chunks = (n + g - 1) / g;
+      std::vector<std::vector<std::vector<uint32_t>>> chunk_walks(num_chunks);
+      Status st = ParallelFor(
+          pool, n, 0, run_ctx,
+          [&](size_t begin, size_t end, size_t chunk) {
+            Rng rng(ChunkSeed(config.seed, round, chunk));
+            std::vector<double> bias;
+            auto& out = chunk_walks[chunk];
+            out.reserve(end - begin);
+            for (size_t v = begin; v < end; ++v) {
+              VL_RETURN_NOT_OK(ConsumeRunWork(run_ctx, 1));
+              out.push_back(WalkFrom(graph, config,
+                                     static_cast<uint32_t>(v), rng, bias));
+            }
+            return Status::OK();
+          });
+      for (auto& cw : chunk_walks) {
+        for (auto& w : cw) walks.push_back(std::move(w));
+      }
+      if (!st.ok()) return walks;  // cooperative stop: partial walks
+    }
+    return walks;
+  }
+
+  Rng rng(config.seed);
   // Node visit order is shuffled per round, as in the reference
   // implementation, so early-stopping effects do not bias low node ids.
   std::vector<uint32_t> order(n);
@@ -61,40 +136,7 @@ std::vector<std::vector<uint32_t>> GenerateWalks(const WalkGraph& graph,
     rng.Shuffle(&order);
     for (uint32_t start : order) {
       if (!ConsumeRunWork(run_ctx, 1).ok()) return walks;
-      std::vector<uint32_t> walk{start};
-      if (!graph.neighbors(start).empty()) {
-        walk.reserve(config.walk_length);
-        uint32_t prev = start;
-        // First step: plain weighted choice.
-        {
-          const auto& w = graph.weights(start);
-          size_t pick = rng.WeightedIndex(w);
-          walk.push_back(graph.neighbors(start)[pick]);
-        }
-        while (walk.size() < config.walk_length) {
-          uint32_t cur = walk.back();
-          const auto& nbrs = graph.neighbors(cur);
-          if (nbrs.empty()) break;
-          const auto& w = graph.weights(cur);
-          bias.resize(nbrs.size());
-          for (size_t i = 0; i < nbrs.size(); ++i) {
-            uint32_t x = nbrs[i];
-            double factor;
-            if (x == prev) {
-              factor = 1.0 / config.p;
-            } else if (graph.HasEdge(prev, x)) {
-              factor = 1.0;
-            } else {
-              factor = 1.0 / config.q;
-            }
-            bias[i] = w[i] * factor;
-          }
-          size_t pick = rng.WeightedIndex(bias);
-          prev = cur;
-          walk.push_back(nbrs[pick]);
-        }
-      }
-      walks.push_back(std::move(walk));
+      walks.push_back(WalkFrom(graph, config, start, rng, bias));
     }
   }
   return walks;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/run_context.h"
 #include "graph/property_graph.h"
@@ -47,8 +48,15 @@ class WalkGraph {
 /// nodes yield length-1 walks (their id alone). An optional RunContext is
 /// polled between walks (one work unit each); when it trips, generation
 /// stops cooperatively and the walks produced so far are returned.
+///
+/// With a multi-thread `pool`, each round fans out over node-id chunks,
+/// every chunk walking from its own ChunkSeed-derived RNG, and chunk
+/// results are merged in ascending chunk order — output is deterministic
+/// for any pool with >= 2 threads (but differs from the sequential
+/// shuffled-order stream; pool == nullptr keeps the legacy path
+/// byte-identical).
 std::vector<std::vector<uint32_t>> GenerateWalks(
     const WalkGraph& graph, const WalkConfig& config,
-    const RunContext* run_ctx = nullptr);
+    const RunContext* run_ctx = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace vadalink::embed

@@ -1,5 +1,6 @@
 #include "embed/skipgram.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "embed/alias_sampler.h"
@@ -39,11 +40,91 @@ inline double Sigmoid(double x) {
   return 1.0 / (1.0 + std::exp(-x));
 }
 
+// Matrix element access, templated so the hogwild path goes through
+// relaxed atomics (plain loads/stores on x86, but TSan- and
+// standard-clean) while the sequential path compiles to the exact
+// pre-parallel float arithmetic.
+template <bool kAtomic>
+inline float LoadF(float* p) {
+  if constexpr (kAtomic) {
+    return std::atomic_ref<float>(*p).load(std::memory_order_relaxed);
+  } else {
+    return *p;
+  }
+}
+
+template <bool kAtomic>
+inline void StoreF(float* p, float v) {
+  if constexpr (kAtomic) {
+    std::atomic_ref<float>(*p).store(v, std::memory_order_relaxed);
+  } else {
+    *p = v;
+  }
+}
+
+/// SGNS updates for every position of one walk. `step` is the global lr
+/// position counter: shared and advanced sequentially in the legacy path,
+/// precomputed per walk (epoch * positions + positions_before[walk]) in
+/// the hogwild path so both paths follow the same schedule.
+template <bool kAtomic>
+void TrainOneWalk(const std::vector<uint32_t>& walk, float* in_data,
+                  float* out_data, size_t dims, const SkipGramConfig& config,
+                  const AliasSampler& negative_table, Rng& rng,
+                  std::vector<float>& grad, size_t& step, size_t total_steps) {
+  for (size_t i = 0; i < walk.size(); ++i) {
+    double progress = static_cast<double>(step++) / total_steps;
+    double lr = config.initial_lr * (1.0 - progress);
+    if (lr < config.min_lr) lr = config.min_lr;
+
+    // Dynamic window, as in word2vec.
+    size_t reduced = 1 + rng.UniformU64(config.window);
+    size_t lo = i >= reduced ? i - reduced : 0;
+    size_t hi = std::min(walk.size(), i + reduced + 1);
+    uint32_t center = walk[i];
+    float* v_in = in_data + static_cast<size_t>(center) * dims;
+
+    for (size_t j = lo; j < hi; ++j) {
+      if (j == i) continue;
+      uint32_t context = walk[j];
+      std::fill(grad.begin(), grad.end(), 0.0f);
+
+      // One positive + k negative updates on the context matrix.
+      for (size_t s = 0; s <= config.negatives; ++s) {
+        uint32_t target;
+        double label;
+        if (s == 0) {
+          target = context;
+          label = 1.0;
+        } else {
+          target = static_cast<uint32_t>(negative_table.Sample(&rng));
+          if (target == context) continue;
+          label = 0.0;
+        }
+        float* v_out = out_data + static_cast<size_t>(target) * dims;
+        double dot = 0.0;
+        for (size_t d = 0; d < dims; ++d) {
+          dot += LoadF<kAtomic>(v_in + d) * LoadF<kAtomic>(v_out + d);
+        }
+        double g = (label - Sigmoid(dot)) * lr;
+        for (size_t d = 0; d < dims; ++d) {
+          float vo = LoadF<kAtomic>(v_out + d);
+          grad[d] += static_cast<float>(g) * vo;
+          StoreF<kAtomic>(v_out + d,
+                          vo + static_cast<float>(g) * LoadF<kAtomic>(v_in + d));
+        }
+      }
+      for (size_t d = 0; d < dims; ++d) {
+        StoreF<kAtomic>(v_in + d, LoadF<kAtomic>(v_in + d) + grad[d]);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
                               size_t node_count, const SkipGramConfig& config,
-                              const RunContext* run_ctx) {
+                              const RunContext* run_ctx, ThreadPool* pool) {
   const size_t dims = config.dimensions;
   EmbeddingMatrix in(node_count, dims);  // input ("center") vectors
   std::vector<float> out(node_count * dims, 0.0f);  // context vectors
@@ -70,53 +151,42 @@ EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
   if (negative_table.empty() || total_positions == 0) return in;
 
   const size_t total_steps = config.epochs * total_positions;
+  float* in_data = in.row(0);
+
+  if (pool != nullptr && pool->thread_count() > 1) {
+    // Hogwild path: lr positions are precomputed per walk so the schedule
+    // matches the sequential step counting regardless of execution order.
+    std::vector<size_t> positions_before(walks.size() + 1, 0);
+    for (size_t w = 0; w < walks.size(); ++w) {
+      positions_before[w + 1] = positions_before[w] + walks[w].size();
+    }
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+      Status st = ParallelFor(
+          pool, walks.size(), 0, run_ctx,
+          [&](size_t begin, size_t end, size_t chunk) {
+            Rng chunk_rng(ChunkSeed(config.seed, epoch, chunk));
+            std::vector<float> grad(dims);
+            for (size_t w = begin; w < end; ++w) {
+              VL_RETURN_NOT_OK(CheckRun(run_ctx));
+              size_t step = epoch * total_positions + positions_before[w];
+              TrainOneWalk<true>(walks[w], in_data, out.data(), dims, config,
+                                 negative_table, chunk_rng, grad, step,
+                                 total_steps);
+            }
+            return Status::OK();
+          });
+      if (!st.ok()) return in;  // cooperative stop: partial embeddings
+    }
+    return in;
+  }
+
   size_t step = 0;
   std::vector<float> grad(dims);
-
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
     for (const auto& walk : walks) {
       if (!CheckRun(run_ctx).ok()) return in;
-      for (size_t i = 0; i < walk.size(); ++i) {
-        double progress = static_cast<double>(step++) / total_steps;
-        double lr = config.initial_lr * (1.0 - progress);
-        if (lr < config.min_lr) lr = config.min_lr;
-
-        // Dynamic window, as in word2vec.
-        size_t reduced = 1 + rng.UniformU64(config.window);
-        size_t lo = i >= reduced ? i - reduced : 0;
-        size_t hi = std::min(walk.size(), i + reduced + 1);
-        uint32_t center = walk[i];
-        float* v_in = in.row(center);
-
-        for (size_t j = lo; j < hi; ++j) {
-          if (j == i) continue;
-          uint32_t context = walk[j];
-          std::fill(grad.begin(), grad.end(), 0.0f);
-
-          // One positive + k negative updates on the context matrix.
-          for (size_t s = 0; s <= config.negatives; ++s) {
-            uint32_t target;
-            double label;
-            if (s == 0) {
-              target = context;
-              label = 1.0;
-            } else {
-              target = static_cast<uint32_t>(negative_table.Sample(&rng));
-              if (target == context) continue;
-              label = 0.0;
-            }
-            float* v_out = out.data() + static_cast<size_t>(target) * dims;
-            double dot = 0.0;
-            for (size_t d = 0; d < dims; ++d) dot += v_in[d] * v_out[d];
-            double g = (label - Sigmoid(dot)) * lr;
-            for (size_t d = 0; d < dims; ++d) {
-              grad[d] += static_cast<float>(g) * v_out[d];
-              v_out[d] += static_cast<float>(g) * v_in[d];
-            }
-          }
-          for (size_t d = 0; d < dims; ++d) v_in[d] += grad[d];
-        }
-      }
+      TrainOneWalk<false>(walk, in_data, out.data(), dims, config,
+                          negative_table, rng, grad, step, total_steps);
     }
   }
   return in;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/run_context.h"
 
@@ -52,8 +53,17 @@ class EmbeddingMatrix {
 /// An optional RunContext is polled once per walk per epoch; when it
 /// trips, training stops cooperatively and the partially trained (still
 /// usable) embeddings are returned.
+///
+/// With a multi-thread `pool`, epochs train hogwild-style (Niu et al.
+/// 2011): walk chunks update the shared matrices concurrently through
+/// relaxed atomics, each chunk sampling from its own ChunkSeed-derived
+/// RNG and stepping the lr schedule from its walk's sequential position.
+/// Lossy concurrent updates make the parallel result run-to-run
+/// nondeterministic (SGNS quality is tolerant to this); pool == nullptr
+/// keeps the legacy sequential path byte-identical.
 EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
                               size_t node_count, const SkipGramConfig& config,
-                              const RunContext* run_ctx = nullptr);
+                              const RunContext* run_ctx = nullptr,
+                              ThreadPool* pool = nullptr);
 
 }  // namespace vadalink::embed

@@ -40,6 +40,23 @@ double BayesLinkClassifier::LinkProbability(const graph::PropertyGraph& g,
   return CombineEvidence(schema_.CloseFlags(g, x, y));
 }
 
+Result<std::vector<double>> BayesLinkClassifier::ScorePairs(
+    const graph::PropertyGraph& g,
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
+    const RunContext* run_ctx, ThreadPool* pool) const {
+  std::vector<double> out(pairs.size());
+  VL_RETURN_NOT_OK(ParallelFor(
+      pool, pairs.size(), 0, run_ctx,
+      [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) {
+          VL_RETURN_NOT_OK(CheckRun(run_ctx));
+          out[i] = LinkProbability(g, pairs[i].first, pairs[i].second);
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
 void BayesLinkClassifier::EstimateFromTraining(
     const graph::PropertyGraph& g, const std::vector<TrainingPair>& pairs,
     double prior) {

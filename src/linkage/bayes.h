@@ -9,8 +9,12 @@
 // via Bayes' rule from P(d < T | L), P(d < T) and the prior P(L).
 #pragma once
 
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
+#include "common/run_context.h"
+#include "common/status.h"
 #include "graph/property_graph.h"
 #include "linkage/feature.h"
 
@@ -38,6 +42,16 @@ class BayesLinkClassifier {
   /// Combined probability from precomputed closeness flags (one per
   /// feature, schema order).
   double CombineEvidence(const std::vector<bool>& close_flags) const;
+
+  /// LinkProbability for every pair, in input order. An optional
+  /// RunContext is polled per pair (its trip Status is returned); a
+  /// multi-thread `pool` scores pair chunks concurrently (the classifier
+  /// is read-only, writes are disjoint — output is identical at every
+  /// thread count).
+  Result<std::vector<double>> ScorePairs(
+      const graph::PropertyGraph& g,
+      const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
+      const RunContext* run_ctx = nullptr, ThreadPool* pool = nullptr) const;
 
   /// Graham combination of arbitrary probabilities (exposed for tests and
   /// for the #LinkProbability Vadalog function).

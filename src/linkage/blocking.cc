@@ -28,24 +28,40 @@ uint64_t Blocker::BlockOf(const graph::PropertyGraph& g,
   return h;
 }
 
-std::vector<uint64_t> Blocker::BlockAll(const graph::PropertyGraph& g,
-                                        const RunContext* run_ctx) const {
-  std::vector<uint64_t> out;
-  out.reserve(g.node_count());
-  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
-    if (!CheckRun(run_ctx).ok()) break;
-    out.push_back(BlockOf(g, n));
-  }
+Result<std::vector<uint64_t>> Blocker::BlockAll(const graph::PropertyGraph& g,
+                                                const RunContext* run_ctx,
+                                                ThreadPool* pool) const {
+  std::vector<uint64_t> out(g.node_count());
+  VL_RETURN_NOT_OK(ParallelFor(
+      pool, g.node_count(), 0, run_ctx,
+      [&](size_t begin, size_t end, size_t) {
+        for (size_t n = begin; n < end; ++n) {
+          VL_RETURN_NOT_OK(CheckRun(run_ctx));
+          out[n] = BlockOf(g, static_cast<graph::NodeId>(n));
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
-std::vector<std::vector<graph::NodeId>> Blocker::GroupByBlock(
+Result<std::vector<std::vector<graph::NodeId>>> Blocker::GroupByBlock(
     const graph::PropertyGraph& g, const std::vector<graph::NodeId>& nodes,
-    const RunContext* run_ctx) const {
+    const RunContext* run_ctx, ThreadPool* pool) const {
+  // Ids are computed in parallel (BlockOf is pure, writes disjoint); the
+  // grouping merge stays sequential so block order is deterministic.
+  std::vector<uint64_t> ids(nodes.size());
+  VL_RETURN_NOT_OK(ParallelFor(
+      pool, nodes.size(), 0, run_ctx,
+      [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) {
+          VL_RETURN_NOT_OK(CheckRun(run_ctx));
+          ids[i] = BlockOf(g, nodes[i]);
+        }
+        return Status::OK();
+      }));
   std::map<uint64_t, std::vector<graph::NodeId>> groups;
-  for (graph::NodeId n : nodes) {
-    if (!CheckRun(run_ctx).ok()) break;
-    groups[BlockOf(g, n)].push_back(n);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    groups[ids[i]].push_back(nodes[i]);
   }
   std::vector<std::vector<graph::NodeId>> out;
   out.reserve(groups.size());

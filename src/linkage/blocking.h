@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/run_context.h"
+#include "common/status.h"
 #include "graph/property_graph.h"
 
 namespace vadalink::linkage {
@@ -43,18 +45,24 @@ class Blocker {
   uint64_t BlockOf(const graph::PropertyGraph& g, graph::NodeId n) const;
 
   /// Block ids for all nodes of the graph. An optional RunContext is
-  /// polled per node; when it trips, the vector is truncated to the nodes
-  /// processed so far.
-  std::vector<uint64_t> BlockAll(const graph::PropertyGraph& g,
-                                 const RunContext* run_ctx = nullptr) const;
+  /// polled per node; when it trips, its trip Status (kDeadlineExceeded,
+  /// kResourceExhausted or kCancelled) is returned instead of a partial
+  /// vector. A multi-thread `pool` computes ids over node chunks (BlockOf
+  /// is pure, writes are disjoint — output is identical at every thread
+  /// count).
+  Result<std::vector<uint64_t>> BlockAll(const graph::PropertyGraph& g,
+                                         const RunContext* run_ctx = nullptr,
+                                         ThreadPool* pool = nullptr) const;
 
   /// Groups `nodes` by block id; returns the list of blocks (each a list
   /// of node ids), ordered deterministically by block id. An optional
-  /// RunContext is polled per node; when it trips, only the nodes grouped
-  /// so far are returned.
-  std::vector<std::vector<graph::NodeId>> GroupByBlock(
+  /// RunContext is polled per node; when it trips, its trip Status is
+  /// returned instead of a partial grouping. A multi-thread `pool`
+  /// parallelizes the id computation; grouping stays sequential, so the
+  /// output is identical at every thread count.
+  Result<std::vector<std::vector<graph::NodeId>>> GroupByBlock(
       const graph::PropertyGraph& g, const std::vector<graph::NodeId>& nodes,
-      const RunContext* run_ctx = nullptr) const;
+      const RunContext* run_ctx = nullptr, ThreadPool* pool = nullptr) const;
 
  private:
   BlockingConfig config_;

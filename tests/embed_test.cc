@@ -294,7 +294,9 @@ TEST(EmbedClustererTest, AssignsEveryNode) {
   cfg.skipgram.dimensions = 16;
   cfg.walk.walks_per_node = 10;
   EmbedClusterer clusterer(cfg);
-  auto assignment = clusterer.Cluster(g);
+  auto assignment_r = clusterer.Cluster(g);
+  ASSERT_TRUE(assignment_r.ok()) << assignment_r.status().ToString();
+  const auto& assignment = *assignment_r;
   ASSERT_EQ(assignment.size(), g.node_count());
   for (uint32_t c : assignment) EXPECT_LT(c, 2u);
   EXPECT_EQ(clusterer.last_embedding().node_count(), g.node_count());

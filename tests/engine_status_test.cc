@@ -1,0 +1,132 @@
+// datalog/: the concrete status codes documented on Engine::Run and
+// Engine::RunIncremental, one observable contract per code.
+#include <gtest/gtest.h>
+
+#include "common/run_context.h"
+#include "datalog/engine.h"
+#include "datalog/parser.h"
+
+namespace vadalink::datalog {
+namespace {
+
+class EngineStatusTest : public ::testing::Test {
+ protected:
+  Catalog catalog;
+  Database db{&catalog};
+
+  Result<Program> Parse(const std::string& src) {
+    return ParseProgram(src, &catalog);
+  }
+};
+
+TEST_F(EngineStatusTest, RunReturnsInvalidArgumentOnEvaluationError) {
+  auto program = Parse(R"(
+    p(4). p(0).
+    p(X), Y = 8 / X -> q(Y).
+  )");
+  ASSERT_TRUE(program.ok());
+  Engine engine(&db);
+  Status st = engine.Run(*program);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("division by zero"), std::string::npos);
+}
+
+TEST_F(EngineStatusTest, RunReturnsResourceExhaustedOnFactLimit) {
+  auto program = Parse(R"(
+    e(1,2). e(2,3). e(3,4). e(4,5). e(5,6).
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+  )");
+  ASSERT_TRUE(program.ok());
+  EngineOptions opts;
+  opts.max_facts = 8;  // 5 base facts + a handful of derivations
+  Engine engine(&db, opts);
+  Status st = engine.Run(*program);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EngineStatusTest, RunReturnsDeadlineExceededOnExpiredDeadline) {
+  auto program = Parse(R"(
+    e(1,2). e(2,3).
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+  )");
+  ASSERT_TRUE(program.ok());
+  RunContext ctx;
+  ctx.set_deadline(RunContext::Clock::now() - std::chrono::milliseconds(1));
+  EngineOptions opts;
+  opts.run_ctx = &ctx;
+  Engine engine(&db, opts);
+  EXPECT_EQ(engine.Run(*program).code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(EngineStatusTest, RunReturnsCancelledOnRequestedCancel) {
+  auto program = Parse(R"(
+    e(1,2). e(2,3).
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+  )");
+  ASSERT_TRUE(program.ok());
+  RunContext ctx;
+  ctx.RequestCancel();
+  EngineOptions opts;
+  opts.run_ctx = &ctx;
+  Engine engine(&db, opts);
+  EXPECT_EQ(engine.Run(*program).code(), StatusCode::kCancelled);
+}
+
+TEST_F(EngineStatusTest, RunIncrementalReturnsUnsupportedOnNegation) {
+  auto program = Parse(R"(
+    node(1). node(2). covered(1).
+    node(X), not covered(X) -> uncovered(X).
+  )");
+  ASSERT_TRUE(program.ok());
+  Engine engine(&db);
+  ASSERT_TRUE(engine.Run(*program).ok());
+  Status st = engine.RunIncremental(*program);
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+  EXPECT_NE(st.message().find("negation"), std::string::npos);
+}
+
+TEST_F(EngineStatusTest, RunIncrementalReturnsInvalidArgumentAfterAbort) {
+  auto program = Parse(R"(
+    e(1,2). e(2,3). e(3,4).
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+  )");
+  ASSERT_TRUE(program.ok());
+  RunContext ctx;
+  ctx.set_work_budget(0);  // immediately exhausted
+  EngineOptions opts;
+  opts.run_ctx = &ctx;
+  Engine engine(&db, opts);
+  ASSERT_FALSE(engine.Run(*program).ok());  // aborted mid-chase
+  // The delta window is unreliable after an abort; RunIncremental refuses.
+  Status st = engine.RunIncremental(*program);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("aborted"), std::string::npos);
+}
+
+TEST_F(EngineStatusTest, RunAfterAbortReestablishesFixpoint) {
+  const std::string rules = R"(
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+  )";
+  auto program = Parse("e(1,2). e(2,3). e(3,4).\n" + rules);
+  ASSERT_TRUE(program.ok());
+  RunContext exhausted;
+  exhausted.set_work_budget(0);
+  EngineOptions opts;
+  opts.run_ctx = &exhausted;
+  Engine engine(&db, opts);
+  ASSERT_FALSE(engine.Run(*program).ok());
+
+  Engine fresh(&db);  // unlimited
+  ASSERT_TRUE(fresh.Run(*program).ok());
+  EXPECT_EQ(db.TuplesOf("tc").size(), 6u);
+  // A completed Run() unlocks RunIncremental again.
+  EXPECT_TRUE(fresh.RunIncremental(*program).ok());
+}
+
+}  // namespace
+}  // namespace vadalink::datalog

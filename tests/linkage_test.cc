@@ -138,7 +138,9 @@ graph::PropertyGraph CityGraph() {
 TEST(BlockerTest, GroupsByKeys) {
   auto g = CityGraph();
   Blocker blocker(BlockingConfig{.keys = {"city", "last_name"}});
-  auto blocks = blocker.GroupByBlock(g, {0, 1, 2, 3});
+  auto blocks_r = blocker.GroupByBlock(g, {0, 1, 2, 3});
+  ASSERT_TRUE(blocks_r.ok()) << blocks_r.status().ToString();
+  const auto& blocks = *blocks_r;
   EXPECT_EQ(blocks.size(), 3u);  // (Roma,Rossi) x2 | (Roma,Bianchi) | (Milano,Rossi)
   size_t sizes = 0;
   for (const auto& b : blocks) sizes += b.size();

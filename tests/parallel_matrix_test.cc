@@ -1,0 +1,310 @@
+// Thread-count matrix: the pipeline stages produce the documented outputs
+// at threads in {1, 2, 8} — byte-identical committed links for the
+// deterministic stages, and graceful governor trips under parallelism.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "company/family.h"
+#include "core/knowledge_graph.h"
+#include "core/pipeline_options.h"
+#include "core/vada_link.h"
+#include "core/vadalog_programs.h"
+#include "datalog/engine.h"
+#include "datalog/parser.h"
+#include "embed/kmeans.h"
+#include "gen/register_simulator.h"
+#include "linkage/bayes.h"
+#include "linkage/blocking.h"
+#include "tests/paper_fixtures.h"
+
+namespace vadalink {
+namespace {
+
+using Edge = std::tuple<graph::NodeId, graph::NodeId, std::string>;
+
+std::vector<Edge> EdgeList(const graph::PropertyGraph& g) {
+  std::vector<Edge> out;
+  g.ForEachEdge([&](graph::EdgeId e) {
+    out.emplace_back(g.edge_src(e), g.edge_dst(e), g.edge_label(e));
+  });
+  return out;
+}
+
+void CopyGraph(const graph::PropertyGraph& src, graph::PropertyGraph* dst) {
+  for (graph::NodeId n = 0; n < src.node_count(); ++n) {
+    graph::NodeId m = dst->AddNode(src.node_label(n));
+    for (const auto& [k, v] : src.node_properties(n)) {
+      dst->SetNodeProperty(m, k, v);
+    }
+  }
+  src.ForEachEdge([&](graph::EdgeId e) {
+    auto f = dst->AddEdge(src.edge_src(e), src.edge_dst(e), src.edge_label(e));
+    for (const auto& [k, v] : src.edge_properties(e)) {
+      dst->SetEdgeProperty(f.value(), k, v);
+    }
+  });
+}
+
+graph::PropertyGraph SmallRegister(uint64_t seed = 7) {
+  gen::RegisterConfig cfg;
+  cfg.persons = 60;
+  cfg.companies = 30;
+  cfg.seed = seed;
+  return gen::GenerateRegister(cfg).graph;
+}
+
+// ---- PipelineOptions -------------------------------------------------------
+
+TEST(ParallelPipelineOptionsTest, DefaultsValidateAndFlowIntoStages) {
+  core::PipelineOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.parallel.threads = 8;
+  opts.parallel.grain = 32;
+  EXPECT_TRUE(opts.Validate().ok());
+  // The shared ParallelOptions wins over whatever augment.parallel says.
+  opts.augment.parallel.threads = 2;
+  core::AugmentConfig effective = opts.EffectiveAugment();
+  EXPECT_EQ(effective.parallel.threads, 8u);
+  EXPECT_EQ(effective.parallel.grain, 32u);
+
+  RunContext ctx;
+  ThreadPool pool(2);
+  datalog::EngineOptions eng = opts.EffectiveEngine(&ctx, &pool);
+  EXPECT_EQ(eng.run_ctx, &ctx);
+  EXPECT_EQ(eng.pool, &pool);
+}
+
+TEST(ParallelPipelineOptionsTest, ValidateIsTheSingleRejectionPoint) {
+  core::PipelineOptions opts;
+  opts.parallel.threads = 100000;
+  EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument);
+
+  opts = core::PipelineOptions{};
+  opts.augment.embedding.skipgram.dimensions = 0;
+  EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument);
+
+  opts = core::PipelineOptions{};
+  opts.augment.embedding.walk.walk_length = 0;
+  EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument);
+
+  opts = core::PipelineOptions{};
+  opts.augment.max_rounds = 0;
+  EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument);
+
+  opts = core::PipelineOptions{};
+  opts.augment.embed_deadline_fraction = 1.5;
+  EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument);
+
+  opts = core::PipelineOptions{};
+  opts.engine.max_facts = 0;
+  EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Augment ---------------------------------------------------------------
+
+TEST(ParallelMatrixTest, AugmentCommittedLinksIdenticalAcrossThreadCounts) {
+  // With the (hogwild, nondeterministic) embedding stage disabled, the
+  // committed links are documented to be identical at every thread count.
+  std::vector<std::vector<Edge>> results;
+  std::vector<size_t> links_added;
+  for (size_t threads : {1, 2, 8}) {
+    auto g = SmallRegister();
+    core::PipelineOptions opts;
+    opts.parallel.threads = threads;
+    opts.augment.max_rounds = 2;
+    opts.augment.use_embedding = false;
+    ASSERT_TRUE(opts.Validate().ok());
+    auto vl = core::MakeDefaultVadaLink(opts.EffectiveAugment());
+    auto stats = vl.Augment(&g);
+    ASSERT_TRUE(stats.ok()) << "threads=" << threads << ": "
+                            << stats.status().ToString();
+    results.push_back(EdgeList(g));
+    links_added.push_back(stats->links_added);
+  }
+  EXPECT_GT(links_added[0], 0u);
+  EXPECT_EQ(results[0], results[1]) << "threads=1 vs threads=2";
+  EXPECT_EQ(results[0], results[2]) << "threads=1 vs threads=8";
+  EXPECT_EQ(links_added[0], links_added[1]);
+  EXPECT_EQ(links_added[0], links_added[2]);
+}
+
+TEST(ParallelMatrixTest, AugmentWithEmbeddingSmokeAtEightThreads) {
+  auto g = SmallRegister();
+  const size_t nodes_before = g.node_count();
+  core::PipelineOptions opts;
+  opts.parallel.threads = 8;
+  opts.augment.max_rounds = 1;
+  opts.augment.embedding.skipgram.dimensions = 8;
+  opts.augment.embedding.skipgram.epochs = 1;
+  opts.augment.embedding.walk.walks_per_node = 2;
+  opts.augment.embedding.kmeans.k = 4;
+  ASSERT_TRUE(opts.Validate().ok());
+  auto vl = core::MakeDefaultVadaLink(opts.EffectiveAugment());
+  auto stats = vl.Augment(&g);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rounds, 1u);
+  EXPECT_FALSE(stats->truncated);
+  EXPECT_EQ(g.node_count(), nodes_before);  // augmentation only adds edges
+}
+
+// ---- k-means ---------------------------------------------------------------
+
+TEST(ParallelMatrixTest, KMeansIdenticalForMultiThreadPools) {
+  // Random but fixed embedding: 300 points in 3 Gaussian-ish blobs.
+  embed::EmbeddingMatrix m(300, 16);
+  Rng rng(123);
+  for (size_t v = 0; v < m.node_count(); ++v) {
+    double center = static_cast<double>(v % 3) * 4.0;
+    for (size_t d = 0; d < m.dimensions(); ++d) {
+      m.row(v)[d] =
+          static_cast<float>(center + rng.UniformDouble(-0.5, 0.5));
+    }
+  }
+  embed::KMeansConfig cfg;
+  cfg.k = 3;
+  ThreadPool pool2(2), pool8(8);
+  auto r2 = embed::KMeans(m, cfg, nullptr, &pool2);
+  auto r8 = embed::KMeans(m, cfg, nullptr, &pool8);
+  // Chunk-order reduction makes every multi-thread pool bit-identical.
+  EXPECT_EQ(r2.assignment, r8.assignment);
+  EXPECT_EQ(r2.inertia, r8.inertia);
+  EXPECT_EQ(r2.iterations, r8.iterations);
+  // The sequential path is self-consistent too (legacy byte-identity).
+  auto s1 = embed::KMeans(m, cfg);
+  auto s2 = embed::KMeans(m, cfg);
+  EXPECT_EQ(s1.assignment, s2.assignment);
+  EXPECT_EQ(s1.assignment.size(), 300u);
+}
+
+// ---- blocking + pair scoring ----------------------------------------------
+
+TEST(ParallelMatrixTest, BlockingIdenticalAcrossThreadCounts) {
+  auto g = SmallRegister();
+  linkage::Blocker blocker(linkage::BlockingConfig{
+      .keys = {"city", "last_name"}, .max_blocks = 16});
+  auto seq = blocker.BlockAll(g);
+  ASSERT_TRUE(seq.ok());
+  ThreadPool pool2(2), pool8(8);
+  for (ThreadPool* pool : {&pool2, &pool8}) {
+    auto par = blocker.BlockAll(g, nullptr, pool);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    EXPECT_EQ(*seq, *par) << "threads=" << pool->thread_count();
+  }
+}
+
+TEST(ParallelMatrixTest, ScorePairsIdenticalAcrossThreadCounts) {
+  auto g = SmallRegister();
+  linkage::BayesLinkClassifier classifier(company::DefaultPersonSchema());
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  auto persons = g.NodesWithLabel("Person");
+  for (size_t i = 0; i + 1 < persons.size(); ++i) {
+    pairs.emplace_back(persons[i], persons[i + 1]);
+  }
+  auto seq = classifier.ScorePairs(g, pairs);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_EQ(seq->size(), pairs.size());
+  ThreadPool pool2(2), pool8(8);
+  for (ThreadPool* pool : {&pool2, &pool8}) {
+    auto par = classifier.ScorePairs(g, pairs, nullptr, pool);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    EXPECT_EQ(*seq, *par) << "threads=" << pool->thread_count();
+  }
+}
+
+// ---- reasoning engine ------------------------------------------------------
+
+TEST(ParallelMatrixTest, EngineFactSetIdenticalAcrossThreadCounts) {
+  const std::string rules = R"(
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+    tc(X,Y), Y > X, D = Y - X -> span(X,Y,D).
+  )";
+  auto run = [&](size_t threads) {
+    datalog::Catalog catalog;
+    datalog::Database db(&catalog);
+    Rng rng(99);
+    for (int i = 0; i < 120; ++i) {
+      int64_t a = rng.UniformInt(0, 59), b = rng.UniformInt(0, 59);
+      EXPECT_TRUE(db.InsertByName(
+                        "e", {datalog::Value::Int(a), datalog::Value::Int(b)})
+                      .ok());
+    }
+    auto program = datalog::ParseProgram(rules, &catalog);
+    EXPECT_TRUE(program.ok());
+    ParallelOptions popts;
+    popts.threads = threads;
+    auto pool = MakeThreadPool(popts);
+    datalog::EngineOptions opts;
+    opts.pool = pool.get();
+    datalog::Engine engine(&db, opts);
+    Status st = engine.Run(*program);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    std::set<std::string> out;
+    for (const char* pred : {"tc", "span"}) {
+      for (const auto& t : db.TuplesOf(pred)) {
+        std::string s = std::string(pred) + "(";
+        for (const auto& v : t) s += v.ToString(catalog.symbols) + ",";
+        out.insert(s);
+      }
+    }
+    return out;
+  };
+  auto facts1 = run(1);
+  EXPECT_GT(facts1.size(), 120u);
+  EXPECT_EQ(facts1, run(2));
+  EXPECT_EQ(facts1, run(8));
+}
+
+// ---- governor trips under parallelism -------------------------------------
+
+TEST(ParallelCancellationTest, AugmentTruncatesGracefullyUnderThreads) {
+  auto g = SmallRegister();
+  core::PipelineOptions opts;
+  opts.parallel.threads = 8;
+  opts.augment.max_rounds = 3;
+  opts.augment.use_embedding = false;
+  auto vl = core::MakeDefaultVadaLink(opts.EffectiveAugment());
+  RunContext ctx;
+  ctx.set_work_budget(25);  // trips mid-pairwise-stage
+  auto stats = vl.Augment(&g, &ctx);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->truncated);
+  EXPECT_EQ(stats->interrupt.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParallelCancellationTest, ReasonSurfacesBudgetTripUnderThreads) {
+  auto fixture = vadalink::testing::Figure1();
+  core::KnowledgeGraph kg;
+  ParallelOptions popts;
+  popts.threads = 8;
+  kg.set_parallel(popts);
+  CopyGraph(fixture.graph(), kg.mutable_graph());
+  ASSERT_TRUE(kg.AddRules(core::ControlProgram()).ok());
+  RunContext ctx;
+  ctx.set_work_budget(2);
+  auto stats = kg.Reason(&ctx);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParallelCancellationTest, ReasonHonoursPreCancelledContext) {
+  auto fixture = vadalink::testing::Figure1();
+  core::KnowledgeGraph kg;
+  ParallelOptions popts;
+  popts.threads = 4;
+  kg.set_parallel(popts);
+  CopyGraph(fixture.graph(), kg.mutable_graph());
+  ASSERT_TRUE(kg.AddRules(core::ControlProgram()).ok());
+  RunContext ctx;
+  ctx.RequestCancel();
+  auto stats = kg.Reason(&ctx);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace vadalink

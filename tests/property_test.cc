@@ -355,9 +355,12 @@ TEST_P(DeterminismPropertyTest, BlockingIsAFunctionOfFeatures) {
   auto data = gen::GenerateRegister(cfg);
   linkage::Blocker blocker(linkage::BlockingConfig{
       .keys = {"city", "last_name"}, .max_blocks = 16});
-  auto blocks1 = blocker.BlockAll(data.graph);
-  auto blocks2 = blocker.BlockAll(data.graph);
-  EXPECT_EQ(blocks1, blocks2);
+  auto blocks1_r = blocker.BlockAll(data.graph);
+  auto blocks2_r = blocker.BlockAll(data.graph);
+  ASSERT_TRUE(blocks1_r.ok()) << blocks1_r.status().ToString();
+  ASSERT_TRUE(blocks2_r.ok()) << blocks2_r.status().ToString();
+  const auto& blocks1 = *blocks1_r;
+  EXPECT_EQ(blocks1, *blocks2_r);
   // Equal feature values => equal block.
   for (graph::NodeId a : data.persons) {
     for (graph::NodeId b : data.persons) {
@@ -382,7 +385,11 @@ TEST_P(DeterminismPropertyTest, EmbedClustererDeterministic) {
   cfg.walk.walks_per_node = 2;
   cfg.kmeans.k = 4;
   embed::EmbedClusterer c1(cfg), c2(cfg);
-  EXPECT_EQ(c1.Cluster(g), c2.Cluster(g));
+  auto r1 = c1.Cluster(g);
+  auto r2 = c2.Cluster(g);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(*r1, *r2);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismPropertyTest,

@@ -24,6 +24,7 @@
 #include "company/eligibility.h"
 #include "company/groups.h"
 #include "core/knowledge_graph.h"
+#include "core/pipeline_options.h"
 #include "core/vada_link.h"
 #include "gen/register_simulator.h"
 #include "graph/graph_algorithms.h"
@@ -62,6 +63,15 @@ std::unique_ptr<RunContext> GovernorFromFlags(const Flags& flags) {
         static_cast<uint64_t>(flags.GetInt("max-facts", 0)));
   }
   return ctx;
+}
+
+/// Shared concurrency flags: --threads N (0 = hardware concurrency) and
+/// --grain N (items per parallel chunk; 0 = auto).
+ParallelOptions ParallelFromFlags(const Flags& flags) {
+  ParallelOptions parallel;
+  parallel.threads = static_cast<size_t>(flags.GetInt("threads", 1));
+  parallel.grain = static_cast<size_t>(flags.GetInt("grain", 0));
+  return parallel;
 }
 
 Result<graph::PropertyGraph> LoadIn(const Flags& flags) {
@@ -134,12 +144,14 @@ int CmdStats(const Flags& flags) {
 int CmdAugment(const Flags& flags) {
   auto g = LoadIn(flags);
   if (!g.ok()) return Fail(g.status());
-  core::AugmentConfig cfg;
-  cfg.max_rounds = static_cast<size_t>(flags.GetInt("rounds", 2));
-  cfg.use_embedding = !flags.Has("no-embedding");
+  core::PipelineOptions opts;
+  opts.parallel = ParallelFromFlags(flags);
+  opts.augment.max_rounds = static_cast<size_t>(flags.GetInt("rounds", 2));
+  opts.augment.use_embedding = !flags.Has("no-embedding");
   auto governor = GovernorFromFlags(flags);
   if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
-  auto vl = core::MakeDefaultVadaLink(cfg);
+  if (Status st = opts.Validate(); !st.ok()) return Fail(st);
+  auto vl = core::MakeDefaultVadaLink(opts.EffectiveAugment());
   auto stats = vl.Augment(&g.value(), governor.get());
   if (!stats.ok()) return Fail(stats.status());
   if (Status st = SaveOut(*g, flags); !st.ok()) return Fail(st);
@@ -270,9 +282,13 @@ int CmdReason(const Flags& flags) {
   ss << in.rdbuf();
 
   auto governor = GovernorFromFlags(flags);
+  core::PipelineOptions opts;
+  opts.parallel = ParallelFromFlags(flags);
   if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
+  if (Status st = opts.Validate(); !st.ok()) return Fail(st);
 
   core::KnowledgeGraph kg;
+  kg.set_parallel(opts.parallel);
   *kg.mutable_graph() = std::move(g).value();
   if (Status st = kg.AddRules(ss.str()); !st.ok()) return Fail(st);
   auto report = kg.CheckWardedness();
@@ -351,13 +367,13 @@ commands:
               [--density D] [--typo-rate R]
   stats       --in BASE
   augment     --in BASE --out BASE2 [--rounds N] [--no-embedding 1]
-              [--deadline-ms MS] [--max-facts N]
+              [--deadline-ms MS] [--max-facts N] [--threads N] [--grain N]
   control     --in BASE [--source ID] [--threshold T]
   closelinks  --in BASE [--threshold T]
   ubo         --in BASE --target ID [--threshold T]
   screen      --in BASE --borrower ID --guarantor ID [--threshold T]
   reason      --in BASE --program FILE.vada [--query PRED] [--out BASE2]
-              [--deadline-ms MS] [--max-facts N]
+              [--deadline-ms MS] [--max-facts N] [--threads N] [--grain N]
   dot         --in BASE [--out FILE.dot]
   evolve      --out BASE [--persons N] [--from Y] [--to Y] [--seed S]
 
@@ -367,6 +383,11 @@ BASE refers to the CSV pair BASE_nodes.csv / BASE_edges.csv.
 its work budget (derived facts for 'reason', compared pairs for
 'augment'). 'augment' degrades gracefully (partial results are kept and
 reported); 'reason' fails with DeadlineExceeded / ResourceExhausted.
+
+--threads runs the augmentation stages / the reasoner's delta joins on a
+thread pool (0 = hardware concurrency, 1 = sequential default); --grain
+sets the items per parallel chunk (0 = auto). threads=1 reproduces the
+sequential outputs byte for byte.
 )");
 }
 
