@@ -13,11 +13,18 @@
 // Run on a multi-core box; the acceptance target is >= 2.5x at 8 threads
 // on at least two paths. `bench_parallel_scaling --threads 1,2,4,8`
 // overrides the default thread list.
+//
+// `--metrics-json FILE` reuses the pipeline's MetricsRegistry: every stage
+// call above runs with the registry attached (so the document carries the
+// same counters/histograms a production run would), and each measured
+// point is fed into the span tree as bench/<path>/t<threads>. Timings are
+// included (a bench document is all about wall clock).
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -75,6 +82,7 @@ void EmitPath(const char* name, const std::vector<Point>& points, bool last) {
 
 int main(int argc, char** argv) {
   std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  std::string metrics_json;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       thread_counts.clear();
@@ -85,7 +93,12 @@ int main(int argc, char** argv) {
         ++p;
       }
     }
+    if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_json = argv[i + 1];
+    }
   }
+  MetricsRegistry registry;
+  MetricsRegistry* metrics = metrics_json.empty() ? nullptr : &registry;
 
   // --- shared fixtures ------------------------------------------------------
   gen::BarabasiAlbertConfig ba;
@@ -139,7 +152,8 @@ int main(int argc, char** argv) {
   std::vector<Point> walk_pts, sg_pts, km_pts, score_pts, engine_pts;
   for (size_t t : thread_counts) {
     walk_pts.push_back({t, TimeWithThreads(t, [&](ThreadPool* pool) {
-      auto w = embed::GenerateWalks(walk_graph, walk_cfg, nullptr, pool);
+      auto w = embed::GenerateWalks(walk_graph, walk_cfg, nullptr, pool,
+                                    metrics);
       if (w.size() != ba_graph.node_count() * walk_cfg.walks_per_node) {
         std::fprintf(stderr, "walk count mismatch\n");
       }
@@ -147,18 +161,18 @@ int main(int argc, char** argv) {
     sg_pts.push_back({t, TimeWithThreads(t, [&](ThreadPool* pool) {
       auto emb =
           embed::TrainSkipGram(walks, ba_graph.node_count(), sg_cfg, nullptr,
-                               pool);
+                               pool, metrics);
       volatile float sink = emb.row(0)[0];
       (void)sink;
     })});
     km_pts.push_back({t, TimeWithThreads(t, [&](ThreadPool* pool) {
-      auto r = embed::KMeans(points_matrix, km_cfg, nullptr, pool);
+      auto r = embed::KMeans(points_matrix, km_cfg, nullptr, pool, metrics);
       volatile double sink = r.inertia;
       (void)sink;
     })});
     score_pts.push_back({t, TimeWithThreads(t, [&](ThreadPool* pool) {
       auto scores = classifier.ScorePairs(reg_data.graph, pairs, nullptr,
-                                          pool);
+                                          pool, metrics);
       if (!scores.ok() || scores->size() != pairs.size()) {
         std::fprintf(stderr, "scoring failed\n");
       }
@@ -174,6 +188,7 @@ int main(int argc, char** argv) {
       auto program = datalog::ParseProgram(tc_rules, &catalog);
       datalog::EngineOptions opts;
       opts.pool = pool;
+      opts.metrics = metrics;
       datalog::Engine engine(&db, opts);
       Status st = engine.Run(*program);
       if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -189,5 +204,30 @@ int main(int argc, char** argv) {
   EmitPath("pair_scoring", score_pts, false);
   EmitPath("engine_delta_joins", engine_pts, true);
   std::printf("  ]\n}\n");
+
+  if (metrics != nullptr) {
+    // Feed the measured points into the same span tree the pipeline uses,
+    // then emit the one stable-schema document (timings on: a bench
+    // document is all about wall clock).
+    auto record = [&](const char* name, const std::vector<Point>& pts) {
+      for (const Point& p : pts) {
+        registry.RecordSpan(
+            "bench/" + std::string(name) + "/t" + std::to_string(p.threads),
+            static_cast<uint64_t>(p.seconds * 1e6), nullptr);
+      }
+    };
+    record("node2vec_walks", walk_pts);
+    record("skipgram_training", sg_pts);
+    record("kmeans_assignment", km_pts);
+    record("pair_scoring", score_pts);
+    record("engine_delta_joins", engine_pts);
+    MetricsJsonOptions json_opts;
+    json_opts.include_timings = true;
+    if (Status st = registry.WriteJsonFile(metrics_json, json_opts);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,284 @@
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common/run_context.h"
+
+namespace vadalink {
+
+namespace {
+
+/// Per-thread span nesting stack: pointers into live ScopedSpan paths.
+thread_local std::vector<const std::string*> g_span_stack;
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendKey(std::string* out, std::string_view key) {
+  *out += '"';
+  AppendEscaped(out, key);
+  *out += "\":";
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+/// Shortest round-trip double formatting: stable for equal inputs.
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double reparsed = 0.0;
+  std::sscanf(buf, "%lf", &reparsed);
+  for (int prec = 6; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    std::sscanf(shorter, "%lf", &reparsed);
+    if (reparsed == v) {
+      *out += shorter;
+      return;
+    }
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+uint64_t MetricsHistogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= kBuckets - 1) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+uint64_t MetricsHistogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+MetricsCounter* MetricsRegistry::Counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<MetricsCounter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsGauge* MetricsRegistry::Gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<MetricsGauge>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsHistogram* MetricsRegistry::Histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<MetricsHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+SpanStats MetricsRegistry::SpanValue(std::string_view path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spans_.find(path);
+  return it == spans_.end() ? SpanStats{} : it->second;
+}
+
+void MetricsRegistry::RecordSpan(const std::string& path, uint64_t micros,
+                                 const RunContext* run_ctx) {
+  StatusCode trip = StatusCode::kOk;
+  if (run_ctx != nullptr) trip = run_ctx->CheckNow().code();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanStats& s = spans_[path];
+  ++s.count;
+  s.total_micros += micros;
+  switch (trip) {
+    case StatusCode::kDeadlineExceeded: ++s.deadline_hits; break;
+    case StatusCode::kResourceExhausted: ++s.budget_trips; break;
+    case StatusCode::kCancelled: ++s.cancellations; break;
+    default: break;
+  }
+}
+
+std::string MetricsRegistry::ToJson(const MetricsJsonOptions& options) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"schema_version\":1,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    AppendKey(&out, name);
+    AppendU64(&out, c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    AppendKey(&out, name);
+    AppendDouble(&out, g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    // "*.us" histograms are wall-clock derived; emit only on request so
+    // the default document stays byte-stable run-to-run.
+    if (!options.include_timings && name.size() >= 3 &&
+        name.compare(name.size() - 3, 3, ".us") == 0) {
+      continue;
+    }
+    if (!first) out += ',';
+    first = false;
+    AppendKey(&out, name);
+    out += "{\"count\":";
+    AppendU64(&out, h->count());
+    out += ",\"sum\":";
+    AppendU64(&out, h->sum());
+    out += ",\"buckets\":[";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < MetricsHistogram::kBuckets; ++i) {
+      if (i > 0) out += ',';
+      cumulative += h->bucket(i);
+      AppendU64(&out, cumulative);
+    }
+    out += "]}";
+  }
+  out += "},\"spans\":{";
+  first = true;
+  for (const auto& [path, s] : spans_) {
+    if (!first) out += ',';
+    first = false;
+    AppendKey(&out, path);
+    out += "{\"count\":";
+    AppendU64(&out, s.count);
+    out += ",\"deadline_hits\":";
+    AppendU64(&out, s.deadline_hits);
+    out += ",\"budget_trips\":";
+    AppendU64(&out, s.budget_trips);
+    out += ",\"cancellations\":";
+    AppendU64(&out, s.cancellations);
+    if (options.include_timings) {
+      out += ",\"us\":";
+      AppendU64(&out, s.total_micros);
+    }
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path,
+                                      const MetricsJsonOptions& options) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << ToJson(options) << '\n';
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string MetricsRegistry::TraceReport() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [path, s] : spans_) {
+    size_t depth = 0;
+    size_t name_start = 0;
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (path[i] == '/') {
+        ++depth;
+        name_start = i + 1;
+      }
+    }
+    out.append(2 * depth, ' ');
+    out += path.substr(name_start);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "  count=%" PRIu64 " wall=%.3fms",
+                  s.count, static_cast<double>(s.total_micros) / 1e3);
+    out += buf;
+    if (s.deadline_hits > 0) {
+      std::snprintf(buf, sizeof(buf), " deadline_hits=%" PRIu64,
+                    s.deadline_hits);
+      out += buf;
+    }
+    if (s.budget_trips > 0) {
+      std::snprintf(buf, sizeof(buf), " budget_trips=%" PRIu64,
+                    s.budget_trips);
+      out += buf;
+    }
+    if (s.cancellations > 0) {
+      std::snprintf(buf, sizeof(buf), " cancellations=%" PRIu64,
+                    s.cancellations);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+ScopedSpan::ScopedSpan(MetricsRegistry* reg, std::string_view name,
+                       const RunContext* run_ctx)
+    : reg_(reg), run_ctx_(run_ctx) {
+  if (reg_ == nullptr) return;
+  if (!g_span_stack.empty()) {
+    path_ = *g_span_stack.back();
+    path_ += '/';
+  }
+  path_ += name;
+  g_span_stack.push_back(&path_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (reg_ == nullptr) return;
+  auto elapsed = std::chrono::steady_clock::now() - start_;
+  uint64_t micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+  g_span_stack.pop_back();
+  reg_->RecordSpan(path_, micros, run_ctx_);
+  reg_->Histogram(path_ + ".us")->Record(micros);
+}
+
+}  // namespace vadalink

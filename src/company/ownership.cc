@@ -1,5 +1,6 @@
 #include "company/ownership.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace vadalink::company {
@@ -43,7 +44,8 @@ void Dfs(DfsState* st, graph::NodeId v, double product) {
 
 std::unordered_map<graph::NodeId, double> AccumulatedOwnershipSimplePaths(
     const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config,
-    OwnershipStats* stats, const RunContext* run_ctx) {
+    OwnershipStats* stats, const RunContext* run_ctx,
+    MetricsRegistry* metrics) {
   std::unordered_map<graph::NodeId, double> acc;
   OwnershipStats local;
   if (stats == nullptr) stats = &local;
@@ -52,14 +54,25 @@ std::unordered_map<graph::NodeId, double> AccumulatedOwnershipSimplePaths(
               std::vector<bool>(cg.node_count(), false), &acc, stats};
   st.on_path[x] = true;
   Dfs(&st, x, 1.0);
+  MetricAdd(metrics, "company.ownership.paths_expanded",
+            stats->paths_expanded);
+  if (stats->truncated) {
+    MetricAdd(metrics, "company.ownership.path_truncations", 1);
+  }
   return acc;
 }
 
 std::unordered_map<graph::NodeId, double> AccumulatedOwnershipWalkSum(
     const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config,
-    OwnershipStats* stats, const RunContext* run_ctx) {
+    OwnershipStats* stats, const RunContext* run_ctx,
+    MetricsRegistry* metrics) {
   // Level-wise propagation: frontier holds the mass of walks of the
-  // current length; acc accumulates across lengths.
+  // current length; acc accumulates across lengths, capped at 1.0 per
+  // target (no entity owns more than the whole of another). The fixpoint
+  // is reached when every surviving contribution drops below epsilon;
+  // cyclic structures whose mass does not decay (weight >= 1 cycles, bad
+  // data) would otherwise grow or oscillate forever, so max_depth is the
+  // non-convergence guard and trips are reported, not swallowed.
   OwnershipStats local;
   if (stats == nullptr) stats = &local;
   *stats = OwnershipStats{};
@@ -69,6 +82,7 @@ std::unordered_map<graph::NodeId, double> AccumulatedOwnershipWalkSum(
        ++depth) {
     if (Status ctx = CheckRunNow(run_ctx); !ctx.ok()) {
       stats->truncated = true;
+      stats->converged = false;
       stats->interrupt = std::move(ctx);
       break;
     }
@@ -81,9 +95,21 @@ std::unordered_map<graph::NodeId, double> AccumulatedOwnershipWalkSum(
         next[s.dst] += p;
       }
     }
-    for (const auto& [v, mass] : next) acc[v] += mass;
+    for (const auto& [v, mass] : next) {
+      acc[v] = std::min(acc[v] + mass, 1.0);
+    }
     frontier = std::move(next);
+    stats->depth_reached = depth + 1;
   }
+  if (!frontier.empty() && stats->interrupt.ok()) {
+    // Ran out of depth with live walk mass: the geometric sum had not
+    // converged to epsilon. The result is a partial (lower-bound) sum.
+    stats->converged = false;
+    stats->truncated = true;
+    MetricAdd(metrics, "company.ownership.walksum.nonconvergent", 1);
+  }
+  MetricAdd(metrics, "company.ownership.walksum_levels",
+            stats->depth_reached);
   return acc;
 }
 

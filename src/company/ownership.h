@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/run_context.h"
 #include "company/company_graph.h"
 
@@ -38,6 +39,13 @@ struct OwnershipStats {
   size_t paths_expanded = 0;
   /// True when enumeration stopped early and the result is partial.
   bool truncated = false;
+  /// WalkSum only: true when the propagation reached its epsilon fixpoint
+  /// before max_depth. False after a max_depth exhaustion (a cyclic
+  /// ownership structure whose walk mass had not decayed below epsilon —
+  /// the result is then a partial sum and `truncated` is set).
+  bool converged = true;
+  /// WalkSum only: propagation levels actually run.
+  size_t depth_reached = 0;
   /// Non-OK when a RunContext stopped the enumeration (kDeadlineExceeded /
   /// kResourceExhausted / kCancelled); OK for a plain max_paths cap.
   Status interrupt;
@@ -47,17 +55,30 @@ struct OwnershipStats {
 /// Returns accumulated ownership per reachable node (companies only —
 /// ownership edges always target companies). If `stats` is non-null it
 /// receives path counts and the truncation flag; `run_ctx` (polled per
-/// expanded path, one work unit each) bounds the enumeration.
+/// expanded path, one work unit each) bounds the enumeration. `metrics`
+/// (nullable) receives company.ownership.paths_expanded /
+/// company.ownership.path_truncations.
 std::unordered_map<graph::NodeId, double> AccumulatedOwnershipSimplePaths(
     const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config = {},
-    OwnershipStats* stats = nullptr, const RunContext* run_ctx = nullptr);
+    OwnershipStats* stats = nullptr, const RunContext* run_ctx = nullptr,
+    MetricsRegistry* metrics = nullptr);
 
 /// Phi(x, ·) approximated by the all-walks geometric sum (the fixpoint
 /// semantics of the paper's Algorithm 6). `run_ctx` is polled per
 /// propagation level.
+///
+/// Correctness guards (Definition 2.5 walk sums diverge on cycles whose
+/// mass does not decay): accumulated mass is capped at 1.0 per target
+/// (shares cannot exceed whole ownership), propagation stops at the
+/// epsilon fixpoint (no surviving walk contribution >= config.epsilon),
+/// and a run that exhausts config.max_depth without reaching it sets
+/// `stats->converged = false`, `stats->truncated = true` and counts into
+/// company.ownership.walksum.nonconvergent instead of silently returning
+/// the partial sum.
 std::unordered_map<graph::NodeId, double> AccumulatedOwnershipWalkSum(
     const CompanyGraph& cg, graph::NodeId x, OwnershipConfig config = {},
-    OwnershipStats* stats = nullptr, const RunContext* run_ctx = nullptr);
+    OwnershipStats* stats = nullptr, const RunContext* run_ctx = nullptr,
+    MetricsRegistry* metrics = nullptr);
 
 /// Convenience: Phi(x, y) by simple paths.
 double AccumulatedOwnership(const CompanyGraph& cg, graph::NodeId x,

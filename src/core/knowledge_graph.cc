@@ -34,9 +34,11 @@ void KnowledgeGraph::RegisterFunction(std::string name,
   extra_fns_.emplace_back(std::move(name), std::move(fn));
 }
 
-Result<ReasonStats> KnowledgeGraph::Reason(const RunContext* run_ctx) {
+Result<ReasonStats> KnowledgeGraph::Reason(const RunContext* run_ctx,
+                                           MetricsRegistry* metrics) {
   VL_FAULT_POINT("kg.reason");
   ReasonStats stats;
+  ScopedSpan reason_span(metrics, "reason", run_ctx);
 
   db_ = std::make_unique<datalog::Database>(&catalog_);
   VL_RETURN_NOT_OK(LoadGraphFacts(graph_, db_.get()));
@@ -50,6 +52,7 @@ Result<ReasonStats> KnowledgeGraph::Reason(const RunContext* run_ctx) {
   options.trace_provenance = true;
   options.run_ctx = run_ctx;
   options.pool = pool_.get();
+  options.metrics = metrics;
   engine_ = std::make_unique<datalog::Engine>(db_.get(), options);
   for (const auto& [name, fn] : extra_fns_) {
     engine_->functions()->Register(name, fn);
@@ -60,6 +63,7 @@ Result<ReasonStats> KnowledgeGraph::Reason(const RunContext* run_ctx) {
 
   VL_ASSIGN_OR_RETURN(stats.links_materialised,
                       StorePredictedLinks(*db_, &graph_));
+  MetricAdd(metrics, "reason.links.materialised", stats.links_materialised);
   return stats;
 }
 

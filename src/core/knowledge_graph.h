@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/run_context.h"
 #include "common/status.h"
@@ -72,7 +73,12 @@ class KnowledgeGraph {
   /// budget / cancellation trip the corresponding non-OK Status is
   /// returned and the graph is left unmodified (links are materialised
   /// only after a completed chase).
-  Result<ReasonStats> Reason(const RunContext* run_ctx = nullptr);
+  ///
+  /// `metrics` (nullable) receives the engine.* counters, the
+  /// engine.delta.size histogram and the reason/chase span tree, plus
+  /// reason.links.materialised.
+  Result<ReasonStats> Reason(const RunContext* run_ctx = nullptr,
+                             MetricsRegistry* metrics = nullptr);
 
   /// Tuples of a predicate after the last Reason() (empty before).
   std::vector<std::vector<datalog::Value>> Query(

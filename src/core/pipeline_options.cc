@@ -57,6 +57,7 @@ datalog::EngineOptions PipelineOptions::EffectiveEngine(
   datalog::EngineOptions out = engine;
   out.run_ctx = run_ctx;
   out.pool = pool;
+  out.metrics = metrics;
   return out;
 }
 

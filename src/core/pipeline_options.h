@@ -14,6 +14,9 @@
 //   kg.set_parallel(opts.parallel);
 #pragma once
 
+#include <string>
+
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/status.h"
 #include "core/vada_link.h"
@@ -36,6 +39,20 @@ struct PipelineOptions {
   /// Reasoning knobs. engine.run_ctx and engine.pool are per-run wiring
   /// and are filled in by EffectiveEngine(), not here.
   datalog::EngineOptions engine;
+
+  /// Observability (DESIGN.md section 8). `metrics` is a borrowed sink for
+  /// every instrumented stage (nullptr = observability off; must outlive
+  /// the runs that use it); EffectiveEngine() forwards it, and callers
+  /// pass it to Augment() / Reason() themselves. The remaining knobs
+  /// mirror the CLI: `metrics_json_path` (--metrics-json) is where the
+  /// driver writes the registry's JSON document after the run, `trace`
+  /// (--trace) asks for the human-readable span-tree report, and
+  /// `metrics_wall` (--metrics-wall) opts wall-clock timings into the JSON
+  /// (off by default so the document stays byte-stable run-to-run).
+  MetricsRegistry* metrics = nullptr;
+  std::string metrics_json_path;
+  bool trace = false;
+  bool metrics_wall = false;
 
   /// The single validation point for the whole pipeline: checks the
   /// concurrency bounds, the embedding/blocking stage configs and the

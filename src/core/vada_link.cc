@@ -1,6 +1,7 @@
 #include "core/vada_link.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 
 #include "common/fault_injection.h"
@@ -34,7 +35,8 @@ bool VadaLink::AddLink(graph::PropertyGraph* g, const PredictedLink& link) {
 }
 
 Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g,
-                                       const RunContext* run_ctx) {
+                                       const RunContext* run_ctx,
+                                       MetricsRegistry* metrics) {
   VL_FAULT_POINT("core.augment");
   VL_RETURN_NOT_OK(config_.parallel.Validate());
   AugmentStats stats;
@@ -44,6 +46,8 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g,
   // keeps every stage on its sequential legacy path).
   std::unique_ptr<ThreadPool> pool = MakeThreadPool(config_.parallel);
   WallTimer timer;
+  ScopedSpan augment_span(metrics, "augment", run_ctx);
+  size_t pairs_accepted = 0;
 
   bool changed = true;
   while (changed && stats.rounds < config_.max_rounds) {
@@ -55,6 +59,8 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g,
     }
     VL_FAULT_POINT("core.augment_round");
     changed = false;
+    ScopedSpan round_span(
+        metrics, "round" + std::to_string(stats.rounds), run_ctx);
     ++stats.rounds;
 
     // ---- first-level clustering (#GraphEmbedClust) ----------------------
@@ -62,6 +68,7 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g,
     std::vector<uint32_t> cluster_of(g->node_count(), 0);
     size_t cluster_count = 1;
     if (config_.use_embedding && g->node_count() > 1) {
+      ScopedSpan embed_span(metrics, "embed", run_ctx);
       // The embedding stage runs under a sub-context: a slice of the
       // remaining wall-clock and/or its own work budget. If the slice runs
       // out, this round degrades to feature-blocking-only — the paper's
@@ -84,8 +91,8 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g,
         embed_ctx.set_parent(run_ctx);
         stage_ctx = &embed_ctx;
       }
-      VL_ASSIGN_OR_RETURN(cluster_of,
-                          clusterer.Cluster(*g, stage_ctx, pool.get()));
+      VL_ASSIGN_OR_RETURN(
+          cluster_of, clusterer.Cluster(*g, stage_ctx, pool.get(), metrics));
       if (clusterer.last_interrupted()) {
         if (Status st = CheckRunNow(run_ctx); !st.ok()) {
           // The *run* governor tripped, not just the stage slice.
@@ -111,40 +118,53 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g,
     // (cluster, block) -> node list
     std::unordered_map<uint64_t, std::vector<graph::NodeId>> blocks;
     Status block_st;
-    if (pool != nullptr && pool->thread_count() > 1) {
-      // Keys are computed over node chunks (BlockOf is pure, writes
-      // disjoint); the grouping insertion stays sequential in node order,
-      // so the map — and everything downstream — matches the sequential
-      // path exactly.
-      std::vector<uint64_t> keys(g->node_count());
-      block_st = ParallelFor(
-          pool.get(), g->node_count(), 0, run_ctx,
-          [&](size_t begin, size_t end, size_t) {
-            for (size_t n = begin; n < end; ++n) {
-              VL_RETURN_NOT_OK(CheckRun(run_ctx));
-              uint64_t block =
-                  config_.use_blocking
-                      ? blocker.BlockOf(*g, static_cast<graph::NodeId>(n))
-                      : 0;
-              keys[n] = (static_cast<uint64_t>(cluster_of[n]) << 40) ^ block;
-            }
-            return Status::OK();
-          });
-      if (block_st.ok()) {
-        for (graph::NodeId n = 0; n < g->node_count(); ++n) {
-          blocks[keys[n]].push_back(n);
+    {
+      ScopedSpan block_span(metrics, "block", run_ctx);
+      if (pool != nullptr && pool->thread_count() > 1) {
+        // Keys are computed over node chunks (BlockOf is pure, writes
+        // disjoint); the grouping insertion stays sequential in node order,
+        // so the map — and everything downstream — matches the sequential
+        // path exactly.
+        std::vector<uint64_t> keys(g->node_count());
+        block_st = ParallelFor(
+            pool.get(), g->node_count(), 0, run_ctx,
+            [&](size_t begin, size_t end, size_t) {
+              for (size_t n = begin; n < end; ++n) {
+                VL_RETURN_NOT_OK(CheckRun(run_ctx));
+                uint64_t block =
+                    config_.use_blocking
+                        ? blocker.BlockOf(*g, static_cast<graph::NodeId>(n))
+                        : 0;
+                keys[n] = (static_cast<uint64_t>(cluster_of[n]) << 40) ^ block;
+              }
+              return Status::OK();
+            });
+        if (block_st.ok()) {
+          for (graph::NodeId n = 0; n < g->node_count(); ++n) {
+            blocks[keys[n]].push_back(n);
+          }
         }
-      }
-    } else {
-      for (graph::NodeId n = 0; n < g->node_count(); ++n) {
-        if (block_st = CheckRun(run_ctx); !block_st.ok()) break;
-        uint64_t block = config_.use_blocking ? blocker.BlockOf(*g, n) : 0;
-        uint64_t key = (static_cast<uint64_t>(cluster_of[n]) << 40) ^ block;
-        blocks[key].push_back(n);
+      } else {
+        for (graph::NodeId n = 0; n < g->node_count(); ++n) {
+          if (block_st = CheckRun(run_ctx); !block_st.ok()) break;
+          uint64_t block = config_.use_blocking ? blocker.BlockOf(*g, n) : 0;
+          uint64_t key = (static_cast<uint64_t>(cluster_of[n]) << 40) ^ block;
+          blocks[key].push_back(n);
+        }
       }
     }
     stats.block_seconds += timer.ElapsedSeconds();
     stats.second_level_blocks = blocks.size();
+    if (block_st.ok()) {
+      // Block-shape metrics, recorded once per round at the sequential
+      // merge (identical at every thread count). Histogram totals commute,
+      // so the unordered iteration order is immaterial.
+      MetricAdd(metrics, "linkage.blocks.created", blocks.size());
+      if (metrics != nullptr) {
+        MetricsHistogram* sizes = metrics->Histogram("linkage.block.size");
+        for (const auto& [key, members] : blocks) sizes->Record(members.size());
+      }
+    }
     if (!block_st.ok()) {
       // Incomplete blocks must not be compared; end the run before the
       // candidate stage mutates anything this round.
@@ -155,6 +175,7 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g,
     // ---- candidate evaluation --------------------------------------------
     timer.Restart();
     Status cand_st;
+    ScopedSpan cand_span(metrics, "candidates", run_ctx);
     for (const auto& candidate : candidates_) {
       if (candidate->is_pairwise()) {
         if (pool != nullptr && pool->thread_count() > 1) {
@@ -195,6 +216,7 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g,
           // the sequential "links added before the trip stay" behavior.
           for (const BlockOut& out : outs) {
             stats.pairs_compared += out.pairs;
+            pairs_accepted += out.links.size();
             for (const PredictedLink& link : out.links) {
               if (AddLink(g, link)) {
                 ++stats.links_added;
@@ -210,9 +232,12 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g,
                 if (cand_st = ConsumeRunWork(run_ctx, 1); !cand_st.ok()) break;
                 ++stats.pairs_compared;
                 auto link = candidate->TestPair(*g, members[i], members[j]);
-                if (link.has_value() && AddLink(g, *link)) {
-                  ++stats.links_added;
-                  changed = true;
+                if (link.has_value()) {
+                  ++pairs_accepted;
+                  if (AddLink(g, *link)) {
+                    ++stats.links_added;
+                    changed = true;
+                  }
                 }
               }
             }
@@ -239,6 +264,16 @@ Result<AugmentStats> VadaLink::Augment(graph::PropertyGraph* g,
       break;
     }
   }
+
+  // Run totals, published once from the (deterministic) stats so repeated
+  // Augment() calls accumulate in the registry.
+  MetricAdd(metrics, "augment.rounds", stats.rounds);
+  MetricAdd(metrics, "augment.links.added", stats.links_added);
+  MetricAdd(metrics, "augment.degraded_rounds", stats.degraded_rounds);
+  MetricAdd(metrics, "linkage.pairs.scored", stats.pairs_compared);
+  MetricAdd(metrics, "linkage.pairs.accepted", pairs_accepted);
+  MetricAdd(metrics, "linkage.pairs.rejected",
+            stats.pairs_compared - pairs_accepted);
   return stats;
 }
 

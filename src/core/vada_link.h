@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/run_context.h"
 #include "common/status.h"
@@ -97,8 +98,13 @@ class VadaLink {
   /// `truncated` / `deadline_hits` / `degraded_rounds` report what was cut
   /// short. Only real errors (e.g. a failing candidate or an injected
   /// fault) surface as a non-OK Result.
+  ///
+  /// `metrics` (nullable) receives the augment.* / linkage.* counters and
+  /// the augment/round#/{embed,block,candidates} span tree (embed nests
+  /// walks / skipgram / kmeans beneath it); see DESIGN.md section 8.
   Result<AugmentStats> Augment(graph::PropertyGraph* g,
-                               const RunContext* run_ctx = nullptr);
+                               const RunContext* run_ctx = nullptr,
+                               MetricsRegistry* metrics = nullptr);
 
  private:
   /// Adds a predicted link if absent; returns true if added.

@@ -850,9 +850,15 @@ Status Engine::EvalStratum(const std::vector<uint32_t>& rule_ids,
     VL_RETURN_NOT_OK(CheckRunNow(options_.run_ctx));
     ++stats_.iterations;
     std::vector<std::pair<size_t, size_t>> deltas(num_preds);
+    size_t delta_total = 0;
     for (uint32_t p = 0; p < num_preds; ++p) {
       deltas[p] = {before[p], after[p]};
+      delta_total += after[p] - before[p];
     }
+    // The per-iteration delta is a property of the semi-naive schedule,
+    // not of the execution order, so the histogram is identical at every
+    // thread count.
+    MetricRecord(options_.metrics, "engine.delta.size", delta_total);
     before = after;
     for (uint32_t r : rule_ids) {
       CompiledRule& cr = compiled_[r];
@@ -868,10 +874,31 @@ Status Engine::EvalStratum(const std::vector<uint32_t>& rule_ids,
   return Status::OK();
 }
 
+void Engine::PublishChaseMetrics() {
+  MetricsRegistry* m = options_.metrics;
+  if (m != nullptr) {
+    // Saturating diff: stats_.strata is overwritten (not accumulated) per
+    // call, so an incremental run of a smaller program could dip below the
+    // published mark.
+    auto diff = [](size_t now, size_t pub) { return now > pub ? now - pub : 0; };
+    MetricAdd(m, "engine.strata", diff(stats_.strata, published_.strata));
+    MetricAdd(m, "engine.iterations",
+              diff(stats_.iterations, published_.iterations));
+    MetricAdd(m, "engine.body_matches",
+              diff(stats_.body_matches, published_.body_matches));
+    MetricAdd(m, "engine.facts_derived",
+              diff(stats_.facts_derived, published_.facts_derived));
+    MetricAdd(m, "engine.nulls.invented",
+              diff(stats_.nulls_invented, published_.nulls_invented));
+  }
+  published_ = stats_;
+}
+
 Status Engine::Run(const Program& program) {
   VL_FAULT_POINT("engine.run");
   program_ = &program;
   stats_ = EngineStats{};
+  published_ = EngineStats{};
   agg_states_.clear();
   // Pessimistically aborted until the chase completes, so an early return
   // on any path below leaves the engine in the "aborted" state.
@@ -890,6 +917,7 @@ Status Engine::Run(const Program& program) {
   VL_ASSIGN_OR_RETURN(Stratification strat,
                       Stratify(program, *db_->catalog()));
   stats_.strata = strat.strata.size();
+  ScopedSpan span(options_.metrics, "chase", options_.run_ctx);
   for (const auto& stratum_rules : strat.strata) {
     if (!stratum_rules.empty()) {
       VL_FAULT_POINT("engine.stratum");
@@ -898,6 +926,7 @@ Status Engine::Run(const Program& program) {
   }
   last_run_sizes_ = RelationSizes();
   last_run_aborted_ = false;
+  PublishChaseMetrics();
   return Status::OK();
 }
 
@@ -933,6 +962,7 @@ Status Engine::RunIncremental(const Program& program) {
   stats_.strata = strat.strata.size();
   std::vector<size_t> window_start = last_run_sizes_;
   last_run_aborted_ = true;
+  ScopedSpan span(options_.metrics, "chase", options_.run_ctx);
   for (const auto& stratum_rules : strat.strata) {
     if (!stratum_rules.empty()) {
       VL_RETURN_NOT_OK(EvalStratum(stratum_rules, &window_start));
@@ -940,6 +970,7 @@ Status Engine::RunIncremental(const Program& program) {
   }
   last_run_sizes_ = RelationSizes();
   last_run_aborted_ = false;
+  PublishChaseMetrics();
   return Status::OK();
 }
 

@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/run_context.h"
 #include "common/status.h"
@@ -50,6 +51,12 @@ struct EngineOptions {
   /// set is identical at every thread count. nullptr or a 1-thread pool
   /// keeps the fully sequential evaluator.
   ThreadPool* pool = nullptr;
+  /// Optional metrics sink (not owned; must outlive the engine calls that
+  /// use it). Run() publishes engine.* counters from EngineStats at the
+  /// end of each call (deterministic totals) and records the per-iteration
+  /// semi-naive delta size into the engine.delta.size histogram. nullptr =
+  /// no recording.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct EngineStats {
@@ -158,6 +165,12 @@ class Engine {
   Status EvalStratum(const std::vector<uint32_t>& rule_ids,
                      const std::vector<size_t>* initial_before);
   std::vector<size_t> RelationSizes() const;
+
+  /// Publishes the engine.* counters from stats_ into options_.metrics
+  /// (no-op without a registry). RunIncremental keeps accumulating stats_
+  /// on top of the preceding Run, so only the delta since the last publish
+  /// is added — registry totals stay exact across mixed call sequences.
+  void PublishChaseMetrics();
   /// One complete body match captured by the parallel collect phase:
   /// fully evaluated head tuples (aligned with rule.head) plus premises.
   struct CollectedMatch {
@@ -198,6 +211,9 @@ class Engine {
   EngineOptions options_;
   FunctionRegistry functions_;
   EngineStats stats_;
+  /// stats_ values already mirrored into options_.metrics (see
+  /// PublishChaseMetrics).
+  EngineStats published_;
 
   std::vector<CompiledRule> compiled_;
   // function id (catalog) -> resolved callable

@@ -41,10 +41,13 @@ class EmbedClusterer {
   /// truncation so callers can fall back (VadaLink degrades to
   /// feature-blocking-only for the round). An optional multi-thread `pool`
   /// parallelizes walks, skip-gram training and k-means (see the stage
-  /// headers for each stage's determinism contract).
+  /// headers for each stage's determinism contract). `metrics` (nullable)
+  /// flows into every stage and wraps them in walks / skipgram / kmeans
+  /// spans nested under the caller's current span.
   Result<std::vector<uint32_t>> Cluster(const graph::PropertyGraph& g,
                                         const RunContext* run_ctx = nullptr,
-                                        ThreadPool* pool = nullptr);
+                                        ThreadPool* pool = nullptr,
+                                        MetricsRegistry* metrics = nullptr);
 
   /// Embeddings of the last Cluster() call (empty before any call).
   const EmbeddingMatrix& last_embedding() const { return embedding_; }

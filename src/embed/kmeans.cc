@@ -27,7 +27,8 @@ struct AssignAcc {
 }  // namespace
 
 KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
-                    const RunContext* run_ctx, ThreadPool* pool) {
+                    const RunContext* run_ctx, ThreadPool* pool,
+                    MetricsRegistry* metrics) {
   KMeansResult res;
   const size_t n = matrix.node_count();
   const size_t dims = matrix.dimensions();
@@ -94,6 +95,10 @@ KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
   // Lloyd iterations.
   std::vector<size_t> counts(k);
   std::vector<double> sums(k * dims);
+  // Squared distance of each point to its assigned centroid, refreshed by
+  // every assignment pass (disjoint per-point writes, so the parallel
+  // path fills it identically). Feeds the empty-cluster reseed below.
+  std::vector<double> dists(n, 0.0);
   double prev_inertia = std::numeric_limits<double>::max();
   for (size_t iter = 0; iter < config.max_iterations; ++iter) {
     if (!ConsumeRunWork(run_ctx, 1).ok()) {
@@ -116,6 +121,7 @@ KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
         }
       }
       res.assignment[v] = best_c;
+      dists[v] = best;
       *inert += best;
       ++cnts[best_c];
       double* sum = sms + best_c * dims;
@@ -154,19 +160,35 @@ KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
         assign_point(v, counts.data(), sums.data(), &inertia);
       }
     }
+    // Move non-empty centroids to their means first, then re-seed each
+    // empty cluster at the point farthest from its assigned centroid
+    // (deterministic: strict > keeps the lowest index on ties, and the
+    // chosen point's distance is zeroed so successive empty clusters pick
+    // distinct points). The previous random reseed left the rest of the
+    // iteration deterministic but could re-land on a covered region and
+    // freeze the effective cluster count below k.
     for (size_t c = 0; c < k; ++c) {
-      if (counts[c] == 0) {
-        // Re-seed an empty cluster at a random point.
-        size_t v = rng.UniformU64(n);
-        double* dst = centroids.data() + c * dims;
-        for (size_t d = 0; d < dims; ++d) dst[d] = matrix.row(v)[d];
-        continue;
-      }
+      if (counts[c] == 0) continue;
       double* dst = centroids.data() + c * dims;
       const double* sum = sums.data() + c * dims;
       for (size_t d = 0; d < dims; ++d) {
         dst[d] = sum[d] / static_cast<double>(counts[c]);
       }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] != 0) continue;
+      size_t farthest = 0;
+      double far_d = -1.0;
+      for (size_t v = 0; v < n; ++v) {
+        if (dists[v] > far_d) {
+          far_d = dists[v];
+          farthest = v;
+        }
+      }
+      double* dst = centroids.data() + c * dims;
+      for (size_t d = 0; d < dims; ++d) dst[d] = matrix.row(farthest)[d];
+      dists[farthest] = 0.0;
+      ++res.empty_reseeds;
     }
     res.inertia = inertia;
     if (prev_inertia < std::numeric_limits<double>::max()) {
@@ -178,6 +200,12 @@ KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
     prev_inertia = inertia;
   }
   res.centroids = std::move(centroids);
+  MetricAdd(metrics, "embed.kmeans.iterations", res.iterations);
+  MetricAdd(metrics, "embed.kmeans.reseeds", res.empty_reseeds);
+  if (res.interrupted) MetricAdd(metrics, "embed.kmeans.interrupts", 1);
+  MetricSet(metrics, "embed.kmeans.inertia", res.inertia);
+  MetricSet(metrics, "embed.kmeans.k_effective",
+            static_cast<double>(res.k_effective));
   return res;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/run_context.h"
@@ -28,6 +29,10 @@ struct KMeansResult {
   size_t k_effective = 0;  // min(k, #points)
   double inertia = 0.0;    // sum of squared distances to centroids
   size_t iterations = 0;
+  /// Empty clusters re-seeded during Lloyd iteration (each is moved to
+  /// the point farthest from its assigned centroid — deterministic, no
+  /// RNG draw — so cluster counts cannot silently freeze below k).
+  size_t empty_reseeds = 0;
   /// True when a RunContext stopped Lloyd iteration before convergence;
   /// the assignment of the last completed iteration is still returned.
   bool interrupted = false;
@@ -44,8 +49,12 @@ struct KMeansResult {
 /// pool == nullptr keeps the legacy path byte-identical). The RunContext
 /// is still polled only between Lloyd iterations, so governor trips keep
 /// iteration granularity.
+///
+/// `metrics` (nullable) receives embed.kmeans.iterations /
+/// embed.kmeans.reseeds counters and the embed.kmeans.inertia gauge.
 KMeansResult KMeans(const EmbeddingMatrix& matrix, const KMeansConfig& config,
                     const RunContext* run_ctx = nullptr,
-                    ThreadPool* pool = nullptr);
+                    ThreadPool* pool = nullptr,
+                    MetricsRegistry* metrics = nullptr);
 
 }  // namespace vadalink::embed

@@ -90,10 +90,21 @@ std::vector<uint32_t> WalkFrom(const WalkGraph& graph,
 std::vector<std::vector<uint32_t>> GenerateWalks(const WalkGraph& graph,
                                                  const WalkConfig& config,
                                                  const RunContext* run_ctx,
-                                                 ThreadPool* pool) {
+                                                 ThreadPool* pool,
+                                                 MetricsRegistry* metrics) {
   const size_t n = graph.node_count();
   std::vector<std::vector<uint32_t>> walks;
   walks.reserve(n * config.walks_per_node);
+  MetricsCounter* walk_counter =
+      metrics ? metrics->Counter("embed.walks.generated") : nullptr;
+  MetricsHistogram* length_hist =
+      metrics ? metrics->Histogram("embed.walk.length") : nullptr;
+  // Counted at the sequential merge points (not inside workers), so the
+  // totals are exact and thread-count invariant.
+  auto record_walk = [&](const std::vector<uint32_t>& w) {
+    if (walk_counter != nullptr) walk_counter->Increment();
+    if (length_hist != nullptr) length_hist->Record(w.size());
+  };
 
   if (pool != nullptr && pool->thread_count() > 1) {
     // Parallel path: nodes in id order, one RNG per chunk derived from
@@ -118,7 +129,10 @@ std::vector<std::vector<uint32_t>> GenerateWalks(const WalkGraph& graph,
             return Status::OK();
           });
       for (auto& cw : chunk_walks) {
-        for (auto& w : cw) walks.push_back(std::move(w));
+        for (auto& w : cw) {
+          record_walk(w);
+          walks.push_back(std::move(w));
+        }
       }
       if (!st.ok()) return walks;  // cooperative stop: partial walks
     }
@@ -137,6 +151,7 @@ std::vector<std::vector<uint32_t>> GenerateWalks(const WalkGraph& graph,
     for (uint32_t start : order) {
       if (!ConsumeRunWork(run_ctx, 1).ok()) return walks;
       walks.push_back(WalkFrom(graph, config, start, rng, bias));
+      record_walk(walks.back());
     }
   }
   return walks;

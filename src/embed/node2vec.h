@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/run_context.h"
@@ -55,8 +56,13 @@ class WalkGraph {
 /// for any pool with >= 2 threads (but differs from the sequential
 /// shuffled-order stream; pool == nullptr keeps the legacy path
 /// byte-identical).
+///
+/// `metrics` (nullable) receives the embed.walks.generated counter and
+/// the embed.walk.length histogram, both counted at the deterministic
+/// merge points so totals are thread-count invariant.
 std::vector<std::vector<uint32_t>> GenerateWalks(
     const WalkGraph& graph, const WalkConfig& config,
-    const RunContext* run_ctx = nullptr, ThreadPool* pool = nullptr);
+    const RunContext* run_ctx = nullptr, ThreadPool* pool = nullptr,
+    MetricsRegistry* metrics = nullptr);
 
 }  // namespace vadalink::embed

@@ -124,7 +124,8 @@ void TrainOneWalk(const std::vector<uint32_t>& walk, float* in_data,
 
 EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
                               size_t node_count, const SkipGramConfig& config,
-                              const RunContext* run_ctx, ThreadPool* pool) {
+                              const RunContext* run_ctx, ThreadPool* pool,
+                              MetricsRegistry* metrics) {
   const size_t dims = config.dimensions;
   EmbeddingMatrix in(node_count, dims);  // input ("center") vectors
   std::vector<float> out(node_count * dims, 0.0f);  // context vectors
@@ -152,6 +153,10 @@ EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
 
   const size_t total_steps = config.epochs * total_positions;
   float* in_data = in.row(0);
+  auto record_epoch = [&]() {
+    MetricAdd(metrics, "embed.skipgram.epochs", 1);
+    MetricAdd(metrics, "embed.skipgram.positions", total_positions);
+  };
 
   if (pool != nullptr && pool->thread_count() > 1) {
     // Hogwild path: lr positions are precomputed per walk so the schedule
@@ -176,6 +181,7 @@ EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
             return Status::OK();
           });
       if (!st.ok()) return in;  // cooperative stop: partial embeddings
+      record_epoch();
     }
     return in;
   }
@@ -188,6 +194,7 @@ EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
       TrainOneWalk<false>(walk, in_data, out.data(), dims, config,
                           negative_table, rng, grad, step, total_steps);
     }
+    record_epoch();
   }
   return in;
 }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/run_context.h"
@@ -61,9 +62,14 @@ class EmbeddingMatrix {
 /// Lossy concurrent updates make the parallel result run-to-run
 /// nondeterministic (SGNS quality is tolerant to this); pool == nullptr
 /// keeps the legacy sequential path byte-identical.
+///
+/// `metrics` (nullable) receives embed.skipgram.epochs (completed
+/// epochs) and embed.skipgram.positions (walk positions trained by
+/// completed epochs).
 EmbeddingMatrix TrainSkipGram(const std::vector<std::vector<uint32_t>>& walks,
                               size_t node_count, const SkipGramConfig& config,
                               const RunContext* run_ctx = nullptr,
-                              ThreadPool* pool = nullptr);
+                              ThreadPool* pool = nullptr,
+                              MetricsRegistry* metrics = nullptr);
 
 }  // namespace vadalink::embed

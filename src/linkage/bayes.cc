@@ -43,7 +43,8 @@ double BayesLinkClassifier::LinkProbability(const graph::PropertyGraph& g,
 Result<std::vector<double>> BayesLinkClassifier::ScorePairs(
     const graph::PropertyGraph& g,
     const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
-    const RunContext* run_ctx, ThreadPool* pool) const {
+    const RunContext* run_ctx, ThreadPool* pool,
+    MetricsRegistry* metrics) const {
   std::vector<double> out(pairs.size());
   VL_RETURN_NOT_OK(ParallelFor(
       pool, pairs.size(), 0, run_ctx,
@@ -54,6 +55,10 @@ Result<std::vector<double>> BayesLinkClassifier::ScorePairs(
         }
         return Status::OK();
       }));
+  // Counted once after the loop: the loop either scored every pair or
+  // returned the trip Status above, so the total is exact and
+  // thread-count invariant.
+  MetricAdd(metrics, "linkage.pairs.scored", pairs.size());
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/run_context.h"
 #include "common/status.h"
@@ -47,11 +48,12 @@ class BayesLinkClassifier {
   /// RunContext is polled per pair (its trip Status is returned); a
   /// multi-thread `pool` scores pair chunks concurrently (the classifier
   /// is read-only, writes are disjoint — output is identical at every
-  /// thread count).
+  /// thread count). `metrics` (nullable) receives linkage.pairs.scored.
   Result<std::vector<double>> ScorePairs(
       const graph::PropertyGraph& g,
       const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs,
-      const RunContext* run_ctx = nullptr, ThreadPool* pool = nullptr) const;
+      const RunContext* run_ctx = nullptr, ThreadPool* pool = nullptr,
+      MetricsRegistry* metrics = nullptr) const;
 
   /// Graham combination of arbitrary probabilities (exposed for tests and
   /// for the #LinkProbability Vadalog function).

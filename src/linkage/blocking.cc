@@ -46,7 +46,8 @@ Result<std::vector<uint64_t>> Blocker::BlockAll(const graph::PropertyGraph& g,
 
 Result<std::vector<std::vector<graph::NodeId>>> Blocker::GroupByBlock(
     const graph::PropertyGraph& g, const std::vector<graph::NodeId>& nodes,
-    const RunContext* run_ctx, ThreadPool* pool) const {
+    const RunContext* run_ctx, ThreadPool* pool,
+    MetricsRegistry* metrics) const {
   // Ids are computed in parallel (BlockOf is pure, writes disjoint); the
   // grouping merge stays sequential so block order is deterministic.
   std::vector<uint64_t> ids(nodes.size());
@@ -66,6 +67,13 @@ Result<std::vector<std::vector<graph::NodeId>>> Blocker::GroupByBlock(
   std::vector<std::vector<graph::NodeId>> out;
   out.reserve(groups.size());
   for (auto& [id, members] : groups) out.push_back(std::move(members));
+  // Recorded at the sequential merge so the counts and the block-size
+  // distribution are identical at every thread count.
+  MetricAdd(metrics, "linkage.blocks.created", out.size());
+  if (metrics != nullptr) {
+    MetricsHistogram* sizes = metrics->Histogram("linkage.block.size");
+    for (const auto& members : out) sizes->Record(members.size());
+  }
   return out;
 }
 

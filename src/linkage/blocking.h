@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/run_context.h"
 #include "common/status.h"
@@ -59,10 +60,13 @@ class Blocker {
   /// RunContext is polled per node; when it trips, its trip Status is
   /// returned instead of a partial grouping. A multi-thread `pool`
   /// parallelizes the id computation; grouping stays sequential, so the
-  /// output is identical at every thread count.
+  /// output is identical at every thread count. `metrics` (nullable)
+  /// receives linkage.blocks.created plus the linkage.block.size
+  /// distribution.
   Result<std::vector<std::vector<graph::NodeId>>> GroupByBlock(
       const graph::PropertyGraph& g, const std::vector<graph::NodeId>& nodes,
-      const RunContext* run_ctx = nullptr, ThreadPool* pool = nullptr) const;
+      const RunContext* run_ctx = nullptr, ThreadPool* pool = nullptr,
+      MetricsRegistry* metrics = nullptr) const;
 
  private:
   BlockingConfig config_;

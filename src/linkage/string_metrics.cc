@@ -38,8 +38,11 @@ double NormalizedLevenshtein(std::string_view a, std::string_view b) {
 double Jaro(std::string_view a, std::string_view b) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
-  size_t window = std::max(a.size(), b.size()) / 2;
-  window = window > 0 ? window - 1 : 0;
+  // Match window: floor(max(|a|,|b|) / 2) - 1, but never below 1 — the
+  // textbook clamp. Clamping to 0 instead made length-2/3 pairs such as
+  // "AB"/"BA" score 0 rather than their Jaro value (0.8333 there).
+  size_t half = std::max(a.size(), b.size()) / 2;
+  size_t window = half > 1 ? half - 1 : 1;
 
   std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
   size_t matches = 0;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <set>
 
 #include "common/csv.h"
@@ -221,6 +222,58 @@ TEST(CsvTest, CrLfAndNoTrailingNewline) {
 
 TEST(CsvTest, UnterminatedQuoteFails) {
   EXPECT_FALSE(ParseCsv("\"abc").ok());
+}
+
+TEST(CsvTest, QuotedEmbeddedNewlinesSpanRows) {
+  // A quoted field may span several physical lines; the rows that follow
+  // it must still parse at their own record boundaries.
+  auto rows = ParseCsv("id,note\n1,\"line one\nline two\nline three\"\n2,ok\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[1][0], "1");
+  EXPECT_EQ((*rows)[1][1], "line one\nline two\nline three");
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"2", "ok"}));
+}
+
+TEST(CsvTest, CrLfInsideQuotesIsPreserved) {
+  // Outside quotes CR is record-terminator fluff; inside quotes it is data.
+  auto rows = ParseCsv("\"a\r\nb\",c\r\nd,e\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0], "a\r\nb");
+  EXPECT_EQ((*rows)[0][1], "c");
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"d", "e"}));
+}
+
+TEST(CsvTest, TrailingUnterminatedQuoteFails) {
+  // Good rows before the bad one don't rescue the parse: the whole
+  // document is rejected with a ParseError status.
+  auto broken = ParseCsv("a,b\nc,\"unclosed\nstill going");
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.status().code(), StatusCode::kParseError);
+  // A quote opening in the middle of an unquoted field is also an error.
+  EXPECT_FALSE(ParseCsv("ab\"c,d\n").ok());
+}
+
+TEST(CsvTest, QuoteClosedAtEofParses) {
+  // Closing quote at end-of-input with no trailing newline still yields
+  // the final row.
+  auto rows = ParseCsv("x,\"y\nz\"");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"x", "y\nz"}));
+}
+
+TEST(CsvTest, EmbeddedNewlineFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/vl_csv_newline_test.csv";
+  std::vector<std::vector<std::string>> rows{{"name", "addr"},
+                                             {"ACME", "1 Main St\nSuite 2"},
+                                             {"Bob \"Junior\"", "line\r\nbreak"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, rows);
+  std::remove(path.c_str());
 }
 
 TEST(CsvTest, EncodeRoundTrip) {

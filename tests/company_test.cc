@@ -236,6 +236,67 @@ TEST(OwnershipTest, WalkSumIncludesCycles) {
   EXPECT_NEAR(acc[b.id("B")], 0.5 / 0.75, 1e-9);
 }
 
+TEST(OwnershipTest, WalkSumReportsConvergenceOnDecayingCycle) {
+  CompanyGraphBuilder b;
+  for (const char* c : {"A", "B", "C"}) b.Company(c);
+  b.Own("A", "B", 0.5);
+  b.Own("B", "C", 0.5);
+  b.Own("C", "B", 0.5);
+  auto cg = Build(b);
+  OwnershipConfig cfg;
+  cfg.max_depth = 200;
+  cfg.epsilon = 1e-15;
+  OwnershipStats stats;
+  (void)AccumulatedOwnershipWalkSum(cg, b.id("A"), cfg, &stats);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_GT(stats.depth_reached, 0u);
+  EXPECT_LT(stats.depth_reached, cfg.max_depth);
+}
+
+TEST(OwnershipTest, WalkSumCapsMassAtWholeOwnership) {
+  // Two disjoint full-ownership chains into D: the naive geometric sum
+  // reports Phi(A, D) = 2.0; no entity can own more than the whole.
+  CompanyGraphBuilder b;
+  for (const char* c : {"A", "B", "C", "D"}) b.Company(c);
+  b.Own("A", "B", 1.0);
+  b.Own("A", "C", 1.0);
+  b.Own("B", "D", 1.0);
+  b.Own("C", "D", 1.0);
+  auto cg = Build(b);
+  auto acc = AccumulatedOwnershipWalkSum(cg, b.id("A"), {});
+  EXPECT_DOUBLE_EQ(acc[b.id("D")], 1.0);
+  EXPECT_DOUBLE_EQ(acc[b.id("B")], 1.0);
+}
+
+TEST(OwnershipTest, WalkSumFlagsNonDecayingCycle) {
+  // B <-> C with weight-1.0 edges: walk mass never decays, the geometric
+  // sum diverges. The guard must cap the shares at 1.0, stop at max_depth
+  // and report non-convergence instead of silently returning.
+  CompanyGraphBuilder b;
+  for (const char* c : {"A", "B", "C"}) b.Company(c);
+  b.Own("A", "B", 1.0);
+  b.Own("B", "C", 1.0);
+  b.Own("C", "B", 1.0);
+  auto cg = Build(b);
+  OwnershipConfig cfg;
+  cfg.max_depth = 16;
+  OwnershipStats stats;
+  MetricsRegistry metrics;
+  auto acc =
+      AccumulatedOwnershipWalkSum(cg, b.id("A"), cfg, &stats, nullptr,
+                                  &metrics);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.depth_reached, cfg.max_depth);
+  EXPECT_DOUBLE_EQ(acc[b.id("B")], 1.0);
+  EXPECT_DOUBLE_EQ(acc[b.id("C")], 1.0);
+  EXPECT_EQ(metrics.CounterValue("company.ownership.walksum.nonconvergent"),
+            1u);
+  EXPECT_EQ(metrics.CounterValue("company.ownership.walksum_levels"),
+            cfg.max_depth);
+}
+
 TEST(OwnershipTest, WalkSumEqualsSimplePathsOnDag) {
   auto b = Figure1();
   auto cg = Build(b);

@@ -270,6 +270,61 @@ TEST(KMeansTest, EmptyInput) {
   EXPECT_TRUE(res.assignment.empty());
 }
 
+TEST(KMeansTest, MoreClustersThanDistinctPointsTerminates) {
+  // 8 points but only 2 distinct locations with k = 6: most clusters go
+  // empty every iteration. The deterministic farthest-point reseed must
+  // terminate (no RNG walk, no freeze) and return a valid assignment.
+  EmbeddingMatrix m(8, 2);
+  for (size_t i = 0; i < 8; ++i) {
+    m.row(i)[0] = i < 4 ? 0.0f : 5.0f;
+    m.row(i)[1] = 0.0f;
+  }
+  KMeansConfig cfg;
+  cfg.k = 6;
+  cfg.max_iterations = 50;
+  auto res = KMeans(m, cfg);
+  EXPECT_EQ(res.k_effective, 6u);
+  EXPECT_EQ(res.assignment.size(), 8u);
+  for (uint32_t c : res.assignment) EXPECT_LT(c, res.k_effective);
+  EXPECT_GT(res.empty_reseeds, 0u);
+  EXPECT_LE(res.iterations, cfg.max_iterations);
+  // Two distinct locations -> a perfect clustering has zero inertia.
+  EXPECT_DOUBLE_EQ(res.inertia, 0.0);
+}
+
+TEST(KMeansTest, ReseedIsDeterministic) {
+  EmbeddingMatrix m(8, 2);
+  Rng rng(31);
+  for (size_t i = 0; i < 8; ++i) {
+    m.row(i)[0] = static_cast<float>(i % 3);
+    m.row(i)[1] = static_cast<float>(rng.UniformDouble(0, 0.01));
+  }
+  KMeansConfig cfg;
+  cfg.k = 7;
+  auto a = KMeans(m, cfg);
+  auto b = KMeans(m, cfg);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.empty_reseeds, b.empty_reseeds);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, PublishesMetrics) {
+  EmbeddingMatrix m(20, 2);
+  Rng rng(5);
+  for (size_t i = 0; i < 20; ++i) {
+    m.row(i)[0] = static_cast<float>(rng.UniformDouble(0, 10));
+    m.row(i)[1] = static_cast<float>(rng.UniformDouble(0, 10));
+  }
+  KMeansConfig cfg;
+  cfg.k = 4;
+  MetricsRegistry metrics;
+  auto res = KMeans(m, cfg, nullptr, nullptr, &metrics);
+  EXPECT_EQ(metrics.CounterValue("embed.kmeans.iterations"), res.iterations);
+  EXPECT_DOUBLE_EQ(metrics.GaugeValue("embed.kmeans.inertia"), res.inertia);
+  EXPECT_DOUBLE_EQ(metrics.GaugeValue("embed.kmeans.k_effective"),
+                   static_cast<double>(res.k_effective));
+}
+
 TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
   EmbeddingMatrix m(60, 3);
   Rng rng(23);

@@ -43,11 +43,33 @@ TEST(JaroTest, ClassicExample) {
   EXPECT_NEAR(Jaro("MARTHA", "MARHTA"), 0.944444, 1e-5);
 }
 
+TEST(JaroTest, TextbookReferenceValues) {
+  // The Winkler reference pairs (window = floor(max/2) - 1).
+  EXPECT_NEAR(Jaro("DIXON", "DICKSONX"), 0.766667, 1e-5);
+  EXPECT_NEAR(Jaro("DWAYNE", "DUANE"), 0.822222, 1e-5);
+}
+
+TEST(JaroTest, ShortStringWindowNeverBelowOne) {
+  // |a| = |b| = 2 gives floor(2/2) - 1 = 0; the window must clamp to 1 so
+  // adjacent transposed characters still match (m = 2, t = 1):
+  // (2/2 + 2/2 + 1/2) / 3 = 5/6.
+  EXPECT_NEAR(Jaro("AB", "BA"), 5.0 / 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Jaro("AB", "AB"), 1.0);
+  // Length-3 pairs sit just above the clamp boundary and keep working.
+  EXPECT_GT(Jaro("CAT", "ACT"), 0.0);
+}
+
 TEST(JaroWinklerTest, PrefixBoost) {
   double j = Jaro("MARTHA", "MARHTA");
   double jw = JaroWinkler("MARTHA", "MARHTA");
   EXPECT_GT(jw, j);
   EXPECT_NEAR(jw, 0.961111, 1e-5);
+}
+
+TEST(JaroWinklerTest, TextbookReferenceValues) {
+  // Standard scaling p = 0.1, common prefixes DI (2) and D (1).
+  EXPECT_NEAR(JaroWinkler("DIXON", "DICKSONX"), 0.813333, 1e-5);
+  EXPECT_NEAR(JaroWinkler("DWAYNE", "DUANE"), 0.84, 1e-5);
 }
 
 TEST(SoundexTest, Classics) {

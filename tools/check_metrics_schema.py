@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a --metrics-json document against tools/metrics_schema.json.
+
+Usage: check_metrics_schema.py <metrics.json> [--profile augment|reason]
+
+Checks (stdlib only, no third-party deps):
+  * the required top-level keys exist and schema_version matches;
+  * the profile's required counters / histograms / spans are present;
+  * every counter value is a non-negative integer;
+  * every histogram has count/sum/buckets, exactly the expected number of
+    buckets, and cumulative bucket counts that are monotone non-decreasing
+    and end at the histogram's count;
+  * every span has the expected fields with non-negative integer values.
+
+Exit code 0 when the document conforms, 1 with one line per violation
+otherwise.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("metrics_file")
+    parser.add_argument("--profile", choices=["augment", "reason"],
+                        default="augment")
+    parser.add_argument("--schema",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "metrics_schema.json"))
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+    with open(args.metrics_file) as f:
+        doc = json.load(f)
+
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    for key in schema["required_top_level_keys"]:
+        if key not in doc:
+            err(f"missing top-level key '{key}'")
+    if doc.get("schema_version") != schema["schema_version"]:
+        err(f"schema_version {doc.get('schema_version')!r} != "
+            f"{schema['schema_version']}")
+
+    counters = doc.get("counters", {})
+    for name in schema[f"required_counters_{args.profile}"]:
+        if name not in counters:
+            err(f"missing counter '{name}'")
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            err(f"counter '{name}' is not a non-negative integer: {value!r}")
+
+    histograms = doc.get("histograms", {})
+    for name in schema.get(f"required_histograms_{args.profile}", []):
+        if name not in histograms:
+            err(f"missing histogram '{name}'")
+    for name, h in histograms.items():
+        for field in schema["histogram_fields"]:
+            if field not in h:
+                err(f"histogram '{name}' missing field '{field}'")
+        buckets = h.get("buckets", [])
+        if len(buckets) != schema["histogram_buckets"]:
+            err(f"histogram '{name}' has {len(buckets)} buckets, expected "
+                f"{schema['histogram_buckets']}")
+        prev = 0
+        for i, b in enumerate(buckets):
+            if not isinstance(b, int) or b < 0:
+                err(f"histogram '{name}' bucket {i} is not a non-negative "
+                    f"integer: {b!r}")
+                break
+            if b < prev:
+                err(f"histogram '{name}' cumulative buckets not monotone at "
+                    f"index {i}: {b} < {prev}")
+                break
+            prev = b
+        if buckets and isinstance(h.get("count"), int) \
+                and buckets[-1] != h["count"]:
+            err(f"histogram '{name}' last cumulative bucket {buckets[-1]} != "
+                f"count {h['count']}")
+
+    spans = doc.get("spans", {})
+    for path in schema.get(f"required_spans_{args.profile}", []):
+        if path not in spans:
+            err(f"missing span '{path}'")
+    for path, s in spans.items():
+        for field in schema["span_fields"]:
+            value = s.get(field)
+            if not isinstance(value, int) or value < 0:
+                err(f"span '{path}' field '{field}' is not a non-negative "
+                    f"integer: {value!r}")
+
+    if errors:
+        for e in errors:
+            print(f"check_metrics_schema: {e}", file=sys.stderr)
+        return 1
+    print(f"check_metrics_schema: OK ({args.metrics_file}, "
+          f"profile={args.profile}, {len(counters)} counters, "
+          f"{len(histograms)} histograms, {len(spans)} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,38 @@ ParallelOptions ParallelFromFlags(const Flags& flags) {
   return parallel;
 }
 
+/// Shared observability flags (--metrics-json PATH, --trace 1,
+/// --metrics-wall 1) into `opts`. Returns the owning registry when any of
+/// them asked for one (opts->metrics borrows it), nullptr otherwise —
+/// observability off costs nothing.
+std::unique_ptr<MetricsRegistry> MetricsFromFlags(const Flags& flags,
+                                                  core::PipelineOptions* opts) {
+  opts->metrics_json_path = flags.Get("metrics-json", "");
+  opts->trace = flags.Has("trace") && flags.GetInt("trace", 0) != 0;
+  opts->metrics_wall =
+      flags.Has("metrics-wall") && flags.GetInt("metrics-wall", 0) != 0;
+  if (opts->metrics_json_path.empty() && !opts->trace) return nullptr;
+  auto registry = std::make_unique<MetricsRegistry>();
+  opts->metrics = registry.get();
+  return registry;
+}
+
+/// Post-run emission: --trace report to stderr, --metrics-json document to
+/// its file.
+Status EmitMetrics(const core::PipelineOptions& opts) {
+  if (opts.metrics == nullptr) return Status::OK();
+  if (opts.trace) {
+    std::fputs(opts.metrics->TraceReport().c_str(), stderr);
+  }
+  if (!opts.metrics_json_path.empty()) {
+    MetricsJsonOptions json_opts;
+    json_opts.include_timings = opts.metrics_wall;
+    VL_RETURN_NOT_OK(
+        opts.metrics->WriteJsonFile(opts.metrics_json_path, json_opts));
+  }
+  return Status::OK();
+}
+
 Result<graph::PropertyGraph> LoadIn(const Flags& flags) {
   std::string base = flags.Get("in", "");
   if (base.empty()) {
@@ -149,11 +181,13 @@ int CmdAugment(const Flags& flags) {
   opts.augment.max_rounds = static_cast<size_t>(flags.GetInt("rounds", 2));
   opts.augment.use_embedding = !flags.Has("no-embedding");
   auto governor = GovernorFromFlags(flags);
+  auto registry = MetricsFromFlags(flags, &opts);
   if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
   if (Status st = opts.Validate(); !st.ok()) return Fail(st);
   auto vl = core::MakeDefaultVadaLink(opts.EffectiveAugment());
-  auto stats = vl.Augment(&g.value(), governor.get());
+  auto stats = vl.Augment(&g.value(), governor.get(), opts.metrics);
   if (!stats.ok()) return Fail(stats.status());
+  if (Status st = EmitMetrics(opts); !st.ok()) return Fail(st);
   if (Status st = SaveOut(*g, flags); !st.ok()) return Fail(st);
   std::printf("added %zu links in %zu rounds (%zu pairs compared; embed "
               "%.2fs, candidates %.2fs) -> %s_{nodes,edges}.csv\n",
@@ -284,6 +318,7 @@ int CmdReason(const Flags& flags) {
   auto governor = GovernorFromFlags(flags);
   core::PipelineOptions opts;
   opts.parallel = ParallelFromFlags(flags);
+  auto registry = MetricsFromFlags(flags, &opts);
   if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
   if (Status st = opts.Validate(); !st.ok()) return Fail(st);
 
@@ -296,8 +331,9 @@ int CmdReason(const Flags& flags) {
     std::fprintf(stderr, "warning: program is not warded; evaluation is "
                          "guarded by engine limits\n");
   }
-  auto stats = kg.Reason(governor.get());
+  auto stats = kg.Reason(governor.get(), opts.metrics);
   if (!stats.ok()) return Fail(stats.status());
+  if (Status st = EmitMetrics(opts); !st.ok()) return Fail(st);
   std::printf("derived %zu facts (%zu -> %zu), materialised %zu links\n",
               stats->engine.facts_derived, stats->facts_before,
               stats->facts_after, stats->links_materialised);
@@ -368,12 +404,14 @@ commands:
   stats       --in BASE
   augment     --in BASE --out BASE2 [--rounds N] [--no-embedding 1]
               [--deadline-ms MS] [--max-facts N] [--threads N] [--grain N]
+              [--metrics-json FILE] [--trace 1] [--metrics-wall 1]
   control     --in BASE [--source ID] [--threshold T]
   closelinks  --in BASE [--threshold T]
   ubo         --in BASE --target ID [--threshold T]
   screen      --in BASE --borrower ID --guarantor ID [--threshold T]
   reason      --in BASE --program FILE.vada [--query PRED] [--out BASE2]
               [--deadline-ms MS] [--max-facts N] [--threads N] [--grain N]
+              [--metrics-json FILE] [--trace 1] [--metrics-wall 1]
   dot         --in BASE [--out FILE.dot]
   evolve      --out BASE [--persons N] [--from Y] [--to Y] [--seed S]
 
@@ -388,6 +426,12 @@ reported); 'reason' fails with DeadlineExceeded / ResourceExhausted.
 thread pool (0 = hardware concurrency, 1 = sequential default); --grain
 sets the items per parallel chunk (0 = auto). threads=1 reproduces the
 sequential outputs byte for byte.
+
+--metrics-json writes the run's metrics registry (counters, gauges,
+histograms, span tree) as one stable-schema JSON document; --trace 1
+prints the human-readable span tree to stderr. The default document
+omits wall-clock timings, so it is byte-stable run-to-run at a fixed
+seed with threads=1; --metrics-wall 1 opts timings in.
 )");
 }
 
