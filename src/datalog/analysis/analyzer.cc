@@ -1,0 +1,564 @@
+#include "datalog/analysis/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "datalog/stratify.h"
+#include "datalog/warded.h"
+
+namespace vadalink::datalog::analysis {
+
+namespace {
+
+/// Names the engine registers as builtin functions (datalog/builtins.cc)
+/// plus the aggregate keywords; a user predicate with one of these names
+/// almost always indicates a missing '#' or a typo.
+const char* const kBuiltinNames[] = {
+    "sk",    "hash",  "mod",      "concat",   "lower", "upper",
+    "strlen", "substr", "abs",     "min",      "max",   "pow",
+    "sqrt",  "floor", "ceil",     "toint",    "todouble", "tostring",
+    "msum",  "mprod", "mmin",     "mmax",     "mcount",
+};
+
+void CollectVars(const Expr& e, std::vector<uint32_t>* out) {
+  if (e.op == Expr::Op::kVar) out->push_back(e.var);
+  if (e.op == Expr::Op::kAggregate) {
+    for (uint32_t c : e.contributors) out->push_back(c);
+  }
+  for (const Expr& child : e.children) CollectVars(child, out);
+}
+
+bool ContainsAggregate(const Expr& e) {
+  if (e.is_aggregate()) return true;
+  for (const Expr& child : e.children) {
+    if (ContainsAggregate(child)) return true;
+  }
+  return false;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names[i];
+  }
+  return out;
+}
+
+SourceSpan SpanOr(const SourceSpan& preferred, const SourceSpan& fallback) {
+  return preferred.known() ? preferred : fallback;
+}
+
+struct Analyzer {
+  const Program& program;
+  const Catalog& cat;
+  const AnalyzerOptions& options;
+  AnalysisReport report;
+
+  std::string PredName(uint32_t id) const { return cat.predicates.Name(id); }
+
+  void Add(Severity sev, const char* code, uint32_t rule, std::string pred,
+           SourceSpan span, std::string message, std::string hint) {
+    Diagnostic d;
+    d.severity = sev;
+    d.code = code;
+    d.rule_index = rule;
+    d.predicate = std::move(pred);
+    d.span = span;
+    d.message = std::move(message);
+    d.hint = std::move(hint);
+    report.diagnostics.push_back(std::move(d));
+  }
+
+  // ---- pass 1: safety / range restriction --------------------------------
+
+  void CheckSafety() {
+    for (uint32_t r = 0; r < program.rules.size(); ++r) {
+      const Rule& rule = program.rules[r];
+      if (rule.head.empty()) {
+        Add(Severity::kError, "VL004", r, "", rule.span,
+            "rule has no head atom",
+            "every rule must derive at least one atom");
+        continue;
+      }
+      // Variables bound by positive body atoms (order-independent: the
+      // engine joins all positive atoms before evaluating conditions).
+      std::vector<bool> atom_bound(rule.var_names.size(), false);
+      for (const Literal& lit : rule.body) {
+        if (lit.kind != Literal::Kind::kAtom) continue;
+        for (const Term& t : lit.atom.args) {
+          if (t.is_var()) atom_bound[t.var] = true;
+        }
+      }
+      std::vector<bool> bound = atom_bound;
+      size_t aggregates = 0;
+      for (size_t li = 0; li < rule.body.size(); ++li) {
+        const Literal& lit = rule.body[li];
+        SourceSpan at = SpanOr(lit.span, rule.span);
+        switch (lit.kind) {
+          case Literal::Kind::kAtom:
+            break;
+          case Literal::Kind::kNegatedAtom:
+            for (const Term& t : lit.atom.args) {
+              if (t.is_var() && !atom_bound[t.var]) {
+                Add(Severity::kError, "VL002", r, PredName(lit.atom.predicate),
+                    SpanOr(lit.atom.span, at),
+                    "variable " + rule.var_names[t.var] +
+                        " appears only under negation",
+                    "bind " + rule.var_names[t.var] +
+                        " in a positive body atom before negating");
+              }
+            }
+            break;
+          case Literal::Kind::kComparison: {
+            std::vector<uint32_t> vars;
+            CollectVars(lit.lhs, &vars);
+            CollectVars(lit.rhs, &vars);
+            for (uint32_t v : vars) {
+              if (!bound[v]) {
+                Add(Severity::kError, "VL001", r, "", at,
+                    "variable " + rule.var_names[v] +
+                        " used in comparison but never bound",
+                    "bind " + rule.var_names[v] +
+                        " in a positive body atom or an assignment first");
+              }
+            }
+            if (ContainsAggregate(lit.lhs) || ContainsAggregate(lit.rhs)) {
+              Add(Severity::kError, "VL003", r, "", at,
+                  "aggregate expression inside a comparison",
+                  "assign the aggregate to a variable first, then compare "
+                  "the variable");
+            }
+            break;
+          }
+          case Literal::Kind::kAssignment: {
+            std::vector<uint32_t> vars;
+            CollectVars(lit.rhs, &vars);
+            for (uint32_t v : vars) {
+              if (!bound[v] && v != lit.target_var) {
+                Add(Severity::kError, "VL001", r, "", at,
+                    "variable " + rule.var_names[v] +
+                        " used in assignment but never bound",
+                    "bind " + rule.var_names[v] +
+                        " in a positive body atom or an earlier assignment");
+              }
+            }
+            if (lit.rhs.is_aggregate()) {
+              ++aggregates;
+              if (aggregates > 1) {
+                Add(Severity::kError, "VL003", r, "", at,
+                    "rule computes more than one aggregate",
+                    "split the rule: one aggregate assignment per rule");
+              }
+              // mcount takes no value expression, only contributors.
+              if (lit.rhs.children.empty() &&
+                  lit.rhs.agg != AggKind::kMCount) {
+                Add(Severity::kError, "VL003", r, "", at,
+                    std::string(AggKindName(lit.rhs.agg)) +
+                        " aggregate has no value expression",
+                    "");
+              }
+              for (const Expr& child : lit.rhs.children) {
+                if (ContainsAggregate(child)) {
+                  Add(Severity::kError, "VL003", r, "", at,
+                      "nested aggregate expression", "");
+                }
+              }
+            } else if (ContainsAggregate(lit.rhs)) {
+              Add(Severity::kError, "VL003", r, "", at,
+                  "aggregate must be the top-level right-hand side of an "
+                  "assignment",
+                  "");
+            }
+            bound[lit.target_var] = true;
+            break;
+          }
+        }
+      }
+    }
+    for (const Atom& fact : program.facts) {
+      for (const Term& t : fact.args) {
+        if (t.is_var()) {
+          Add(Severity::kError, "VL004", Diagnostic::kNoRule,
+              PredName(fact.predicate), fact.span,
+              "fact " + PredName(fact.predicate) + " is not ground",
+              "facts may contain only constants");
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- pass 2: wardedness -------------------------------------------------
+
+  void CheckWardedness() {
+    WardednessReport warded = AnalyzeWardedness(program, cat);
+    if (warded.warded) return;
+    for (const RuleReport& rr : warded.rules) {
+      if (rr.safety != RuleSafety::kNotWarded) continue;
+      const Rule& rule = program.rules[rr.rule_index];
+      std::string head_pred =
+          rule.head.empty() ? "" : PredName(rule.head[0].predicate);
+      if (rr.violation_kind == WardViolation::kNoSharedWard) {
+        std::string msg = "rule is not warded: dangerous variables " +
+                          JoinNames(rr.dangerous_vars) +
+                          " do not occur together in any single body atom";
+        if (rr.violating_literal != UINT32_MAX &&
+            rr.violating_literal < rule.body.size()) {
+          msg += " (" + rr.violating_var + " only occurs in " +
+                 LiteralToString(rule.body[rr.violating_literal], rule, cat) +
+                 ")";
+        }
+        Add(Severity::kError, "VL010", rr.rule_index, head_pred,
+            SpanOr(rr.violating_span, rule.span), std::move(msg),
+            "gather the dangerous variables into one body atom (the ward), "
+            "or make them harmless by joining them on a non-affected "
+            "position");
+      } else {
+        std::string msg = "rule is not warded: " + rr.violation;
+        if (rr.violating_literal != UINT32_MAX &&
+            rr.violating_literal < rule.body.size()) {
+          msg += " (" +
+                 LiteralToString(rule.body[rr.violating_literal], rule, cat) +
+                 ")";
+        }
+        Add(Severity::kError, "VL011", rr.rule_index, head_pred,
+            SpanOr(rr.violating_span, rule.span), std::move(msg),
+            "the ward may share only harmless variables with the rest of "
+            "the body; rename or re-join variable " +
+                rr.violating_var);
+      }
+    }
+  }
+
+  // ---- pass 3: stratification --------------------------------------------
+
+  void CheckStratification() {
+    const size_t num_preds = cat.predicates.size();
+    std::vector<DepEdge> edges = BuildDependencyGraph(program);
+    std::vector<uint32_t> comp = CondenseSCCs(edges, num_preds);
+
+    std::set<std::pair<uint32_t, uint32_t>> reported;  // (rule, from)
+    for (const DepEdge& e : edges) {
+      if (!e.negative || comp[e.from] != comp[e.to]) continue;
+      if (e.rule != UINT32_MAX && !reported.insert({e.rule, e.from}).second) {
+        continue;
+      }
+      std::string cycle;
+      std::string first;
+      for (uint32_t p = 0; p < num_preds; ++p) {
+        if (comp[p] != comp[e.from]) continue;
+        if (cycle.empty()) {
+          first = PredName(p);
+        } else {
+          cycle += " -> ";
+        }
+        cycle += PredName(p);
+      }
+      cycle += " -> " + first;
+      Add(Severity::kError, "VL020",
+          e.rule == UINT32_MAX ? Diagnostic::kNoRule : e.rule,
+          PredName(e.from), e.span,
+          "negation through recursion: 'not " + PredName(e.from) +
+              "' lies on cycle " + cycle,
+          "break the cycle, or move the negated predicate into a lower "
+          "stratum");
+    }
+
+    // Non-monotone use of an aggregate result inside a recursive rule: a
+    // guard that can flip from true to false as the running aggregate
+    // grows makes the fixpoint order-dependent.
+    for (uint32_t r = 0; r < program.rules.size(); ++r) {
+      const Rule& rule = program.rules[r];
+      const Literal* agg_lit = nullptr;
+      for (const Literal& lit : rule.body) {
+        if (lit.kind == Literal::Kind::kAssignment && lit.rhs.is_aggregate()) {
+          agg_lit = &lit;
+        }
+      }
+      if (agg_lit == nullptr) continue;
+      bool recursive = false;
+      for (const Atom& head : rule.head) {
+        for (const Literal& lit : rule.body) {
+          if (lit.kind != Literal::Kind::kAtom) continue;
+          if (comp[lit.atom.predicate] == comp[head.predicate]) {
+            recursive = true;
+          }
+        }
+      }
+      if (!recursive) continue;
+      const uint32_t target = agg_lit->target_var;
+      const AggKind agg = agg_lit->rhs.agg;
+      // msum/mprod/mmax/mcount grow, mmin shrinks. A guard is monotone
+      // only if it stays true once true.
+      const bool increasing = agg != AggKind::kMMin;
+      for (const Literal& lit : rule.body) {
+        if (lit.kind != Literal::Kind::kComparison) continue;
+        CmpOp op = lit.cmp;
+        bool uses_target = false;
+        if (lit.lhs.op == Expr::Op::kVar && lit.lhs.var == target) {
+          uses_target = true;
+        } else if (lit.rhs.op == Expr::Op::kVar && lit.rhs.var == target) {
+          uses_target = true;
+          // Normalise so the aggregate sits on the left.
+          switch (op) {
+            case CmpOp::kLt: op = CmpOp::kGt; break;
+            case CmpOp::kLe: op = CmpOp::kGe; break;
+            case CmpOp::kGt: op = CmpOp::kLt; break;
+            case CmpOp::kGe: op = CmpOp::kLe; break;
+            default: break;
+          }
+        }
+        if (!uses_target) continue;
+        const bool anti_monotone =
+            increasing ? (op == CmpOp::kLt || op == CmpOp::kLe ||
+                          op == CmpOp::kEq)
+                       : (op == CmpOp::kGt || op == CmpOp::kGe ||
+                          op == CmpOp::kEq);
+        if (!anti_monotone) continue;
+        Add(Severity::kWarning, "VL021", r, "",
+            SpanOr(lit.span, rule.span),
+            std::string("non-monotone use of ") + AggKindName(agg) +
+                " result " + rule.var_names[target] +
+                " inside a recursive rule: guard '" +
+                rule.var_names[target] + " " + CmpOpName(op) +
+                " ...' can turn false as the aggregate " +
+                (increasing ? "grows" : "shrinks"),
+            std::string("use a monotone guard (") +
+                (increasing ? "'>=' / '>'" : "'<=' / '<'") +
+                ") or compute the aggregate in a separate non-recursive "
+                "rule");
+      }
+    }
+  }
+
+  // ---- pass 4: hygiene ----------------------------------------------------
+
+  void CheckHygiene() {
+    CheckArityConflicts();
+    CheckUnusedPredicates();
+    CheckDeadRules();
+    CheckSingletonVars();
+    CheckShadowedBuiltins();
+  }
+
+  void CheckArityConflicts() {
+    struct FirstUse {
+      size_t arity;
+      SourceSpan span;
+      uint32_t rule;
+    };
+    std::map<uint32_t, FirstUse> seen;
+    std::set<uint32_t> flagged;
+    auto visit = [&](const Atom& atom, uint32_t rule, SourceSpan fallback) {
+      SourceSpan at = SpanOr(atom.span, fallback);
+      auto [it, inserted] =
+          seen.emplace(atom.predicate, FirstUse{atom.args.size(), at, rule});
+      if (inserted || it->second.arity == atom.args.size()) return;
+      if (!flagged.insert(atom.predicate).second) return;
+      Add(Severity::kError, "VL033", rule, PredName(atom.predicate), at,
+          "predicate " + PredName(atom.predicate) + " used with arity " +
+              std::to_string(atom.args.size()) + " but first used with arity " +
+              std::to_string(it->second.arity) + " at " +
+              it->second.span.ToString(),
+          "predicates must have one fixed arity");
+    };
+    for (const Atom& fact : program.facts) {
+      visit(fact, Diagnostic::kNoRule, fact.span);
+    }
+    for (uint32_t r = 0; r < program.rules.size(); ++r) {
+      const Rule& rule = program.rules[r];
+      for (const Literal& lit : rule.body) {
+        if (lit.kind == Literal::Kind::kAtom ||
+            lit.kind == Literal::Kind::kNegatedAtom) {
+          visit(lit.atom, r, rule.span);
+        }
+      }
+      for (const Atom& head : rule.head) visit(head, r, rule.span);
+    }
+  }
+
+  void CheckUnusedPredicates() {
+    const size_t num_preds = cat.predicates.size();
+    // First definition site per predicate (fact or rule head), plus read
+    // sites (any body occurrence, positive or negated).
+    std::vector<bool> defined(num_preds, false), read(num_preds, false);
+    std::vector<SourceSpan> def_span(num_preds);
+    std::vector<uint32_t> def_rule(num_preds, Diagnostic::kNoRule);
+    for (const Atom& fact : program.facts) {
+      if (!defined[fact.predicate]) {
+        defined[fact.predicate] = true;
+        def_span[fact.predicate] = fact.span;
+      }
+    }
+    for (uint32_t r = 0; r < program.rules.size(); ++r) {
+      const Rule& rule = program.rules[r];
+      for (const Atom& head : rule.head) {
+        if (!defined[head.predicate]) {
+          defined[head.predicate] = true;
+          def_span[head.predicate] = SpanOr(head.span, rule.span);
+          def_rule[head.predicate] = r;
+        }
+      }
+      for (const Literal& lit : rule.body) {
+        if (lit.kind == Literal::Kind::kAtom ||
+            lit.kind == Literal::Kind::kNegatedAtom) {
+          read[lit.atom.predicate] = true;
+        }
+      }
+    }
+    std::set<uint32_t> outputs(program.outputs.begin(),
+                               program.outputs.end());
+    for (uint32_t p = 0; p < num_preds; ++p) {
+      if (!defined[p] || read[p] || outputs.count(p) > 0) continue;
+      Add(Severity::kWarning, "VL030", def_rule[p], PredName(p), def_span[p],
+          "predicate " + PredName(p) +
+              " is derived but never read and is not @output",
+          "read it in a rule body, mark it @output, or delete it");
+    }
+  }
+
+  void CheckDeadRules() {
+    if (program.outputs.empty()) return;
+    const size_t num_preds = cat.predicates.size();
+    // Reverse reachability from the outputs: a rule is live if one of its
+    // head predicates is needed; its body predicates then become needed.
+    std::vector<bool> needed(num_preds, false);
+    for (uint32_t p : program.outputs) {
+      if (p < num_preds) needed[p] = true;
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Rule& rule : program.rules) {
+        bool live = false;
+        for (const Atom& head : rule.head) {
+          if (needed[head.predicate]) live = true;
+        }
+        if (!live) continue;
+        for (const Literal& lit : rule.body) {
+          if (lit.kind != Literal::Kind::kAtom &&
+              lit.kind != Literal::Kind::kNegatedAtom) {
+            continue;
+          }
+          if (!needed[lit.atom.predicate]) {
+            needed[lit.atom.predicate] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+    for (uint32_t r = 0; r < program.rules.size(); ++r) {
+      const Rule& rule = program.rules[r];
+      bool live = rule.head.empty();  // headless rules are VL004's problem
+      for (const Atom& head : rule.head) {
+        if (needed[head.predicate]) live = true;
+      }
+      if (live) continue;
+      std::string head_pred =
+          rule.head.empty() ? "" : PredName(rule.head[0].predicate);
+      Add(Severity::kWarning, "VL031", r, head_pred, rule.span,
+          "dead rule: none of its head predicates can reach an @output "
+          "predicate",
+          "mark a head predicate @output, read it from a live rule, or "
+          "delete the rule");
+    }
+  }
+
+  void CheckSingletonVars() {
+    for (uint32_t r = 0; r < program.rules.size(); ++r) {
+      const Rule& rule = program.rules[r];
+      std::vector<size_t> count(rule.var_names.size(), 0);
+      // Span of the body-atom occurrence (the only place worth flagging).
+      std::vector<SourceSpan> where(rule.var_names.size());
+      std::vector<bool> in_body_atom(rule.var_names.size(), false);
+      for (const Literal& lit : rule.body) {
+        switch (lit.kind) {
+          case Literal::Kind::kAtom:
+          case Literal::Kind::kNegatedAtom:
+            for (const Term& t : lit.atom.args) {
+              if (!t.is_var()) continue;
+              ++count[t.var];
+              in_body_atom[t.var] = true;
+              if (!where[t.var].known()) {
+                where[t.var] = SpanOr(lit.atom.span, rule.span);
+              }
+            }
+            break;
+          case Literal::Kind::kComparison: {
+            std::vector<uint32_t> vars;
+            CollectVars(lit.lhs, &vars);
+            CollectVars(lit.rhs, &vars);
+            for (uint32_t v : vars) ++count[v];
+            break;
+          }
+          case Literal::Kind::kAssignment: {
+            std::vector<uint32_t> vars;
+            CollectVars(lit.rhs, &vars);
+            for (uint32_t v : vars) ++count[v];
+            ++count[lit.target_var];
+            break;
+          }
+        }
+      }
+      for (const Atom& head : rule.head) {
+        for (const Term& t : head.args) {
+          if (t.is_var()) ++count[t.var];
+        }
+      }
+      for (uint32_t v = 0; v < rule.var_names.size(); ++v) {
+        if (count[v] != 1 || !in_body_atom[v]) continue;
+        const std::string& name = rule.var_names[v];
+        if (!name.empty() && name[0] == '_') continue;
+        Add(Severity::kWarning, "VL032", r, "", where[v],
+            "singleton variable " + name + " is used only once",
+            "prefix it with '_' if the position is intentionally ignored");
+      }
+    }
+  }
+
+  void CheckShadowedBuiltins() {
+    std::set<std::string> builtins(std::begin(kBuiltinNames),
+                                   std::end(kBuiltinNames));
+    builtins.insert(options.extra_builtins.begin(),
+                    options.extra_builtins.end());
+    std::set<uint32_t> flagged;
+    auto visit = [&](const Atom& atom, uint32_t rule, SourceSpan fallback) {
+      std::string name = PredName(atom.predicate);
+      if (builtins.count(name) == 0) return;
+      if (!flagged.insert(atom.predicate).second) return;
+      Add(Severity::kWarning, "VL034", rule, name,
+          SpanOr(atom.span, fallback),
+          "predicate " + name + " shadows a builtin function or aggregate",
+          "rename the predicate (builtins are called as #" + name + "(...))");
+    };
+    for (const Atom& fact : program.facts) {
+      visit(fact, Diagnostic::kNoRule, fact.span);
+    }
+    for (uint32_t r = 0; r < program.rules.size(); ++r) {
+      const Rule& rule = program.rules[r];
+      for (const Atom& head : rule.head) visit(head, r, rule.span);
+      for (const Literal& lit : rule.body) {
+        if (lit.kind == Literal::Kind::kAtom ||
+            lit.kind == Literal::Kind::kNegatedAtom) {
+          visit(lit.atom, r, rule.span);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+AnalysisReport AnalyzeProgram(const Program& program, const Catalog& cat,
+                              const AnalyzerOptions& options) {
+  Analyzer a{program, cat, options, {}};
+  a.CheckSafety();
+  a.CheckWardedness();
+  a.CheckStratification();
+  if (options.hygiene) a.CheckHygiene();
+  return a.report;
+}
+
+}  // namespace vadalink::datalog::analysis

@@ -1,0 +1,48 @@
+// Multi-pass static analyzer for Vadalog programs.
+//
+// AnalyzeProgram runs four passes over a parsed (or programmatically
+// built) program and returns every finding as a structured Diagnostic:
+//
+//   1. safety       — range restriction: comparison/assignment variables
+//                     must be bound, negated atoms must not introduce
+//                     variables, aggregates must be well-placed (VL00x)
+//   2. wardedness   — harmless/harmful/dangerous classification from the
+//                     existential affection graph; violations name the
+//                     exact body atom at fault (VL01x)
+//   3. stratification — predicate dependency graph with edge provenance;
+//                     negation through recursion names the offending
+//                     cycle, aggregates used non-monotonically inside a
+//                     recursive rule are flagged (VL02x)
+//   4. hygiene      — unused predicates, dead rules, singleton variables,
+//                     arity conflicts, shadowed builtins (VL03x)
+//
+// The analyzer never mutates the program and never fails: invalid input
+// yields error diagnostics, not a status. Engine::Run uses it as a
+// mandatory pre-flight (see EngineOptions::preflight); `vadalink lint`
+// exposes it on the command line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datalog/analysis/diagnostics.h"
+#include "datalog/ast.h"
+
+namespace vadalink::datalog::analysis {
+
+struct AnalyzerOptions {
+  /// Run the VL03x hygiene lints. Pre-flight keeps them on (they are
+  /// warnings, not errors); callers analysing rule fragments may turn
+  /// them off.
+  bool hygiene = true;
+  /// Extra names treated as builtins for the shadowed-builtin lint, in
+  /// addition to the engine's registered functions and aggregate names.
+  std::vector<std::string> extra_builtins;
+};
+
+/// Analyses `program` against `cat` and returns every diagnostic in
+/// deterministic order (pass order, then rule order).
+AnalysisReport AnalyzeProgram(const Program& program, const Catalog& cat,
+                              const AnalyzerOptions& options = {});
+
+}  // namespace vadalink::datalog::analysis

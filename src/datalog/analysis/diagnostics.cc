@@ -1,0 +1,111 @@
+#include "datalog/analysis/diagnostics.h"
+
+namespace vadalink::datalog::analysis {
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          *out += "\\u00";
+          *out += hex[(c >> 4) & 0xf];
+          *out += hex[c & 0xf];
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  *out += '"';
+  AppendJsonEscaped(out, s);
+  *out += '"';
+}
+
+}  // namespace
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+size_t AnalysisReport::error_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+size_t AnalysisReport::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+std::string AnalysisReport::Render() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += SeverityName(d.severity);
+    out += "[" + d.code + "]";
+    if (d.rule_index != Diagnostic::kNoRule) {
+      out += " rule " + std::to_string(d.rule_index);
+    }
+    if (d.span.known()) {
+      out += " (" + d.span.ToString() + ")";
+    }
+    out += ": " + d.message;
+    if (!d.predicate.empty()) {
+      out += " [predicate " + d.predicate + "]";
+    }
+    out += "\n";
+    if (!d.hint.empty()) {
+      out += "    hint: " + d.hint + "\n";
+    }
+  }
+  return out;
+}
+
+std::string AnalysisReport::ToJson(const std::string& program_name) const {
+  std::string out = "{\"schema_version\":1,\"program\":";
+  AppendJsonString(&out, program_name);
+  out += ",\"summary\":{\"errors\":" + std::to_string(error_count()) +
+         ",\"warnings\":" + std::to_string(warning_count()) +
+         ",\"diagnostics\":" + std::to_string(diagnostics.size()) + "}";
+  out += ",\"diagnostics\":[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i > 0) out += ",";
+    out += "{\"severity\":";
+    AppendJsonString(&out, SeverityName(d.severity));
+    out += ",\"code\":";
+    AppendJsonString(&out, d.code);
+    out += ",\"rule\":";
+    out += d.rule_index == Diagnostic::kNoRule
+               ? "-1"
+               : std::to_string(d.rule_index);
+    out += ",\"predicate\":";
+    AppendJsonString(&out, d.predicate);
+    out += ",\"line\":" + std::to_string(d.span.line);
+    out += ",\"col\":" + std::to_string(d.span.col);
+    out += ",\"message\":";
+    AppendJsonString(&out, d.message);
+    out += ",\"hint\":";
+    AppendJsonString(&out, d.hint);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace vadalink::datalog::analysis

@@ -2,6 +2,11 @@
 
 namespace vadalink::datalog {
 
+std::string SourceSpan::ToString() const {
+  if (!known()) return "<synthesised>";
+  return "line " + std::to_string(line) + ", col " + std::to_string(col);
+}
+
 const char* AggKindName(AggKind k) {
   switch (k) {
     case AggKind::kMSum: return "msum";

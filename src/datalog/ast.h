@@ -23,6 +23,19 @@ struct Catalog {
   SymbolTable functions;
 };
 
+/// A source position (1-based; 0 = synthesised, no position known). The
+/// lexer stamps every token, the parser copies the stamp onto the rule,
+/// literal and atom it is building, and the analyzer / error paths carry
+/// it into diagnostics.
+struct SourceSpan {
+  uint32_t line = 0;
+  uint32_t col = 0;
+
+  bool known() const { return line != 0; }
+  /// "line L, col C" (or "<synthesised>" for unknown positions).
+  std::string ToString() const;
+};
+
 /// An atom argument: a rule variable or a ground constant.
 struct Term {
   enum class Kind : uint8_t { kVar, kConst };
@@ -49,6 +62,8 @@ struct Term {
 struct Atom {
   uint32_t predicate = 0;  // id in Catalog::predicates
   std::vector<Term> args;
+  /// Position of the predicate name in the source (0/0 if synthesised).
+  SourceSpan span;
 };
 
 /// Kinds of monotonic aggregates (Vadalog-style; see Shkapsky et al. and
@@ -117,6 +132,8 @@ struct Literal {
   CmpOp cmp = CmpOp::kEq; // kComparison
   Expr lhs, rhs;          // kComparison (both) / kAssignment (rhs)
   uint32_t target_var = 0;  // kAssignment
+  /// Position of the literal's first token (0/0 if synthesised).
+  SourceSpan span;
 };
 
 /// body -> head1, ..., headK.
@@ -125,8 +142,8 @@ struct Rule {
   std::vector<Atom> head;
   /// Variable names, indexed by the var ids used in terms/exprs.
   std::vector<std::string> var_names;
-  /// Source line for diagnostics (0 if synthesised).
-  uint32_t line = 0;
+  /// Position of the rule's first token (line 0 if synthesised).
+  SourceSpan span;
 };
 
 /// A parsed program.

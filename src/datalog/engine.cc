@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/fault_injection.h"
+#include "datalog/analysis/analyzer.h"
 
 namespace vadalink::datalog {
 
@@ -136,7 +137,7 @@ Status Engine::Prepare(const Program& program) {
       }
       if (take < 0) {
         return Status::InvalidArgument(
-            "rule at line " + std::to_string(src.line) +
+            "rule at " + src.span.ToString() +
             " cannot be ordered for evaluation (unbound variables): " +
             RuleToString(src, *cat));
       }
@@ -197,7 +198,7 @@ Status Engine::Prepare(const Program& program) {
         if (e.op == Expr::Op::kCall && resolved_fns_[e.function] == nullptr) {
           st = Status::InvalidArgument(
               "unknown function #" + cat->functions.Name(e.function) +
-              " in rule at line " + std::to_string(src.line));
+              " in rule at " + src.span.ToString());
         }
         for (const Expr& c : e.children) self(c, self);
       };
@@ -456,7 +457,7 @@ Status Engine::MatchFrom(
         return Status::InvalidArgument(
             "arity mismatch for predicate '" +
             db_->catalog()->predicates.Name(lit.atom.predicate) +
-            "' in rule at line " + std::to_string(cr.rule.line));
+            "' in rule at " + cr.rule.span.ToString());
       }
 
       // Which positive-atom occurrence is this?
@@ -706,7 +707,7 @@ Status Engine::ParallelEvalRule(
     return Status::InvalidArgument(
         "arity mismatch for predicate '" +
         db_->catalog()->predicates.Name(lit.atom.predicate) +
-        "' in rule at line " + std::to_string(cr.rule.line));
+        "' in rule at " + cr.rule.span.ToString());
   }
   size_t lo = 0, hi = rel->size();
   if (delta_occurrence == 0) {
@@ -894,6 +895,26 @@ void Engine::PublishChaseMetrics() {
   published_ = stats_;
 }
 
+Status Engine::Preflight(const Program& program) {
+  if (!options_.preflight) return Status::OK();
+  analysis::AnalysisReport report =
+      analysis::AnalyzeProgram(program, *db_->catalog());
+  if (report.has_errors()) {
+    return Status::InvalidArgument(
+        "program rejected by static analysis pre-flight (" +
+        std::to_string(report.error_count()) + " error(s)):\n" +
+        report.Render());
+  }
+  if (options_.metrics != nullptr && !report.diagnostics.empty()) {
+    MetricAdd(options_.metrics, "analysis.warnings",
+              report.warning_count());
+    for (const analysis::Diagnostic& d : report.diagnostics) {
+      MetricAdd(options_.metrics, "analysis.diag." + d.code, 1);
+    }
+  }
+  return Status::OK();
+}
+
 Status Engine::Run(const Program& program) {
   VL_FAULT_POINT("engine.run");
   program_ = &program;
@@ -903,6 +924,8 @@ Status Engine::Run(const Program& program) {
   // Pessimistically aborted until the chase completes, so an early return
   // on any path below leaves the engine in the "aborted" state.
   last_run_aborted_ = true;
+
+  VL_RETURN_NOT_OK(Preflight(program));
 
   for (const Atom& fact : program.facts) {
     std::vector<Value> tuple;
@@ -946,6 +969,8 @@ Status Engine::RunIncremental(const Program& program) {
       }
     }
   }
+
+  VL_RETURN_NOT_OK(Preflight(program));
 
   for (const Atom& fact : program.facts) {
     std::vector<Value> tuple;
@@ -1021,7 +1046,7 @@ std::string Engine::Explain(uint32_t predicate,
     out += "  <- rule " + std::to_string(it->second.rule);
     if (program_ != nullptr && it->second.rule < program_->rules.size()) {
       out += " [line " +
-             std::to_string(program_->rules[it->second.rule].line) + "]";
+             std::to_string(program_->rules[it->second.rule].span.line) + "]";
     }
     out += "\n";
     if (item.depth + 1 <= max_depth) {

@@ -57,6 +57,13 @@ struct EngineOptions {
   /// semi-naive delta size into the engine.delta.size histogram. nullptr =
   /// no recording.
   MetricsRegistry* metrics = nullptr;
+  /// Run the static analyzer (datalog/analysis) before evaluating. Any
+  /// analyzer *error* (safety, wardedness, stratification, arity) fails
+  /// the call with kInvalidArgument carrying the rendered diagnostics;
+  /// warnings are published to metrics ("analysis.warnings" plus one
+  /// "analysis.diag.<code>" counter per diagnostic code) and do not block
+  /// evaluation.
+  bool preflight = true;
 };
 
 struct EngineStats {
@@ -80,9 +87,11 @@ class Engine {
   /// facts. Aggregate state is reset at the start of each call.
   ///
   /// Error codes:
-  ///  * kInvalidArgument — a rule cannot be ordered for evaluation, an
-  ///    unknown '#function' is referenced, an arity mismatch is detected,
-  ///    or the program cannot be stratified;
+  ///  * kInvalidArgument — the static-analysis pre-flight found an error
+  ///    (unsafe rule, wardedness violation, negation through recursion,
+  ///    arity conflict; see datalog/analysis), a rule cannot be ordered
+  ///    for evaluation, an unknown '#function' is referenced, or a runtime
+  ///    arity mismatch is detected;
   ///  * kResourceExhausted — max_iterations or max_facts exceeded, or the
   ///    RunContext work budget ran out;
   ///  * kDeadlineExceeded — the RunContext wall-clock deadline expired;
@@ -158,6 +167,11 @@ class Engine {
 
     Value Current(AggKind kind) const;
   };
+
+  /// Mandatory static-analysis gate for Run/RunIncremental (unless
+  /// options_.preflight is off): errors -> kInvalidArgument with rendered
+  /// diagnostics, warnings -> metrics counters.
+  Status Preflight(const Program& program);
 
   Status Prepare(const Program& program);
   /// initial_before: per-predicate fact counts marking the start of the

@@ -39,12 +39,23 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
   std::vector<Token> tokens;
   uint32_t line = 1;
   size_t i = 0;
+  size_t line_start = 0;  // index of the first character of `line`
   const size_t n = source.size();
+
+  // 1-based column of index `at` on the current line.
+  auto col_of = [&](size_t at) {
+    return static_cast<uint32_t>(at - line_start + 1);
+  };
+  auto pos_error = [&](size_t at, const std::string& msg) {
+    return Status::ParseError("line " + std::to_string(line) + ", col " +
+                              std::to_string(col_of(at)) + ": " + msg);
+  };
 
   auto push = [&](TokenType t) {
     Token tok;
     tok.type = t;
     tok.line = line;
+    tok.col = col_of(i);
     tokens.push_back(std::move(tok));
   };
 
@@ -53,6 +64,7 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -75,6 +87,7 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
       }
       Token tok;
       tok.line = line;
+      tok.col = col_of(start);
       tok.text = std::string(source.substr(start, i - start));
       tok.type = (std::isupper(static_cast<unsigned char>(c)) || c == '_')
                      ? TokenType::kVariable
@@ -109,6 +122,7 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
       std::string text(source.substr(start, i - start));
       Token tok;
       tok.line = line;
+      tok.col = col_of(start);
       if (is_double) {
         tok.type = TokenType::kDouble;
         tok.double_value = std::strtod(text.c_str(), nullptr);
@@ -120,6 +134,8 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
       continue;
     }
     if (c == '"') {
+      const uint32_t open_line = line;
+      const uint32_t open_col = col_of(i);
       ++i;
       std::string text;
       bool closed = false;
@@ -141,16 +157,21 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
           i += 2;
           continue;
         }
-        if (source[i] == '\n') ++line;
+        if (source[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
         text += source[i++];
       }
       if (!closed) {
-        return Status::ParseError("line " + std::to_string(line) +
+        return Status::ParseError("line " + std::to_string(open_line) +
+                                  ", col " + std::to_string(open_col) +
                                   ": unterminated string literal");
       }
       Token tok;
       tok.type = TokenType::kString;
-      tok.line = line;
+      tok.line = open_line;
+      tok.col = open_col;
       tok.text = std::move(text);
       tokens.push_back(std::move(tok));
       continue;
@@ -190,8 +211,7 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
           push(TokenType::kNe);
           i += 2;
         } else {
-          return Status::ParseError("line " + std::to_string(line) +
-                                    ": stray '!'");
+          return pos_error(i, "stray '!'");
         }
         break;
       case '<':
@@ -213,9 +233,8 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
         }
         break;
       default:
-        return Status::ParseError("line " + std::to_string(line) +
-                                  ": unexpected character '" +
-                                  std::string(1, c) + "'");
+        return pos_error(i, "unexpected character '" + std::string(1, c) +
+                                "'");
     }
   }
   push(TokenType::kEof);

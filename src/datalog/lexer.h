@@ -49,11 +49,12 @@ struct Token {
   std::string text;     // identifier / string payload
   int64_t int_value = 0;
   double double_value = 0.0;
-  uint32_t line = 0;
+  uint32_t line = 0;    // 1-based line of the token's first character
+  uint32_t col = 0;     // 1-based column of the token's first character
 };
 
-/// Tokenizes a full program source. Returns ParseError with line info on
-/// malformed input (unterminated string, stray character).
+/// Tokenizes a full program source. Returns ParseError with line/column
+/// info on malformed input (unterminated string, stray character).
 Result<std::vector<Token>> Tokenize(std::string_view source);
 
 }  // namespace vadalink::datalog

@@ -46,11 +46,23 @@ class Parser {
     return false;
   }
 
+  static SourceSpan SpanOf(const Token& tok) {
+    SourceSpan s;
+    s.line = tok.line;
+    s.col = tok.col;
+    return s;
+  }
+
   Status Error(const std::string& msg) {
-    return Status::ParseError("line " + std::to_string(Peek().line) + ": " +
-                              msg + " (found " + TokenTypeName(Peek().type) +
+    return Status::ParseError(SpanOf(Peek()).ToString() + ": " + msg +
+                              " (found " + TokenTypeName(Peek().type) +
                               (Peek().text.empty() ? "" : " '" + Peek().text + "'") +
                               ")");
+  }
+
+  /// Error anchored at a rule's starting position (for whole-rule checks).
+  static Status RuleError(const Rule& rule, const std::string& msg) {
+    return Status::ParseError(rule.span.ToString() + ": " + msg);
   }
 
   Status Expect(TokenType t, const char* what) {
@@ -64,7 +76,7 @@ class Parser {
     // Parse one rule or fact. We parse the body literals first; when a '.'
     // follows immediately after a single ground atom, it is a fact.
     Rule rule;
-    rule.line = Peek().line;
+    rule.span = SpanOf(Peek());
     var_index_.clear();
     VL_RETURN_NOT_OK(ParseLiteral(&rule));
     while (Match(TokenType::kComma)) {
@@ -75,12 +87,12 @@ class Parser {
       for (const Literal& l : rule.body) {
         if (l.kind != Literal::Kind::kAtom) {
           return Status::ParseError(
-              "line " + std::to_string(rule.line) +
+              l.span.ToString() +
               ": only plain atoms may be asserted as facts");
         }
         for (const Term& t : l.atom.args) {
           if (t.is_var()) {
-            return Status::ParseError("line " + std::to_string(rule.line) +
+            return Status::ParseError(l.atom.span.ToString() +
                                       ": fact arguments must be ground");
           }
         }
@@ -131,6 +143,7 @@ class Parser {
   // literal := 'not' atom | VARIABLE '=' expr | atom | expr CMP expr
   Status ParseLiteral(Rule* rule) {
     Literal lit;
+    lit.span = SpanOf(Peek());
     if (Check(TokenType::kIdent) && Peek().text == "not") {
       Advance();
       lit.kind = Literal::Kind::kNegatedAtom;
@@ -162,6 +175,7 @@ class Parser {
         !IsComparisonNext()) {
       // 0-ary atom, e.g. "flag".
       lit.kind = Literal::Kind::kAtom;
+      lit.atom.span = SpanOf(Peek());
       lit.atom.predicate = catalog_->predicates.Intern(Advance().text);
       rule->body.push_back(std::move(lit));
       return Status::OK();
@@ -197,6 +211,7 @@ class Parser {
 
   Status ParseAtom(Rule* rule, Atom* atom) {
     if (!Check(TokenType::kIdent)) return Error("expected predicate name");
+    atom->span = SpanOf(Peek());
     atom->predicate = catalog_->predicates.Intern(Advance().text);
     if (!Match(TokenType::kLParen)) return Status::OK();  // 0-ary
     if (Match(TokenType::kRParen)) return Status::OK();
@@ -385,15 +400,15 @@ class Parser {
     for (const Literal& l : rule.body) {
       if (l.kind == Literal::Kind::kAssignment) bound[l.target_var] = true;
     }
-    auto check_vars_bound = [&](const Expr& e, const char* what) -> Status {
+    auto check_vars_bound = [&](const Expr& e, const SourceSpan& span,
+                                const char* what) -> Status {
       std::vector<bool> used(rule.var_names.size(), false);
       CollectExprVars(e, &used);
       for (uint32_t v = 0; v < used.size(); ++v) {
         if (used[v] && !bound[v]) {
           return Status::ParseError(
-              "line " + std::to_string(rule.line) + ": variable " +
-              rule.var_names[v] + " in " + what +
-              " is not bound by any positive body atom or assignment");
+              span.ToString() + ": variable " + rule.var_names[v] + " in " +
+              what + " is not bound by any positive body atom or assignment");
         }
       }
       return Status::OK();
@@ -407,17 +422,17 @@ class Parser {
           for (const Term& t : l.atom.args) {
             if (t.is_var() && !bound[t.var]) {
               return Status::ParseError(
-                  "line " + std::to_string(rule.line) + ": variable " +
+                  l.atom.span.ToString() + ": variable " +
                   rule.var_names[t.var] + " appears only under negation");
             }
           }
           break;
         case Literal::Kind::kComparison:
-          VL_RETURN_NOT_OK(check_vars_bound(l.lhs, "comparison"));
-          VL_RETURN_NOT_OK(check_vars_bound(l.rhs, "comparison"));
+          VL_RETURN_NOT_OK(check_vars_bound(l.lhs, l.span, "comparison"));
+          VL_RETURN_NOT_OK(check_vars_bound(l.rhs, l.span, "comparison"));
           if (l.lhs.is_aggregate() || l.rhs.is_aggregate()) {
             return Status::ParseError(
-                "line " + std::to_string(rule.line) +
+                l.span.ToString() +
                 ": aggregates may only appear in assignments");
           }
           break;
@@ -425,22 +440,21 @@ class Parser {
           if (l.rhs.is_aggregate()) {
             ++agg_count;
             if (l.rhs.agg != AggKind::kMCount && l.rhs.children.empty()) {
-              return Status::ParseError("line " + std::to_string(rule.line) +
+              return Status::ParseError(l.span.ToString() +
                                         ": aggregate needs a value argument");
             }
           } else {
             // Nested aggregates inside other expressions are not allowed.
-            std::vector<bool> dummy(rule.var_names.size(), false);
             if (HasNestedAggregate(l.rhs)) {
               return Status::ParseError(
-                  "line " + std::to_string(rule.line) +
+                  l.span.ToString() +
                   ": aggregates may only appear at assignment top level");
             }
           }
-          VL_RETURN_NOT_OK(check_vars_bound(l.rhs, "assignment"));
+          VL_RETURN_NOT_OK(check_vars_bound(l.rhs, l.span, "assignment"));
           if (positive_bound[l.target_var]) {
             return Status::ParseError(
-                "line " + std::to_string(rule.line) + ": variable " +
+                l.span.ToString() + ": variable " +
                 rule.var_names[l.target_var] +
                 " is both atom-bound and assigned");
           }
@@ -448,12 +462,10 @@ class Parser {
       }
     }
     if (agg_count > 1) {
-      return Status::ParseError("line " + std::to_string(rule.line) +
-                                ": at most one aggregate per rule");
+      return RuleError(rule, "at most one aggregate per rule");
     }
     if (rule.head.empty()) {
-      return Status::ParseError("line " + std::to_string(rule.line) +
-                                ": rule has no head");
+      return RuleError(rule, "rule has no head");
     }
     return Status::OK();
   }

@@ -4,69 +4,181 @@
 
 namespace vadalink::datalog {
 
-namespace {
-
-struct DepEdge {
-  uint32_t from;  // body predicate
-  uint32_t to;    // head predicate
-  bool negative;
-};
-
-}  // namespace
-
-Result<Stratification> Stratify(const Program& program, const Catalog& cat) {
-  const size_t num_preds = cat.predicates.size();
+std::vector<DepEdge> BuildDependencyGraph(const Program& program) {
   std::vector<DepEdge> edges;
-  for (const Rule& rule : program.rules) {
+  for (uint32_t r = 0; r < program.rules.size(); ++r) {
+    const Rule& rule = program.rules[r];
+    bool aggregated = false;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kAssignment && lit.rhs.is_aggregate()) {
+        aggregated = true;
+      }
+    }
     for (const Atom& head : rule.head) {
       for (const Literal& lit : rule.body) {
-        if (lit.kind == Literal::Kind::kAtom) {
-          edges.push_back({lit.atom.predicate, head.predicate, false});
-        } else if (lit.kind == Literal::Kind::kNegatedAtom) {
-          edges.push_back({lit.atom.predicate, head.predicate, true});
+        if (lit.kind != Literal::Kind::kAtom &&
+            lit.kind != Literal::Kind::kNegatedAtom) {
+          continue;
         }
+        DepEdge e;
+        e.from = lit.atom.predicate;
+        e.to = head.predicate;
+        e.negative = lit.kind == Literal::Kind::kNegatedAtom;
+        e.aggregated = aggregated;
+        e.rule = r;
+        e.span = lit.atom.span.known() ? lit.atom.span : rule.span;
+        edges.push_back(e);
       }
       // Tie multi-head predicates together (mutual positive edges) so the
       // whole rule lands in a single stratum.
       for (const Atom& other : rule.head) {
         if (other.predicate != head.predicate) {
-          edges.push_back({other.predicate, head.predicate, false});
-          edges.push_back({head.predicate, other.predicate, false});
+          DepEdge tie;
+          tie.from = other.predicate;
+          tie.to = head.predicate;
+          tie.rule = UINT32_MAX;
+          tie.span = rule.span;
+          edges.push_back(tie);
+          std::swap(tie.from, tie.to);
+          edges.push_back(tie);
         }
       }
     }
   }
+  return edges;
+}
 
-  // Longest-path stratum assignment via Bellman-Ford-style relaxation:
-  // stratum(to) >= stratum(from) (+1 if negative edge).
-  std::vector<uint32_t> stratum(num_preds, 0);
-  const size_t max_rounds = num_preds + 1;
-  bool changed = true;
-  size_t round = 0;
-  while (changed) {
-    if (++round > max_rounds) {
-      return Status::InvalidArgument(
-          "program is not stratifiable: negation through recursion");
-    }
-    changed = false;
-    for (const DepEdge& e : edges) {
-      uint32_t required = stratum[e.from] + (e.negative ? 1 : 0);
-      if (stratum[e.to] < required) {
-        stratum[e.to] = required;
-        changed = true;
+std::vector<uint32_t> CondenseSCCs(const std::vector<DepEdge>& edges,
+                                   size_t num_preds) {
+  // Adjacency over predicate ids.
+  std::vector<std::vector<uint32_t>> adj(num_preds);
+  for (const DepEdge& e : edges) {
+    if (e.from < num_preds && e.to < num_preds) adj[e.from].push_back(e.to);
+  }
+
+  // Iterative Tarjan (explicit stack: node + next-child cursor).
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(num_preds, kUnvisited);
+  std::vector<uint32_t> lowlink(num_preds, 0);
+  std::vector<bool> on_stack(num_preds, false);
+  std::vector<uint32_t> comp(num_preds, kUnvisited);
+  std::vector<uint32_t> scc_stack;
+  uint32_t next_index = 0;
+  uint32_t next_comp = 0;
+
+  struct Frame {
+    uint32_t node;
+    size_t child;
+  };
+  std::vector<Frame> call_stack;
+
+  for (uint32_t root = 0; root < num_preds; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      uint32_t v = f.node;
+      if (f.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        scc_stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (f.child < adj[v].size()) {
+        uint32_t w = adj[v][f.child++];
+        if (index[w] == kUnvisited) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        for (;;) {
+          uint32_t w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = next_comp;
+          if (w == v) break;
+        }
+        ++next_comp;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        uint32_t parent = call_stack.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
       }
     }
   }
+  return comp;
+}
+
+Result<Stratification> Stratify(const Program& program, const Catalog& cat) {
+  const size_t num_preds = cat.predicates.size();
+  std::vector<DepEdge> edges = BuildDependencyGraph(program);
+  std::vector<uint32_t> comp = CondenseSCCs(edges, num_preds);
+
+  // A negative edge inside one component = negation through recursion.
+  // Name the offending literal and the predicate cycle it sits on.
+  for (const DepEdge& e : edges) {
+    if (!e.negative || comp[e.from] != comp[e.to]) continue;
+    std::string cycle;
+    std::string first;
+    for (uint32_t p = 0; p < num_preds; ++p) {
+      if (comp[p] != comp[e.from]) continue;
+      if (cycle.empty()) {
+        first = cat.predicates.Name(p);
+      } else {
+        cycle += " -> ";
+      }
+      cycle += cat.predicates.Name(p);
+    }
+    cycle += " -> " + first;
+    std::string where;
+    if (e.rule != UINT32_MAX) {
+      where = " ('not " + cat.predicates.Name(e.from) + "' in rule #" +
+              std::to_string(e.rule) + " at " + e.span.ToString() + ")";
+    }
+    return Status::InvalidArgument(
+        "program is not stratifiable: negation through recursion on cycle " +
+        cycle + where);
+  }
+
+  // Stratum per component: components are numbered in reverse topological
+  // order, so walking ids descending sees every edge's source component
+  // before its target. stratum(to) = max over incoming edges of
+  // stratum(from) + (1 if negative).
+  uint32_t num_comps = 0;
+  for (uint32_t c : comp) {
+    if (c != UINT32_MAX) num_comps = std::max(num_comps, c + 1);
+  }
+  std::vector<std::vector<const DepEdge*>> incoming(num_comps);
+  for (const DepEdge& e : edges) {
+    if (comp[e.from] != comp[e.to]) incoming[comp[e.to]].push_back(&e);
+  }
+  std::vector<uint32_t> comp_stratum(num_comps, 0);
+  for (uint32_t c = num_comps; c-- > 0;) {
+    uint32_t s = 0;
+    for (const DepEdge* e : incoming[c]) {
+      s = std::max(s, comp_stratum[comp[e->from]] + (e->negative ? 1u : 0u));
+    }
+    comp_stratum[c] = s;
+  }
 
   Stratification out;
-  out.predicate_stratum = stratum;
+  out.predicate_stratum.assign(num_preds, 0);
   uint32_t max_stratum = 0;
-  for (uint32_t s : stratum) max_stratum = std::max(max_stratum, s);
+  for (uint32_t p = 0; p < num_preds; ++p) {
+    out.predicate_stratum[p] = comp_stratum[comp[p]];
+    max_stratum = std::max(max_stratum, out.predicate_stratum[p]);
+  }
   out.strata.resize(max_stratum + 1);
   for (uint32_t r = 0; r < program.rules.size(); ++r) {
     uint32_t rule_stratum = 0;
     for (const Atom& head : program.rules[r].head) {
-      rule_stratum = std::max(rule_stratum, stratum[head.predicate]);
+      rule_stratum =
+          std::max(rule_stratum, out.predicate_stratum[head.predicate]);
     }
     out.strata[rule_stratum].push_back(r);
   }

@@ -1,12 +1,15 @@
 // Stratification of programs with negation.
 //
-// Builds the predicate dependency graph (positive edges from body atoms to
-// head predicates, negative edges from negated body atoms), rejects
-// programs with negation inside a recursive component, and assigns every
-// rule to a stratum. Head predicates of the same rule are forced into the
-// same stratum so multi-head rules stay sound.
+// Builds the predicate dependency graph — positive edges from body atoms
+// to head predicates, negative edges from negated body atoms — with full
+// edge provenance (rule index + source span), condenses it into strongly
+// connected components, rejects programs with a negative edge inside a
+// component (negation through recursion) naming the offending cycle, and
+// assigns every rule to a stratum. Head predicates of the same rule are
+// forced into the same stratum so multi-head rules stay sound.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -14,15 +17,48 @@
 
 namespace vadalink::datalog {
 
+/// One dependency edge with provenance: `to` depends on `from` because
+/// rule `rule` reads `from` in its body (negated if `negative`) and writes
+/// `to` in its head.
+struct DepEdge {
+  uint32_t from = 0;       // body predicate
+  uint32_t to = 0;         // head predicate
+  bool negative = false;   // from a negated body atom
+  /// True when the rule computes a monotonic aggregate: the analyzer uses
+  /// this to find aggregation inside recursive components.
+  bool aggregated = false;
+  /// Rule index into Program::rules; UINT32_MAX for the synthetic edges
+  /// tying multi-head predicates together.
+  uint32_t rule = UINT32_MAX;
+  /// Position of the body literal inducing the edge (rule span for the
+  /// synthetic multi-head ties).
+  SourceSpan span;
+};
+
+/// The full dependency graph of `program`, synthetic multi-head tie edges
+/// included. Deterministic order (rules in program order, body literals in
+/// source order).
+std::vector<DepEdge> BuildDependencyGraph(const Program& program);
+
+/// Tarjan condensation of the dependency graph over predicates
+/// [0, num_preds). Returns comp[p] for every predicate; component ids are
+/// assigned in reverse topological order, i.e. for every cross-component
+/// edge u -> v, comp[v] <= comp[u], with equality iff u and v are in the
+/// same component.
+std::vector<uint32_t> CondenseSCCs(const std::vector<DepEdge>& edges,
+                                   size_t num_preds);
+
 struct Stratification {
   /// stratum index -> rule indices (into Program::rules), evaluation order.
   std::vector<std::vector<uint32_t>> strata;
-  /// predicate id -> stratum (UINT32_MAX for predicates not mentioned).
+  /// predicate id -> stratum (0 for predicates not mentioned).
   std::vector<uint32_t> predicate_stratum;
 };
 
 /// Computes a stratification, or InvalidArgument if the program uses
-/// negation through recursion.
+/// negation through recursion. The error message names the offending
+/// negated literal (rule + source span) and the predicate cycle it sits
+/// on.
 Result<Stratification> Stratify(const Program& program, const Catalog& cat);
 
 }  // namespace vadalink::datalog

@@ -1,5 +1,6 @@
 #include "datalog/warded.h"
 
+#include <map>
 #include <set>
 
 namespace vadalink::datalog {
@@ -31,18 +32,35 @@ VarOccurrences CollectBodyOccurrences(const Rule& rule) {
   return occ;
 }
 
+/// Provenance of one affected position: the first witness wins, so later
+/// fixpoint rounds never rewrite it.
+struct Witness {
+  uint32_t rule = 0;
+  bool existential = false;
+};
+
 }  // namespace
 
+const char* VarClassName(VarClass c) {
+  switch (c) {
+    case VarClass::kHarmless: return "harmless";
+    case VarClass::kHarmful: return "harmful";
+    case VarClass::kDangerous: return "dangerous";
+  }
+  return "?";
+}
+
 WardednessReport AnalyzeWardedness(const Program& program,
-                                   const Catalog& cat) {
+                                   const Catalog& /*cat*/) {
   WardednessReport report;
 
   // ---- fixpoint of affected positions -----------------------------------
-  std::set<PosKey> affected;
+  std::map<PosKey, Witness> affected;
   bool changed = true;
   while (changed) {
     changed = false;
-    for (const Rule& rule : program.rules) {
+    for (uint32_t r = 0; r < program.rules.size(); ++r) {
+      const Rule& rule = program.rules[r];
       VarOccurrences occ = CollectBodyOccurrences(rule);
       std::vector<bool> body_bound = BodyBoundVars(rule);
       // A body variable is "nullable" if it occurs in body atoms and all
@@ -50,7 +68,7 @@ WardednessReport AnalyzeWardedness(const Program& program,
       auto nullable = [&](uint32_t v) {
         if (occ.positions[v].empty()) return false;
         for (const PosKey& p : occ.positions[v]) {
-          if (!affected.count(p)) return false;
+          if (affected.count(p) == 0) return false;
         }
         return true;
       };
@@ -58,17 +76,29 @@ WardednessReport AnalyzeWardedness(const Program& program,
         for (size_t a = 0; a < head.args.size(); ++a) {
           const Term& t = head.args[a];
           if (!t.is_var()) continue;
-          bool makes_affected =
-              !body_bound[t.var] /* existential */ || nullable(t.var);
+          bool existential = !body_bound[t.var];
+          bool makes_affected = existential || nullable(t.var);
           if (makes_affected &&
-              affected.insert({head.predicate, a}).second) {
+              affected
+                  .emplace(PosKey{head.predicate, a}, Witness{r, existential})
+                  .second) {
             changed = true;
           }
         }
       }
     }
   }
-  report.affected_positions.assign(affected.begin(), affected.end());
+  report.affected_positions.reserve(affected.size());
+  report.affected_details.reserve(affected.size());
+  for (const auto& [pos, witness] : affected) {
+    report.affected_positions.push_back(pos);
+    AffectedPosition ap;
+    ap.predicate = pos.first;
+    ap.position = pos.second;
+    ap.witness_rule = witness.rule;
+    ap.existential = witness.existential;
+    report.affected_details.push_back(ap);
+  }
 
   // ---- per-rule classification --------------------------------------------
   for (uint32_t r = 0; r < program.rules.size(); ++r) {
@@ -84,6 +114,7 @@ WardednessReport AnalyzeWardedness(const Program& program,
       }
     }
 
+    // Harmless = occurs in at least one non-affected body position.
     // Harmful = occurs in body atoms only at affected positions.
     // Dangerous = harmful and propagated to the head.
     std::vector<uint32_t> dangerous;
@@ -92,13 +123,21 @@ WardednessReport AnalyzeWardedness(const Program& program,
       if (occ.positions[v].empty()) continue;
       bool all_affected = true;
       for (const PosKey& p : occ.positions[v]) {
-        if (!affected.count(p)) all_affected = false;
+        if (affected.count(p) == 0) all_affected = false;
       }
+      VarReport vr;
+      vr.var = v;
+      vr.name = rule.var_names[v];
       if (!all_affected) {
         harmless[v] = true;
+        vr.cls = VarClass::kHarmless;
       } else if (in_head[v]) {
         dangerous.push_back(v);
+        vr.cls = VarClass::kDangerous;
+      } else {
+        vr.cls = VarClass::kHarmful;
       }
+      rr.body_vars.push_back(std::move(vr));
     }
 
     if (dangerous.empty()) {
@@ -113,16 +152,29 @@ WardednessReport AnalyzeWardedness(const Program& program,
     // All dangerous variables must share one body atom (the ward).
     std::set<size_t> candidate_wards(occ.atoms[dangerous[0]].begin(),
                                      occ.atoms[dangerous[0]].end());
-    for (size_t i = 1; i < dangerous.size(); ++i) {
+    bool no_shared_ward = false;
+    for (size_t i = 1; i < dangerous.size() && !no_shared_ward; ++i) {
       std::set<size_t> next;
       for (size_t li : occ.atoms[dangerous[i]]) {
-        if (candidate_wards.count(li)) next.insert(li);
+        if (candidate_wards.count(li) > 0) next.insert(li);
+      }
+      if (next.empty()) {
+        // This variable's atoms are disjoint from the surviving candidate
+        // wards: its first occurrence is the atom breaking the condition.
+        no_shared_ward = true;
+        rr.violating_literal =
+            static_cast<uint32_t>(occ.atoms[dangerous[i]][0]);
+        rr.violating_var = rule.var_names[dangerous[i]];
+        const SourceSpan& atom_span =
+            rule.body[rr.violating_literal].atom.span;
+        rr.violating_span = atom_span.known() ? atom_span : rule.span;
       }
       candidate_wards = std::move(next);
     }
-    if (candidate_wards.empty()) {
+    if (no_shared_ward) {
       rr.safety = RuleSafety::kNotWarded;
       rr.violation = "dangerous variables do not share a body atom";
+      rr.violation_kind = WardViolation::kNoSharedWard;
       report.warded = false;
       report.rules.push_back(std::move(rr));
       continue;
@@ -131,6 +183,8 @@ WardednessReport AnalyzeWardedness(const Program& program,
     // The ward may share only harmless variables with the rest of the body.
     bool some_ward_ok = false;
     std::string last_violation;
+    uint32_t last_violating_literal = UINT32_MAX;
+    std::string last_violating_var;
     for (size_t ward : candidate_wards) {
       bool ok = true;
       const Atom& ward_atom = rule.body[ward].atom;
@@ -143,6 +197,8 @@ WardednessReport AnalyzeWardedness(const Program& program,
             last_violation = "ward shares harmful variable " +
                              rule.var_names[t.var] +
                              " with another body atom";
+            last_violating_literal = static_cast<uint32_t>(li);
+            last_violating_var = rule.var_names[t.var];
           }
         }
       }
@@ -156,6 +212,14 @@ WardednessReport AnalyzeWardedness(const Program& program,
     } else {
       rr.safety = RuleSafety::kNotWarded;
       rr.violation = last_violation;
+      rr.violation_kind = WardViolation::kWardSharesHarmful;
+      rr.violating_literal = last_violating_literal;
+      rr.violating_var = last_violating_var;
+      if (last_violating_literal != UINT32_MAX) {
+        const SourceSpan& atom_span =
+            rule.body[last_violating_literal].atom.span;
+        rr.violating_span = atom_span.known() ? atom_span : rule.span;
+      }
       report.warded = false;
     }
     report.rules.push_back(std::move(rr));
@@ -185,6 +249,16 @@ std::string WardednessReport::ToString(const Catalog& cat,
         break;
       case RuleSafety::kNotWarded:
         out += "NOT WARDED — " + rr.violation;
+        if (rr.violating_literal != UINT32_MAX &&
+            rr.rule_index < program.rules.size()) {
+          const Rule& rule = program.rules[rr.rule_index];
+          if (rr.violating_literal < rule.body.size()) {
+            out += " (at " +
+                   LiteralToString(rule.body[rr.violating_literal], rule,
+                                   cat) +
+                   ")";
+          }
+        }
         break;
     }
     if (rr.rule_index < program.rules.size()) {

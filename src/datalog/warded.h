@@ -7,17 +7,25 @@
 //    null there: base case, positions holding existential variables;
 //    inductive case, positions receiving a body variable that occurs only
 //    in affected positions.
-//  * A body variable is DANGEROUS in a rule if it occurs ONLY in affected
-//    body positions and also occurs in the head (it can propagate nulls).
+//  * A body variable is HARMLESS if it occurs in at least one non-affected
+//    body position (it can never bind a null), HARMFUL if all its body
+//    occurrences are affected, and DANGEROUS if it is harmful and also
+//    occurs in the head (it can propagate nulls).
 //  * A rule is WARDED if all its dangerous variables occur together in a
 //    single body atom (the WARD), and the ward shares only harmless
-//    variables (occurring in at least one non-affected position) with the
-//    other body atoms.
+//    variables with the other body atoms.
 //
 // A program is warded iff every rule is. Plain Datalog rules (no
 // existentials anywhere) are trivially warded.
+//
+// The analysis is provenance-carrying: every affected position records the
+// rule that first made it affected (its witness), every body variable gets
+// a harmless/harmful/dangerous classification, and a wardedness violation
+// names the exact body atom (literal index + source span) at fault — the
+// raw material for the VL01x diagnostics in datalog/analysis.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,6 +39,36 @@ enum class RuleSafety {
   kNotWarded,  // wardedness violated
 };
 
+/// Classification of a body variable w.r.t. the affected positions.
+enum class VarClass : uint8_t { kHarmless, kHarmful, kDangerous };
+
+const char* VarClassName(VarClass c);
+
+/// One affected position with its provenance.
+struct AffectedPosition {
+  uint32_t predicate = 0;
+  size_t position = 0;
+  /// Rule whose head first placed a null (or propagated one) here.
+  uint32_t witness_rule = 0;
+  /// True when the base case applied (the witness rule holds an
+  /// existential variable at this position); false for propagation.
+  bool existential = false;
+};
+
+/// Classification of one body-atom variable of a rule.
+struct VarReport {
+  uint32_t var = 0;
+  std::string name;
+  VarClass cls = VarClass::kHarmless;
+};
+
+/// Which clause of the ward condition a kNotWarded rule breaks.
+enum class WardViolation : uint8_t {
+  kNone,              // rule is warded / plain datalog
+  kNoSharedWard,      // dangerous variables do not share a body atom
+  kWardSharesHarmful, // ward shares a harmful variable with another atom
+};
+
 struct RuleReport {
   uint32_t rule_index = 0;
   RuleSafety safety = RuleSafety::kDatalog;
@@ -38,6 +76,16 @@ struct RuleReport {
   std::vector<std::string> dangerous_vars;
   /// Human-readable reason for kNotWarded.
   std::string violation;
+  /// Structured reason for kNotWarded (kNone otherwise).
+  WardViolation violation_kind = WardViolation::kNone;
+  /// Every variable occurring in a positive body atom, classified.
+  std::vector<VarReport> body_vars;
+  /// kNotWarded provenance: the body literal index of the atom violating
+  /// the ward condition (UINT32_MAX when not applicable), the variable at
+  /// fault, and the atom's source span.
+  uint32_t violating_literal = UINT32_MAX;
+  std::string violating_var;
+  SourceSpan violating_span;
 };
 
 struct WardednessReport {
@@ -45,6 +93,8 @@ struct WardednessReport {
   std::vector<RuleReport> rules;
   /// (predicate id, position) pairs that are affected.
   std::vector<std::pair<uint32_t, size_t>> affected_positions;
+  /// Same set with witness provenance, aligned with affected_positions.
+  std::vector<AffectedPosition> affected_details;
 
   std::string ToString(const Catalog& cat, const Program& program) const;
 };

@@ -101,5 +101,41 @@ TEST(CliFlagsTest, FirstErrorIsKept) {
   EXPECT_NE(flags.error().find("rounds"), std::string::npos);
 }
 
+TEST(CliFlagsTest, RequireKnownAcceptsExactMatches) {
+  Args a({"vadalink", "cmd", "--in", "reg", "--threads", "4"});
+  Flags flags(a.argc(), a.argv(), 2);
+  EXPECT_TRUE(flags.RequireKnown({"in", "out", "threads"}));
+  EXPECT_TRUE(flags.ok());
+}
+
+TEST(CliFlagsTest, RequireKnownRejectsUnknownWithSuggestion) {
+  // '--thread' used to be silently accepted and ignored; it must now
+  // fail and point at '--threads'.
+  Args a({"vadalink", "cmd", "--in", "reg", "--thread", "4"});
+  Flags flags(a.argc(), a.argv(), 2);
+  EXPECT_FALSE(flags.RequireKnown({"in", "out", "threads"}));
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("unknown flag '--thread'"),
+            std::string::npos);
+  EXPECT_NE(flags.error().find("did you mean '--threads'?"),
+            std::string::npos);
+}
+
+TEST(CliFlagsTest, RequireKnownOmitsFarfetchedSuggestions) {
+  Args a({"vadalink", "cmd", "--zzzzzzz", "1"});
+  Flags flags(a.argc(), a.argv(), 2);
+  EXPECT_FALSE(flags.RequireKnown({"in", "out"}));
+  EXPECT_NE(flags.error().find("unknown flag '--zzzzzzz'"),
+            std::string::npos);
+  EXPECT_EQ(flags.error().find("did you mean"), std::string::npos);
+}
+
+TEST(CliFlagsTest, EditDistanceBasics) {
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("thread", "threads"), 1u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+}
+
 }  // namespace
 }  // namespace vadalink::cli

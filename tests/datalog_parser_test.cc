@@ -181,6 +181,35 @@ TEST_F(ParserTest, ErrorsCarryLineNumbers) {
   EXPECT_NE(p.status().message().find("line 3"), std::string::npos);
 }
 
+TEST_F(ParserTest, ErrorsCarryColumnNumbers) {
+  // The '.' after '->' sits at column 9 of line 3.
+  auto p = Parse("a(1).\nb(2).\np(X) -> .");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("line 3, col 9"), std::string::npos);
+}
+
+TEST_F(ParserTest, RulesAndLiteralsCarrySpans) {
+  auto p = Parse("a(1).\na(X), b(X) -> c(X).");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->rules.size(), 1u);
+  const Rule& rule = p->rules[0];
+  EXPECT_EQ(rule.span.line, 2u);
+  EXPECT_EQ(rule.span.col, 1u);
+  ASSERT_EQ(rule.body.size(), 2u);
+  EXPECT_EQ(rule.body[0].atom.span.line, 2u);
+  EXPECT_EQ(rule.body[0].atom.span.col, 1u);
+  EXPECT_EQ(rule.body[1].atom.span.line, 2u);
+  EXPECT_EQ(rule.body[1].atom.span.col, 7u);
+  ASSERT_EQ(p->facts.size(), 1u);
+  EXPECT_EQ(p->facts[0].span.line, 1u);
+}
+
+TEST(LexerTest, ColumnNumbersInErrors) {
+  auto r = Tokenize("ab !x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1, col 4"), std::string::npos);
+}
+
 TEST_F(ParserTest, UnknownDirectiveFails) {
   EXPECT_FALSE(Parse("@nope(\"x\").").ok());
 }

@@ -130,5 +130,92 @@ TEST_F(WardedTest, ReportRendering) {
   EXPECT_NE(s.find("dangerous: N"), std::string::npos);
 }
 
+TEST_F(WardedTest, AffectedPositionsCarryWitnessProvenance) {
+  auto report = Analyze(R"(
+    p(X) -> q(X, N).
+    q(X, N) -> r(N, X).
+  )");
+  ASSERT_EQ(report.affected_details.size(),
+            report.affected_positions.size());
+  bool saw_base = false, saw_propagated = false;
+  for (const AffectedPosition& ap : report.affected_details) {
+    std::string pred = catalog.predicates.Name(ap.predicate);
+    if (pred == "q" && ap.position == 1) {
+      // Base case: rule 0's existential N.
+      EXPECT_EQ(ap.witness_rule, 0u);
+      EXPECT_TRUE(ap.existential);
+      saw_base = true;
+    }
+    if (pred == "r" && ap.position == 0) {
+      // Propagation: rule 1 copies a possibly-null N into r[0].
+      EXPECT_EQ(ap.witness_rule, 1u);
+      EXPECT_FALSE(ap.existential);
+      saw_propagated = true;
+    }
+  }
+  EXPECT_TRUE(saw_base);
+  EXPECT_TRUE(saw_propagated);
+}
+
+TEST_F(WardedTest, BodyVariablesAreClassified) {
+  auto report = Analyze(R"(
+    p(X) -> q(X, N).
+    q(X, N) -> r(N).
+  )");
+  // Rule 1: X sits at q[0] (non-affected) = harmless; N at q[1]
+  // (affected) and in the head = dangerous.
+  ASSERT_EQ(report.rules.size(), 2u);
+  const RuleReport& rr = report.rules[1];
+  ASSERT_EQ(rr.body_vars.size(), 2u);
+  bool saw_x = false, saw_n = false;
+  for (const VarReport& vr : rr.body_vars) {
+    if (vr.name == "X") {
+      EXPECT_EQ(vr.cls, VarClass::kHarmless);
+      saw_x = true;
+    }
+    if (vr.name == "N") {
+      EXPECT_EQ(vr.cls, VarClass::kDangerous);
+      saw_n = true;
+    }
+  }
+  EXPECT_TRUE(saw_x);
+  EXPECT_TRUE(saw_n);
+}
+
+TEST_F(WardedTest, NoSharedWardViolationNamesTheAtom) {
+  auto report = Analyze(R"(
+    a(X) -> q(X, N).
+    a(X) -> s(X, M).
+    q(X, N), s(Y, M) -> t(N, M).
+  )");
+  EXPECT_FALSE(report.warded);
+  const RuleReport& rr = report.rules[2];
+  ASSERT_EQ(rr.safety, RuleSafety::kNotWarded);
+  EXPECT_EQ(rr.violation_kind, WardViolation::kNoSharedWard);
+  // M's only atom, s(Y, M), is the one breaking the shared-ward
+  // condition; it is body literal 1 of the rule.
+  EXPECT_EQ(rr.violating_literal, 1u);
+  EXPECT_EQ(rr.violating_var, "M");
+  EXPECT_TRUE(rr.violating_span.known());
+  // The rendering names the atom.
+  std::string s = report.ToString(catalog, program_);
+  EXPECT_NE(s.find("(at s(Y, M))"), std::string::npos);
+}
+
+TEST_F(WardedTest, WardSharingHarmfulViolationNamesTheAtom) {
+  auto report = Analyze(R"(
+    a(X) -> q(X, N).
+    a(Y) -> s(Y, N).
+    q(X, N), s(Y, N) -> t(X, N).
+  )");
+  EXPECT_FALSE(report.warded);
+  const RuleReport& rr = report.rules[2];
+  ASSERT_EQ(rr.safety, RuleSafety::kNotWarded);
+  EXPECT_EQ(rr.violation_kind, WardViolation::kWardSharesHarmful);
+  EXPECT_EQ(rr.violating_var, "N");
+  EXPECT_NE(rr.violating_literal, UINT32_MAX);
+  EXPECT_TRUE(rr.violating_span.known());
+}
+
 }  // namespace
 }  // namespace vadalink::datalog

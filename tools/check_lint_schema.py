@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validate a 'vadalink lint --json' document against tools/lint_schema.json.
+
+Usage: check_lint_schema.py <lint.json> [--schema FILE]
+
+Checks (stdlib only, no third-party deps):
+  * the required top-level keys exist and schema_version matches;
+  * the summary has errors/warnings/diagnostics counts that are
+    non-negative integers consistent with the diagnostics array;
+  * every diagnostic has exactly the expected fields, a known severity,
+    a catalogued VL code whose severity class matches (warning codes must
+    carry severity "warning", error codes severity "error"), an integer
+    rule index >= -1 and non-negative line/col;
+  * a diagnostic with a known line also names a rule or a predicate or a
+    message (i.e. is never empty).
+
+Exit code 0 when the document conforms, 1 with one line per violation
+otherwise.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("lint_file")
+    parser.add_argument("--schema",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "lint_schema.json"))
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+    with open(args.lint_file) as f:
+        doc = json.load(f)
+
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    for key in schema["required_top_level_keys"]:
+        if key not in doc:
+            err(f"missing top-level key '{key}'")
+    if doc.get("schema_version") != schema["schema_version"]:
+        err(f"schema_version {doc.get('schema_version')!r} != "
+            f"{schema['schema_version']}")
+    if not isinstance(doc.get("program"), str):
+        err("'program' is not a string")
+
+    summary = doc.get("summary", {})
+    for field in schema["summary_fields"]:
+        value = summary.get(field)
+        if not isinstance(value, int) or value < 0:
+            err(f"summary.{field} is not a non-negative integer: {value!r}")
+
+    diags = doc.get("diagnostics", [])
+    if not isinstance(diags, list):
+        err("'diagnostics' is not an array")
+        diags = []
+
+    severities = set(schema["severities"])
+    codes = set(schema["codes"])
+    warning_codes = set(schema["warning_codes"])
+    fields = schema["diagnostic_fields"]
+    n_errors = n_warnings = 0
+    for i, d in enumerate(diags):
+        where = f"diagnostics[{i}]"
+        if not isinstance(d, dict):
+            err(f"{where} is not an object")
+            continue
+        if sorted(d.keys()) != sorted(fields):
+            err(f"{where} fields {sorted(d.keys())} != expected "
+                f"{sorted(fields)}")
+            continue
+        sev = d["severity"]
+        if sev not in severities:
+            err(f"{where} has unknown severity {sev!r}")
+        code = d["code"]
+        if code not in codes:
+            err(f"{where} has uncatalogued code {code!r}")
+        elif sev in severities:
+            expect = "warning" if code in warning_codes else "error"
+            if sev != expect:
+                err(f"{where} code {code} must be severity '{expect}', "
+                    f"got '{sev}'")
+        if sev == "error":
+            n_errors += 1
+        elif sev == "warning":
+            n_warnings += 1
+        if not isinstance(d["rule"], int) or d["rule"] < -1:
+            err(f"{where} rule index {d['rule']!r} is not an int >= -1")
+        for key in ("line", "col"):
+            if not isinstance(d[key], int) or d[key] < 0:
+                err(f"{where} {key} {d[key]!r} is not a non-negative int")
+        for key in ("predicate", "message", "hint"):
+            if not isinstance(d[key], str):
+                err(f"{where} {key} is not a string")
+        if not d["message"]:
+            err(f"{where} has an empty message")
+
+    if isinstance(summary.get("errors"), int) and summary["errors"] != n_errors:
+        err(f"summary.errors {summary['errors']} != counted {n_errors}")
+    if (isinstance(summary.get("warnings"), int)
+            and summary["warnings"] != n_warnings):
+        err(f"summary.warnings {summary['warnings']} != counted {n_warnings}")
+    if (isinstance(summary.get("diagnostics"), int)
+            and summary["diagnostics"] != len(diags)):
+        err(f"summary.diagnostics {summary['diagnostics']} != "
+            f"{len(diags)} entries")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,35 @@
 // Strict --flag value parser shared by the CLI (and unit-tested in
 // tests/cli_flags_test.cc). Flags may appear in any order; duplicates and
 // malformed numeric values are hard errors — a typo must never silently
-// become 0 (std::atoll's behaviour) or shadow an earlier flag.
+// become 0 (std::atoll's behaviour) or shadow an earlier flag. Commands
+// declare their accepted flags via RequireKnown, so '--thread 4' fails
+// with a "did you mean '--threads'?" suggestion instead of being
+// silently ignored.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace vadalink::cli {
+
+/// Levenshtein edit distance; small inputs only (flag names).
+inline size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
 
 class Flags {
  public:
@@ -71,6 +92,39 @@ class Flags {
   }
 
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Rejects every parsed flag not in `known` (exact match). The error
+  /// names the unknown flag and, when a known flag is within edit
+  /// distance 3, suggests it. Call once per command, before the typed
+  /// getters.
+  bool RequireKnown(std::initializer_list<const char*> known) const {
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (const char* k : known) {
+        if (key == k) {
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      std::string msg = "unknown flag '--" + key + "'";
+      const char* best = nullptr;
+      size_t best_dist = 4;  // suggest only close misses
+      for (const char* k : known) {
+        size_t d = EditDistance(key, k);
+        if (d < best_dist) {
+          best_dist = d;
+          best = k;
+        }
+      }
+      if (best != nullptr) {
+        msg += "; did you mean '--" + std::string(best) + "'?";
+      }
+      Fail(std::move(msg));
+      return false;
+    }
+    return true;
+  }
 
  private:
   // Getters are const (callers read into const configs); errors from them

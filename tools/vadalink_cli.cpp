@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "company/close_link.h"
+#include "datalog/analysis/analyzer.h"
+#include "datalog/parser.h"
 #include "company/company_graph.h"
 #include "company/control.h"
 #include "company/eligibility.h"
@@ -326,11 +328,9 @@ int CmdReason(const Flags& flags) {
   kg.set_parallel(opts.parallel);
   *kg.mutable_graph() = std::move(g).value();
   if (Status st = kg.AddRules(ss.str()); !st.ok()) return Fail(st);
-  auto report = kg.CheckWardedness();
-  if (!report.warded) {
-    std::fprintf(stderr, "warning: program is not warded; evaluation is "
-                         "guarded by engine limits\n");
-  }
+  // Unwarded / unstratifiable programs are rejected by the engine's
+  // static-analysis pre-flight inside Reason(); 'vadalink lint' shows the
+  // full diagnostics without running anything.
   auto stats = kg.Reason(governor.get(), opts.metrics);
   if (!stats.ok()) return Fail(stats.status());
   if (Status st = EmitMetrics(opts); !st.ok()) return Fail(st);
@@ -352,6 +352,62 @@ int CmdReason(const Flags& flags) {
     if (Status st = SaveOut(kg.graph(), flags); !st.ok()) return Fail(st);
   }
   return 0;
+}
+
+/// Static analysis of a Vadalog program without executing it. Human
+/// diagnostics go to stdout; '--json -' / '--json FILE' emits the stable
+/// JSON document (tools/lint_schema.json) instead. Exit 0 = no errors
+/// (warnings allowed), 1 = errors or I/O failure.
+int CmdLint(const Flags& flags) {
+  std::string program_path = flags.Get("program", "");
+  if (program_path.empty()) {
+    return Fail(Status::InvalidArgument("missing --program <file.vada>"));
+  }
+  std::ifstream in(program_path);
+  if (!in) {
+    return Fail(Status::IoError("cannot open " + program_path));
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  datalog::Catalog catalog;
+  datalog::analysis::AnalysisReport report;
+  auto program = datalog::ParseProgram(ss.str(), &catalog);
+  if (program.ok()) {
+    report = datalog::analysis::AnalyzeProgram(*program, catalog);
+  } else {
+    // Surface the parse error as a diagnostic so '--json' consumers see
+    // one document shape for every outcome.
+    datalog::analysis::Diagnostic d;
+    d.severity = datalog::analysis::Severity::kError;
+    d.code = "VL000";
+    d.message = program.status().message();
+    unsigned line = 0, col = 0;
+    if (std::sscanf(d.message.c_str(), "line %u, col %u", &line, &col) == 2) {
+      d.span.line = line;
+      d.span.col = col;
+    }
+    report.diagnostics.push_back(std::move(d));
+  }
+
+  if (flags.Has("json")) {
+    std::string doc = report.ToJson(program_path);
+    std::string target = flags.Get("json", "-");
+    if (target == "-") {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::ofstream out(target, std::ios::binary);
+      if (!out || !(out << doc) || !out.flush()) {
+        return Fail(Status::IoError("cannot write " + target));
+      }
+    }
+  } else {
+    std::string rendered = report.Render();
+    std::fputs(rendered.c_str(), stdout);
+    std::printf("%zu error(s), %zu warning(s)\n", report.error_count(),
+                report.warning_count());
+  }
+  return report.has_errors() ? 1 : 0;
 }
 
 int CmdDot(const Flags& flags) {
@@ -412,6 +468,7 @@ commands:
   reason      --in BASE --program FILE.vada [--query PRED] [--out BASE2]
               [--deadline-ms MS] [--max-facts N] [--threads N] [--grain N]
               [--metrics-json FILE] [--trace 1] [--metrics-wall 1]
+  lint        --program FILE.vada [--json -|FILE]
   dot         --in BASE [--out FILE.dot]
   evolve      --out BASE [--persons N] [--from Y] [--to Y] [--seed S]
 
@@ -426,6 +483,12 @@ reported); 'reason' fails with DeadlineExceeded / ResourceExhausted.
 thread pool (0 = hardware concurrency, 1 = sequential default); --grain
 sets the items per parallel chunk (0 = auto). threads=1 reproduces the
 sequential outputs byte for byte.
+
+'lint' runs the static analyzer (safety, wardedness, stratification,
+hygiene; see DESIGN.md section 9) without executing the program. Human
+diagnostics go to stdout; --json emits the stable JSON document
+(tools/lint_schema.json) to stdout ('-') or a file. Exit 0 = clean or
+warnings only, 1 = errors.
 
 --metrics-json writes the run's metrics registry (counters, gauges,
 histograms, span tree) as one stable-schema JSON document; --trace 1
@@ -449,16 +512,57 @@ int main(int argc, char** argv) {
     Usage();
     return 1;
   }
-  if (cmd == "generate") return CmdGenerate(flags);
-  if (cmd == "stats") return CmdStats(flags);
-  if (cmd == "augment") return CmdAugment(flags);
-  if (cmd == "control") return CmdControl(flags);
-  if (cmd == "closelinks") return CmdCloseLinks(flags);
-  if (cmd == "ubo") return CmdUbo(flags);
-  if (cmd == "screen") return CmdScreen(flags);
-  if (cmd == "reason") return CmdReason(flags);
-  if (cmd == "dot") return CmdDot(flags);
-  if (cmd == "evolve") return CmdEvolve(flags);
+  // Every command rejects flags it does not read ('--thread 4' suggests
+  // '--threads' instead of being silently ignored).
+  auto accept = [&](std::initializer_list<const char*> known) {
+    if (flags.RequireKnown(known)) return true;
+    std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+    return false;
+  };
+  if (cmd == "generate") {
+    return accept({"out", "persons", "companies", "seed", "density",
+                   "typo-rate"})
+               ? CmdGenerate(flags)
+               : 1;
+  }
+  if (cmd == "stats") return accept({"in"}) ? CmdStats(flags) : 1;
+  if (cmd == "augment") {
+    return accept({"in", "out", "rounds", "no-embedding", "deadline-ms",
+                   "max-facts", "threads", "grain", "metrics-json", "trace",
+                   "metrics-wall"})
+               ? CmdAugment(flags)
+               : 1;
+  }
+  if (cmd == "control") {
+    return accept({"in", "source", "threshold"}) ? CmdControl(flags) : 1;
+  }
+  if (cmd == "closelinks") {
+    return accept({"in", "threshold"}) ? CmdCloseLinks(flags) : 1;
+  }
+  if (cmd == "ubo") {
+    return accept({"in", "target", "threshold"}) ? CmdUbo(flags) : 1;
+  }
+  if (cmd == "screen") {
+    return accept({"in", "borrower", "guarantor", "threshold"})
+               ? CmdScreen(flags)
+               : 1;
+  }
+  if (cmd == "reason") {
+    return accept({"in", "program", "query", "out", "deadline-ms",
+                   "max-facts", "threads", "grain", "metrics-json", "trace",
+                   "metrics-wall"})
+               ? CmdReason(flags)
+               : 1;
+  }
+  if (cmd == "lint") {
+    return accept({"program", "json"}) ? CmdLint(flags) : 1;
+  }
+  if (cmd == "dot") return accept({"in", "out"}) ? CmdDot(flags) : 1;
+  if (cmd == "evolve") {
+    return accept({"out", "persons", "companies", "from", "to", "seed"})
+               ? CmdEvolve(flags)
+               : 1;
+  }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   Usage();
   return 1;
