@@ -3,14 +3,28 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
+
 namespace vadalink {
 
-Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
-  std::vector<std::vector<std::string>> rows;
+Result<CsvDocument> ParseCsvDocument(std::string_view text) {
+  CsvDocument doc;
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
   bool field_started = false;  // true once the current row has any content
+  size_t line = 1;             // 1-based line of the cursor
+  size_t row_line = 1;         // line the current row started on
+  size_t quote_line = 0;       // line the open quote started on
+
+  auto end_row = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    doc.rows.push_back(std::move(row));
+    row.clear();
+    doc.row_lines.push_back(row_line);
+    field_started = false;
+  };
 
   size_t i = 0;
   const size_t n = text.size();
@@ -26,6 +40,7 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
           ++i;
         }
       } else {
+        if (c == '\n') ++line;
         field += c;
         ++i;
       }
@@ -34,10 +49,12 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
     switch (c) {
       case '"':
         if (!field.empty()) {
-          return Status::ParseError("quote inside unquoted field at byte " +
-                                    std::to_string(i));
+          return Status::ParseError("line " + std::to_string(line) +
+                                    ": quote inside unquoted field (byte " +
+                                    std::to_string(i) + ")");
         }
         in_quotes = true;
+        quote_line = line;
         field_started = true;
         ++i;
         break;
@@ -51,13 +68,9 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
         ++i;  // tolerate CRLF
         break;
       case '\n':
-        if (field_started || !field.empty() || !row.empty()) {
-          row.push_back(std::move(field));
-          field.clear();
-          rows.push_back(std::move(row));
-          row.clear();
-          field_started = false;
-        }
+        if (field_started || !field.empty() || !row.empty()) end_row();
+        ++line;
+        row_line = line;
         ++i;
         break;
       default:
@@ -67,12 +80,18 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
         break;
     }
   }
-  if (in_quotes) return Status::ParseError("unterminated quoted field");
-  if (field_started || !field.empty() || !row.empty()) {
-    row.push_back(std::move(field));
-    rows.push_back(std::move(row));
+  if (in_quotes) {
+    return Status::ParseError(
+        "unterminated quoted field (quote opened on line " +
+        std::to_string(quote_line) + "); input truncated?");
   }
-  return rows;
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return doc;
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
+  VL_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsvDocument(text));
+  return std::move(doc.rows);
 }
 
 std::string EncodeCsvRow(const std::vector<std::string>& fields) {
@@ -98,22 +117,35 @@ std::string EncodeCsvRow(const std::vector<std::string>& fields) {
   return out;
 }
 
-Result<std::vector<std::vector<std::string>>> ReadCsvFile(
-    const std::string& path) {
+Result<CsvDocument> ReadCsvDocument(const std::string& path) {
+  VL_FAULT_POINT("csv.read_file");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return ParseCsv(ss.str());
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  auto doc = ParseCsvDocument(ss.str());
+  if (!doc.ok()) {
+    return Status::ParseError(path + ": " + doc.status().message());
+  }
+  return doc;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  VL_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvDocument(path));
+  return std::move(doc.rows);
 }
 
 Status WriteCsvFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows) {
+  VL_FAULT_POINT("csv.write_file");
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   for (const auto& row : rows) {
     out << EncodeCsvRow(row) << '\n';
   }
+  out.flush();
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }

@@ -11,20 +11,40 @@
 
 namespace vadalink {
 
+/// A parsed CSV document with per-row provenance: row_lines[i] is the
+/// 1-based line the i-th row starts on (quoted fields may span lines, so
+/// row index and line number diverge) — loaders use it to report errors
+/// against the source file.
+struct CsvDocument {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<size_t> row_lines;
+};
+
 /// Parses a full CSV document into rows of fields.
 ///
 /// Quoted fields may contain commas, doubled quotes and newlines. A trailing
-/// newline does not produce an empty final row.
+/// newline does not produce an empty final row. Malformed input (stray or
+/// unterminated quote) fails with kParseError naming the offending line.
+Result<CsvDocument> ParseCsvDocument(std::string_view text);
+
+/// ParseCsvDocument without the line map.
 Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
 
 /// Encodes one row, quoting fields that require it.
 std::string EncodeCsvRow(const std::vector<std::string>& fields);
 
-/// Reads and parses a CSV file from disk.
+/// Reads and parses a CSV file from disk (with the line map). Fails with
+/// kIoError on open/read failure, kParseError (with line number) on
+/// malformed content. Fault site: "csv.read_file".
+Result<CsvDocument> ReadCsvDocument(const std::string& path);
+
+/// ReadCsvDocument without the line map.
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path);
 
-/// Writes rows to a CSV file, overwriting it.
+/// Writes rows to a CSV file, overwriting it. Flushes and verifies the
+/// stream so a full disk surfaces as kIoError, not silent truncation.
+/// Fault site: "csv.write_file".
 Status WriteCsvFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows);
 

@@ -67,6 +67,30 @@ Result<ReasonStats> KnowledgeGraph::Reason(const RunContext* run_ctx,
   return stats;
 }
 
+Result<ReasonStats> KnowledgeGraph::ReasonIncremental(
+    const RunContext* run_ctx, MetricsRegistry* metrics) {
+  VL_FAULT_POINT("kg.reason_incremental");
+  if (db_ == nullptr || engine_ == nullptr) {
+    return Status::InvalidArgument(
+        "ReasonIncremental requires a completed Reason() first");
+  }
+  ReasonStats stats;
+  ScopedSpan reason_span(metrics, "reason_incremental", run_ctx);
+  stats.facts_before = db_->TotalFacts();
+  // Re-extracting the whole graph is idempotent: Database::Insert dedupes,
+  // so exactly the facts of new nodes/edges land in the delta window.
+  VL_RETURN_NOT_OK(LoadGraphFacts(graph_, db_.get()));
+  engine_->set_run_ctx(run_ctx);
+  engine_->set_metrics(metrics);
+  VL_RETURN_NOT_OK(engine_->RunIncremental(combined_));
+  stats.engine = engine_->stats();
+  stats.facts_after = db_->TotalFacts();
+  VL_ASSIGN_OR_RETURN(stats.links_materialised,
+                      StorePredictedLinks(*db_, &graph_));
+  MetricAdd(metrics, "reason.links.materialised", stats.links_materialised);
+  return stats;
+}
+
 std::vector<std::vector<datalog::Value>> KnowledgeGraph::Query(
     std::string_view predicate) const {
   if (!db_) return {};

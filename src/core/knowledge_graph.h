@@ -80,6 +80,20 @@ class KnowledgeGraph {
   Result<ReasonStats> Reason(const RunContext* run_ctx = nullptr,
                              MetricsRegistry* metrics = nullptr);
 
+  /// Incremental continuation after a completed Reason(): facts for graph
+  /// mutations made since that run are loaded as deltas (fact extraction
+  /// is idempotent, so only genuinely new tuples extend the relations)
+  /// and the chase resumes via Engine::RunIncremental — null memoisation,
+  /// aggregate state and provenance carry over, and only work caused by
+  /// the delta is done. This is the ingest path of the serving layer.
+  ///
+  /// Fails with kInvalidArgument before any completed Reason(), after an
+  /// aborted run (the message names the aborting run's limit status), or
+  /// kUnsupported for programs with negation. After a failure the
+  /// fixpoint must be re-established with Reason().
+  Result<ReasonStats> ReasonIncremental(const RunContext* run_ctx = nullptr,
+                                        MetricsRegistry* metrics = nullptr);
+
   /// Tuples of a predicate after the last Reason() (empty before).
   std::vector<std::vector<datalog::Value>> Query(
       std::string_view predicate) const;

@@ -916,6 +916,29 @@ Status Engine::Preflight(const Program& program) {
 }
 
 Status Engine::Run(const Program& program) {
+  Status st = RunImpl(program);
+  last_abort_status_ = st;  // OK after a completed run
+  return st;
+}
+
+Status Engine::RunIncremental(const Program& program) {
+  if (last_run_aborted_) {
+    // Name the aborting run's limit status so the caller can tell a
+    // deadline trip from a budget trip from a cancellation without
+    // spelunking: "previous run aborted (DeadlineExceeded: ...)".
+    std::string cause = last_abort_status_.ok() ? "unknown cause"
+                                                : last_abort_status_.ToString();
+    return Status::InvalidArgument(
+        "previous run aborted (" + cause +
+        "); the delta window is unreliable — call Run() to re-establish "
+        "the fixpoint");
+  }
+  Status st = RunIncrementalImpl(program);
+  last_abort_status_ = st;
+  return st;
+}
+
+Status Engine::RunImpl(const Program& program) {
   VL_FAULT_POINT("engine.run");
   program_ = &program;
   stats_ = EngineStats{};
@@ -953,12 +976,7 @@ Status Engine::Run(const Program& program) {
   return Status::OK();
 }
 
-Status Engine::RunIncremental(const Program& program) {
-  if (last_run_aborted_) {
-    return Status::InvalidArgument(
-        "previous run aborted (deadline / budget / cancellation); the delta "
-        "window is unreliable — call Run() to re-establish the fixpoint");
-  }
+Status Engine::RunIncrementalImpl(const Program& program) {
   program_ = &program;
   for (const Rule& rule : program.rules) {
     for (const Literal& lit : rule.body) {

@@ -118,6 +118,19 @@ class Engine {
 
   const EngineStats& stats() const { return stats_; }
 
+  /// Re-points the run governor / metrics sink for the next call. A
+  /// resident engine (the serving layer) runs many RunIncremental calls,
+  /// each under its own per-request RunContext; constructor options alone
+  /// cannot express that.
+  void set_run_ctx(const RunContext* run_ctx) { options_.run_ctx = run_ctx; }
+  void set_metrics(MetricsRegistry* metrics) { options_.metrics = metrics; }
+
+  /// Status of the limit trip (deadline / budget / cancellation) or error
+  /// that aborted the last Run()/RunIncremental(); OK when the last run
+  /// completed. RunIncremental's rejection message after an aborted run
+  /// names this status.
+  const Status& last_abort_status() const { return last_abort_status_; }
+
   /// Provenance: a one-derivation explanation tree for a fact (requires
   /// options.trace_provenance). Facts without a recorded derivation print
   /// as "(asserted)".
@@ -172,6 +185,11 @@ class Engine {
   /// options_.preflight is off): errors -> kInvalidArgument with rendered
   /// diagnostics, warnings -> metrics counters.
   Status Preflight(const Program& program);
+
+  /// Bodies of Run/RunIncremental; the public wrappers capture a failing
+  /// status into last_abort_status_.
+  Status RunImpl(const Program& program);
+  Status RunIncrementalImpl(const Program& program);
 
   Status Prepare(const Program& program);
   /// initial_before: per-predicate fact counts marking the start of the
@@ -261,6 +279,9 @@ class Engine {
   // True while a run is in flight and after one aborted; RunIncremental
   // refuses to continue from an aborted run.
   bool last_run_aborted_ = false;
+  // Why the last run aborted (OK after a completed run); see
+  // last_abort_status().
+  Status last_abort_status_;
 
   const Program* program_ = nullptr;
 };

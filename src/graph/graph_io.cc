@@ -40,9 +40,21 @@ Result<uint32_t> ParseU32(const std::string& s) {
   char* end = nullptr;
   unsigned long v = std::strtoul(s.c_str(), &end, 10);
   if (end == s.c_str() || *end != '\0' || v > 0xffffffffUL) {
-    return Status::ParseError("bad integer: " + s);
+    return Status::ParseError("bad integer: '" + s + "'");
   }
   return static_cast<uint32_t>(v);
+}
+
+/// Prefixes an error with "<path>:<line>: " so a bad row in a large dump
+/// is findable. Preserves the original code.
+Status AtLine(const std::string& path, size_t line, const Status& st) {
+  std::string msg = path + ":" + std::to_string(line) + ": " + st.message();
+  switch (st.code()) {
+    case StatusCode::kIoError: return Status::IoError(std::move(msg));
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    default: return Status::ParseError(std::move(msg));
+  }
 }
 
 }  // namespace
@@ -74,31 +86,56 @@ Status SaveGraphCsv(const PropertyGraph& g, const std::string& nodes_path,
 Result<PropertyGraph> LoadGraphCsv(const std::string& nodes_path,
                                    const std::string& edges_path) {
   VL_FAULT_POINT("graph_io.load_csv");
-  VL_ASSIGN_OR_RETURN(auto node_rows, ReadCsvFile(nodes_path));
-  VL_ASSIGN_OR_RETURN(auto edge_rows, ReadCsvFile(edges_path));
+  VL_ASSIGN_OR_RETURN(auto node_doc, ReadCsvDocument(nodes_path));
+  VL_ASSIGN_OR_RETURN(auto edge_doc, ReadCsvDocument(edges_path));
 
   PropertyGraph g;
-  g.Reserve(node_rows.size(), edge_rows.size());
-  for (const auto& row : node_rows) {
-    if (row.size() < 2) return Status::ParseError("node row too short");
-    VL_ASSIGN_OR_RETURN(uint32_t id, ParseU32(row[0]));
-    if (id != g.node_count()) {
-      return Status::ParseError("node ids must be dense and ordered, got " +
-                                row[0]);
+  g.Reserve(node_doc.rows.size(), edge_doc.rows.size());
+  for (size_t r = 0; r < node_doc.rows.size(); ++r) {
+    const auto& row = node_doc.rows[r];
+    const size_t line = node_doc.row_lines[r];
+    if (row.size() < 2) {
+      return AtLine(nodes_path, line,
+                    Status::ParseError("node row too short (need id,label, got " +
+                                       std::to_string(row.size()) +
+                                       " field(s)); file truncated?"));
+    }
+    auto id = ParseU32(row[0]);
+    if (!id.ok()) return AtLine(nodes_path, line, id.status());
+    if (*id != g.node_count()) {
+      return AtLine(nodes_path, line,
+                    Status::ParseError(
+                        "node ids must be dense and ordered: expected " +
+                        std::to_string(g.node_count()) + ", got " + row[0]));
     }
     NodeId n = g.AddNode(row[1]);
     PropertyMap props;
-    VL_RETURN_NOT_OK(ParseProperties(row, 2, &props));
+    if (Status st = ParseProperties(row, 2, &props); !st.ok()) {
+      return AtLine(nodes_path, line, st);
+    }
     for (auto& [k, v] : props) g.SetNodeProperty(n, k, std::move(v));
   }
-  for (const auto& row : edge_rows) {
-    if (row.size() < 4) return Status::ParseError("edge row too short");
-    VL_ASSIGN_OR_RETURN(uint32_t src, ParseU32(row[1]));
-    VL_ASSIGN_OR_RETURN(uint32_t dst, ParseU32(row[2]));
-    VL_ASSIGN_OR_RETURN(EdgeId e, g.AddEdge(src, dst, row[3]));
+  for (size_t r = 0; r < edge_doc.rows.size(); ++r) {
+    const auto& row = edge_doc.rows[r];
+    const size_t line = edge_doc.row_lines[r];
+    if (row.size() < 4) {
+      return AtLine(edges_path, line,
+                    Status::ParseError(
+                        "edge row too short (need id,src,dst,label, got " +
+                        std::to_string(row.size()) +
+                        " field(s)); file truncated?"));
+    }
+    auto src = ParseU32(row[1]);
+    if (!src.ok()) return AtLine(edges_path, line, src.status());
+    auto dst = ParseU32(row[2]);
+    if (!dst.ok()) return AtLine(edges_path, line, dst.status());
+    auto e = g.AddEdge(*src, *dst, row[3]);
+    if (!e.ok()) return AtLine(edges_path, line, e.status());
     PropertyMap props;
-    VL_RETURN_NOT_OK(ParseProperties(row, 4, &props));
-    for (auto& [k, v] : props) g.SetEdgeProperty(e, k, std::move(v));
+    if (Status st = ParseProperties(row, 4, &props); !st.ok()) {
+      return AtLine(edges_path, line, st);
+    }
+    for (auto& [k, v] : props) g.SetEdgeProperty(*e, k, std::move(v));
   }
   return g;
 }

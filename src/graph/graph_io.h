@@ -16,7 +16,10 @@ namespace vadalink::graph {
 Status SaveGraphCsv(const PropertyGraph& g, const std::string& nodes_path,
                     const std::string& edges_path);
 
-/// Loads a graph previously written by SaveGraphCsv.
+/// Loads a graph previously written by SaveGraphCsv. Malformed or
+/// truncated input fails with kParseError naming the file and line of the
+/// offending row; open/read failures surface as kIoError. Fault sites:
+/// "graph_io.load_csv" (plus "csv.read_file" underneath).
 Result<PropertyGraph> LoadGraphCsv(const std::string& nodes_path,
                                    const std::string& edges_path);
 

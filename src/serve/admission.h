@@ -1,0 +1,91 @@
+// Admission control for the serving layer: a bounded FIFO work queue in
+// front of a fixed-size worker pool.
+//
+// The two knobs together are the server's concurrency governor:
+//  * `max_inflight` workers bound how many requests evaluate at once
+//    (each under its own RunContext child of the server context);
+//  * `queue_depth` bounds how many admitted-but-not-started requests can
+//    wait. TryPush on a full queue fails immediately — the caller sheds
+//    the request with kResourceExhausted and a Retry-After hint instead
+//    of letting latency grow without bound (load shedding beats queueing
+//    collapse).
+//
+// Pop() blocks until work arrives or Close() is called; Close() drains
+// nothing silently — pending tasks are handed back to the caller so every
+// admitted request can still be answered (with Cancelled) during
+// shutdown.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace vadalink::serve {
+
+/// Bounded MPMC FIFO. T must be movable.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t depth) : depth_(depth == 0 ? 1 : depth) {}
+
+  /// Enqueues unless the queue is full or closed. Never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= depth_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed; nullopt
+  /// means closed-and-empty (workers exit).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Closes the queue and returns everything still pending, in FIFO
+  /// order, so the caller can fail each one explicitly.
+  std::vector<T> Close() {
+    std::vector<T> drained;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      for (T& item : items_) drained.push_back(std::move(item));
+      items_.clear();
+    }
+    cv_.notify_all();
+    return drained;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t depth() const { return depth_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace vadalink::serve

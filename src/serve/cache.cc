@@ -1,0 +1,39 @@
+#include "serve/cache.h"
+
+namespace vadalink::serve {
+
+void ResultCache::Put(const std::string& key, Json result, uint64_t version) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    if (version < it->second.entry.version) return;  // never roll backwards
+    it->second.entry.result = std::move(result);
+    it->second.entry.version = version;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const std::string& victim = lru_.back();
+    map_.erase(victim);
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  map_[key] = Slot{CacheEntry{std::move(result), version}, lru_.begin()};
+}
+
+bool ResultCache::Get(const std::string& key, CacheEntry* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  *out = it->second.entry;
+  return true;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace vadalink::serve

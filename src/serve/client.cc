@@ -1,0 +1,139 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace vadalink::serve {
+
+Result<Client> Client::Connect(const std::string& host, int port,
+                               int64_t read_timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::IoError("connect " + host + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Client c;
+  c.fd_ = fd;
+  c.read_timeout_ms_ = read_timeout_ms;
+  return c;
+}
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      read_timeout_ms_(other.read_timeout_ms_),
+      next_id_(other.next_id_),
+      buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    read_timeout_ms_ = other.read_timeout_ms_;
+    next_id_ = other.next_id_;
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::IoError("client not connected");
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::ReadLine() {
+  if (fd_ < 0) return Status::IoError("client not connected");
+  char chunk[4096];
+  while (true) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, static_cast<int>(read_timeout_ms_));
+    if (rc == 0) {
+      return Status::DeadlineExceeded("no response within " +
+                                      std::to_string(read_timeout_ms_) +
+                                      "ms");
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::IoError("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<Json> Client::Call(const std::string& op, Json params,
+                          std::optional<int64_t> deadline_ms) {
+  int64_t id = next_id_++;
+  Json req = Json::MakeObject();
+  req.Set("id", Json::Int(id));
+  req.Set("op", Json::Str(op));
+  req.Set("params", std::move(params));
+  if (deadline_ms.has_value()) {
+    req.Set("deadline_ms", Json::Int(*deadline_ms));
+  }
+  VL_RETURN_NOT_OK(SendLine(req.Dump()));
+  VL_ASSIGN_OR_RETURN(std::string line, ReadLine());
+  VL_ASSIGN_OR_RETURN(Json response, Json::Parse(line));
+  const Json* rid = response.Find("id");
+  if (rid == nullptr || !rid->is_int() || rid->AsInt() != id) {
+    return Status::Internal("response id mismatch for line: " + line);
+  }
+  return response;
+}
+
+}  // namespace vadalink::serve

@@ -1,0 +1,78 @@
+#include "serve/protocol.h"
+
+namespace vadalink::serve {
+
+Result<Request> ParseRequest(std::string_view line) {
+  VL_ASSIGN_OR_RETURN(Json doc, Json::Parse(line));
+  if (!doc.is_object()) {
+    return Status::ParseError("request must be a JSON object");
+  }
+  Request req;
+  if (const Json* id = doc.Find("id")) {
+    if (!id->is_int() && !id->is_string()) {
+      return Status::ParseError("'id' must be an integer or string");
+    }
+    req.id = *id;
+  }
+  const Json* op = doc.Find("op");
+  if (op == nullptr || !op->is_string() || op->AsString().empty()) {
+    // Callers use RecoverId(line) so the error response still echoes a
+    // well-formed id.
+    return Status::ParseError("missing or non-string 'op'");
+  }
+  req.op = op->AsString();
+  if (const Json* params = doc.Find("params")) {
+    if (!params->is_object()) {
+      return Status::ParseError("'params' must be an object");
+    }
+    req.params = *params;
+  } else {
+    req.params = Json::MakeObject();
+  }
+  if (const Json* dl = doc.Find("deadline_ms")) {
+    if (!dl->is_int()) {
+      return Status::ParseError("'deadline_ms' must be an integer");
+    }
+    req.deadline_ms = dl->AsInt();
+  }
+  return req;
+}
+
+Json RecoverId(std::string_view line) {
+  auto doc = Json::Parse(line);
+  if (!doc.ok() || !doc->is_object()) return Json::Null();
+  const Json* id = doc->Find("id");
+  if (id == nullptr || (!id->is_int() && !id->is_string())) {
+    return Json::Null();
+  }
+  return *id;
+}
+
+std::string RenderResult(const Json& id, uint64_t graph_version, Json result,
+                         bool cached, bool stale) {
+  Json resp = Json::MakeObject();
+  resp.Set("id", id);
+  resp.Set("ok", Json::Bool(true));
+  resp.Set("graph_version", Json::Int(static_cast<int64_t>(graph_version)));
+  if (cached) resp.Set("cached", Json::Bool(true));
+  if (stale) resp.Set("stale", Json::Bool(true));
+  resp.Set("result", std::move(result));
+  return resp.Dump();
+}
+
+std::string RenderError(const Json& id, const Status& status,
+                        int64_t retry_after_ms) {
+  Json err = Json::MakeObject();
+  err.Set("code", Json::Str(StatusCodeName(status.code())));
+  err.Set("message", Json::Str(status.message()));
+  if (retry_after_ms >= 0) {
+    err.Set("retry_after_ms", Json::Int(retry_after_ms));
+  }
+  Json resp = Json::MakeObject();
+  resp.Set("id", id);
+  resp.Set("ok", Json::Bool(false));
+  resp.Set("error", std::move(err));
+  return resp.Dump();
+}
+
+}  // namespace vadalink::serve

@@ -1,0 +1,25 @@
+#include "serve/snapshot.h"
+
+namespace vadalink::serve {
+
+bool SnapshotStore::Publish(SnapshotPtr snap) {
+  if (snap == nullptr) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ != nullptr && snap->version <= current_->version) {
+    return false;
+  }
+  current_ = std::move(snap);
+  return true;
+}
+
+SnapshotPtr SnapshotStore::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t SnapshotStore::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->version;
+}
+
+}  // namespace vadalink::serve

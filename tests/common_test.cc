@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/csv.h"
+#include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -222,6 +223,61 @@ TEST(CsvTest, CrLfAndNoTrailingNewline) {
 
 TEST(CsvTest, UnterminatedQuoteFails) {
   EXPECT_FALSE(ParseCsv("\"abc").ok());
+}
+
+TEST(CsvTest, UnterminatedQuoteNamesItsLine) {
+  // Truncated-mid-field input: the error points at the line the quote
+  // opened on, not at the end of the document.
+  auto doc = ParseCsvDocument("a,b\nc,d\ne,\"trunca");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status().message();
+  EXPECT_NE(doc.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(CsvTest, StrayQuoteNamesItsLine) {
+  auto doc = ParseCsvDocument("a,b\nc,d\"d\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("line 2"), std::string::npos)
+      << doc.status().message();
+}
+
+TEST(CsvTest, RowLinesTrackMultilineFields) {
+  // A quoted field spanning three physical lines shifts the next row's
+  // recorded line number accordingly.
+  auto doc = ParseCsvDocument("h1,h2\n1,\"a\nb\nc\"\n2,x\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 3u);
+  EXPECT_EQ(doc->row_lines[0], 1u);
+  EXPECT_EQ(doc->row_lines[1], 2u);
+  EXPECT_EQ(doc->row_lines[2], 5u);
+}
+
+TEST(CsvTest, ReadFileFaultInjection) {
+  std::string path = ::testing::TempDir() + "/vl_csv_fault.csv";
+  ASSERT_TRUE(WriteCsvFile(path, {{"a", "b"}}).ok());
+  FaultInjection::Arm("csv.read_file", {StatusCode::kIoError, "disk gone"});
+  auto rows = ReadCsvFile(path);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
+  FaultInjection::Reset();
+  EXPECT_TRUE(ReadCsvFile(path).ok());
+}
+
+TEST(CsvTest, WriteFileFaultInjection) {
+  std::string path = ::testing::TempDir() + "/vl_csv_fault_w.csv";
+  FaultInjection::Arm("csv.write_file", {StatusCode::kIoError, "disk full"});
+  EXPECT_EQ(WriteCsvFile(path, {{"a"}}).code(), StatusCode::kIoError);
+  FaultInjection::Reset();
+  EXPECT_TRUE(WriteCsvFile(path, {{"a"}}).ok());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto rows = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
 }
 
 TEST(CsvTest, QuotedEmbeddedNewlinesSpanRows) {

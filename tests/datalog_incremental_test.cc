@@ -149,10 +149,20 @@ TEST_F(IncrementalTest, RejectedAfterAbortedRun) {
   ASSERT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
 
   // The delta window is unreliable after an abort: incremental evaluation
-  // must refuse rather than silently miss derivations.
+  // must refuse rather than silently miss derivations, and its message
+  // names the aborting run's limit status so the operator knows *why* the
+  // fixpoint is stale, not just that it is.
   Status inc = engine.RunIncremental(*program);
   EXPECT_EQ(inc.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(inc.message().find("aborted"), std::string::npos);
+  EXPECT_NE(inc.message().find("ResourceExhausted"), std::string::npos)
+      << inc.message();
+
+  // The rejection itself must not clobber the recorded cause: a second
+  // attempt still names the original limit status.
+  Status inc2 = engine.RunIncremental(*program);
+  EXPECT_NE(inc2.message().find("ResourceExhausted"), std::string::npos)
+      << inc2.message();
 
   // A full Run() re-establishes the fixpoint and re-enables increments.
   ctx.set_work_budget(RunContext::kNoBudget);

@@ -1,6 +1,9 @@
 // graph/: property values, property graph, analytics, CSV I/O, subgraphs.
 #include <gtest/gtest.h>
 
+#include <fstream>
+
+#include "common/fault_injection.h"
 #include "graph/graph_algorithms.h"
 #include "graph/graph_io.h"
 #include "graph/property_graph.h"
@@ -267,6 +270,87 @@ TEST(GraphIoTest, RemovedEdgesNotPersisted) {
   auto back = LoadGraphCsv(nodes, edges);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->edge_count(), 1u);
+}
+
+namespace {
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  return path;
+}
+}  // namespace
+
+TEST(GraphIoTest, TruncatedEdgeRowNamesFileAndLine) {
+  std::string nodes = WriteTemp("vl_trunc_nodes.csv", "0,Person\n1,Company\n");
+  // Row 2 lost its label mid-write — the classic truncated dump.
+  std::string edges = WriteTemp("vl_trunc_edges.csv", "0,0,1,Owns\n1,1,0\n");
+  auto back = LoadGraphCsv(nodes, edges);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kParseError);
+  EXPECT_NE(back.status().message().find("vl_trunc_edges.csv:2"),
+            std::string::npos)
+      << back.status().message();
+  EXPECT_NE(back.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(GraphIoTest, BadIntegerNamesFileAndLine) {
+  std::string nodes =
+      WriteTemp("vl_badint_nodes.csv", "0,Person\nxyz,Company\n");
+  std::string edges = WriteTemp("vl_badint_edges.csv", "");
+  auto back = LoadGraphCsv(nodes, edges);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("vl_badint_nodes.csv:2"),
+            std::string::npos)
+      << back.status().message();
+  EXPECT_NE(back.status().message().find("'xyz'"), std::string::npos);
+}
+
+TEST(GraphIoTest, NonDenseNodeIdsNameLine) {
+  std::string nodes = WriteTemp("vl_dense_nodes.csv", "0,Person\n5,Company\n");
+  std::string edges = WriteTemp("vl_dense_edges.csv", "");
+  auto back = LoadGraphCsv(nodes, edges);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find(":2"), std::string::npos)
+      << back.status().message();
+  EXPECT_NE(back.status().message().find("expected 1"), std::string::npos);
+}
+
+TEST(GraphIoTest, EdgeToMissingNodeNamesLine) {
+  std::string nodes = WriteTemp("vl_dangling_nodes.csv", "0,Person\n");
+  std::string edges = WriteTemp("vl_dangling_edges.csv", "0,0,7,Owns\n");
+  auto back = LoadGraphCsv(nodes, edges);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("vl_dangling_edges.csv:1"),
+            std::string::npos)
+      << back.status().message();
+}
+
+TEST(GraphIoTest, BadPropertyCellNamesLine) {
+  std::string nodes =
+      WriteTemp("vl_prop_nodes.csv", "0,Person,name=s:ok\n1,Person,oops\n");
+  std::string edges = WriteTemp("vl_prop_edges.csv", "");
+  auto back = LoadGraphCsv(nodes, edges);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("vl_prop_nodes.csv:2"),
+            std::string::npos)
+      << back.status().message();
+}
+
+TEST(GraphIoTest, LoadFaultInjectionPropagates) {
+  PropertyGraph g;
+  g.AddNode("Person");
+  std::string nodes = ::testing::TempDir() + "/vl_fault_nodes.csv";
+  std::string edges = ::testing::TempDir() + "/vl_fault_edges.csv";
+  ASSERT_TRUE(SaveGraphCsv(g, nodes, edges).ok());
+  // The underlying csv.read_file site fires through LoadGraphCsv.
+  FaultInjection::Arm("csv.read_file", {StatusCode::kIoError, "disk gone"});
+  auto back = LoadGraphCsv(nodes, edges);
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kIoError);
+  EXPECT_GE(FaultInjection::FireCount("csv.read_file"), 1u);
+  FaultInjection::Reset();
+  EXPECT_TRUE(LoadGraphCsv(nodes, edges).ok());
 }
 
 // ---- subgraph -------------------------------------------------------------------

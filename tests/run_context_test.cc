@@ -2,7 +2,10 @@
 // cooperative cancellation, parent chaining and the amortized clock.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <thread>
+#include <vector>
 
 #include "common/run_context.h"
 
@@ -114,6 +117,120 @@ TEST(RunContextTest, ParentCancellationReachesChild) {
   child.set_parent(&parent);
   parent.RequestCancel();
   EXPECT_EQ(child.Check().code(), StatusCode::kCancelled);
+}
+
+// ---- concurrent propagation (the serve-layer concurrency governor) ---------
+
+TEST(RunContextTest, ConcurrentCancellationReachesEveryWorkerChild) {
+  // N workers each run under their own child of one server-wide governor,
+  // exactly like serve's worker pool. Cancelling the parent must be
+  // observed by every worker at its next checkpoint, with no worker left
+  // spinning.
+  constexpr int kWorkers = 8;
+  RunContext governor;
+  std::atomic<int> tripped{0};
+  std::atomic<bool> all_started{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (int i = 0; i < kWorkers; ++i) {
+    threads.emplace_back([&] {
+      RunContext child;
+      child.set_parent(&governor);
+      while (true) {
+        // CheckNow: the amortized clock stride must not delay observing a
+        // cancellation (cancel is checked on every call regardless).
+        Status st = child.CheckNow();
+        if (!st.ok()) {
+          EXPECT_EQ(st.code(), StatusCode::kCancelled);
+          tripped.fetch_add(1);
+          return;
+        }
+        all_started.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  while (!all_started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  governor.RequestCancel();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tripped.load(), kWorkers);
+}
+
+TEST(RunContextTest, ConcurrentDeadlineTripsEachChildIndependently) {
+  // Children with their own deadlines under a shared unlimited parent:
+  // each trips on its own clock; the parent never trips.
+  constexpr int kWorkers = 6;
+  RunContext governor;
+  std::atomic<int> deadline_trips{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (int i = 0; i < kWorkers; ++i) {
+    threads.emplace_back([&] {
+      RunContext child;
+      child.set_parent(&governor);
+      child.set_deadline(RunContext::Clock::now() -
+                         std::chrono::milliseconds(1));  // already expired
+      Status st = child.CheckNow();
+      ASSERT_FALSE(st.ok());
+      EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+      deadline_trips.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(deadline_trips.load(), kWorkers);
+  EXPECT_TRUE(governor.CheckNow().ok());
+}
+
+TEST(RunContextTest, ConcurrentWorkChargesParentExactlyOnce) {
+  // Work consumed through concurrent children must be charged to the
+  // shared parent exactly once per unit — no double counting, no loss.
+  constexpr int kWorkers = 8;
+  constexpr uint64_t kUnitsPerWorker = 10000;
+  RunContext governor;  // unlimited budget, just counting
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (int i = 0; i < kWorkers; ++i) {
+    threads.emplace_back([&] {
+      RunContext child;
+      child.set_parent(&governor);
+      for (uint64_t u = 0; u < kUnitsPerWorker; ++u) {
+        ASSERT_TRUE(child.ConsumeWork(1).ok());
+      }
+      EXPECT_EQ(child.work_used(), kUnitsPerWorker);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(governor.work_used(), kWorkers * kUnitsPerWorker);
+}
+
+TEST(RunContextTest, SharedBudgetTripsLateWorkersUnderConcurrency) {
+  // A finite parent budget shared by concurrent children: once the pool
+  // exhausts it, every subsequent ConsumeWork fails — a child can never
+  // sneak work past the shared governor.
+  constexpr int kWorkers = 4;
+  RunContext governor;
+  governor.set_work_budget(1000);
+  std::atomic<uint64_t> accepted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (int i = 0; i < kWorkers; ++i) {
+    threads.emplace_back([&] {
+      RunContext child;
+      child.set_parent(&governor);
+      while (child.ConsumeWork(1).ok()) accepted.fetch_add(1);
+      // Sticky: once tripped it stays tripped.
+      EXPECT_FALSE(child.ConsumeWork(1).ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Units are charged before the poll, so each worker's two failing calls
+  // (loop exit + sticky re-check) still charge; accepted successes can
+  // never exceed the budget.
+  EXPECT_LE(accepted.load(), 1000u);
+  EXPECT_GE(governor.work_used(), 1000u);
+  EXPECT_LE(governor.work_used(), 1000u + 2 * kWorkers);
 }
 
 TEST(RunContextTest, NewStatusCodesHaveNames) {

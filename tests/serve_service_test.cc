@@ -1,0 +1,288 @@
+// serve/: ReasoningService driven directly (no TCP) — snapshot-isolated
+// reads, cache/stale degradation, delta ingestion, crash containment.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/run_context.h"
+#include "graph/property_graph.h"
+#include "serve/service.h"
+
+namespace vadalink::serve {
+namespace {
+
+// P0 -0.6-> C1 -0.8-> C2; P3 -0.3-> C1.  P0 controls C1 (and through it
+// C2); P0's integrated ownership of C2 is 0.48.
+graph::PropertyGraph TinyRegister() {
+  graph::PropertyGraph g;
+  graph::NodeId p0 = g.AddNode("Person");
+  graph::NodeId c1 = g.AddNode("Company");
+  graph::NodeId c2 = g.AddNode("Company");
+  graph::NodeId p3 = g.AddNode("Person");
+  auto share = [&](graph::NodeId s, graph::NodeId d, double w) {
+    auto e = g.AddEdge(s, d, "Shareholding").value();
+    g.SetEdgeProperty(e, "w", w);
+  };
+  share(p0, c1, 0.6);
+  share(c1, c2, 0.8);
+  share(p3, c1, 0.3);
+  return g;
+}
+
+constexpr char kControlRules[] = R"(
+  own(X, Y, W) -> control_direct(X, Y, W).
+)";
+
+Request MakeReq(const std::string& op, Json params,
+                int64_t id = 1) {
+  Request req;
+  req.id = Json::Int(id);
+  req.op = op;
+  req.params = std::move(params);
+  return req;
+}
+
+Json ParseLine(const std::string& line) {
+  auto v = Json::Parse(line);
+  EXPECT_TRUE(v.ok()) << line;
+  return v.ok() ? std::move(v).value() : Json::Null();
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjection::Reset(); }
+  void TearDown() override { FaultInjection::Reset(); }
+
+  /// Initialises without rules (keyed queries need none).
+  void InitPlain(ServiceOptions opts = {}) {
+    service_ = std::make_unique<ReasoningService>(opts, &metrics_);
+    ASSERT_TRUE(service_->Init(TinyRegister(), "").ok());
+  }
+
+  MetricsRegistry metrics_;
+  std::unique_ptr<ReasoningService> service_;
+};
+
+TEST_F(ServiceTest, ControlQueryAgainstSnapshot) {
+  InitPlain();
+  Json params = Json::MakeObject();
+  params.Set("source", Json::Int(0));
+  Json resp = ParseLine(service_->Handle(MakeReq("control", params), nullptr));
+  ASSERT_TRUE(resp.Find("ok")->AsBool()) << resp.Dump();
+  EXPECT_EQ(resp.Find("graph_version")->AsInt(), 1);
+  // P0 controls C1 directly (0.6) and C2 through it (C1 owns 0.8).
+  EXPECT_EQ(resp.Find("result")->Find("count")->AsInt(), 2);
+}
+
+TEST_F(ServiceTest, SecondIdenticalQueryIsCached) {
+  InitPlain();
+  Json params = Json::MakeObject();
+  params.Set("source", Json::Int(0));
+  Json first = ParseLine(service_->Handle(MakeReq("control", params), nullptr));
+  EXPECT_EQ(first.Find("cached"), nullptr);
+  Json second =
+      ParseLine(service_->Handle(MakeReq("control", params, 2), nullptr));
+  ASSERT_NE(second.Find("cached"), nullptr);
+  EXPECT_TRUE(second.Find("cached")->AsBool());
+  EXPECT_EQ(second.Find("stale"), nullptr);  // current version, not stale
+  EXPECT_EQ(second.Find("result")->Dump(), first.Find("result")->Dump());
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineFallsBackToStaleCachedResult) {
+  InitPlain();
+  Json params = Json::MakeObject();
+  params.Set("target", Json::Int(2));
+  // Warm the cache with an unlimited request.
+  Json warm = ParseLine(service_->Handle(MakeReq("ubo", params), nullptr));
+  ASSERT_TRUE(warm.Find("ok")->AsBool());
+
+  // Ingest bumps the version, so the warm entry is no longer current.
+  Json delta = Json::MakeObject();
+  Json nodes = Json::MakeArray();
+  Json node = Json::MakeObject();
+  node.Set("label", Json::Str("Company"));
+  nodes.Append(node);
+  delta.Set("nodes", nodes);
+  Json ing = ParseLine(service_->Handle(MakeReq("ingest", delta, 2), nullptr));
+  ASSERT_TRUE(ing.Find("ok")->AsBool()) << ing.Dump();
+  EXPECT_EQ(service_->version(), 2u);
+
+  // A request whose deadline already passed degrades to the cached
+  // answer, explicitly flagged stale (graceful degradation, not failure).
+  RunContext expired;
+  expired.set_deadline(RunContext::Clock::now() -
+                       std::chrono::milliseconds(1));
+  Json resp =
+      ParseLine(service_->Handle(MakeReq("ubo", params, 3), &expired));
+  ASSERT_TRUE(resp.Find("ok")->AsBool()) << resp.Dump();
+  ASSERT_NE(resp.Find("stale"), nullptr);
+  EXPECT_TRUE(resp.Find("stale")->AsBool());
+  EXPECT_EQ(resp.Find("graph_version")->AsInt(), 1);  // the stale version
+
+  // Cold key + expired deadline: nothing to degrade to -> deterministic
+  // DeadlineExceeded error.
+  Json cold = Json::MakeObject();
+  cold.Set("target", Json::Int(1));
+  Json err = ParseLine(service_->Handle(MakeReq("ubo", cold, 4), &expired));
+  ASSERT_FALSE(err.Find("ok")->AsBool());
+  EXPECT_EQ(err.Find("error")->Find("code")->AsString(), "DeadlineExceeded");
+}
+
+TEST_F(ServiceTest, IngestPublishesNewVersionAndRecomputes) {
+  InitPlain();
+  Json params = Json::MakeObject();
+  params.Set("source", Json::Int(3));
+  Json before =
+      ParseLine(service_->Handle(MakeReq("control", params), nullptr));
+  EXPECT_EQ(before.Find("result")->Find("count")->AsInt(), 0);
+
+  // P3 buys another 0.3 of C1 -> jointly 0.6 > 0.5: P3 now controls C1.
+  Json delta = Json::MakeObject();
+  Json edges = Json::MakeArray();
+  Json e = Json::MakeObject();
+  e.Set("src", Json::Int(3));
+  e.Set("dst", Json::Int(1));
+  e.Set("w", Json::Double(0.3));
+  edges.Append(e);
+  delta.Set("edges", edges);
+  Json ing = ParseLine(service_->Handle(MakeReq("ingest", delta, 2), nullptr));
+  ASSERT_TRUE(ing.Find("ok")->AsBool()) << ing.Dump();
+  EXPECT_EQ(ing.Find("result")->Find("graph_version")->AsInt(), 2);
+
+  // The cache entry from version 1 is not served as current at version 2.
+  Json after =
+      ParseLine(service_->Handle(MakeReq("control", params, 3), nullptr));
+  EXPECT_EQ(after.Find("cached"), nullptr);
+  EXPECT_EQ(after.Find("graph_version")->AsInt(), 2);
+  EXPECT_EQ(after.Find("result")->Find("count")->AsInt(), 2);  // C1 and C2
+}
+
+TEST_F(ServiceTest, InvalidIngestLeavesStateUntouched) {
+  InitPlain();
+  Json delta = Json::MakeObject();
+  Json edges = Json::MakeArray();
+  Json e = Json::MakeObject();
+  e.Set("src", Json::Int(0));
+  e.Set("dst", Json::Int(999));  // out of range
+  e.Set("w", Json::Double(0.5));
+  edges.Append(e);
+  delta.Set("edges", edges);
+  Json resp = ParseLine(service_->Handle(MakeReq("ingest", delta), nullptr));
+  ASSERT_FALSE(resp.Find("ok")->AsBool());
+  EXPECT_EQ(resp.Find("error")->Find("code")->AsString(), "InvalidArgument");
+  EXPECT_EQ(service_->version(), 1u);  // nothing published
+
+  // Shareholding without weight is rejected up front too.
+  Json delta2 = Json::MakeObject();
+  Json edges2 = Json::MakeArray();
+  Json e2 = Json::MakeObject();
+  e2.Set("src", Json::Int(0));
+  e2.Set("dst", Json::Int(1));
+  edges2.Append(e2);
+  delta2.Set("edges", edges2);
+  Json resp2 =
+      ParseLine(service_->Handle(MakeReq("ingest", delta2, 2), nullptr));
+  ASSERT_FALSE(resp2.Find("ok")->AsBool());
+  EXPECT_EQ(service_->version(), 1u);
+}
+
+TEST_F(ServiceTest, UnknownNodeIsNotFound) {
+  InitPlain();
+  Json params = Json::MakeObject();
+  params.Set("source", Json::Int(12345));
+  Json resp = ParseLine(service_->Handle(MakeReq("control", params), nullptr));
+  ASSERT_FALSE(resp.Find("ok")->AsBool());
+  EXPECT_EQ(resp.Find("error")->Find("code")->AsString(), "NotFound");
+}
+
+TEST_F(ServiceTest, BadThresholdIsInvalidArgument) {
+  InitPlain();
+  Json params = Json::MakeObject();
+  params.Set("company", Json::Int(1));
+  params.Set("threshold", Json::Double(1.5));
+  Json resp =
+      ParseLine(service_->Handle(MakeReq("closelinks", params), nullptr));
+  ASSERT_FALSE(resp.Find("ok")->AsBool());
+  EXPECT_EQ(resp.Find("error")->Find("code")->AsString(), "InvalidArgument");
+}
+
+TEST_F(ServiceTest, InjectedEvaluateFaultPoisonsOnlyThatRequest) {
+  InitPlain();
+  Json params = Json::MakeObject();
+  params.Set("source", Json::Int(0));
+  FaultInjection::Arm("serve.evaluate",
+                      {StatusCode::kInternal, "poisoned", /*skip=*/0,
+                       /*max_fires=*/1});
+  Json poisoned =
+      ParseLine(service_->Handle(MakeReq("control", params), nullptr));
+  ASSERT_FALSE(poisoned.Find("ok")->AsBool());
+  EXPECT_EQ(poisoned.Find("error")->Find("code")->AsString(), "Internal");
+  // The very next request succeeds — contained, not wedged.
+  Json next =
+      ParseLine(service_->Handle(MakeReq("control", params, 2), nullptr));
+  EXPECT_TRUE(next.Find("ok")->AsBool()) << next.Dump();
+}
+
+TEST_F(ServiceTest, IngestWithRulesRecoversFromIncrementalFault) {
+  ServiceOptions opts;
+  service_ = std::make_unique<ReasoningService>(opts, &metrics_);
+  ASSERT_TRUE(service_->Init(TinyRegister(), kControlRules).ok());
+  EXPECT_EQ(service_->version(), 1u);
+
+  // The incremental chase dies (injected) — the service contains the
+  // failure by re-establishing the fixpoint with a full Reason() and
+  // still publishes a correct new version.
+  FaultInjection::Arm("kg.reason_incremental",
+                      {StatusCode::kIoError, "chase died", /*skip=*/0,
+                       /*max_fires=*/1});
+  Json delta = Json::MakeObject();
+  Json edges = Json::MakeArray();
+  Json e = Json::MakeObject();
+  e.Set("src", Json::Int(3));
+  e.Set("dst", Json::Int(2));
+  e.Set("w", Json::Double(0.1));
+  edges.Append(e);
+  delta.Set("edges", edges);
+  Json resp = ParseLine(service_->Handle(MakeReq("ingest", delta), nullptr));
+  ASSERT_TRUE(resp.Find("ok")->AsBool()) << resp.Dump();
+  ASSERT_NE(resp.Find("result")->Find("recovered"), nullptr);
+  EXPECT_TRUE(resp.Find("result")->Find("recovered")->AsBool());
+  EXPECT_EQ(service_->version(), 2u);
+  FaultInjection::Reset();
+
+  // Query still works against the recovered fixpoint.
+  Json q = Json::MakeObject();
+  q.Set("predicate", Json::Str("control_direct"));
+  Json qr = ParseLine(service_->Handle(MakeReq("query", q, 2), nullptr));
+  ASSERT_TRUE(qr.Find("ok")->AsBool()) << qr.Dump();
+  EXPECT_EQ(qr.Find("result")->Find("count")->AsInt(), 4);  // 4 ownsd edges
+}
+
+TEST_F(ServiceTest, MetricsOpExportsRegistry) {
+  InitPlain();
+  Json params = Json::MakeObject();
+  params.Set("source", Json::Int(0));
+  (void)service_->Handle(MakeReq("control", params), nullptr);
+  Json resp =
+      ParseLine(service_->Handle(MakeReq("metrics", Json::MakeObject(), 2),
+                                 nullptr));
+  ASSERT_TRUE(resp.Find("ok")->AsBool());
+  const Json* doc = resp.Find("result")->Find("metrics");
+  ASSERT_NE(doc, nullptr);
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_NE(doc->Find("counters"), nullptr);
+}
+
+TEST_F(ServiceTest, SleepOpIsTestGated) {
+  InitPlain();  // enable_test_ops defaults to false
+  Json params = Json::MakeObject();
+  params.Set("ms", Json::Int(1));
+  Json resp = ParseLine(service_->Handle(MakeReq("sleep", params), nullptr));
+  ASSERT_FALSE(resp.Find("ok")->AsBool());
+  EXPECT_EQ(resp.Find("error")->Find("code")->AsString(), "Unsupported");
+}
+
+}  // namespace
+}  // namespace vadalink::serve

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_serve.json document against tools/serve_bench_schema.json.
+
+Usage: check_serve_bench_schema.py <BENCH_serve.json>
+
+Checks (stdlib only, no third-party deps):
+  * the required top-level keys exist and schema_version matches;
+  * config / graph / totals / latency_ms carry their required fields;
+  * every count is a non-negative integer, every timing a non-negative
+    number;
+  * the robustness invariants hold: zero transport failures (every
+    request got a response), shed_rate in [0, 1], latency percentiles
+    monotone (p50 <= p90 <= p99 <= max), and responses >= ok + errors.
+
+Exit code 0 when the document conforms, 1 with one line per violation
+otherwise.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("bench_file")
+    parser.add_argument("--schema",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "serve_bench_schema.json"))
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+    with open(args.bench_file) as f:
+        doc = json.load(f)
+
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    for key in schema["required_top_level_keys"]:
+        if key not in doc:
+            err(f"missing top-level key '{key}'")
+    if doc.get("schema_version") != schema["schema_version"]:
+        err(f"schema_version {doc.get('schema_version')!r} != "
+            f"{schema['schema_version']}")
+
+    def require_fields(section, fields, kind):
+        obj = doc.get(section, {})
+        if not isinstance(obj, dict):
+            err(f"'{section}' is not an object")
+            return {}
+        for field in fields:
+            if field not in obj:
+                err(f"missing {section}.{field}")
+            elif kind == "count":
+                v = obj[field]
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    err(f"{section}.{field} is not a non-negative "
+                        f"integer: {v!r}")
+            elif kind == "number":
+                v = obj[field]
+                if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                        or v < 0:
+                    err(f"{section}.{field} is not a non-negative "
+                        f"number: {v!r}")
+        return obj
+
+    require_fields("config", schema["config_fields"], "count")
+    require_fields("graph", schema["graph_fields"], "count")
+    totals = require_fields("totals", schema["totals_fields"], "count")
+    latency = require_fields("latency_ms", schema["latency_fields"], "number")
+
+    for key in ("qps", "shed_rate", "duration_seconds"):
+        v = doc.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            err(f"'{key}' is not a non-negative number: {v!r}")
+
+    inv = schema.get("invariants", {})
+    if inv.get("transport_failures_must_be_zero"):
+        tf = totals.get("transport_failures")
+        if isinstance(tf, int) and tf != 0:
+            err(f"totals.transport_failures is {tf}; every request must "
+                "receive a response")
+    lo, hi = inv.get("shed_rate_range", [0.0, 1.0])
+    sr = doc.get("shed_rate")
+    if isinstance(sr, (int, float)) and not lo <= sr <= hi:
+        err(f"shed_rate {sr} outside [{lo}, {hi}]")
+    chain = inv.get("latency_percentiles_monotone", [])
+    values = [latency.get(name) for name in chain]
+    if all(isinstance(v, (int, float)) for v in values):
+        for (a_name, a), (b_name, b) in zip(list(zip(chain, values))[:-1],
+                                            list(zip(chain, values))[1:]):
+            if a > b:
+                err(f"latency_ms.{a_name} ({a}) > latency_ms.{b_name} ({b})")
+    responses = totals.get("responses")
+    ok = totals.get("ok")
+    errs = totals.get("errors")
+    if all(isinstance(v, int) for v in (responses, ok, errs)):
+        if ok + errs > responses:
+            err(f"totals.ok + totals.errors ({ok} + {errs}) exceeds "
+                f"totals.responses ({responses})")
+
+    if errors:
+        for e in errors:
+            print(f"SCHEMA VIOLATION: {e}", file=sys.stderr)
+        return 1
+    print(f"{args.bench_file}: conforms to serve bench schema "
+          f"version {schema['schema_version']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Smoke test for `vadalink serve` over its TCP line protocol.
+
+Usage: serve_smoke.py [--host 127.0.0.1] [--port 7411] [--timeout 15]
+
+Run against an already-started server (typically backgrounded in CI).
+Stdlib only. The script:
+  * retries the connect until the server is listening (bounded);
+  * checks health reports "serving" with a positive graph_version;
+  * runs a keyed control query and checks the response shape, then
+    repeats it and requires the cached flag;
+  * sends malformed input and requires a structured ParseError (the
+    connection must survive it);
+  * checks the metrics op returns a document with counters;
+  * sends shutdown and requires an ok response followed by EOF.
+
+Exit code 0 on success, 1 with a diagnostic otherwise.
+"""
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+class LineClient:
+    def __init__(self, host, port, timeout):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(timeout)
+        self.buf = b""
+        self.next_id = 1
+
+    def send_raw(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+
+    def read_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise EOFError("server closed the connection")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def call(self, op, params=None):
+        req = {"id": self.next_id, "op": op, "params": params or {}}
+        self.next_id += 1
+        self.send_raw(json.dumps(req))
+        resp = json.loads(self.read_line())
+        if resp.get("id") != req["id"]:
+            raise AssertionError(
+                f"response id {resp.get('id')} != request id {req['id']}")
+        return resp
+
+
+def connect_with_retry(host, port, deadline_s):
+    end = time.monotonic() + deadline_s
+    last = None
+    while time.monotonic() < end:
+        try:
+            return LineClient(host, port, timeout=10)
+        except OSError as e:
+            last = e
+            time.sleep(0.2)
+    raise SystemExit(f"server never listened on {host}:{port}: {last}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7411)
+    parser.add_argument("--timeout", type=float, default=15.0)
+    args = parser.parse_args()
+
+    failures = []
+
+    def check(cond, msg):
+        if not cond:
+            failures.append(msg)
+
+    c = connect_with_retry(args.host, args.port, args.timeout)
+
+    health = c.call("health")
+    check(health.get("ok") is True, f"health not ok: {health}")
+    check(health.get("result", {}).get("status") == "serving",
+          f"health.status != serving: {health}")
+    check(health.get("graph_version", 0) >= 1,
+          f"graph_version < 1: {health}")
+
+    control = c.call("control", {"source": 0})
+    check(control.get("ok") is True, f"control not ok: {control}")
+    check("count" in control.get("result", {}),
+          f"control result missing count: {control}")
+    again = c.call("control", {"source": 0})
+    check(again.get("cached") is True,
+          f"repeated control not served from cache: {again}")
+
+    c.send_raw("this is not json")
+    garbled = json.loads(c.read_line())
+    check(garbled.get("ok") is False,
+          f"malformed line not rejected: {garbled}")
+    check(garbled.get("error", {}).get("code") == "ParseError",
+          f"malformed line error code != ParseError: {garbled}")
+
+    still = c.call("health")
+    check(still.get("ok") is True,
+          f"connection did not survive malformed line: {still}")
+
+    metrics = c.call("metrics")
+    check(metrics.get("ok") is True, f"metrics not ok: {metrics}")
+    doc = metrics.get("result", {}).get("metrics")
+    check(isinstance(doc, dict) and "counters" in doc,
+          f"metrics document missing counters: {metrics}")
+    check(doc.get("counters", {}).get("serve.requests.handled", 0) > 0,
+          f"serve.requests.handled not counted: {metrics}")
+
+    bye = c.call("shutdown")
+    check(bye.get("ok") is True, f"shutdown not acknowledged: {bye}")
+    try:
+        c.read_line()
+        # Tolerated: some stacks deliver EOF on the next read instead.
+    except (EOFError, OSError):
+        pass
+
+    if failures:
+        for f in failures:
+            print(f"SMOKE FAILURE: {f}", file=sys.stderr)
+        return 1
+    print("serve smoke: health, keyed query + cache, malformed-line "
+          "containment, metrics, shutdown all OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

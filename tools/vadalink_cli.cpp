@@ -33,6 +33,7 @@
 #include "graph/dot_export.h"
 #include "graph/graph_io.h"
 #include "gen/evolution.h"
+#include "serve/server.h"
 #include "tools/cli_flags.h"
 
 using namespace vadalink;
@@ -451,6 +452,62 @@ int CmdEvolve(const Flags& flags) {
   return 0;
 }
 
+/// `vadalink serve` — resident reasoning server (DESIGN.md section 10).
+/// Loads BASE, optionally runs a Vadalog program, then serves the
+/// newline-delimited-JSON protocol until a client sends {"op":"shutdown"}.
+int CmdServe(const Flags& flags) {
+  auto g = LoadIn(flags);
+  if (!g.ok()) return Fail(g.status());
+
+  std::string rules;
+  std::string program_path = flags.Get("program", "");
+  if (!program_path.empty()) {
+    std::ifstream in(program_path);
+    if (!in) return Fail(Status::IoError("cannot open " + program_path));
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    rules = ss.str();
+  }
+
+  serve::ServiceOptions service_opts;
+  service_opts.cache_entries =
+      static_cast<size_t>(flags.GetInt("cache-entries", 1024));
+  serve::ServerOptions server_opts;
+  server_opts.host = flags.Get("host", "127.0.0.1");
+  server_opts.port = static_cast<int>(flags.GetInt("port", 7411));
+  server_opts.max_inflight =
+      static_cast<int>(flags.GetInt("max-inflight", 4));
+  server_opts.queue_depth =
+      static_cast<size_t>(flags.GetInt("queue-depth", 64));
+  server_opts.request_deadline_ms = flags.GetInt("request-deadline-ms", 10000);
+  server_opts.idle_timeout_ms = flags.GetInt("idle-timeout-ms", 300000);
+  if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
+
+  MetricsRegistry metrics;
+  serve::Server server(service_opts, server_opts, &metrics);
+  if (Status st = server.Init(std::move(g).value(), rules); !st.ok()) {
+    return Fail(st);
+  }
+  if (Status st = server.Start(); !st.ok()) return Fail(st);
+  std::printf("serving on %s:%d (graph version %llu, %d workers, queue %zu, "
+              "deadline %lldms)\n",
+              server_opts.host.c_str(), server.port(),
+              static_cast<unsigned long long>(server.service().version()),
+              server_opts.max_inflight, server_opts.queue_depth,
+              static_cast<long long>(server_opts.request_deadline_ms));
+  std::fflush(stdout);
+  server.WaitUntilShutdownRequested();
+  server.Stop();
+  std::string metrics_path = flags.Get("metrics-json", "");
+  if (!metrics_path.empty()) {
+    if (Status st = metrics.WriteJsonFile(metrics_path, {}); !st.ok()) {
+      return Fail(st);
+    }
+  }
+  std::printf("shutdown complete\n");
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr, R"(usage: vadalink <command> [--flag value ...]
 
@@ -471,6 +528,9 @@ commands:
   lint        --program FILE.vada [--json -|FILE]
   dot         --in BASE [--out FILE.dot]
   evolve      --out BASE [--persons N] [--from Y] [--to Y] [--seed S]
+  serve       --in BASE [--program FILE.vada] [--host H] [--port P]
+              [--max-inflight N] [--queue-depth N] [--request-deadline-ms MS]
+              [--cache-entries N] [--idle-timeout-ms MS] [--metrics-json FILE]
 
 BASE refers to the CSV pair BASE_nodes.csv / BASE_edges.csv.
 
@@ -495,6 +555,16 @@ histograms, span tree) as one stable-schema JSON document; --trace 1
 prints the human-readable span tree to stderr. The default document
 omits wall-clock timings, so it is byte-stable run-to-run at a fixed
 seed with threads=1; --metrics-wall 1 opts timings in.
+
+'serve' answers newline-delimited JSON requests over TCP (one object per
+line; see DESIGN.md section 10 for the protocol): health, version,
+metrics, control, ubo, closelinks, ingest, reason, query, shutdown.
+--port 0 binds an ephemeral port (printed on startup). --max-inflight
+bounds concurrent evaluations, --queue-depth the admission queue (a full
+queue sheds with ResourceExhausted + retry_after_ms),
+--request-deadline-ms the default/maximum per-request deadline
+(deadline-busting hot queries degrade to the cached answer flagged
+"stale": true), --cache-entries the result cache (0 disables).
 )");
 }
 
@@ -556,6 +626,13 @@ int main(int argc, char** argv) {
   }
   if (cmd == "lint") {
     return accept({"program", "json"}) ? CmdLint(flags) : 1;
+  }
+  if (cmd == "serve") {
+    return accept({"in", "program", "host", "port", "max-inflight",
+                   "queue-depth", "request-deadline-ms", "cache-entries",
+                   "idle-timeout-ms", "metrics-json"})
+               ? CmdServe(flags)
+               : 1;
   }
   if (cmd == "dot") return accept({"in", "out"}) ? CmdDot(flags) : 1;
   if (cmd == "evolve") {
