@@ -3,10 +3,15 @@
 // inputs. Checks that both paths agree and reports the runtime cost of
 // declarativity ("20-30 lines of Vadalog vs 1k+ lines of code", Section 5 —
 // the trade-off is expressiveness vs raw speed).
+// `--engine-json FILE` instead runs the two programs at reduced sizes
+// under both join orders and emits the BENCH_engine.json document (see
+// bench/engine_bench_json.h).
 #include <cstdio>
+#include <cstring>
 #include <set>
 
 #include "bench/bench_util.h"
+#include "bench/engine_bench_json.h"
 #include "common/timer.h"
 #include "company/close_link.h"
 #include "company/control.h"
@@ -18,7 +23,113 @@
 
 using namespace vadalink;
 
-int main() {
+namespace {
+
+// One declarative run of `rules` over a Barabási–Albert graph.
+int RunGraphWorkload(size_t nodes, size_t edges_per_node, uint64_t seed,
+                     const std::string& rules, datalog::JoinOrder order,
+                     bench::EngineRunReport* report, uint64_t* facts,
+                     std::vector<std::string>* plans,
+                     std::vector<std::string>* fingerprint) {
+  gen::BarabasiAlbertConfig ba;
+  ba.nodes = nodes;
+  ba.edges_per_node = edges_per_node;
+  ba.seed = seed;
+  auto g = gen::GenerateBarabasiAlbert(ba);
+  datalog::Catalog catalog;
+  datalog::Database db(&catalog);
+  if (auto st = core::LoadGraphFacts(g, &db); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto program = datalog::ParseProgram(rules, &catalog);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  datalog::EngineOptions opts;
+  opts.join_order = order;
+  datalog::Engine engine(&db, opts);
+  WallTimer timer;
+  if (auto st = engine.Run(*program); !st.ok()) {
+    std::fprintf(stderr, "engine: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  report->seconds = timer.ElapsedSeconds();
+  const datalog::EngineStats& stats = engine.stats();
+  *facts = stats.facts_derived;
+  report->facts_per_sec =
+      report->seconds > 0
+          ? static_cast<double>(stats.facts_derived) / report->seconds
+          : 0.0;
+  report->join_probes = stats.join_probes;
+  report->plans_computed = stats.plans_computed;
+  report->plan_cache_hits = stats.plan_cache_hits;
+  if (plans != nullptr) *plans = engine.PlanSummaries();
+  if (fingerprint != nullptr) *fingerprint = bench::DatabaseFingerprint(db);
+  return 0;
+}
+
+int EmitEngineJson(const std::string& path) {
+  struct Workload {
+    const char* name;
+    size_t nodes;
+    size_t edges_per_node;
+    uint64_t seed;
+    std::string rules;
+  };
+  const Workload workloads[] = {
+      {"control_300", 300, 2, 3, core::ControlProgram()},
+      {"closelink_100", 100, 1, 17, core::CloseLinkProgram(0.2, 8)},
+  };
+  std::vector<bench::EngineWorkloadReport> reports;
+  for (const Workload& w : workloads) {
+    bench::EngineWorkloadReport r;
+    r.name = w.name;
+    uint64_t planned_facts = 0, worst_facts = 0;
+    std::vector<std::string> planned_fp, worst_fp;
+    if (RunGraphWorkload(w.nodes, w.edges_per_node, w.seed, w.rules,
+                         datalog::JoinOrder::kPlanned, &r.planned,
+                         &planned_facts, &r.plans, &planned_fp) != 0 ||
+        RunGraphWorkload(w.nodes, w.edges_per_node, w.seed, w.rules,
+                         datalog::JoinOrder::kWorstCase, &r.worst_case,
+                         &worst_facts, nullptr, &worst_fp) != 0) {
+      return 1;
+    }
+    r.facts_derived = planned_facts;
+    r.agree = planned_facts == worst_facts && planned_fp == worst_fp;
+    std::printf(
+        "%-16s facts %8llu | planned %8.0f f/s %9llu probes | "
+        "worst %8.0f f/s %9llu probes | agree %s\n",
+        w.name, static_cast<unsigned long long>(planned_facts),
+        r.planned.facts_per_sec,
+        static_cast<unsigned long long>(r.planned.join_probes),
+        r.worst_case.facts_per_sec,
+        static_cast<unsigned long long>(r.worst_case.join_probes),
+        r.agree ? "yes" : "NO!");
+    reports.push_back(std::move(r));
+  }
+  if (!bench::WriteEngineBenchJson(path, "ablation_engine", reports)) {
+    return 1;
+  }
+  for (const auto& r : reports) {
+    if (!r.agree) {
+      std::fprintf(stderr, "FAIL: %s fact sets differ across join orders\n",
+                   r.name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine-json") == 0) {
+      return EmitEngineJson(argv[i + 1]);
+    }
+  }
   bench::Header("Ablation A1: declarative (Datalog) vs compiled reasoning");
 
   // ---- company control ------------------------------------------------------
@@ -47,7 +158,7 @@ int main() {
     }
     double datalog_s = timer.ElapsedSeconds();
     std::set<std::pair<int64_t, int64_t>> declarative;
-    for (const auto& t : db.TuplesOf("control")) {
+    for (datalog::RowRef t : db.Scan("control")) {
       declarative.insert({t[0].AsInt(), t[1].AsInt()});
     }
 
@@ -90,7 +201,7 @@ int main() {
     }
     double datalog_s = timer.ElapsedSeconds();
     std::set<std::pair<int64_t, int64_t>> declarative;
-    for (const auto& t : db.TuplesOf("closelink")) {
+    for (datalog::RowRef t : db.Scan("closelink")) {
       int64_t a = t[0].AsInt(), b = t[1].AsInt();
       declarative.insert({std::min(a, b), std::max(a, b)});
     }

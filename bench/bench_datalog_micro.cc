@@ -1,9 +1,16 @@
 // A3 — microbenchmarks of the Datalog± engine: chase throughput on
 // classic recursive workloads, monotonic aggregation, parser speed.
+//
+// `--engine-json FILE` switches to a fixed workload suite run under both
+// join orders and emits the BENCH_engine.json document (throughput, join
+// probe counts, per-rule plans); see bench/engine_bench_json.h.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <string>
 
+#include "bench/engine_bench_json.h"
+#include "common/timer.h"
 #include "datalog/engine.h"
 #include "datalog/parser.h"
 
@@ -82,7 +89,7 @@ void BM_MonotonicSum(benchmark::State& state) {
     Engine engine(&db);
     Status st = engine.Run(*program);
     if (!st.ok()) state.SkipWithError(st.ToString().c_str());
-    benchmark::DoNotOptimize(db.TuplesOf("hot").size());
+    benchmark::DoNotOptimize(db.Scan("hot").size());
   }
   state.counters["contribs"] = static_cast<double>(groups * 20);
 }
@@ -127,6 +134,154 @@ void BM_Parse(benchmark::State& state) {
 }
 BENCHMARK(BM_Parse);
 
+// ---------------------------------------------------------------------------
+// --engine-json: fixed suite for the schema-checked BENCH_engine.json
+// ---------------------------------------------------------------------------
+
+std::string TcChainSource(int64_t n) {
+  std::string src;
+  for (int64_t i = 0; i < n; ++i) {
+    src += "e(" + std::to_string(i) + "," + std::to_string(i + 1) + ").\n";
+  }
+  src += "e(X,Y) -> tc(X,Y).\ntc(X,Y), e(Y,Z) -> tc(X,Z).\n";
+  return src;
+}
+
+std::string SameGenSource(int64_t levels) {
+  std::string src;
+  int64_t next = 1;
+  std::vector<int64_t> frontier{0};
+  for (int64_t l = 0; l < levels; ++l) {
+    std::vector<int64_t> children;
+    for (int64_t p : frontier) {
+      for (int c = 0; c < 2; ++c) {
+        src += "up(" + std::to_string(next) + "," + std::to_string(p) +
+               ").\n";
+        children.push_back(next++);
+      }
+    }
+    frontier = std::move(children);
+  }
+  src += "up(X,P), up(Y,P), X != Y -> sg(X,Y).\n";
+  src += "up(X,P), sg(P,Q), up(Y,Q), X != Y -> sg(X,Y).\n";
+  return src;
+}
+
+std::string MonotonicSumSource(int64_t groups) {
+  std::string src;
+  for (int64_t g = 0; g < groups; ++g) {
+    for (int64_t c = 0; c < 20; ++c) {
+      src += "contrib(" + std::to_string(g) + "," + std::to_string(c) +
+             ",0.04).\n";
+    }
+  }
+  src += "contrib(G,C,W), S = msum(W, <C>), S > 0.5 -> hot(G).\n";
+  return src;
+}
+
+std::string ExistentialSource(int64_t n) {
+  std::string src;
+  for (int64_t i = 0; i < n; ++i) {
+    src += "p(" + std::to_string(i) + ").\n";
+  }
+  src += "p(X) -> q(X, N).\nq(X, N) -> r(N).\n";
+  return src;
+}
+
+// One chase of `src` under the given join order; fills the run report and
+// (optionally) plan summaries + the sorted fact-set fingerprint.
+int RunEngineWorkload(const std::string& src, JoinOrder order,
+                      bench::EngineRunReport* report, uint64_t* facts,
+                      std::vector<std::string>* plans,
+                      std::vector<std::string>* fingerprint) {
+  Catalog catalog;
+  Database db(&catalog);
+  auto program = ParseProgram(src, &catalog);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  EngineOptions opts;
+  opts.join_order = order;
+  Engine engine(&db, opts);
+  WallTimer timer;
+  if (Status st = engine.Run(*program); !st.ok()) {
+    std::fprintf(stderr, "engine: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  report->seconds = timer.ElapsedSeconds();
+  const EngineStats& stats = engine.stats();
+  *facts = stats.facts_derived;
+  report->facts_per_sec =
+      report->seconds > 0
+          ? static_cast<double>(stats.facts_derived) / report->seconds
+          : 0.0;
+  report->join_probes = stats.join_probes;
+  report->plans_computed = stats.plans_computed;
+  report->plan_cache_hits = stats.plan_cache_hits;
+  if (plans != nullptr) *plans = engine.PlanSummaries();
+  if (fingerprint != nullptr) *fingerprint = bench::DatabaseFingerprint(db);
+  return 0;
+}
+
+int EmitEngineJson(const std::string& path) {
+  struct Workload {
+    const char* name;
+    std::string src;
+  };
+  const Workload workloads[] = {
+      {"tc_chain_200", TcChainSource(200)},
+      {"same_generation_8", SameGenSource(8)},
+      {"monotonic_sum_100", MonotonicSumSource(100)},
+      {"existential_chase_1000", ExistentialSource(1000)},
+  };
+  std::vector<bench::EngineWorkloadReport> reports;
+  for (const Workload& w : workloads) {
+    bench::EngineWorkloadReport r;
+    r.name = w.name;
+    uint64_t planned_facts = 0, worst_facts = 0;
+    std::vector<std::string> planned_fp, worst_fp;
+    if (RunEngineWorkload(w.src, JoinOrder::kPlanned, &r.planned,
+                          &planned_facts, &r.plans, &planned_fp) != 0 ||
+        RunEngineWorkload(w.src, JoinOrder::kWorstCase, &r.worst_case,
+                          &worst_facts, nullptr, &worst_fp) != 0) {
+      return 1;
+    }
+    r.facts_derived = planned_facts;
+    r.agree = planned_facts == worst_facts && planned_fp == worst_fp;
+    std::printf(
+        "%-24s facts %8llu | planned %8.0f f/s %8llu probes | "
+        "worst %8.0f f/s %8llu probes | agree %s\n",
+        w.name, static_cast<unsigned long long>(planned_facts),
+        r.planned.facts_per_sec,
+        static_cast<unsigned long long>(r.planned.join_probes),
+        r.worst_case.facts_per_sec,
+        static_cast<unsigned long long>(r.worst_case.join_probes),
+        r.agree ? "yes" : "NO!");
+    reports.push_back(std::move(r));
+  }
+  if (!bench::WriteEngineBenchJson(path, "datalog_micro", reports)) return 1;
+  for (const auto& r : reports) {
+    if (!r.agree) {
+      std::fprintf(stderr, "FAIL: %s fact sets differ across join orders\n",
+                   r.name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine-json") == 0) {
+      return EmitEngineJson(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Shared emission of the BENCH_engine.json document: per-workload chase
+// throughput, join-probe counts and the planner's chosen per-rule plans,
+// under both join orders (planned vs forced worst-case). Validated in CI
+// against tools/engine_bench_schema.json by
+// tools/check_engine_bench_schema.py.
+//
+//   { "schema_version": 1,
+//     "bench": "datalog_micro",
+//     "workloads": [
+//       { "name": "tc_chain_200", "facts_derived": 20100,
+//         "planned":    {"seconds": ..., "facts_per_sec": ...,
+//                        "join_probes": ..., "plans_computed": ...,
+//                        "plan_cache_hits": ...},
+//         "worst_case": { ...same fields... },
+//         "plans": ["rule 0: e[delta]@scan tc@0", ...],
+//         "agree": true } ] }
+//
+// "agree" asserts the sorted fact sets of the two runs are identical —
+// the planner may only change enumeration order, never the fixpoint.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datalog/database.h"
+
+namespace vadalink::bench {
+
+struct EngineRunReport {
+  double seconds = 0;
+  double facts_per_sec = 0;
+  uint64_t join_probes = 0;
+  uint64_t plans_computed = 0;
+  uint64_t plan_cache_hits = 0;
+};
+
+struct EngineWorkloadReport {
+  std::string name;
+  uint64_t facts_derived = 0;
+  EngineRunReport planned;
+  EngineRunReport worst_case;
+  std::vector<std::string> plans;  // planner summaries of the planned run
+  bool agree = false;  // fact sets identical across join orders
+};
+
+/// Sorted, rendered copy of the whole fact base; equal fingerprints mean
+/// equal fact sets regardless of derivation order.
+inline std::vector<std::string> DatabaseFingerprint(
+    const datalog::Database& db) {
+  std::vector<std::string> out;
+  const datalog::Catalog* cat = db.catalog();
+  for (uint32_t p = 0; p < cat->predicates.size(); ++p) {
+    const std::string& pred = cat->predicates.Name(p);
+    for (datalog::RowRef row : db.Scan(p)) {
+      std::string line = pred;
+      for (size_t i = 0; i < row.size(); ++i) {
+        line += "|" + row[i].ToString(cat->symbols);
+      }
+      out.push_back(std::move(line));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+inline bool WriteEngineBenchJson(
+    const std::string& path, const std::string& bench_name,
+    const std::vector<EngineWorkloadReport>& workloads) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"schema_version\": 1,\n  \"bench\": \"%s\",\n",
+               JsonEscape(bench_name).c_str());
+  std::fprintf(f, "  \"workloads\": [");
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const EngineWorkloadReport& r = workloads[w];
+    std::fprintf(f, "%s\n    {\"name\": \"%s\", \"facts_derived\": %llu,",
+                 w == 0 ? "" : ",", JsonEscape(r.name).c_str(),
+                 static_cast<unsigned long long>(r.facts_derived));
+    auto run = [&](const char* key, const EngineRunReport& e) {
+      std::fprintf(f,
+                   "\n     \"%s\": {\"seconds\": %.6f, "
+                   "\"facts_per_sec\": %.1f, \"join_probes\": %llu, "
+                   "\"plans_computed\": %llu, \"plan_cache_hits\": %llu},",
+                   key, e.seconds, e.facts_per_sec,
+                   static_cast<unsigned long long>(e.join_probes),
+                   static_cast<unsigned long long>(e.plans_computed),
+                   static_cast<unsigned long long>(e.plan_cache_hits));
+    };
+    run("planned", r.planned);
+    run("worst_case", r.worst_case);
+    std::fprintf(f, "\n     \"plans\": [");
+    for (size_t i = 0; i < r.plans.size(); ++i) {
+      std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                   JsonEscape(r.plans[i]).c_str());
+    }
+    std::fprintf(f, "],\n     \"agree\": %s}", r.agree ? "true" : "false");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace vadalink::bench

@@ -127,7 +127,7 @@ int main() {
   }
   std::printf("  derived %zu facts in %zu semi-naive iterations\n",
               engine.stats().facts_derived, engine.stats().iterations);
-  for (const auto& t : db.TuplesOf("control")) {
+  for (datalog::RowRef t : db.Scan("control")) {
     std::printf("  control(%s, %s)\n",
                 names[static_cast<graph::NodeId>(t[0].AsInt())].c_str(),
                 names[static_cast<graph::NodeId>(t[1].AsInt())].c_str());

@@ -31,12 +31,12 @@ using namespace vadalink::datalog;
 namespace {
 
 void PrintTuples(const Database& db, const std::string& pred) {
-  auto tuples = db.TuplesOf(pred);
+  RelationScan tuples = db.Scan(pred);
   if (tuples.empty()) {
     std::printf("  (no tuples)\n");
     return;
   }
-  for (const auto& t : tuples) {
+  for (RowRef t : tuples) {
     std::string line = "  " + pred + "(";
     for (size_t i = 0; i < t.size(); ++i) {
       if (i > 0) line += ", ";

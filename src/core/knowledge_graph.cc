@@ -91,10 +91,10 @@ Result<ReasonStats> KnowledgeGraph::ReasonIncremental(
   return stats;
 }
 
-std::vector<std::vector<datalog::Value>> KnowledgeGraph::Query(
+datalog::RelationScan KnowledgeGraph::Query(
     std::string_view predicate) const {
-  if (!db_) return {};
-  return db_->TuplesOf(predicate);
+  if (!db_) return datalog::RelationScan();
+  return db_->Scan(predicate);
 }
 
 std::string KnowledgeGraph::Explain(

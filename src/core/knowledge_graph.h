@@ -94,9 +94,11 @@ class KnowledgeGraph {
   Result<ReasonStats> ReasonIncremental(const RunContext* run_ctx = nullptr,
                                         MetricsRegistry* metrics = nullptr);
 
-  /// Tuples of a predicate after the last Reason() (empty before).
-  std::vector<std::vector<datalog::Value>> Query(
-      std::string_view predicate) const;
+  /// Non-allocating scan over a predicate's facts after the last Reason()
+  /// (empty before). The scan reads the engine's columnar storage in
+  /// place; it stays valid until the next Reason()/ReasonIncremental()
+  /// call replaces or extends the fact base.
+  datalog::RelationScan Query(std::string_view predicate) const;
 
   /// Provenance tree for a fact derived by the last Reason().
   std::string Explain(std::string_view predicate,

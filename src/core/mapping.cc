@@ -135,7 +135,7 @@ Result<size_t> StorePredictedLinks(datalog::Database& db,
   };
   size_t added = 0;
   for (const PredMap& m : kMaps) {
-    for (const auto& tuple : db.TuplesOf(m.predicate)) {
+    for (datalog::RowRef tuple : db.Scan(m.predicate)) {
       if (tuple.size() < 2 || !tuple[0].is_int() || !tuple[1].is_int()) {
         // Tuples over non-node-id constants (e.g. from a program carrying
         // its own symbolic facts) have no graph counterpart: skip them.

@@ -2,31 +2,75 @@
 
 namespace vadalink::datalog {
 
-bool Relation::Insert(std::vector<Value> tuple) {
-  if (arity_ == SIZE_MAX) {
-    arity_ = tuple.size();
-    pos_indexes_.resize(arity_);
+namespace {
+constexpr size_t kInitialDedupSlots = 16;
+constexpr uint64_t kDedupTagMask = 0xffffffff00000000ULL;
+}  // namespace
+
+bool Relation::RowEquals(uint32_t row, const Value* vals, size_t n) const {
+  for (size_t p = 0; p < n; ++p) {
+    if (columns_[p][row] != vals[p]) return false;
   }
-  uint64_t h = HashValues(tuple);
-  auto& bucket = dedup_[h];
-  for (uint32_t idx : bucket) {
-    if (tuples_[idx] == tuple) return false;
-  }
-  uint32_t idx = static_cast<uint32_t>(tuples_.size());
-  bucket.push_back(idx);
-  tuples_.push_back(std::move(tuple));
   return true;
 }
 
-bool Relation::Contains(const std::vector<Value>& tuple) const {
-  return Find(tuple) >= 0;
+void Relation::GrowDedup() {
+  size_t new_size =
+      dedup_slots_.empty() ? kInitialDedupSlots : dedup_slots_.size() * 2;
+  std::vector<uint64_t> slots(new_size, 0);
+  const size_t mask = new_size - 1;
+  for (uint32_t r = 0; r < rows_; ++r) {
+    size_t s = static_cast<size_t>(row_hashes_[r]) & mask;
+    while (slots[s] != 0) s = (s + 1) & mask;
+    slots[s] = (row_hashes_[r] & kDedupTagMask) | (r + 1);
+  }
+  dedup_slots_ = std::move(slots);
 }
 
-int64_t Relation::Find(const std::vector<Value>& tuple) const {
-  auto it = dedup_.find(HashValues(tuple));
-  if (it == dedup_.end()) return -1;
-  for (uint32_t idx : it->second) {
-    if (tuples_[idx] == tuple) return idx;
+bool Relation::Insert(const Value* vals, size_t n) {
+  assert(parallel_readers_.load(std::memory_order_relaxed) == 0 &&
+         "Insert during a parallel read phase");
+  if (arity_ == SIZE_MAX) {
+    arity_ = n;
+    columns_.resize(n);
+    pos_indexes_.resize(n);
+  }
+  // Grow at 3/4 load, keeping probes short (power-of-two capacity).
+  if ((rows_ + 1) * 4 >= dedup_slots_.size() * 3) GrowDedup();
+
+  const uint64_t h = HashValues(vals, n);
+  const uint64_t tag = h & kDedupTagMask;
+  const size_t mask = dedup_slots_.size() - 1;
+  size_t s = static_cast<size_t>(h) & mask;
+  while (dedup_slots_[s] != 0) {
+    const uint64_t entry = dedup_slots_[s];
+    if ((entry & kDedupTagMask) == tag &&
+        RowEquals(static_cast<uint32_t>(entry) - 1, vals, n)) {
+      return false;
+    }
+    s = (s + 1) & mask;
+  }
+  dedup_slots_[s] = tag | (static_cast<uint32_t>(rows_) + 1);
+  row_hashes_.push_back(h);
+  for (size_t p = 0; p < n; ++p) columns_[p].push_back(vals[p]);
+  ++rows_;
+  ++epoch_;
+  return true;
+}
+
+int64_t Relation::Find(const Value* vals, size_t n) const {
+  if (rows_ == 0 || dedup_slots_.empty()) return -1;
+  const uint64_t h = HashValues(vals, n);
+  const uint64_t tag = h & kDedupTagMask;
+  const size_t mask = dedup_slots_.size() - 1;
+  size_t s = static_cast<size_t>(h) & mask;
+  while (dedup_slots_[s] != 0) {
+    const uint64_t entry = dedup_slots_[s];
+    if ((entry & kDedupTagMask) == tag) {
+      const uint32_t r = static_cast<uint32_t>(entry) - 1;
+      if (RowEquals(r, vals, n)) return r;
+    }
+    s = (s + 1) & mask;
   }
   return -1;
 }
@@ -34,15 +78,21 @@ int64_t Relation::Find(const std::vector<Value>& tuple) const {
 void Relation::ExtendIndex(size_t pos) const {
   // Early return keeps Probe a pure read on a warm index (the parallel
   // match phase relies on this; see WarmIndex).
-  if (pos_indexes_[pos] && pos_indexes_[pos]->indexed_upto == tuples_.size()) {
+  if (pos_indexes_[pos] != nullptr &&
+      pos_indexes_[pos]->indexed_upto == rows_) {
     return;
   }
-  if (!pos_indexes_[pos]) pos_indexes_[pos] = std::make_unique<PosIndex>();
-  PosIndex& index = *pos_indexes_[pos];
-  for (size_t i = index.indexed_upto; i < tuples_.size(); ++i) {
-    index.map[tuples_[i][pos]].push_back(static_cast<uint32_t>(i));
+  assert(parallel_readers_.load(std::memory_order_relaxed) == 0 &&
+         "cold-index Probe during a parallel read phase — WarmIndex first");
+  if (pos_indexes_[pos] == nullptr) {
+    pos_indexes_[pos] = std::make_unique<PosIndex>();
   }
-  index.indexed_upto = tuples_.size();
+  PosIndex& index = *pos_indexes_[pos];
+  const std::vector<Value>& col = columns_[pos];
+  for (size_t r = index.indexed_upto; r < rows_; ++r) {
+    index.map[col[r]].push_back(static_cast<uint32_t>(r));
+  }
+  index.indexed_upto = rows_;
 }
 
 void Relation::WarmIndex(size_t pos) const {
@@ -50,13 +100,19 @@ void Relation::WarmIndex(size_t pos) const {
   ExtendIndex(pos);
 }
 
-const std::vector<uint32_t>* Relation::Probe(size_t pos,
-                                             const Value& v) const {
-  if (pos >= pos_indexes_.size()) return nullptr;
+size_t Relation::DistinctCount(size_t pos) const {
+  if (pos >= pos_indexes_.size()) return rows_;
+  ExtendIndex(pos);
+  return pos_indexes_[pos]->map.size();
+}
+
+PostingView Relation::Probe(size_t pos, const Value& v) const {
+  if (pos >= pos_indexes_.size()) return PostingView();
   ExtendIndex(pos);
   const auto& map = pos_indexes_[pos]->map;
   auto it = map.find(v);
-  return it == map.end() ? nullptr : &it->second;
+  if (it == map.end()) return PostingView();
+  return PostingView(it->second.data(), it->second.size(), this, epoch_);
 }
 
 Relation* Database::relation(uint32_t predicate) {
@@ -72,41 +128,46 @@ const Relation* Database::relation(uint32_t predicate) const {
   return relations_[predicate].get();
 }
 
-Result<bool> Database::Insert(uint32_t predicate, std::vector<Value> tuple) {
+Result<bool> Database::Insert(uint32_t predicate, const Value* vals,
+                              size_t n) {
   Relation* rel = relation(predicate);
-  if (rel->arity() != SIZE_MAX && rel->arity() != tuple.size()) {
+  if (rel->arity() != SIZE_MAX && rel->arity() != n) {
     return Status::InvalidArgument(
         "arity mismatch for predicate '" +
         catalog_->predicates.Name(predicate) + "': have " +
-        std::to_string(rel->arity()) + ", got " +
-        std::to_string(tuple.size()));
+        std::to_string(rel->arity()) + ", got " + std::to_string(n));
   }
-  return rel->Insert(std::move(tuple));
+  const bool inserted = rel->Insert(vals, n);
+  if (inserted) ++total_facts_;
+  return inserted;
 }
 
 Result<bool> Database::InsertByName(std::string_view predicate,
                                     std::vector<Value> tuple) {
-  return Insert(catalog_->predicates.Intern(predicate), std::move(tuple));
+  return Insert(catalog_->predicates.Intern(predicate), tuple.data(),
+                tuple.size());
 }
 
-size_t Database::TotalFacts() const {
-  size_t total = 0;
-  for (const auto& rel : relations_) {
-    if (rel) total += rel->size();
-  }
-  return total;
-}
-
-std::vector<std::vector<Value>> Database::TuplesOf(
-    std::string_view predicate) const {
-  std::vector<std::vector<Value>> out;
+RelationScan Database::Scan(std::string_view predicate) const {
   uint32_t id = catalog_->predicates.Lookup(predicate);
-  if (id == UINT32_MAX) return out;
-  const Relation* rel = relation(id);
-  if (!rel) return out;
-  out.reserve(rel->size());
-  for (size_t i = 0; i < rel->size(); ++i) out.push_back(rel->tuple(i));
-  return out;
+  if (id == UINT32_MAX) return RelationScan();
+  return Scan(id);
+}
+
+RelationScan Database::Scan(uint32_t predicate) const {
+  return RelationScan(relation(predicate));
+}
+
+void Database::BeginParallelRead() const {
+  for (const auto& rel : relations_) {
+    if (rel) rel->BeginParallelRead();
+  }
+}
+
+void Database::EndParallelRead() const {
+  for (const auto& rel : relations_) {
+    if (rel) rel->EndParallelRead();
+  }
 }
 
 }  // namespace vadalink::datalog

@@ -1,6 +1,7 @@
 #include "datalog/engine.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_set>
 
 #include "common/fault_injection.h"
@@ -211,10 +212,12 @@ Status Engine::Prepare(const Program& program) {
       VL_RETURN_NOT_OK(st);
     }
 
-    // Parallel eligibility + static probe positions (see CompiledRule).
-    cr.parallel_ok = !cr.has_agg && cr.existential_vars.empty() &&
-                     !cr.rule.body.empty() &&
-                     cr.rule.body[0].kind == Literal::Kind::kAtom;
+    // Planner / parallel eligibility (see CompiledRule). Reordering is
+    // only legal when match enumeration order is invisible; the parallel
+    // phase additionally excludes '#function' calls (they may intern
+    // symbols) and needs an atom to anchor the fan-out on.
+    cr.reorderable = !cr.has_agg && cr.existential_vars.empty();
+    cr.parallel_ok = cr.reorderable && !cr.positive_atoms.empty();
     for (const Literal& l : cr.rule.body) {
       if (!cr.parallel_ok) break;
       if (l.kind == Literal::Kind::kComparison &&
@@ -225,38 +228,299 @@ Status Engine::Prepare(const Program& program) {
         cr.parallel_ok = false;
       }
     }
-    if (cr.parallel_ok) {
-      // Boundness before literal i is static: the union of variables of
-      // earlier positive atoms and earlier assignment targets — exactly
-      // what MatchFrom's dynamic bound vector holds at that depth. The
-      // probe position of each non-leading atom (first constant or bound
-      // argument) is therefore static too.
-      std::vector<bool> sbound(nvars, false);
-      for (size_t i = 0; i < cr.rule.body.size(); ++i) {
-        const Literal& l = cr.rule.body[i];
-        if (l.kind == Literal::Kind::kAtom) {
-          if (i > 0) {
-            for (size_t a = 0; a < l.atom.args.size(); ++a) {
-              const Term& t = l.atom.args[a];
-              if (!t.is_var() || sbound[t.var]) {
-                cr.warm_probes.push_back(
-                    {l.atom.predicate, static_cast<uint32_t>(a)});
-                break;
-              }
-            }
-          }
-          for (const Term& t : l.atom.args) {
-            if (t.is_var()) sbound[t.var] = true;
-          }
-        } else if (l.kind == Literal::Kind::kAssignment) {
-          sbound[l.target_var] = true;
-        }
-      }
-    }
 
     compiled_.push_back(std::move(cr));
   }
+  plan_cache_.clear();
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Join planning
+// ---------------------------------------------------------------------------
+
+const Engine::JoinPlan& Engine::PlanFor(const CompiledRule& cr,
+                                        int delta_occurrence) {
+  const uint64_t key = (static_cast<uint64_t>(cr.id) << 16) |
+                       static_cast<uint16_t>(delta_occurrence + 1);
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) {
+    ++stats_.plan_cache_hits;
+    return it->second;
+  }
+  ++stats_.plans_computed;
+  return plan_cache_.emplace(key, BuildPlan(cr, delta_occurrence))
+      .first->second;
+}
+
+Engine::JoinPlan Engine::BuildPlan(const CompiledRule& cr,
+                                   int delta_occurrence) const {
+  const auto& body = cr.rule.body;
+  const size_t nvars = cr.rule.var_names.size();
+  const Database* cdb = static_cast<const Database*>(db_);
+  const Catalog* cat = db_->catalog();
+  const bool worst = options_.join_order == JoinOrder::kWorstCase;
+
+  JoinPlan plan;
+  plan.steps.reserve(body.size());
+  std::vector<bool> bound(nvars, false);
+  std::vector<bool> placed(body.size(), false);
+  size_t relational_remaining = 0;
+  for (const Literal& l : body) {
+    if (l.kind == Literal::Kind::kAtom ||
+        l.kind == Literal::Kind::kNegatedAtom) {
+      ++relational_remaining;
+    }
+  }
+
+  auto expr_ready = [&](const Expr& e) {
+    std::vector<bool> used(nvars, false);
+    CollectExprVars(e, &used);
+    for (size_t v = 0; v < nvars; ++v) {
+      if (used[v] && !bound[v]) return false;
+    }
+    return true;
+  };
+
+  // Probe column of an atom given the current bound set. kPlanned picks
+  // the bound/constant column with the most distinct values (tightest
+  // posting lists); non-reorderable rules and kWorstCase keep the legacy
+  // first-bound-argument choice so their candidate enumeration matches
+  // the compiled order exactly.
+  auto choose_probe = [&](const Atom& a, bool best_distinct) {
+    int probe = -1;
+    size_t best = 0;
+    const Relation* rel = cdb->relation(a.predicate);
+    for (size_t p = 0; p < a.args.size(); ++p) {
+      const Term& t = a.args[p];
+      if (t.is_var() && !bound[t.var]) continue;
+      if (!best_distinct) return static_cast<int>(p);
+      const size_t d = rel == nullptr ? 0 : rel->DistinctCount(p);
+      if (probe < 0 || d > best) {
+        probe = static_cast<int>(p);
+        best = d;
+      }
+    }
+    return probe;
+  };
+
+  // Estimated rows the atom contributes per outer match: relation size
+  // over the probe column's distinct count, or the full size when no
+  // argument is bound yet.
+  auto atom_cost = [&](const Atom& a) -> double {
+    const Relation* rel = cdb->relation(a.predicate);
+    if (rel == nullptr || rel->size() == 0) return 0.0;
+    const double n = static_cast<double>(rel->size());
+    double best = n;
+    for (size_t p = 0; p < a.args.size(); ++p) {
+      const Term& t = a.args[p];
+      if (t.is_var() && !bound[t.var]) continue;
+      const double d = static_cast<double>(rel->DistinctCount(p));
+      if (d > 0) best = std::min(best, n / d);
+    }
+    return best;
+  };
+
+  auto place = [&](size_t i, bool is_delta) {
+    const Literal& l = body[i];
+    PlanStep step;
+    step.lit = static_cast<uint32_t>(i);
+    step.is_delta = is_delta;
+    if (l.kind == Literal::Kind::kAtom) {
+      step.probe_arg = choose_probe(l.atom, cr.reorderable && !worst);
+      --relational_remaining;
+      if (!plan.steps.empty() && step.probe_arg >= 0) {
+        plan.warm_probes.push_back(
+            {l.atom.predicate, static_cast<uint32_t>(step.probe_arg)});
+      }
+      if (!plan.desc.empty()) plan.desc += " ";
+      plan.desc += cat->predicates.Name(l.atom.predicate);
+      if (is_delta) plan.desc += "[delta]";
+      plan.desc += step.probe_arg >= 0
+                       ? "@" + std::to_string(step.probe_arg)
+                       : "@scan";
+      // Compile one action per column against the static bound set; a
+      // repeated variable binds at its first column and checks after.
+      step.args.reserve(l.atom.args.size());
+      for (const Term& t : l.atom.args) {
+        ArgOp op;
+        if (!t.is_var()) {
+          op.kind = ArgOp::Kind::kCheckConst;
+          op.constant = t.constant;
+        } else if (bound[t.var]) {
+          op.kind = ArgOp::Kind::kCheckVar;
+          op.var = t.var;
+        } else {
+          op.kind = ArgOp::Kind::kBindVar;
+          op.var = t.var;
+          bound[t.var] = true;
+        }
+        step.args.push_back(op);
+      }
+      if (step.probe_arg >= 0) {
+        // choose_probe only picks constant or already-bound columns, so
+        // the probe value source is static too — and every posting-list
+        // row matches it exactly, making the column's check redundant.
+        const Term& t = l.atom.args[static_cast<size_t>(step.probe_arg)];
+        step.probe_is_var = t.is_var();
+        if (t.is_var()) {
+          step.probe_var = t.var;
+        } else {
+          step.probe_const = t.constant;
+        }
+        step.args[static_cast<size_t>(step.probe_arg)].kind =
+            ArgOp::Kind::kSkip;
+        // Inserts below this step only ever target the rule's head
+        // predicates; if this atom's predicate is not one of them, its
+        // index cannot move mid-iteration and the posting list may be
+        // walked in place (epoch stays put, so the debug stamp agrees).
+        step.probe_in_place = true;
+        for (const Atom& h : cr.rule.head) {
+          if (h.predicate == l.atom.predicate) step.probe_in_place = false;
+        }
+      }
+    } else if (l.kind == Literal::Kind::kNegatedAtom) {
+      --relational_remaining;
+      if (!plan.desc.empty()) plan.desc += " ";
+      plan.desc += "!" + cat->predicates.Name(l.atom.predicate);
+    } else if (l.kind == Literal::Kind::kAssignment) {
+      step.target_prebound = bound[l.target_var];
+      bound[l.target_var] = true;
+      if (!plan.desc.empty()) plan.desc += " ";
+      plan.desc += l.rhs.is_aggregate() ? "agg" : "let";
+    } else {
+      if (!plan.desc.empty()) plan.desc += " ";
+      plan.desc += "cmp";
+    }
+    placed[i] = true;
+    plan.steps.push_back(step);
+  };
+
+  if (!cr.reorderable) {
+    // Compiled order verbatim; only probe columns are chosen.
+    for (size_t i = 0; i < body.size(); ++i) {
+      const bool is_delta =
+          delta_occurrence >= 0 && body[i].kind == Literal::Kind::kAtom &&
+          cr.positive_atoms[static_cast<size_t>(delta_occurrence)] == i;
+      place(i, is_delta);
+    }
+    return plan;
+  }
+
+  // Anchor: the delta atom in semi-naive rounds (bind the freshest facts
+  // first), otherwise the cheapest atom (most expensive under kWorstCase).
+  if (delta_occurrence >= 0) {
+    place(cr.positive_atoms[static_cast<size_t>(delta_occurrence)],
+          /*is_delta=*/true);
+  } else if (!cr.positive_atoms.empty()) {
+    size_t anchor = cr.positive_atoms[0];
+    double anchor_cost = atom_cost(body[anchor].atom);
+    for (size_t k = 1; k < cr.positive_atoms.size(); ++k) {
+      const size_t i = cr.positive_atoms[k];
+      const double c = atom_cost(body[i].atom);
+      if (worst ? c > anchor_cost : c < anchor_cost) {
+        anchor = i;
+        anchor_cost = c;
+      }
+    }
+    place(anchor, /*is_delta=*/false);
+  }
+
+  size_t placed_count = plan.steps.size();
+  while (placed_count < body.size()) {
+    // 1. Every ready filter / negation / assignment runs as early as
+    //    possible (they only ever shrink the match set). The aggregate
+    //    waits for the full relational part, exactly as in Prepare().
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (placed[i]) continue;
+        const Literal& l = body[i];
+        bool ready = false;
+        switch (l.kind) {
+          case Literal::Kind::kComparison:
+            ready = expr_ready(l.lhs) && expr_ready(l.rhs);
+            break;
+          case Literal::Kind::kAssignment:
+            ready = l.rhs.is_aggregate()
+                        ? relational_remaining == 0 && expr_ready(l.rhs)
+                        : expr_ready(l.rhs);
+            break;
+          case Literal::Kind::kNegatedAtom: {
+            ready = true;
+            for (const Term& t : l.atom.args) {
+              if (t.is_var() && !bound[t.var]) ready = false;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        if (ready) {
+          place(i, false);
+          ++placed_count;
+          progressed = true;
+        }
+      }
+    }
+    if (placed_count == body.size()) break;
+
+    // 2. Next atom by estimated selectivity (inverted under kWorstCase;
+    //    ties broken by body position for determinism).
+    int take = -1;
+    double take_cost = 0.0;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (placed[i] || body[i].kind != Literal::Kind::kAtom) continue;
+      const double c = atom_cost(body[i].atom);
+      if (take < 0 || (worst ? c > take_cost : c < take_cost)) {
+        take = static_cast<int>(i);
+        take_cost = c;
+      }
+    }
+    if (take < 0) {
+      // Unreachable: Prepare() proved a valid order exists, atoms have no
+      // preconditions, and readiness is monotone in the bound set. Fall
+      // back to compiled order to stay safe in release builds.
+      assert(false && "join planner stuck on an orderable rule");
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (!placed[i]) {
+          place(i, false);
+          ++placed_count;
+        }
+      }
+      break;
+    }
+    place(static_cast<size_t>(take), false);
+    ++placed_count;
+  }
+  return plan;
+}
+
+std::vector<std::string> Engine::PlanSummaries() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(plan_cache_.size());
+  for (const auto& [key, plan] : plan_cache_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  const Catalog* cat = db_->catalog();
+  std::vector<std::string> out;
+  out.reserve(keys.size());
+  for (uint64_t key : keys) {
+    const uint32_t rule = static_cast<uint32_t>(key >> 16);
+    const int occ = static_cast<int>(key & 0xffff) - 1;
+    std::string line = "rule " + std::to_string(rule);
+    if (occ >= 0 && rule < compiled_.size()) {
+      const CompiledRule& cr = compiled_[rule];
+      const uint32_t pred =
+          cr.rule.body[cr.positive_atoms[static_cast<size_t>(occ)]]
+              .atom.predicate;
+      line += " delta " + cat->predicates.Name(pred) + "#" +
+              std::to_string(occ);
+    }
+    line += ": " + plan_cache_.at(key).desc;
+    out.push_back(std::move(line));
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -371,10 +635,7 @@ Result<bool> Engine::EvalComparison(const Literal& lit,
 // Rule evaluation
 // ---------------------------------------------------------------------------
 
-Status Engine::EmitHead(
-    CompiledRule& cr, std::vector<Value>* subst,
-    const std::vector<std::pair<uint32_t, uint32_t>>& premises,
-    bool* inserted_any) {
+Status Engine::EmitHead(CompiledRule& cr, MatchCtx* ctx) {
   ++stats_.body_matches;
   VL_RETURN_NOT_OK(CheckRun(options_.run_ctx));
 
@@ -382,31 +643,34 @@ Status Engine::EmitHead(
   if (!cr.existential_vars.empty()) {
     std::vector<Value> frontier;
     frontier.reserve(cr.frontier_vars.size());
-    for (uint32_t v : cr.frontier_vars) frontier.push_back((*subst)[v]);
+    for (uint32_t v : cr.frontier_vars) frontier.push_back(ctx->subst[v]);
     for (uint32_t v : cr.existential_vars) {
       size_t before = db_->nulls()->size();
       uint64_t id = db_->nulls()->Get(cr.id, v, frontier);
       if (db_->nulls()->size() > before) ++stats_.nulls_invented;
-      (*subst)[v] = Value::Null(id);
+      ctx->subst[v] = Value::Null(id);
     }
   }
 
   for (const Atom& head : cr.rule.head) {
-    std::vector<Value> tuple;
+    std::vector<Value>& tuple = ctx->tuple_scratch;
+    tuple.clear();
     tuple.reserve(head.args.size());
     for (const Term& t : head.args) {
-      tuple.push_back(t.is_var() ? (*subst)[t.var] : t.constant);
+      tuple.push_back(t.is_var() ? ctx->subst[t.var] : t.constant);
     }
-    VL_ASSIGN_OR_RETURN(bool inserted, db_->Insert(head.predicate, tuple));
+    VL_ASSIGN_OR_RETURN(
+        bool inserted,
+        db_->Insert(head.predicate, tuple.data(), tuple.size()));
     if (inserted) {
       ++stats_.facts_derived;
-      *inserted_any = true;
+      ctx->inserted_any = true;
       VL_RETURN_NOT_OK(ConsumeRunWork(options_.run_ctx, 1));
       if (options_.trace_provenance) {
         const Relation* rel = db_->relation(head.predicate);
         uint64_t key = (static_cast<uint64_t>(head.predicate) << 32) |
                        static_cast<uint64_t>(rel->size() - 1);
-        provenance_.emplace(key, Derivation{cr.id, premises});
+        provenance_.emplace(key, Derivation{cr.id, ctx->premises});
       }
     }
   }
@@ -419,32 +683,30 @@ Status Engine::EmitHead(
 }
 
 Status Engine::MatchFrom(
-    CompiledRule& cr, size_t pos, int delta_occurrence,
-    const std::vector<std::pair<size_t, size_t>>& deltas,
-    std::vector<Value>* subst, std::vector<bool>* bound,
-    std::vector<std::pair<uint32_t, uint32_t>>* premises,
-    bool* inserted_any, std::vector<CollectedMatch>* collect) {
-  if (pos == cr.rule.body.size()) {
-    if (collect != nullptr) {
+    CompiledRule& cr, const JoinPlan& plan, size_t step,
+    const std::vector<std::pair<size_t, size_t>>& deltas, MatchCtx* ctx) {
+  if (step == plan.steps.size()) {
+    if (ctx->collect != nullptr) {
       // Parallel collect phase: capture the match, defer every mutation
       // (insert, stats, provenance) to the sequential commit.
       CollectedMatch m;
-      m.premises = *premises;
+      m.premises = ctx->premises;
       m.head_tuples.reserve(cr.rule.head.size());
       for (const Atom& head : cr.rule.head) {
         std::vector<Value> tuple;
         tuple.reserve(head.args.size());
         for (const Term& t : head.args) {
-          tuple.push_back(t.is_var() ? (*subst)[t.var] : t.constant);
+          tuple.push_back(t.is_var() ? ctx->subst[t.var] : t.constant);
         }
         m.head_tuples.push_back(std::move(tuple));
       }
-      collect->push_back(std::move(m));
+      ctx->collect->push_back(std::move(m));
       return Status::OK();
     }
-    return EmitHead(cr, subst, *premises, inserted_any);
+    return EmitHead(cr, ctx);
   }
-  const Literal& lit = cr.rule.body[pos];
+  const PlanStep& ps = plan.steps[step];
+  const Literal& lit = cr.rule.body[ps.lit];
   switch (lit.kind) {
     case Literal::Kind::kAtom: {
       // Const lookup: the non-const overload may resize the relation
@@ -459,91 +721,91 @@ Status Engine::MatchFrom(
             db_->catalog()->predicates.Name(lit.atom.predicate) +
             "' in rule at " + cr.rule.span.ToString());
       }
-
-      // Which positive-atom occurrence is this?
-      int occurrence = -1;
-      for (size_t i = 0; i < cr.positive_atoms.size(); ++i) {
-        if (cr.positive_atoms[i] == pos) {
-          occurrence = static_cast<int>(i);
-          break;
-        }
-      }
       size_t lo = 0, hi = rel->size();
-      if (occurrence == delta_occurrence) {
+      if (ps.is_delta) {
         lo = deltas[lit.atom.predicate].first;
         hi = std::min(hi, deltas[lit.atom.predicate].second);
         if (lo >= hi) return Status::OK();
       }
 
-      // Choose a probe position: first argument that is already bound.
-      int probe_pos = -1;
-      Value probe_val;
-      for (size_t a = 0; a < lit.atom.args.size(); ++a) {
-        const Term& t = lit.atom.args[a];
-        if (!t.is_var()) {
-          probe_pos = static_cast<int>(a);
-          probe_val = t.constant;
-          break;
-        }
-        if ((*bound)[t.var]) {
-          probe_pos = static_cast<int>(a);
-          probe_val = (*subst)[t.var];
-          break;
-        }
-      }
-
-      // Candidate tuple indices (copied: the underlying index vectors can
-      // be invalidated by inserts/probes deeper in the recursion).
-      std::vector<uint32_t> candidates;
-      if (probe_pos >= 0) {
-        const std::vector<uint32_t>* hits = rel->Probe(probe_pos, probe_val);
-        if (hits == nullptr) return Status::OK();
-        candidates.reserve(hits->size());
-        for (uint32_t idx : *hits) {
-          if (idx >= lo && idx < hi) candidates.push_back(idx);
-        }
-      } else {
-        candidates.reserve(hi - lo);
-        for (size_t idx = lo; idx < hi; ++idx) {
-          candidates.push_back(static_cast<uint32_t>(idx));
-        }
-      }
-
-      for (uint32_t idx : candidates) {
+      // Bind one candidate row against the atom's compiled per-column
+      // actions and recurse. Boundness is static per plan position, so
+      // there is no runtime bound-set and nothing to unbind on a failed
+      // or exhausted match: stale substitution entries are always
+      // overwritten by a later bind before any read. Cells are read
+      // column-wise before the recursive call; row ids are stable under
+      // appends, so nothing here dangles when a recursive insert
+      // reallocates a column.
+      auto try_row = [&](uint32_t idx) -> Status {
         VL_RETURN_NOT_OK(CheckRun(options_.run_ctx));
-        // Copy the tuple: relation storage may move during recursion.
-        std::vector<Value> tuple = rel->tuple(idx);
-        std::vector<uint32_t> newly_bound;
-        bool match = true;
-        for (size_t a = 0; a < lit.atom.args.size() && match; ++a) {
-          const Term& t = lit.atom.args[a];
-          if (!t.is_var()) {
-            match = tuple[a] == t.constant;
-          } else if ((*bound)[t.var]) {
-            match = tuple[a] == (*subst)[t.var];
-          } else {
-            (*subst)[t.var] = tuple[a];
-            (*bound)[t.var] = true;
-            newly_bound.push_back(t.var);
+        for (size_t a = 0; a < ps.args.size(); ++a) {
+          const ArgOp& op = ps.args[a];
+          const Value& cell = rel->at(a, idx);
+          switch (op.kind) {
+            case ArgOp::Kind::kBindVar:
+              ctx->subst[op.var] = cell;
+              break;
+            case ArgOp::Kind::kCheckVar:
+              if (!(cell == ctx->subst[op.var])) return Status::OK();
+              break;
+            case ArgOp::Kind::kCheckConst:
+              if (!(cell == op.constant)) return Status::OK();
+              break;
+            case ArgOp::Kind::kSkip:
+              break;
           }
         }
-        if (match) {
-          premises->push_back({lit.atom.predicate, idx});
-          Status st = MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst,
-                                bound, premises, inserted_any, collect);
-          premises->pop_back();
-          if (!st.ok()) return st;
+        if (ctx->track_premises) {
+          ctx->premises.push_back({lit.atom.predicate, idx});
+          Status st = MatchFrom(cr, plan, step + 1, deltas, ctx);
+          ctx->premises.pop_back();
+          return st;
         }
-        for (uint32_t v : newly_bound) (*bound)[v] = false;
+        return MatchFrom(cr, plan, step + 1, deltas, ctx);
+      };
+
+      if (ps.probe_arg >= 0) {
+        const Value& pv =
+            ps.probe_is_var ? ctx->subst[ps.probe_var] : ps.probe_const;
+        PostingView hits = rel->Probe(static_cast<size_t>(ps.probe_arg), pv);
+        ++ctx->probes;
+        if (hits.empty()) return Status::OK();
+        const uint32_t* b = hits.begin();
+        const uint32_t* e = hits.end();
+        if (lo > 0 || hi < rel->size()) {
+          // Posting lists are ascending row ids; slice the delta window.
+          b = std::lower_bound(b, e, static_cast<uint32_t>(lo));
+          e = std::lower_bound(b, e, static_cast<uint32_t>(hi));
+        }
+        if (ctx->collect != nullptr || ps.probe_in_place) {
+          // Read-only phase, or a predicate no insert below can touch:
+          // iterate the posting list in place.
+          for (const uint32_t* p = b; p != e; ++p) {
+            VL_RETURN_NOT_OK(try_row(*p));
+          }
+        } else {
+          // Inserts deeper in the recursion can extend the index and move
+          // the posting list; run over a copied snapshot (per-step scratch,
+          // no steady-state allocation).
+          std::vector<uint32_t>& cands = ctx->cand[step];
+          cands.assign(b, e);
+          for (uint32_t idx : cands) VL_RETURN_NOT_OK(try_row(idx));
+        }
+      } else {
+        // Full scan of the (delta) range; row ids are stable, no copy.
+        for (size_t idx = lo; idx < hi; ++idx) {
+          VL_RETURN_NOT_OK(try_row(static_cast<uint32_t>(idx)));
+        }
       }
       return Status::OK();
     }
 
     case Literal::Kind::kNegatedAtom: {
-      std::vector<Value> tuple;
+      std::vector<Value>& tuple = ctx->tuple_scratch;
+      tuple.clear();
       tuple.reserve(lit.atom.args.size());
       for (const Term& t : lit.atom.args) {
-        tuple.push_back(t.is_var() ? (*subst)[t.var] : t.constant);
+        tuple.push_back(t.is_var() ? ctx->subst[t.var] : t.constant);
       }
       const Relation* rel =
           static_cast<const Database*>(db_)->relation(lit.atom.predicate);
@@ -553,34 +815,73 @@ Status Engine::MatchFrom(
             "arity mismatch under negation for predicate '" +
             db_->catalog()->predicates.Name(lit.atom.predicate) + "'");
       }
-      if (rel != nullptr && rel->Contains(tuple)) return Status::OK();
-      return MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst, bound,
-                       premises, inserted_any, collect);
+      if (rel != nullptr && rel->Contains(tuple.data(), tuple.size())) {
+        return Status::OK();
+      }
+      return MatchFrom(cr, plan, step + 1, deltas, ctx);
     }
 
     case Literal::Kind::kComparison: {
-      VL_ASSIGN_OR_RETURN(bool pass, EvalComparison(lit, cr, *subst));
+      // Fast path for the overwhelmingly common shape: both operands are
+      // plain variables or constants, compared as numbers or for
+      // (in)equality. Anything else (symbols, arithmetic, calls) takes
+      // the general evaluator.
+      const Expr& le = lit.lhs;
+      const Expr& re = lit.rhs;
+      if ((le.op == Expr::Op::kVar || le.op == Expr::Op::kConst) &&
+          (re.op == Expr::Op::kVar || re.op == Expr::Op::kConst)) {
+        const Value& a =
+            le.op == Expr::Op::kVar ? ctx->subst[le.var] : le.constant;
+        const Value& b =
+            re.op == Expr::Op::kVar ? ctx->subst[re.var] : re.constant;
+        bool pass = false;
+        bool handled = true;
+        switch (lit.cmp) {
+          case CmpOp::kEq: pass = ValuesEqualCoerced(a, b); break;
+          case CmpOp::kNe: pass = !ValuesEqualCoerced(a, b); break;
+          default:
+            if (a.is_numeric() && b.is_numeric()) {
+              const double x = a.AsNumber(), y = b.AsNumber();
+              switch (lit.cmp) {
+                case CmpOp::kLt: pass = x < y; break;
+                case CmpOp::kLe: pass = x <= y; break;
+                case CmpOp::kGt: pass = x > y; break;
+                case CmpOp::kGe: pass = x >= y; break;
+                default: handled = false; break;
+              }
+            } else {
+              handled = false;
+            }
+        }
+        if (handled) {
+          if (!pass) return Status::OK();
+          return MatchFrom(cr, plan, step + 1, deltas, ctx);
+        }
+      }
+      VL_ASSIGN_OR_RETURN(bool pass, EvalComparison(lit, cr, ctx->subst));
       if (!pass) return Status::OK();
-      return MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst, bound,
-                       premises, inserted_any, collect);
+      return MatchFrom(cr, plan, step + 1, deltas, ctx);
     }
 
     case Literal::Kind::kAssignment: {
       if (!lit.rhs.is_aggregate()) {
-        VL_ASSIGN_OR_RETURN(Value v, Eval(lit.rhs, cr, *subst));
-        if ((*bound)[lit.target_var]) {
-          if (!ValuesEqualCoerced((*subst)[lit.target_var], v)) {
+        Value v;
+        if (lit.rhs.op == Expr::Op::kVar) {
+          v = ctx->subst[lit.rhs.var];
+        } else if (lit.rhs.op == Expr::Op::kConst) {
+          v = lit.rhs.constant;
+        } else {
+          VL_ASSIGN_OR_RETURN(Value ev, Eval(lit.rhs, cr, ctx->subst));
+          v = ev;
+        }
+        if (ps.target_prebound) {
+          if (!ValuesEqualCoerced(ctx->subst[lit.target_var], v)) {
             return Status::OK();
           }
-          return MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst,
-                           bound, premises, inserted_any, collect);
+          return MatchFrom(cr, plan, step + 1, deltas, ctx);
         }
-        (*subst)[lit.target_var] = v;
-        (*bound)[lit.target_var] = true;
-        Status st = MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst,
-                              bound, premises, inserted_any, collect);
-        (*bound)[lit.target_var] = false;
-        return st;
+        ctx->subst[lit.target_var] = v;
+        return MatchFrom(cr, plan, step + 1, deltas, ctx);
       }
 
       // Monotonic aggregate: consume the contribution (at most once per
@@ -589,11 +890,11 @@ Status Engine::MatchFrom(
       AggKey key;
       key.rule = cr.id;
       key.group.reserve(cr.agg_group_vars.size());
-      for (uint32_t v : cr.agg_group_vars) key.group.push_back((*subst)[v]);
+      for (uint32_t v : cr.agg_group_vars) key.group.push_back(ctx->subst[v]);
 
       std::vector<Value> contrib;
       contrib.reserve(agg.contributors.size());
-      for (uint32_t v : agg.contributors) contrib.push_back((*subst)[v]);
+      for (uint32_t v : agg.contributors) contrib.push_back(ctx->subst[v]);
 
       AggState& state = agg_states_[key];
       if (!state.contributors.insert(contrib).second) {
@@ -605,7 +906,7 @@ Status Engine::MatchFrom(
       if (agg.agg == AggKind::kMCount) {
         ++state.count;
       } else {
-        VL_ASSIGN_OR_RETURN(Value v, Eval(agg.children[0], cr, *subst));
+        VL_ASSIGN_OR_RETURN(Value v, Eval(agg.children[0], cr, ctx->subst));
         if (agg.agg == AggKind::kMMin || agg.agg == AggKind::kMMax) {
           if (!v.is_numeric()) {
             return Status::InvalidArgument("mmin/mmax on non-numeric value");
@@ -637,11 +938,8 @@ Status Engine::MatchFrom(
         state.initialized = true;
       }
 
-      (*subst)[lit.target_var] = state.Current(agg.agg);
-      (*bound)[lit.target_var] = true;
-      Status st = MatchFrom(cr, pos + 1, delta_occurrence, deltas, subst,
-                            bound, premises, inserted_any);
-      (*bound)[lit.target_var] = false;
+      ctx->subst[lit.target_var] = state.Current(agg.agg);
+      Status st = MatchFrom(cr, plan, step + 1, deltas, ctx);
       // Note: the contribution is intentionally NOT rolled back — it was a
       // genuine match of the relational body; only post-aggregate filters
       // (e.g. thresholds) may have rejected emission this time.
@@ -653,12 +951,15 @@ Status Engine::MatchFrom(
 
 Status Engine::EvalRule(CompiledRule& cr, int delta_occurrence,
                         const std::vector<std::pair<size_t, size_t>>& deltas) {
-  std::vector<Value> subst(cr.rule.var_names.size());
-  std::vector<bool> bound(cr.rule.var_names.size(), false);
-  std::vector<std::pair<uint32_t, uint32_t>> premises;
-  bool inserted_any = false;
-  return MatchFrom(cr, 0, delta_occurrence, deltas, &subst, &bound, &premises,
-                   &inserted_any);
+  const JoinPlan& plan = PlanFor(cr, delta_occurrence);
+  const size_t nvars = cr.rule.var_names.size();
+  MatchCtx ctx;
+  ctx.subst.assign(nvars, Value());
+  ctx.track_premises = options_.trace_provenance;
+  ctx.cand.resize(plan.steps.size());
+  Status st = MatchFrom(cr, plan, 0, deltas, &ctx);
+  stats_.join_probes += ctx.probes;
+  return st;
 }
 
 Status Engine::CommitMatch(CompiledRule& cr, const CollectedMatch& match) {
@@ -690,17 +991,20 @@ Status Engine::CommitMatch(CompiledRule& cr, const CollectedMatch& match) {
 Status Engine::ParallelEvalRule(
     CompiledRule& cr, int delta_occurrence,
     const std::vector<std::pair<size_t, size_t>>& deltas) {
+  const JoinPlan& plan = PlanFor(cr, delta_occurrence);
   const Database* cdb = static_cast<const Database*>(db_);
   // Warm every index the workers will probe; from here to the commit loop
-  // the database is only read.
-  for (const auto& [pred, arg_pos] : cr.warm_probes) {
+  // the database is only read (enforced by the parallel-read guard below).
+  for (const auto& [pred, arg_pos] : plan.warm_probes) {
     const Relation* r = cdb->relation(pred);
     if (r != nullptr) r->WarmIndex(arg_pos);
   }
 
-  // Leading atom (guaranteed by parallel_ok): enumerate its candidates
-  // exactly like MatchFrom would, then fan the list out in chunks.
-  const Literal& lit = cr.rule.body[0];
+  // Anchor atom (plan step 0, guaranteed an atom by parallel_ok):
+  // enumerate its candidates exactly like MatchFrom would, then fan the
+  // list out in chunks.
+  const PlanStep& anchor = plan.steps[0];
+  const Literal& lit = cr.rule.body[anchor.lit];
   const Relation* rel = cdb->relation(lit.atom.predicate);
   if (rel == nullptr || rel->size() == 0) return Status::OK();
   if (rel->arity() != lit.atom.args.size()) {
@@ -710,29 +1014,24 @@ Status Engine::ParallelEvalRule(
         "' in rule at " + cr.rule.span.ToString());
   }
   size_t lo = 0, hi = rel->size();
-  if (delta_occurrence == 0) {
+  if (anchor.is_delta) {
     lo = deltas[lit.atom.predicate].first;
     hi = std::min(hi, deltas[lit.atom.predicate].second);
     if (lo >= hi) return Status::OK();
   }
-  int probe_pos = -1;
-  Value probe_val;
-  for (size_t a = 0; a < lit.atom.args.size(); ++a) {
-    const Term& t = lit.atom.args[a];
-    if (!t.is_var()) {  // no variable is bound at depth 0
-      probe_pos = static_cast<int>(a);
-      probe_val = t.constant;
-      break;
-    }
-  }
+  uint64_t anchor_probes = 0;
   std::vector<uint32_t> candidates;
-  if (probe_pos >= 0) {
-    const std::vector<uint32_t>* hits = rel->Probe(probe_pos, probe_val);
-    if (hits == nullptr) return Status::OK();
-    candidates.reserve(hits->size());
-    for (uint32_t idx : *hits) {
-      if (idx >= lo && idx < hi) candidates.push_back(idx);
-    }
+  if (anchor.probe_arg >= 0) {
+    // No variable is bound at depth 0, so the probe term is a constant.
+    assert(!anchor.probe_is_var);
+    PostingView hits =
+        rel->Probe(static_cast<size_t>(anchor.probe_arg), anchor.probe_const);
+    ++anchor_probes;
+    const uint32_t* b = hits.begin();
+    const uint32_t* e = hits.end();
+    b = std::lower_bound(b, e, static_cast<uint32_t>(lo));
+    e = std::lower_bound(b, e, static_cast<uint32_t>(hi));
+    candidates.assign(b, e);
   } else {
     candidates.reserve(hi - lo);
     for (size_t idx = lo; idx < hi; ++idx) {
@@ -745,43 +1044,59 @@ Status Engine::ParallelEvalRule(
   const size_t g = ResolveGrain(candidates.size(), 0, options_.pool);
   const size_t num_chunks = (candidates.size() + g - 1) / g;
   std::vector<std::vector<CollectedMatch>> chunk_matches(num_chunks);
+  std::vector<uint64_t> chunk_probes(num_chunks, 0);
+
+  // Workers only read: Insert and cold-index Probe debug-assert until the
+  // matching guard below is released.
+  db_->BeginParallelRead();
   Status match_st = ParallelFor(
       options_.pool, candidates.size(), 0, options_.run_ctx,
       [&](size_t begin, size_t end, size_t chunk) {
-        std::vector<Value> subst(nvars);
-        std::vector<bool> bound(nvars, false);
-        std::vector<std::pair<uint32_t, uint32_t>> premises;
-        bool inserted_any = false;  // unused in collect mode
-        std::vector<CollectedMatch>* out = &chunk_matches[chunk];
-        for (size_t i = begin; i < end; ++i) {
-          VL_RETURN_NOT_OK(CheckRun(options_.run_ctx));
+        MatchCtx ctx;
+        ctx.subst.assign(nvars, Value());
+        ctx.track_premises = options_.trace_provenance;
+        ctx.cand.resize(plan.steps.size());
+        ctx.collect = &chunk_matches[chunk];
+        Status st = Status::OK();
+        for (size_t i = begin; i < end && st.ok(); ++i) {
+          st = CheckRun(options_.run_ctx);
+          if (!st.ok()) break;
           uint32_t idx = candidates[i];
-          const std::vector<Value>& tuple = rel->tuple(idx);
-          std::vector<uint32_t> newly_bound;
           bool match = true;
-          for (size_t a = 0; a < lit.atom.args.size() && match; ++a) {
-            const Term& t = lit.atom.args[a];
-            if (!t.is_var()) {
-              match = tuple[a] == t.constant;
-            } else if (bound[t.var]) {
-              match = tuple[a] == subst[t.var];
-            } else {
-              subst[t.var] = tuple[a];
-              bound[t.var] = true;
-              newly_bound.push_back(t.var);
+          for (size_t a = 0; a < anchor.args.size() && match; ++a) {
+            const ArgOp& op = anchor.args[a];
+            const Value& cell = rel->at(a, idx);
+            switch (op.kind) {
+              case ArgOp::Kind::kBindVar:
+                ctx.subst[op.var] = cell;
+                break;
+              case ArgOp::Kind::kCheckVar:
+                match = cell == ctx.subst[op.var];
+                break;
+              case ArgOp::Kind::kCheckConst:
+                match = cell == op.constant;
+                break;
+              case ArgOp::Kind::kSkip:
+                break;
             }
           }
           if (match) {
-            premises.push_back({lit.atom.predicate, idx});
-            Status st = MatchFrom(cr, 1, delta_occurrence, deltas, &subst,
-                                  &bound, &premises, &inserted_any, out);
-            premises.pop_back();
-            if (!st.ok()) return st;
+            if (ctx.track_premises) {
+              ctx.premises.push_back({lit.atom.predicate, idx});
+            }
+            st = MatchFrom(cr, plan, 1, deltas, &ctx);
+            if (ctx.track_premises) ctx.premises.pop_back();
           }
-          for (uint32_t v : newly_bound) bound[v] = false;
         }
-        return Status::OK();
+        // Per-chunk totals are summed after the join (order-independent),
+        // so the published probe count is identical at every thread count.
+        chunk_probes[chunk] = ctx.probes;
+        return st;
       });
+  db_->EndParallelRead();
+
+  stats_.join_probes += anchor_probes;
+  for (uint64_t p : chunk_probes) stats_.join_probes += p;
 
   // Single-threaded merge in ascending chunk order keeps insert order —
   // and thus fact indices, provenance and stats — deterministic. Chunks
@@ -891,6 +1206,12 @@ void Engine::PublishChaseMetrics() {
               diff(stats_.facts_derived, published_.facts_derived));
     MetricAdd(m, "engine.nulls.invented",
               diff(stats_.nulls_invented, published_.nulls_invented));
+    MetricAdd(m, "engine.plan.probes",
+              diff(stats_.join_probes, published_.join_probes));
+    MetricAdd(m, "engine.plan.computed",
+              diff(stats_.plans_computed, published_.plans_computed));
+    MetricAdd(m, "engine.plan.cache_hits",
+              diff(stats_.plan_cache_hits, published_.plan_cache_hits));
   }
   published_ = stats_;
 }
@@ -1027,11 +1348,11 @@ std::string Engine::Explain(uint32_t predicate,
   std::string out;
   const Catalog* cat = db_->catalog();
 
-  auto render = [&](uint32_t pred, const std::vector<Value>& t) {
+  auto render = [&](uint32_t pred, RowRef row) {
     std::string s = cat->predicates.Name(pred) + "(";
-    for (size_t i = 0; i < t.size(); ++i) {
+    for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) s += ", ";
-      s += t[i].ToString(cat->symbols);
+      s += row[i].ToString(cat->symbols);
     }
     return s + ")";
   };
@@ -1053,7 +1374,7 @@ std::string Engine::Explain(uint32_t predicate,
     const Relation* r =
         static_cast<const Database*>(db_)->relation(item.pred);
     out += std::string(item.depth * 2, ' ') +
-           render(item.pred, r->tuple(item.idx));
+           render(item.pred, r->Row(item.idx));
     uint64_t key =
         (static_cast<uint64_t>(item.pred) << 32) | item.idx;
     auto it = provenance_.find(key);

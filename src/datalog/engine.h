@@ -31,6 +31,18 @@
 
 namespace vadalink::datalog {
 
+/// Join-order policy of the per-rule planner.
+enum class JoinOrder {
+  /// Order body atoms by estimated selectivity (relation size over the
+  /// probe column's distinct count), anchoring the delta atom first in
+  /// semi-naive rounds. The default.
+  kPlanned,
+  /// Deliberately order atoms by *descending* cost — the worst plan the
+  /// planner could produce. Exists for benchmarks and the property test
+  /// that pins join-order invariance of the final fact set.
+  kWorstCase,
+};
+
 struct EngineOptions {
   /// Abort if one stratum runs more than this many fixpoint iterations.
   size_t max_iterations = 1000000;
@@ -64,6 +76,11 @@ struct EngineOptions {
   /// "analysis.diag.<code>" counter per diagnostic code) and do not block
   /// evaluation.
   bool preflight = true;
+  /// Join-order policy (see JoinOrder). Only rules without aggregates and
+  /// without existential variables are reordered — for those the match
+  /// enumeration order is semantically visible (running aggregate values,
+  /// labeled-null identity), so they always evaluate in compiled order.
+  JoinOrder join_order = JoinOrder::kPlanned;
 };
 
 struct EngineStats {
@@ -72,6 +89,11 @@ struct EngineStats {
   size_t body_matches = 0;
   size_t facts_derived = 0;
   size_t nulls_invented = 0;
+  /// Index probes issued by the join loops (plan quality signal).
+  size_t join_probes = 0;
+  /// Join plans built / served from the per-(rule, delta) cache.
+  size_t plans_computed = 0;
+  size_t plan_cache_hits = 0;
 };
 
 class Engine {
@@ -137,6 +159,12 @@ class Engine {
   std::string Explain(uint32_t predicate, const std::vector<Value>& tuple,
                       size_t max_depth = 6) const;
 
+  /// Human-readable descriptions of every join plan built during the last
+  /// Run/RunIncremental, sorted by (rule, delta occurrence). One line per
+  /// cached plan, e.g. "rule 1 delta tc: tc[delta] e@0". For benchmarks
+  /// and diagnostics.
+  std::vector<std::string> PlanSummaries() const;
+
  private:
   /// A rule with its body reordered for evaluability plus the metadata the
   /// evaluator needs (positive atom positions, frontier, aggregate info).
@@ -149,17 +177,91 @@ class Engine {
     bool has_agg = false;
     size_t agg_pos = 0;
     std::vector<uint32_t> agg_group_vars;
+    /// True when the planner may reorder this rule's atoms: no aggregate
+    /// (running values are enumeration-order-sensitive) and no
+    /// existential variables (null ids are assigned in enumeration
+    /// order). Non-reorderable rules keep compiled literal order; the
+    /// planner still picks probe columns for them.
+    bool reorderable = false;
     /// True when the rule's match phase is pure w.r.t. engine and database
     /// state and may fan out over a thread pool: no aggregate, no
     /// existential variables (null invention mutates the registry), no
-    /// '#function' calls (they may intern symbols), and a leading positive
-    /// atom to chunk over.
+    /// '#function' calls (they may intern symbols), and a positive atom
+    /// to anchor the plan on and chunk over.
     bool parallel_ok = false;
-    /// (predicate, argument position) indexes the parallel match phase
-    /// will probe; pre-warmed so Probe is a pure read from the workers.
-    /// Probe positions are static: boundness at each body position is a
-    /// pure function of the compiled literal order.
+  };
+
+  /// One complete body match captured by the parallel collect phase:
+  /// fully evaluated head tuples (aligned with rule.head) plus premises.
+  struct CollectedMatch {
+    std::vector<std::vector<Value>> head_tuples;
+    std::vector<std::pair<uint32_t, uint32_t>> premises;
+  };
+
+  /// Compiled per-column action of an atom step. Boundness at every plan
+  /// position is static (the planner knows which variables earlier steps
+  /// bound), so the match loop needs no runtime bound-set: each column
+  /// either binds a fresh variable or checks against a bound one / a
+  /// constant.
+  struct ArgOp {
+    /// kSkip marks the probe column: every row of a posting list already
+    /// matches the probe value exactly, so rechecking it is redundant.
+    enum class Kind : uint8_t { kCheckConst, kCheckVar, kBindVar, kSkip };
+    Kind kind = Kind::kBindVar;
+    uint32_t var = 0;  // kCheckVar / kBindVar
+    Value constant;    // kCheckConst
+  };
+
+  /// One literal of a join plan, in execution order.
+  struct PlanStep {
+    uint32_t lit = 0;    // index into CompiledRule::rule.body
+    int probe_arg = -1;  // atoms: argument position to probe, -1 = scan
+    bool is_delta = false;  // atom bound to the semi-naive delta window
+    bool probe_is_var = false;  // probe value: subst[probe_var] or constant
+    uint32_t probe_var = 0;
+    Value probe_const;
+    /// Posting lists of this atom may be iterated in place even while
+    /// inserting: the probed predicate is not among the rule's head
+    /// predicates, so no insert below this step can touch its index.
+    bool probe_in_place = false;
+    /// Assignments: target variable already bound by an earlier step
+    /// (turns the assignment into an equality filter).
+    bool target_prebound = false;
+    std::vector<ArgOp> args;  // atoms: one action per column
+  };
+
+  /// The execution plan of one (rule, delta occurrence) pair: a
+  /// permutation of the body literals with a probe column per atom,
+  /// chosen from relation statistics at first use and cached for the
+  /// rest of the run.
+  struct JoinPlan {
+    std::vector<PlanStep> steps;
+    /// (predicate, argument position) the non-anchor atoms probe;
+    /// pre-warmed before the parallel match phase so Probe is a pure
+    /// read from the workers.
     std::vector<std::pair<uint32_t, uint32_t>> warm_probes;
+    std::string desc;  // human-readable summary (PlanSummaries)
+  };
+
+  /// Per-evaluation scratch threaded through the match recursion: the
+  /// substitution, per-depth candidate buffers (reused, so the steady
+  /// state allocates nothing) and deferred-mutation state of the
+  /// parallel collect phase.
+  struct MatchCtx {
+    /// The substitution. There is no companion bound-set: boundness is
+    /// static per plan position (encoded in the ArgOps), and stale
+    /// entries are always overwritten by a later bind before any read.
+    std::vector<Value> subst;
+    std::vector<std::pair<uint32_t, uint32_t>> premises;
+    bool track_premises = false;
+    bool inserted_any = false;
+    /// Non-null in the parallel collect phase: capture matches, defer
+    /// every mutation. Also marks the database read-only, letting atom
+    /// steps iterate posting lists in place instead of copying them.
+    std::vector<CollectedMatch>* collect = nullptr;
+    std::vector<std::vector<uint32_t>> cand;     // per-step candidate ids
+    std::vector<Value> tuple_scratch;            // head/negation buffer
+    uint64_t probes = 0;                         // local, merged to stats_
   };
 
   struct VecValueHash {
@@ -203,17 +305,16 @@ class Engine {
   /// on top of the preceding Run, so only the delta since the last publish
   /// is added — registry totals stay exact across mixed call sequences.
   void PublishChaseMetrics();
-  /// One complete body match captured by the parallel collect phase:
-  /// fully evaluated head tuples (aligned with rule.head) plus premises.
-  struct CollectedMatch {
-    std::vector<std::vector<Value>> head_tuples;
-    std::vector<std::pair<uint32_t, uint32_t>> premises;
-  };
+
+  /// The cached plan for (rule, delta occurrence), built on first use
+  /// from the relation statistics current at that moment.
+  const JoinPlan& PlanFor(const CompiledRule& rule, int delta_occurrence);
+  JoinPlan BuildPlan(const CompiledRule& rule, int delta_occurrence) const;
 
   Status EvalRule(CompiledRule& rule, int delta_occurrence,
                   const std::vector<std::pair<size_t, size_t>>& deltas);
-  /// Parallel delta join for a parallel_ok rule: chunks the leading atom's
-  /// candidate tuples over options_.pool, each chunk matching read-only
+  /// Parallel delta join for a parallel_ok rule: chunks the plan's anchor
+  /// atom candidates over options_.pool, each chunk matching read-only
   /// into CollectedMatch lists, then commits every match sequentially in
   /// chunk order (insert, stats, provenance, work charge, fact limit).
   /// Head facts surface one iteration later than with EvalRule (deferred
@@ -224,16 +325,10 @@ class Engine {
   /// Sequential commit of one collected match; mirrors EmitHead sans null
   /// invention (excluded by parallel_ok).
   Status CommitMatch(CompiledRule& rule, const CollectedMatch& match);
-  Status MatchFrom(CompiledRule& rule, size_t literal_pos,
-                   int delta_occurrence,
+  Status MatchFrom(CompiledRule& rule, const JoinPlan& plan, size_t step,
                    const std::vector<std::pair<size_t, size_t>>& deltas,
-                   std::vector<Value>* subst, std::vector<bool>* bound,
-                   std::vector<std::pair<uint32_t, uint32_t>>* premises,
-                   bool* inserted_any,
-                   std::vector<CollectedMatch>* collect = nullptr);
-  Status EmitHead(CompiledRule& rule, std::vector<Value>* subst,
-                  const std::vector<std::pair<uint32_t, uint32_t>>& premises,
-                  bool* inserted_any);
+                   MatchCtx* ctx);
+  Status EmitHead(CompiledRule& rule, MatchCtx* ctx);
   Result<Value> Eval(const Expr& e, const CompiledRule& rule,
                      const std::vector<Value>& subst);
   Result<bool> EvalComparison(const Literal& lit, const CompiledRule& rule,
@@ -248,6 +343,9 @@ class Engine {
   EngineStats published_;
 
   std::vector<CompiledRule> compiled_;
+  // (rule id << 16 | delta occurrence + 1) -> cached join plan; cleared
+  // by Prepare() at the start of each run.
+  std::unordered_map<uint64_t, JoinPlan> plan_cache_;
   // function id (catalog) -> resolved callable
   std::vector<const ExternalFn*> resolved_fns_;
 

@@ -50,10 +50,11 @@ Result<size_t> LoadRelationCsv(Database* db, std::string_view predicate,
 Status SaveRelationCsv(const Database& db, std::string_view predicate,
                        const std::string& path) {
   std::vector<std::vector<std::string>> rows;
-  for (const auto& tuple : db.TuplesOf(predicate)) {
+  for (RowRef fact : db.Scan(predicate)) {
     std::vector<std::string> row;
-    row.reserve(tuple.size());
-    for (const Value& v : tuple) {
+    row.reserve(fact.size());
+    for (size_t i = 0; i < fact.size(); ++i) {
+      const Value& v = fact[i];
       if (v.is_symbol()) {
         row.push_back(db.catalog()->symbols.Name(v.symbol_id()));
       } else {

@@ -50,9 +50,9 @@ std::string Value::ToString(const SymbolTable& symbols) const {
   return "?";
 }
 
-uint64_t HashValues(const std::vector<Value>& vals) {
+uint64_t HashValues(const Value* vals, size_t n) {
   uint64_t h = 0x51ab1efc35ULL;
-  for (const Value& v : vals) h = HashCombine(h, v.Hash());
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, vals[i].Hash());
   return HashFinalize(h);
 }
 

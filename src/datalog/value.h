@@ -118,7 +118,10 @@ struct ValueHash {
 };
 
 /// Hash of a tuple of values (order-sensitive).
-uint64_t HashValues(const std::vector<Value>& vals);
+uint64_t HashValues(const Value* vals, size_t n);
+inline uint64_t HashValues(const std::vector<Value>& vals) {
+  return HashValues(vals.data(), vals.size());
+}
 
 /// Registry generating deterministic Skolem OIDs.
 ///

@@ -494,14 +494,16 @@ Result<Json> ReasoningService::OpQuery(const Request& req) {
     limit = l->AsInt();
   }
   std::lock_guard<std::mutex> lock(write_mu_);
-  auto tuples = kg_.Query(pred->AsString());
+  // Zero-copy read of the reasoner's columnar storage; the write lock
+  // keeps the fact base stable for the duration of the scan.
+  datalog::RelationScan tuples = kg_.Query(pred->AsString());
   Json rows = Json::MakeArray();
   size_t emitted = 0;
-  for (const auto& tuple : tuples) {
+  for (datalog::RowRef tuple : tuples) {
     if (static_cast<int64_t>(emitted) >= limit) break;
     Json row = Json::MakeArray();
-    for (const auto& v : tuple) {
-      row.Append(Json::Str(v.ToString(kg_.catalog().symbols)));
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      row.Append(Json::Str(tuple[i].ToString(kg_.catalog().symbols)));
     }
     rows.Append(std::move(row));
     ++emitted;

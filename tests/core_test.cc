@@ -26,9 +26,9 @@ using ::vadalink::testing::Figure2;
 
 using Pair = std::pair<graph::NodeId, graph::NodeId>;
 
-std::set<Pair> NormalizedPairs(const std::vector<std::vector<datalog::Value>>& tuples) {
+std::set<Pair> NormalizedPairs(datalog::RelationScan tuples) {
   std::set<Pair> out;
-  for (const auto& t : tuples) {
+  for (datalog::RowRef t : tuples) {
     auto a = static_cast<graph::NodeId>(t[0].AsInt());
     auto b = static_cast<graph::NodeId>(t[1].AsInt());
     out.insert(std::minmax(a, b));
@@ -43,14 +43,14 @@ TEST(MappingTest, LoadsDomainAndGenericFacts) {
   datalog::Catalog catalog;
   datalog::Database db(&catalog);
   ASSERT_TRUE(LoadGraphFacts(b.graph(), &db).ok());
-  EXPECT_EQ(db.TuplesOf("person").size(), 2u);
-  EXPECT_EQ(db.TuplesOf("company").size(), 8u);
-  EXPECT_EQ(db.TuplesOf("own").size(), 12u);
-  EXPECT_EQ(db.TuplesOf("node").size(), 10u);
-  EXPECT_EQ(db.TuplesOf("link").size(), 12u);
-  EXPECT_EQ(db.TuplesOf("edgetype").size(), 12u);
+  EXPECT_EQ(db.Scan("person").size(), 2u);
+  EXPECT_EQ(db.Scan("company").size(), 8u);
+  EXPECT_EQ(db.Scan("own").size(), 12u);
+  EXPECT_EQ(db.Scan("node").size(), 10u);
+  EXPECT_EQ(db.Scan("link").size(), 12u);
+  EXPECT_EQ(db.Scan("edgetype").size(), 12u);
   // Every node has its name feature.
-  EXPECT_EQ(db.TuplesOf("nodefeature").size(), 10u);
+  EXPECT_EQ(db.Scan("nodefeature").size(), 10u);
 }
 
 TEST(MappingTest, StorePredictedLinksRoundTrip) {
@@ -106,7 +106,7 @@ TEST_F(DifferentialTest, ControlFigure1) {
   auto db = RunOn(b.graph(), ControlProgram());
 
   std::set<Pair> declarative;
-  for (const auto& t : db->TuplesOf("control")) {
+  for (const auto& t : db->Scan("control")) {
     declarative.insert({static_cast<graph::NodeId>(t[0].AsInt()),
                         static_cast<graph::NodeId>(t[1].AsInt())});
   }
@@ -122,7 +122,7 @@ TEST_F(DifferentialTest, ControlFigure2) {
   auto b = Figure2();
   auto db = RunOn(b.graph(), ControlProgram());
   std::set<Pair> declarative;
-  for (const auto& t : db->TuplesOf("control")) {
+  for (const auto& t : db->Scan("control")) {
     declarative.insert({static_cast<graph::NodeId>(t[0].AsInt()),
                         static_cast<graph::NodeId>(t[1].AsInt())});
   }
@@ -139,7 +139,7 @@ TEST_F(DifferentialTest, ControlFigure2) {
 TEST_F(DifferentialTest, CloseLinkFigure2) {
   auto b = Figure2();
   auto db = RunOn(b.graph(), CloseLinkProgram(0.2, 16));
-  std::set<Pair> declarative = NormalizedPairs(db->TuplesOf("closelink"));
+  std::set<Pair> declarative = NormalizedPairs(db->Scan("closelink"));
 
   auto cg = company::CompanyGraph::FromPropertyGraph(b.graph()).value();
   std::set<Pair> compiled;
@@ -167,7 +167,7 @@ TEST_F(DifferentialTest, FamilyControlFigure1) {
   ASSERT_TRUE(engine.Run(*program).ok());
 
   std::set<graph::NodeId> declarative;
-  for (const auto& t : db.TuplesOf("familycontrol")) {
+  for (const auto& t : db.Scan("familycontrol")) {
     declarative.insert(static_cast<graph::NodeId>(t[1].AsInt()));
   }
   auto cg = company::CompanyGraph::FromPropertyGraph(b.graph()).value();
@@ -181,11 +181,11 @@ TEST_F(DifferentialTest, FamilyControlFigure1) {
 TEST_F(DifferentialTest, InputPromotionInventsDisjointOids) {
   auto b = Figure1();
   auto db = RunOn(b.graph(), InputPromotionProgram());
-  EXPECT_EQ(db->TuplesOf("gnode").size(), 10u);
-  EXPECT_EQ(db->TuplesOf("glink").size(), 12u);
+  EXPECT_EQ(db->Scan("gnode").size(), 10u);
+  EXPECT_EQ(db->Scan("glink").size(), 12u);
   // All OIDs distinct: persons and companies come from disjoint Skolems.
   std::set<uint64_t> oids;
-  for (const auto& t : db->TuplesOf("gnode")) {
+  for (const auto& t : db->Scan("gnode")) {
     ASSERT_TRUE(t[0].is_skolem());
     oids.insert(t[0].skolem_id());
   }

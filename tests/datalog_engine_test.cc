@@ -37,7 +37,7 @@ class EngineTest : public ::testing::Test {
   /// Renders a predicate's tuples as a sorted set of strings.
   std::set<std::string> Tuples(const std::string& pred) {
     std::set<std::string> out;
-    for (const auto& t : db.TuplesOf(pred)) {
+    for (const auto& t : db.Scan(pred)) {
       std::string s;
       for (size_t i = 0; i < t.size(); ++i) {
         if (i > 0) s += ",";
@@ -49,7 +49,7 @@ class EngineTest : public ::testing::Test {
   }
 
   size_t Count(const std::string& pred) {
-    return db.TuplesOf(pred).size();
+    return db.Scan(pred).size();
   }
 
   Engine& engine() { return *engine_; }
@@ -172,7 +172,7 @@ TEST_F(EngineTest, ExistentialInventsNull) {
     person("p1").
     person(X) -> hasid(X, I).
   )");
-  auto tuples = db.TuplesOf("hasid");
+  auto tuples = db.Scan("hasid");
   ASSERT_EQ(tuples.size(), 1u);
   EXPECT_TRUE(tuples[0][1].is_null());
 }
@@ -195,7 +195,7 @@ TEST_F(EngineTest, DistinctFrontiersDistinctNulls) {
     p("a"). p("b").
     p(X) -> q(X, N).
   )");
-  auto tuples = db.TuplesOf("q");
+  auto tuples = db.Scan("q");
   ASSERT_EQ(tuples.size(), 2u);
   EXPECT_NE(tuples[0][1], tuples[1][1]);
 }
@@ -206,14 +206,14 @@ TEST_F(EngineTest, SkolemDeterministic) {
     company(N), Z = #sk("c", N) -> node(Z, N).
     company(N), Z = #sk("c", N) -> node2(Z, N).
   )");
-  auto a = db.TuplesOf("node");
-  auto b = db.TuplesOf("node2");
+  auto a = db.Scan("node");
+  auto b = db.Scan("node2");
   ASSERT_EQ(a.size(), 2u);
   ASSERT_EQ(b.size(), 2u);
   // Same (tag, args) -> same OID across rules.
   std::set<std::string> sa, sb;
-  for (auto& t : a) sa.insert(t[0].ToString(catalog.symbols) + t[1].ToString(catalog.symbols));
-  for (auto& t : b) sb.insert(t[0].ToString(catalog.symbols) + t[1].ToString(catalog.symbols));
+  for (RowRef t : a) sa.insert(t[0].ToString(catalog.symbols) + t[1].ToString(catalog.symbols));
+  for (RowRef t : b) sb.insert(t[0].ToString(catalog.symbols) + t[1].ToString(catalog.symbols));
   EXPECT_EQ(sa, sb);
 }
 
@@ -224,7 +224,7 @@ TEST_F(EngineTest, SkolemDisjointRanges) {
     name("x").
     name(N), P = #sk("person", N), C = #sk("company", N) -> ids(P, C).
   )");
-  auto tuples = db.TuplesOf("ids");
+  auto tuples = db.Scan("ids");
   ASSERT_EQ(tuples.size(), 1u);
   EXPECT_NE(tuples[0][0], tuples[0][1]);
 }
@@ -325,8 +325,8 @@ TEST_F(EngineTest, SharedExistentialAcrossHeads) {
     p("a").
     p(X) -> q(X, N), r(N, X).
   )");
-  auto q = db.TuplesOf("q");
-  auto r = db.TuplesOf("r");
+  auto q = db.Scan("q");
+  auto r = db.Scan("r");
   ASSERT_EQ(q.size(), 1u);
   ASSERT_EQ(r.size(), 1u);
   EXPECT_EQ(q[0][1], r[0][0]) << "same existential var must share the null";
@@ -346,7 +346,7 @@ TEST_F(EngineTest, BuiltinHashMod) {
     item(X), B = #mod(#hash(X), 4) -> bucket(X, B).
   )");
   EXPECT_EQ(Count("bucket"), 3u);
-  for (const auto& t : db.TuplesOf("bucket")) {
+  for (const auto& t : db.Scan("bucket")) {
     ASSERT_TRUE(t[1].is_int());
     EXPECT_GE(t[1].AsInt(), 0);
     EXPECT_LT(t[1].AsInt(), 4);

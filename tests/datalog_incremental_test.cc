@@ -21,7 +21,7 @@ class IncrementalTest : public ::testing::Test {
 
   std::set<std::string> Tuples(const std::string& pred) {
     std::set<std::string> out;
-    for (const auto& t : db.TuplesOf(pred)) {
+    for (const auto& t : db.Scan(pred)) {
       std::string s;
       for (size_t i = 0; i < t.size(); ++i) {
         if (i > 0) s += ",";
@@ -42,12 +42,12 @@ TEST_F(IncrementalTest, TransitiveClosureExtends) {
   ASSERT_TRUE(program.ok());
   Engine engine(&db);
   ASSERT_TRUE(engine.Run(*program).ok());
-  EXPECT_EQ(db.TuplesOf("tc").size(), 3u);
+  EXPECT_EQ(db.Scan("tc").size(), 3u);
 
   // A new edge arrives: 3 -> 4.
   ASSERT_TRUE(db.InsertByName("e", {Value::Int(3), Value::Int(4)}).ok());
   ASSERT_TRUE(engine.RunIncremental(*program).ok());
-  EXPECT_EQ(db.TuplesOf("tc").size(), 6u);
+  EXPECT_EQ(db.Scan("tc").size(), 6u);
   EXPECT_TRUE(Tuples("tc").count("1,4"));
 }
 
@@ -78,7 +78,7 @@ TEST_F(IncrementalTest, MatchesFromScratchResult) {
         db2.InsertByName("e", {Value::Int(i), Value::Int(i + 1)}).ok());
   }
   ASSERT_TRUE(engine2.Run(*program2).ok());
-  EXPECT_EQ(db.TuplesOf("tc").size(), db2.TuplesOf("tc").size());
+  EXPECT_EQ(db.Scan("tc").size(), db2.Scan("tc").size());
 }
 
 TEST_F(IncrementalTest, AggregateStateCarriesOver) {
@@ -93,12 +93,12 @@ TEST_F(IncrementalTest, AggregateStateCarriesOver) {
   ASSERT_TRUE(db.InsertByName("own", {db.Sym("a"), db.Sym("t"),
                                       Value::Double(0.3)}).ok());
   ASSERT_TRUE(engine.Run(*program).ok());
-  EXPECT_TRUE(db.TuplesOf("big").empty());
+  EXPECT_TRUE(db.Scan("big").empty());
 
   ASSERT_TRUE(db.InsertByName("own", {db.Sym("b"), db.Sym("t"),
                                       Value::Double(0.3)}).ok());
   ASSERT_TRUE(engine.RunIncremental(*program).ok());
-  EXPECT_EQ(db.TuplesOf("big").size(), 1u);  // 0.3 + 0.3 > 0.5
+  EXPECT_EQ(db.Scan("big").size(), 1u);  // 0.3 + 0.3 > 0.5
 }
 
 TEST_F(IncrementalTest, NoNewFactsIsCheapNoOp) {
@@ -167,10 +167,10 @@ TEST_F(IncrementalTest, RejectedAfterAbortedRun) {
   // A full Run() re-establishes the fixpoint and re-enables increments.
   ctx.set_work_budget(RunContext::kNoBudget);
   ASSERT_TRUE(engine.Run(*program).ok());
-  EXPECT_EQ(db.TuplesOf("tc").size(), 55u);
+  EXPECT_EQ(db.Scan("tc").size(), 55u);
   ASSERT_TRUE(db.InsertByName("e", {Value::Int(10), Value::Int(11)}).ok());
   ASSERT_TRUE(engine.RunIncremental(*program).ok());
-  EXPECT_EQ(db.TuplesOf("tc").size(), 66u);
+  EXPECT_EQ(db.Scan("tc").size(), 66u);
 }
 
 TEST_F(IncrementalTest, ExistentialNullsNotReinvented) {
@@ -183,7 +183,7 @@ TEST_F(IncrementalTest, ExistentialNullsNotReinvented) {
   ASSERT_TRUE(engine.Run(*program).ok());
   ASSERT_TRUE(db.InsertByName("p", {Value::Int(2)}).ok());
   ASSERT_TRUE(engine.RunIncremental(*program).ok());
-  EXPECT_EQ(db.TuplesOf("q").size(), 2u);
+  EXPECT_EQ(db.Scan("q").size(), 2u);
   EXPECT_EQ(db.nulls()->size(), 2u);  // one per p-fact, none duplicated
 }
 

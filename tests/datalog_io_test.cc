@@ -29,7 +29,7 @@ TEST_F(RelationIoTest, LoadTypedCells) {
   auto n = LoadRelationCsv(&db, "own", path);
   ASSERT_TRUE(n.ok()) << n.status().ToString();
   EXPECT_EQ(*n, 3u);
-  auto tuples = db.TuplesOf("own");
+  auto tuples = db.Scan("own");
   ASSERT_EQ(tuples.size(), 3u);
   EXPECT_TRUE(tuples[0][0].is_symbol());
   EXPECT_TRUE(tuples[0][2].is_double());
@@ -45,7 +45,7 @@ TEST_F(RelationIoTest, LoadDeduplicates) {
   auto n = LoadRelationCsv(&db, "p", path);
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(*n, 2u);
-  EXPECT_EQ(db.TuplesOf("p").size(), 2u);
+  EXPECT_EQ(db.Scan("p").size(), 2u);
 }
 
 TEST_F(RelationIoTest, InconsistentArityRejected) {
@@ -76,7 +76,7 @@ TEST_F(RelationIoTest, SaveLoadRoundTrip) {
   auto n = LoadRelationCsv(&db2, "q", path);
   ASSERT_TRUE(n.ok()) << n.status().ToString();
   EXPECT_EQ(*n, 2u);
-  auto tuples = db2.TuplesOf("q");
+  auto tuples = db2.Scan("q");
   ASSERT_EQ(tuples.size(), 2u);
   // Values compare by rendered form (symbol ids differ across catalogs).
   bool found = false;

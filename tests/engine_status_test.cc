@@ -123,7 +123,7 @@ TEST_F(EngineStatusTest, RunAfterAbortReestablishesFixpoint) {
 
   Engine fresh(&db);  // unlimited
   ASSERT_TRUE(fresh.Run(*program).ok());
-  EXPECT_EQ(db.TuplesOf("tc").size(), 6u);
+  EXPECT_EQ(db.Scan("tc").size(), 6u);
   // A completed Run() unlocks RunIncremental again.
   EXPECT_TRUE(fresh.RunIncremental(*program).ok());
 }

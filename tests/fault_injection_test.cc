@@ -135,7 +135,7 @@ TEST_F(FaultInjectionTest, EngineRunPropagates) {
   Status st = engine.Run(*program);
   EXPECT_EQ(st.code(), StatusCode::kInternal);
   EXPECT_EQ(st.message(), "chase died");
-  EXPECT_TRUE(db.TuplesOf("tc").empty());  // nothing derived
+  EXPECT_TRUE(db.Scan("tc").empty());  // nothing derived
 }
 
 TEST_F(FaultInjectionTest, EngineStratumPropagates) {

@@ -51,7 +51,7 @@ TEST(GovernorEngineTest, ExpiredDeadlineAbortsMidFixpoint) {
   Status st = engine.Run(*program);
   EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
   // The chase stopped before reaching the 20*21/2 tc fixpoint.
-  EXPECT_LT(db.TuplesOf("tc").size(), 210u);
+  EXPECT_LT(db.Scan("tc").size(), 210u);
 }
 
 TEST(GovernorEngineTest, WorkBudgetAbortsWithResourceExhausted) {
@@ -68,7 +68,7 @@ TEST(GovernorEngineTest, WorkBudgetAbortsWithResourceExhausted) {
   Status st = engine.Run(*program);
   EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
   EXPECT_GE(ctx.work_used(), 5u);
-  EXPECT_LT(db.TuplesOf("tc").size(), 210u);
+  EXPECT_LT(db.Scan("tc").size(), 210u);
 }
 
 TEST(GovernorEngineTest, UnlimitedContextReachesFixpoint) {
@@ -82,7 +82,7 @@ TEST(GovernorEngineTest, UnlimitedContextReachesFixpoint) {
   options.run_ctx = &ctx;
   datalog::Engine engine(&db, options);
   ASSERT_TRUE(engine.Run(*program).ok());
-  EXPECT_EQ(db.TuplesOf("tc").size(), 210u);
+  EXPECT_EQ(db.Scan("tc").size(), 210u);
   EXPECT_EQ(ctx.work_used(), 210u);  // charged per derived fact
 }
 

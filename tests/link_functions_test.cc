@@ -107,7 +107,7 @@ TEST(LinkFunctionsTest, DeclarativeAlgorithm7MatchesCompiledDetector) {
   RegisterLinkageFunctions(engine.functions(), classifier);
   ASSERT_TRUE(engine.Run(*program).ok());
   std::set<Pair> declarative;
-  for (const auto& t : db.TuplesOf("partnerof")) {
+  for (const auto& t : db.Scan("partnerof")) {
     auto a = static_cast<graph::NodeId>(t[0].AsInt());
     auto b = static_cast<graph::NodeId>(t[1].AsInt());
     declarative.insert(std::minmax(a, b));

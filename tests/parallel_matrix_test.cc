@@ -245,9 +245,11 @@ TEST(ParallelMatrixTest, EngineFactSetIdenticalAcrossThreadCounts) {
     EXPECT_TRUE(st.ok()) << st.ToString();
     std::set<std::string> out;
     for (const char* pred : {"tc", "span"}) {
-      for (const auto& t : db.TuplesOf(pred)) {
+      for (datalog::RowRef t : db.Scan(pred)) {
         std::string s = std::string(pred) + "(";
-        for (const auto& v : t) s += v.ToString(catalog.symbols) + ",";
+        for (size_t i = 0; i < t.size(); ++i) {
+          s += t[i].ToString(catalog.symbols) + ",";
+        }
         out.insert(s);
       }
     }

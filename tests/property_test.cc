@@ -251,7 +251,7 @@ TEST_P(EngineClosurePropertyTest, TransitiveClosureMatchesBfs) {
   datalog::Engine engine(&db);
   ASSERT_TRUE(engine.Run(*program).ok());
   std::set<std::pair<int64_t, int64_t>> actual;
-  for (const auto& t : db.TuplesOf("tc")) {
+  for (const auto& t : db.Scan("tc")) {
     actual.insert({t[0].AsInt(), t[1].AsInt()});
   }
   EXPECT_EQ(actual, expected);

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate BENCH_engine.json documents against tools/engine_bench_schema.json.
+
+Usage: check_engine_bench_schema.py <BENCH_engine.json> [more.json ...]
+
+Checks (stdlib only, no third-party deps):
+  * the required top-level keys exist and schema_version matches;
+  * workloads is a non-empty array and every workload carries name,
+    facts_derived, planned, worst_case, plans and agree;
+  * both run objects carry seconds / facts_per_sec / join_probes /
+    plans_computed / plan_cache_hits as non-negative numbers (the count
+    fields as non-negative integers);
+  * the correctness invariants hold: agree == true for every workload
+    (the planner may only change enumeration order, never the final fact
+    set) and the planned run reports at least one plan.
+
+Exit code 0 when every document conforms, 1 with one line per violation
+otherwise.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def check_document(path, schema, errors):
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err(f"unreadable or invalid JSON ({e})")
+        return
+
+    for key in schema["required_top_level_keys"]:
+        if key not in doc:
+            err(f"missing top-level key '{key}'")
+    if doc.get("schema_version") != schema["schema_version"]:
+        err(f"schema_version {doc.get('schema_version')!r} != "
+            f"{schema['schema_version']}")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        err("'bench' is not a non-empty string")
+
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list):
+        err("'workloads' is not an array")
+        return
+    if schema["invariants"]["workloads_non_empty"] and not workloads:
+        err("'workloads' is empty")
+
+    def is_count(v):
+        return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+    def is_number(v):
+        return (isinstance(v, (int, float)) and not isinstance(v, bool)
+                and v >= 0)
+
+    for i, w in enumerate(workloads):
+        where = f"workloads[{i}]"
+        if not isinstance(w, dict):
+            err(f"{where} is not an object")
+            continue
+        name = w.get("name")
+        if isinstance(name, str) and name:
+            where = f"workloads[{i}] ({name})"
+        for field in schema["workload_fields"]:
+            if field not in w:
+                err(f"{where}: missing '{field}'")
+        if not isinstance(name, str) or not name:
+            err(f"{where}: 'name' is not a non-empty string")
+        if not is_count(w.get("facts_derived")):
+            err(f"{where}: 'facts_derived' is not a non-negative integer")
+        for run_key in ("planned", "worst_case"):
+            run = w.get(run_key)
+            if not isinstance(run, dict):
+                err(f"{where}: '{run_key}' is not an object")
+                continue
+            for field in schema["run_fields"]:
+                v = run.get(field)
+                if field in ("join_probes", "plans_computed",
+                             "plan_cache_hits"):
+                    if not is_count(v):
+                        err(f"{where}: {run_key}.{field} is not a "
+                            f"non-negative integer")
+                elif not is_number(v):
+                    err(f"{where}: {run_key}.{field} is not a "
+                        f"non-negative number")
+        plans = w.get("plans")
+        if not isinstance(plans, list) or not all(
+                isinstance(p, str) and p for p in plans):
+            err(f"{where}: 'plans' is not an array of non-empty strings")
+        elif schema["invariants"]["plans_non_empty"] and not plans:
+            err(f"{where}: 'plans' is empty (planned run built no plans)")
+        if schema["invariants"]["agree_must_be_true"] and w.get("agree") \
+                is not True:
+            err(f"{where}: agree != true — fact sets differ across join "
+                f"orders")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("bench_files", nargs="+")
+    parser.add_argument("--schema",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "engine_bench_schema.json"))
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    errors = []
+    for path in args.bench_files:
+        check_document(path, schema, errors)
+
+    if errors:
+        for e in errors:
+            print(f"SCHEMA VIOLATION: {e}", file=sys.stderr)
+        return 1
+    print(f"{len(args.bench_files)} engine bench document(s) conform to "
+          f"schema v{schema['schema_version']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
