@@ -44,6 +44,14 @@ struct EngineWorkloadReport {
   EngineRunReport worst_case;
   std::vector<std::string> plans;  // planner summaries of the planned run
   bool agree = false;  // fact sets identical across join orders
+  /// Optional query-focus block (bench_query_focus): planned = the
+  /// goal-directed Engine::Query run, worst_case = full saturation, and
+  /// "agree" asserts the goal answers are byte-identical across both
+  /// modes and thread counts.
+  bool has_query_focus = false;
+  double query_speedup = 0;        // saturation seconds / query seconds
+  uint64_t query_facts_avoided = 0;  // saturation-only derived facts
+  uint64_t query_fallback_count = 0;  // 1 if the rewrite fell back
 };
 
 /// Sorted, rendered copy of the whole fact base; equal fingerprints mean
@@ -104,6 +112,14 @@ inline bool WriteEngineBenchJson(
     };
     run("planned", r.planned);
     run("worst_case", r.worst_case);
+    if (r.has_query_focus) {
+      std::fprintf(f,
+                   "\n     \"query_focus\": {\"speedup\": %.2f, "
+                   "\"facts_avoided\": %llu, \"fallback_count\": %llu},",
+                   r.query_speedup,
+                   static_cast<unsigned long long>(r.query_facts_avoided),
+                   static_cast<unsigned long long>(r.query_fallback_count));
+    }
     std::fprintf(f, "\n     \"plans\": [");
     for (size_t i = 0; i < r.plans.size(); ++i) {
       std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",

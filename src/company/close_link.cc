@@ -69,6 +69,78 @@ std::vector<CloseLinkEdge> AllCloseLinks(const CompanyGraph& cg,
   return out;
 }
 
+std::vector<CloseLinkEdge> CloseLinksOf(const CompanyGraph& cg,
+                                        graph::NodeId c,
+                                        CloseLinkConfig config) {
+  // Candidate sources: nodes whose holdings can reach c (Phi(z, c) > 0
+  // implies an ownership path z -> ... -> c), plus c itself. Reverse BFS
+  // over incoming shareholdings; reachability over-approximates the
+  // threshold test, which the per-source Phi then applies exactly.
+  std::vector<bool> candidate(cg.node_count(), false);
+  if (c >= cg.node_count()) return {};
+  candidate[c] = true;
+  std::vector<graph::NodeId> stack{c};
+  while (!stack.empty()) {
+    graph::NodeId n = stack.back();
+    stack.pop_back();
+    for (const Shareholding& s : cg.owners(n)) {
+      if (!candidate[s.src]) {
+        candidate[s.src] = true;
+        stack.push_back(s.src);
+      }
+    }
+  }
+
+  // Mirror of AllCloseLinks restricted to pairs involving c: the record
+  // calls below are the exact subsequence of the full run's record calls
+  // that touch c (candidates cover every source that can produce one, in
+  // the same ascending order), so first-wins and the direct-ownership
+  // precedence resolve identically.
+  std::map<std::pair<graph::NodeId, graph::NodeId>, CloseLinkEdge> found;
+  auto record = [&](graph::NodeId a, graph::NodeId b, CloseLinkReason reason,
+                    graph::NodeId via) {
+    if (a == b || (a != c && b != c)) return;
+    auto key = std::minmax(a, b);
+    CloseLinkEdge edge{key.first, key.second, reason, via};
+    auto it = found.find(key);
+    if (it == found.end()) {
+      found.emplace(key, edge);
+    } else if (reason == CloseLinkReason::kDirectOwnership &&
+               it->second.reason == CloseLinkReason::kCommonThirdParty) {
+      it->second = edge;
+    }
+  };
+
+  for (graph::NodeId z = 0; z < cg.node_count(); ++z) {
+    if (!candidate[z] || cg.holdings(z).empty()) continue;
+    auto phi = Phi(cg, z, config);
+    std::vector<graph::NodeId> significant;
+    for (const auto& [target, value] : phi) {
+      if (value >= config.threshold && cg.is_company(target)) {
+        significant.push_back(target);
+      }
+    }
+    std::sort(significant.begin(), significant.end());
+    if (cg.is_company(z)) {
+      for (graph::NodeId target : significant) {
+        record(z, target, CloseLinkReason::kDirectOwnership,
+               graph::kInvalidNode);
+      }
+    }
+    for (size_t i = 0; i < significant.size(); ++i) {
+      for (size_t j = i + 1; j < significant.size(); ++j) {
+        record(significant[i], significant[j],
+               CloseLinkReason::kCommonThirdParty, z);
+      }
+    }
+  }
+
+  std::vector<CloseLinkEdge> out;
+  out.reserve(found.size());
+  for (auto& [key, edge] : found) out.push_back(edge);
+  return out;
+}
+
 bool AreCloselyLinked(const CompanyGraph& cg, graph::NodeId x,
                       graph::NodeId y, CloseLinkConfig config) {
   if (x == y) return false;

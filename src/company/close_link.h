@@ -42,6 +42,19 @@ struct CloseLinkConfig {
 std::vector<CloseLinkEdge> AllCloseLinks(const CompanyGraph& cg,
                                          CloseLinkConfig config = {});
 
+/// Goal-directed variant: exactly the AllCloseLinks edges involving `c`
+/// (same keys, reasons, via nodes and precedence), without computing Phi
+/// for the whole graph. Every close link involving c needs a source whose
+/// accumulated ownership reaches c — either c itself (case i) or an owner
+/// chain into c (cases ii/iii) — so only sources that are
+/// reverse-reachable from c over ownership edges are explored, in the
+/// same ascending order AllCloseLinks uses. This is the compiled
+/// counterpart of the engine's magic-set rewrite of the close-link
+/// program (the serve layer's cold `closelinks` path).
+std::vector<CloseLinkEdge> CloseLinksOf(const CompanyGraph& cg,
+                                        graph::NodeId c,
+                                        CloseLinkConfig config = {});
+
 /// True iff companies x and y are closely linked.
 bool AreCloselyLinked(const CompanyGraph& cg, graph::NodeId x,
                       graph::NodeId y, CloseLinkConfig config = {});

@@ -1,0 +1,315 @@
+#include "datalog/dataflow.h"
+
+#include <algorithm>
+
+namespace vadalink::datalog {
+
+namespace {
+
+/// Past this many distinct constants a position's value set overflows to
+/// kAny — the analysis trades precision for a bounded fixpoint.
+constexpr size_t kConstSetCap = 16;
+
+bool CoercedEq(const Value& a, const Value& b) {
+  if (a == b) return true;
+  return a.is_numeric() && b.is_numeric() && a.AsNumber() == b.AsNumber();
+}
+
+}  // namespace
+
+bool Demand::Admits(const Value& v) const {
+  if (kind != Kind::kConsts) return true;
+  for (const Value& c : consts) {
+    if (CoercedEq(c, v)) return true;
+  }
+  return false;
+}
+
+bool Demand::Join(const Demand& o) {
+  if (o.kind == Kind::kNone || kind == Kind::kAny) return false;
+  if (o.kind == Kind::kAny) {
+    kind = Kind::kAny;
+    consts.clear();
+    return true;
+  }
+  if (kind == Kind::kNone) {
+    kind = Kind::kConsts;
+    consts = o.consts;
+    return true;
+  }
+  bool changed = false;
+  for (const Value& c : o.consts) {
+    auto it = std::lower_bound(consts.begin(), consts.end(), c);
+    if (it == consts.end() || *it != c) {
+      consts.insert(it, c);
+      changed = true;
+    }
+  }
+  if (consts.size() > kConstSetCap) {
+    kind = Kind::kAny;
+    consts.clear();
+    return true;
+  }
+  return changed;
+}
+
+std::string Demand::ToString(const SymbolTable& symbols) const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kAny:
+      return "any";
+    case Kind::kConsts: {
+      std::string out = "{";
+      for (size_t i = 0; i < consts.size(); ++i) {
+        if (i > 0) out += ",";
+        out += consts[i].ToString(symbols);
+      }
+      return out + "}";
+    }
+  }
+  return "none";
+}
+
+DataflowResult AnalyzeDemand(const Program& program, const Catalog& cat,
+                             const Atom& goal) {
+  DataflowResult r;
+  const size_t num_preds = cat.predicates.size();
+  const size_t num_rules = program.rules.size();
+  r.goal_predicate = goal.predicate;
+  r.relevant_pred.assign(num_preds, false);
+  r.rule_relevant.assign(num_rules, false);
+  r.rule_kept.assign(num_rules, false);
+  r.needs_full.assign(num_preds, false);
+  r.demand.assign(num_preds, {});
+
+  // ---- relevance: backward reachability over head -> body edges --------
+  if (goal.predicate < num_preds) r.relevant_pred[goal.predicate] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t ri = 0; ri < num_rules; ++ri) {
+      const Rule& rule = program.rules[ri];
+      bool relevant = false;
+      for (const Atom& h : rule.head) {
+        if (h.predicate < num_preds && r.relevant_pred[h.predicate]) {
+          relevant = true;
+        }
+      }
+      if (!relevant || r.rule_relevant[ri]) continue;
+      r.rule_relevant[ri] = true;
+      changed = true;
+      for (const Literal& lit : rule.body) {
+        if (lit.kind != Literal::Kind::kAtom &&
+            lit.kind != Literal::Kind::kNegatedAtom) {
+          continue;
+        }
+        uint32_t p = lit.atom.predicate;
+        if (p < num_preds && !r.relevant_pred[p]) {
+          r.relevant_pred[p] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (size_t ri = 0; ri < num_rules; ++ri) {
+    if (!r.rule_relevant[ri]) ++r.rules_pruned_relevance;
+  }
+
+  // ---- needs-full: negated reads + multi-head writes, closed downward --
+  // Predicates with at least one defining rule; needs-full only matters
+  // for those (EDB extensions are asserted, never computed).
+  std::vector<bool> is_idb(num_preds, false);
+  for (const Rule& rule : program.rules) {
+    for (const Atom& h : rule.head) {
+      if (h.predicate < num_preds) is_idb[h.predicate] = true;
+    }
+  }
+  for (size_t ri = 0; ri < num_rules; ++ri) {
+    if (!r.rule_relevant[ri]) continue;
+    const Rule& rule = program.rules[ri];
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kNegatedAtom &&
+          lit.atom.predicate < num_preds && is_idb[lit.atom.predicate]) {
+        r.needs_full[lit.atom.predicate] = true;
+      }
+    }
+    if (rule.head.size() > 1) {
+      for (const Atom& h : rule.head) {
+        if (h.predicate < num_preds) r.needs_full[h.predicate] = true;
+      }
+    }
+  }
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t ri = 0; ri < num_rules; ++ri) {
+      if (!r.rule_relevant[ri]) continue;
+      const Rule& rule = program.rules[ri];
+      bool full = false;
+      for (const Atom& h : rule.head) {
+        if (h.predicate < num_preds && r.needs_full[h.predicate]) full = true;
+      }
+      if (!full) continue;
+      for (const Literal& lit : rule.body) {
+        if (lit.kind != Literal::Kind::kAtom &&
+            lit.kind != Literal::Kind::kNegatedAtom) {
+          continue;
+        }
+        uint32_t p = lit.atom.predicate;
+        if (p < num_preds && is_idb[p] && !r.needs_full[p]) {
+          r.needs_full[p] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Constant-conflict pruning is exact only when tuple-level demand is:
+  // a dropped non-demanded tuple must not be observable through a
+  // negation test or an aggregate group. One relevant rule with either
+  // construct disables it globally (relevance pruning stays).
+  bool demand_exact = true;
+  for (size_t ri = 0; ri < num_rules; ++ri) {
+    if (!r.rule_relevant[ri]) continue;
+    for (const Literal& lit : program.rules[ri].body) {
+      if (lit.kind == Literal::Kind::kNegatedAtom ||
+          (lit.kind == Literal::Kind::kAssignment && lit.rhs.is_aggregate())) {
+        demand_exact = false;
+      }
+    }
+  }
+
+  // ---- value sets ------------------------------------------------------
+  auto demand_at = [&](uint32_t pred, size_t arity) -> std::vector<Demand>& {
+    std::vector<Demand>& d = r.demand[pred];
+    if (d.size() < arity) d.resize(arity);
+    return d;
+  };
+
+  // Seed: the goal's constant arguments; variable positions are kAny.
+  if (goal.predicate < num_preds) {
+    std::vector<Demand>& d = demand_at(goal.predicate, goal.args.size());
+    for (size_t i = 0; i < goal.args.size(); ++i) {
+      if (goal.args[i].is_var()) {
+        d[i].kind = Demand::Kind::kAny;
+      } else {
+        d[i].Join(Demand{Demand::Kind::kConsts, {goal.args[i].constant}});
+      }
+    }
+  }
+  // needs-full predicates are computed in full: force kAny everywhere so
+  // no constant conflict fires in their cone.
+  auto force_any = [&](const Atom& a) {
+    std::vector<Demand>& d = demand_at(a.predicate, a.args.size());
+    bool any_change = false;
+    for (Demand& pos : d) {
+      if (pos.kind != Demand::Kind::kAny) {
+        pos.kind = Demand::Kind::kAny;
+        pos.consts.clear();
+        any_change = true;
+      }
+    }
+    return any_change;
+  };
+
+  // Per-rule conflict check against the current demand: every relevant
+  // head either is undemanded or carries a constant excluded by a finite
+  // set. Conflicted rules stop propagating; growing demand can revive
+  // them (monotone, so the fixpoint terminates).
+  auto head_conflicts = [&](const Rule& rule) {
+    if (!demand_exact) return false;
+    bool all_conflict = true;
+    for (const Atom& h : rule.head) {
+      if (h.predicate >= num_preds || !r.relevant_pred[h.predicate]) continue;
+      const std::vector<Demand>& d = r.demand[h.predicate];
+      bool conflict = false;
+      for (size_t i = 0; i < h.args.size() && i < d.size(); ++i) {
+        if (!h.args[i].is_var() && d[i].kind == Demand::Kind::kConsts &&
+            !d[i].Admits(h.args[i].constant)) {
+          conflict = true;
+        }
+      }
+      if (!conflict) all_conflict = false;
+    }
+    return all_conflict;
+  };
+
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t ri = 0; ri < num_rules; ++ri) {
+      if (!r.rule_relevant[ri]) continue;
+      const Rule& rule = program.rules[ri];
+      if (head_conflicts(rule)) continue;
+
+      bool rule_full = false;
+      for (const Atom& h : rule.head) {
+        if (h.predicate < num_preds && r.needs_full[h.predicate]) {
+          rule_full = true;
+        }
+      }
+
+      // Per-variable demand: meet (intersection) over the variable's
+      // occurrences in demanded head positions; variables not mentioned
+      // in any demanded head position are unconstrained.
+      std::vector<Demand> var_demand(rule.var_names.size());
+      for (Demand& d : var_demand) d.kind = Demand::Kind::kAny;
+      if (!rule_full) {
+        for (const Atom& h : rule.head) {
+          if (h.predicate >= num_preds) continue;
+          const std::vector<Demand>& d = r.demand[h.predicate];
+          for (size_t i = 0; i < h.args.size() && i < d.size(); ++i) {
+            if (!h.args[i].is_var() || d[i].kind != Demand::Kind::kConsts) {
+              continue;
+            }
+            Demand& vd = var_demand[h.args[i].var];
+            if (vd.kind == Demand::Kind::kAny) {
+              vd = d[i];
+            } else {
+              // Intersection of two finite sets (coerced equality).
+              std::vector<Value> both;
+              for (const Value& c : vd.consts) {
+                if (d[i].Admits(c)) both.push_back(c);
+              }
+              vd.consts = std::move(both);
+            }
+          }
+        }
+      }
+
+      for (const Literal& lit : rule.body) {
+        if (lit.kind != Literal::Kind::kAtom &&
+            lit.kind != Literal::Kind::kNegatedAtom) {
+          continue;
+        }
+        const Atom& a = lit.atom;
+        if (a.predicate >= num_preds) continue;
+        if (a.predicate < num_preds && r.needs_full[a.predicate]) {
+          if (force_any(a)) changed = true;
+          continue;
+        }
+        std::vector<Demand>& d = demand_at(a.predicate, a.args.size());
+        for (size_t i = 0; i < a.args.size(); ++i) {
+          const Demand incoming =
+              a.args[i].is_var() ? var_demand[a.args[i].var]
+                                 : Demand{Demand::Kind::kAny, {}};
+          if (d[i].Join(incoming)) changed = true;
+        }
+      }
+    }
+  }
+
+  // ---- final keep mask -------------------------------------------------
+  for (size_t ri = 0; ri < num_rules; ++ri) {
+    if (!r.rule_relevant[ri]) continue;
+    if (head_conflicts(program.rules[ri])) {
+      ++r.rules_pruned_conflict;
+    } else {
+      r.rule_kept[ri] = true;
+    }
+  }
+  return r;
+}
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,81 @@
+// Goal-directed dataflow analysis over the rule dependency graph
+// (ROADMAP item: constant-reachability pruning in the style of z3's
+// muz/dataflow value-set engine).
+//
+// Given a goal atom, the analysis answers two questions the magic-set
+// rewrite (datalog/magic.h) and the rule pruner need:
+//
+//  * relevance — which predicates / rules are backward-reachable from the
+//    goal through rule bodies (negated reads included)? Rules outside this
+//    cone can never contribute a goal fact and are dropped unconditionally.
+//  * value sets — which constants can flow into each (predicate, argument
+//    position) of a goal-relevant tuple? The lattice per position is
+//    kNone < kConsts(S) < kAny: constants originate only from the goal's
+//    bound arguments, flow backward from head variables into body atom
+//    positions (meet = intersection across a variable's head occurrences,
+//    join = union across demanding rules), and overflow to kAny past a
+//    small cap. A relevant rule whose head carries a constant excluded by
+//    a finite demand set is pruned too — but only in programs without
+//    negation or aggregation in the relevant cone, where tuple-level
+//    demand is exact (dropping a non-demanded tuple cannot flip a
+//    negation test or shift a running aggregate group).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace vadalink::datalog {
+
+/// Demanded-value lattice for one (predicate, argument position).
+struct Demand {
+  enum class Kind : uint8_t { kNone, kConsts, kAny };
+  Kind kind = Kind::kNone;
+  /// Sorted, deduplicated (kConsts only).
+  std::vector<Value> consts;
+
+  /// Membership with numeric coercion (1 and 1.0 satisfy the same
+  /// demand), mirroring the comparison builtins. kAny/kNone admit
+  /// everything — kNone positions belong to irrelevant predicates, which
+  /// relevance pruning already removed.
+  bool Admits(const Value& v) const;
+
+  /// Lattice join (union of possible demands). Returns true on change.
+  bool Join(const Demand& o);
+
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+struct DataflowResult {
+  uint32_t goal_predicate = 0;
+  /// predicate id -> backward-reachable from the goal.
+  std::vector<bool> relevant_pred;
+  /// rule index -> some head predicate is relevant.
+  std::vector<bool> rule_relevant;
+  /// rule index -> survives both relevance and constant-conflict pruning.
+  /// The magic rewrite operates on exactly these rules.
+  std::vector<bool> rule_kept;
+  /// Predicates whose extension must be computed in full under a demand
+  /// transformation: read under negation by a kept rule, or written by a
+  /// kept multi-head rule (guarding one head would starve the other),
+  /// transitively closed over the bodies of their defining rules.
+  std::vector<bool> needs_full;
+  /// demand[p][i]: value set for predicate p at position i (empty vector
+  /// for predicates never demanded). needs_full predicates and their
+  /// cones are forced to kAny.
+  std::vector<std::vector<Demand>> demand;
+  size_t rules_pruned_relevance = 0;
+  size_t rules_pruned_conflict = 0;
+
+  size_t rules_pruned() const {
+    return rules_pruned_relevance + rules_pruned_conflict;
+  }
+};
+
+/// Runs relevance + value-set analysis for `goal` over `program`. Pure
+/// analysis: no catalog mutation, deterministic output.
+DataflowResult AnalyzeDemand(const Program& program, const Catalog& cat,
+                             const Atom& goal);
+
+}  // namespace vadalink::datalog

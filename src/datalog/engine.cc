@@ -1237,9 +1237,65 @@ Status Engine::Preflight(const Program& program) {
 }
 
 Status Engine::Run(const Program& program) {
+  if (options_.query_goal != nullptr) {
+    // Query-mode routing: evaluate only the goal-relevant fragment. The
+    // answers are still materialized in the database, so callers that
+    // scan relations afterwards see exactly the goal-matching facts.
+    Result<QueryReport> report = Query(program, *options_.query_goal);
+    return report.ok() ? Status::OK() : report.status();
+  }
   Status st = RunImpl(program);
   last_abort_status_ = st;  // OK after a completed run
   return st;
+}
+
+Result<QueryReport> Engine::Query(const Program& program,
+                                  const QueryGoal& goal) {
+  Status preflight = Preflight(program);
+  if (!preflight.ok()) {
+    last_abort_status_ = preflight;
+    return preflight;
+  }
+
+  MagicResult magic = MagicRewrite(program, db_->catalog(), goal);
+  query_program_ = std::make_unique<Program>(std::move(magic.program));
+
+  // The rewritten program was already vetted through the source program's
+  // pre-flight; its __magic_* constructs sit outside the analyzer's
+  // warded fragment, so the inner run skips the gate.
+  const bool saved_preflight = options_.preflight;
+  options_.preflight = false;
+  Status st = RunImpl(*query_program_);
+  options_.preflight = saved_preflight;
+  last_abort_status_ = st;
+  if (!st.ok()) return st;
+
+  QueryReport report;
+  report.rewritten = magic.rewritten;
+  report.fallback_reason = magic.fallback_reason;
+  report.rules_pruned = magic.rules_pruned;
+  report.magic_rules = magic.magic_rules;
+  report.adornments = magic.adornments;
+  report.facts_derived = stats_.facts_derived;
+  for (RowRef row : db_->Scan(goal.atom.predicate)) {
+    std::vector<Value> tuple = row.ToTuple();
+    if (GoalMatches(goal, tuple)) report.answers.push_back(std::move(tuple));
+  }
+  std::sort(report.answers.begin(), report.answers.end());
+
+  if (options_.metrics != nullptr) {
+    MetricAdd(options_.metrics, "engine.query.runs", 1);
+    if (!report.fallback_reason.empty()) {
+      MetricAdd(options_.metrics, "engine.query.fallbacks", 1);
+    }
+    MetricAdd(options_.metrics, "engine.query.rules_pruned",
+              report.rules_pruned);
+    MetricAdd(options_.metrics, "engine.query.magic_rules",
+              report.magic_rules);
+    MetricAdd(options_.metrics, "engine.query.answers",
+              report.answers.size());
+  }
+  return report;
 }
 
 Status Engine::RunIncremental(const Program& program) {

@@ -15,6 +15,7 @@
 //  * Semi-naive deltas are index ranges over the append-only relations.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -27,6 +28,7 @@
 #include "datalog/ast.h"
 #include "datalog/builtins.h"
 #include "datalog/database.h"
+#include "datalog/magic.h"
 #include "datalog/stratify.h"
 
 namespace vadalink::datalog {
@@ -81,6 +83,35 @@ struct EngineOptions {
   /// enumeration order is semantically visible (running aggregate values,
   /// labeled-null identity), so they always evaluate in compiled order.
   JoinOrder join_order = JoinOrder::kPlanned;
+  /// Non-null routes Run() through Query(): the program is magic-set
+  /// rewritten for this goal (see datalog/magic.h) before evaluation, so
+  /// the chase derives only goal-relevant facts. Not owned; must outlive
+  /// the engine calls that use it.
+  const QueryGoal* query_goal = nullptr;
+};
+
+/// Outcome of one Engine::Query call.
+struct QueryReport {
+  /// True when the demand transformation applied; false when the engine
+  /// saturated the (relevance-pruned) dependency cone of the goal instead.
+  bool rewritten = false;
+  /// Why the demand transformation was not applicable (see magic.h);
+  /// empty when `rewritten`, and also for all-free goals, which have no
+  /// bound position to push demand from. Never silently dropped: a
+  /// non-empty reason is surfaced here and counted in
+  /// "engine.query.fallbacks".
+  std::string fallback_reason;
+  /// Input rules dropped by the goal-directed dataflow analysis.
+  size_t rules_pruned = 0;
+  /// Demand (magic + adornment-bridge) rules added by the rewrite.
+  size_t magic_rules = 0;
+  /// Distinct (predicate, adornment) demands processed.
+  size_t adornments = 0;
+  /// Facts the (rewritten) chase derived — the query-focus work measure.
+  size_t facts_derived = 0;
+  /// Goal-matching tuples of the goal predicate, sorted. Exactly equal to
+  /// the goal-matching subset of the full-saturation fact set.
+  std::vector<std::vector<Value>> answers;
 };
 
 struct EngineStats {
@@ -119,6 +150,19 @@ class Engine {
   ///  * kDeadlineExceeded — the RunContext wall-clock deadline expired;
   ///  * kCancelled — RunContext::RequestCancel() was observed.
   Status Run(const Program& program);
+
+  /// Goal-directed evaluation: magic-set rewrites `program` for `goal`
+  /// (datalog/magic.h) and chases the rewritten program, deriving only
+  /// goal-relevant facts — the join planner, plan cache and parallel
+  /// partitioned joins apply to the rewritten rules unchanged. Returns the
+  /// sorted goal-matching answers plus rewrite statistics; when the
+  /// rewrite is not applicable the report carries the fallback reason and
+  /// the engine saturates the goal's relevance-pruned dependency cone
+  /// instead (still exact, never silent). The static-analysis pre-flight
+  /// runs against the *source* program — the synthesized __magic_*
+  /// predicates are safe by construction but outside the analyzer's
+  /// warded fragment. Error codes are those of Run().
+  Result<QueryReport> Query(const Program& program, const QueryGoal& goal);
 
   /// Incremental continuation after a completed Run() of the same program:
   /// only facts inserted into the database since that run are treated as
@@ -377,6 +421,9 @@ class Engine {
   // True while a run is in flight and after one aborted; RunIncremental
   // refuses to continue from an aborted run.
   bool last_run_aborted_ = false;
+  // Rewritten program of the last Query(): program_ points into it, so it
+  // must outlive the run (Explain/PlanSummaries read through program_).
+  std::unique_ptr<Program> query_program_;
   // Why the last run aborted (OK after a completed run); see
   // last_abort_status().
   Status last_abort_status_;

@@ -1,0 +1,662 @@
+#include "datalog/magic.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "datalog/parser.h"
+#include "datalog/stratify.h"
+
+namespace vadalink::datalog {
+
+namespace {
+
+uint64_t MaskBit(size_t i) { return i < 64 ? (uint64_t{1} << i) : 0; }
+
+/// 'b'/'f' string of an adornment over `arity` positions (positions >= 64
+/// are always free — the mask cannot express them).
+std::string AdornString(uint64_t mask, size_t arity) {
+  std::string s;
+  s.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    s += (mask & MaskBit(i)) != 0 ? 'b' : 'f';
+  }
+  return s;
+}
+
+bool TermsEqual(const Term& a, const Term& b) {
+  if (a.kind != b.kind) return false;
+  return a.is_var() ? a.var == b.var : a.constant == b.constant;
+}
+
+bool AtomsEqual(const Atom& a, const Atom& b) {
+  if (a.predicate != b.predicate || a.args.size() != b.args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (!TermsEqual(a.args[i], b.args[i])) return false;
+  }
+  return true;
+}
+
+CmpOp MirrorCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    default:
+      return op;
+  }
+}
+
+/// The aggregate assignment of `rule`, or -1.
+int AggLiteral(const Rule& rule) {
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (rule.body[i].kind == Literal::Kind::kAssignment &&
+        rule.body[i].rhs.is_aggregate()) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+/// Group-key variables of an aggregate rule, mirroring the engine's
+/// compiled-rule computation: head variables bound by the body, minus the
+/// aggregate's target variable.
+std::vector<bool> AggGroupVars(const Rule& rule, int agg_pos) {
+  std::vector<bool> bound = BodyBoundVars(rule);
+  std::vector<bool> in_head(rule.var_names.size(), false);
+  for (const Atom& h : rule.head) {
+    for (const Term& t : h.args) {
+      if (t.is_var()) in_head[t.var] = true;
+    }
+  }
+  std::vector<bool> group(rule.var_names.size(), false);
+  for (uint32_t v = 0; v < rule.var_names.size(); ++v) {
+    group[v] = in_head[v] && bound[v];
+  }
+  group[rule.body[agg_pos].target_var] = false;
+  return group;
+}
+
+/// Order-sensitivity analysis for monotonic aggregates under a demand
+/// transformation. Magic guards preserve each aggregate group's full
+/// contribution set (they filter whole groups, never contributions), so
+/// final per-group values are exact — but the *intermediate* running
+/// values a group emits depend on enumeration order, which the rewrite
+/// changes. A "carrying" (predicate, position) holds such running values.
+/// The query result is still exact as long as every use of a carrying
+/// value is an upward-closed threshold guard (for an increasing aggregate
+/// "some running value >= t" is equivalent to "the final value >= t"; the
+/// engine treats every aggregate except mmin as increasing, matching the
+/// analyzer's VL021 convention) and the goal itself has no carrying
+/// position. Everything else — joins, arithmetic, equality, the wrong
+/// comparison direction — makes the answer depend on enumeration order:
+/// report fallback.
+std::string CheckAggregateEscape(const Program& program,
+                                 const DataflowResult& df, uint32_t goal_pred,
+                                 const Catalog& cat) {
+  std::map<std::pair<uint32_t, size_t>, AggKind> carrying;
+  auto mark = [&](uint32_t pred, size_t pos, AggKind k, bool* changed,
+                  std::string* reason) {
+    auto it = carrying.find({pred, pos});
+    if (it == carrying.end()) {
+      carrying.emplace(std::make_pair(pred, pos), k);
+      if (changed != nullptr) *changed = true;
+    } else if (it->second != k) {
+      *reason = "predicate '" + cat.predicates.Name(pred) +
+                "' position carries values of two different aggregates";
+    }
+  };
+
+  std::string reason;
+  for (size_t ri = 0; ri < program.rules.size() && reason.empty(); ++ri) {
+    if (!df.rule_kept[ri]) continue;
+    const Rule& rule = program.rules[ri];
+    int agg = AggLiteral(rule);
+    if (agg < 0) continue;
+    uint32_t target = rule.body[agg].target_var;
+    AggKind kind = rule.body[agg].rhs.agg;
+    for (const Atom& h : rule.head) {
+      for (size_t j = 0; j < h.args.size(); ++j) {
+        if (h.args[j].is_var() && h.args[j].var == target) {
+          mark(h.predicate, j, kind, nullptr, &reason);
+        }
+      }
+    }
+  }
+
+  bool changed = true;
+  while (changed && reason.empty()) {
+    changed = false;
+    for (size_t ri = 0; ri < program.rules.size() && reason.empty(); ++ri) {
+      if (!df.rule_kept[ri]) continue;
+      const Rule& rule = program.rules[ri];
+      // Variables of this rule bound from a carrying position.
+      std::map<uint32_t, AggKind> cv;
+      for (const Literal& lit : rule.body) {
+        if (lit.kind != Literal::Kind::kAtom) continue;
+        for (size_t j = 0; j < lit.atom.args.size(); ++j) {
+          const Term& t = lit.atom.args[j];
+          if (!t.is_var()) continue;
+          auto it = carrying.find({lit.atom.predicate, j});
+          if (it == carrying.end()) continue;
+          auto ins = cv.emplace(t.var, it->second);
+          if (!ins.second && ins.first->second != it->second) {
+            reason = "variable joins two different running aggregates";
+          }
+        }
+      }
+      if (cv.empty() || !reason.empty()) continue;
+
+      for (const auto& [var, kind] : cv) {
+        size_t occurrences = 0;
+        for (const Literal& lit : rule.body) {
+          if (lit.kind != Literal::Kind::kAtom &&
+              lit.kind != Literal::Kind::kNegatedAtom) {
+            continue;
+          }
+          for (const Term& t : lit.atom.args) {
+            if (t.is_var() && t.var == var) ++occurrences;
+          }
+        }
+        if (occurrences > 1) {
+          reason = "rule at " + rule.span.ToString() +
+                   " joins on a running aggregate value ('" +
+                   rule.var_names[var] + "')";
+          break;
+        }
+        for (const Literal& lit : rule.body) {
+          if (lit.kind == Literal::Kind::kAssignment) {
+            std::vector<bool> used(rule.var_names.size(), false);
+            CollectExprVars(lit.rhs, &used);
+            if (used[var] || lit.target_var == var) {
+              reason = "rule at " + rule.span.ToString() +
+                       " feeds a running aggregate value ('" +
+                       rule.var_names[var] + "') into an assignment";
+              break;
+            }
+          } else if (lit.kind == Literal::Kind::kComparison) {
+            std::vector<bool> in_lhs(rule.var_names.size(), false);
+            std::vector<bool> in_rhs(rule.var_names.size(), false);
+            CollectExprVars(lit.lhs, &in_lhs);
+            CollectExprVars(lit.rhs, &in_rhs);
+            if (!in_lhs[var] && !in_rhs[var]) continue;
+            const Expr& side = in_lhs[var] ? lit.lhs : lit.rhs;
+            if ((in_lhs[var] && in_rhs[var]) || side.op != Expr::Op::kVar) {
+              reason = "rule at " + rule.span.ToString() +
+                       " uses a running aggregate value ('" +
+                       rule.var_names[var] + "') in a compound comparison";
+              break;
+            }
+            CmpOp op = in_lhs[var] ? lit.cmp : MirrorCmp(lit.cmp);
+            bool increasing = kind != AggKind::kMMin;
+            bool safe = increasing ? (op == CmpOp::kGt || op == CmpOp::kGe)
+                                   : (op == CmpOp::kLt || op == CmpOp::kLe);
+            if (!safe) {
+              reason = std::string("rule at ") + rule.span.ToString() +
+                       " guards a running " + AggKindName(kind) +
+                       " value ('" + rule.var_names[var] +
+                       "') with non-monotone comparison " + CmpOpName(op);
+              break;
+            }
+          }
+        }
+        if (!reason.empty()) break;
+      }
+      if (!reason.empty()) break;
+
+      for (const Atom& h : rule.head) {
+        for (size_t j = 0; j < h.args.size(); ++j) {
+          const Term& t = h.args[j];
+          if (t.is_var() && cv.count(t.var) != 0) {
+            mark(h.predicate, j, cv.at(t.var), &changed, &reason);
+          }
+        }
+      }
+    }
+  }
+  if (!reason.empty()) return reason;
+  for (const auto& [key, kind] : carrying) {
+    (void)kind;
+    if (key.first == goal_pred) {
+      return "goal predicate '" + cat.predicates.Name(goal_pred) +
+             "' enumerates order-sensitive running aggregate values";
+    }
+  }
+  return "";
+}
+
+/// State of the union-over-adornments rewrite (see magic.h).
+struct MagicBuilder {
+  const Program& program;
+  Catalog* cat;
+  const QueryGoal& goal;
+  const DataflowResult& df;
+
+  // (predicate, adornment) -> interned magic predicate id.
+  std::map<std::pair<uint32_t, uint64_t>, uint32_t> magic_preds;
+  // Kept single-head rules per head predicate (needs_full rules excluded —
+  // those are emitted unguarded).
+  std::vector<std::vector<uint32_t>> defining;
+  std::vector<bool> rule_full;
+
+  std::deque<std::pair<uint32_t, uint64_t>> worklist;
+  std::set<std::pair<uint32_t, uint64_t>> demanded;
+  std::set<std::pair<uint32_t, uint64_t>> guarded_emitted;  // (rule, mask)
+  std::set<std::string> demand_rule_seen;
+
+  std::vector<Rule> demand_rules;
+  std::vector<Rule> guarded_rules;
+
+  MagicBuilder(const Program& p, Catalog* c, const QueryGoal& g,
+               const DataflowResult& d)
+      : program(p), cat(c), goal(g), df(d) {
+    defining.resize(cat->predicates.size());
+    rule_full.assign(program.rules.size(), false);
+    for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+      if (!df.rule_kept[ri]) continue;
+      const Rule& rule = program.rules[ri];
+      for (const Atom& h : rule.head) {
+        if (h.predicate < df.needs_full.size() &&
+            df.needs_full[h.predicate]) {
+          rule_full[ri] = true;
+        }
+      }
+      if (!rule_full[ri] && rule.head.size() == 1) {
+        defining[rule.head[0].predicate].push_back(
+            static_cast<uint32_t>(ri));
+      }
+    }
+  }
+
+  /// Demand transformation applies to predicates that have guardable
+  /// defining rules and are not pinned to full evaluation.
+  bool Guardable(uint32_t pred) const {
+    return pred < defining.size() && !defining[pred].empty() &&
+           !(pred < df.needs_full.size() && df.needs_full[pred]);
+  }
+
+  uint32_t MagicPred(uint32_t pred, uint64_t mask, size_t arity) {
+    auto it = magic_preds.find({pred, mask});
+    if (it != magic_preds.end()) return it->second;
+    std::string name = "__magic_" + cat->predicates.Name(pred) + "_" +
+                       AdornString(mask, arity);
+    uint32_t id = cat->predicates.Intern(name);
+    magic_preds.emplace(std::make_pair(pred, mask), id);
+    return id;
+  }
+
+  /// The magic guard/demand atom for (pred, mask), with arguments taken
+  /// from `src`'s bound positions. An all-free adornment gets a dummy
+  /// constant argument: the magic fact then acts as a pure reachability
+  /// gate that cannot restrict (or, under an aggregate, split) anything.
+  Atom MagicAtom(uint32_t pred, uint64_t mask, const Atom& src) {
+    Atom a;
+    a.predicate = MagicPred(pred, mask, src.args.size());
+    if (mask == 0) {
+      a.args.push_back(Term::Const(Value::Int(0)));
+      return a;
+    }
+    for (size_t i = 0; i < src.args.size(); ++i) {
+      if ((mask & MaskBit(i)) != 0) a.args.push_back(src.args[i]);
+    }
+    return a;
+  }
+
+  /// Adornment a rule can actually be guarded at. Aggregate rules demote
+  /// bound head positions that are neither constants nor group-key
+  /// variables (binding the running-value position would filter inside a
+  /// group); a demoted-to-empty mask degrades to the all-free gate.
+  uint64_t EffectiveMask(const Rule& rule, uint64_t mask) const {
+    int agg = AggLiteral(rule);
+    if (agg < 0) return mask;
+    std::vector<bool> group = AggGroupVars(rule, agg);
+    const Atom& head = rule.head[0];
+    uint64_t eff = 0;
+    for (size_t i = 0; i < head.args.size() && i < 64; ++i) {
+      if ((mask & MaskBit(i)) == 0) continue;
+      const Term& t = head.args[i];
+      if (!t.is_var() || (t.var < group.size() && group[t.var])) {
+        eff |= MaskBit(i);
+      }
+    }
+    return eff;
+  }
+
+  void Enqueue(uint32_t pred, uint64_t mask) {
+    if (!Guardable(pred)) return;
+    if (demanded.insert({pred, mask}).second) {
+      worklist.emplace_back(pred, mask);
+    }
+  }
+
+  void AddDemandRule(Rule rule) {
+    std::string key = RuleToString(rule, *cat);
+    if (demand_rule_seen.insert(key).second) {
+      demand_rules.push_back(std::move(rule));
+    }
+  }
+
+  /// Sideways information passing for one guarded rule copy: walk the
+  /// body greedily from the guard's bindings — ready assignments and
+  /// fully-bound comparisons first, then the positive atom with the most
+  /// bound arguments — and emit one demand rule per guardable atom,
+  /// carrying the placed prefix as its body. Negated atoms and aggregate
+  /// assignments never join the prefix: dropping a conjunct from a demand
+  /// rule only widens the demand, which costs work but not correctness.
+  void Sip(const Rule& src, const Atom& guard) {
+    std::vector<bool> bound(src.var_names.size(), false);
+    for (const Term& t : guard.args) {
+      if (t.is_var()) bound[t.var] = true;
+    }
+    std::vector<Literal> prefix;
+    Literal glit;
+    glit.kind = Literal::Kind::kAtom;
+    glit.atom = guard;
+    prefix.push_back(glit);
+
+    std::vector<bool> placed(src.body.size(), false);
+    auto all_bound = [&](const Expr& e) {
+      std::vector<bool> used(src.var_names.size(), false);
+      CollectExprVars(e, &used);
+      for (size_t v = 0; v < used.size(); ++v) {
+        if (used[v] && !bound[v]) return false;
+      }
+      return true;
+    };
+
+    for (;;) {
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (size_t i = 0; i < src.body.size(); ++i) {
+          if (placed[i]) continue;
+          const Literal& lit = src.body[i];
+          if (lit.kind == Literal::Kind::kAssignment &&
+              !lit.rhs.is_aggregate() && all_bound(lit.rhs)) {
+            prefix.push_back(lit);
+            bound[lit.target_var] = true;
+            placed[i] = true;
+            progress = true;
+          } else if (lit.kind == Literal::Kind::kComparison &&
+                     all_bound(lit.lhs) && all_bound(lit.rhs)) {
+            prefix.push_back(lit);
+            placed[i] = true;
+            progress = true;
+          }
+        }
+      }
+
+      int best = -1;
+      int best_score = -1;
+      for (size_t i = 0; i < src.body.size(); ++i) {
+        if (placed[i] || src.body[i].kind != Literal::Kind::kAtom) continue;
+        int score = 0;
+        for (const Term& t : src.body[i].atom.args) {
+          if (!t.is_var() || bound[t.var]) ++score;
+        }
+        if (score > best_score) {
+          best = static_cast<int>(i);
+          best_score = score;
+        }
+      }
+      if (best < 0) break;
+
+      const Atom& a = src.body[best].atom;
+      if (Guardable(a.predicate)) {
+        uint64_t beta = 0;
+        for (size_t i = 0; i < a.args.size() && i < 64; ++i) {
+          if (!a.args[i].is_var() || bound[a.args[i].var]) {
+            beta |= MaskBit(i);
+          }
+        }
+        Atom head = MagicAtom(a.predicate, beta, a);
+        // `magic_p(X..) <- magic_p(X..), ...` is the linear-recursion
+        // self-loop (the first atom re-reads the rule's own head under
+        // the same adornment) — trivially subsumed, skip it.
+        if (!AtomsEqual(head, guard)) {
+          Rule demand_rule;
+          demand_rule.var_names = src.var_names;
+          demand_rule.body = prefix;
+          demand_rule.head.push_back(head);
+          AddDemandRule(std::move(demand_rule));
+        }
+        Enqueue(a.predicate, beta);
+      }
+
+      prefix.push_back(src.body[best]);
+      placed[best] = true;
+      for (const Term& t : a.args) {
+        if (t.is_var()) bound[t.var] = true;
+      }
+    }
+  }
+
+  void Process(uint32_t pred, uint64_t mask) {
+    for (uint32_t ri : defining[pred]) {
+      const Rule& src = program.rules[ri];
+      uint64_t eff = EffectiveMask(src, mask);
+      if (eff != mask) {
+        // Adornment bridge: demand at `mask` implies demand at the
+        // demoted adornment (projection of the bound arguments).
+        uint64_t k = 0;
+        Rule bridge;
+        Atom from;
+        from.predicate = MagicPred(pred, mask, src.head[0].args.size());
+        std::map<size_t, uint32_t> var_of_pos;
+        for (size_t i = 0; i < src.head[0].args.size() && i < 64; ++i) {
+          if ((mask & MaskBit(i)) == 0) continue;
+          uint32_t v = static_cast<uint32_t>(k++);
+          bridge.var_names.push_back("B" + std::to_string(v));
+          var_of_pos[i] = v;
+          from.args.push_back(Term::Var(v));
+        }
+        Literal body;
+        body.kind = Literal::Kind::kAtom;
+        body.atom = from;
+        bridge.body.push_back(body);
+        Atom to;
+        to.predicate = MagicPred(pred, eff, src.head[0].args.size());
+        if (eff == 0) {
+          to.args.push_back(Term::Const(Value::Int(0)));
+        } else {
+          for (size_t i = 0; i < src.head[0].args.size() && i < 64; ++i) {
+            if ((eff & MaskBit(i)) != 0) {
+              to.args.push_back(Term::Var(var_of_pos.at(i)));
+            }
+          }
+        }
+        bridge.head.push_back(to);
+        AddDemandRule(std::move(bridge));
+        // The rule copy itself is emitted when (pred, eff) is processed
+        // (EffectiveMask is idempotent, so eff survives there).
+        Enqueue(pred, eff);
+        continue;
+      }
+      if (!guarded_emitted.insert({ri, mask}).second) continue;
+      Atom guard = MagicAtom(pred, mask, src.head[0]);
+      Rule out = src;
+      Literal glit;
+      glit.kind = Literal::Kind::kAtom;
+      glit.atom = guard;
+      out.body.insert(out.body.begin(), glit);
+      guarded_rules.push_back(std::move(out));
+      Sip(src, guard);
+    }
+  }
+
+  MagicResult Build(uint64_t goal_mask) {
+    Enqueue(goal.atom.predicate, goal_mask);
+    while (!worklist.empty()) {
+      auto [pred, mask] = worklist.front();
+      worklist.pop_front();
+      Process(pred, mask);
+    }
+
+    MagicResult res;
+    res.rewritten = true;
+    res.goal_predicate = goal.atom.predicate;
+    res.rules_pruned = df.rules_pruned();
+    res.magic_rules = demand_rules.size();
+    res.adornments = demanded.size();
+
+    Program& out = res.program;
+    out.rules = demand_rules;
+    out.rules.insert(out.rules.end(), guarded_rules.begin(),
+                     guarded_rules.end());
+    for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+      if (df.rule_kept[ri] && rule_full[ri]) {
+        out.rules.push_back(program.rules[ri]);
+      }
+    }
+    out.facts = program.facts;
+    // Seed: the goal's own demand, ground over its bound constants.
+    Atom seed;
+    seed.predicate = MagicPred(goal.atom.predicate, goal_mask,
+                               goal.atom.args.size());
+    for (size_t i = 0; i < goal.atom.args.size(); ++i) {
+      if ((goal_mask & MaskBit(i)) != 0) {
+        seed.args.push_back(goal.atom.args[i]);
+      }
+    }
+    out.facts.push_back(seed);
+    out.outputs.push_back(goal.atom.predicate);
+    return res;
+  }
+};
+
+/// The input program minus rules the dataflow analysis pruned — exact for
+/// the goal predicate's full extension, with or without magic.
+Program PrunedProgram(const Program& program, const DataflowResult& df,
+                      uint32_t goal_pred) {
+  Program out;
+  for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+    if (df.rule_kept[ri]) out.rules.push_back(program.rules[ri]);
+  }
+  out.facts = program.facts;
+  out.outputs.push_back(goal_pred);
+  return out;
+}
+
+}  // namespace
+
+std::string QueryGoal::ToString(const Catalog& cat) const {
+  std::string s = cat.predicates.Name(atom.predicate);
+  if (atom.args.empty()) return s;
+  s += "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) s += ", ";
+    const Term& t = atom.args[i];
+    s += t.is_var() ? var_names[t.var] : t.constant.ToString(cat.symbols);
+  }
+  return s + ")";
+}
+
+Result<QueryGoal> ParseQueryGoal(std::string_view text, Catalog* catalog) {
+  // Reuse the program parser on the synthetic rule `goal -> goal.`; a
+  // valid goal is exactly a body atom.
+  std::string src = std::string(text) + " -> " + std::string(text) + " .";
+  Result<Program> parsed = ParseProgram(src, catalog);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("invalid query goal '" +
+                                   std::string(text) +
+                                   "': " + parsed.status().message());
+  }
+  const Program& p = parsed.value();
+  if (p.rules.size() != 1 || !p.facts.empty() || !p.outputs.empty() ||
+      p.rules[0].body.size() != 1 || p.rules[0].head.size() != 1 ||
+      p.rules[0].body[0].kind != Literal::Kind::kAtom) {
+    return Status::InvalidArgument(
+        "invalid query goal '" + std::string(text) +
+        "': expected a single atom like control(7, X)");
+  }
+  QueryGoal goal;
+  goal.atom = p.rules[0].body[0].atom;
+  goal.var_names = p.rules[0].var_names;
+  return goal;
+}
+
+bool GoalMatches(const QueryGoal& goal, const std::vector<Value>& tuple) {
+  if (tuple.size() != goal.atom.args.size()) return false;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const Term& t = goal.atom.args[i];
+    if (!t.is_var() && !(t.constant == tuple[i])) return false;
+  }
+  return true;
+}
+
+MagicResult MagicRewrite(const Program& program, Catalog* catalog,
+                         const QueryGoal& goal) {
+  const uint32_t goal_pred = goal.atom.predicate;
+  DataflowResult df = AnalyzeDemand(program, *catalog, goal.atom);
+
+  auto prune_only = [&](std::string reason) {
+    MagicResult res;
+    res.rewritten = false;
+    res.fallback_reason = std::move(reason);
+    res.goal_predicate = goal_pred;
+    res.rules_pruned = df.rules_pruned();
+    res.program = PrunedProgram(program, df, goal_pred);
+    res.dataflow = std::move(df);
+    return res;
+  };
+
+  uint64_t goal_mask = 0;
+  for (size_t i = 0; i < goal.atom.args.size() && i < 64; ++i) {
+    if (!goal.atom.args[i].is_var()) goal_mask |= MaskBit(i);
+  }
+  if (goal_mask == 0) {
+    // Nothing to demand: every rule in the pruned cone contributes. An
+    // empty reason distinguishes "no demand to push" from a fallback.
+    return prune_only("");
+  }
+  if (goal_pred < df.needs_full.size() && df.needs_full[goal_pred]) {
+    return prune_only("goal predicate '" +
+                      catalog->predicates.Name(goal_pred) +
+                      "' must be computed in full (read under negation or "
+                      "written by a multi-head rule in its own cone)");
+  }
+
+  // Fallback conditions, checked over the kept goal-relevant rules only —
+  // pruned rules cannot affect the goal and never block the rewrite.
+  std::vector<uint32_t> comp = CondenseSCCs(BuildDependencyGraph(program),
+                                            catalog->predicates.size());
+  for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+    if (!df.rule_kept[ri]) continue;
+    const Rule& rule = program.rules[ri];
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kNegatedAtom &&
+          lit.atom.predicate < comp.size() &&
+          comp[lit.atom.predicate] == comp[goal_pred]) {
+        return prune_only(
+            "negation inside the goal's recursive component ('not " +
+            catalog->predicates.Name(lit.atom.predicate) + "' at rule " +
+            rule.span.ToString() + ")");
+      }
+    }
+    if (!ExistentialVars(rule).empty()) {
+      return prune_only(
+          "existential variables in goal-relevant rule at " +
+          rule.span.ToString() +
+          " (labeled-null identity is enumeration-order-sensitive)");
+    }
+  }
+  std::string agg_reason =
+      CheckAggregateEscape(program, df, goal_pred, *catalog);
+  if (!agg_reason.empty()) return prune_only(agg_reason);
+
+  MagicBuilder builder(program, catalog, goal, df);
+  MagicResult res = builder.Build(goal_mask);
+  res.dataflow = std::move(df);
+  return res;
+}
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,83 @@
+// Magic-set / demand transformation for goal-directed evaluation.
+//
+// Given a goal atom with bound (constant) and free (variable) positions,
+// MagicRewrite produces a program whose fixpoint derives exactly the
+// goal-matching subset of the original program's fixpoint for the goal
+// predicate — usually a small fraction of full saturation. The rewrite is
+// the union-over-adornments variant: no predicate renaming, each defining
+// rule of a demanded predicate is copied once per distinct effective
+// adornment and guarded by a prepended `__magic_<pred>_<adorn>` atom over
+// the head's bound positions. Guards only restrict rule applicability
+// (soundness); demand rules over-approximate the needed bindings
+// (completeness), so deriving extra magic facts merely wastes work.
+//
+// Constructs the rewrite cannot handle force a reported fallback (never
+// silent): negation inside the goal's recursive component, existential
+// head variables in goal-relevant rules (labeled-null identity is
+// enumeration-order-sensitive), aggregates whose running values escape
+// through anything but monotone threshold guards, and goals that
+// themselves enumerate running aggregate values. On fallback the caller
+// still gets the relevance-pruned program — rules that cannot reach the
+// goal are dropped either way.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/dataflow.h"
+
+namespace vadalink::datalog {
+
+/// A query goal: one atom whose constant arguments are the bound
+/// positions. `var_names` names the free positions (indexed by Term::var).
+struct QueryGoal {
+  Atom atom;
+  std::vector<std::string> var_names;
+
+  std::string ToString(const Catalog& cat) const;
+};
+
+/// Parses a goal written in rule-atom syntax, e.g. `control(7, X)` or
+/// `closelink(3, Y)`. Constants and variables follow the program grammar;
+/// the predicate name is interned into `catalog`.
+Result<QueryGoal> ParseQueryGoal(std::string_view text, Catalog* catalog);
+
+/// Outcome of MagicRewrite. `program` is always runnable and always
+/// computes the goal predicate's goal-matching subset exactly:
+///  * rewritten && fallback_reason.empty(): demand-transformed program
+///    (magic guards + seed fact) — derives only goal-relevant facts;
+///  * !rewritten: relevance-pruned copy of the input — full saturation of
+///    the goal's dependency cone; `fallback_reason` says why the demand
+///    transformation was not applicable (empty only for goals with no
+///    bound position, where there is no demand to push).
+struct MagicResult {
+  bool rewritten = false;
+  std::string fallback_reason;
+  Program program;
+  uint32_t goal_predicate = 0;
+  /// Rules of the input program dropped by the dataflow analysis.
+  size_t rules_pruned = 0;
+  /// Demand rules emitted (magic rules + adornment bridges).
+  size_t magic_rules = 0;
+  /// Distinct (predicate, adornment) demands processed.
+  size_t adornments = 0;
+  DataflowResult dataflow;
+};
+
+/// Rewrites `program` for `goal`. Interns the `__magic_*` predicate names
+/// into `catalog` (the rewritten program must be evaluated against a
+/// database sharing this catalog). Deterministic: same program + goal ->
+/// identical output program.
+MagicResult MagicRewrite(const Program& program, Catalog* catalog,
+                         const QueryGoal& goal);
+
+/// True iff a ground tuple of the goal predicate matches the goal's bound
+/// constants (exact value equality — the same semantics the engine's
+/// joins use, so query answers and the saturation subset agree
+/// byte-for-byte).
+bool GoalMatches(const QueryGoal& goal, const std::vector<Value>& tuple);
+
+}  // namespace vadalink::datalog

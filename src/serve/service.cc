@@ -8,6 +8,8 @@
 #include "company/close_link.h"
 #include "company/control.h"
 #include "company/groups.h"
+#include "core/mapping.h"
+#include "datalog/parser.h"
 
 namespace vadalink::serve {
 
@@ -78,6 +80,22 @@ Status ReasoningService::Init(graph::PropertyGraph graph,
   if (!rules_source.empty()) {
     VL_RETURN_NOT_OK(kg_.AddRules(rules_source));
     has_rules_ = true;
+    rules_source_ = rules_source;
+    // The engine-backed keyed path only engages when the program actually
+    // defines control/2 (a throwaway parse; AddRules already validated
+    // the syntax, so this cannot fail).
+    datalog::Catalog probe;
+    auto parsed = datalog::ParseProgram(rules_source_, &probe);
+    if (parsed.ok()) {
+      for (const datalog::Rule& r : parsed->rules) {
+        for (const datalog::Atom& h : r.head) {
+          if (probe.predicates.Name(h.predicate) == "control" &&
+              h.args.size() == 2) {
+            rules_define_control_ = true;
+          }
+        }
+      }
+    }
     auto stats = kg_.Reason(nullptr, metrics_);
     if (!stats.ok()) return stats.status();
   }
@@ -160,6 +178,13 @@ std::string ReasoningService::Handle(const Request& req,
   return RenderResult(req.id, store_.version(), std::move(result).value());
 }
 
+std::string ReasoningService::KeyedCacheKey(const std::string& op,
+                                            int64_t node, double threshold,
+                                            bool engine_route) {
+  return op + ":" + std::to_string(node) + ":" + FormatThreshold(threshold) +
+         (engine_route ? ":q" : ":c");
+}
+
 std::string ReasoningService::HandleKeyed(const Request& req,
                                           const RunContext* run_ctx) {
   SnapshotPtr snap = store_.current();
@@ -184,8 +209,12 @@ std::string ReasoningService::HandleKeyed(const Request& req,
     if (!t.ok()) return RenderError(req.id, t.status());
     threshold = t.value();
   }
-  std::string key =
-      req.op + ":" + std::to_string(key_node) + ":" + FormatThreshold(threshold);
+  // The engine route answers with the rules program's own threshold, so an
+  // explicit per-request threshold pins the request to the compiled path.
+  bool engine_route = req.op == "control" && options_.query_mode &&
+                      has_rules_ && rules_define_control_ &&
+                      req.params.Find("threshold") == nullptr;
+  std::string key = KeyedCacheKey(req.op, key_node, threshold, engine_route);
 
   CacheEntry cached;
   bool hit = cache_ != nullptr && cache_->Get(key, &cached);
@@ -210,9 +239,20 @@ std::string ReasoningService::HandleKeyed(const Request& req,
   };
   if (Status st = CheckRunNow(run_ctx); !st.ok()) return degrade(st);
 
-  Result<Json> result = req.op == "control" ? OpControl(req, snap)
-                        : req.op == "ubo"   ? OpUbo(req, snap)
-                                            : OpCloseLinks(req, snap);
+  Result<Json> result =
+      req.op == "control"
+          ? (engine_route ? OpControlEngine(req, snap, run_ctx)
+                          : OpControl(req, snap))
+      : req.op == "ubo" ? OpUbo(req, snap)
+                        : OpCloseLinks(req, snap);
+  if (engine_route && !result.ok() &&
+      !IsDegradable(result.status().code())) {
+    // A broken engine route (the rewrite already reports its own fallback
+    // inside Query; this catches engine-level failures) degrades to the
+    // compiled evaluator rather than failing the request.
+    MetricAdd(metrics_, "serve.query.fallbacks", 1);
+    result = OpControl(req, snap);
+  }
   if (!result.ok()) {
     if (IsDegradable(result.status().code())) return degrade(result.status());
     MetricAdd(metrics_, "serve.requests.errors", 1);
@@ -237,6 +277,44 @@ Result<Json> ReasoningService::OpControl(const Request& req,
   Json result = Json::MakeObject();
   result.Set("controlled", std::move(ids));
   result.Set("count", Json::Int(static_cast<int64_t>(controlled.size())));
+  return result;
+}
+
+Result<Json> ReasoningService::OpControlEngine(const Request& req,
+                                               const SnapshotPtr& snap,
+                                               const RunContext* run_ctx) {
+  VL_ASSIGN_OR_RETURN(int64_t source, ReqInt(req.params, "source"));
+  VL_RETURN_NOT_OK(ValidateNode(snap, source, "source"));
+  // Fresh per-request catalog/database: the resident kg_ interns symbols
+  // on use, so sharing it across workers would race; the snapshot's graph
+  // is immutable and safe to read.
+  datalog::Catalog cat;
+  datalog::Database db(&cat);
+  VL_RETURN_NOT_OK(core::LoadGraphFacts(snap->graph, &db));
+  VL_ASSIGN_OR_RETURN(datalog::Program program,
+                      datalog::ParseProgram(rules_source_, &cat));
+  VL_ASSIGN_OR_RETURN(
+      datalog::QueryGoal goal,
+      datalog::ParseQueryGoal("control(" + std::to_string(source) + ", X)",
+                              &cat));
+  datalog::EngineOptions eopts;
+  eopts.run_ctx = run_ctx;
+  eopts.metrics = metrics_;
+  datalog::Engine engine(&db, eopts);
+  VL_ASSIGN_OR_RETURN(datalog::QueryReport report,
+                      engine.Query(program, goal));
+  MetricAdd(metrics_, "serve.query.engine", 1);
+  if (!report.rewritten) MetricAdd(metrics_, "serve.query.fallbacks", 1);
+  Json ids = Json::MakeArray();
+  size_t count = 0;
+  for (const auto& tuple : report.answers) {
+    if (tuple.size() != 2 || !tuple[1].is_int()) continue;
+    ids.Append(Json::Int(tuple[1].AsInt()));
+    ++count;
+  }
+  Json result = Json::MakeObject();
+  result.Set("controlled", std::move(ids));
+  result.Set("count", Json::Int(static_cast<int64_t>(count)));
   return result;
 }
 
@@ -269,8 +347,13 @@ Result<Json> ReasoningService::OpCloseLinks(const Request& req,
   VL_RETURN_NOT_OK(ValidateNode(snap, company, "company"));
   company::CloseLinkConfig cfg;
   cfg.threshold = threshold;
-  auto links = company::AllCloseLinks(snap->company_graph, cfg);
   auto c = static_cast<graph::NodeId>(company);
+  // Goal-directed when query_mode is on: CloseLinksOf explores only the
+  // ownership cone around c and returns exactly the AllCloseLinks edges
+  // involving c, so the response is byte-identical either way.
+  auto links = options_.query_mode
+                   ? company::CloseLinksOf(snap->company_graph, c, cfg)
+                   : company::AllCloseLinks(snap->company_graph, cfg);
   Json arr = Json::MakeArray();
   size_t count = 0;
   for (const auto& e : links) {

@@ -46,6 +46,14 @@ struct ServiceOptions {
   /// Enables the test-only ops ("sleep") used by the chaos and overload
   /// tests to occupy workers deterministically. Never enabled by the CLI.
   bool enable_test_ops = false;
+  /// Routes cold keyed queries through the engine's goal-directed path
+  /// when the rules program can answer them: `control` misses evaluate
+  /// Engine::Query over the magic-set rewrite of the resident rules
+  /// (requires the program to define control/2 and the request to use the
+  /// default threshold), and `closelinks` misses use the goal-directed
+  /// CloseLinksOf instead of filtering AllCloseLinks. Off = the compiled
+  /// whole-graph evaluators of PR 6.
+  bool query_mode = true;
 };
 
 class ReasoningService {
@@ -70,8 +78,21 @@ class ReasoningService {
   MetricsRegistry* metrics() { return metrics_; }
   const ServiceOptions& options() const { return options_; }
 
+  /// Result-cache key for a keyed query. `engine_route` is part of the key
+  /// because the evaluation mode changes the answer encoding (engine
+  /// answers are sorted tuples, compiled answers are discovery-ordered), so
+  /// toggling query_mode must never serve a result cached under the other
+  /// mode. Exposed for tests.
+  static std::string KeyedCacheKey(const std::string& op, int64_t node,
+                                   double threshold, bool engine_route);
+
  private:
   Result<Json> OpControl(const Request& req, const SnapshotPtr& snap);
+  /// Goal-directed control: Engine::Query with goal control(source, X)
+  /// over the resident rules program and the snapshot's facts. Exact same
+  /// answer set as OpControl (sorted, not discovery-ordered).
+  Result<Json> OpControlEngine(const Request& req, const SnapshotPtr& snap,
+                               const RunContext* run_ctx);
   Result<Json> OpUbo(const Request& req, const SnapshotPtr& snap);
   Result<Json> OpCloseLinks(const Request& req, const SnapshotPtr& snap);
   Result<Json> OpIngest(const Request& req, const RunContext* run_ctx);
@@ -93,6 +114,8 @@ class ReasoningService {
   std::mutex write_mu_;              // serialises ingest/reason/query(db)
   core::KnowledgeGraph kg_;          // resident write-side state
   bool has_rules_ = false;
+  std::string rules_source_;         // verbatim program for per-request parses
+  bool rules_define_control_ = false;  // program has a control/2 rule head
   uint64_t next_version_ = 1;        // version the next publish gets
   SnapshotStore store_;
   std::unique_ptr<ResultCache> cache_;

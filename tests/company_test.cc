@@ -403,6 +403,37 @@ TEST(CloseLinkTest, ThresholdKnob) {
   EXPECT_FALSE(pairs.count({q.first, q.second}));
 }
 
+// CloseLinksOf(c) must be byte-identical to AllCloseLinks filtered to
+// pairs involving c — same keys, reasons, via nodes and precedence — for
+// every node and both Phi modes. The serve layer's cold `closelinks` path
+// depends on this equivalence.
+TEST(CloseLinkTest, CloseLinksOfEqualsFilteredAllCloseLinks) {
+  auto b = Figure2();
+  auto cg = Build(b);
+  auto eq = [](const CloseLinkEdge& a, const CloseLinkEdge& e) {
+    return a.x == e.x && a.y == e.y && a.reason == e.reason && a.via == e.via;
+  };
+  for (bool exact : {true, false}) {
+    CloseLinkConfig cfg;
+    cfg.exact_paths = exact;
+    cfg.ownership.max_depth = 16;
+    auto all = AllCloseLinks(cg, cfg);
+    for (graph::NodeId c = 0; c < cg.node_count(); ++c) {
+      std::vector<CloseLinkEdge> expected;
+      for (const auto& e : all) {
+        if (e.x == c || e.y == c) expected.push_back(e);
+      }
+      auto got = CloseLinksOf(cg, c, cfg);
+      ASSERT_EQ(got.size(), expected.size())
+          << "node " << c << " exact=" << exact;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_TRUE(eq(got[i], expected[i]))
+            << "node " << c << " edge " << i << " exact=" << exact;
+      }
+    }
+  }
+}
+
 // ---- family reasoning (Definitions 2.8 / 2.9) -----------------------------------
 
 graph::PropertyGraph FamilyPersons() {

@@ -2,11 +2,14 @@
 // reads, cache/stale degradation, delta ingestion, crash containment.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "common/run_context.h"
+#include "core/vadalog_programs.h"
 #include "graph/property_graph.h"
 #include "serve/service.h"
 
@@ -282,6 +285,81 @@ TEST_F(ServiceTest, SleepOpIsTestGated) {
   Json resp = ParseLine(service_->Handle(MakeReq("sleep", params), nullptr));
   ASSERT_FALSE(resp.Find("ok")->AsBool());
   EXPECT_EQ(resp.Find("error")->Find("code")->AsString(), "Unsupported");
+}
+
+// ---- query mode (engine-backed keyed queries) -----------------------------
+
+// The cache key must separate the evaluation modes: the engine route
+// answers with sorted tuples, the compiled route in discovery order, so a
+// mode flip may change the result bytes for the same (op, node, threshold).
+TEST(KeyedCacheKeyTest, ModeSuffixSeparatesEngineAndCompiledEntries) {
+  std::string q = ReasoningService::KeyedCacheKey("control", 7, 0.5, true);
+  std::string c = ReasoningService::KeyedCacheKey("control", 7, 0.5, false);
+  EXPECT_NE(q, c);
+  EXPECT_EQ(q, "control:7:0.5:q");
+  EXPECT_EQ(c, "control:7:0.5:c");
+}
+
+TEST_F(ServiceTest, EngineQueryModeMatchesCompiledControlAnswers) {
+  // Rules that define control/2 (the paper's Algorithm 5 at the service's
+  // default 0.5 threshold) switch the cold `control` path to Engine::Query.
+  auto sorted_ids = [](const Json& result) {
+    std::vector<int64_t> ids;
+    for (const Json& v : result.Find("controlled")->AsArray()) {
+      ids.push_back(v.AsInt());
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  std::vector<std::vector<int64_t>> by_mode;
+  for (bool query_mode : {true, false}) {
+    ServiceOptions opts;
+    opts.query_mode = query_mode;
+    ReasoningService svc(opts, &metrics_);
+    ASSERT_TRUE(
+        svc.Init(TinyRegister(), core::ControlProgram(0.5)).ok());
+    Json params = Json::MakeObject();
+    params.Set("source", Json::Int(0));
+    Json resp = ParseLine(svc.Handle(MakeReq("control", params), nullptr));
+    ASSERT_TRUE(resp.Find("ok")->AsBool()) << resp.Dump();
+    EXPECT_EQ(resp.Find("result")->Find("count")->AsInt(), 2);
+    by_mode.push_back(sorted_ids(*resp.Find("result")));
+  }
+  EXPECT_EQ(by_mode[0], by_mode[1]);  // engine == compiled, as sets
+  // The engine route ran and is visible in the metrics.
+  EXPECT_GE(metrics_.CounterValue("serve.query.engine"), 1);
+}
+
+TEST_F(ServiceTest, ExplicitThresholdPinsControlToCompiledPath) {
+  ServiceOptions opts;  // query_mode defaults to true
+  ReasoningService svc(opts, &metrics_);
+  ASSERT_TRUE(svc.Init(TinyRegister(), core::ControlProgram(0.5)).ok());
+  uint64_t engine_before = metrics_.CounterValue("serve.query.engine");
+  Json params = Json::MakeObject();
+  params.Set("source", Json::Int(0));
+  params.Set("threshold", Json::Double(0.9));
+  Json resp = ParseLine(svc.Handle(MakeReq("control", params), nullptr));
+  ASSERT_TRUE(resp.Find("ok")->AsBool()) << resp.Dump();
+  // 0.6 < 0.9: nothing controlled at that threshold, and the engine route
+  // (whose rules encode 0.5) was not consulted.
+  EXPECT_EQ(resp.Find("result")->Find("count")->AsInt(), 0);
+  EXPECT_EQ(metrics_.CounterValue("serve.query.engine"), engine_before);
+}
+
+TEST_F(ServiceTest, QueryModeServesCloseLinksIdentically) {
+  std::vector<std::string> dumps;
+  for (bool query_mode : {true, false}) {
+    ServiceOptions opts;
+    opts.query_mode = query_mode;
+    ReasoningService svc(opts, &metrics_);
+    ASSERT_TRUE(svc.Init(TinyRegister(), "").ok());
+    Json params = Json::MakeObject();
+    params.Set("company", Json::Int(1));
+    Json resp = ParseLine(svc.Handle(MakeReq("closelinks", params), nullptr));
+    ASSERT_TRUE(resp.Find("ok")->AsBool()) << resp.Dump();
+    dumps.push_back(resp.Find("result")->Dump());
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);  // byte-identical responses
 }
 
 }  // namespace

@@ -12,7 +12,11 @@ Checks (stdlib only, no third-party deps):
     fields as non-negative integers);
   * the correctness invariants hold: agree == true for every workload
     (the planner may only change enumeration order, never the final fact
-    set) and the planned run reports at least one plan.
+    set) and the planned run reports at least one plan;
+  * an optional per-workload "query_focus" object (bench_query_focus:
+    planned = goal-directed Engine::Query, worst_case = full saturation)
+    carries speedup as a non-negative number and facts_avoided /
+    fallback_count as non-negative integers.
 
 Exit code 0 when every document conforms, 1 with one line per violation
 otherwise.
@@ -87,6 +91,20 @@ def check_document(path, schema, errors):
                 elif not is_number(v):
                     err(f"{where}: {run_key}.{field} is not a "
                         f"non-negative number")
+        qf = w.get("query_focus")
+        if qf is not None:
+            if not isinstance(qf, dict):
+                err(f"{where}: 'query_focus' is not an object")
+            else:
+                for field in schema.get("query_focus_fields", []):
+                    v = qf.get(field)
+                    if field == "speedup":
+                        if not is_number(v):
+                            err(f"{where}: query_focus.{field} is not a "
+                                f"non-negative number")
+                    elif not is_count(v):
+                        err(f"{where}: query_focus.{field} is not a "
+                            f"non-negative integer")
         plans = w.get("plans")
         if not isinstance(plans, list) or not all(
                 isinstance(p, str) and p for p in plans):

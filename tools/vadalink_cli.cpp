@@ -26,6 +26,7 @@
 #include "company/eligibility.h"
 #include "company/groups.h"
 #include "core/knowledge_graph.h"
+#include "core/mapping.h"
 #include "core/pipeline_options.h"
 #include "core/vada_link.h"
 #include "gen/register_simulator.h"
@@ -325,6 +326,57 @@ int CmdReason(const Flags& flags) {
   if (Status st = FlagErrors(flags); !st.ok()) return Fail(st);
   if (Status st = opts.Validate(); !st.ok()) return Fail(st);
 
+  // --query with a parenthesised atom (e.g. --query 'control(3, X)')
+  // switches to goal-directed evaluation: the program is magic-set
+  // rewritten around the goal and the chase derives only goal-relevant
+  // facts (DESIGN.md section 12). A bare predicate name keeps the
+  // full-saturation run + scan below.
+  std::string query = flags.Get("query", "");
+  if (query.find('(') != std::string::npos) {
+    datalog::Catalog cat;
+    datalog::Database db(&cat);
+    if (Status st = core::LoadGraphFacts(g.value(), &db); !st.ok()) {
+      return Fail(st);
+    }
+    auto program = datalog::ParseProgram(ss.str(), &cat);
+    if (!program.ok()) return Fail(program.status());
+    auto goal = datalog::ParseQueryGoal(query, &cat);
+    if (!goal.ok()) return Fail(goal.status());
+    auto pool = MakeThreadPool(opts.parallel);
+    datalog::EngineOptions eopts;
+    eopts.run_ctx = governor.get();
+    eopts.metrics = opts.metrics;
+    eopts.pool = pool.get();
+    datalog::Engine engine(&db, eopts);
+    auto report = engine.Query(*program, *goal);
+    if (!report.ok()) return Fail(report.status());
+    if (Status st = EmitMetrics(opts); !st.ok()) return Fail(st);
+    if (report->rewritten) {
+      std::printf("magic-set rewrite: %zu adornments, %zu magic rules, "
+                  "%zu rules pruned\n",
+                  report->adornments, report->magic_rules,
+                  report->rules_pruned);
+    } else {
+      std::printf("fallback to pruned saturation (%s), %zu rules pruned\n",
+                  report->fallback_reason.empty()
+                      ? "goal binds no arguments"
+                      : report->fallback_reason.c_str(),
+                  report->rules_pruned);
+    }
+    std::printf("derived %zu facts, %zu answers\n", report->facts_derived,
+                report->answers.size());
+    const std::string& pred = cat.predicates.Name(goal->atom.predicate);
+    for (const auto& t : report->answers) {
+      std::string line = pred + "(";
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += t[i].ToString(cat.symbols);
+      }
+      std::printf("%s)\n", line.c_str());
+    }
+    return 0;
+  }
+
   core::KnowledgeGraph kg;
   kg.set_parallel(opts.parallel);
   *kg.mutable_graph() = std::move(g).value();
@@ -339,7 +391,7 @@ int CmdReason(const Flags& flags) {
               stats->engine.facts_derived, stats->facts_before,
               stats->facts_after, stats->links_materialised);
   if (flags.Has("query")) {
-    std::string pred = flags.Get("query", "");
+    const std::string& pred = query;
     for (const auto& t : kg.Query(pred)) {
       std::string line = pred + "(";
       for (size_t i = 0; i < t.size(); ++i) {
@@ -472,6 +524,7 @@ int CmdServe(const Flags& flags) {
   serve::ServiceOptions service_opts;
   service_opts.cache_entries =
       static_cast<size_t>(flags.GetInt("cache-entries", 1024));
+  service_opts.query_mode = flags.GetInt("query-mode", 1) != 0;
   serve::ServerOptions server_opts;
   server_opts.host = flags.Get("host", "127.0.0.1");
   server_opts.port = static_cast<int>(flags.GetInt("port", 7411));
@@ -522,15 +575,16 @@ commands:
   closelinks  --in BASE [--threshold T]
   ubo         --in BASE --target ID [--threshold T]
   screen      --in BASE --borrower ID --guarantor ID [--threshold T]
-  reason      --in BASE --program FILE.vada [--query PRED] [--out BASE2]
-              [--deadline-ms MS] [--max-facts N] [--threads N] [--grain N]
-              [--metrics-json FILE] [--trace 1] [--metrics-wall 1]
+  reason      --in BASE --program FILE.vada [--query PRED|'goal(a, X)']
+              [--out BASE2] [--deadline-ms MS] [--max-facts N] [--threads N]
+              [--grain N] [--metrics-json FILE] [--trace 1] [--metrics-wall 1]
   lint        --program FILE.vada [--json -|FILE]
   dot         --in BASE [--out FILE.dot]
   evolve      --out BASE [--persons N] [--from Y] [--to Y] [--seed S]
   serve       --in BASE [--program FILE.vada] [--host H] [--port P]
               [--max-inflight N] [--queue-depth N] [--request-deadline-ms MS]
               [--cache-entries N] [--idle-timeout-ms MS] [--metrics-json FILE]
+              [--query-mode 0|1]
 
 BASE refers to the CSV pair BASE_nodes.csv / BASE_edges.csv.
 
@@ -565,6 +619,15 @@ queue sheds with ResourceExhausted + retry_after_ms),
 --request-deadline-ms the default/maximum per-request deadline
 (deadline-busting hot queries degrade to the cached answer flagged
 "stale": true), --cache-entries the result cache (0 disables).
+--query-mode 1 (default) evaluates cold keyed queries goal-directedly
+(magic-set engine queries for 'control' when the program defines it,
+goal-directed close links); 0 keeps the whole-graph evaluators.
+
+'reason' with --query 'goal(args)' (a parenthesised atom, constants
+binding arguments) runs the goal-directed query path instead of a full
+saturation and prints the magic-set rewrite summary plus the sorted goal
+answers; --query PRED (a bare name) still saturates and dumps the
+predicate.
 )");
 }
 
@@ -630,7 +693,7 @@ int main(int argc, char** argv) {
   if (cmd == "serve") {
     return accept({"in", "program", "host", "port", "max-inflight",
                    "queue-depth", "request-deadline-ms", "cache-entries",
-                   "idle-timeout-ms", "metrics-json"})
+                   "idle-timeout-ms", "metrics-json", "query-mode"})
                ? CmdServe(flags)
                : 1;
   }
