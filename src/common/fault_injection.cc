@@ -111,6 +111,8 @@ Status FaultInjection::Check(const char* site) {
       return Status::ResourceExhausted(st.spec.message);
     case StatusCode::kCancelled:
       return Status::Cancelled(st.spec.message);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(st.spec.message);
     case StatusCode::kOk:
     case StatusCode::kInternal:
       return Status::Internal(st.spec.message);

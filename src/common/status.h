@@ -26,6 +26,9 @@ enum class StatusCode {
   kResourceExhausted,
   /// Cooperative cancellation was requested via RunContext::RequestCancel().
   kCancelled,
+  /// The operation requires state the system no longer holds (e.g. a
+  /// continuation over facts the streaming chase already evicted).
+  kFailedPrecondition,
 };
 
 /// Returns a human-readable name for a StatusCode (e.g. "InvalidArgument").
@@ -72,6 +75,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -11,8 +11,13 @@ std::unordered_map<graph::NodeId, double> Phi(const CompanyGraph& cg,
                                               graph::NodeId x,
                                               const CloseLinkConfig& cfg) {
   return cfg.exact_paths
-             ? AccumulatedOwnershipSimplePaths(cg, x, cfg.ownership)
-             : AccumulatedOwnershipWalkSum(cg, x, cfg.ownership);
+             ? AccumulatedOwnershipSimplePaths(cg, x, cfg.ownership,
+                                               /*stats=*/nullptr,
+                                               /*run_ctx=*/nullptr,
+                                               cfg.metrics)
+             : AccumulatedOwnershipWalkSum(cg, x, cfg.ownership,
+                                           /*stats=*/nullptr,
+                                           /*run_ctx=*/nullptr, cfg.metrics);
 }
 
 }  // namespace

@@ -33,6 +33,11 @@ struct CloseLinkConfig {
   /// Use the exact simple-path Phi (true) or the walk-sum fixpoint (false).
   bool exact_paths = true;
   OwnershipConfig ownership;
+  /// Optional metrics sink threaded into every per-root Phi computation
+  /// (not owned; may be null). A multi-root sweep then accounts each
+  /// truncated enumeration into company.ownership.path_truncations — one
+  /// per truncated root — instead of dropping them silently.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// All close links between company pairs. Pairs are reported once with

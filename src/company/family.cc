@@ -138,10 +138,14 @@ std::vector<std::pair<graph::NodeId, graph::NodeId>> FamilyCloseLinks(
   std::vector<std::vector<graph::NodeId>> significant(members.size());
   for (size_t m = 0; m < members.size(); ++m) {
     auto phi = config.exact_paths
-                   ? AccumulatedOwnershipSimplePaths(cg, members[m],
-                                                     config.ownership)
-                   : AccumulatedOwnershipWalkSum(cg, members[m],
-                                                 config.ownership);
+                   ? AccumulatedOwnershipSimplePaths(
+                         cg, members[m], config.ownership,
+                         /*stats=*/nullptr, /*run_ctx=*/nullptr,
+                         config.metrics)
+                   : AccumulatedOwnershipWalkSum(
+                         cg, members[m], config.ownership,
+                         /*stats=*/nullptr, /*run_ctx=*/nullptr,
+                         config.metrics);
     for (const auto& [target, value] : phi) {
       if (value >= config.threshold && cg.is_company(target)) {
         significant[m].push_back(target);

@@ -108,6 +108,13 @@ std::unordered_map<graph::NodeId, double> AccumulatedOwnershipWalkSum(
     stats->truncated = true;
     MetricAdd(metrics, "company.ownership.walksum.nonconvergent", 1);
   }
+  if (stats->truncated) {
+    // Every truncation — depth exhaustion or a governor interrupt — counts
+    // here, one per root, matching the SimplePaths accounting: the two
+    // variants share the "result is partial" metric, the walksum.* ones
+    // stay variant-specific.
+    MetricAdd(metrics, "company.ownership.path_truncations", 1);
+  }
   MetricAdd(metrics, "company.ownership.walksum_levels",
             stats->depth_reached);
   return acc;

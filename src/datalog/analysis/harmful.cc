@@ -1,0 +1,60 @@
+#include "datalog/analysis/harmful.h"
+
+#include <algorithm>
+
+#include "datalog/warded.h"
+
+namespace vadalink::datalog::analysis {
+
+HarmfulVarReport AnalyzeHarmfulVariables(const Program& program,
+                                         const Catalog& cat) {
+  const WardednessReport warded = AnalyzeWardedness(program, cat);
+
+  HarmfulVarReport report;
+  report.warded = warded.warded;
+  report.null_admitting.resize(cat.predicates.size());
+  for (const auto& [predicate, position] : warded.affected_positions) {
+    auto& mask = report.null_admitting[predicate];
+    if (mask.size() <= position) mask.resize(position + 1, false);
+    mask[position] = true;
+  }
+
+  report.rules.resize(program.rules.size());
+  for (size_t i = 0; i < program.rules.size(); ++i) {
+    const Rule& rule = program.rules[i];
+    RuleMemoInfo& info = report.rules[i];
+    info.has_existential = !ExistentialVars(rule).empty();
+
+    // Frontier = body-bound variables that occur in some head atom.
+    const std::vector<bool> bound = BodyBoundVars(rule);
+    std::vector<bool> frontier(rule.var_names.size(), false);
+    for (const Atom& head : rule.head) {
+      for (const Term& t : head.args) {
+        if (t.is_var() && t.var < bound.size() && bound[t.var]) {
+          frontier[t.var] = true;
+        }
+      }
+    }
+
+    // kHarmful and kDangerous both admit nulls (dangerous is harmful that
+    // additionally reaches the head — irrelevant for memo admission).
+    for (const VarReport& vr : warded.rules[i].body_vars) {
+      if (vr.cls == VarClass::kHarmless) continue;
+      if (vr.var < frontier.size() && frontier[vr.var]) {
+        info.harmful_frontier_vars.push_back(vr.var);
+      }
+    }
+    std::sort(info.harmful_frontier_vars.begin(),
+              info.harmful_frontier_vars.end());
+    info.harmful_frontier_vars.erase(
+        std::unique(info.harmful_frontier_vars.begin(),
+                    info.harmful_frontier_vars.end()),
+        info.harmful_frontier_vars.end());
+
+    info.memo_eligible =
+        info.has_existential && !info.harmful_frontier_vars.empty();
+  }
+  return report;
+}
+
+}  // namespace vadalink::datalog::analysis

@@ -1,0 +1,53 @@
+// Harmful-variable analysis for the streaming chase's pattern memo.
+//
+// Builds on the wardedness pass (datalog/warded.h): a body variable is
+// HARMFUL when all of its body occurrences sit in affected positions, i.e.
+// it can bind a labeled null at runtime. For the space-bounded chase this
+// matters per *frontier*: an existential rule whose frontier (body-bound
+// head variables) contains a harmful variable can be fired on bindings
+// that differ only in the labeled nulls they carry. Two such bindings are
+// isomorphic — they invent nulls with identical downstream behaviour — so
+// the chase may canonicalize the null pattern and fire the rule once per
+// pattern class (datalog/pattern_memo.h). Rules whose frontier is entirely
+// harmless never see a null there, and memoization would be pure overhead.
+//
+// The pass is advisory and never fails; on a non-warded program the
+// classification is still sound (it over-approximates harmfulness), but
+// the engine only engages the memo for warded programs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace vadalink::datalog::analysis {
+
+/// Memo relevance of one rule.
+struct RuleMemoInfo {
+  /// The rule invents labeled nulls (has existential head variables).
+  bool has_existential = false;
+  /// Frontier variables (body-bound head variables, ascending var id) that
+  /// may bind a labeled null.
+  std::vector<uint32_t> harmful_frontier_vars;
+  /// Memoizing this rule's frontier null patterns can suppress firings:
+  /// it invents nulls AND its frontier admits nulls.
+  bool memo_eligible = false;
+};
+
+struct HarmfulVarReport {
+  /// Whether the underlying wardedness analysis accepted the program.
+  bool warded = true;
+  /// null_admitting[p][i] — position i of predicate p is affected, i.e. a
+  /// labeled null may appear there. Predicates never mentioned by any rule
+  /// head get an all-false (possibly empty) mask.
+  std::vector<std::vector<bool>> null_admitting;
+  /// Aligned with program.rules.
+  std::vector<RuleMemoInfo> rules;
+};
+
+/// Analyses `program`; never fails (the report is advisory).
+HarmfulVarReport AnalyzeHarmfulVariables(const Program& program,
+                                         const Catalog& cat);
+
+}  // namespace vadalink::datalog::analysis

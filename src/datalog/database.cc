@@ -1,5 +1,7 @@
 #include "datalog/database.h"
 
+#include <algorithm>
+
 namespace vadalink::datalog {
 
 namespace {
@@ -9,9 +11,21 @@ constexpr uint64_t kDedupTagMask = 0xffffffff00000000ULL;
 
 bool Relation::RowEquals(uint32_t row, const Value* vals, size_t n) const {
   for (size_t p = 0; p < n; ++p) {
-    if (columns_[p][row] != vals[p]) return false;
+    if (at(p, row) != vals[p]) return false;
   }
   return true;
+}
+
+bool Relation::RowMatches(uint32_t row, const Value* vals, size_t n,
+                          uint64_t h, uint64_t* h2) const {
+  if (row >= first_resident_) return RowEquals(row, vals, n);
+  // Evicted row: its column data is gone, but both row hashes survive.
+  // Comparing the 128-bit (h, h2) fingerprint keeps the dedup invariant —
+  // re-deriving an evicted fact is suppressed — at a false-positive rate
+  // that is negligible against any feasible fact count.
+  if (row_hashes_[row] != h) return false;
+  if (*h2 == 0) *h2 = HashValues2(vals, n);
+  return row_hashes2_[row] == *h2;
 }
 
 void Relation::GrowDedup() {
@@ -32,27 +46,44 @@ bool Relation::Insert(const Value* vals, size_t n) {
          "Insert during a parallel read phase");
   if (arity_ == SIZE_MAX) {
     arity_ = n;
-    columns_.resize(n);
+    if (paged_) {
+      pages_.resize(n);
+    } else {
+      columns_.resize(n);
+    }
     pos_indexes_.resize(n);
   }
   // Grow at 3/4 load, keeping probes short (power-of-two capacity).
   if ((rows_ + 1) * 4 >= dedup_slots_.size() * 3) GrowDedup();
 
   const uint64_t h = HashValues(vals, n);
+  uint64_t h2 = 0;  // lazily computed by RowMatches / the paged append
   const uint64_t tag = h & kDedupTagMask;
   const size_t mask = dedup_slots_.size() - 1;
   size_t s = static_cast<size_t>(h) & mask;
   while (dedup_slots_[s] != 0) {
     const uint64_t entry = dedup_slots_[s];
     if ((entry & kDedupTagMask) == tag &&
-        RowEquals(static_cast<uint32_t>(entry) - 1, vals, n)) {
+        RowMatches(static_cast<uint32_t>(entry) - 1, vals, n, h, &h2)) {
       return false;
     }
     s = (s + 1) & mask;
   }
   dedup_slots_[s] = tag | (static_cast<uint32_t>(rows_) + 1);
   row_hashes_.push_back(h);
-  for (size_t p = 0; p < n; ++p) columns_[p].push_back(vals[p]);
+  if (paged_) {
+    const size_t page = rows_ >> kPageBits;
+    for (size_t p = 0; p < n; ++p) {
+      if (page == pages_[p].size()) {
+        pages_[p].emplace_back();
+        pages_[p].back().reserve(kPageSize);
+      }
+      pages_[p].back().push_back(vals[p]);
+    }
+    row_hashes2_.push_back(h2 != 0 ? h2 : HashValues2(vals, n));
+  } else {
+    for (size_t p = 0; p < n; ++p) columns_[p].push_back(vals[p]);
+  }
   ++rows_;
   ++epoch_;
   return true;
@@ -61,6 +92,7 @@ bool Relation::Insert(const Value* vals, size_t n) {
 int64_t Relation::Find(const Value* vals, size_t n) const {
   if (rows_ == 0 || dedup_slots_.empty()) return -1;
   const uint64_t h = HashValues(vals, n);
+  uint64_t h2 = 0;
   const uint64_t tag = h & kDedupTagMask;
   const size_t mask = dedup_slots_.size() - 1;
   size_t s = static_cast<size_t>(h) & mask;
@@ -68,11 +100,76 @@ int64_t Relation::Find(const Value* vals, size_t n) const {
     const uint64_t entry = dedup_slots_[s];
     if ((entry & kDedupTagMask) == tag) {
       const uint32_t r = static_cast<uint32_t>(entry) - 1;
-      if (RowEquals(r, vals, n)) return r;
+      // May name an evicted row: the fact is still *known* (its values
+      // cannot be read back, but Contains stays true).
+      if (RowMatches(r, vals, n, h, &h2)) return r;
     }
     s = (s + 1) & mask;
   }
   return -1;
+}
+
+void Relation::SetStreaming() {
+  if (paged_) return;
+  assert(parallel_readers_.load(std::memory_order_relaxed) == 0 &&
+         "SetStreaming during a parallel read phase");
+  pages_.resize(columns_.size());
+  row_hashes2_.reserve(rows_);
+  std::vector<Value> scratch(columns_.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    const size_t page = r >> kPageBits;
+    for (size_t p = 0; p < columns_.size(); ++p) {
+      if (page == pages_[p].size()) {
+        pages_[p].emplace_back();
+        pages_[p].back().reserve(kPageSize);
+      }
+      pages_[p].back().push_back(columns_[p][r]);
+      scratch[p] = columns_[p][r];
+    }
+    row_hashes2_.push_back(HashValues2(scratch.data(), scratch.size()));
+  }
+  columns_.clear();
+  columns_.shrink_to_fit();
+  paged_ = true;
+}
+
+size_t Relation::EvictBelow(size_t watermark) {
+  assert(paged_ && "EvictBelow requires streaming mode (SetStreaming)");
+  assert(parallel_readers_.load(std::memory_order_relaxed) == 0 &&
+         "EvictBelow during a parallel read phase");
+  watermark = std::min(watermark, rows_);
+  if (watermark <= first_resident_) return 0;
+  const size_t evicted = watermark - first_resident_;
+
+  // Whole pages strictly below the watermark are physically released; a
+  // partial trailing page keeps its storage until the watermark passes it.
+  const size_t first_live_page = watermark >> kPageBits;
+  const size_t old_first_page = first_resident_ >> kPageBits;
+  for (auto& col : pages_) {
+    for (size_t page = old_first_page;
+         page < first_live_page && page < col.size(); ++page) {
+      std::vector<Value>().swap(col[page]);
+    }
+  }
+
+  // Posting lists are ascending row ids: drop the evicted prefix, and move
+  // the indexed watermark forward so ExtendIndex never reads a freed row.
+  // Empty postings are kept (map keys survive), which slightly inflates
+  // DistinctCount on evicted relations — acceptable, the planner only uses
+  // it as a relative selectivity signal.
+  for (auto& index : pos_indexes_) {
+    if (index == nullptr) continue;
+    for (auto& [value, ids] : index->map) {
+      auto first_kept = std::lower_bound(ids.begin(), ids.end(),
+                                         static_cast<uint32_t>(watermark));
+      ids.erase(ids.begin(), first_kept);
+    }
+    index->indexed_upto = std::max(index->indexed_upto, watermark);
+  }
+
+  first_resident_ = watermark;
+  ++epoch_;  // outstanding PostingViews are now stale
+  return evicted;
 }
 
 void Relation::ExtendIndex(size_t pos) const {
@@ -88,9 +185,12 @@ void Relation::ExtendIndex(size_t pos) const {
     pos_indexes_[pos] = std::make_unique<PosIndex>();
   }
   PosIndex& index = *pos_indexes_[pos];
-  const std::vector<Value>& col = columns_[pos];
-  for (size_t r = index.indexed_upto; r < rows_; ++r) {
-    index.map[col[r]].push_back(static_cast<uint32_t>(r));
+  // Rows below first_resident_ were evicted before this index ever saw
+  // them; their storage is gone, so indexing starts at the watermark.
+  for (size_t r = std::max(index.indexed_upto, first_resident_); r < rows_;
+       ++r) {
+    index.map[at(pos, static_cast<uint32_t>(r))].push_back(
+        static_cast<uint32_t>(r));
   }
   index.indexed_upto = rows_;
 }
@@ -156,6 +256,12 @@ RelationScan Database::Scan(std::string_view predicate) const {
 
 RelationScan Database::Scan(uint32_t predicate) const {
   return RelationScan(relation(predicate));
+}
+
+size_t Database::EvictBelow(uint32_t predicate, size_t watermark) {
+  const size_t n = relation(predicate)->EvictBelow(watermark);
+  evicted_rows_ += n;
+  return n;
 }
 
 void Database::BeginParallelRead() const {

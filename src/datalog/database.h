@@ -12,6 +12,16 @@
 // built lazily and maintained incrementally as rows are appended; the
 // per-column distinct counts they expose double as the planner's
 // selectivity statistics.
+//
+// Streaming mode (SetStreaming) re-homes the columns into fixed-size pages
+// so the space-bounded chase can release exhausted semi-naive epochs:
+// EvictBelow(w) frees every whole page below row w, advances the
+// first-resident watermark, bumps the epoch (stale PostingViews assert)
+// and prunes evicted ids out of the posting lists. Row ids stay stable and
+// the dedup table keeps every evicted row's slot — re-deriving an evicted
+// fact is still suppressed, via a second independently seeded row hash
+// (HashValues2) in place of the freed column data, an effective 128-bit
+// equality whose false-positive odds are negligible (DESIGN.md section 13).
 #pragma once
 
 #include <atomic>
@@ -73,14 +83,18 @@ class RelationScan {
     uint32_t row_;
   };
 
+  /// End bound of the iteration (total row count, evicted rows included);
+  /// begin() starts at the first resident row, so a scan over a partially
+  /// evicted relation visits resident rows only.
   inline size_t size() const;
-  bool empty() const { return size() == 0; }
+  inline bool empty() const;
   /// Arity of the underlying relation; 0 for an empty scan.
   inline size_t arity() const;
+  /// Indexing is by absolute (stable) row id.
   RowRef operator[](size_t i) const {
     return RowRef(rel_, static_cast<uint32_t>(i));
   }
-  Iterator begin() const { return Iterator(rel_, 0); }
+  inline Iterator begin() const;
   Iterator end() const {
     return Iterator(rel_, static_cast<uint32_t>(size()));
   }
@@ -134,10 +148,36 @@ class Relation {
   /// Arity fixed by the first inserted row; SIZE_MAX while empty.
   size_t arity() const { return arity_; }
 
-  /// Number of appends since construction; stamps PostingViews.
+  /// Number of appends plus evictions since construction; stamps
+  /// PostingViews (an eviction invalidates outstanding views exactly like
+  /// an append does).
   uint64_t epoch() const { return epoch_; }
 
+  /// Switches column storage to fixed-size pages so EvictBelow can free
+  /// whole pages. Existing rows are migrated; idempotent. Must not be
+  /// called during a parallel read phase.
+  void SetStreaming();
+  bool streaming() const { return paged_; }
+
+  /// First row id whose column data is still resident; 0 unless EvictBelow
+  /// ran. Rows below it keep their id, their dedup slot and their hashes,
+  /// but their values must no longer be read.
+  size_t first_resident() const { return first_resident_; }
+  size_t resident_size() const { return rows_ - first_resident_; }
+
+  /// Releases the column storage of rows [first_resident, watermark):
+  /// frees every whole page below the watermark, prunes the posting lists,
+  /// advances the watermark and bumps the epoch. Requires streaming mode.
+  /// Returns the number of newly evicted rows. The caller must guarantee
+  /// the evicted rows can no longer participate in any join (the engine's
+  /// evictability analysis; see DESIGN.md section 13).
+  size_t EvictBelow(size_t watermark);
+
   const Value& at(size_t pos, uint32_t row) const {
+    if (paged_) {
+      assert(row >= first_resident_ && "reading an evicted row");
+      return pages_[pos][row >> kPageBits][row & kPageMask];
+    }
     return columns_[pos][row];
   }
   RowRef Row(uint32_t row) const { return RowRef(this, row); }
@@ -197,6 +237,10 @@ class Relation {
  private:
   friend class RowRef;
 
+  static constexpr size_t kPageBits = 12;
+  static constexpr size_t kPageSize = size_t{1} << kPageBits;
+  static constexpr size_t kPageMask = kPageSize - 1;
+
   struct PosIndex {
     std::unordered_map<Value, std::vector<uint32_t>, ValueHash> map;
     size_t indexed_upto = 0;
@@ -204,10 +248,19 @@ class Relation {
 
   void ExtendIndex(size_t pos) const;
   bool RowEquals(uint32_t row, const Value* vals, size_t n) const;
+  /// Equality against a stored row that works for evicted rows too: column
+  /// compare when resident, double-hash compare when evicted.
+  bool RowMatches(uint32_t row, const Value* vals, size_t n, uint64_t h,
+                  uint64_t* h2) const;
   void GrowDedup();
 
   // One column per argument position; columns_[p][r] is row r's arg p.
+  // Streaming mode replaces the flat columns with pages_[p][r >> kPageBits]
+  // so EvictBelow can free whole pages.
   std::vector<std::vector<Value>> columns_;
+  std::vector<std::vector<std::vector<Value>>> pages_;
+  bool paged_ = false;
+  size_t first_resident_ = 0;
   size_t rows_ = 0;
   size_t arity_ = SIZE_MAX;
   uint64_t epoch_ = 0;
@@ -216,18 +269,22 @@ class Relation {
   // (a collision-rejection tag, compared before touching the columns)
   // with row id + 1 in the low half (0 = whole slot empty), probed
   // linearly from the hash's low bits. row_hashes_ keeps each row's full
-  // hash for table growth.
+  // hash for table growth; row_hashes2_ (streaming mode only) keeps the
+  // second hash that stands in for evicted rows' column data.
   std::vector<uint64_t> dedup_slots_;
   std::vector<uint64_t> row_hashes_;
+  std::vector<uint64_t> row_hashes2_;
 
   mutable std::vector<std::unique_ptr<PosIndex>> pos_indexes_;
   mutable std::atomic<int> parallel_readers_{0};
 };
 
 inline const Value& RowRef::operator[](size_t pos) const {
-  return rel_->columns_[pos][row_];
+  return rel_->at(pos, row_);
 }
-inline size_t RowRef::size() const { return rel_->columns_.size(); }
+inline size_t RowRef::size() const {
+  return rel_->arity_ == SIZE_MAX ? 0 : rel_->arity_;
+}
 inline std::vector<Value> RowRef::ToTuple() const {
   std::vector<Value> out;
   out.reserve(size());
@@ -238,8 +295,15 @@ inline std::vector<Value> RowRef::ToTuple() const {
 inline size_t RelationScan::size() const {
   return rel_ == nullptr ? 0 : rel_->size();
 }
+inline bool RelationScan::empty() const {
+  return rel_ == nullptr || rel_->resident_size() == 0;
+}
 inline size_t RelationScan::arity() const {
   return rel_ == nullptr || rel_->arity() == SIZE_MAX ? 0 : rel_->arity();
+}
+inline RelationScan::Iterator RelationScan::begin() const {
+  return Iterator(
+      rel_, rel_ == nullptr ? 0 : static_cast<uint32_t>(rel_->first_resident()));
 }
 
 inline void PostingView::CheckEpoch() const {
@@ -291,6 +355,19 @@ class Database {
   /// fact-limit guard after every head emission).
   size_t TotalFacts() const { return total_facts_; }
 
+  /// Facts whose column storage is still resident (TotalFacts minus every
+  /// EvictBelow release) — the streaming chase's memory measure.
+  size_t ResidentFacts() const { return total_facts_ - evicted_rows_; }
+  /// Rows released across all relations by the streaming chase.
+  size_t EvictedRows() const { return evicted_rows_; }
+  bool HasEvicted() const { return evicted_rows_ > 0; }
+
+  /// Switches one relation into streaming (paged) column storage; see
+  /// Relation::SetStreaming.
+  void SetStreaming(uint32_t predicate) { relation(predicate)->SetStreaming(); }
+  /// Relation::EvictBelow plus database-level accounting.
+  size_t EvictBelow(uint32_t predicate, size_t watermark);
+
   /// Non-allocating scan over every fact of a predicate. An unknown or
   /// never-materialised predicate yields an empty scan. Row views stay
   /// valid across appends (row ids are stable); they dangle only if the
@@ -315,6 +392,7 @@ class Database {
   Catalog* catalog_;
   mutable std::vector<std::unique_ptr<Relation>> relations_;
   size_t total_facts_ = 0;
+  size_t evicted_rows_ = 0;
   SkolemRegistry skolems_;
   NullRegistry nulls_;
 };

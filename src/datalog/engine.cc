@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "datalog/analysis/analyzer.h"
+#include "datalog/analysis/harmful.h"
 
 namespace vadalink::datalog {
 
@@ -27,6 +28,69 @@ bool HasCall(const Expr& e) {
     if (HasCall(c)) return true;
   }
   return false;
+}
+
+/// Evictability analysis of the streaming chase (DESIGN.md section 13).
+///
+/// A predicate p may have exhausted delta epochs released iff every future
+/// read can only touch its current delta window:
+///  * p is an IDB predicate (some rule head derives it) — EDB relations
+///    are the caller's data and are never touched;
+///  * p is never negated ("not p(...)" re-reads arbitrary old rows);
+///  * every rule reading p positively is in p's own stratum (a later
+///    stratum opens with a naive pass over the FULL relation), mentions p
+///    exactly once among its positive atoms, and every other positive atom
+///    of that rule is closed (not an IDB head — a delta firing on a
+///    co-atom would join against old p rows);
+///  * p is not an @output, unless `sink_set`: callers scan outputs after
+///    the run, so their rows must survive — or be streamed out on
+///    eviction;
+///  * p is not the query goal (Engine::Query scans it for answers).
+std::vector<bool> ComputeEvictable(const Program& program,
+                                   const Stratification& strat,
+                                   size_t num_preds, bool sink_set,
+                                   uint32_t goal_pred) {
+  std::vector<bool> is_head(num_preds, false);
+  for (const Rule& rule : program.rules) {
+    for (const Atom& head : rule.head) is_head[head.predicate] = true;
+  }
+
+  std::vector<bool> evictable = is_head;
+  if (goal_pred < num_preds) evictable[goal_pred] = false;
+  if (!sink_set) {
+    for (uint32_t p : program.outputs) {
+      if (p < num_preds) evictable[p] = false;
+    }
+  }
+
+  std::vector<uint32_t> rule_stratum(program.rules.size(), 0);
+  for (uint32_t s = 0; s < strat.strata.size(); ++s) {
+    for (uint32_t r : strat.strata[s]) rule_stratum[r] = s;
+  }
+
+  for (uint32_t r = 0; r < program.rules.size(); ++r) {
+    const Rule& rule = program.rules[r];
+    std::vector<uint32_t> reads;  // positive IDB atoms of this rule
+    for (const Literal& lit : rule.body) {
+      if (lit.kind == Literal::Kind::kNegatedAtom) {
+        evictable[lit.atom.predicate] = false;
+      } else if (lit.kind == Literal::Kind::kAtom &&
+                 is_head[lit.atom.predicate]) {
+        reads.push_back(lit.atom.predicate);
+      }
+    }
+    for (uint32_t p : reads) {
+      size_t occurrences = 0;
+      for (uint32_t q : reads) occurrences += (q == p);
+      // More than one IDB atom in the body (p twice, or p joined with
+      // another IDB predicate) means some delta firing re-reads old rows.
+      if (occurrences != 1 || reads.size() != 1 ||
+          rule_stratum[r] != strat.predicate_stratum[p]) {
+        evictable[p] = false;
+      }
+    }
+  }
+  return evictable;
 }
 
 }  // namespace
@@ -231,6 +295,20 @@ Status Engine::Prepare(const Program& program) {
 
     compiled_.push_back(std::move(cr));
   }
+
+  // Streaming: mark the rules whose null-carrying frontiers the pattern
+  // memo may collapse. Only engaged for warded programs — the memo's
+  // isomorphism argument is a wardedness property (analysis/harmful.h).
+  if (options_.streaming) {
+    analysis::HarmfulVarReport harmful =
+        analysis::AnalyzeHarmfulVariables(program, *cat);
+    if (harmful.warded) {
+      for (CompiledRule& cr : compiled_) {
+        cr.memo_eligible = harmful.rules[cr.id].memo_eligible;
+      }
+    }
+  }
+
   plan_cache_.clear();
   return Status::OK();
 }
@@ -644,6 +722,22 @@ Status Engine::EmitHead(CompiledRule& cr, MatchCtx* ctx) {
     std::vector<Value> frontier;
     frontier.reserve(cr.frontier_vars.size());
     for (uint32_t v : cr.frontier_vars) frontier.push_back(ctx->subst[v]);
+    // Streaming: a frontier differing from an earlier one only in its
+    // labeled nulls re-fires the rule isomorphically — every fact it
+    // would derive is a null renaming of facts already derived. Skip it.
+    // Ground frontiers never enter the memo, so non-existential workloads
+    // are byte-identical with streaming on or off.
+    if (cr.memo_eligible) {
+      bool has_null = false;
+      for (const Value& v : frontier) has_null = has_null || v.is_null();
+      if (has_null) {
+        ++stats_.memo_queries;
+        if (pattern_memo_.SeenOrInsert(cr.id, frontier)) {
+          ++stats_.memo_hits;
+          return Status::OK();
+        }
+      }
+    }
     for (uint32_t v : cr.existential_vars) {
       size_t before = db_->nulls()->size();
       uint64_t id = db_->nulls()->Get(cr.id, v, frontier);
@@ -1155,6 +1249,8 @@ Status Engine::EvalStratum(const std::vector<uint32_t>& rule_ids,
     before.resize(num_preds, 0);
   }
   std::vector<size_t> after = sizes();
+  stats_.peak_resident_facts =
+      std::max(stats_.peak_resident_facts, db_->ResidentFacts());
 
   // Semi-naive iterations.
   size_t iteration = 0;
@@ -1171,6 +1267,26 @@ Status Engine::EvalStratum(const std::vector<uint32_t>& rule_ids,
       deltas[p] = {before[p], after[p]};
       delta_total += after[p] - before[p];
     }
+    // Streaming chase: rows below a predicate's delta window were fully
+    // consumed — as the naive pass or an earlier delta anchor — and the
+    // evictability analysis guarantees no plan reads them again, so their
+    // column storage can go. @output rows stream to the sink first.
+    for (uint32_t p = 0; !evictable_.empty() && p < num_preds; ++p) {
+      if (!evictable_[p] || deltas[p].first == 0) continue;
+      Relation* rel = db_->relation(p);
+      const size_t watermark = deltas[p].first;
+      if (watermark <= rel->first_resident()) continue;
+      if (sink_outputs_[p]) {
+        std::vector<Value> tuple(rel->arity());
+        for (size_t r = rel->first_resident(); r < watermark; ++r) {
+          for (size_t pos = 0; pos < tuple.size(); ++pos) {
+            tuple[pos] = rel->at(pos, static_cast<uint32_t>(r));
+          }
+          options_.evict_sink(p, tuple.data(), tuple.size());
+        }
+      }
+      stats_.evicted_rows += db_->EvictBelow(p, watermark);
+    }
     // The per-iteration delta is a property of the semi-naive schedule,
     // not of the execution order, so the histogram is identical at every
     // thread count.
@@ -1186,6 +1302,8 @@ Status Engine::EvalStratum(const std::vector<uint32_t>& rule_ids,
       }
     }
     after = sizes();
+    stats_.peak_resident_facts =
+        std::max(stats_.peak_resident_facts, db_->ResidentFacts());
   }
   return Status::OK();
 }
@@ -1212,6 +1330,18 @@ void Engine::PublishChaseMetrics() {
               diff(stats_.plans_computed, published_.plans_computed));
     MetricAdd(m, "engine.plan.cache_hits",
               diff(stats_.plan_cache_hits, published_.plan_cache_hits));
+    // engine.memory.*: the streaming chase's space account. The peak is a
+    // per-run high-water mark, so it publishes as a gauge, not a counter.
+    if (options_.streaming) {
+      MetricSet(m, "engine.memory.peak_resident_facts",
+                stats_.peak_resident_facts);
+      MetricAdd(m, "engine.memory.evicted_rows",
+                diff(stats_.evicted_rows, published_.evicted_rows));
+      MetricAdd(m, "engine.memory.memo_queries",
+                diff(stats_.memo_queries, published_.memo_queries));
+      MetricAdd(m, "engine.memory.memo_hits",
+                diff(stats_.memo_hits, published_.memo_hits));
+    }
   }
   published_ = stats_;
 }
@@ -1262,17 +1392,23 @@ Result<QueryReport> Engine::Query(const Program& program,
 
   // The rewritten program was already vetted through the source program's
   // pre-flight; its __magic_* constructs sit outside the analyzer's
-  // warded fragment, so the inner run skips the gate.
+  // warded fragment, so the inner run skips the gate. The goal is pinned
+  // so the streaming chase never evicts the predicate the answer scan
+  // below reads.
   const bool saved_preflight = options_.preflight;
+  const QueryGoal* saved_goal = options_.query_goal;
   options_.preflight = false;
+  options_.query_goal = &goal;
   Status st = RunImpl(*query_program_);
   options_.preflight = saved_preflight;
+  options_.query_goal = saved_goal;
   last_abort_status_ = st;
   if (!st.ok()) return st;
 
   QueryReport report;
   report.rewritten = magic.rewritten;
   report.fallback_reason = magic.fallback_reason;
+  report.fallback_code = magic.fallback_code;
   report.rules_pruned = magic.rules_pruned;
   report.magic_rules = magic.magic_rules;
   report.adornments = magic.adornments;
@@ -1287,6 +1423,12 @@ Result<QueryReport> Engine::Query(const Program& program,
     MetricAdd(options_.metrics, "engine.query.runs", 1);
     if (!report.fallback_reason.empty()) {
       MetricAdd(options_.metrics, "engine.query.fallbacks", 1);
+      // Per-cause breakdown: dashboards can tell a structural fallback
+      // (negation, existentials) from an aggregate-escape one.
+      if (!report.fallback_code.empty()) {
+        MetricAdd(options_.metrics,
+                  "engine.query.fallback." + report.fallback_code, 1);
+      }
     }
     MetricAdd(options_.metrics, "engine.query.rules_pruned",
               report.rules_pruned);
@@ -1309,6 +1451,16 @@ Status Engine::RunIncremental(const Program& program) {
         "previous run aborted (" + cause +
         "); the delta window is unreliable — call Run() to re-establish "
         "the fixpoint");
+  }
+  if (db_->HasEvicted()) {
+    // An incremental pass joins new deltas against the FULL old relations;
+    // the streaming chase released exactly that column data.
+    return Status::FailedPrecondition(
+        "the streaming chase evicted " + std::to_string(db_->EvictedRows()) +
+        " fact row(s) from this database; an incremental continuation "
+        "would join against storage that no longer exists — re-run the "
+        "program with streaming off on a fresh database to continue "
+        "incrementally");
   }
   Status st = RunIncrementalImpl(program);
   last_abort_status_ = st;
@@ -1340,6 +1492,32 @@ Status Engine::RunImpl(const Program& program) {
   VL_ASSIGN_OR_RETURN(Stratification strat,
                       Stratify(program, *db_->catalog()));
   stats_.strata = strat.strata.size();
+
+  // Streaming chase setup: decide which predicates may shed exhausted
+  // delta epochs and re-home their relations into paged storage.
+  // Provenance pins every derived row (Explain reads them back), so
+  // eviction stays off under trace_provenance.
+  evictable_.clear();
+  sink_outputs_.clear();
+  pattern_memo_ = PatternMemo();
+  if (options_.streaming && !options_.trace_provenance) {
+    const size_t num_preds = db_->catalog()->predicates.size();
+    const uint32_t goal_pred = options_.query_goal != nullptr
+                                   ? options_.query_goal->atom.predicate
+                                   : UINT32_MAX;
+    evictable_ = ComputeEvictable(program, strat, num_preds,
+                                  options_.evict_sink != nullptr, goal_pred);
+    sink_outputs_.assign(num_preds, false);
+    if (options_.evict_sink != nullptr) {
+      for (uint32_t p : program.outputs) {
+        if (p < num_preds) sink_outputs_[p] = evictable_[p];
+      }
+    }
+    for (uint32_t p = 0; p < num_preds; ++p) {
+      if (evictable_[p]) db_->SetStreaming(p);
+    }
+  }
+
   ScopedSpan span(options_.metrics, "chase", options_.run_ctx);
   for (const auto& stratum_rules : strat.strata) {
     if (!stratum_rules.empty()) {
@@ -1380,6 +1558,10 @@ Status Engine::RunIncrementalImpl(const Program& program) {
   VL_ASSIGN_OR_RETURN(Stratification strat,
                       Stratify(program, *db_->catalog()));
   stats_.strata = strat.strata.size();
+  // Continuations never evict: the incremental delta windows are anchored
+  // at the previous run's sizes, not at this run's consumption frontier.
+  evictable_.clear();
+  sink_outputs_.clear();
   std::vector<size_t> window_start = last_run_sizes_;
   last_run_aborted_ = true;
   ScopedSpan span(options_.metrics, "chase", options_.run_ctx);

@@ -15,6 +15,7 @@
 //  * Semi-naive deltas are index ranges over the append-only relations.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -29,6 +30,7 @@
 #include "datalog/builtins.h"
 #include "datalog/database.h"
 #include "datalog/magic.h"
+#include "datalog/pattern_memo.h"
 #include "datalog/stratify.h"
 
 namespace vadalink::datalog {
@@ -88,6 +90,24 @@ struct EngineOptions {
   /// the chase derives only goal-relevant facts. Not owned; must outlive
   /// the engine calls that use it.
   const QueryGoal* query_goal = nullptr;
+  /// Space-bounded streaming chase (DESIGN.md section 13). Run() releases
+  /// the column storage of exhausted semi-naive delta epochs for every
+  /// predicate the evictability analysis accepts (read only through its
+  /// own delta window), and memoizes labeled-null frontier patterns up to
+  /// null renaming so isomorphic re-firings of existential rules are
+  /// skipped. The final fact set over resident + sunk rows is identical
+  /// to a non-streaming run at every thread count (the memo engages only
+  /// on null-carrying frontiers, which ground-frontier programs never
+  /// produce). Incompatible with trace_provenance (eviction silently
+  /// stays off) and with RunIncremental continuation (rejected with
+  /// kFailedPrecondition once anything was evicted).
+  bool streaming = false;
+  /// Streaming only: rows of @output predicates are handed here right
+  /// before their storage is released, making outputs evictable too.
+  /// Without a sink, output predicates always stay resident. Called
+  /// single-threaded, in row order, during Run().
+  std::function<void(uint32_t predicate, const Value* vals, size_t n)>
+      evict_sink;
 };
 
 /// Outcome of one Engine::Query call.
@@ -99,8 +119,12 @@ struct QueryReport {
   /// empty when `rewritten`, and also for all-free goals, which have no
   /// bound position to push demand from. Never silently dropped: a
   /// non-empty reason is surfaced here and counted in
-  /// "engine.query.fallbacks".
+  /// "engine.query.fallbacks" plus one "engine.query.fallback.<code>"
+  /// counter keyed by the stable slug below.
   std::string fallback_reason;
+  /// Stable slug for fallback_reason (see MagicResult::fallback_code);
+  /// empty exactly when fallback_reason is.
+  std::string fallback_code;
   /// Input rules dropped by the goal-directed dataflow analysis.
   size_t rules_pruned = 0;
   /// Demand (magic + adornment-bridge) rules added by the rewrite.
@@ -125,6 +149,14 @@ struct EngineStats {
   /// Join plans built / served from the per-(rule, delta) cache.
   size_t plans_computed = 0;
   size_t plan_cache_hits = 0;
+  /// Streaming chase (EngineOptions::streaming): high-water mark of
+  /// Database::ResidentFacts() across the run, rows whose column storage
+  /// was released, and pattern-memo traffic (EmitHead consultations /
+  /// suppressed isomorphic re-firings).
+  size_t peak_resident_facts = 0;
+  size_t evicted_rows = 0;
+  size_t memo_queries = 0;
+  size_t memo_hits = 0;
 };
 
 class Engine {
@@ -138,6 +170,12 @@ class Engine {
   /// Evaluates `program` to fixpoint over the engine's database. Facts in
   /// the program are asserted first. Idempotent w.r.t. already present
   /// facts. Aggregate state is reset at the start of each call.
+  ///
+  /// With EngineOptions::streaming, exhausted delta epochs of evictable
+  /// predicates are released as the chase progresses; the final answer
+  /// set (output predicates, query answers) is unchanged, but evicted
+  /// rows are no longer resident afterwards and a later RunIncremental
+  /// on the same database is rejected with kFailedPrecondition.
   ///
   /// Error codes:
   ///  * kInvalidArgument — the static-analysis pre-flight found an error
@@ -179,7 +217,11 @@ class Engine {
   ///  * kInvalidArgument — the previous run aborted (deadline / budget /
   ///    cancellation), so the delta window is unreliable;
   ///  * kUnsupported — the program uses negation, which is not monotonic
-  ///    under fact insertion.
+  ///    under fact insertion;
+  ///  * kFailedPrecondition — the streaming chase evicted facts from this
+  ///    database: a continuation would need to join against column data
+  ///    that no longer exists. Re-run with streaming off (fresh database)
+  ///    to regain incremental continuation.
   Status RunIncremental(const Program& program);
 
   const EngineStats& stats() const { return stats_; }
@@ -233,6 +275,10 @@ class Engine {
     /// '#function' calls (they may intern symbols), and a positive atom
     /// to anchor the plan on and chunk over.
     bool parallel_ok = false;
+    /// Streaming only: the rule invents nulls and its frontier admits
+    /// nulls (analysis/harmful.h), so EmitHead consults the pattern memo
+    /// before firing on a null-carrying frontier.
+    bool memo_eligible = false;
   };
 
   /// One complete body match captured by the parallel collect phase:
@@ -387,6 +433,13 @@ class Engine {
   EngineStats published_;
 
   std::vector<CompiledRule> compiled_;
+  /// Streaming chase state (empty / unused unless options_.streaming).
+  /// evictable_[p] — the evictability analysis accepted predicate p, so
+  /// EvalStratum releases its exhausted delta epochs; sink_outputs_[p] —
+  /// p is an @output streamed through options_.evict_sink on eviction.
+  std::vector<bool> evictable_;
+  std::vector<bool> sink_outputs_;
+  PatternMemo pattern_memo_;
   // (rule id << 16 | delta occurrence + 1) -> cached join plan; cleared
   // by Prepare() at the start of each run.
   std::unordered_map<uint64_t, JoinPlan> plan_cache_;

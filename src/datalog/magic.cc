@@ -598,9 +598,10 @@ MagicResult MagicRewrite(const Program& program, Catalog* catalog,
   const uint32_t goal_pred = goal.atom.predicate;
   DataflowResult df = AnalyzeDemand(program, *catalog, goal.atom);
 
-  auto prune_only = [&](std::string reason) {
+  auto prune_only = [&](std::string code, std::string reason) {
     MagicResult res;
     res.rewritten = false;
+    res.fallback_code = std::move(code);
     res.fallback_reason = std::move(reason);
     res.goal_predicate = goal_pred;
     res.rules_pruned = df.rules_pruned();
@@ -616,10 +617,11 @@ MagicResult MagicRewrite(const Program& program, Catalog* catalog,
   if (goal_mask == 0) {
     // Nothing to demand: every rule in the pruned cone contributes. An
     // empty reason distinguishes "no demand to push" from a fallback.
-    return prune_only("");
+    return prune_only("", "");
   }
   if (goal_pred < df.needs_full.size() && df.needs_full[goal_pred]) {
-    return prune_only("goal predicate '" +
+    return prune_only("needs_full",
+                      "goal predicate '" +
                       catalog->predicates.Name(goal_pred) +
                       "' must be computed in full (read under negation or "
                       "written by a multi-head rule in its own cone)");
@@ -637,6 +639,7 @@ MagicResult MagicRewrite(const Program& program, Catalog* catalog,
           lit.atom.predicate < comp.size() &&
           comp[lit.atom.predicate] == comp[goal_pred]) {
         return prune_only(
+            "negation_in_goal_scc",
             "negation inside the goal's recursive component ('not " +
             catalog->predicates.Name(lit.atom.predicate) + "' at rule " +
             rule.span.ToString() + ")");
@@ -644,6 +647,7 @@ MagicResult MagicRewrite(const Program& program, Catalog* catalog,
     }
     if (!ExistentialVars(rule).empty()) {
       return prune_only(
+          "existential_in_kept_rule",
           "existential variables in goal-relevant rule at " +
           rule.span.ToString() +
           " (labeled-null identity is enumeration-order-sensitive)");
@@ -651,7 +655,7 @@ MagicResult MagicRewrite(const Program& program, Catalog* catalog,
   }
   std::string agg_reason =
       CheckAggregateEscape(program, df, goal_pred, *catalog);
-  if (!agg_reason.empty()) return prune_only(agg_reason);
+  if (!agg_reason.empty()) return prune_only("aggregate_escape", agg_reason);
 
   MagicBuilder builder(program, catalog, goal, df);
   MagicResult res = builder.Build(goal_mask);

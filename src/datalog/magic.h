@@ -56,6 +56,11 @@ Result<QueryGoal> ParseQueryGoal(std::string_view text, Catalog* catalog);
 struct MagicResult {
   bool rewritten = false;
   std::string fallback_reason;
+  /// Stable slug classifying fallback_reason, for metrics and tooling:
+  /// "needs_full", "negation_in_goal_scc", "existential_in_kept_rule" or
+  /// "aggregate_escape". Empty exactly when fallback_reason is (the
+  /// rewrite applied, or an all-free goal left no demand to push).
+  std::string fallback_code;
   Program program;
   uint32_t goal_predicate = 0;
   /// Rules of the input program dropped by the dataflow analysis.

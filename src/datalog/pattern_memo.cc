@@ -1,0 +1,29 @@
+#include "datalog/pattern_memo.h"
+
+namespace vadalink::datalog {
+
+bool PatternMemo::SeenOrInsert(uint32_t rule_id,
+                               const std::vector<Value>& frontier) {
+  // Canonical renaming: nulls get dense ids in first-occurrence order, so
+  // (a, _:n7, _:n7, _:n9) and (a, _:n2, _:n2, _:n5) collapse to the same
+  // pattern while (a, _:n7, _:n9, _:n9) stays distinct.
+  Key key;
+  key.rule_id = rule_id;
+  key.pattern = frontier;
+  std::vector<std::pair<uint64_t, uint64_t>> renaming;  // original -> dense
+  for (Value& v : key.pattern) {
+    if (!v.is_null()) continue;
+    uint64_t dense = renaming.size();
+    for (const auto& [orig, mapped] : renaming) {
+      if (orig == v.null_id()) {
+        dense = mapped;
+        break;
+      }
+    }
+    if (dense == renaming.size()) renaming.emplace_back(v.null_id(), dense);
+    v = Value::Null(dense);
+  }
+  return !patterns_.insert(std::move(key)).second;
+}
+
+}  // namespace vadalink::datalog

@@ -1,0 +1,57 @@
+// Isomorphism memo for labeled-null fact patterns (streaming chase).
+//
+// The Skolem chase memoises invented nulls on (rule, frontier), so two
+// firings with frontiers that differ only in *which* labeled nulls they
+// carry invent distinct nulls — yet the facts they derive are isomorphic:
+// renaming nulls maps one derivation subtree onto the other. On warded
+// programs every query answer is null-free, so at most one representative
+// per isomorphism class contributes answers; the rest only grow the fact
+// store (this is the intuition behind the "harmful join" optimisations in
+// the Vadalog literature).
+//
+// PatternMemo canonicalizes a frontier by renaming its labeled nulls in
+// first-occurrence order (ground values are kept verbatim — two frontiers
+// with different ground parts are never merged). SeenOrInsert answers
+// "was an isomorphic frontier already fired for this rule?", letting the
+// engine skip the re-firing entirely. The engine engages it only for
+// memo-eligible rules of warded programs (analysis/harmful.h) and only
+// when the frontier actually contains a null, so ground-frontier
+// workloads are byte-identical with the memo on or off.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/value.h"
+
+namespace vadalink::datalog {
+
+class PatternMemo {
+ public:
+  /// True if an isomorphic frontier was already recorded for `rule_id`;
+  /// records the canonical pattern otherwise. Call only when `frontier`
+  /// contains at least one labeled null (ground frontiers are already
+  /// deduplicated by the null registry itself).
+  bool SeenOrInsert(uint32_t rule_id, const std::vector<Value>& frontier);
+
+  /// Number of distinct (rule, canonical pattern) classes recorded.
+  size_t size() const { return patterns_.size(); }
+
+ private:
+  struct Key {
+    uint32_t rule_id;
+    std::vector<Value> pattern;
+    bool operator==(const Key& o) const {
+      return rule_id == o.rule_id && pattern == o.pattern;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return HashCombine(k.rule_id, HashValues(k.pattern));
+    }
+  };
+  std::unordered_set<Key, KeyHash> patterns_;
+};
+
+}  // namespace vadalink::datalog

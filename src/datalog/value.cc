@@ -56,6 +56,17 @@ uint64_t HashValues(const Value* vals, size_t n) {
   return HashFinalize(h);
 }
 
+uint64_t HashValues2(const Value* vals, size_t n) {
+  // Independent seed and per-element re-finalization keep this hash
+  // uncorrelated with HashValues: a primary-hash collision gives no
+  // information about a secondary-hash collision.
+  uint64_t h = 0xc2b2ae3d27d4eb4fULL;
+  for (size_t i = 0; i < n; ++i) {
+    h = HashCombine(h, HashFinalize(vals[i].Hash() ^ 0x165667b19e3779f9ULL));
+  }
+  return HashFinalize(h);
+}
+
 uint64_t SkolemRegistry::Get(uint32_t tag_symbol,
                              const std::vector<Value>& args) {
   auto key = std::make_pair(tag_symbol, args);

@@ -123,6 +123,11 @@ inline uint64_t HashValues(const std::vector<Value>& vals) {
   return HashValues(vals.data(), vals.size());
 }
 
+/// Second, independently seeded tuple hash. Streaming relations compare
+/// (HashValues, HashValues2) — an effective 128-bit fingerprint — to test
+/// equality against rows whose column storage was already evicted.
+uint64_t HashValues2(const Value* vals, size_t n);
+
 /// Registry generating deterministic Skolem OIDs.
 ///
 /// An OID is identified by (functor tag, argument tuple). Determinism and

@@ -49,13 +49,17 @@ Json RecoverId(std::string_view line) {
 }
 
 std::string RenderResult(const Json& id, uint64_t graph_version, Json result,
-                         bool cached, bool stale) {
+                         bool cached, bool stale,
+                         int64_t computed_at_version) {
   Json resp = Json::MakeObject();
   resp.Set("id", id);
   resp.Set("ok", Json::Bool(true));
   resp.Set("graph_version", Json::Int(static_cast<int64_t>(graph_version)));
   if (cached) resp.Set("cached", Json::Bool(true));
   if (stale) resp.Set("stale", Json::Bool(true));
+  if (computed_at_version >= 0) {
+    resp.Set("computed_at_version", Json::Int(computed_at_version));
+  }
   resp.Set("result", std::move(result));
   return resp.Dump();
 }

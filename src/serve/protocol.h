@@ -9,11 +9,15 @@
 //
 //   response := { "id": <echo|null>,
 //                 "ok": true,
-//                 "graph_version": int,      // snapshot the result was
-//                                            // computed against
+//                 "graph_version": int,      // current snapshot version at
+//                                            // response time
 //                 "stale"?: true,            // served from cache because a
 //                                            // fresh run would bust the
 //                                            // deadline
+//                 "computed_at_version"?: int, // stale only: the (older)
+//                                            // snapshot the cached result
+//                                            // was actually computed
+//                                            // against
 //                 "cached"?: true,           // served from cache (fresh)
 //                 "result": object }
 //             | { "id": <echo|null>,
@@ -64,8 +68,13 @@ Result<Request> ParseRequest(std::string_view line);
 Json RecoverId(std::string_view line);
 
 /// Renders a success response line (no trailing newline).
+/// `computed_at_version` >= 0 adds the "computed_at_version" field — stale
+/// cache hits pass the cached entry's snapshot version here so clients can
+/// tell how old the answer actually is (graph_version alone names the
+/// *current* snapshot, which a stale result was not computed against).
 std::string RenderResult(const Json& id, uint64_t graph_version, Json result,
-                         bool cached = false, bool stale = false);
+                         bool cached = false, bool stale = false,
+                         int64_t computed_at_version = -1);
 
 /// Renders an error response line from a Status (no trailing newline).
 /// `retry_after_ms` >= 0 adds the load-shed hint.

@@ -231,8 +231,12 @@ std::string ReasoningService::HandleKeyed(const Request& req,
   auto degrade = [&](const Status& trip) -> std::string {
     if (hit) {
       MetricAdd(metrics_, "serve.cache.stale_served", 1);
-      return RenderResult(req.id, cached.version, cached.result,
-                          /*cached=*/true, /*stale=*/true);
+      // graph_version always names the *current* snapshot; the stale
+      // entry's own version travels in computed_at_version so the client
+      // can see how far behind the answer is.
+      return RenderResult(req.id, snap->version, cached.result,
+                          /*cached=*/true, /*stale=*/true,
+                          static_cast<int64_t>(cached.version));
     }
     MetricAdd(metrics_, "serve.requests.errors", 1);
     return RenderError(req.id, trip);
@@ -347,6 +351,7 @@ Result<Json> ReasoningService::OpCloseLinks(const Request& req,
   VL_RETURN_NOT_OK(ValidateNode(snap, company, "company"));
   company::CloseLinkConfig cfg;
   cfg.threshold = threshold;
+  cfg.metrics = metrics_;
   auto c = static_cast<graph::NodeId>(company);
   // Goal-directed when query_mode is on: CloseLinksOf explores only the
   // ownership cone around c and returns exactly the AllCloseLinks edges

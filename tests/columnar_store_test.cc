@@ -143,6 +143,130 @@ TEST(ColumnarStoreTest, IndexMaintainedIncrementally) {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming (paged) storage and eviction
+// ---------------------------------------------------------------------------
+
+TEST(ColumnarStoreTest, StreamingEvictionReleasesRowsKeepsDedup) {
+  Catalog catalog;
+  Database db(&catalog);
+  const uint32_t p = catalog.predicates.Intern("e");
+  db.SetStreaming(p);
+  Relation* rel = db.relation(p);
+  // Two full pages plus change, so whole-page release actually happens.
+  const int64_t kRows = 2 * 4096 + 100;
+  for (int64_t i = 0; i < kRows; ++i) {
+    ASSERT_TRUE(*db.Insert(p, {Value::Int(i), Value::Int(i * 2)}));
+  }
+  EXPECT_EQ(db.ResidentFacts(), static_cast<size_t>(kRows));
+  EXPECT_FALSE(db.HasEvicted());
+
+  const uint64_t epoch_before = rel->epoch();
+  const size_t watermark = 4096 + 500;
+  EXPECT_EQ(db.EvictBelow(p, watermark), watermark);
+  EXPECT_EQ(rel->first_resident(), watermark);
+  EXPECT_EQ(rel->size(), static_cast<size_t>(kRows));  // logical size keeps counting
+  EXPECT_EQ(rel->resident_size(), kRows - watermark);
+  EXPECT_EQ(db.ResidentFacts(), kRows - watermark);
+  EXPECT_EQ(db.EvictedRows(), watermark);
+  EXPECT_TRUE(db.HasEvicted());
+  // Readers must learn their cached state is stale.
+  EXPECT_GT(rel->epoch(), epoch_before);
+
+  // Scans iterate exactly the resident suffix (size() stays the absolute
+  // end bound so stable row ids keep working as indexes).
+  RelationScan scan = db.Scan(p);
+  EXPECT_EQ(scan.size(), static_cast<size_t>(kRows));
+  EXPECT_EQ((*scan.begin())[0], Value::Int(static_cast<int64_t>(watermark)));
+  size_t visited = 0;
+  for (RowRef row : scan) {
+    (void)row;
+    ++visited;
+  }
+  EXPECT_EQ(visited, kRows - watermark);
+
+  // Resident cells read back through the paged accessor.
+  EXPECT_EQ(rel->at(1, static_cast<uint32_t>(kRows - 1)),
+            Value::Int((kRows - 1) * 2));
+
+  // An evicted row is still a known fact: duplicates are rejected via the
+  // retained 128-bit hashes and membership stays true.
+  auto dup = db.Insert(p, {Value::Int(7), Value::Int(14)});
+  ASSERT_TRUE(dup.ok());
+  EXPECT_FALSE(*dup);
+  EXPECT_TRUE(db.relation(p)->Contains({Value::Int(7), Value::Int(14)}));
+  EXPECT_EQ(rel->size(), static_cast<size_t>(kRows));
+
+  // Fresh rows still insert and dedup normally after eviction.
+  ASSERT_TRUE(*db.Insert(p, {Value::Int(-1), Value::Int(-2)}));
+  EXPECT_FALSE(*db.Insert(p, {Value::Int(-1), Value::Int(-2)}));
+  EXPECT_EQ(rel->size(), static_cast<size_t>(kRows) + 1);
+}
+
+TEST(ColumnarStoreTest, StreamingEvictionPrunesPostingLists) {
+  Catalog catalog;
+  Database db(&catalog);
+  const uint32_t p = catalog.predicates.Intern("e");
+  db.SetStreaming(p);
+  for (int64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(db.Insert(p, {Value::Int(i % 4), Value::Int(i)}).ok());
+  }
+  const Relation* rel = db.relation(p);
+  rel->WarmIndex(0);
+  ASSERT_EQ(rel->Probe(0, Value::Int(1)).size(), 10u);
+
+  ASSERT_EQ(db.EvictBelow(p, 20), 20u);
+  // Only resident rows remain in the posting lists, still ascending.
+  PostingView hits = rel->Probe(0, Value::Int(1));
+  EXPECT_EQ(hits.size(), 5u);
+  for (uint32_t row : hits) {
+    EXPECT_GE(row, 20u);
+    EXPECT_EQ(rel->at(0, row), Value::Int(1));
+  }
+  // Rows inserted after the eviction are indexed as usual.
+  ASSERT_TRUE(*db.Insert(p, {Value::Int(1), Value::Int(100)}));
+  EXPECT_EQ(rel->Probe(0, Value::Int(1)).size(), 6u);
+}
+
+TEST(ColumnarStoreTest, EvictBelowClampsAndIsIdempotent) {
+  Catalog catalog;
+  Database db(&catalog);
+  const uint32_t p = catalog.predicates.Intern("e");
+  db.SetStreaming(p);
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.Insert(p, {Value::Int(i)}).ok());
+  }
+  EXPECT_EQ(db.EvictBelow(p, 0), 0u);
+  EXPECT_EQ(db.EvictBelow(p, 6), 6u);
+  // Same or lower watermark: nothing more to release.
+  EXPECT_EQ(db.EvictBelow(p, 6), 0u);
+  EXPECT_EQ(db.EvictBelow(p, 3), 0u);
+  // A watermark beyond the relation clamps to the logical size.
+  EXPECT_EQ(db.EvictBelow(p, 1000), 4u);
+  EXPECT_EQ(db.relation(p)->resident_size(), 0u);
+  EXPECT_EQ(db.ResidentFacts(), 0u);
+  EXPECT_EQ(db.TotalFacts(), 10u);
+}
+
+TEST(ColumnarStoreTest, SetStreamingMigratesExistingRows) {
+  Catalog catalog;
+  Database db(&catalog);
+  const uint32_t p = catalog.predicates.Intern("e");
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Insert(p, {Value::Int(i), Value::Int(i + 1)}).ok());
+  }
+  db.SetStreaming(p);
+  db.SetStreaming(p);  // idempotent
+  const Relation* rel = db.relation(p);
+  EXPECT_TRUE(rel->streaming());
+  // Pre-migration rows read back and dedup through the paged storage.
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(rel->at(1, static_cast<uint32_t>(i)), Value::Int(i + 1));
+    EXPECT_FALSE(*db.Insert(p, {Value::Int(i), Value::Int(i + 1)}));
+  }
+  EXPECT_EQ(rel->size(), 50u);
+}
+
+// ---------------------------------------------------------------------------
 // Join planner
 // ---------------------------------------------------------------------------
 

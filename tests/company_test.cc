@@ -403,6 +403,35 @@ TEST(CloseLinkTest, ThresholdKnob) {
   EXPECT_FALSE(pairs.count({q.first, q.second}));
 }
 
+TEST(CloseLinkTest, MultiRootSweepAccountsEveryTruncatedRoot) {
+  // B <-> C never decays, so every root whose walks reach the cycle runs
+  // out of depth. A sweep that silently dropped those partial sums would
+  // under-report close links; instead each truncated per-root enumeration
+  // must land in company.ownership.path_truncations — one per root.
+  CompanyGraphBuilder b;
+  for (const char* c : {"A", "B", "C", "D"}) b.Company(c);
+  b.Own("A", "B", 1.0);
+  b.Own("B", "C", 1.0);
+  b.Own("C", "B", 1.0);
+  b.Own("D", "C", 1.0);
+  auto cg = Build(b);
+  MetricsRegistry metrics;
+  CloseLinkConfig cfg;
+  cfg.exact_paths = false;  // walk-sum fixpoint with its depth governor
+  cfg.ownership.max_depth = 4;
+  cfg.metrics = &metrics;
+  auto links = AllCloseLinks(cg, cfg);
+  EXPECT_FALSE(links.empty());
+  // All four sources hold shares and every walk set reaches the
+  // non-decaying cycle: four truncated roots, four counts.
+  EXPECT_EQ(metrics.CounterValue("company.ownership.path_truncations"), 4u);
+  // Without a metrics sink the same sweep is silent but must not crash.
+  cfg.metrics = nullptr;
+  auto links_again = AllCloseLinks(cg, cfg);
+  EXPECT_EQ(links_again.size(), links.size());
+  EXPECT_EQ(metrics.CounterValue("company.ownership.path_truncations"), 4u);
+}
+
 // CloseLinksOf(c) must be byte-identical to AllCloseLinks filtered to
 // pairs involving c — same keys, reasons, via nodes and precedence — for
 // every node and both Phi modes. The serve layer's cold `closelinks` path

@@ -173,6 +173,38 @@ TEST_F(IncrementalTest, RejectedAfterAbortedRun) {
   EXPECT_EQ(db.Scan("tc").size(), 66u);
 }
 
+TEST_F(IncrementalTest, RejectedAfterStreamingEviction) {
+  auto program = Parse(R"(
+    e(X,Y) -> tc(X,Y).
+    tc(X,Y), e(Y,Z) -> tc(X,Z).
+  )");
+  ASSERT_TRUE(program.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        db.InsertByName("e", {Value::Int(i), Value::Int(i + 1)}).ok());
+  }
+  EngineOptions options;
+  options.streaming = true;
+  Engine engine(&db, options);
+  ASSERT_TRUE(engine.Run(*program).ok());
+  // The chain forces many semi-naive iterations, so exhausted tc epochs
+  // were actually released; the logical fact set is untouched.
+  ASSERT_TRUE(db.HasEvicted());
+  EXPECT_EQ(db.TotalFacts(), 20u + 210u);
+
+  // An incremental continuation would join new deltas against column
+  // storage that no longer exists: the engine must refuse with a clear
+  // precondition failure, not silently under-derive.
+  ASSERT_TRUE(db.InsertByName("e", {Value::Int(20), Value::Int(21)}).ok());
+  Status inc = engine.RunIncremental(*program);
+  EXPECT_EQ(inc.code(), StatusCode::kFailedPrecondition) << inc.ToString();
+  EXPECT_NE(inc.message().find("evicted"), std::string::npos)
+      << inc.message();
+  // The refusal is stable: retrying does not change the answer.
+  EXPECT_EQ(engine.RunIncremental(*program).code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST_F(IncrementalTest, ExistentialNullsNotReinvented) {
   auto program = Parse(R"(
     p(X) -> q(X, N).

@@ -215,6 +215,7 @@ TEST(MagicRewrite, ExistentialRulesFallBack) {
   EXPECT_FALSE(res.rewritten);
   EXPECT_NE(res.fallback_reason.find("existential"), std::string::npos)
       << res.fallback_reason;
+  EXPECT_EQ(res.fallback_code, "existential_in_kept_rule");
 }
 
 TEST(MagicRewrite, MultiHeadGoalFallsBackToFullCone) {
@@ -230,6 +231,7 @@ TEST(MagicRewrite, MultiHeadGoalFallsBackToFullCone) {
   EXPECT_FALSE(res.rewritten);
   EXPECT_NE(res.fallback_reason.find("in full"), std::string::npos)
       << res.fallback_reason;
+  EXPECT_EQ(res.fallback_code, "needs_full");
 }
 
 TEST(MagicRewrite, NegationInsideGoalSccFallsBack) {
@@ -249,6 +251,31 @@ TEST(MagicRewrite, NegationInsideGoalSccFallsBack) {
   EXPECT_FALSE(res.rewritten);
   EXPECT_NE(res.fallback_reason.find("negation"), std::string::npos)
       << res.fallback_reason;
+  // The goal itself is read under negation, so the dataflow analysis
+  // pins it to full evaluation before the SCC walk even runs.
+  EXPECT_EQ(res.fallback_code, "needs_full");
+}
+
+TEST(MagicRewrite, NegationThroughMutualRecursionFallsBack) {
+  // The goal is never negated itself, but its recursive component reads
+  // a sibling predicate under negation. The dataflow needs_full marking
+  // closes downward through rule bodies, so the negated sibling drags the
+  // goal to full evaluation before the SCC walk can issue its own code;
+  // "negation_in_goal_scc" stays as a defensive backstop behind it.
+  Catalog cat;
+  auto program = ParseProgram(R"(
+    e(1, 2). e(2, 3).
+    e(X, Y) -> q(X, Y).
+    q(X, Y), e(Y, Z), not r(X, Z) -> q(X, Z).
+    q(X, Y) -> r(Y, X).
+  )",
+                              &cat);
+  ASSERT_TRUE(program.ok());
+  auto goal = ParseQueryGoal("q(1, X)", &cat);
+  ASSERT_TRUE(goal.ok());
+  MagicResult res = MagicRewrite(*program, &cat, *goal);
+  EXPECT_FALSE(res.rewritten);
+  EXPECT_EQ(res.fallback_code, "needs_full");
 }
 
 TEST(MagicRewrite, StratifiedNegationOutsideGoalSccRewrites) {
@@ -320,6 +347,7 @@ TEST(MagicRewrite, NonMonotoneAggregateGuardFallsBack) {
   EXPECT_FALSE(res.rewritten);
   EXPECT_NE(res.fallback_reason.find("non-monotone"), std::string::npos)
       << res.fallback_reason;
+  EXPECT_EQ(res.fallback_code, "aggregate_escape");
 }
 
 TEST(MagicRewrite, GoalCarryingAggregateValueFallsBack) {
@@ -337,6 +365,45 @@ TEST(MagicRewrite, GoalCarryingAggregateValueFallsBack) {
   EXPECT_FALSE(res.rewritten);
   EXPECT_NE(res.fallback_reason.find("running aggregate"), std::string::npos)
       << res.fallback_reason;
+  EXPECT_EQ(res.fallback_code, "aggregate_escape");
+}
+
+TEST(MagicRewrite, FallbackCodeSurfacesInQueryReportAndMetrics) {
+  // The slug must ride the whole way: MagicResult -> QueryReport ->
+  // one engine.query.fallback.<code> counter an operator can alert on,
+  // instead of a free-text reason that only shows up in logs.
+  Catalog cat;
+  Database db(&cat);
+  auto program = ParseProgram(R"(
+    own(1, 2, 4). own(1, 3, 5).
+    own(X, Y, W), S = msum(W, <Y>) -> total(X, S).
+  )",
+                              &cat);
+  ASSERT_TRUE(program.ok());
+  auto goal = ParseQueryGoal("total(1, S)", &cat);
+  ASSERT_TRUE(goal.ok());
+  MetricsRegistry metrics;
+  EngineOptions opts;
+  opts.metrics = &metrics;
+  Engine engine(&db, opts);
+  auto report = engine.Query(*program, *goal);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->rewritten);
+  EXPECT_EQ(report->fallback_code, "aggregate_escape");
+  EXPECT_FALSE(report->answers.empty());
+  EXPECT_EQ(metrics.CounterValue("engine.query.fallbacks"), 1u);
+  EXPECT_EQ(
+      metrics.CounterValue("engine.query.fallback.aggregate_escape"), 1u);
+
+  // A goal the rewrite handles increments neither counter.
+  auto ok_goal = ParseQueryGoal("own(1, Y, W)", &cat);
+  ASSERT_TRUE(ok_goal.ok());
+  auto ok_report = engine.Query(*program, *ok_goal);
+  ASSERT_TRUE(ok_report.ok()) << ok_report.status().ToString();
+  EXPECT_TRUE(ok_report->fallback_code.empty());
+  EXPECT_EQ(metrics.CounterValue("engine.query.fallbacks"), 1u);
+  EXPECT_EQ(
+      metrics.CounterValue("engine.query.fallback.aggregate_escape"), 1u);
 }
 
 TEST(MagicRewrite, MonotoneThresholdGuardIsAccepted) {
@@ -371,6 +438,7 @@ TEST(MagicRewrite, AllFreeGoalPrunesOnly) {
   MagicResult res = MagicRewrite(*program, &cat, *goal);
   EXPECT_FALSE(res.rewritten);
   EXPECT_TRUE(res.fallback_reason.empty());  // no demand, not a fallback
+  EXPECT_TRUE(res.fallback_code.empty());
   // The q rule is irrelevant to p and dropped.
   EXPECT_EQ(res.rules_pruned, 1u);
   EXPECT_EQ(res.program.rules.size(), 1u);

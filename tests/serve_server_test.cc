@@ -140,7 +140,11 @@ TEST_F(ServerTest, DeadlineBustedHotKeyServedStaleOverTcp) {
   ASSERT_TRUE(resp->Find("ok")->AsBool()) << resp->Dump();
   ASSERT_NE(resp->Find("stale"), nullptr);
   EXPECT_TRUE(resp->Find("stale")->AsBool());
-  EXPECT_EQ(resp->Find("graph_version")->AsInt(), 1);
+  // A stale answer reports the current snapshot version; the version the
+  // cached result was computed against rides along separately.
+  EXPECT_EQ(resp->Find("graph_version")->AsInt(), 2);
+  ASSERT_NE(resp->Find("computed_at_version"), nullptr);
+  EXPECT_EQ(resp->Find("computed_at_version")->AsInt(), 1);
 
   // Cold key -> deterministic DeadlineExceeded.
   Json cold = Json::MakeObject();

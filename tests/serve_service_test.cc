@@ -90,6 +90,8 @@ TEST_F(ServiceTest, SecondIdenticalQueryIsCached) {
   ASSERT_NE(second.Find("cached"), nullptr);
   EXPECT_TRUE(second.Find("cached")->AsBool());
   EXPECT_EQ(second.Find("stale"), nullptr);  // current version, not stale
+  // A fresh hit was computed at the current version; no separate marker.
+  EXPECT_EQ(second.Find("computed_at_version"), nullptr);
   EXPECT_EQ(second.Find("result")->Dump(), first.Find("result")->Dump());
 }
 
@@ -122,7 +124,12 @@ TEST_F(ServiceTest, ExpiredDeadlineFallsBackToStaleCachedResult) {
   ASSERT_TRUE(resp.Find("ok")->AsBool()) << resp.Dump();
   ASSERT_NE(resp.Find("stale"), nullptr);
   EXPECT_TRUE(resp.Find("stale")->AsBool());
-  EXPECT_EQ(resp.Find("graph_version")->AsInt(), 1);  // the stale version
+  // graph_version is the snapshot the SERVER is at; the version the
+  // cached answer was computed against rides separately, so a client can
+  // tell exactly how far behind the degraded answer is.
+  EXPECT_EQ(resp.Find("graph_version")->AsInt(), 2);
+  ASSERT_NE(resp.Find("computed_at_version"), nullptr);
+  EXPECT_EQ(resp.Find("computed_at_version")->AsInt(), 1);
 
   // Cold key + expired deadline: nothing to degrade to -> deterministic
   // DeadlineExceeded error.

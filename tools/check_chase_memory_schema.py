@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validate BENCH_chase_memory.json against tools/chase_memory_schema.json.
+
+Usage: check_chase_memory_schema.py <BENCH_chase_memory.json> [more.json ...]
+
+Checks (stdlib only, no third-party deps):
+  * the required top-level keys exist and schema_version matches;
+  * workloads is a non-empty array and every workload carries name, nodes,
+    full, streaming, ratio and identical;
+  * the full block carries peak_resident_facts / total_facts / seconds and
+    the streaming block additionally evicted_rows, memo_queries, memo_hits
+    and memo_hit_rate, counts as non-negative integers and the rest as
+    non-negative numbers;
+  * the correctness invariants hold: identical == true for every workload
+    (the streaming chase may only change storage residency, never the
+    answer set), streaming peak_resident_facts <= full peak_resident_facts,
+    memo_hits <= memo_queries, and the suite block's ratio agrees with its
+    peak counters.
+
+Exit code 0 when every document conforms, 1 with one line per violation
+otherwise.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def is_count(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool) and v >= 0
+
+
+def check_run(where, run_key, run, fields, count_fields, err):
+    if not isinstance(run, dict):
+        err(f"{where}: '{run_key}' is not an object")
+        return False
+    for field in fields:
+        v = run.get(field)
+        if field in count_fields:
+            if not is_count(v):
+                err(f"{where}: {run_key}.{field} is not a non-negative "
+                    f"integer")
+        elif not is_number(v):
+            err(f"{where}: {run_key}.{field} is not a non-negative number")
+    return True
+
+
+def check_document(path, schema, errors):
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err(f"unreadable or invalid JSON ({e})")
+        return
+
+    for key in schema["required_top_level_keys"]:
+        if key not in doc:
+            err(f"missing top-level key '{key}'")
+    if doc.get("schema_version") != schema["schema_version"]:
+        err(f"schema_version {doc.get('schema_version')!r} != "
+            f"{schema['schema_version']}")
+    if doc.get("bench") != "chase_memory":
+        err(f"'bench' is {doc.get('bench')!r}, expected 'chase_memory'")
+
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list):
+        err("'workloads' is not an array")
+        return
+    if schema["invariants"]["workloads_non_empty"] and not workloads:
+        err("'workloads' is empty")
+
+    count_fields = {"peak_resident_facts", "total_facts", "evicted_rows",
+                    "memo_queries", "memo_hits"}
+    for i, w in enumerate(workloads):
+        where = f"workloads[{i}]"
+        if not isinstance(w, dict):
+            err(f"{where} is not an object")
+            continue
+        name = w.get("name")
+        if isinstance(name, str) and name:
+            where = f"workloads[{i}] ({name})"
+        for field in schema["workload_fields"]:
+            if field not in w:
+                err(f"{where}: missing '{field}'")
+        if not isinstance(name, str) or not name:
+            err(f"{where}: 'name' is not a non-empty string")
+        if not is_count(w.get("nodes")) or w.get("nodes") == 0:
+            err(f"{where}: 'nodes' is not a positive integer")
+        full_ok = check_run(where, "full", w.get("full"),
+                            schema["full_fields"], count_fields, err)
+        streaming_ok = check_run(where, "streaming", w.get("streaming"),
+                                 schema["streaming_fields"], count_fields,
+                                 err)
+        if not is_number(w.get("ratio")):
+            err(f"{where}: 'ratio' is not a non-negative number")
+        if schema["invariants"]["identical_must_be_true"] and \
+                w.get("identical") is not True:
+            err(f"{where}: identical != true — streaming and full answer "
+                f"sets differ")
+        if full_ok and streaming_ok:
+            full_peak = w["full"].get("peak_resident_facts")
+            stream_peak = w["streaming"].get("peak_resident_facts")
+            if schema["invariants"]["streaming_peak_le_full_peak"] and \
+                    is_count(full_peak) and is_count(stream_peak) and \
+                    stream_peak > full_peak:
+                err(f"{where}: streaming peak {stream_peak} exceeds full "
+                    f"peak {full_peak}")
+            queries = w["streaming"].get("memo_queries")
+            hits = w["streaming"].get("memo_hits")
+            if schema["invariants"]["memo_hits_le_queries"] and \
+                    is_count(queries) and is_count(hits) and hits > queries:
+                err(f"{where}: memo_hits {hits} exceeds memo_queries "
+                    f"{queries}")
+            rate = w["streaming"].get("memo_hit_rate")
+            if is_number(rate) and rate > 1.0:
+                err(f"{where}: memo_hit_rate {rate} exceeds 1.0")
+
+    suite = doc.get("suite")
+    if not isinstance(suite, dict):
+        err("'suite' is not an object")
+        return
+    for field in schema["suite_fields"]:
+        if field not in suite:
+            err(f"suite: missing '{field}'")
+    for field in ("full_peak_resident_facts", "streaming_peak_resident_facts"):
+        if not is_count(suite.get(field)):
+            err(f"suite: '{field}' is not a non-negative integer")
+    for field in ("ratio", "bound"):
+        if not is_number(suite.get(field)):
+            err(f"suite: '{field}' is not a non-negative number")
+    if not isinstance(suite.get("within_bound"), bool):
+        err("suite: 'within_bound' is not a boolean")
+    full_peak = suite.get("full_peak_resident_facts")
+    stream_peak = suite.get("streaming_peak_resident_facts")
+    ratio = suite.get("ratio")
+    if is_count(full_peak) and full_peak > 0 and is_count(stream_peak) and \
+            is_number(ratio):
+        expected = stream_peak / full_peak
+        if abs(expected - ratio) > 0.001:
+            err(f"suite: ratio {ratio} disagrees with "
+                f"{stream_peak}/{full_peak} = {expected:.4f}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("bench_files", nargs="+")
+    parser.add_argument("--schema",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "chase_memory_schema.json"))
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    errors = []
+    for path in args.bench_files:
+        check_document(path, schema, errors)
+
+    if errors:
+        for e in errors:
+            print(f"SCHEMA VIOLATION: {e}", file=sys.stderr)
+        return 1
+    print(f"{len(args.bench_files)} chase-memory document(s) conform to "
+          f"schema v{schema['schema_version']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
