@@ -137,7 +137,8 @@ int RunSaturation(const Workload& w, const graph::PropertyGraph& g,
 int RunQuery(const Workload& w, const graph::PropertyGraph& g, size_t threads,
              int64_t goal_node, bench::EngineRunReport* report,
              uint64_t* facts, std::vector<std::string>* answers,
-             bool* fell_back, std::vector<std::string>* plans) {
+             bool* fell_back, std::vector<std::string>* plans,
+             double* estimated_cost = nullptr, uint64_t* plan_us = nullptr) {
   datalog::Catalog catalog;
   datalog::Database db(&catalog);
   if (auto st = core::LoadGraphFacts(g, &db); !st.ok()) {
@@ -179,6 +180,8 @@ int RunQuery(const Workload& w, const graph::PropertyGraph& g, size_t threads,
   report->plans_computed = stats.plans_computed;
   report->plan_cache_hits = stats.plan_cache_hits;
   *fell_back = !rep->rewritten;
+  if (estimated_cost != nullptr) *estimated_cost = rep->estimated_cost;
+  if (plan_us != nullptr) *plan_us = rep->plan_us;
   if (plans != nullptr) *plans = engine.PlanSummaries();
   answers->clear();
   for (const auto& t : rep->answers) {
@@ -204,12 +207,14 @@ int RunSuite(const std::string& json_path) {
     bool fell_back = false, fell_back_mt = false;
     std::vector<std::string> sat1, sat8, q1, q8;
     bench::EngineRunReport sat_mt, q_mt;
+    double estimated_cost = 0.0;
+    uint64_t plan_us = 0;
     if (RunSaturation(w, g, 1, &goal_node, &r.worst_case, &sat_facts,
                       &sat1) != 0 ||
         RunSaturation(w, g, 8, &goal_node, &sat_mt, &sat_facts_mt, &sat8) !=
             0 ||
         RunQuery(w, g, 1, goal_node, &r.planned, &q_facts, &q1, &fell_back,
-                 &r.plans) != 0 ||
+                 &r.plans, &estimated_cost, &plan_us) != 0 ||
         RunQuery(w, g, 8, goal_node, &q_mt, &q_facts_mt, &q8, &fell_back_mt,
                  nullptr) != 0) {
       return 1;
@@ -224,6 +229,14 @@ int RunSuite(const std::string& json_path) {
         sat_facts > q_facts ? sat_facts - q_facts : 0;
     r.query_fallback_count =
         (fell_back ? 1u : 0u) + (fell_back_mt ? 1u : 0u);
+    // Estimated-vs-actual: the static estimate over the join probes the
+    // planned query run actually issued (the work proxy the cost model
+    // simulates). > 1 = the model over-estimated, < 1 = under-estimated.
+    r.query_estimated_cost = estimated_cost;
+    r.query_plan_us = plan_us;
+    r.query_cost_ratio =
+        estimated_cost /
+        std::max(1.0, static_cast<double>(r.planned.join_probes));
     std::printf(
         "%-16s goal %s(%lld, X) | query %.4fs %6llu facts | saturation "
         "%.4fs %6llu facts | speedup %5.1fx | avoided %llu | agree %s\n",

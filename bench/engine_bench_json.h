@@ -52,6 +52,13 @@ struct EngineWorkloadReport {
   double query_speedup = 0;        // saturation seconds / query seconds
   uint64_t query_facts_avoided = 0;  // saturation-only derived facts
   uint64_t query_fallback_count = 0;  // 1 if the rewrite fell back
+  /// Estimated-vs-actual cost comparison of the query run: the static
+  /// estimate attached to the QueryReport, the planning time it took to
+  /// produce it, and estimate / actual join probes (how far off the
+  /// static model was; 1.0 = exact).
+  double query_estimated_cost = 0;
+  uint64_t query_plan_us = 0;
+  double query_cost_ratio = 0;
 };
 
 /// Sorted, rendered copy of the whole fact base; equal fingerprints mean
@@ -115,10 +122,15 @@ inline bool WriteEngineBenchJson(
     if (r.has_query_focus) {
       std::fprintf(f,
                    "\n     \"query_focus\": {\"speedup\": %.2f, "
-                   "\"facts_avoided\": %llu, \"fallback_count\": %llu},",
+                   "\"facts_avoided\": %llu, \"fallback_count\": %llu, "
+                   "\"estimated_cost\": %.6g, \"plan_us\": %llu, "
+                   "\"cost_ratio\": %.4f},",
                    r.query_speedup,
                    static_cast<unsigned long long>(r.query_facts_avoided),
-                   static_cast<unsigned long long>(r.query_fallback_count));
+                   static_cast<unsigned long long>(r.query_fallback_count),
+                   r.query_estimated_cost,
+                   static_cast<unsigned long long>(r.query_plan_us),
+                   r.query_cost_ratio);
     }
     std::fprintf(f, "\n     \"plans\": [");
     for (size_t i = 0; i < r.plans.size(); ++i) {

@@ -1,9 +1,12 @@
 #include "datalog/analysis/analyzer.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
+#include <tuple>
 
+#include "datalog/analysis/cost.h"
 #include "datalog/stratify.h"
 #include "datalog/warded.h"
 
@@ -48,6 +51,13 @@ std::string JoinNames(const std::vector<std::string>& names) {
 
 SourceSpan SpanOr(const SourceSpan& preferred, const SourceSpan& fallback) {
   return preferred.known() ? preferred : fallback;
+}
+
+/// Renders a cost estimate for diagnostic messages ("1.2e+09", "64").
+std::string FormatCost(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
 }
 
 struct Analyzer {
@@ -518,6 +528,90 @@ struct Analyzer {
     }
   }
 
+  // ---- pass 5: cost & termination (opt-in) -------------------------------
+
+  void CheckCost() {
+    const CostReport cr = AnalyzeCost(program, cat, options.cost_options);
+
+    for (uint32_t r = 0; r < program.rules.size(); ++r) {
+      const Rule& rule = program.rules[r];
+      const RuleCostEstimate& est = cr.rules[r];
+      const std::string head_pred =
+          rule.head.empty() ? "" : PredName(rule.head[0].predicate);
+      if (est.cartesian) {
+        Add(Severity::kWarning, "VL040", r, head_pred, rule.span,
+            "rule body is a cartesian product: its positive atoms split "
+            "into variable-disjoint groups (estimated " +
+                FormatCost(est.output_rows) + " bindings)",
+            "join the groups on a shared variable, or split the rule so "
+            "each part is connected");
+      }
+      if (est.unbound_self_join) {
+        Add(Severity::kWarning, "VL041", r, PredName(est.self_join_pred),
+            rule.span,
+            "unbound self-join: two occurrences of " +
+                PredName(est.self_join_pred) +
+                " share no variable, enumerating all pairs",
+            "join the two occurrences on a shared variable or use distinct "
+            "predicates");
+      }
+      if (est.output_rows > options.cost_options.rule_output_budget) {
+        Add(Severity::kWarning, "VL042", r, head_pred, rule.span,
+            "estimated rule output " + FormatCost(est.output_rows) +
+                " rows exceeds the cost budget " +
+                FormatCost(options.cost_options.rule_output_budget),
+            "add a more selective body atom or raise --cost-budget if the "
+            "size is intended");
+      }
+    }
+
+    for (size_t i = 0; i < cr.warded_only_components.size(); ++i) {
+      const std::vector<uint32_t>& members = cr.warded_only_components[i];
+      if (members.empty()) continue;
+      std::string names;
+      for (size_t m = 0; m < members.size(); ++m) {
+        if (m > 0) names += ", ";
+        names += PredName(members[m]);
+      }
+      const uint32_t witness = cr.warded_only_witness_rule[i];
+      SourceSpan at;
+      if (witness != UINT32_MAX && witness < program.rules.size()) {
+        at = program.rules[witness].span;
+      }
+      Add(Severity::kWarning, "VL050",
+          witness == UINT32_MAX ? Diagnostic::kNoRule : witness,
+          PredName(members[0]), at,
+          "recursive component {" + names +
+              "} invents labeled nulls that feed back into the cycle; "
+              "termination is guaranteed only by the warded chase",
+          "expect null-pattern memoization to engage; bound the recursion "
+          "explicitly if the blow-up is unintended");
+    }
+
+    // Fill the structured cost block for lint --cost --json.
+    report.cost.present = true;
+    report.cost.program_cost = cr.program_cost;
+    report.cost.recursive_sccs = cr.recursive_sccs;
+    report.cost.warded_only_sccs = cr.warded_only_sccs;
+    for (uint32_t p = 0; p < cr.predicates.size(); ++p) {
+      CostPredicateEntry e;
+      e.predicate = PredName(p);
+      e.lo = cr.predicates[p].lo;
+      e.hi = cr.predicates[p].hi;
+      e.growth = SccGrowthName(cr.growth[p]);
+      report.cost.predicates.push_back(std::move(e));
+    }
+    for (uint32_t r = 0; r < cr.rules.size(); ++r) {
+      CostRuleEntry e;
+      e.rule = r;
+      e.join_cost = cr.rules[r].join_cost;
+      e.output_rows = cr.rules[r].output_rows;
+      e.cartesian = cr.rules[r].cartesian;
+      e.unbound_self_join = cr.rules[r].unbound_self_join;
+      report.cost.rules.push_back(e);
+    }
+  }
+
   void CheckShadowedBuiltins() {
     std::set<std::string> builtins(std::begin(kBuiltinNames),
                                    std::end(kBuiltinNames));
@@ -558,6 +652,16 @@ AnalysisReport AnalyzeProgram(const Program& program, const Catalog& cat,
   a.CheckWardedness();
   a.CheckStratification();
   if (options.hygiene) a.CheckHygiene();
+  if (options.cost) a.CheckCost();
+  // Deterministic order independent of pass scheduling: by source
+  // position, then code; the stable sort keeps same-position diagnostics
+  // of one code in emission order. Keeps lint --json byte-stable.
+  std::stable_sort(
+      a.report.diagnostics.begin(), a.report.diagnostics.end(),
+      [](const Diagnostic& x, const Diagnostic& y) {
+        return std::tie(x.span.line, x.span.col, x.code) <
+               std::tie(y.span.line, y.span.col, y.code);
+      });
   return a.report;
 }
 

@@ -15,6 +15,11 @@
 //                     recursive rule are flagged (VL02x)
 //   4. hygiene      — unused predicates, dead rules, singleton variables,
 //                     arity conflicts, shadowed builtins (VL03x)
+//   5. cost (opt-in) — static cardinality/cost estimation and termination
+//                     notes from analysis/cost.h: cartesian bodies,
+//                     unbound self-joins, over-budget rules (VL04x) and
+//                     warded-only recursive SCCs (VL05x); also fills
+//                     AnalysisReport::cost for the lint --cost JSON
 //
 // The analyzer never mutates the program and never fails: invalid input
 // yields error diagnostics, not a status. Engine::Run uses it as a
@@ -25,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "datalog/analysis/cost.h"
 #include "datalog/analysis/diagnostics.h"
 #include "datalog/ast.h"
 
@@ -38,10 +44,17 @@ struct AnalyzerOptions {
   /// Extra names treated as builtins for the shadowed-builtin lint, in
   /// addition to the engine's registered functions and aggregate names.
   std::vector<std::string> extra_builtins;
+  /// Run the VL04x/VL05x cost & termination pass (off by default: the
+  /// estimates depend on cost_options and pre-flight has no seeds).
+  bool cost = false;
+  /// Cardinality seeds / budgets for the cost pass.
+  CostOptions cost_options;
 };
 
 /// Analyses `program` against `cat` and returns every diagnostic in
-/// deterministic order (pass order, then rule order).
+/// deterministic order: stable-sorted by source line, then column, then
+/// code, so serialised output is byte-stable regardless of pass
+/// scheduling (position-less program-level diagnostics sort first).
 AnalysisReport AnalyzeProgram(const Program& program, const Catalog& cat,
                               const AnalyzerOptions& options = {});
 

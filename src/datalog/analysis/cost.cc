@@ -1,0 +1,474 @@
+#include "datalog/analysis/cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "datalog/analysis/harmful.h"
+#include "datalog/stratify.h"
+
+namespace vadalink::datalog::analysis {
+namespace {
+
+double Capped(double v) {
+  if (!(v >= 0.0)) return 0.0;  // NaN / negative guard
+  return std::min(v, kCostCap);
+}
+
+/// Distinct-count stand-in: with no histogram, assume sqrt(N) distinct
+/// values per column (the classic System-R style fallback), never < 1.
+double DistinctStandIn(double n) { return std::max(1.0, std::sqrt(n)); }
+
+/// adom^arity with saturation (arity 0 relations hold at most one fact).
+double DomainBound(double adom, size_t arity) {
+  if (arity == 0) return 1.0;
+  double b = 1.0;
+  for (size_t i = 0; i < arity; ++i) {
+    b *= adom;
+    if (b >= kCostCap) return kCostCap;
+  }
+  return std::max(1.0, b);
+}
+
+/// Union-find over rule variables used for cartesian detection.
+struct UnionFind {
+  std::vector<uint32_t> parent;
+  explicit UnionFind(size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0u);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) { parent[Find(a)] = Find(b); }
+};
+
+struct CostAnalyzer {
+  const Program& program;
+  const Catalog& cat;
+  const CostOptions& options;
+
+  CostAnalyzer(const Program& p, const Catalog& c, const CostOptions& o)
+      : program(p), cat(c), options(o) {}
+
+  size_t num_preds = 0;
+  std::vector<uint32_t> comp;           // predicate -> SCC component id
+  std::vector<bool> recursive_pred;     // predicate sits on a cycle
+  std::vector<bool> is_idb;             // predicate appears in a rule head
+  std::vector<double> fact_count;       // asserted program facts
+  std::vector<size_t> arity;            // max arity seen per predicate
+  HarmfulVarReport harmful;
+  double adom = 0.0;  // active-domain size estimate
+
+  CostReport report;
+
+  void Run() {
+    num_preds = cat.predicates.size();
+    report.predicates.assign(num_preds, {});
+    report.growth.assign(num_preds, SccGrowth::kBounded);
+    report.rules.assign(program.rules.size(), {});
+    if (num_preds == 0) return;
+
+    GatherShape();
+    ClassifyGrowth();
+    PropagateCardinalities();
+    FlagRuleShapes();
+  }
+
+  // ---- shape -----------------------------------------------------------
+
+  void NoteArity(const Atom& a) {
+    if (a.predicate >= num_preds) return;
+    arity[a.predicate] = std::max(arity[a.predicate], a.args.size());
+  }
+
+  void GatherShape() {
+    recursive_pred.assign(num_preds, false);
+    is_idb.assign(num_preds, false);
+    fact_count.assign(num_preds, 0.0);
+    arity.assign(num_preds, 0);
+
+    for (const Atom& f : program.facts) {
+      NoteArity(f);
+      if (f.predicate < num_preds) fact_count[f.predicate] += 1.0;
+    }
+    for (const Rule& r : program.rules) {
+      for (const Atom& h : r.head) {
+        NoteArity(h);
+        if (h.predicate < num_preds) is_idb[h.predicate] = true;
+      }
+      for (const Literal& l : r.body) {
+        if (l.kind == Literal::Kind::kAtom ||
+            l.kind == Literal::Kind::kNegatedAtom) {
+          NoteArity(l.atom);
+        }
+      }
+    }
+
+    const std::vector<DepEdge> edges = BuildDependencyGraph(program);
+    comp = CondenseSCCs(edges, num_preds);
+    // A predicate is recursive when its component contains a cycle: either
+    // a self-edge or at least two predicates share the component.
+    std::vector<uint32_t> comp_size(num_preds, 0);
+    for (size_t p = 0; p < num_preds; ++p) comp_size[comp[p]]++;
+    for (const DepEdge& e : edges) {
+      if (e.from == e.to) recursive_pred[e.from] = true;
+    }
+    for (size_t p = 0; p < num_preds; ++p) {
+      if (comp_size[comp[p]] > 1) recursive_pred[p] = true;
+    }
+
+    // Active-domain estimate: every EDB fact contributes arity values.
+    for (size_t p = 0; p < num_preds; ++p) {
+      adom += EdbSeed(p) * static_cast<double>(std::max<size_t>(1, arity[p]));
+    }
+    adom = std::max(1.0, Capped(adom));
+  }
+
+  /// Cardinality of predicate p's asserted/extensional part: declared seed
+  /// if present, else fact count, else (for pure-EDB body predicates) the
+  /// configured default.
+  double EdbSeed(size_t p) const {
+    if (p < options.edb_cardinalities.size() &&
+        options.edb_cardinalities[p] >= 0.0) {
+      return Capped(options.edb_cardinalities[p]);
+    }
+    if (fact_count[p] > 0.0) return fact_count[p];
+    if (!is_idb[p]) return Capped(options.default_edb_cardinality);
+    return 0.0;
+  }
+
+  // ---- growth classification ------------------------------------------
+
+  void ClassifyGrowth() {
+    harmful = AnalyzeHarmfulVariables(program, cat);
+
+    // Components that contain an existential (null-generating) rule head
+    // whose invented null can reach the cycle: conservatively, any
+    // existential rule whose head predicate is in a recursive component.
+    std::vector<bool> comp_recursive(num_preds, false);
+    for (size_t p = 0; p < num_preds; ++p) {
+      if (recursive_pred[p]) comp_recursive[comp[p]] = true;
+    }
+    std::vector<bool> comp_warded_only(num_preds, false);
+    std::vector<uint32_t> comp_witness(num_preds, UINT32_MAX);
+    for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+      if (ri < harmful.rules.size() && !harmful.rules[ri].has_existential) {
+        continue;
+      }
+      if (ri >= harmful.rules.size() &&
+          ExistentialVars(program.rules[ri]).empty()) {
+        continue;
+      }
+      for (const Atom& h : program.rules[ri].head) {
+        if (h.predicate >= num_preds) continue;
+        const uint32_t c = comp[h.predicate];
+        if (!comp_recursive[c] || !recursive_pred[h.predicate]) continue;
+        // The nulls only threaten termination if some position of the
+        // component admits them; with no null-admitting position the
+        // existential is vacuous for growth. A missing mask (predicate
+        // unknown to the harmful pass) conservatively counts as admitting.
+        bool admits = false;
+        bool have_masks = false;
+        for (size_t p = 0; p < num_preds; ++p) {
+          if (comp[p] != c) continue;
+          if (p < harmful.null_admitting.size()) {
+            have_masks = true;
+            for (bool b : harmful.null_admitting[p]) admits = admits || b;
+          } else {
+            admits = true;
+          }
+        }
+        if (have_masks && !admits) continue;
+        if (!comp_warded_only[c]) {
+          comp_warded_only[c] = true;
+          comp_witness[c] = static_cast<uint32_t>(ri);
+        }
+      }
+    }
+
+    std::vector<bool> comp_counted(num_preds, false);
+    for (size_t p = 0; p < num_preds; ++p) {
+      if (!recursive_pred[p]) {
+        report.growth[p] = SccGrowth::kBounded;
+        continue;
+      }
+      const uint32_t c = comp[p];
+      report.growth[p] = comp_warded_only[c] ? SccGrowth::kWardedOnly
+                                             : SccGrowth::kLinearInEdb;
+      if (!comp_counted[c]) {
+        comp_counted[c] = true;
+        report.recursive_sccs++;
+        if (comp_warded_only[c]) {
+          report.warded_only_sccs++;
+          std::vector<uint32_t> members;
+          for (size_t q = 0; q < num_preds; ++q) {
+            if (comp[q] == c && recursive_pred[q]) {
+              members.push_back(static_cast<uint32_t>(q));
+            }
+          }
+          report.warded_only_components.push_back(std::move(members));
+          report.warded_only_witness_rule.push_back(comp_witness[c]);
+        }
+      }
+    }
+  }
+
+  // ---- cardinality propagation ----------------------------------------
+
+  /// Simulates the planner's greedy cheapest-first left-deep join over the
+  /// positive body atoms of `rule`, with `card(p)` supplying per-atom input
+  /// sizes. Fills est->join_cost / est->output_rows.
+  void SimulateJoin(const Rule& rule,
+                    const std::vector<double>& card,
+                    RuleCostEstimate* est) const {
+    struct BodyAtom {
+      const Atom* atom;
+      double rows;
+    };
+    std::vector<BodyAtom> atoms;
+    for (const Literal& l : rule.body) {
+      if (l.kind != Literal::Kind::kAtom) continue;
+      double rows = 1.0;
+      if (l.atom.predicate < card.size()) {
+        rows = std::max(1.0, card[l.atom.predicate]);
+      }
+      atoms.push_back({&l.atom, rows});
+    }
+    if (atoms.empty()) {
+      // Fact-like or condition-only rule: one binding.
+      est->join_cost = 0.0;
+      est->output_rows = 1.0;
+      return;
+    }
+
+    std::vector<bool> bound(rule.var_names.size(), false);
+    // Assignments bind their targets before/independently of the join in
+    // the engine; constants in atoms are always "bound".
+    for (const Literal& l : rule.body) {
+      if (l.kind == Literal::Kind::kAssignment &&
+          l.target_var < bound.size()) {
+        bound[l.target_var] = true;
+      }
+    }
+
+    std::vector<bool> used(atoms.size(), false);
+    double inter = 1.0;      // current intermediate result size
+    double cost = 0.0;       // sum of intermediate sizes (work proxy)
+    for (size_t step = 0; step < atoms.size(); ++step) {
+      // Estimate each unused atom's contribution given current bindings,
+      // pick the cheapest (ties -> earliest body position, deterministic).
+      size_t best = SIZE_MAX;
+      double best_rows = 0.0;
+      for (size_t i = 0; i < atoms.size(); ++i) {
+        if (used[i]) continue;
+        double rows = atoms[i].rows;
+        for (const Term& t : atoms[i].atom->args) {
+          const bool sel = !t.is_var() ||
+                           (t.var < bound.size() && bound[t.var]);
+          if (sel) rows = std::max(1.0, rows / DistinctStandIn(atoms[i].rows));
+        }
+        if (best == SIZE_MAX || rows < best_rows) {
+          best = i;
+          best_rows = rows;
+        }
+      }
+      used[best] = true;
+      for (const Term& t : atoms[best].atom->args) {
+        if (t.is_var() && t.var < bound.size()) bound[t.var] = true;
+      }
+      inter = Capped(inter * best_rows);
+      cost = Capped(cost + inter);
+    }
+    est->join_cost = cost;
+    est->output_rows = inter;
+  }
+
+  void PropagateCardinalities() {
+    // card[p] mirrors report.predicates[p].hi during propagation.
+    std::vector<double> card(num_preds, 0.0);
+    for (size_t p = 0; p < num_preds; ++p) {
+      const double seed = EdbSeed(p);
+      report.predicates[p].lo = seed;
+      card[p] = seed;
+    }
+
+    // Rules deriving each component, grouped by the head's component id.
+    std::vector<std::vector<uint32_t>> comp_rules(num_preds);
+    for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+      std::vector<bool> seen(num_preds, false);
+      for (const Atom& h : program.rules[ri].head) {
+        if (h.predicate >= num_preds) continue;
+        const uint32_t c = comp[h.predicate];
+        if (!seen[c]) {
+          seen[c] = true;
+          comp_rules[c].push_back(static_cast<uint32_t>(ri));
+        }
+      }
+    }
+
+    // CondenseSCCs assigns ids in reverse topological order: for every
+    // edge u -> v, comp[v] <= comp[u]. Processing components in DESCENDING
+    // id order therefore visits all dependencies of a component before the
+    // component itself.
+    uint32_t max_comp = 0;
+    for (size_t p = 0; p < num_preds; ++p) {
+      max_comp = std::max(max_comp, comp[p]);
+    }
+    for (uint32_t c = max_comp + 1; c-- > 0;) {
+      const auto& rules_here = comp_rules[c];
+      // One bottom-up pass: inputs from lower-id (dependency) components
+      // are final; contributions from rules inside the component are
+      // bounded afterwards by the growth-class cap.
+      for (uint32_t ri : rules_here) {
+        RuleCostEstimate est;
+        SimulateJoin(program.rules[ri], card, &est);
+        for (const Atom& h : program.rules[ri].head) {
+          if (h.predicate >= num_preds || comp[h.predicate] != c) continue;
+          card[h.predicate] = Capped(card[h.predicate] + est.output_rows);
+        }
+      }
+      // Apply the growth cap to every member of the component.
+      for (size_t p = 0; p < num_preds; ++p) {
+        if (comp[p] != c) continue;
+        double hi = card[p];
+        switch (report.growth[p]) {
+          case SccGrowth::kBounded:
+            hi = std::min(hi, DomainBound(adom, arity[p]));
+            break;
+          case SccGrowth::kLinearInEdb:
+            // Recursion closes over the active domain: the extension can
+            // reach adom^arity even if one round derives little.
+            hi = DomainBound(adom, arity[p]);
+            break;
+          case SccGrowth::kWardedOnly:
+            // Null invention extends the domain; only the warded chase
+            // bounds it. Saturate.
+            hi = kCostCap;
+            break;
+        }
+        hi = std::max(hi, report.predicates[p].lo);
+        card[p] = hi;
+        report.predicates[p].hi = hi;
+      }
+    }
+
+    // Final per-rule estimates against the settled cardinalities.
+    for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+      SimulateJoin(program.rules[ri], card, &report.rules[ri]);
+      report.program_cost = Capped(report.program_cost +
+                                   report.rules[ri].join_cost);
+    }
+  }
+
+  // ---- rule shape flags ------------------------------------------------
+
+  void FlagRuleShapes() {
+    for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+      const Rule& rule = program.rules[ri];
+      RuleCostEstimate& est = report.rules[ri];
+
+      std::vector<const Atom*> pos;
+      for (const Literal& l : rule.body) {
+        if (l.kind == Literal::Kind::kAtom) pos.push_back(&l.atom);
+      }
+      if (pos.size() < 2) continue;
+
+      // Cartesian detection: union-find over variables; atoms sharing no
+      // variable chain stay in separate groups. Comparisons and
+      // assignments connect the variables they mention (a join predicate
+      // expressed as `X = Y` or `X < Y` is not a cartesian product).
+      UnionFind uf(rule.var_names.size() + pos.size());
+      const uint32_t atom_base = static_cast<uint32_t>(rule.var_names.size());
+      for (size_t i = 0; i < pos.size(); ++i) {
+        for (const Term& t : pos[i]->args) {
+          if (t.is_var()) uf.Union(atom_base + static_cast<uint32_t>(i), t.var);
+        }
+      }
+      for (const Literal& l : rule.body) {
+        if (l.kind != Literal::Kind::kComparison &&
+            l.kind != Literal::Kind::kAssignment) {
+          continue;
+        }
+        std::vector<bool> vars(rule.var_names.size(), false);
+        CollectExprVars(l.lhs, &vars);
+        CollectExprVars(l.rhs, &vars);
+        if (l.kind == Literal::Kind::kAssignment &&
+            l.target_var < vars.size()) {
+          vars[l.target_var] = true;
+        }
+        uint32_t first = UINT32_MAX;
+        for (uint32_t v = 0; v < vars.size(); ++v) {
+          if (!vars[v]) continue;
+          if (first == UINT32_MAX) {
+            first = v;
+          } else {
+            uf.Union(first, v);
+          }
+        }
+      }
+      uint32_t groups = 0;
+      std::vector<bool> seen_root(rule.var_names.size() + pos.size(), false);
+      for (size_t i = 0; i < pos.size(); ++i) {
+        // Ground atoms (all-constant args) are membership tests, not
+        // product factors.
+        bool has_var = false;
+        for (const Term& t : pos[i]->args) has_var = has_var || t.is_var();
+        if (!has_var) continue;
+        const uint32_t root =
+            uf.Find(atom_base + static_cast<uint32_t>(i));
+        if (!seen_root[root]) {
+          seen_root[root] = true;
+          groups++;
+        }
+      }
+      est.cartesian = groups >= 2;
+
+      // Unbound self-join: two positive occurrences of one predicate with
+      // no shared variable (directly or through conditions).
+      for (size_t i = 0; i < pos.size() && !est.unbound_self_join; ++i) {
+        for (size_t j = i + 1; j < pos.size(); ++j) {
+          if (pos[i]->predicate != pos[j]->predicate) continue;
+          const uint32_t ri_root =
+              uf.Find(atom_base + static_cast<uint32_t>(i));
+          const uint32_t rj_root =
+              uf.Find(atom_base + static_cast<uint32_t>(j));
+          bool i_has_var = false, j_has_var = false;
+          for (const Term& t : pos[i]->args) i_has_var |= t.is_var();
+          for (const Term& t : pos[j]->args) j_has_var |= t.is_var();
+          if (i_has_var && j_has_var && ri_root != rj_root) {
+            est.unbound_self_join = true;
+            est.self_join_pred = pos[i]->predicate;
+            break;
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const char* SccGrowthName(SccGrowth g) {
+  switch (g) {
+    case SccGrowth::kBounded:
+      return "bounded";
+    case SccGrowth::kLinearInEdb:
+      return "linear_in_edb";
+    case SccGrowth::kWardedOnly:
+      return "warded_only";
+  }
+  return "unknown";
+}
+
+CostReport AnalyzeCost(const Program& program, const Catalog& cat,
+                       const CostOptions& options) {
+  CostAnalyzer a(program, cat, options);
+  a.Run();
+  return a.report;
+}
+
+}  // namespace vadalink::datalog::analysis

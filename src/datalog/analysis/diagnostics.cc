@@ -1,5 +1,7 @@
 #include "datalog/analysis/diagnostics.h"
 
+#include <cstdio>
+
 namespace vadalink::datalog::analysis {
 
 namespace {
@@ -29,6 +31,14 @@ void AppendJsonString(std::string* out, const std::string& s) {
   *out += '"';
   AppendJsonEscaped(out, s);
   *out += '"';
+}
+
+/// %.6g keeps the document byte-stable across platforms for the value
+/// ranges the cost model produces (integers, powers of ten, the cap).
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
 }
 
 }  // namespace
@@ -104,7 +114,44 @@ std::string AnalysisReport::ToJson(const std::string& program_name) const {
     AppendJsonString(&out, d.hint);
     out += "}";
   }
-  out += "]}\n";
+  out += "]";
+  if (cost.present) {
+    out += ",\"cost\":{\"program_cost\":";
+    AppendJsonNumber(&out, cost.program_cost);
+    out += ",\"recursive_sccs\":" + std::to_string(cost.recursive_sccs);
+    out += ",\"warded_only_sccs\":" + std::to_string(cost.warded_only_sccs);
+    out += ",\"predicates\":[";
+    for (size_t i = 0; i < cost.predicates.size(); ++i) {
+      const CostPredicateEntry& p = cost.predicates[i];
+      if (i > 0) out += ",";
+      out += "{\"predicate\":";
+      AppendJsonString(&out, p.predicate);
+      out += ",\"lo\":";
+      AppendJsonNumber(&out, p.lo);
+      out += ",\"hi\":";
+      AppendJsonNumber(&out, p.hi);
+      out += ",\"growth\":";
+      AppendJsonString(&out, p.growth);
+      out += "}";
+    }
+    out += "],\"rules\":[";
+    for (size_t i = 0; i < cost.rules.size(); ++i) {
+      const CostRuleEntry& r = cost.rules[i];
+      if (i > 0) out += ",";
+      out += "{\"rule\":" + std::to_string(r.rule);
+      out += ",\"join_cost\":";
+      AppendJsonNumber(&out, r.join_cost);
+      out += ",\"output_rows\":";
+      AppendJsonNumber(&out, r.output_rows);
+      out += ",\"cartesian\":";
+      out += r.cartesian ? "true" : "false";
+      out += ",\"unbound_self_join\":";
+      out += r.unbound_self_join ? "true" : "false";
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "}\n";
   return out;
 }
 

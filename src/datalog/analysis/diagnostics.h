@@ -31,6 +31,15 @@
 //   VL033  error    arity conflict: predicate used with different arities
 //   VL034  warning  hygiene: predicate name shadows a builtin function or
 //                   aggregate name
+//   VL040  warning  cost: rule body is a cartesian product — its positive
+//                   atoms split into variable-disjoint groups
+//   VL041  warning  cost: unbound self-join — two positive occurrences of
+//                   one predicate share no variable
+//   VL042  warning  cost: estimated rule output exceeds the configured
+//                   budget (CostOptions::rule_output_budget)
+//   VL050  warning  termination: recursive SCC invents labeled nulls that
+//                   feed back into the cycle — termination rests on the
+//                   warded chase only (growth class "warded_only")
 #pragma once
 
 #include <cstdint>
@@ -57,8 +66,37 @@ struct Diagnostic {
   std::string hint;            // actionable fix hint ("" if none)
 };
 
+/// One predicate's cardinality interval rendered for the lint JSON.
+struct CostPredicateEntry {
+  std::string predicate;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::string growth;  // SccGrowthName of the predicate's component
+};
+
+/// One rule's cost estimate rendered for the lint JSON.
+struct CostRuleEntry {
+  uint32_t rule = 0;
+  double join_cost = 0.0;
+  double output_rows = 0.0;
+  bool cartesian = false;
+  bool unbound_self_join = false;
+};
+
+/// Optional cost block attached by the analyzer's VL04x/VL05x pass
+/// (AnalyzerOptions::cost). Serialised under "cost" in ToJson.
+struct CostSummary {
+  bool present = false;
+  double program_cost = 0.0;
+  uint64_t recursive_sccs = 0;
+  uint64_t warded_only_sccs = 0;
+  std::vector<CostPredicateEntry> predicates;
+  std::vector<CostRuleEntry> rules;
+};
+
 struct AnalysisReport {
   std::vector<Diagnostic> diagnostics;
+  CostSummary cost;
 
   size_t error_count() const;
   size_t warning_count() const;

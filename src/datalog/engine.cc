@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <unordered_set>
 
 #include "common/fault_injection.h"
 #include "datalog/analysis/analyzer.h"
+#include "datalog/analysis/cost.h"
 #include "datalog/analysis/harmful.h"
 
 namespace vadalink::datalog {
@@ -17,6 +21,31 @@ bool ValuesEqualCoerced(const Value& a, const Value& b) {
   if (a == b) return true;
   if (a.is_numeric() && b.is_numeric()) return a.AsNumber() == b.AsNumber();
   return false;
+}
+
+/// Renders a cost estimate for status messages ("1.2e+09", "64").
+std::string FormatCost(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Static cost analysis of `program` seeded with the live relation sizes
+/// of `db` (predicates with rows keep their actual cardinality; empty /
+/// unknown ones fall back to the analysis defaults). Used for the
+/// planner's cold-relation priors and Query()'s cost admission.
+analysis::CostReport ComputeStaticCost(const Database* db,
+                                       const Program& program) {
+  const Catalog* cat = db->catalog();
+  analysis::CostOptions copt;
+  copt.edb_cardinalities.assign(cat->predicates.size(), -1.0);
+  for (uint32_t p = 0; p < cat->predicates.size(); ++p) {
+    const Relation* rel = db->relation(p);
+    if (rel != nullptr && rel->size() > 0) {
+      copt.edb_cardinalities[p] = static_cast<double>(rel->size());
+    }
+  }
+  return analysis::AnalyzeCost(program, *cat, copt);
 }
 
 /// True if the expression tree contains a '#function' call (calls may
@@ -309,6 +338,19 @@ Status Engine::Prepare(const Program& program) {
     }
   }
 
+  // Static cardinality priors: the hi bounds of the cost analysis, seeded
+  // with live relation sizes. BuildPlan falls back to them for relations
+  // that are still cold (no rows, hence no index statistics) — before this,
+  // every cold atom cost 0.0 and the planner ordered them arbitrarily.
+  {
+    analysis::CostReport cost = ComputeStaticCost(db_, program);
+    cost_prior_hi_.assign(cost.predicates.size(), 0.0);
+    for (size_t p = 0; p < cost.predicates.size(); ++p) {
+      cost_prior_hi_[p] = cost.predicates[p].hi;
+    }
+    program_cost_estimate_ = cost.program_cost;
+  }
+
   plan_cache_.clear();
   return Status::OK();
 }
@@ -332,7 +374,7 @@ const Engine::JoinPlan& Engine::PlanFor(const CompiledRule& cr,
 }
 
 Engine::JoinPlan Engine::BuildPlan(const CompiledRule& cr,
-                                   int delta_occurrence) const {
+                                   int delta_occurrence) {
   const auto& body = cr.rule.body;
   const size_t nvars = cr.rule.var_names.size();
   const Database* cdb = static_cast<const Database*>(db_);
@@ -384,10 +426,27 @@ Engine::JoinPlan Engine::BuildPlan(const CompiledRule& cr,
 
   // Estimated rows the atom contributes per outer match: relation size
   // over the probe column's distinct count, or the full size when no
-  // argument is bound yet.
+  // argument is bound yet. Cold relations (no rows, hence no index
+  // statistics — typically IDB predicates before their stratum fills
+  // them) fall back to the static cardinality prior from the cost
+  // analysis, with a sqrt(N) distinct-count stand-in per bound column.
   auto atom_cost = [&](const Atom& a) -> double {
     const Relation* rel = cdb->relation(a.predicate);
-    if (rel == nullptr || rel->size() == 0) return 0.0;
+    if (rel == nullptr || rel->size() == 0) {
+      const double n = a.predicate < cost_prior_hi_.size()
+                           ? cost_prior_hi_[a.predicate]
+                           : 0.0;
+      if (n <= 0.0) return 0.0;
+      ++stats_.cost_priors_used;
+      double best = n;
+      const double d = std::max(1.0, std::sqrt(n));
+      for (size_t p = 0; p < a.args.size(); ++p) {
+        const Term& t = a.args[p];
+        if (t.is_var() && !bound[t.var]) continue;
+        best = std::min(best, n / d);
+      }
+      return best;
+    }
     const double n = static_cast<double>(rel->size());
     double best = n;
     for (size_t p = 0; p < a.args.size(); ++p) {
@@ -1330,6 +1389,13 @@ void Engine::PublishChaseMetrics() {
               diff(stats_.plans_computed, published_.plans_computed));
     MetricAdd(m, "engine.plan.cache_hits",
               diff(stats_.plan_cache_hits, published_.plan_cache_hits));
+    // engine.cost.*: the static cost analysis feeding the planner. The
+    // program estimate is a property of the last Prepare()d program, so
+    // it publishes as a gauge; priors_used counts cold-relation plan
+    // decisions taken from the static intervals.
+    MetricAdd(m, "engine.cost.priors_used",
+              diff(stats_.cost_priors_used, published_.cost_priors_used));
+    MetricSet(m, "engine.cost.program_estimate", program_cost_estimate_);
     // engine.memory.*: the streaming chase's space account. The peak is a
     // per-run high-water mark, so it publishes as a gauge, not a counter.
     if (options_.streaming) {
@@ -1381,6 +1447,7 @@ Status Engine::Run(const Program& program) {
 
 Result<QueryReport> Engine::Query(const Program& program,
                                   const QueryGoal& goal) {
+  const auto plan_start = std::chrono::steady_clock::now();
   Status preflight = Preflight(program);
   if (!preflight.ok()) {
     last_abort_status_ = preflight;
@@ -1389,6 +1456,36 @@ Result<QueryReport> Engine::Query(const Program& program,
 
   MagicResult magic = MagicRewrite(program, db_->catalog(), goal);
   query_program_ = std::make_unique<Program>(std::move(magic.program));
+
+  // Static cost of the program the chase will actually run (rewritten or
+  // pruned), seeded with live relation sizes. Everything up to here —
+  // preflight, dataflow, rewrite, estimation — is the planning phase the
+  // plan_us clock covers.
+  const double estimated_cost =
+      ComputeStaticCost(db_, *query_program_).program_cost;
+  const uint64_t plan_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - plan_start)
+          .count());
+  if (options_.metrics != nullptr) {
+    MetricAdd(options_.metrics, "engine.query.plan_us", plan_us);
+  }
+
+  // Cost admission: reject over-budget goals before any evaluation burns
+  // a worker. The message carries the estimate so serving layers can
+  // surface it in the error payload.
+  if (options_.max_query_cost > 0.0 &&
+      estimated_cost > options_.max_query_cost) {
+    Status reject = Status::ResourceExhausted(
+        "query rejected by cost admission: static cost estimate " +
+        FormatCost(estimated_cost) + " exceeds max query cost " +
+        FormatCost(options_.max_query_cost));
+    last_abort_status_ = reject;
+    if (options_.metrics != nullptr) {
+      MetricAdd(options_.metrics, "engine.query.cost_rejected", 1);
+    }
+    return reject;
+  }
 
   // The rewritten program was already vetted through the source program's
   // pre-flight; its __magic_* constructs sit outside the analyzer's
@@ -1413,6 +1510,8 @@ Result<QueryReport> Engine::Query(const Program& program,
   report.magic_rules = magic.magic_rules;
   report.adornments = magic.adornments;
   report.facts_derived = stats_.facts_derived;
+  report.estimated_cost = estimated_cost;
+  report.plan_us = plan_us;
   for (RowRef row : db_->Scan(goal.atom.predicate)) {
     std::vector<Value> tuple = row.ToTuple();
     if (GoalMatches(goal, tuple)) report.answers.push_back(std::move(tuple));

@@ -90,6 +90,12 @@ struct EngineOptions {
   /// the chase derives only goal-relevant facts. Not owned; must outlive
   /// the engine calls that use it.
   const QueryGoal* query_goal = nullptr;
+  /// Cost admission for Query(): > 0 rejects a goal with
+  /// kResourceExhausted *before* evaluation when the static cost estimate
+  /// of the (rewritten) program exceeds this bound. The error message
+  /// names the estimate and the bound, so callers (serve admission) can
+  /// surface it. 0 = no cost gate.
+  double max_query_cost = 0.0;
   /// Space-bounded streaming chase (DESIGN.md section 13). Run() releases
   /// the column storage of exhausted semi-naive delta epochs for every
   /// predicate the evictability analysis accepts (read only through its
@@ -133,6 +139,16 @@ struct QueryReport {
   size_t adornments = 0;
   /// Facts the (rewritten) chase derived — the query-focus work measure.
   size_t facts_derived = 0;
+  /// Static cost estimate (analysis/cost.h program_cost) of the program
+  /// the chase actually ran — the rewritten program when `rewritten`,
+  /// the pruned source program otherwise. Compared against
+  /// EngineOptions::max_query_cost for admission and exported to bench
+  /// output as the estimated-vs-actual ratio numerator.
+  double estimated_cost = 0.0;
+  /// Wall-clock microseconds spent before evaluation started: preflight,
+  /// dataflow analysis, magic rewrite and cost estimation. Mirrored into
+  /// the "engine.query.plan_us" counter.
+  uint64_t plan_us = 0;
   /// Goal-matching tuples of the goal predicate, sorted. Exactly equal to
   /// the goal-matching subset of the full-saturation fact set.
   std::vector<std::vector<Value>> answers;
@@ -157,6 +173,10 @@ struct EngineStats {
   size_t evicted_rows = 0;
   size_t memo_queries = 0;
   size_t memo_hits = 0;
+  /// Join-plan atom orderings decided from the static cost analysis's
+  /// cardinality interval because the relation was still cold (no rows,
+  /// no index statistics). Mirrored into "engine.cost.priors_used".
+  size_t cost_priors_used = 0;
 };
 
 class Engine {
@@ -399,7 +419,7 @@ class Engine {
   /// The cached plan for (rule, delta occurrence), built on first use
   /// from the relation statistics current at that moment.
   const JoinPlan& PlanFor(const CompiledRule& rule, int delta_occurrence);
-  JoinPlan BuildPlan(const CompiledRule& rule, int delta_occurrence) const;
+  JoinPlan BuildPlan(const CompiledRule& rule, int delta_occurrence);
 
   Status EvalRule(CompiledRule& rule, int delta_occurrence,
                   const std::vector<std::pair<size_t, size_t>>& deltas);
@@ -443,6 +463,13 @@ class Engine {
   // (rule id << 16 | delta occurrence + 1) -> cached join plan; cleared
   // by Prepare() at the start of each run.
   std::unordered_map<uint64_t, JoinPlan> plan_cache_;
+  // Static cardinality priors (analysis/cost.h hi bounds, indexed by
+  // predicate id) computed by Prepare(); BuildPlan falls back to them for
+  // relations with no rows yet. Empty when the analysis found nothing.
+  std::vector<double> cost_prior_hi_;
+  // Program-level static cost estimate of the last Prepare()d program;
+  // published as the "engine.cost.program_estimate" gauge.
+  double program_cost_estimate_ = 0.0;
   // function id (catalog) -> resolved callable
   std::vector<const ExternalFn*> resolved_fns_;
 

@@ -304,9 +304,22 @@ Result<Json> ReasoningService::OpControlEngine(const Request& req,
   datalog::EngineOptions eopts;
   eopts.run_ctx = run_ctx;
   eopts.metrics = metrics_;
+  eopts.max_query_cost = options_.max_query_cost;
   datalog::Engine engine(&db, eopts);
-  VL_ASSIGN_OR_RETURN(datalog::QueryReport report,
-                      engine.Query(program, goal));
+  Result<datalog::QueryReport> qr = engine.Query(program, goal);
+  if (!qr.ok()) {
+    // Cost admission rejections carry the static estimate in the message;
+    // count them separately from reactive load shedding. The status stays
+    // kResourceExhausted, which is degradable, so a stale cached answer
+    // (if any) still serves — but the compiled-path fallback never fires
+    // for it (that would burn exactly the work the gate refused).
+    if (qr.status().code() == StatusCode::kResourceExhausted &&
+        qr.status().message().find("cost admission") != std::string::npos) {
+      MetricAdd(metrics_, "serve.requests.cost_shed", 1);
+    }
+    return qr.status();
+  }
+  datalog::QueryReport report = std::move(qr).value();
   MetricAdd(metrics_, "serve.query.engine", 1);
   if (!report.rewritten) MetricAdd(metrics_, "serve.query.fallbacks", 1);
   Json ids = Json::MakeArray();

@@ -54,6 +54,13 @@ struct ServiceOptions {
   /// CloseLinksOf instead of filtering AllCloseLinks. Off = the compiled
   /// whole-graph evaluators of PR 6.
   bool query_mode = true;
+  /// Cost-aware admission for engine-routed cold queries: > 0 forwards to
+  /// EngineOptions::max_query_cost, so a cold query whose static cost
+  /// estimate exceeds this bound is rejected up-front with
+  /// kResourceExhausted (the estimate named in the error payload) instead
+  /// of burning a worker until the deadline fires. Cached/stale answers
+  /// still serve. 0 = no cost gate.
+  double max_query_cost = 0.0;
 };
 
 class ReasoningService {

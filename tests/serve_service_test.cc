@@ -353,6 +353,45 @@ TEST_F(ServiceTest, ExplicitThresholdPinsControlToCompiledPath) {
   EXPECT_EQ(metrics_.CounterValue("serve.query.engine"), engine_before);
 }
 
+TEST_F(ServiceTest, OverBudgetColdEngineQueryIsCostShed) {
+  // --max-query-cost: a cold engine-routed query whose static cost
+  // estimate exceeds the budget is rejected up front with
+  // ResourceExhausted naming the estimate — the compiled fallback must
+  // NOT fire (it would burn exactly the work the gate refused).
+  ServiceOptions opts;  // query_mode defaults to true
+  opts.max_query_cost = 1e-9;
+  ReasoningService svc(opts, &metrics_);
+  ASSERT_TRUE(svc.Init(TinyRegister(), core::ControlProgram(0.5)).ok());
+  uint64_t fallbacks_before = metrics_.CounterValue("serve.query.fallbacks");
+  Json params = Json::MakeObject();
+  params.Set("source", Json::Int(0));
+  Json resp = ParseLine(svc.Handle(MakeReq("control", params), nullptr));
+  ASSERT_FALSE(resp.Find("ok")->AsBool()) << resp.Dump();
+  EXPECT_EQ(resp.Find("error")->Find("code")->AsString(),
+            "ResourceExhausted");
+  const std::string msg = resp.Find("error")->Find("message")->AsString();
+  EXPECT_NE(msg.find("cost admission"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("static cost estimate"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("max query cost"), std::string::npos) << msg;
+  EXPECT_GE(metrics_.CounterValue("serve.requests.cost_shed"), 1u);
+  EXPECT_EQ(metrics_.CounterValue("serve.query.fallbacks"),
+            fallbacks_before);
+}
+
+TEST_F(ServiceTest, UnderBudgetTrafficUnaffectedByCostGate) {
+  ServiceOptions opts;
+  opts.max_query_cost = 1e18;  // generous: nothing sheds
+  ReasoningService svc(opts, &metrics_);
+  ASSERT_TRUE(svc.Init(TinyRegister(), core::ControlProgram(0.5)).ok());
+  Json params = Json::MakeObject();
+  params.Set("source", Json::Int(0));
+  Json resp = ParseLine(svc.Handle(MakeReq("control", params), nullptr));
+  ASSERT_TRUE(resp.Find("ok")->AsBool()) << resp.Dump();
+  EXPECT_EQ(resp.Find("result")->Find("count")->AsInt(), 2);
+  EXPECT_GE(metrics_.CounterValue("serve.query.engine"), 1u);
+  EXPECT_EQ(metrics_.CounterValue("serve.requests.cost_shed"), 0u);
+}
+
 TEST_F(ServiceTest, QueryModeServesCloseLinksIdentically) {
   std::vector<std::string> dumps;
   for (bool query_mode : {true, false}) {

@@ -15,8 +15,10 @@ Checks (stdlib only, no third-party deps):
     set) and the planned run reports at least one plan;
   * an optional per-workload "query_focus" object (bench_query_focus:
     planned = goal-directed Engine::Query, worst_case = full saturation)
-    carries speedup as a non-negative number and facts_avoided /
-    fallback_count as non-negative integers.
+    carries speedup / estimated_cost / cost_ratio as non-negative numbers
+    and facts_avoided / fallback_count / plan_us as non-negative
+    integers (estimated_cost and cost_ratio compare the static cost
+    model's estimate against the join probes the query actually issued).
 
 Exit code 0 when every document conforms, 1 with one line per violation
 otherwise.
@@ -98,7 +100,7 @@ def check_document(path, schema, errors):
             else:
                 for field in schema.get("query_focus_fields", []):
                     v = qf.get(field)
-                    if field == "speedup":
+                    if field in ("speedup", "estimated_cost", "cost_ratio"):
                         if not is_number(v):
                             err(f"{where}: query_focus.{field} is not a "
                                 f"non-negative number")

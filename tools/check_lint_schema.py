@@ -12,7 +12,11 @@ Checks (stdlib only, no third-party deps):
     carry severity "warning", error codes severity "error"), an integer
     rule index >= -1 and non-negative line/col;
   * a diagnostic with a known line also names a rule or a predicate or a
-    message (i.e. is never empty).
+    message (i.e. is never empty);
+  * an optional "cost" block (lint --cost) has exactly the expected
+    fields, non-negative numeric summary counts, per-predicate entries
+    with lo <= hi and a known growth class, and per-rule entries with
+    in-range rule indices and boolean shape flags.
 
 Exit code 0 when the document conforms, 1 with one line per violation
 otherwise.
@@ -110,6 +114,70 @@ def main():
             and summary["diagnostics"] != len(diags)):
         err(f"summary.diagnostics {summary['diagnostics']} != "
             f"{len(diags)} entries")
+
+    if "cost" in doc:
+        cost = doc["cost"]
+        if not isinstance(cost, dict):
+            err("'cost' is not an object")
+            cost = {}
+        if sorted(cost.keys()) != sorted(schema["cost_fields"]):
+            err(f"cost fields {sorted(cost.keys())} != expected "
+                f"{sorted(schema['cost_fields'])}")
+        pc = cost.get("program_cost")
+        if not isinstance(pc, (int, float)) or pc < 0:
+            err(f"cost.program_cost {pc!r} is not a non-negative number")
+        for key in ("recursive_sccs", "warded_only_sccs"):
+            v = cost.get(key)
+            if not isinstance(v, int) or v < 0:
+                err(f"cost.{key} {v!r} is not a non-negative integer")
+        growth_classes = set(schema["growth_classes"])
+        preds = cost.get("predicates", [])
+        if not isinstance(preds, list):
+            err("cost.predicates is not an array")
+            preds = []
+        for i, p in enumerate(preds):
+            where = f"cost.predicates[{i}]"
+            if not isinstance(p, dict):
+                err(f"{where} is not an object")
+                continue
+            if sorted(p.keys()) != sorted(schema["cost_predicate_fields"]):
+                err(f"{where} fields {sorted(p.keys())} != expected "
+                    f"{sorted(schema['cost_predicate_fields'])}")
+                continue
+            if not isinstance(p["predicate"], str):
+                err(f"{where} predicate is not a string")
+            for key in ("lo", "hi"):
+                if not isinstance(p[key], (int, float)) or p[key] < 0:
+                    err(f"{where} {key} {p[key]!r} is not a non-negative "
+                        f"number")
+            if (isinstance(p.get("lo"), (int, float))
+                    and isinstance(p.get("hi"), (int, float))
+                    and p["lo"] > p["hi"]):
+                err(f"{where} lo {p['lo']} > hi {p['hi']}")
+            if p["growth"] not in growth_classes:
+                err(f"{where} has unknown growth class {p['growth']!r}")
+        rules = cost.get("rules", [])
+        if not isinstance(rules, list):
+            err("cost.rules is not an array")
+            rules = []
+        for i, r in enumerate(rules):
+            where = f"cost.rules[{i}]"
+            if not isinstance(r, dict):
+                err(f"{where} is not an object")
+                continue
+            if sorted(r.keys()) != sorted(schema["cost_rule_fields"]):
+                err(f"{where} fields {sorted(r.keys())} != expected "
+                    f"{sorted(schema['cost_rule_fields'])}")
+                continue
+            if not isinstance(r["rule"], int) or r["rule"] < 0:
+                err(f"{where} rule index {r['rule']!r} is not an int >= 0")
+            for key in ("join_cost", "output_rows"):
+                if not isinstance(r[key], (int, float)) or r[key] < 0:
+                    err(f"{where} {key} {r[key]!r} is not a non-negative "
+                        f"number")
+            for key in ("cartesian", "unbound_self_join"):
+                if not isinstance(r[key], bool):
+                    err(f"{where} {key} {r[key]!r} is not a boolean")
 
     for e in errors:
         print(e, file=sys.stderr)

@@ -427,7 +427,11 @@ int CmdLint(const Flags& flags) {
   datalog::analysis::AnalysisReport report;
   auto program = datalog::ParseProgram(ss.str(), &catalog);
   if (program.ok()) {
-    report = datalog::analysis::AnalyzeProgram(*program, catalog);
+    datalog::analysis::AnalyzerOptions opts;
+    opts.cost = flags.Has("cost");
+    opts.cost_options.rule_output_budget =
+        flags.GetDouble("cost-budget", opts.cost_options.rule_output_budget);
+    report = datalog::analysis::AnalyzeProgram(*program, catalog, opts);
   } else {
     // Surface the parse error as a diagnostic so '--json' consumers see
     // one document shape for every outcome.
@@ -525,6 +529,7 @@ int CmdServe(const Flags& flags) {
   service_opts.cache_entries =
       static_cast<size_t>(flags.GetInt("cache-entries", 1024));
   service_opts.query_mode = flags.GetInt("query-mode", 1) != 0;
+  service_opts.max_query_cost = flags.GetDouble("max-query-cost", 0.0);
   serve::ServerOptions server_opts;
   server_opts.host = flags.Get("host", "127.0.0.1");
   server_opts.port = static_cast<int>(flags.GetInt("port", 7411));
@@ -578,13 +583,14 @@ commands:
   reason      --in BASE --program FILE.vada [--query PRED|'goal(a, X)']
               [--out BASE2] [--deadline-ms MS] [--max-facts N] [--threads N]
               [--grain N] [--metrics-json FILE] [--trace 1] [--metrics-wall 1]
-  lint        --program FILE.vada [--json -|FILE]
+  lint        --program FILE.vada [--json -|FILE] [--cost 1]
+              [--cost-budget ROWS]
   dot         --in BASE [--out FILE.dot]
   evolve      --out BASE [--persons N] [--from Y] [--to Y] [--seed S]
   serve       --in BASE [--program FILE.vada] [--host H] [--port P]
               [--max-inflight N] [--queue-depth N] [--request-deadline-ms MS]
               [--cache-entries N] [--idle-timeout-ms MS] [--metrics-json FILE]
-              [--query-mode 0|1]
+              [--query-mode 0|1] [--max-query-cost C]
 
 BASE refers to the CSV pair BASE_nodes.csv / BASE_edges.csv.
 
@@ -602,7 +608,11 @@ sequential outputs byte for byte.
 hygiene; see DESIGN.md section 9) without executing the program. Human
 diagnostics go to stdout; --json emits the stable JSON document
 (tools/lint_schema.json) to stdout ('-') or a file. Exit 0 = clean or
-warnings only, 1 = errors.
+warnings only, 1 = errors. --cost 1 adds the static cost & termination
+pass (DESIGN.md section 14): VL04x cost lints, VL05x termination notes
+and a "cost" block (cardinality intervals, per-rule estimates) in the
+JSON document; --cost-budget sets the VL042 per-rule output budget
+(default 1e8 rows).
 
 --metrics-json writes the run's metrics registry (counters, gauges,
 histograms, span tree) as one stable-schema JSON document; --trace 1
@@ -622,6 +632,9 @@ queue sheds with ResourceExhausted + retry_after_ms),
 --query-mode 1 (default) evaluates cold keyed queries goal-directedly
 (magic-set engine queries for 'control' when the program defines it,
 goal-directed close links); 0 keeps the whole-graph evaluators.
+--max-query-cost C rejects engine-routed cold queries whose static cost
+estimate exceeds C with ResourceExhausted naming the estimate, before
+any evaluation starts (0 = no cost gate; cached answers still serve).
 
 'reason' with --query 'goal(args)' (a parenthesised atom, constants
 binding arguments) runs the goal-directed query path instead of a full
@@ -688,12 +701,15 @@ int main(int argc, char** argv) {
                : 1;
   }
   if (cmd == "lint") {
-    return accept({"program", "json"}) ? CmdLint(flags) : 1;
+    return accept({"program", "json", "cost", "cost-budget"})
+               ? CmdLint(flags)
+               : 1;
   }
   if (cmd == "serve") {
     return accept({"in", "program", "host", "port", "max-inflight",
                    "queue-depth", "request-deadline-ms", "cache-entries",
-                   "idle-timeout-ms", "metrics-json", "query-mode"})
+                   "idle-timeout-ms", "metrics-json", "query-mode",
+                   "max-query-cost"})
                ? CmdServe(flags)
                : 1;
   }
